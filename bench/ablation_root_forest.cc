@@ -1,0 +1,82 @@
+// Ablation A1: the value of Find-r path compression (paper Alg. 7).
+//
+// A hierarchy-skeleton built by DFT/FND is flattened as it is constructed,
+// so measuring on a finished skeleton shows nothing. Instead, two fresh
+// root forests process the identical random union/find trace — one with
+// root-pointer compression, one with plain rank-bounded climbing — at the
+// sizes the (2,3) decompositions of the proxy datasets actually produce
+// (|T*_{2,3}| sub-nuclei, |c_down| union/find operations, Table 3).
+#include <algorithm>
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "nucleus/bench/datasets.h"
+#include "nucleus/bench/table.h"
+#include "nucleus/cliques/edge_index.h"
+#include "nucleus/core/fast_nucleus.h"
+#include "nucleus/util/rng.h"
+#include "nucleus/util/timer.h"
+
+namespace nucleus {
+namespace {
+
+double RunTrace(std::int64_t nodes,
+                const std::vector<std::pair<std::int32_t, std::int32_t>>& ops,
+                bool compression, std::int64_t find_sweeps) {
+  HierarchySkeleton skeleton;
+  for (std::int64_t i = 0; i < nodes; ++i) skeleton.AddNode(1);
+  skeleton.set_path_compression(compression);
+  Timer timer;
+  for (const auto& [a, b] : ops) skeleton.UnionR(a, b);
+  volatile std::int64_t sink = 0;
+  for (std::int64_t sweep = 0; sweep < find_sweeps; ++sweep) {
+    for (std::int32_t id = 0; id < nodes; ++id) {
+      sink = sink + skeleton.FindRoot(id);
+    }
+  }
+  return timer.Seconds();
+}
+
+void Run() {
+  std::cout << "Ablation A1: Find-r path compression (paper Alg. 7)\n"
+            << "identical random union traces + 4 Find-r sweeps, sized by "
+               "each proxy's (2,3) sub-nucleus counts\n\n";
+  TablePrinter table({"graph", "|T*23| nodes", "union ops",
+                      "with compression (s)", "without (s)", "slowdown"});
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    const Graph g = spec.make();
+    const EdgeIndex edges = EdgeIndex::Build(g);
+    const FndPeelState state = FastNucleusPeel(EdgeSpace(g, edges));
+    const std::int64_t nodes = std::max<std::int64_t>(
+        state.skeleton.NumNodes(), 2);
+    // A union trace of the same volume as the recorded ADJ connections.
+    const std::int64_t num_ops =
+        std::max<std::int64_t>(static_cast<std::int64_t>(state.adj.size()), 1);
+    Rng rng(99);
+    std::vector<std::pair<std::int32_t, std::int32_t>> ops;
+    ops.reserve(num_ops);
+    for (std::int64_t i = 0; i < num_ops; ++i) {
+      ops.emplace_back(static_cast<std::int32_t>(rng.UniformInt(0, nodes - 1)),
+                       static_cast<std::int32_t>(rng.UniformInt(0, nodes - 1)));
+    }
+    const double on_seconds = RunTrace(nodes, ops, true, 4);
+    const double off_seconds = RunTrace(nodes, ops, false, 4);
+    table.AddRow({spec.paper_name, FormatCount(nodes), FormatCount(num_ops),
+                  FormatSeconds(on_seconds), FormatSeconds(off_seconds),
+                  FormatSpeedup(off_seconds / std::max(on_seconds, 1e-9))});
+  }
+  table.Print(std::cout);
+  std::cout << "\nUnion-by-rank alone keeps trees logarithmic, so the "
+               "expected gap is a modest constant-to-log factor — the "
+               "paper's Alg. 7 adds compression because Find-r sits on the "
+               "hot path of every adjacent sub-nucleus lookup.\n";
+}
+
+}  // namespace
+}  // namespace nucleus
+
+int main() {
+  nucleus::Run();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Extension bench E1: semi-external k-core decomposition with hierarchy.
+//
+// The paper's Section 3.1 argues the external-memory k-core literature
+// (Cheng'11 / Khaouid'15 / Wen'16) computes only lambda values, and that
+// adding connected k-cores + hierarchy in that model would cost at least
+// another peeling's worth of IO if done by traversal. src/nucleus/em shows
+// the paper's own DSF/FND machinery closes the gap with exactly ONE extra
+// sequential edge scan (plus spill-file sorting that touches only the
+// lambda-crossing edges): this bench reports the scan/IO breakdown and
+// compares against the in-memory algorithms on every dataset proxy.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "nucleus/bench/datasets.h"
+#include "nucleus/bench/table.h"
+#include "nucleus/core/decomposition.h"
+#include "nucleus/em/adjacency_file.h"
+#include "nucleus/em/semi_external_core.h"
+#include "nucleus/em/semi_external_truss.h"
+#include "nucleus/graph/binary_io.h"
+#include "nucleus/util/timer.h"
+
+namespace nucleus {
+namespace {
+
+void Run() {
+  std::cout
+      << "Extension E1: semi-external k-core decomposition (hierarchy "
+         "included)\n"
+      << "lambda via Gauss-Seidel h-index scans; hierarchy via one extra\n"
+      << "edge scan + external binned BuildHierarchy (paper Alg. 9 on "
+         "disk).\n\n";
+  TablePrinter table({"graph", "|V|", "|E|", "lam passes", "scans",
+                      "MB read", "hier ovh", "EM total (s)", "in-mem (s)"});
+  const std::string dir = "/tmp";
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    const Graph g = spec.make();
+    const std::string path = dir + "/" + spec.name + ".nucgraph";
+    NUCLEUS_CHECK(WriteBinaryGraph(g, path).ok());
+
+    auto file = AdjacencyFile::Open(path, 1 << 20);
+    NUCLEUS_CHECK(file.ok());
+
+    // Lambda-only time (what the EM literature reports).
+    Timer lambda_timer;
+    auto lambda_only = SemiExternalCoreLambda(*file);
+    NUCLEUS_CHECK(lambda_only.ok());
+    const double lambda_seconds = lambda_timer.Seconds();
+
+    // Full decomposition (lambda + sub-cores + hierarchy).
+    file->ResetStats();
+    Timer total_timer;
+    auto em = SemiExternalCoreDecomposition(*file, dir);
+    NUCLEUS_CHECK(em.ok());
+    const double total_seconds = total_timer.Seconds();
+
+    DecomposeOptions opts;
+    opts.family = Family::kCore12;
+    opts.algorithm = Algorithm::kDft;
+    opts.build_tree = false;
+    Timer mem_timer;
+    Decompose(g, opts);
+    const double mem_seconds = mem_timer.Seconds();
+
+    table.AddRow(
+        {spec.paper_name, FormatCount(g.NumVertices()),
+         FormatCount(g.NumEdges()), std::to_string(em->lambda_passes),
+         std::to_string(file->stats().scans),
+         FormatDouble(static_cast<double>(em->io.bytes_read) / (1 << 20), 1),
+         FormatSpeedup(total_seconds / lambda_seconds),
+         FormatSeconds(total_seconds), FormatSeconds(mem_seconds)});
+    std::remove(path.c_str());
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\n'hier ovh' = full decomposition time over lambda-only time: the\n"
+         "whole hierarchy costs a constant factor over the lambda passes\n"
+         "alone, where a BFS traversal in external memory would at least\n"
+         "double the scan count and add random IO (paper Section 3.1).\n\n";
+
+  // (2,3): the Section 3.2 case — wave-synchronous truss peel from disk
+  // plus the one-scan hierarchy. Smaller proxies only: every wave is a
+  // full triangle enumeration, the honest cost of the semi-external model.
+  std::cout << "Semi-external k-truss ((2,3)) with hierarchy — waves are\n"
+               "disk triangle scans; '+hier scans' is always 1.\n\n";
+  TablePrinter truss_table({"graph", "|E|", "waves", "MB read", "max lam",
+                            "|T_2,3|", "EM total (s)"});
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    const Graph g = spec.make();
+    if (g.NumEdges() > 70000) continue;  // wave scans scale with |tri|
+    const std::string path = dir + "/" + spec.name + "-truss.nucgraph";
+    NUCLEUS_CHECK(WriteBinaryGraph(g, path).ok());
+    auto file = AdjacencyFile::Open(path, 1 << 20);
+    NUCLEUS_CHECK(file.ok());
+    Timer timer;
+    auto em = SemiExternalTrussDecomposition(*file, dir);
+    NUCLEUS_CHECK(em.ok());
+    truss_table.AddRow(
+        {spec.paper_name, FormatCount(g.NumEdges()),
+         std::to_string(em->waves),
+         FormatDouble(static_cast<double>(em->io.bytes_read) / (1 << 20), 1),
+         std::to_string(em->peel.max_lambda),
+         FormatCount(em->build.num_subnuclei), FormatSeconds(timer.Seconds())});
+    std::remove(path.c_str());
+  }
+  truss_table.Print(std::cout);
+  std::cout << "\nSection 3.2's open problem: external-memory truss works\n"
+               "compute only edge trussness. Here the connected k-trusses\n"
+               "AND the hierarchy cost one extra triangle scan on top of\n"
+               "the wave peel — no external BFS ever happens.\n";
+}
+
+}  // namespace
+}  // namespace nucleus
+
+int main() {
+  nucleus::Run();
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Micro-benchmarks (google-benchmark) of the building blocks: bucket queue
+// throughput, disjoint-set operations, clique index construction, peeling
+// per space, and the two hierarchy algorithms end to end on a mid-size
+// social-style graph.
+#include <benchmark/benchmark.h>
+
+#include "nucleus/bench/runner.h"
+#include "nucleus/cliques/edge_index.h"
+#include "nucleus/cliques/triangle_index.h"
+#include "nucleus/core/df_traversal.h"
+#include "nucleus/core/fast_nucleus.h"
+#include "nucleus/core/lcps.h"
+#include "nucleus/core/peeling.h"
+#include "nucleus/dsf/disjoint_set.h"
+#include "nucleus/graph/generators.h"
+#include "nucleus/util/bucket_queue.h"
+#include "nucleus/util/rng.h"
+
+namespace nucleus {
+namespace {
+
+const Graph& SocialGraph() {
+  static const Graph* const g =
+      new Graph(PlantedPartition(8, 50, 0.4, 0.01, 424242));
+  return *g;
+}
+
+void BM_BucketQueueInitPopAll(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  std::vector<std::int32_t> keys(n);
+  for (auto& k : keys) k = static_cast<std::int32_t>(rng.UniformInt(0, 100));
+  for (auto _ : state) {
+    PeelingBucketQueue q;
+    q.Init(keys);
+    std::int64_t sum = 0;
+    while (!q.Empty()) {
+      std::int32_t v = 0;
+      q.PopMin(&v);
+      sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BucketQueueInitPopAll)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_DisjointSetUnionFind(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(2);
+  std::vector<std::pair<std::int32_t, std::int32_t>> ops(n);
+  for (auto& op : ops) {
+    op = {static_cast<std::int32_t>(rng.UniformInt(0, n - 1)),
+          static_cast<std::int32_t>(rng.UniformInt(0, n - 1))};
+  }
+  for (auto _ : state) {
+    DisjointSet dsf(n);
+    for (const auto& [a, b] : ops) dsf.Union(a, b);
+    benchmark::DoNotOptimize(dsf.NumSets());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DisjointSetUnionFind)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_EdgeIndexBuild(benchmark::State& state) {
+  const Graph& g = SocialGraph();
+  for (auto _ : state) {
+    const EdgeIndex index = EdgeIndex::Build(g);
+    benchmark::DoNotOptimize(index.NumEdges());
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumEdges());
+}
+BENCHMARK(BM_EdgeIndexBuild);
+
+void BM_TriangleIndexBuild(benchmark::State& state) {
+  const Graph& g = SocialGraph();
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  for (auto _ : state) {
+    const TriangleIndex index = TriangleIndex::Build(g, edges);
+    benchmark::DoNotOptimize(index.NumTriangles());
+  }
+}
+BENCHMARK(BM_TriangleIndexBuild);
+
+void BM_PeelCore(benchmark::State& state) {
+  const Graph& g = SocialGraph();
+  const VertexSpace space(g);
+  for (auto _ : state) {
+    const PeelResult r = Peel(space);
+    benchmark::DoNotOptimize(r.max_lambda);
+  }
+  state.SetItemsProcessed(state.iterations() * g.NumVertices());
+}
+BENCHMARK(BM_PeelCore);
+
+void BM_PeelTruss(benchmark::State& state) {
+  const Graph& g = SocialGraph();
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const EdgeSpace space(g, edges);
+  for (auto _ : state) {
+    const PeelResult r = Peel(space);
+    benchmark::DoNotOptimize(r.max_lambda);
+  }
+  state.SetItemsProcessed(state.iterations() * edges.NumEdges());
+}
+BENCHMARK(BM_PeelTruss);
+
+void BM_Peel34(benchmark::State& state) {
+  const Graph& g = SocialGraph();
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const TriangleIndex triangles = TriangleIndex::Build(g, edges);
+  const TriangleSpace space(g, edges, triangles);
+  for (auto _ : state) {
+    const PeelResult r = Peel(space);
+    benchmark::DoNotOptimize(r.max_lambda);
+  }
+  state.SetItemsProcessed(state.iterations() * triangles.NumTriangles());
+}
+BENCHMARK(BM_Peel34);
+
+void BM_DftTraversalTruss(benchmark::State& state) {
+  const Graph& g = SocialGraph();
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const EdgeSpace space(g, edges);
+  const PeelResult peel = Peel(space);
+  for (auto _ : state) {
+    const SkeletonBuild build = DfTraversal(space, peel);
+    benchmark::DoNotOptimize(build.num_subnuclei);
+  }
+}
+BENCHMARK(BM_DftTraversalTruss);
+
+void BM_FndTruss(benchmark::State& state) {
+  const Graph& g = SocialGraph();
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const EdgeSpace space(g, edges);
+  for (auto _ : state) {
+    const FndResult fnd = FastNucleusDecomposition(space);
+    benchmark::DoNotOptimize(fnd.num_adj);
+  }
+}
+BENCHMARK(BM_FndTruss);
+
+void BM_LcpsCore(benchmark::State& state) {
+  const Graph& g = SocialGraph();
+  const PeelResult peel = Peel(VertexSpace(g));
+  for (auto _ : state) {
+    const SkeletonBuild build = LcpsKCoreHierarchy(g, peel);
+    benchmark::DoNotOptimize(build.num_subnuclei);
+  }
+}
+BENCHMARK(BM_LcpsCore);
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,67 @@
+// Reproduces Table 3: statistics of the evaluation graphs — |V|, |E|,
+// |triangle|, |K4|, the density ratios, the sub-nucleus counts |T_{r,s}|
+// (from DFT) and non-maximal |T*_{r,s}| (from FND), and the recorded
+// downward connection counts |c_down(T*)|.
+#include <iostream>
+
+#include "nucleus/bench/datasets.h"
+#include "nucleus/bench/runner.h"
+#include "nucleus/bench/table.h"
+#include "nucleus/cliques/edge_index.h"
+#include "nucleus/cliques/triangle_index.h"
+
+namespace nucleus {
+namespace {
+
+void Run() {
+  std::cout << "Table 3: dataset statistics (synthetic proxies for the "
+               "paper's graphs; see DESIGN.md §3)\n\n";
+  TablePrinter table({"graph", "|V|", "|E|", "|tri|", "|K4|", "E/V", "tri/E",
+                      "K4/tri", "|T12|", "|T*12|", "|T23|", "|T*23|", "|T34|",
+                      "|T*34|", "c(T*23)", "c(T*34)"});
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    const Graph g = spec.make();
+    const EdgeIndex edges = EdgeIndex::Build(g);
+    const TriangleIndex triangles = TriangleIndex::Build(g, edges);
+    const std::int64_t num_tri = triangles.NumTriangles();
+    const std::int64_t num_k4 = triangles.CountK4s();
+
+    const BenchRun t12_dft = RunBench(g, Family::kCore12, Algorithm::kDft);
+    const BenchRun t12_fnd = RunBench(g, Family::kCore12, Algorithm::kFnd);
+    const BenchRun t23_dft = RunBench(g, Family::kTruss23, Algorithm::kDft);
+    const BenchRun t23_fnd = RunBench(g, Family::kTruss23, Algorithm::kFnd);
+    const BenchRun t34_dft = RunBench(g, Family::kNucleus34, Algorithm::kDft);
+    const BenchRun t34_fnd = RunBench(g, Family::kNucleus34, Algorithm::kFnd);
+
+    table.AddRow(
+        {spec.paper_name, FormatCount(g.NumVertices()),
+         FormatCount(g.NumEdges()), FormatCount(num_tri), FormatCount(num_k4),
+         FormatDouble(static_cast<double>(g.NumEdges()) /
+                          std::max<std::int64_t>(g.NumVertices(), 1),
+                      2),
+         FormatDouble(static_cast<double>(num_tri) /
+                          std::max<std::int64_t>(g.NumEdges(), 1),
+                      2),
+         FormatDouble(static_cast<double>(num_k4) /
+                          std::max<std::int64_t>(num_tri, 1),
+                      2),
+         FormatCount(t12_dft.num_subnuclei), FormatCount(t12_fnd.num_subnuclei),
+         FormatCount(t23_dft.num_subnuclei), FormatCount(t23_fnd.num_subnuclei),
+         FormatCount(t34_dft.num_subnuclei), FormatCount(t34_fnd.num_subnuclei),
+         FormatCount(t23_fnd.num_adj), FormatCount(t34_fnd.num_adj)});
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nShape checks mirroring the paper's observations:\n"
+      << "  * |T*| exceeds |T| only modestly (paper: ~24% for (2,3)),\n"
+      << "  * c_down(T*) is far below its (s choose r)|K_s| upper bound,\n"
+      << "  * the uk-2005 proxy has the extreme K4/tri regime.\n";
+}
+
+}  // namespace
+}  // namespace nucleus
+
+int main() {
+  nucleus::Run();
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Extension bench E2: the threshold-based k-core variants of the paper's
+// Section 3.1 literature review — weighted (Giatsidis), directed
+// (Giatsidis D-cores), probabilistic (Bonchi (k,eta)-cores) and temporal
+// (Wu (k,h)-cores) — each WITH the connected-core hierarchy those works
+// leave open. For every dataset proxy the table reports the variant's peel
+// time and the extra cost of the full hierarchy (BuildVertexHierarchy, the
+// label-driven Alg. 9): the paper's machinery makes the overlooked half of
+// each variant decomposition a small constant factor.
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "nucleus/bench/datasets.h"
+#include "nucleus/bench/table.h"
+#include "nucleus/util/rng.h"
+#include "nucleus/util/timer.h"
+#include "nucleus/variants/directed_core.h"
+#include "nucleus/variants/probabilistic_core.h"
+#include "nucleus/variants/temporal_core.h"
+#include "nucleus/variants/weighted_core.h"
+
+namespace nucleus {
+namespace {
+
+struct VariantCell {
+  double peel_seconds = 0.0;
+  double hierarchy_seconds = 0.0;
+  std::int64_t num_subnuclei = 0;
+};
+
+VariantCell RunWeighted(const Graph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<WeightedEdge> edges;
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    edges.push_back({u, v, rng.UniformInt(1, 16)});
+  });
+  const WeightedGraph wg =
+      WeightedGraph::FromEdges(g.NumVertices(), std::move(edges));
+  VariantCell cell;
+  Timer peel_timer;
+  const WeightedCoreResult core = WeightedCoreNumbers(wg);
+  cell.peel_seconds = peel_timer.Seconds();
+  Timer tree_timer;
+  const LabeledSkeleton skeleton =
+      BuildVertexHierarchy(wg.graph(), core.lambda);
+  cell.hierarchy_seconds = tree_timer.Seconds();
+  cell.num_subnuclei = skeleton.build.num_subnuclei;
+  return cell;
+}
+
+VariantCell RunDirected(const Graph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    if (rng.Bernoulli(0.5)) {
+      arcs.emplace_back(u, v);
+    } else {
+      arcs.emplace_back(v, u);
+    }
+    if (rng.Bernoulli(0.3)) arcs.emplace_back(v, u);  // some reciprocity
+  });
+  const DirectedGraph dg =
+      DirectedGraph::FromArcs(g.NumVertices(), std::move(arcs));
+  VariantCell cell;
+  Timer peel_timer;
+  const std::vector<std::int32_t> out_numbers = DCoreOutNumbers(dg, 1);
+  cell.peel_seconds = peel_timer.Seconds();
+  Timer tree_timer;
+  std::vector<std::int64_t> labels(out_numbers.size());
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    labels[v] = out_numbers[v] + 1;
+  }
+  const LabeledSkeleton skeleton =
+      BuildVertexHierarchy(dg.Underlying(), labels);
+  cell.hierarchy_seconds = tree_timer.Seconds();
+  cell.num_subnuclei = skeleton.build.num_subnuclei;
+  return cell;
+}
+
+VariantCell RunProbabilistic(const Graph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ProbabilisticEdge> edges;
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    edges.push_back({u, v, 0.3 + 0.7 * rng.UniformReal()});
+  });
+  const UncertainGraph ug =
+      UncertainGraph::FromEdges(g.NumVertices(), std::move(edges));
+  VariantCell cell;
+  Timer peel_timer;
+  const ProbabilisticCoreResult core = ProbabilisticCoreNumbers(ug, 0.5);
+  cell.peel_seconds = peel_timer.Seconds();
+  Timer tree_timer;
+  std::vector<std::int64_t> labels(core.lambda.begin(), core.lambda.end());
+  const LabeledSkeleton skeleton = BuildVertexHierarchy(ug.graph(), labels);
+  cell.hierarchy_seconds = tree_timer.Seconds();
+  cell.num_subnuclei = skeleton.build.num_subnuclei;
+  return cell;
+}
+
+VariantCell RunTemporal(const Graph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TemporalEdge> events;
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    const int copies = 1 + static_cast<int>(rng.UniformInt(0, 2));
+    for (int c = 0; c < copies; ++c) {
+      events.push_back({u, v, rng.UniformInt(0, 999)});
+    }
+  });
+  const TemporalGraph tg =
+      TemporalGraph::FromEvents(g.NumVertices(), std::move(events));
+  VariantCell cell;
+  Timer total;
+  const TemporalCoreResult window = DecomposeWindow(tg, 0, 499, 1);
+  cell.peel_seconds = total.Seconds();  // snapshot + peel
+  Timer tree_timer;
+  (void)LabeledHierarchyTree(window.snapshot, window.skeleton);
+  cell.hierarchy_seconds = tree_timer.Seconds();
+  cell.num_subnuclei = window.skeleton.build.num_subnuclei;
+  return cell;
+}
+
+void Run() {
+  std::cout
+      << "Extension E2: threshold-based core variants with hierarchies\n"
+      << "(peel = variant peeling; +hier = label-driven BuildHierarchy)\n\n";
+  TablePrinter table({"graph", "wgt peel", "wgt +hier", "dir peel",
+                      "dir +hier", "prob peel", "prob +hier", "tmp peel",
+                      "tmp +hier"});
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    const Graph g = spec.make();
+    const VariantCell w = RunWeighted(g, 101);
+    const VariantCell d = RunDirected(g, 202);
+    const VariantCell p = RunProbabilistic(g, 303);
+    const VariantCell t = RunTemporal(g, 404);
+    table.AddRow({spec.paper_name, FormatSeconds(w.peel_seconds),
+                  FormatSeconds(w.hierarchy_seconds),
+                  FormatSeconds(d.peel_seconds),
+                  FormatSeconds(d.hierarchy_seconds),
+                  FormatSeconds(p.peel_seconds),
+                  FormatSeconds(p.hierarchy_seconds),
+                  FormatSeconds(t.peel_seconds),
+                  FormatSeconds(t.hierarchy_seconds)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nHierarchy construction is a small constant over each\n"
+               "variant's peel — the connected-core half these works leave\n"
+               "open costs one disjoint-set pass (paper Alg. 9), not a\n"
+               "second traversal.\n";
+}
+
+}  // namespace
+}  // namespace nucleus
+
+int main() {
+  nucleus::Run();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Community explorer: the paper's motivating use case. Generates a social-
+// network-style graph with planted communities, runs the (2,3)-nucleus
+// (k-truss community) decomposition, and reports the densest nuclei with
+// their sizes, edge densities, and nesting depth — the "many dense
+// subgraphs with varying sizes and densities, and hierarchy among them"
+// the introduction promises.
+//
+//   $ ./community_explorer [num_communities] [community_size]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "nucleus/core/decomposition.h"
+#include "nucleus/graph/generators.h"
+#include "nucleus/graph/graph_builder.h"
+
+using namespace nucleus;
+
+namespace {
+
+double InducedDensity(const Graph& g, const std::vector<VertexId>& vertices) {
+  if (vertices.size() < 2) return 0.0;
+  const Graph sub = InducedSubgraph(g, vertices);
+  const double pairs =
+      0.5 * static_cast<double>(sub.NumVertices()) * (sub.NumVertices() - 1);
+  return static_cast<double>(sub.NumEdges()) / pairs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const VertexId communities = argc > 1 ? std::atoi(argv[1]) : 6;
+  const VertexId size = argc > 2 ? std::atoi(argv[2]) : 30;
+  const Graph g = PlantedPartition(communities, size, 0.45, 0.015, 2024);
+  std::printf("Planted-partition graph: %d communities x %d vertices, "
+              "%lld edges\n\n",
+              communities, size, static_cast<long long>(g.NumEdges()));
+
+  DecomposeOptions options;
+  options.family = Family::kTruss23;
+  options.algorithm = Algorithm::kFnd;
+  const DecompositionResult result = Decompose(g, options);
+  const NucleusHierarchy& h = result.hierarchy;
+  std::printf("(2,3)-nucleus decomposition: %lld edges, max trussness %d, "
+              "%lld nuclei, %.3fs total\n\n",
+              static_cast<long long>(result.num_cliques),
+              result.peel.max_lambda,
+              static_cast<long long>(h.NumNuclei()),
+              result.timings.total_seconds);
+
+  // Rank leaf-most nuclei by lambda, then by size; report the top ten with
+  // their vertex sets' edge density.
+  struct Row {
+    std::int32_t node;
+    Lambda k;
+    std::int64_t members;
+  };
+  std::vector<Row> rows;
+  for (std::int32_t id = 0; id < h.NumNodes(); ++id) {
+    if (id == h.root() || h.node(id).lambda < 1) continue;
+    rows.push_back({id, h.node(id).lambda, h.node(id).subtree_members});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.k != b.k ? a.k > b.k : a.members > b.members;
+  });
+
+  std::printf("%-6s %-10s %-10s %-10s %-8s\n", "k", "edges", "vertices",
+              "density", "depth");
+  const std::size_t top = std::min<std::size_t>(rows.size(), 10);
+  for (std::size_t i = 0; i < top; ++i) {
+    const auto members = h.MembersOfSubtree(rows[i].node);
+    const auto vertices = MembersToVertices(g, Family::kTruss23, members);
+    int depth = 0;
+    for (std::int32_t cur = rows[i].node; cur != h.root();
+         cur = h.node(cur).parent) {
+      ++depth;
+    }
+    std::printf("%-6d %-10zu %-10zu %-10.3f %-8d\n", rows[i].k,
+                members.size(), vertices.size(), InducedDensity(g, vertices),
+                depth);
+  }
+
+  std::printf("\nThe planted communities should surface as ~%d high-k nuclei "
+              "of ~%d vertices each,\nnested under sparser low-k ancestors "
+              "that span several communities.\n",
+              communities, size);
+  return 0;
+}

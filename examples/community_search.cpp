@@ -1,0 +1,103 @@
+// Community search from the hierarchy: the query workload that motivated
+// Huang et al.'s TCP index (SIGMOD'14), answered with HierarchyIndex
+// ancestor lookups once FND has built the (2,3) hierarchy.
+//
+//   $ ./community_search
+//
+// A social-network-like graph with planted communities is decomposed once;
+// then three kinds of questions are answered in microseconds each:
+//   1. "what is the strongest community around vertex q?"
+//   2. "are u and v in a common dense community, and how dense?"
+//   3. "how does q's community grow as we relax k?"
+#include <cstdio>
+#include <vector>
+
+#include "nucleus/cliques/edge_index.h"
+#include "nucleus/core/decomposition.h"
+#include "nucleus/core/hierarchy_index.h"
+#include "nucleus/graph/generators.h"
+
+using nucleus::Decompose;
+using nucleus::DecomposeOptions;
+using nucleus::EdgeId;
+using nucleus::EdgeIndex;
+using nucleus::Family;
+using nucleus::Graph;
+using nucleus::HierarchyIndex;
+using nucleus::Lambda;
+using nucleus::VertexId;
+
+namespace {
+
+// The strongest edge (max trussness) incident to q, or kInvalidId.
+EdgeId StrongestEdgeOf(const Graph& g, const EdgeIndex& edges,
+                       const std::vector<Lambda>& truss, VertexId q) {
+  EdgeId best = nucleus::kInvalidId;
+  for (EdgeId e : edges.AdjEdgeIds(g, q)) {
+    if (best == nucleus::kInvalidId || truss[e] > truss[best]) best = e;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  // Four communities of 30 vertices; dense inside, sparse across.
+  const Graph g = nucleus::PlantedPartition(4, 30, 0.5, 0.02, /*seed=*/7);
+  std::printf("graph: %d vertices, %lld edges, 4 planted communities\n\n",
+              g.NumVertices(), static_cast<long long>(g.NumEdges()));
+
+  DecomposeOptions options;
+  options.family = Family::kTruss23;
+  options.algorithm = nucleus::Algorithm::kFnd;
+  const auto result = Decompose(g, options);
+  const HierarchyIndex index(result.hierarchy);
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  std::printf("(2,3) hierarchy built: %lld nuclei, max trussness %d\n\n",
+              static_cast<long long>(result.hierarchy.NumNuclei()),
+              result.peel.max_lambda);
+
+  // 1. Strongest community around a few query vertices.
+  std::printf("-- strongest communities --\n");
+  for (VertexId q : {0, 31, 65, 95}) {
+    const EdgeId seed = StrongestEdgeOf(g, edges, result.peel.lambda, q);
+    if (seed == nucleus::kInvalidId) continue;
+    const Lambda k = result.peel.lambda[seed];
+    const std::int32_t node = index.NucleusAtLevel(seed, k);
+    const auto members = result.hierarchy.MembersOfSubtree(node);
+    const auto vertices = nucleus::MembersToVertices(
+        g, Family::kTruss23, members);
+    std::printf("vertex %3d: k=%d community, %zu edges over %zu vertices\n",
+                q, k, members.size(), vertices.size());
+  }
+
+  // 2. Common community of vertex pairs (inside vs across partitions).
+  std::printf("\n-- common communities --\n");
+  for (auto [u, v] : {std::pair<VertexId, VertexId>{0, 12},
+                      {0, 31},
+                      {31, 55},
+                      {65, 95}}) {
+    const EdgeId eu = StrongestEdgeOf(g, edges, result.peel.lambda, u);
+    const EdgeId ev = StrongestEdgeOf(g, edges, result.peel.lambda, v);
+    if (eu == nucleus::kInvalidId || ev == nucleus::kInvalidId) continue;
+    const Lambda level = index.CommonNucleusLevel(eu, ev);
+    if (level == 0) {
+      std::printf("vertices %3d and %3d: no common dense community\n", u, v);
+    } else {
+      std::printf("vertices %3d and %3d: common community at k=%d\n", u, v,
+                  level);
+    }
+  }
+
+  // 3. Community growth of one vertex as k relaxes.
+  const VertexId q = 0;
+  const EdgeId seed = StrongestEdgeOf(g, edges, result.peel.lambda, q);
+  std::printf("\n-- community growth around vertex %d --\n", q);
+  for (Lambda k = result.peel.lambda[seed]; k >= 1; --k) {
+    const std::int32_t node = index.NucleusAtLevel(seed, k);
+    if (node == nucleus::kInvalidId) continue;
+    const auto members = result.hierarchy.MembersOfSubtree(node);
+    std::printf("k=%2d: %5zu edges\n", k, members.size());
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Dataset statistics: prints a Table-3-style profile of any registered
+// synthetic dataset (or all of them), including the clique ratios that
+// predict decomposition cost (paper Section 3.3 / Table 3).
+//
+//   $ ./dataset_stats              # all nine proxies, brief
+//   $ ./dataset_stats stanford3-syn  # one proxy, detailed
+#include <cstdio>
+#include <string>
+
+#include "nucleus/bench/datasets.h"
+#include "nucleus/cliques/edge_index.h"
+#include "nucleus/cliques/triangle_index.h"
+#include "nucleus/core/decomposition.h"
+#include "nucleus/graph/graph_stats.h"
+
+using namespace nucleus;
+
+namespace {
+
+void Detail(const DatasetSpec& spec) {
+  const Graph g = spec.make();
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const TriangleIndex triangles = TriangleIndex::Build(g, edges);
+  std::printf("%s  (proxy for %s)\n", spec.name.c_str(),
+              spec.paper_name.c_str());
+  std::printf("  regime: %s\n", spec.regime.c_str());
+  const DegreeStats deg = ComputeDegreeStats(g);
+  std::int32_t num_components = 0;
+  ConnectedComponents(g, &num_components);
+  std::printf("  |V|=%d |E|=%lld |tri|=%d |K4|=%lld components=%d\n",
+              g.NumVertices(), static_cast<long long>(g.NumEdges()),
+              triangles.NumTriangles(),
+              static_cast<long long>(triangles.CountK4s()), num_components);
+  std::printf("  degree min/mean/max = %lld / %.2f / %lld\n",
+              static_cast<long long>(deg.min), deg.mean,
+              static_cast<long long>(deg.max));
+  std::printf("  global clustering = %.4f, degeneracy = %d\n",
+              GlobalClusteringCoefficient(g), Degeneracy(g));
+  for (Family family :
+       {Family::kCore12, Family::kTruss23, Family::kNucleus34}) {
+    DecomposeOptions options;
+    options.family = family;
+    options.algorithm = Algorithm::kFnd;
+    const DecompositionResult r = Decompose(g, options);
+    std::printf("  %-15s max-lambda=%-4d nuclei=%-7lld subnuclei=%-7lld "
+                "(%.3fs)\n",
+                FamilyName(family), r.peel.max_lambda,
+                static_cast<long long>(r.hierarchy.NumNuclei()),
+                static_cast<long long>(r.num_subnuclei),
+                r.timings.total_seconds);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    Detail(DatasetByName(argv[1]));
+    return 0;
+  }
+  for (const DatasetSpec& spec : PaperDatasets()) Detail(spec);
+  return 0;
+}

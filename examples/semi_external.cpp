@@ -1,0 +1,98 @@
+// Semi-external decomposition: run the full k-core hierarchy construction
+// with the edges living on disk, the way Section 3.1's external-memory
+// literature operates — plus the hierarchy those works leave out.
+//
+//   $ ./semi_external [edge_list_file]
+//
+// Without an argument a synthetic web-like graph is generated, written to a
+// binary CSR file in /tmp, and decomposed straight off the file with O(|V|)
+// memory. The report shows the IO ledger: how many sequential edge scans
+// the lambda fixpoint needed, and that the ENTIRE hierarchy cost only one
+// more scan plus spill-file sorting.
+#include <cstdio>
+#include <string>
+
+#include "nucleus/core/hierarchy.h"
+#include "nucleus/em/adjacency_file.h"
+#include "nucleus/em/semi_external_core.h"
+#include "nucleus/graph/binary_io.h"
+#include "nucleus/graph/edge_list_io.h"
+#include "nucleus/graph/generators.h"
+
+using nucleus::AdjacencyFile;
+using nucleus::Graph;
+using nucleus::NucleusHierarchy;
+using nucleus::SemiExternalCoreDecomposition;
+
+int main(int argc, char** argv) {
+  Graph g;
+  if (argc > 1) {
+    auto loaded = nucleus::ReadEdgeList(argv[1]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot read %s: %s\n", argv[1],
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    g = std::move(*loaded);
+  } else {
+    g = nucleus::RMat(15, 300000, 0.57, 0.19, 0.19, /*seed=*/42);
+    std::printf("(no input file: generated an R-MAT web-like graph)\n");
+  }
+  std::printf("graph: %d vertices, %lld edges\n", g.NumVertices(),
+              static_cast<long long>(g.NumEdges()));
+
+  // Ship the graph to disk; from here on only the offsets stay in memory.
+  const std::string path = "/tmp/semi_external_demo.nucgraph";
+  if (auto s = nucleus::WriteBinaryGraph(g, path); !s.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto file = AdjacencyFile::Open(path, /*block_bytes=*/1 << 20);
+  if (!file.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 file.status().ToString().c_str());
+    return 1;
+  }
+
+  auto result = SemiExternalCoreDecomposition(*file, "/tmp");
+  if (!result.ok()) {
+    std::fprintf(stderr, "decomposition failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nlambda fixpoint: %d sequential edge scans\n",
+              result->lambda_passes);
+  std::printf("hierarchy:       1 extra edge scan, %lld spilled ADJ pairs\n",
+              static_cast<long long>(result->num_adj));
+  std::printf("IO ledger:       %lld scans, %.1f MB read, %.1f MB written\n",
+              static_cast<long long>(result->io.scans),
+              static_cast<double>(result->io.bytes_read) / (1 << 20),
+              static_cast<double>(result->io.bytes_written) / (1 << 20));
+  std::printf("max lambda:      %d, sub-cores: %lld\n",
+              result->peel.max_lambda,
+              static_cast<long long>(result->build.num_subnuclei));
+
+  const NucleusHierarchy tree = NucleusHierarchy::FromSkeleton(
+      result->build, file->NumVertices());
+  std::printf("nuclei:          %lld (tree of %lld nodes)\n",
+              static_cast<long long>(tree.NumNuclei()),
+              static_cast<long long>(tree.NumNodes()));
+
+  // Densest-first summary of the top of the tree.
+  std::printf("\ndeepest nucleus chain of an innermost vertex:\n");
+  nucleus::VertexId densest = 0;
+  for (nucleus::VertexId v = 0; v < file->NumVertices(); ++v) {
+    if (result->peel.lambda[v] > result->peel.lambda[densest]) densest = v;
+  }
+  for (std::int32_t id : tree.AncestorChain(densest)) {
+    if (id == tree.root()) {
+      std::printf("  root (entire graph)\n");
+    } else {
+      std::printf("  k=%-3d  %lld members\n", tree.node(id).lambda,
+                  static_cast<long long>(tree.node(id).subtree_members));
+    }
+  }
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Tour of the core-variant decompositions from the paper's Section 3.1
+// literature review — weighted, directed, probabilistic and temporal — each
+// completed with the connected-core hierarchy those works leave open.
+//
+//   $ ./variants_tour
+//
+// One small scenario per variant, chosen so the printed numbers are easy
+// to verify by eye.
+#include <cstdio>
+#include <vector>
+
+#include "nucleus/variants/directed_core.h"
+#include "nucleus/variants/probabilistic_core.h"
+#include "nucleus/variants/temporal_core.h"
+#include "nucleus/variants/weighted_core.h"
+
+using nucleus::VertexId;
+
+namespace {
+
+void WeightedDemo() {
+  std::printf("== weighted k-core (collaboration strength) ==\n");
+  // A triangle of strong collaborators (weight 10) plus weak acquaintances.
+  nucleus::WeightedGraph wg = nucleus::WeightedGraph::FromEdges(
+      6, {{0, 1, 10},
+          {1, 2, 10},
+          {0, 2, 10},
+          {2, 3, 1},
+          {3, 4, 1},
+          {4, 5, 1}});
+  const auto d = nucleus::DecomposeWeightedCore(wg);
+  for (VertexId v = 0; v < 6; ++v) {
+    std::printf("  vertex %d: weighted core %lld\n", v,
+                static_cast<long long>(d.core.lambda[v]));
+  }
+  std::printf("  -> the strong triangle forms a lambda_w=20 core; the weak\n"
+              "     tail stays at 1.\n\n");
+}
+
+void DirectedDemo() {
+  std::printf("== D-cores (directed (k, l)-cores) ==\n");
+  // A directed 4-cycle (in=out=1) plus a feed-forward tail.
+  nucleus::DirectedGraph dg = nucleus::DirectedGraph::FromArcs(
+      7, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {3, 4}, {4, 5}, {5, 6}});
+  const auto h = nucleus::DecomposeDCore(dg, /*k=*/1);
+  for (VertexId v = 0; v < 7; ++v) {
+    std::printf("  vertex %d: out-number at k=1 is %d\n", v,
+                h.out_numbers[v]);
+  }
+  std::printf("  -> the cycle sustains (1,1); the acyclic tail cannot (a\n"
+              "     source always unravels it).\n\n");
+}
+
+void ProbabilisticDemo() {
+  std::printf("== probabilistic (k, eta)-cores (noisy measurements) ==\n");
+  // A reliable triangle (p=0.95) and a speculative one (p=0.5).
+  nucleus::UncertainGraph ug = nucleus::UncertainGraph::FromEdges(
+      6, {{0, 1, 0.95},
+          {1, 2, 0.95},
+          {0, 2, 0.95},
+          {3, 4, 0.5},
+          {4, 5, 0.5},
+          {3, 5, 0.5}});
+  for (double eta : {0.25, 0.9}) {
+    const auto r = nucleus::ProbabilisticCoreNumbers(ug, eta);
+    std::printf("  eta=%.2f: reliable triangle lambda=%d, "
+                "speculative triangle lambda=%d\n",
+                eta, r.lambda[0], r.lambda[3]);
+  }
+  std::printf("  -> demanding confidence (high eta) dissolves the\n"
+              "     speculative community first.\n\n");
+}
+
+void TemporalDemo() {
+  std::printf("== temporal (k, h)-cores (contact sequences) ==\n");
+  // A K4 that meets during [0, 9] and a K4 during [20, 29]; a bridge pair
+  // chats throughout.
+  std::vector<nucleus::TemporalEdge> events;
+  for (VertexId u = 0; u < 4; ++u)
+    for (VertexId v = u + 1; v < 4; ++v)
+      for (std::int64_t t : {1, 5, 9}) events.push_back({u, v, t});
+  for (VertexId u = 4; u < 8; ++u)
+    for (VertexId v = u + 1; v < 8; ++v)
+      for (std::int64_t t : {21, 25, 29}) events.push_back({u, v, t});
+  for (std::int64_t t = 0; t < 30; t += 3) events.push_back({3, 4, t});
+  const auto tg = nucleus::TemporalGraph::FromEvents(8, std::move(events));
+
+  for (const auto& w : nucleus::CoreEvolution(tg, /*window_length=*/9,
+                                              /*step=*/10, /*h=*/1)) {
+    std::printf("  window [%2lld, %2lld]: max core %d (%lld vertices), "
+                "%lld nuclei\n",
+                static_cast<long long>(w.t_begin),
+                static_cast<long long>(w.t_end), w.max_core,
+                static_cast<long long>(w.max_core_size),
+                static_cast<long long>(w.num_nuclei));
+  }
+  std::printf("  -> the dense group moves from one window to the other;\n"
+              "     the bridge alone never forms a core above 1.\n");
+}
+
+}  // namespace
+
+int main() {
+  WeightedDemo();
+  DirectedDemo();
+  ProbabilisticDemo();
+  TemporalDemo();
+  return 0;
+}

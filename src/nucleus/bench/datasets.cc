@@ -1,0 +1,53 @@
+#include "nucleus/bench/datasets.h"
+
+#include "nucleus/graph/generators.h"
+
+namespace nucleus {
+
+const std::vector<DatasetSpec>& PaperDatasets() {
+  static const std::vector<DatasetSpec>* const kDatasets = new std::vector<
+      DatasetSpec>{
+      {"skitter-syn", "skitter", "sparse internet topology, modest clustering",
+       [] { return RMat(15, 280000, 0.57, 0.19, 0.19, 1001); }},
+      {"berkeley13-syn", "Berkeley13",
+       "dense facebook100-style social network",
+       [] { return PlantedPartition(14, 120, 0.50, 0.008, 1002); }},
+      {"mit-syn", "MIT", "small dense facebook100-style social network",
+       [] { return PlantedPartition(10, 90, 0.55, 0.012, 1003); }},
+      {"stanford3-syn", "Stanford3",
+       "dense facebook100-style social network",
+       [] { return PlantedPartition(12, 130, 0.50, 0.008, 1004); }},
+      {"texas84-syn", "Texas84",
+       "larger dense facebook100-style social network",
+       [] { return PlantedPartition(18, 130, 0.45, 0.006, 1005); }},
+      {"twitter-hb-syn", "twitter-hb",
+       "skewed follower graph with heavy triadic closure",
+       [] {
+         return WithTriadicClosure(BarabasiAlbert(12000, 10, 1006), 120000,
+                                   1007);
+       }},
+      {"google-syn", "Google", "sparse web graph, low clique density",
+       [] { return RMat(16, 400000, 0.45, 0.25, 0.20, 1008); }},
+      {"uk-2005-syn", "uk-2005",
+       "clique-heavy web-host graph (extreme |K4|/|triangle|)",
+       [] { return MixedCaveman(36, 16, 48, 220, 1009); }},
+      {"wiki-0611-syn", "wiki-0611", "large sparse graph, low clique ratios",
+       [] { return RMat(15, 340000, 0.52, 0.22, 0.20, 1010); }},
+  };
+  return *kDatasets;
+}
+
+const DatasetSpec& DatasetByName(const std::string& name) {
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    if (spec.name == name || spec.paper_name == name) return spec;
+  }
+  NUCLEUS_CHECK_MSG(false, ("unknown dataset: " + name).c_str());
+  static DatasetSpec dummy;
+  return dummy;
+}
+
+std::vector<std::string> Table1DatasetNames() {
+  return {"stanford3-syn", "twitter-hb-syn", "uk-2005-syn"};
+}
+
+}  // namespace nucleus

@@ -1,0 +1,78 @@
+#include "nucleus/bench/runner.h"
+
+#include "nucleus/cliques/edge_index.h"
+#include "nucleus/cliques/triangle_index.h"
+#include "nucleus/core/naive_traversal.h"
+#include "nucleus/core/peeling.h"
+#include "nucleus/util/timer.h"
+
+namespace nucleus {
+
+BenchRun RunBench(const Graph& g, Family family, Algorithm algorithm) {
+  DecomposeOptions options;
+  options.family = family;
+  options.algorithm = algorithm;
+  options.build_tree = false;
+  options.collect_nuclei = false;
+  const DecompositionResult result = Decompose(g, options);
+
+  BenchRun run;
+  run.algorithm = algorithm;
+  run.peel_seconds =
+      result.timings.index_seconds + result.timings.peel_seconds;
+  run.post_seconds = result.timings.traverse_seconds;
+  run.total_seconds = result.timings.total_seconds;
+  run.num_subnuclei = result.num_subnuclei;
+  run.num_adj = result.num_adj;
+  run.num_cliques = result.num_cliques;
+  run.max_lambda = result.peel.max_lambda;
+  return run;
+}
+
+double RunTotalSeconds(const Graph& g, Family family, Algorithm algorithm) {
+  return RunBench(g, family, algorithm).total_seconds;
+}
+
+namespace {
+
+template <typename Space>
+NaiveBenchRun NaiveOnSpace(const Space& space, double elapsed_index,
+                           double budget_seconds) {
+  Timer timer;
+  const PeelResult peel = Peel(space);
+  const double after_peel = elapsed_index + timer.Seconds();
+  timer.Restart();
+  const NaiveStats stats = NaiveTraversalBudgeted(
+      space, peel.lambda, peel.max_lambda, budget_seconds);
+  NaiveBenchRun run;
+  run.total_seconds = after_peel + timer.Seconds();
+  run.completed = stats.completed;
+  return run;
+}
+
+}  // namespace
+
+NaiveBenchRun RunNaiveBudgeted(const Graph& g, Family family,
+                               double budget_seconds) {
+  Timer timer;
+  switch (family) {
+    case Family::kCore12: {
+      return NaiveOnSpace(VertexSpace(g), 0.0, budget_seconds);
+    }
+    case Family::kTruss23: {
+      const EdgeIndex edges = EdgeIndex::Build(g);
+      return NaiveOnSpace(EdgeSpace(g, edges), timer.Seconds(),
+                          budget_seconds);
+    }
+    case Family::kNucleus34: {
+      const EdgeIndex edges = EdgeIndex::Build(g);
+      const TriangleIndex triangles = TriangleIndex::Build(g, edges);
+      return NaiveOnSpace(TriangleSpace(g, edges, triangles), timer.Seconds(),
+                          budget_seconds);
+    }
+  }
+  NUCLEUS_CHECK_MSG(false, "unknown family");
+  return {};
+}
+
+}  // namespace nucleus

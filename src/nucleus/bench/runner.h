@@ -1,0 +1,48 @@
+// Timed algorithm runs for the paper-reproduction benchmarks: thin wrappers
+// around Decompose that report the phase split the paper's tables and
+// Figure 6 use. Skeleton construction only (build_tree = false): the
+// hierarchy-skeleton plus the comp assignment is the algorithms' output in
+// the paper ("Report All the Nuclei by hrc, comp").
+#ifndef NUCLEUS_BENCH_RUNNER_H_
+#define NUCLEUS_BENCH_RUNNER_H_
+
+#include <string>
+
+#include "nucleus/core/decomposition.h"
+#include "nucleus/graph/graph.h"
+
+namespace nucleus {
+
+struct BenchRun {
+  Algorithm algorithm;
+  /// Peeling phase including clique-index construction (the paper's peeling
+  /// numbers include triangle/K4 support computation).
+  double peel_seconds = 0.0;
+  /// Traversal (Naive/DFT/Hypo) or BuildHierarchy (FND) phase.
+  double post_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::int64_t num_subnuclei = 0;
+  std::int64_t num_adj = 0;
+  std::int64_t num_cliques = 0;
+  Lambda max_lambda = 0;
+};
+
+/// Runs `algorithm` on `g` for `family` and returns the timing split.
+BenchRun RunBench(const Graph& g, Family family, Algorithm algorithm);
+
+/// Convenience: total seconds of a run.
+double RunTotalSeconds(const Graph& g, Family family, Algorithm algorithm);
+
+/// Naive (Alg. 3) with a traversal deadline. When the deadline fires the
+/// returned time is a LOWER BOUND and `completed` is false — the bench
+/// tables star such entries, as the paper does for its 2-day timeouts.
+struct NaiveBenchRun {
+  double total_seconds = 0.0;
+  bool completed = true;
+};
+NaiveBenchRun RunNaiveBudgeted(const Graph& g, Family family,
+                               double budget_seconds);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_BENCH_RUNNER_H_

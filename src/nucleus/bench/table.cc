@@ -1,0 +1,85 @@
+#include "nucleus/bench/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "nucleus/util/common.h"
+
+namespace nucleus {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  NUCLEUS_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << "  ";
+      if (c == 0) {
+        os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      } else {
+        os << std::string(widths[c] - row[c].size(), ' ') << row[c];
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string FormatSpeedup(double speedup) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2fx", speedup);
+  return buffer;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buffer[64];
+  if (seconds < 0.1) {
+    std::snprintf(buffer, sizeof(buffer), "%.4f", seconds);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.3f", seconds);
+  }
+  return buffer;
+}
+
+std::string FormatCount(std::int64_t count) {
+  char buffer[64];
+  const double v = static_cast<double>(count);
+  if (count >= 1000000000) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fB", v / 1e9);
+  } else if (count >= 1000000) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fM", v / 1e6);
+  } else if (count >= 10000) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fK", v / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(count));
+  }
+  return buffer;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+}  // namespace nucleus

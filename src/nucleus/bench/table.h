@@ -1,0 +1,42 @@
+// Fixed-width table rendering for the paper-reproduction benchmark
+// binaries, plus the number formats the paper's tables use.
+#ifndef NUCLEUS_BENCH_TABLE_H_
+#define NUCLEUS_BENCH_TABLE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nucleus {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with right-aligned cells (first column left-aligned) and a
+  /// header separator.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.58x" (two decimals) — the speedup format of Tables 1, 4 and 5.
+std::string FormatSpeedup(double speedup);
+
+/// Seconds with millisecond resolution, e.g. "1.94" / "0.051".
+std::string FormatSeconds(double seconds);
+
+/// Counts with the paper's K/M/B suffixes, e.g. "11.1M", "852.4K", "837".
+std::string FormatCount(std::int64_t count);
+
+/// Fixed precision double, e.g. "6.54".
+std::string FormatDouble(double value, int precision);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_BENCH_TABLE_H_

@@ -1,0 +1,413 @@
+#include "nucleus/cli/cli.h"
+
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "nucleus/core/decomposition.h"
+#include "nucleus/core/hierarchy_index.h"
+#include "nucleus/core/views.h"
+#include "nucleus/em/adjacency_file.h"
+#include "nucleus/em/semi_external_core.h"
+#include "nucleus/em/semi_external_truss.h"
+#include "nucleus/graph/binary_io.h"
+#include "nucleus/graph/edge_list_io.h"
+#include "nucleus/graph/generators.h"
+#include "nucleus/graph/graph_stats.h"
+#include "nucleus/io/hierarchy_export.h"
+
+namespace nucleus {
+namespace {
+
+struct ParsedArgs {
+  std::string command;
+  std::map<std::string, std::string> flags;
+};
+
+bool ParseArgs(const std::vector<std::string>& args, ParsedArgs* parsed,
+               std::ostream& err) {
+  if (args.empty()) {
+    err << "error: missing command (decompose | stats | generate)\n";
+    return false;
+  }
+  parsed->command = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag.rfind("--", 0) != 0) {
+      err << "error: expected --flag, got '" << flag << "'\n";
+      return false;
+    }
+    if (i + 1 >= args.size()) {
+      err << "error: flag '" << flag << "' requires a value\n";
+      return false;
+    }
+    parsed->flags[flag.substr(2)] = args[++i];
+  }
+  return true;
+}
+
+std::string FlagOr(const ParsedArgs& parsed, const std::string& name,
+                   const std::string& fallback) {
+  const auto it = parsed.flags.find(name);
+  return it == parsed.flags.end() ? fallback : it->second;
+}
+
+bool ParseFamily(const std::string& name, Family* family, std::ostream& err) {
+  if (name == "core") {
+    *family = Family::kCore12;
+  } else if (name == "truss") {
+    *family = Family::kTruss23;
+  } else if (name == "34") {
+    *family = Family::kNucleus34;
+  } else {
+    err << "error: unknown family '" << name << "' (core | truss | 34)\n";
+    return false;
+  }
+  return true;
+}
+
+bool ParseAlgorithm(const std::string& name, Algorithm* algorithm,
+                    std::ostream& err) {
+  if (name == "fnd") {
+    *algorithm = Algorithm::kFnd;
+  } else if (name == "dft") {
+    *algorithm = Algorithm::kDft;
+  } else if (name == "lcps") {
+    *algorithm = Algorithm::kLcps;
+  } else if (name == "naive") {
+    *algorithm = Algorithm::kNaive;
+  } else {
+    err << "error: unknown algorithm '" << name
+        << "' (fnd | dft | lcps | naive)\n";
+    return false;
+  }
+  return true;
+}
+
+int CmdDecompose(const ParsedArgs& parsed, std::ostream& out,
+                 std::ostream& err) {
+  const std::string input = FlagOr(parsed, "input", "");
+  if (input.empty()) {
+    err << "error: decompose requires --input\n";
+    return 2;
+  }
+  const StatusOr<Graph> graph = ReadEdgeList(input);
+  if (!graph.ok()) {
+    err << "error: " << graph.status().ToString() << "\n";
+    return 1;
+  }
+  DecomposeOptions options;
+  if (!ParseFamily(FlagOr(parsed, "family", "core"), &options.family, err) ||
+      !ParseAlgorithm(FlagOr(parsed, "algorithm", "fnd"), &options.algorithm,
+                      err)) {
+    return 2;
+  }
+  if (options.algorithm == Algorithm::kLcps &&
+      options.family != Family::kCore12) {
+    err << "error: lcps supports --family core only\n";
+    return 2;
+  }
+  if (options.algorithm == Algorithm::kNaive) {
+    err << "error: naive computes nuclei but no hierarchy; use fnd, dft or "
+           "lcps\n";
+    return 2;
+  }
+  const DecompositionResult result = Decompose(*graph, options);
+
+  out << "graph: " << graph->NumVertices() << " vertices, "
+      << graph->NumEdges() << " edges\n";
+  out << "family: " << FamilyName(options.family)
+      << ", algorithm: " << AlgorithmName(options.algorithm) << "\n";
+  out << "K_r count: " << result.num_cliques
+      << ", max lambda: " << result.peel.max_lambda
+      << ", nuclei: " << result.hierarchy.NumNuclei()
+      << ", sub-nuclei: " << result.num_subnuclei << "\n";
+  out << "time: " << result.timings.total_seconds << "s (index "
+      << result.timings.index_seconds << ", peel "
+      << result.timings.peel_seconds << ", post "
+      << result.timings.traverse_seconds << ")\n";
+
+  const HierarchyProfile profile = ProfileHierarchy(result.hierarchy);
+  out << "hierarchy: depth " << profile.max_depth << ", leaves "
+      << profile.num_leaves << ", avg branching " << profile.avg_branching
+      << "\n";
+  for (std::int32_t id : TopNucleusNodes(result.hierarchy, 5)) {
+    const NucleusReport report =
+        ReportNucleus(*graph, options.family, result.hierarchy, id);
+    out << "  top nucleus k=" << report.k << ": " << report.num_members
+        << " K_r's over " << report.num_vertices
+        << " vertices, density " << report.density << "\n";
+  }
+
+  const std::string json_path = FlagOr(parsed, "out-json", "");
+  if (!json_path.empty()) {
+    const Status status =
+        WriteStringToFile(HierarchyToJson(result.hierarchy), json_path);
+    if (!status.ok()) {
+      err << "error: " << status.ToString() << "\n";
+      return 1;
+    }
+    out << "wrote " << json_path << "\n";
+  }
+  const std::string dot_path = FlagOr(parsed, "out-dot", "");
+  if (!dot_path.empty()) {
+    const Status status =
+        WriteStringToFile(HierarchyToDot(result.hierarchy), dot_path);
+    if (!status.ok()) {
+      err << "error: " << status.ToString() << "\n";
+      return 1;
+    }
+    out << "wrote " << dot_path << "\n";
+  }
+  const std::string lambda_path = FlagOr(parsed, "lambda", "");
+  if (!lambda_path.empty()) {
+    std::ostringstream buffer;
+    for (std::size_t i = 0; i < result.peel.lambda.size(); ++i) {
+      buffer << i << ' ' << result.peel.lambda[i] << '\n';
+    }
+    const Status status = WriteStringToFile(buffer.str(), lambda_path);
+    if (!status.ok()) {
+      err << "error: " << status.ToString() << "\n";
+      return 1;
+    }
+    out << "wrote " << lambda_path << "\n";
+  }
+  return 0;
+}
+
+int CmdStats(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
+  const std::string input = FlagOr(parsed, "input", "");
+  if (input.empty()) {
+    err << "error: stats requires --input\n";
+    return 2;
+  }
+  const StatusOr<Graph> graph = ReadEdgeList(input);
+  if (!graph.ok()) {
+    err << "error: " << graph.status().ToString() << "\n";
+    return 1;
+  }
+  const Graph& g = *graph;
+  const DegreeStats degrees = ComputeDegreeStats(g);
+  std::int32_t components = 0;
+  ConnectedComponents(g, &components);
+  out << "vertices: " << g.NumVertices() << "\n"
+      << "edges: " << g.NumEdges() << "\n"
+      << "components: " << components << "\n"
+      << "degree min/mean/max: " << degrees.min << " / " << degrees.mean
+      << " / " << degrees.max << "\n"
+      << "triangles: " << CountTriangles(g) << "\n"
+      << "global clustering: " << GlobalClusteringCoefficient(g) << "\n"
+      << "degeneracy: " << Degeneracy(g) << "\n";
+  return 0;
+}
+
+int CmdGenerate(const ParsedArgs& parsed, std::ostream& out,
+                std::ostream& err) {
+  const std::string type = FlagOr(parsed, "type", "");
+  const std::string out_path = FlagOr(parsed, "out", "");
+  if (type.empty() || out_path.empty()) {
+    err << "error: generate requires --type and --out\n";
+    return 2;
+  }
+  const VertexId n =
+      static_cast<VertexId>(std::atoll(FlagOr(parsed, "n", "1000").c_str()));
+  const double param = std::atof(FlagOr(parsed, "param", "0").c_str());
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(std::atoll(FlagOr(parsed, "seed", "42").c_str()));
+
+  Graph g;
+  if (type == "er") {
+    g = ErdosRenyiGnp(n, param > 0 ? param : 0.01, seed);
+  } else if (type == "ba") {
+    g = BarabasiAlbert(n, param > 0 ? static_cast<VertexId>(param) : 3, seed);
+  } else if (type == "rmat") {
+    int scale = 1;
+    while ((VertexId{1} << scale) < n) ++scale;
+    g = RMat(scale, param > 0 ? static_cast<std::int64_t>(param) : 8LL * n,
+             0.57, 0.19, 0.19, seed);
+  } else if (type == "ws") {
+    g = WattsStrogatz(n, 4, param > 0 ? param : 0.1, seed);
+  } else if (type == "planted") {
+    const VertexId communities = param > 0 ? static_cast<VertexId>(param) : 8;
+    g = PlantedPartition(communities, std::max<VertexId>(n / communities, 2),
+                         0.4, 0.01, seed);
+  } else if (type == "caveman") {
+    const VertexId caves = param > 0 ? static_cast<VertexId>(param) : 10;
+    g = Caveman(caves, std::max<VertexId>(n / caves, 3), 2 * caves, seed);
+  } else {
+    err << "error: unknown type '" << type
+        << "' (er | ba | rmat | ws | planted | caveman)\n";
+    return 2;
+  }
+  const Status status = WriteEdgeList(g, out_path);
+  if (!status.ok()) {
+    err << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  out << "wrote " << out_path << ": " << g.NumVertices() << " vertices, "
+      << g.NumEdges() << " edges\n";
+  return 0;
+}
+
+int CmdConvert(const ParsedArgs& parsed, std::ostream& out,
+               std::ostream& err) {
+  const std::string input = FlagOr(parsed, "input", "");
+  const std::string out_path = FlagOr(parsed, "out", "");
+  if (input.empty() || out_path.empty()) {
+    err << "error: convert requires --input and --out\n";
+    return 2;
+  }
+  // Direction from the output extension: .nucgraph = binary CSR,
+  // anything else = text edge list.
+  const bool to_binary = out_path.size() >= 9 &&
+                         out_path.compare(out_path.size() - 9, 9,
+                                          ".nucgraph") == 0;
+  StatusOr<Graph> graph = Status::Internal("unset");
+  if (input.size() >= 9 &&
+      input.compare(input.size() - 9, 9, ".nucgraph") == 0) {
+    graph = ReadBinaryGraph(input);
+  } else {
+    graph = ReadEdgeList(input);
+  }
+  if (!graph.ok()) {
+    err << "error: " << graph.status().ToString() << "\n";
+    return 1;
+  }
+  const Status status = to_binary ? WriteBinaryGraph(*graph, out_path)
+                                  : WriteEdgeList(*graph, out_path);
+  if (!status.ok()) {
+    err << "error: " << status.ToString() << "\n";
+    return 1;
+  }
+  out << "wrote " << out_path << ": " << graph->NumVertices()
+      << " vertices, " << graph->NumEdges() << " edges\n";
+  return 0;
+}
+
+int CmdSemiExternal(const ParsedArgs& parsed, std::ostream& out,
+                    std::ostream& err) {
+  const std::string input = FlagOr(parsed, "input", "");
+  if (input.empty()) {
+    err << "error: semi-external requires --input (a .nucgraph file; "
+           "see convert)\n";
+    return 2;
+  }
+  const std::string family = FlagOr(parsed, "family", "core");
+  if (family != "core" && family != "truss") {
+    err << "error: semi-external supports --family core or truss\n";
+    return 2;
+  }
+  auto file = AdjacencyFile::Open(input);
+  if (!file.ok()) {
+    err << "error: " << file.status().ToString() << "\n";
+    return 1;
+  }
+  const std::string temp_dir = FlagOr(parsed, "temp", "/tmp");
+  out << "graph: " << file->NumVertices() << " vertices, "
+      << file->NumEdges() << " edges (on disk)\n";
+  if (family == "core") {
+    auto result = SemiExternalCoreDecomposition(*file, temp_dir);
+    if (!result.ok()) {
+      err << "error: " << result.status().ToString() << "\n";
+      return 1;
+    }
+    out << "lambda passes: " << result->lambda_passes
+        << ", max lambda: " << result->peel.max_lambda
+        << ", sub-cores: " << result->build.num_subnuclei
+        << ", adj pairs: " << result->num_adj << "\n";
+    out << "io: " << result->io.scans << " scans, "
+        << result->io.bytes_read / (1 << 20) << " MB read\n";
+  } else {
+    auto result = SemiExternalTrussDecomposition(*file, temp_dir);
+    if (!result.ok()) {
+      err << "error: " << result.status().ToString() << "\n";
+      return 1;
+    }
+    out << "waves: " << result->waves
+        << ", max lambda: " << result->peel.max_lambda
+        << ", sub-nuclei: " << result->build.num_subnuclei
+        << ", adj pairs: " << result->num_adj << "\n";
+    out << "io: " << result->io.scans << " scans, "
+        << result->io.bytes_read / (1 << 20) << " MB read\n";
+  }
+  return 0;
+}
+
+int CmdQuery(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
+  const std::string input = FlagOr(parsed, "input", "");
+  const std::string u_flag = FlagOr(parsed, "u", "");
+  const std::string v_flag = FlagOr(parsed, "v", "");
+  if (input.empty() || u_flag.empty() || v_flag.empty()) {
+    err << "error: query requires --input, --u and --v\n";
+    return 2;
+  }
+  const StatusOr<Graph> graph = ReadEdgeList(input);
+  if (!graph.ok()) {
+    err << "error: " << graph.status().ToString() << "\n";
+    return 1;
+  }
+  const VertexId u = static_cast<VertexId>(std::atoll(u_flag.c_str()));
+  const VertexId v = static_cast<VertexId>(std::atoll(v_flag.c_str()));
+  if (u < 0 || v < 0 || u >= graph->NumVertices() ||
+      v >= graph->NumVertices()) {
+    err << "error: vertex out of range\n";
+    return 2;
+  }
+  DecomposeOptions options;
+  options.family = Family::kCore12;
+  options.algorithm = Algorithm::kFnd;
+  const DecompositionResult result = Decompose(*graph, options);
+  const HierarchyIndex index(result.hierarchy);
+
+  out << "lambda(" << u << ") = " << result.peel.lambda[u] << ", lambda("
+      << v << ") = " << result.peel.lambda[v] << "\n";
+  const std::int32_t node = index.SmallestCommonNucleus(u, v);
+  if (node == kInvalidId) {
+    out << "no common nucleus (different components or lambda 0)\n";
+  } else {
+    const auto members = result.hierarchy.MembersOfSubtree(node);
+    out << "smallest common nucleus: k=" << result.hierarchy.node(node).lambda
+        << " with " << members.size() << " vertices\n";
+  }
+  return 0;
+}
+
+void PrintUsage(std::ostream& err) {
+  err << "usage: nucleus_cli <decompose | stats | generate | convert | "
+         "semi-external | query> [--flag value]...\n"
+      << "  decompose     --input F [--family core|truss|34] "
+         "[--algorithm fnd|dft|lcps] [--out-json F] [--out-dot F] "
+         "[--lambda F]\n"
+      << "  stats         --input F\n"
+      << "  generate      --type er|ba|rmat|ws|planted|caveman --out F "
+         "[--n N] [--param P] [--seed S]\n"
+      << "  convert       --input F --out G   (.nucgraph <-> edge list)\n"
+      << "  semi-external --input F.nucgraph [--family core|truss] "
+         "[--temp DIR]\n"
+      << "  query         --input F --u A --v B   (common k-core of A, B)\n";
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  ParsedArgs parsed;
+  if (!ParseArgs(args, &parsed, err)) {
+    PrintUsage(err);
+    return 2;
+  }
+  if (parsed.command == "decompose") return CmdDecompose(parsed, out, err);
+  if (parsed.command == "stats") return CmdStats(parsed, out, err);
+  if (parsed.command == "generate") return CmdGenerate(parsed, out, err);
+  if (parsed.command == "convert") return CmdConvert(parsed, out, err);
+  if (parsed.command == "semi-external") {
+    return CmdSemiExternal(parsed, out, err);
+  }
+  if (parsed.command == "query") return CmdQuery(parsed, out, err);
+  err << "error: unknown command '" << parsed.command << "'\n";
+  PrintUsage(err);
+  return 2;
+}
+
+}  // namespace nucleus

@@ -1,0 +1,47 @@
+#include "nucleus/cliques/edge_index.h"
+
+#include <algorithm>
+
+namespace nucleus {
+
+EdgeIndex EdgeIndex::Build(const Graph& g) {
+  EdgeIndex index;
+  const VertexId n = g.NumVertices();
+  const std::int64_t m = g.NumEdges();
+  NUCLEUS_CHECK_MSG(m <= 2147483647, "more than 2^31-1 edges");
+  index.endpoints_.reserve(static_cast<std::size_t>(m));
+  index.adj_eid_.assign(g.AdjArray().size(), kInvalidId);
+
+  // Because adjacency lists are sorted ascending, the entries for neighbors
+  // smaller than v form the prefix of v's list, and as u sweeps upward each
+  // edge (u, v) with u < v lands at the next unfilled prefix slot of v.
+  std::vector<std::int64_t> prefix_cursor(n, 0);
+  EdgeId next_id = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nbrs = g.Neighbors(u);
+    const std::int64_t base = g.AdjOffset(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      if (v <= u) continue;
+      const EdgeId e = next_id++;
+      index.endpoints_.emplace_back(u, v);
+      index.adj_eid_[base + static_cast<std::int64_t>(i)] = e;
+      index.adj_eid_[g.AdjOffset(v) + prefix_cursor[v]++] = e;
+    }
+  }
+  NUCLEUS_CHECK(next_id == m);
+  for (EdgeId id : index.adj_eid_) NUCLEUS_CHECK(id != kInvalidId);
+  return index;
+}
+
+EdgeId EdgeIndex::GetEdgeId(const Graph& g, VertexId u, VertexId v) const {
+  if (u < 0 || v < 0 || u >= g.NumVertices() || v >= g.NumVertices()) {
+    return kInvalidId;
+  }
+  const auto nbrs = g.Neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return kInvalidId;
+  return adj_eid_[g.AdjOffset(u) + (it - nbrs.begin())];
+}
+
+}  // namespace nucleus

@@ -1,0 +1,48 @@
+// Assigns a dense id to every undirected edge and keeps an edge-id array
+// aligned entry-for-entry with the graph's adjacency array, so that walking
+// two sorted adjacency lists during triangle enumeration yields the ids of
+// all three triangle edges without hashing — the access pattern the (2,3)
+// and (3,4) peeling/traversal inner loops depend on.
+#ifndef NUCLEUS_CLIQUES_EDGE_INDEX_H_
+#define NUCLEUS_CLIQUES_EDGE_INDEX_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "nucleus/graph/graph.h"
+#include "nucleus/util/common.h"
+
+namespace nucleus {
+
+class EdgeIndex {
+ public:
+  /// Builds the index in O(|V| + |E|).
+  static EdgeIndex Build(const Graph& g);
+
+  EdgeId NumEdges() const { return static_cast<EdgeId>(endpoints_.size()); }
+
+  /// Endpoints (u, v) with u < v. Ids are assigned in lexicographic (u, v)
+  /// order, so endpoints are sorted by id as well.
+  std::pair<VertexId, VertexId> Endpoints(EdgeId e) const {
+    return endpoints_[e];
+  }
+
+  /// Id of edge {u, v}; kInvalidId if absent. O(log deg(u)).
+  EdgeId GetEdgeId(const Graph& g, VertexId u, VertexId v) const;
+
+  /// Edge ids aligned with g.Neighbors(v): AdjEdgeIds(v)[i] is the id of the
+  /// edge {v, g.Neighbors(v)[i]}.
+  std::span<const EdgeId> AdjEdgeIds(const Graph& g, VertexId v) const {
+    return {adj_eid_.data() + g.AdjOffset(v),
+            static_cast<std::size_t>(g.Degree(v))};
+  }
+
+ private:
+  std::vector<std::pair<VertexId, VertexId>> endpoints_;  // per edge, u < v
+  std::vector<EdgeId> adj_eid_;  // aligned with Graph::AdjArray()
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CLIQUES_EDGE_INDEX_H_

@@ -1,0 +1,113 @@
+#include "nucleus/cliques/kclique.h"
+
+#include <algorithm>
+
+#include "nucleus/graph/graph_stats.h"
+
+namespace nucleus {
+namespace {
+
+// Shared recursion state for k-clique listing over the degeneracy DAG.
+struct CliqueSearch {
+  const std::vector<std::vector<VertexId>>* out;  // degeneracy-oriented adj
+  int k;
+  const std::function<void(std::span<const VertexId>)>* visitor;  // may be null
+  std::int64_t count = 0;
+  std::vector<std::int64_t>* degrees = nullptr;  // may be null
+  std::vector<VertexId> stack;
+
+  // Extends the clique on `stack` with vertices from `candidates`.
+  void Recurse(std::span<const VertexId> candidates) {
+    const int depth = static_cast<int>(stack.size());
+    if (depth == k) {
+      ++count;
+      if (visitor != nullptr) (*visitor)(stack);
+      if (degrees != nullptr) {
+        for (VertexId v : stack) ++(*degrees)[v];
+      }
+      return;
+    }
+    // Prune: not enough candidates to complete the clique.
+    if (static_cast<int>(candidates.size()) < k - depth) return;
+    std::vector<VertexId> next;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const VertexId v = candidates[i];
+      const auto& ov = (*out)[v];
+      next.clear();
+      // next = candidates ∩ out-neighbors(v); both sorted ascending by id.
+      // Uniqueness comes from the rank-oriented DAG: every clique is listed
+      // exactly once, in increasing degeneracy-rank order of its vertices.
+      std::set_intersection(candidates.begin(), candidates.end(), ov.begin(),
+                            ov.end(), std::back_inserter(next));
+      stack.push_back(v);
+      Recurse(next);
+      stack.pop_back();
+    }
+  }
+};
+
+// Runs the search; returns the total count.
+std::int64_t Run(const Graph& g, int k,
+                 const std::function<void(std::span<const VertexId>)>* visitor,
+                 std::vector<std::int64_t>* degrees) {
+  NUCLEUS_CHECK(k >= 1);
+  const VertexId n = g.NumVertices();
+  if (k == 1) {
+    if (degrees != nullptr) degrees->assign(n, 1);
+    if (visitor != nullptr) {
+      for (VertexId v = 0; v < n; ++v) {
+        const VertexId single[1] = {v};
+        (*visitor)(std::span<const VertexId>(single, 1));
+      }
+    }
+    return n;
+  }
+
+  // Orient edges along a degeneracy ordering so every clique is enumerated
+  // exactly once, from its earliest vertex.
+  std::vector<VertexId> ordering;
+  Degeneracy(g, &ordering);
+  std::vector<std::int32_t> rank(n);
+  for (VertexId i = 0; i < n; ++i) rank[ordering[i]] = i;
+  std::vector<std::vector<VertexId>> out(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (rank[u] < rank[v]) out[u].push_back(v);
+    }
+    // Candidate lists must be sorted by vertex id for set_intersection;
+    // adjacency is already ascending, so out[u] is too.
+  }
+
+  CliqueSearch search;
+  search.out = &out;
+  search.k = k;
+  search.visitor = visitor;
+  search.degrees = degrees;
+  if (degrees != nullptr) degrees->assign(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    search.stack.assign(1, v);
+    search.Recurse(out[v]);
+    search.stack.clear();
+  }
+  return search.count;
+}
+
+}  // namespace
+
+std::int64_t CountCliques(const Graph& g, int k) {
+  return Run(g, k, nullptr, nullptr);
+}
+
+void ForEachClique(
+    const Graph& g, int k,
+    const std::function<void(std::span<const VertexId>)>& visitor) {
+  Run(g, k, &visitor, nullptr);
+}
+
+std::vector<std::int64_t> CliqueDegrees(const Graph& g, int k) {
+  std::vector<std::int64_t> degrees;
+  Run(g, k, nullptr, &degrees);
+  return degrees;
+}
+
+}  // namespace nucleus

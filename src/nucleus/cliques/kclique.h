@@ -1,0 +1,31 @@
+// Generic k-clique counting and enumeration over the degeneracy-ordered
+// DAG (the Chiba-Nishizeki style recursion). Used for Table 3's |K4| column
+// and as an independent cross-check of EdgeIndex / TriangleIndex in tests.
+#ifndef NUCLEUS_CLIQUES_KCLIQUE_H_
+#define NUCLEUS_CLIQUES_KCLIQUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "nucleus/graph/graph.h"
+#include "nucleus/util/common.h"
+
+namespace nucleus {
+
+/// Number of k-cliques in g (k >= 1); each clique counted once.
+std::int64_t CountCliques(const Graph& g, int k);
+
+/// Calls `visitor` with the vertex set (in degeneracy-rank order) of every
+/// k-clique; each clique is visited exactly once.
+void ForEachClique(const Graph& g, int k,
+                   const std::function<void(std::span<const VertexId>)>& visitor);
+
+/// Per-vertex k-clique participation counts: out[v] = number of k-cliques
+/// containing v. (omega_r(v) in the paper's complexity discussion.)
+std::vector<std::int64_t> CliqueDegrees(const Graph& g, int k);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CLIQUES_KCLIQUE_H_

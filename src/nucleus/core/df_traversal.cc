@@ -1,0 +1,12 @@
+#include "nucleus/core/df_traversal.h"
+
+namespace nucleus {
+
+template SkeletonBuild DfTraversal<VertexSpace>(const VertexSpace&,
+                                                const PeelResult&);
+template SkeletonBuild DfTraversal<EdgeSpace>(const EdgeSpace&,
+                                              const PeelResult&);
+template SkeletonBuild DfTraversal<TriangleSpace>(const TriangleSpace&,
+                                                  const PeelResult&);
+
+}  // namespace nucleus

@@ -1,0 +1,118 @@
+#include "nucleus/core/generic_space.h"
+
+#include <algorithm>
+
+#include "nucleus/cliques/kclique.h"
+
+namespace nucleus {
+namespace {
+
+// Lexicographic comparison of two r-tuples stored in a flat array.
+struct TupleLess {
+  const std::vector<VertexId>* flat;
+  int r;
+  bool operator()(std::int64_t a, std::int64_t b) const {
+    const VertexId* pa = flat->data() + a * r;
+    const VertexId* pb = flat->data() + b * r;
+    return std::lexicographical_compare(pa, pa + r, pb, pb + r);
+  }
+};
+
+}  // namespace
+
+GenericSpace GenericSpace::Build(const Graph& g, int r, int s) {
+  NUCLEUS_CHECK(1 <= r && r < s);
+  GenericSpace space;
+  space.r_ = r;
+  space.s_ = s;
+
+  // Pass 1: collect all K_r's, sorted by vertex tuple so ids are canonical
+  // and FindClique can binary-search.
+  std::vector<VertexId> tuples;
+  ForEachClique(g, r, [&tuples](std::span<const VertexId> clique) {
+    std::vector<VertexId> sorted(clique.begin(), clique.end());
+    std::sort(sorted.begin(), sorted.end());
+    tuples.insert(tuples.end(), sorted.begin(), sorted.end());
+  });
+  const std::int64_t num_kr = static_cast<std::int64_t>(tuples.size()) / r;
+  std::vector<std::int64_t> order(num_kr);
+  for (std::int64_t i = 0; i < num_kr; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), TupleLess{&tuples, r});
+  space.kr_vertices_.resize(tuples.size());
+  for (std::int64_t i = 0; i < num_kr; ++i) {
+    std::copy(tuples.begin() + order[i] * r, tuples.begin() + (order[i] + 1) * r,
+              space.kr_vertices_.begin() + i * r);
+  }
+  space.num_kr_ = num_kr;
+
+  // Pass 2: enumerate K_s's; map each r-subset to its K_r id.
+  std::int64_t members_per_ks = 1;
+  for (int i = 0; i < r; ++i) {
+    members_per_ks = members_per_ks * (s - i) / (i + 1);  // C(s, r)
+  }
+  space.members_per_ks_ = members_per_ks;
+
+  std::vector<std::int64_t> degree(num_kr, 0);
+  std::vector<VertexId> ks_sorted(s);
+  std::vector<VertexId> subset(r);
+  std::vector<int> choose(r);
+  ForEachClique(g, s, [&](std::span<const VertexId> clique) {
+    ks_sorted.assign(clique.begin(), clique.end());
+    std::sort(ks_sorted.begin(), ks_sorted.end());
+    // Enumerate all r-subsets by the standard combination walk.
+    for (int i = 0; i < r; ++i) choose[i] = i;
+    while (true) {
+      for (int i = 0; i < r; ++i) subset[i] = ks_sorted[choose[i]];
+      const CliqueId member = space.FindClique(subset);
+      NUCLEUS_CHECK_MSG(member != kInvalidId, "K_s subset is not a K_r");
+      space.ks_members_.push_back(member);
+      ++degree[member];
+      // Advance the combination.
+      int pos = r - 1;
+      while (pos >= 0 && choose[pos] == s - r + pos) --pos;
+      if (pos < 0) break;
+      ++choose[pos];
+      for (int i = pos + 1; i < r; ++i) choose[i] = choose[i - 1] + 1;
+    }
+  });
+  space.num_ks_ =
+      static_cast<std::int64_t>(space.ks_members_.size()) / members_per_ks;
+
+  // Pass 3: invert into per-K_r membership lists (CSR).
+  space.membership_offsets_.assign(num_kr + 1, 0);
+  for (std::int64_t u = 0; u < num_kr; ++u) {
+    space.membership_offsets_[u + 1] = space.membership_offsets_[u] + degree[u];
+  }
+  space.memberships_.resize(space.membership_offsets_[num_kr]);
+  std::vector<std::int64_t> fill(space.membership_offsets_.begin(),
+                                 space.membership_offsets_.end() - 1);
+  for (std::int64_t ks = 0; ks < space.num_ks_; ++ks) {
+    for (std::int64_t i = 0; i < members_per_ks; ++i) {
+      const CliqueId member = space.ks_members_[ks * members_per_ks + i];
+      space.memberships_[fill[member]++] = ks;
+    }
+  }
+  return space;
+}
+
+CliqueId GenericSpace::FindClique(std::span<const VertexId> vertices) const {
+  NUCLEUS_CHECK(static_cast<int>(vertices.size()) == r_);
+  std::int64_t lo = 0;
+  std::int64_t hi = num_kr_;
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    const VertexId* tuple = kr_vertices_.data() + mid * r_;
+    if (std::lexicographical_compare(tuple, tuple + r_, vertices.begin(),
+                                     vertices.end())) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == num_kr_) return kInvalidId;
+  const VertexId* tuple = kr_vertices_.data() + lo * r_;
+  if (!std::equal(tuple, tuple + r_, vertices.begin())) return kInvalidId;
+  return static_cast<CliqueId>(lo);
+}
+
+}  // namespace nucleus

@@ -1,0 +1,69 @@
+// A materialized clique space for ARBITRARY (r, s), r < s — the full
+// generality of the paper's Definition 2. The three evaluated cases
+// ((1,2), (2,3), (3,4)) have specialized on-the-fly spaces in spaces.h;
+// GenericSpace trades memory (it stores every K_r and every K_s membership
+// list) for complete genericity, enabling e.g. (1,3) decompositions
+// (vertices by triangle participation) or (2,4) (edges by four-clique
+// participation) with the same Peel / DfTraversal / FastNucleusDecomposition
+// templates.
+#ifndef NUCLEUS_CORE_GENERIC_SPACE_H_
+#define NUCLEUS_CORE_GENERIC_SPACE_H_
+
+#include <span>
+#include <vector>
+
+#include "nucleus/graph/graph.h"
+#include "nucleus/util/common.h"
+
+namespace nucleus {
+
+class GenericSpace {
+ public:
+  /// Enumerates all K_r's and K_s's of g. Requires 1 <= r < s. Intended for
+  /// graphs where the K_s population fits comfortably in memory.
+  static GenericSpace Build(const Graph& g, int r, int s);
+
+  int r() const { return r_; }
+  int s() const { return s_; }
+
+  std::int64_t NumCliques() const { return num_kr_; }
+  std::int64_t NumSupercliques() const { return num_ks_; }
+
+  /// The r vertices of K_r `u`, ascending.
+  std::span<const VertexId> CliqueVertices(CliqueId u) const {
+    return {kr_vertices_.data() + static_cast<std::size_t>(u) * r_,
+            static_cast<std::size_t>(r_)};
+  }
+
+  /// Id of the K_r on exactly `vertices` (ascending, r of them);
+  /// kInvalidId if absent.
+  CliqueId FindClique(std::span<const VertexId> vertices) const;
+
+  /// Calls f(members, count) for every K_s containing u, where members are
+  /// the C(s, r) member K_r ids (u among them).
+  template <typename F>
+  void ForEachSuperclique(CliqueId u, F&& f) const {
+    const std::int64_t begin = membership_offsets_[u];
+    const std::int64_t end = membership_offsets_[u + 1];
+    for (std::int64_t i = begin; i < end; ++i) {
+      const std::int64_t ks = memberships_[i];
+      f(ks_members_.data() + ks * members_per_ks_,
+        static_cast<int>(members_per_ks_));
+    }
+  }
+
+ private:
+  int r_ = 0;
+  int s_ = 0;
+  std::int64_t num_kr_ = 0;
+  std::int64_t num_ks_ = 0;
+  std::int64_t members_per_ks_ = 0;           // C(s, r)
+  std::vector<VertexId> kr_vertices_;         // num_kr_ * r, each ascending
+  std::vector<CliqueId> ks_members_;          // num_ks_ * members_per_ks_
+  std::vector<std::int64_t> membership_offsets_;  // per K_r, into memberships_
+  std::vector<std::int64_t> memberships_;     // K_s ids, grouped by K_r
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CORE_GENERIC_SPACE_H_

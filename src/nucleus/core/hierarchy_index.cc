@@ -1,0 +1,87 @@
+#include "nucleus/core/hierarchy_index.h"
+
+#include <algorithm>
+
+namespace nucleus {
+
+HierarchyIndex::HierarchyIndex(const NucleusHierarchy& hierarchy)
+    : hierarchy_(&hierarchy),
+      num_nodes_(static_cast<std::int32_t>(hierarchy.NumNodes())) {
+  depth_.assign(num_nodes_, 0);
+  // Children always have larger ids than unrelated earlier subtrees is NOT
+  // guaranteed; compute depths by an explicit traversal from the root.
+  std::vector<std::int32_t> order;
+  order.reserve(num_nodes_);
+  order.push_back(hierarchy.root());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const std::int32_t x = order[i];
+    for (std::int32_t c : hierarchy.node(x).children) {
+      depth_[c] = depth_[x] + 1;
+      order.push_back(c);
+    }
+  }
+  NUCLEUS_CHECK(static_cast<std::int32_t>(order.size()) == num_nodes_);
+
+  const std::int32_t max_depth =
+      num_nodes_ == 0 ? 0 : *std::max_element(depth_.begin(), depth_.end());
+  levels_ = 1;
+  while ((1 << levels_) <= std::max(max_depth, 1)) ++levels_;
+
+  up_.assign(static_cast<std::size_t>(levels_) * num_nodes_, kInvalidId);
+  for (std::int32_t x = 0; x < num_nodes_; ++x) {
+    up_[x] = hierarchy.node(x).parent;  // j = 0
+  }
+  for (std::int32_t j = 1; j < levels_; ++j) {
+    for (std::int32_t x = 0; x < num_nodes_; ++x) {
+      const std::int32_t half = Up(j - 1, x);
+      up_[static_cast<std::size_t>(j) * num_nodes_ + x] =
+          half == kInvalidId ? kInvalidId : Up(j - 1, half);
+    }
+  }
+}
+
+std::int32_t HierarchyIndex::Lca(std::int32_t a, std::int32_t b) const {
+  NUCLEUS_CHECK(a >= 0 && a < num_nodes_ && b >= 0 && b < num_nodes_);
+  if (depth_[a] < depth_[b]) std::swap(a, b);
+  // Lift a to b's depth.
+  std::int32_t diff = depth_[a] - depth_[b];
+  for (std::int32_t j = 0; diff != 0; ++j, diff >>= 1) {
+    if (diff & 1) a = Up(j, a);
+  }
+  if (a == b) return a;
+  for (std::int32_t j = levels_ - 1; j >= 0; --j) {
+    if (Up(j, a) != Up(j, b)) {
+      a = Up(j, a);
+      b = Up(j, b);
+    }
+  }
+  return Up(0, a);
+}
+
+std::int32_t HierarchyIndex::NucleusAtLevel(CliqueId u, Lambda k) const {
+  NUCLEUS_CHECK(k >= 1);
+  std::int32_t x = hierarchy_->NodeOfClique(u);
+  if (hierarchy_->node(x).lambda < k) return kInvalidId;
+  // Lift to the highest ancestor whose lambda is still >= k.
+  for (std::int32_t j = levels_ - 1; j >= 0; --j) {
+    const std::int32_t anc = Up(j, x);
+    if (anc != kInvalidId && hierarchy_->node(anc).lambda >= k) x = anc;
+  }
+  return x;
+}
+
+std::int32_t HierarchyIndex::SmallestCommonNucleus(CliqueId u,
+                                                   CliqueId v) const {
+  const std::int32_t lca =
+      Lca(hierarchy_->NodeOfClique(u), hierarchy_->NodeOfClique(v));
+  // The artificial root (and any lambda < 1 node) is not a nucleus.
+  if (hierarchy_->node(lca).lambda < 1) return kInvalidId;
+  return lca;
+}
+
+Lambda HierarchyIndex::CommonNucleusLevel(CliqueId u, CliqueId v) const {
+  const std::int32_t node = SmallestCommonNucleus(u, v);
+  return node == kInvalidId ? 0 : hierarchy_->node(node).lambda;
+}
+
+}  // namespace nucleus

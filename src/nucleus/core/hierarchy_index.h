@@ -1,0 +1,65 @@
+// Constant-ish-time queries over a NucleusHierarchy — the downstream
+// payoff of building the hierarchy at all: once the tree exists, the
+// community-search questions that Huang et al.'s TCP index answers with
+// per-query traversal become ancestor lookups.
+//
+//   * NucleusAtLevel(u, k): the node of the k-(r,s) nucleus containing the
+//     K_r u — Corollary 2's object, located without any traversal as the
+//     highest ancestor of u's node whose lambda is still >= k (binary
+//     lifting, O(log depth)).
+//   * SmallestCommonNucleus(u, v): the densest nucleus containing both
+//     K_r's — the lowest common ancestor of their nodes.
+//
+// The index is immutable and holds a pointer to the hierarchy it was built
+// from; the hierarchy must outlive it.
+#ifndef NUCLEUS_CORE_HIERARCHY_INDEX_H_
+#define NUCLEUS_CORE_HIERARCHY_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nucleus/core/hierarchy.h"
+#include "nucleus/util/common.h"
+
+namespace nucleus {
+
+class HierarchyIndex {
+ public:
+  /// Builds jump tables in O(nodes * log depth).
+  explicit HierarchyIndex(const NucleusHierarchy& hierarchy);
+
+  /// Depth of a node (root = 0).
+  std::int32_t Depth(std::int32_t node) const { return depth_[node]; }
+
+  /// Lowest common ancestor of two nodes.
+  std::int32_t Lca(std::int32_t a, std::int32_t b) const;
+
+  /// Node of the k-(r,s) nucleus containing the K_r u: the highest
+  /// ancestor of u's node with lambda >= k. Returns kInvalidId when
+  /// lambda(u) < k (u is in no k-nucleus). Requires k >= 1.
+  std::int32_t NucleusAtLevel(CliqueId u, Lambda k) const;
+
+  /// The densest nucleus containing both u and v: their nodes' LCA.
+  /// Returns kInvalidId when the only common ancestor is the artificial
+  /// root (the K_r's share no nucleus).
+  std::int32_t SmallestCommonNucleus(CliqueId u, CliqueId v) const;
+
+  /// Largest k such that u and v are in a common k-(r,s) nucleus, or 0.
+  Lambda CommonNucleusLevel(CliqueId u, CliqueId v) const;
+
+ private:
+  const NucleusHierarchy* hierarchy_;
+  std::vector<std::int32_t> depth_;
+  /// up_[j * num_nodes + x] = 2^j-th ancestor of x (kInvalidId past root).
+  std::vector<std::int32_t> up_;
+  std::int32_t num_nodes_ = 0;
+  std::int32_t levels_ = 0;
+
+  std::int32_t Up(std::int32_t j, std::int32_t x) const {
+    return up_[static_cast<std::size_t>(j) * num_nodes_ + x];
+  }
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CORE_HIERARCHY_INDEX_H_

@@ -1,0 +1,9 @@
+#include "nucleus/core/hypo.h"
+
+namespace nucleus {
+
+template HypoStats HypoTraversal<VertexSpace>(const VertexSpace&);
+template HypoStats HypoTraversal<EdgeSpace>(const EdgeSpace&);
+template HypoStats HypoTraversal<TriangleSpace>(const TriangleSpace&);
+
+}  // namespace nucleus

@@ -1,0 +1,59 @@
+// "Hypo": the paper's hypothetical best possible traversal-based algorithm
+// (Tables 4 and 5). It performs the peeling plus a single flat BFS over the
+// whole K_r space through K_s adjacencies — the cheapest conceivable
+// traversal — without computing nuclei or hierarchy. Any real traversal-
+// based decomposition must do at least this much work, so beating Hypo
+// (as FND does) shows the value of avoiding traversal altogether.
+#ifndef NUCLEUS_CORE_HYPO_H_
+#define NUCLEUS_CORE_HYPO_H_
+
+#include <queue>
+#include <vector>
+
+#include "nucleus/core/spaces.h"
+#include "nucleus/core/types.h"
+
+namespace nucleus {
+
+struct HypoStats {
+  std::int64_t components = 0;  // K_s-connected components of the K_r space
+  std::int64_t visits = 0;      // member visits during the BFS
+};
+
+/// One BFS over all K_r's via superclique membership, ignoring lambdas.
+template <typename Space>
+HypoStats HypoTraversal(const Space& space) {
+  HypoStats stats;
+  const std::int64_t n = space.NumCliques();
+  std::vector<char> visited(n, 0);
+  std::queue<CliqueId> queue;
+  for (CliqueId seed = 0; seed < n; ++seed) {
+    if (visited[seed]) continue;
+    ++stats.components;
+    visited[seed] = 1;
+    queue.push(seed);
+    while (!queue.empty()) {
+      const CliqueId u = queue.front();
+      queue.pop();
+      space.ForEachSuperclique(u, [&](const CliqueId* members, int count) {
+        for (int i = 0; i < count; ++i) {
+          const CliqueId v = members[i];
+          ++stats.visits;
+          if (!visited[v]) {
+            visited[v] = 1;
+            queue.push(v);
+          }
+        }
+      });
+    }
+  }
+  return stats;
+}
+
+extern template HypoStats HypoTraversal<VertexSpace>(const VertexSpace&);
+extern template HypoStats HypoTraversal<EdgeSpace>(const EdgeSpace&);
+extern template HypoStats HypoTraversal<TriangleSpace>(const TriangleSpace&);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CORE_HYPO_H_

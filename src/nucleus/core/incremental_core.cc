@@ -1,0 +1,177 @@
+#include "nucleus/core/incremental_core.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "nucleus/core/peeling.h"
+#include "nucleus/core/spaces.h"
+#include "nucleus/graph/graph_builder.h"
+
+namespace nucleus {
+
+IncrementalCoreMaintainer::IncrementalCoreMaintainer(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  adjacency_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbrs = g.Neighbors(v);
+    adjacency_[v].assign(nbrs.begin(), nbrs.end());
+  }
+  num_edges_ = g.NumEdges();
+  lambda_ = Peel(VertexSpace(g)).lambda;
+  candidate_mark_.assign(n, 0);
+  candidate_degree_.assign(n, 0);
+}
+
+bool IncrementalCoreMaintainer::HasEdge(VertexId u, VertexId v) const {
+  if (u < 0 || v < 0 || u >= NumVertices() || v >= NumVertices()) return false;
+  const auto& nbrs = adjacency_[u];
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+bool IncrementalCoreMaintainer::InsertEdge(VertexId u, VertexId v) {
+  NUCLEUS_CHECK(u >= 0 && u < NumVertices());
+  NUCLEUS_CHECK(v >= 0 && v < NumVertices());
+  if (u == v || HasEdge(u, v)) return false;
+
+  auto insert_sorted = [this](VertexId a, VertexId b) {
+    auto& nbrs = adjacency_[a];
+    nbrs.insert(std::upper_bound(nbrs.begin(), nbrs.end(), b), b);
+  };
+  insert_sorted(u, v);
+  insert_sorted(v, u);
+  ++num_edges_;
+
+  // Only the subcore of the lower endpoint can be promoted.
+  const VertexId root = lambda_[u] <= lambda_[v] ? u : v;
+  const Lambda k = lambda_[root];
+  ++epoch_;
+
+  // Collect the subcore: vertices with lambda == k connected to root through
+  // lambda == k vertices, and their candidate degrees — neighbors of larger
+  // lambda always count; neighbors of equal lambda count because they are
+  // in the same subcore (reached by this BFS).
+  std::vector<VertexId> candidates;
+  std::queue<VertexId> queue;
+  candidate_mark_[root] = epoch_;
+  queue.push(root);
+  while (!queue.empty()) {
+    const VertexId w = queue.front();
+    queue.pop();
+    candidates.push_back(w);
+    std::int32_t cd = 0;
+    for (VertexId x : adjacency_[w]) {
+      if (lambda_[x] > k) {
+        ++cd;
+      } else if (lambda_[x] == k) {
+        ++cd;
+        if (candidate_mark_[x] != epoch_) {
+          candidate_mark_[x] = epoch_;
+          queue.push(x);
+        }
+      }
+    }
+    candidate_degree_[w] = cd;
+  }
+
+  // Peel candidates whose candidate degree is <= k; evicted vertices stop
+  // supporting their equal-lambda neighbors.
+  std::vector<VertexId> evict;
+  for (VertexId w : candidates) {
+    if (candidate_degree_[w] <= k) evict.push_back(w);
+  }
+  while (!evict.empty()) {
+    const VertexId w = evict.back();
+    evict.pop_back();
+    if (candidate_mark_[w] != epoch_) continue;  // already evicted
+    candidate_mark_[w] = 0;
+    for (VertexId x : adjacency_[w]) {
+      if (lambda_[x] == k && candidate_mark_[x] == epoch_) {
+        if (--candidate_degree_[x] == k) evict.push_back(x);
+      }
+    }
+  }
+
+  // Survivors gain exactly one level (insertions raise lambda by <= 1).
+  for (VertexId w : candidates) {
+    if (candidate_mark_[w] == epoch_) lambda_[w] = k + 1;
+  }
+  return true;
+}
+
+bool IncrementalCoreMaintainer::RemoveEdge(VertexId u, VertexId v) {
+  NUCLEUS_CHECK(u >= 0 && u < NumVertices());
+  NUCLEUS_CHECK(v >= 0 && v < NumVertices());
+  if (u == v || !HasEdge(u, v)) return false;
+
+  auto erase_sorted = [this](VertexId a, VertexId b) {
+    auto& nbrs = adjacency_[a];
+    nbrs.erase(std::lower_bound(nbrs.begin(), nbrs.end(), b));
+  };
+  erase_sorted(u, v);
+  erase_sorted(v, u);
+  --num_edges_;
+
+  // Removal can demote only the subcore(s) of the endpoint(s) whose lambda
+  // equals k = min(lambda(u), lambda(v)); a demotion is by exactly one.
+  const Lambda k = std::min(lambda_[u], lambda_[v]);
+  ++epoch_;
+
+  // Collect the affected subcore(s) by BFS over lambda == k vertices from
+  // each endpoint at level k, and compute supports: neighbors with
+  // lambda >= k (equal-lambda neighbors outside the subcore still count —
+  // unlike insertion, membership of the same subcore is not required for a
+  // neighbor to certify support, only its lambda).
+  std::vector<VertexId> candidates;
+  std::queue<VertexId> queue;
+  for (VertexId root : {u, v}) {
+    if (lambda_[root] == k && candidate_mark_[root] != epoch_) {
+      candidate_mark_[root] = epoch_;
+      queue.push(root);
+    }
+  }
+  while (!queue.empty()) {
+    const VertexId w = queue.front();
+    queue.pop();
+    candidates.push_back(w);
+    std::int32_t support = 0;
+    for (VertexId x : adjacency_[w]) {
+      if (lambda_[x] >= k) ++support;
+      if (lambda_[x] == k && candidate_mark_[x] != epoch_) {
+        candidate_mark_[x] = epoch_;
+        queue.push(x);
+      }
+    }
+    candidate_degree_[w] = support;
+  }
+
+  // Cascade demotions: a candidate whose support fell below k drops to
+  // k - 1 and stops supporting its equal-lambda neighbors.
+  std::vector<VertexId> evict;
+  for (VertexId w : candidates) {
+    if (candidate_degree_[w] < k) evict.push_back(w);
+  }
+  while (!evict.empty()) {
+    const VertexId w = evict.back();
+    evict.pop_back();
+    if (lambda_[w] != k) continue;  // already demoted
+    lambda_[w] = k - 1;
+    for (VertexId x : adjacency_[w]) {
+      if (lambda_[x] == k && candidate_mark_[x] == epoch_) {
+        if (--candidate_degree_[x] == k - 1) evict.push_back(x);
+      }
+    }
+  }
+  return true;
+}
+
+Graph IncrementalCoreMaintainer::ToGraph() const {
+  GraphBuilder builder(NumVertices());
+  for (VertexId ufrom = 0; ufrom < NumVertices(); ++ufrom) {
+    for (VertexId to : adjacency_[ufrom]) {
+      if (ufrom < to) builder.AddEdge(ufrom, to);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace nucleus

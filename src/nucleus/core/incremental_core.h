@@ -1,0 +1,69 @@
+// Incremental k-core maintenance under edge insertions AND removals — the
+// streaming setting of Sariyuce et al. (PVLDB 6(6), 2013) that the paper's
+// Section 3.1 discusses as the one line of prior work that respects
+// connectivity.
+//
+// The insertion algorithm is the classic subcore traversal: inserting
+// (u, v) can raise core numbers by at most one, and only for vertices in
+// the "subcore" of the lower endpoint — the connected set of vertices with
+// lambda equal to k = min(lambda(u), lambda(v)). The maintainer collects
+// that subcore, computes each member's candidate degree (neighbors with
+// larger lambda or inside the subcore), peels members whose candidate
+// degree is <= k, and promotes the survivors to k + 1.
+//
+// Removal is the mirror image: deleting (u, v) can lower core numbers by
+// at most one, again only inside the subcore(s) of the endpoint(s) whose
+// lambda equals k = min(lambda(u), lambda(v)). Members whose support
+// (neighbors with lambda >= k) drops below k demote to k - 1, and each
+// demotion cascades through the subcore.
+#ifndef NUCLEUS_CORE_INCREMENTAL_CORE_H_
+#define NUCLEUS_CORE_INCREMENTAL_CORE_H_
+
+#include <vector>
+
+#include "nucleus/core/types.h"
+#include "nucleus/graph/graph.h"
+
+namespace nucleus {
+
+class IncrementalCoreMaintainer {
+ public:
+  /// Seeds the maintainer with g's adjacency and core numbers (computed
+  /// with the (1,2) peeling). The vertex count is fixed at construction.
+  explicit IncrementalCoreMaintainer(const Graph& g);
+
+  /// Inserts undirected edge {u, v} and updates core numbers. Returns false
+  /// (and changes nothing) for self-loops and existing edges.
+  bool InsertEdge(VertexId u, VertexId v);
+
+  /// Removes undirected edge {u, v} and updates core numbers. Returns false
+  /// (and changes nothing) for self-loops and missing edges.
+  bool RemoveEdge(VertexId u, VertexId v);
+
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(adjacency_.size());
+  }
+  std::int64_t NumEdges() const { return num_edges_; }
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Current core numbers (lambda_2).
+  const std::vector<Lambda>& lambda() const { return lambda_; }
+
+  /// Materializes the current adjacency as an immutable Graph (testing and
+  /// hand-off to the decomposition algorithms).
+  Graph ToGraph() const;
+
+ private:
+  std::vector<std::vector<VertexId>> adjacency_;  // each sorted ascending
+  std::vector<Lambda> lambda_;
+  std::int64_t num_edges_ = 0;
+
+  // Scratch reused across insertions.
+  std::vector<std::int32_t> candidate_mark_;  // epoch stamps
+  std::vector<std::int32_t> candidate_degree_;
+  std::int32_t epoch_ = 0;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CORE_INCREMENTAL_CORE_H_

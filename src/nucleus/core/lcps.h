@@ -1,0 +1,30 @@
+// Adaptation of Matula & Beck's Level Component Priority Search (LCPS) for
+// the k-core hierarchy (paper Section 5.1).
+//
+// The traversal repeatedly pops the discovered vertex of maximum priority,
+// where a vertex's priority is the level at which the search reached it:
+// min(lambda(v), lambda(u)) for the discovering edge (u, v). Matula & Beck
+// note that maintaining an appropriate priority queue is the difficulty of
+// implementing LCPS; following the paper, we use a bucket structure, making
+// every operation O(1) amortized and the whole algorithm O(|E|).
+//
+// Instead of emitting bracketed output we maintain the current node of the
+// hierarchy tree: equal level stays, higher level descends through a chain
+// of new nodes (one per level), lower level climbs. Each vertex is assigned
+// to the node at its own lambda level, so the resulting skeleton feeds the
+// same NucleusHierarchy contraction as DFT/FND.
+#ifndef NUCLEUS_CORE_LCPS_H_
+#define NUCLEUS_CORE_LCPS_H_
+
+#include "nucleus/core/types.h"
+#include "nucleus/graph/graph.h"
+
+namespace nucleus {
+
+/// Builds the k-core hierarchy-skeleton by LCPS. (1,2) only: LCPS relies on
+/// plain vertex adjacency.
+SkeletonBuild LcpsKCoreHierarchy(const Graph& g, const PeelResult& peel);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CORE_LCPS_H_

@@ -1,0 +1,27 @@
+#include "nucleus/core/naive_traversal.h"
+
+namespace nucleus {
+
+template NaiveStats NaiveTraversalBudgeted<VertexSpace>(
+    const VertexSpace&, const std::vector<Lambda>&, Lambda, double);
+template NaiveStats NaiveTraversalBudgeted<EdgeSpace>(
+    const EdgeSpace&, const std::vector<Lambda>&, Lambda, double);
+template NaiveStats NaiveTraversalBudgeted<TriangleSpace>(
+    const TriangleSpace&, const std::vector<Lambda>&, Lambda, double);
+template NaiveStats NaiveTraversal<VertexSpace>(
+    const VertexSpace&, const std::vector<Lambda>&, Lambda,
+    const std::function<void(const Nucleus&)>*);
+template NaiveStats NaiveTraversal<EdgeSpace>(
+    const EdgeSpace&, const std::vector<Lambda>&, Lambda,
+    const std::function<void(const Nucleus&)>*);
+template NaiveStats NaiveTraversal<TriangleSpace>(
+    const TriangleSpace&, const std::vector<Lambda>&, Lambda,
+    const std::function<void(const Nucleus&)>*);
+template std::vector<Nucleus> CollectNucleiNaive<VertexSpace>(
+    const VertexSpace&, const std::vector<Lambda>&, Lambda);
+template std::vector<Nucleus> CollectNucleiNaive<EdgeSpace>(
+    const EdgeSpace&, const std::vector<Lambda>&, Lambda);
+template std::vector<Nucleus> CollectNucleiNaive<TriangleSpace>(
+    const TriangleSpace&, const std::vector<Lambda>&, Lambda);
+
+}  // namespace nucleus

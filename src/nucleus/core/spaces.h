@@ -1,0 +1,140 @@
+// Clique spaces: the (r, s) instantiations the generic algorithms run on.
+//
+// A space presents the K_r's of a graph as ids 0..NumCliques()-1 and
+// enumerates, for a given K_r, every K_s containing it together with the ids
+// of all of the K_s's member K_r's. This is the only interface Alg. 1
+// (peeling), Alg. 2 (traversal), Alg. 5/6 (DF-Traversal) and Alg. 8 (FND)
+// need, which is what makes them "generic for any nucleus decomposition".
+//
+//   VertexSpace   — r=1, s=2: K_r = vertex, K_s = edge        (k-core)
+//   EdgeSpace     — r=2, s=3: K_r = edge,   K_s = triangle    (k-truss)
+//   TriangleSpace — r=3, s=4: K_r = triangle, K_s = four-clique
+//
+// ForEachSuperclique(u, f) calls f(members, count) where members is the
+// array of the K_s's member K_r ids (count == s for the s-r == 1 cases
+// implemented here) and always contains u itself.
+#ifndef NUCLEUS_CORE_SPACES_H_
+#define NUCLEUS_CORE_SPACES_H_
+
+#include <algorithm>
+
+#include "nucleus/cliques/edge_index.h"
+#include "nucleus/cliques/triangle_index.h"
+#include "nucleus/graph/graph.h"
+#include "nucleus/util/common.h"
+
+namespace nucleus {
+
+class VertexSpace {
+ public:
+  static constexpr int kR = 1;
+  static constexpr int kS = 2;
+  static constexpr int kMembers = 2;
+
+  explicit VertexSpace(const Graph& g) : g_(&g) {}
+
+  std::int64_t NumCliques() const { return g_->NumVertices(); }
+
+  template <typename F>
+  void ForEachSuperclique(CliqueId u, F&& f) const {
+    CliqueId members[2];
+    members[0] = u;
+    for (VertexId v : g_->Neighbors(u)) {
+      members[1] = v;
+      f(static_cast<const CliqueId*>(members), 2);
+    }
+  }
+
+  const Graph& graph() const { return *g_; }
+
+ private:
+  const Graph* g_;
+};
+
+class EdgeSpace {
+ public:
+  static constexpr int kR = 2;
+  static constexpr int kS = 3;
+  static constexpr int kMembers = 3;
+
+  EdgeSpace(const Graph& g, const EdgeIndex& edges) : g_(&g), edges_(&edges) {}
+
+  std::int64_t NumCliques() const { return edges_->NumEdges(); }
+
+  /// Enumerates the triangles containing edge e by merging the sorted
+  /// adjacency lists of its endpoints; the aligned edge-id arrays provide
+  /// the member edge ids with no hashing.
+  template <typename F>
+  void ForEachSuperclique(CliqueId e, F&& f) const {
+    const auto [u, v] = edges_->Endpoints(e);
+    const auto nu = g_->Neighbors(u);
+    const auto nv = g_->Neighbors(v);
+    const auto eu = edges_->AdjEdgeIds(*g_, u);
+    const auto ev = edges_->AdjEdgeIds(*g_, v);
+    std::size_t i = 0;
+    std::size_t j = 0;
+    CliqueId members[3];
+    members[0] = e;
+    while (i < nu.size() && j < nv.size()) {
+      if (nu[i] < nv[j]) {
+        ++i;
+      } else if (nu[i] > nv[j]) {
+        ++j;
+      } else {
+        members[1] = eu[i];
+        members[2] = ev[j];
+        f(static_cast<const CliqueId*>(members), 3);
+        ++i;
+        ++j;
+      }
+    }
+  }
+
+  const Graph& graph() const { return *g_; }
+  const EdgeIndex& edges() const { return *edges_; }
+
+ private:
+  const Graph* g_;
+  const EdgeIndex* edges_;
+};
+
+class TriangleSpace {
+ public:
+  static constexpr int kR = 3;
+  static constexpr int kS = 4;
+  static constexpr int kMembers = 4;
+
+  TriangleSpace(const Graph& g, const EdgeIndex& edges,
+                const TriangleIndex& triangles)
+      : g_(&g), edges_(&edges), triangles_(&triangles) {}
+
+  std::int64_t NumCliques() const { return triangles_->NumTriangles(); }
+
+  /// Enumerates the K4s containing triangle t by three-way merging the
+  /// triangle lists of t's edges (see TriangleIndex::ForEachK4).
+  template <typename F>
+  void ForEachSuperclique(CliqueId t, F&& f) const {
+    CliqueId members[4];
+    members[0] = t;
+    triangles_->ForEachK4(
+        t, [&](VertexId /*x*/, TriangleId t1, TriangleId t2, TriangleId t3) {
+          members[1] = t1;
+          members[2] = t2;
+          members[3] = t3;
+          f(static_cast<const CliqueId*>(members), 4);
+        });
+  }
+
+  const Graph& graph() const { return *g_; }
+  const EdgeIndex& edges() const { return *edges_; }
+  const TriangleIndex& triangles() const { return *triangles_; }
+
+ private:
+  const Graph* g_;
+  const EdgeIndex* edges_;
+  const TriangleIndex* triangles_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CORE_SPACES_H_

@@ -1,0 +1,136 @@
+#include "nucleus/core/tcp_index.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "nucleus/dsf/disjoint_set.h"
+
+namespace nucleus {
+namespace {
+
+// A candidate ego-network edge during construction, in x-local neighbor
+// indices so the Kruskal union-find is O(deg(x)).
+struct Candidate {
+  std::int32_t local_y;
+  std::int32_t local_z;
+  Lambda weight;
+};
+
+}  // namespace
+
+TcpIndex TcpIndex::Build(const Graph& g, const EdgeIndex& edge_index,
+                         const std::vector<Lambda>& truss) {
+  TcpIndex index;
+  const VertexId n = g.NumVertices();
+  index.offsets_.assign(n + 1, 0);
+
+  std::vector<Candidate> candidates;
+  for (VertexId x = 0; x < n; ++x) {
+    const auto nx = g.Neighbors(x);
+    const auto ex = edge_index.AdjEdgeIds(g, x);
+    candidates.clear();
+    // Triangles {x, y, z} with y < z: for each neighbor y, intersect the
+    // remainder of x's list with y's list.
+    for (std::size_t i = 0; i < nx.size(); ++i) {
+      const VertexId y = nx[i];
+      const auto ny = g.Neighbors(y);
+      const auto ey = edge_index.AdjEdgeIds(g, y);
+      std::size_t a = i + 1;  // z must come after y in x's list
+      std::size_t b = std::lower_bound(ny.begin(), ny.end(),
+                                       a < nx.size() ? nx[a] : 0) -
+                      ny.begin();
+      while (a < nx.size() && b < ny.size()) {
+        if (nx[a] < ny[b]) {
+          ++a;
+        } else if (nx[a] > ny[b]) {
+          ++b;
+        } else {
+          const Lambda weight = std::min(
+              {truss[ex[i]], truss[ex[a]], truss[ey[b]]});
+          candidates.push_back({static_cast<std::int32_t>(i),
+                                static_cast<std::int32_t>(a), weight});
+          ++a;
+          ++b;
+        }
+      }
+    }
+    // Kruskal in decreasing weight: a maximum spanning forest of the ego
+    // network. Stable ordering keeps construction deterministic.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.weight > b.weight;
+                     });
+    DisjointSet dsf(static_cast<std::int64_t>(nx.size()));
+    for (const Candidate& c : candidates) {
+      if (dsf.Union(c.local_y, c.local_z)) {
+        index.edges_.push_back({nx[c.local_y], nx[c.local_z], c.weight});
+      }
+    }
+    index.offsets_[x + 1] = static_cast<std::int64_t>(index.edges_.size());
+  }
+  return index;
+}
+
+std::vector<std::vector<EdgeId>> TcpIndex::QueryCommunities(
+    const Graph& g, const EdgeIndex& edge_index,
+    const std::vector<Lambda>& truss, VertexId q, Lambda k) const {
+  NUCLEUS_CHECK(k >= 1);
+  NUCLEUS_CHECK(q >= 0 && q < g.NumVertices());
+  std::vector<std::vector<EdgeId>> communities;
+  std::unordered_set<EdgeId> included;      // edges already reported
+  std::unordered_set<std::int64_t> expanded;  // processed (x, seed) keys
+  const auto pair_key = [&g](VertexId x, VertexId seed) {
+    return static_cast<std::int64_t>(x) * g.NumVertices() + seed;
+  };
+
+  for (VertexId y0 : g.Neighbors(q)) {
+    const EdgeId e0 = edge_index.GetEdgeId(g, q, y0);
+    if (truss[e0] < k || included.count(e0) > 0) continue;
+
+    std::vector<EdgeId> community;
+    std::queue<std::pair<VertexId, VertexId>> pairs;
+    pairs.emplace(q, y0);
+    while (!pairs.empty()) {
+      const auto [x, seed] = pairs.front();
+      pairs.pop();
+      if (!expanded.insert(pair_key(x, seed)).second) continue;
+
+      // Vertices tree-connected to `seed` in TCP_x via weights >= k: build
+      // the weight-filtered forest adjacency once (O(deg(x))), then BFS.
+      const auto forest = TreeEdgesOf(x);
+      std::unordered_map<VertexId, std::vector<VertexId>> adj;
+      adj.reserve(forest.size() * 2);
+      for (const TreeEdge& te : forest) {
+        if (te.weight < k) continue;
+        adj[te.y].push_back(te.z);
+        adj[te.z].push_back(te.y);
+      }
+      std::vector<VertexId> frontier{seed};
+      std::unordered_set<VertexId> reached{seed};
+      while (!frontier.empty()) {
+        const VertexId cur = frontier.back();
+        frontier.pop_back();
+        const auto it = adj.find(cur);
+        if (it == adj.end()) continue;
+        for (VertexId other : it->second) {
+          if (reached.insert(other).second) frontier.push_back(other);
+        }
+      }
+      for (VertexId y : reached) {
+        const EdgeId e = edge_index.GetEdgeId(g, x, y);
+        NUCLEUS_CHECK(e != kInvalidId && truss[e] >= k);
+        if (included.insert(e).second) community.push_back(e);
+        pairs.emplace(y, x);
+      }
+    }
+    std::sort(community.begin(), community.end());
+    communities.push_back(std::move(community));
+  }
+  return communities;
+}
+
+}  // namespace nucleus

@@ -1,0 +1,60 @@
+// The TCP (Triangle Connectivity Preserving) index of Huang et al.,
+// "Querying k-truss community in large and dynamic graphs", SIGMOD 2014 —
+// the prior-art baseline the paper compares against for (2,3) (Table 5).
+//
+// For every vertex x, the index stores a maximum spanning forest of x's
+// triangle-weighted ego network: nodes are x's neighbors, an edge (y, z)
+// exists per triangle {x, y, z}, weighted by the minimum trussness
+// (lambda_3) of the triangle's three edges. Construction cost is what the
+// paper times; the query procedure answers "all k-truss communities
+// (k-(2,3) nuclei) containing vertex q at level k" without peeling again.
+#ifndef NUCLEUS_CORE_TCP_INDEX_H_
+#define NUCLEUS_CORE_TCP_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "nucleus/cliques/edge_index.h"
+#include "nucleus/core/types.h"
+#include "nucleus/graph/graph.h"
+
+namespace nucleus {
+
+class TcpIndex {
+ public:
+  /// A maximum-spanning-forest edge of vertex x's ego network: the triangle
+  /// {x, y, z} with weight min(lambda3(xy), lambda3(xz), lambda3(yz)).
+  struct TreeEdge {
+    VertexId y;
+    VertexId z;
+    Lambda weight;
+  };
+
+  /// Builds the index given the trussness (lambda_3 per edge) from peeling.
+  static TcpIndex Build(const Graph& g, const EdgeIndex& edges,
+                        const std::vector<Lambda>& truss);
+
+  /// The spanning-forest edges of vertex x's ego network.
+  std::span<const TreeEdge> TreeEdgesOf(VertexId x) const {
+    return {edges_.data() + offsets_[x],
+            static_cast<std::size_t>(offsets_[x + 1] - offsets_[x])};
+  }
+
+  std::int64_t TotalTreeEdges() const {
+    return static_cast<std::int64_t>(edges_.size());
+  }
+
+  /// All k-truss communities containing q, each as a sorted list of edge
+  /// ids. Empty when q touches no edge of trussness >= k. Requires k >= 1.
+  std::vector<std::vector<EdgeId>> QueryCommunities(
+      const Graph& g, const EdgeIndex& edges, const std::vector<Lambda>& truss,
+      VertexId q, Lambda k) const;
+
+ private:
+  std::vector<std::int64_t> offsets_;  // per vertex, into edges_
+  std::vector<TreeEdge> edges_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CORE_TCP_INDEX_H_

@@ -1,0 +1,79 @@
+#include "nucleus/core/truss_variants.h"
+
+#include <algorithm>
+
+#include "nucleus/core/spaces.h"
+#include "nucleus/dsf/disjoint_set.h"
+
+namespace nucleus {
+namespace {
+
+// Groups the surviving edges by their DisjointSet representative and emits
+// sorted components in first-edge order.
+std::vector<std::vector<EdgeId>> ComponentsFromDsf(
+    const std::vector<EdgeId>& survivors, DisjointSet* dsf) {
+  std::vector<std::vector<EdgeId>> grouped(dsf->NumElements());
+  for (EdgeId e : survivors) grouped[dsf->Find(e)].push_back(e);
+  std::vector<std::vector<EdgeId>> out;
+  for (auto& group : grouped) {
+    if (!group.empty()) out.push_back(std::move(group));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const std::vector<EdgeId>& a, const std::vector<EdgeId>& b) {
+              return a.front() < b.front();
+            });
+  return out;
+}
+
+}  // namespace
+
+std::vector<EdgeId> KDenseEdges(const std::vector<Lambda>& truss, Lambda k) {
+  NUCLEUS_CHECK(k >= 1);
+  std::vector<EdgeId> out;
+  for (EdgeId e = 0; e < static_cast<EdgeId>(truss.size()); ++e) {
+    if (truss[e] >= k) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<std::vector<EdgeId>> KTrussComponents(
+    const Graph& g, const EdgeIndex& edges, const std::vector<Lambda>& truss,
+    Lambda k) {
+  const std::vector<EdgeId> survivors = KDenseEdges(truss, k);
+  std::vector<char> alive(truss.size(), 0);
+  for (EdgeId e : survivors) alive[e] = 1;
+  DisjointSet dsf(static_cast<std::int64_t>(truss.size()));
+  // Two surviving edges sharing a vertex are connected: union each
+  // vertex's surviving incident edges into a chain.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EdgeId first = kInvalidId;
+    for (EdgeId e : edges.AdjEdgeIds(g, v)) {
+      if (!alive[e]) continue;
+      if (first == kInvalidId) {
+        first = e;
+      } else {
+        dsf.Union(first, e);
+      }
+    }
+  }
+  return ComponentsFromDsf(survivors, &dsf);
+}
+
+std::vector<std::vector<EdgeId>> KTrussCommunities(
+    const Graph& g, const EdgeIndex& edges, const std::vector<Lambda>& truss,
+    Lambda k) {
+  const std::vector<EdgeId> survivors = KDenseEdges(truss, k);
+  DisjointSet dsf(static_cast<std::int64_t>(truss.size()));
+  const EdgeSpace space(g, edges);
+  for (EdgeId e : survivors) {
+    space.ForEachSuperclique(e, [&](const CliqueId* members, int count) {
+      for (int i = 0; i < count; ++i) {
+        if (truss[members[i]] < k) return;  // triangle not fully surviving
+      }
+      for (int i = 1; i < count; ++i) dsf.Union(members[0], members[i]);
+    });
+  }
+  return ComponentsFromDsf(survivors, &dsf);
+}
+
+}  // namespace nucleus

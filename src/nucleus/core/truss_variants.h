@@ -1,0 +1,50 @@
+// The three competing k-truss semantics the paper's Section 3.2 and
+// Figure 3 disentangle, as queryable subgraph extractors over one peeling
+// result:
+//
+//   * k-dense / triangle k-core (Saito et al.; Zhang & Parthasarathy) —
+//     the edge set {e : lambda_3(e) >= k}, possibly disconnected;
+//   * k-truss / k-community (Cohen; Verma & Butenko) — the connected
+//     components of that edge set under shared-VERTEX connectivity;
+//   * k-truss community / k-(2,3) nucleus (Huang et al.; Sariyuce et al.) —
+//     its components under TRIANGLE connectivity (edges must share a
+//     triangle whose edges all have lambda_3 >= k).
+//
+// Figure 3's example (two triangles sharing one vertex, k=2 in the paper's
+// k-2 convention, i.e. support threshold 1): k-dense and k-truss both
+// report one subgraph spanning the bow tie; the k-truss community splits it
+// into the two triangles. Tests in tests/truss_variants_test.cc reproduce
+// exactly this discrimination.
+#ifndef NUCLEUS_CORE_TRUSS_VARIANTS_H_
+#define NUCLEUS_CORE_TRUSS_VARIANTS_H_
+
+#include <vector>
+
+#include "nucleus/cliques/edge_index.h"
+#include "nucleus/core/types.h"
+#include "nucleus/graph/graph.h"
+
+namespace nucleus {
+
+/// All edges of trussness >= k ("k-dense" / "triangle k-core"): one —
+/// possibly disconnected — edge set. Sorted by edge id. `k` uses this
+/// library's support convention (edge in >= k triangles), which is the
+/// papers' k minus 2.
+std::vector<EdgeId> KDenseEdges(const std::vector<Lambda>& truss, Lambda k);
+
+/// The "k-truss" / "k-community" semantics: vertex-connected components of
+/// the k-dense edge set. Each component is a sorted edge-id list; the list
+/// of components is sorted by first edge.
+std::vector<std::vector<EdgeId>> KTrussComponents(
+    const Graph& g, const EdgeIndex& edges, const std::vector<Lambda>& truss,
+    Lambda k);
+
+/// The "k-truss community" / k-(2,3) nucleus semantics: triangle-connected
+/// components of the k-dense edge set. Same ordering conventions.
+std::vector<std::vector<EdgeId>> KTrussCommunities(
+    const Graph& g, const EdgeIndex& edges, const std::vector<Lambda>& truss,
+    Lambda k);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CORE_TRUSS_VARIANTS_H_

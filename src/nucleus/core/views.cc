@@ -1,0 +1,64 @@
+#include "nucleus/core/views.h"
+
+#include <algorithm>
+
+#include "nucleus/graph/graph_builder.h"
+
+namespace nucleus {
+
+std::vector<VertexId> KCoreVertices(const std::vector<Lambda>& core,
+                                    Lambda k) {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < static_cast<VertexId>(core.size()); ++v) {
+    if (core[v] >= k) out.push_back(v);
+  }
+  return out;
+}
+
+Graph KCoreSubgraph(const Graph& g, const std::vector<Lambda>& core, Lambda k,
+                    std::vector<VertexId>* old_to_new) {
+  return InducedSubgraph(g, KCoreVertices(core, k), old_to_new);
+}
+
+double EdgeDensity(const Graph& g) {
+  const std::int64_t n = g.NumVertices();
+  if (n < 2) return 0.0;
+  return 2.0 * static_cast<double>(g.NumEdges()) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+NucleusReport ReportNucleus(const Graph& g, Family family,
+                            const NucleusHierarchy& h, std::int32_t id) {
+  NucleusReport report;
+  report.node = id;
+  report.k = h.node(id).lambda;
+  const std::vector<CliqueId> members = h.MembersOfSubtree(id);
+  report.num_members = static_cast<std::int64_t>(members.size());
+  const std::vector<VertexId> vertices = MembersToVertices(g, family, members);
+  report.num_vertices = static_cast<std::int64_t>(vertices.size());
+  report.density = EdgeDensity(InducedSubgraph(g, vertices));
+  return report;
+}
+
+std::vector<std::int32_t> TopNucleusNodes(const NucleusHierarchy& h,
+                                          std::int64_t count) {
+  std::vector<std::int32_t> nodes;
+  for (std::int32_t id = 0; id < h.NumNodes(); ++id) {
+    if (id != h.root() && h.node(id).lambda >= 1) nodes.push_back(id);
+  }
+  std::sort(nodes.begin(), nodes.end(), [&h](std::int32_t a, std::int32_t b) {
+    const auto& na = h.node(a);
+    const auto& nb = h.node(b);
+    if (na.lambda != nb.lambda) return na.lambda > nb.lambda;
+    if (na.subtree_members != nb.subtree_members) {
+      return na.subtree_members > nb.subtree_members;
+    }
+    return a < b;
+  });
+  if (static_cast<std::int64_t>(nodes.size()) > count) {
+    nodes.resize(static_cast<std::size_t>(count));
+  }
+  return nodes;
+}
+
+}  // namespace nucleus

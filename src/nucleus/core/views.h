@@ -1,0 +1,50 @@
+// Subgraph views over decomposition results: the operations downstream
+// users run after peeling — extracting the maximal k-core, materializing a
+// nucleus as an induced subgraph, and ranking hierarchy nodes by density.
+// (The paper's introduction motivates peeling exactly this way: "many dense
+// subgraphs with varying sizes and densities, and hierarchy among them".)
+#ifndef NUCLEUS_CORE_VIEWS_H_
+#define NUCLEUS_CORE_VIEWS_H_
+
+#include <vector>
+
+#include "nucleus/core/decomposition.h"
+#include "nucleus/core/hierarchy.h"
+#include "nucleus/graph/graph.h"
+
+namespace nucleus {
+
+/// Vertices of the (possibly disconnected) maximal k-core: every vertex
+/// with core number >= k. `core` is the (1,2) peeling result.
+std::vector<VertexId> KCoreVertices(const std::vector<Lambda>& core,
+                                    Lambda k);
+
+/// The induced subgraph on KCoreVertices. If `old_to_new` is non-null it
+/// receives the vertex relabeling (kInvalidId outside the core).
+Graph KCoreSubgraph(const Graph& g, const std::vector<Lambda>& core, Lambda k,
+                    std::vector<VertexId>* old_to_new = nullptr);
+
+/// Edge density 2|E| / (|V| (|V|-1)); 0 for graphs with < 2 vertices.
+double EdgeDensity(const Graph& g);
+
+/// Summary of one hierarchy node's nucleus, materialized against the graph.
+struct NucleusReport {
+  std::int32_t node = kInvalidId;
+  Lambda k = 0;
+  std::int64_t num_members = 0;   // K_r's in the nucleus
+  std::int64_t num_vertices = 0;  // vertices spanned
+  double density = 0.0;           // edge density of the induced subgraph
+};
+
+/// Materializes node `id` of a `family` hierarchy into a report.
+NucleusReport ReportNucleus(const Graph& g, Family family,
+                            const NucleusHierarchy& h, std::int32_t id);
+
+/// The `count` leaf-ward densest nodes: sorted by lambda descending, ties
+/// by subtree size descending. Root and lambda < 1 nodes excluded.
+std::vector<std::int32_t> TopNucleusNodes(const NucleusHierarchy& h,
+                                          std::int64_t count);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_CORE_VIEWS_H_

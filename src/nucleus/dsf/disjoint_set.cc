@@ -1,0 +1,37 @@
+#include "nucleus/dsf/disjoint_set.h"
+
+namespace nucleus {
+
+DisjointSet::DisjointSet(std::int64_t n) : num_sets_(n) {
+  NUCLEUS_CHECK(n >= 0 && n <= 2147483647);
+  parent_.resize(n);
+  rank_.assign(n, 0);
+  size_.assign(n, 1);
+  for (std::int64_t i = 0; i < n; ++i)
+    parent_[i] = static_cast<std::int32_t>(i);
+}
+
+std::int32_t DisjointSet::Find(std::int32_t x) {
+  NUCLEUS_CHECK(x >= 0 && x < static_cast<std::int32_t>(parent_.size()));
+  scratch_.clear();
+  while (parent_[x] != x) {
+    scratch_.push_back(x);
+    x = parent_[x];
+  }
+  for (std::int32_t v : scratch_) parent_[v] = x;
+  return x;
+}
+
+bool DisjointSet::Union(std::int32_t x, std::int32_t y) {
+  std::int32_t rx = Find(x);
+  std::int32_t ry = Find(y);
+  if (rx == ry) return false;
+  if (rank_[rx] < rank_[ry]) std::swap(rx, ry);
+  parent_[ry] = rx;
+  size_[rx] += size_[ry];
+  if (rank_[rx] == rank_[ry]) ++rank_[rx];
+  --num_sets_;
+  return true;
+}
+
+}  // namespace nucleus

@@ -1,0 +1,56 @@
+#include "nucleus/dsf/root_forest.h"
+
+namespace nucleus {
+
+std::int32_t HierarchySkeleton::AddNode(Lambda lambda) {
+  const std::int64_t id = NumNodes();
+  NUCLEUS_CHECK_MSG(id <= 2147483647, "more than 2^31-1 sub-nuclei");
+  lambda_.push_back(lambda);
+  rank_.push_back(0);
+  parent_.push_back(kInvalidId);
+  root_.push_back(kInvalidId);
+  return static_cast<std::int32_t>(id);
+}
+
+std::int32_t HierarchySkeleton::FindRoot(std::int32_t x) {
+  NUCLEUS_CHECK(x >= 0 && x < NumNodes());
+  if (!path_compression_) {
+    while (root_[x] != kInvalidId) x = root_[x];
+    return x;
+  }
+  scratch_.clear();
+  while (root_[x] != kInvalidId) {
+    scratch_.push_back(x);
+    x = root_[x];
+  }
+  for (std::int32_t v : scratch_) root_[v] = x;
+  return x;
+}
+
+void HierarchySkeleton::LinkR(std::int32_t x, std::int32_t y) {
+  if (x == y) return;
+  if (rank_[x] > rank_[y]) {
+    parent_[y] = x;
+    root_[y] = x;
+  } else {
+    parent_[x] = y;
+    root_[x] = y;
+    if (rank_[x] == rank_[y]) ++rank_[y];
+  }
+}
+
+std::int32_t HierarchySkeleton::UnionR(std::int32_t x, std::int32_t y) {
+  const std::int32_t rx = FindRoot(x);
+  const std::int32_t ry = FindRoot(y);
+  LinkR(rx, ry);
+  return FindRoot(rx);
+}
+
+void HierarchySkeleton::AttachChild(std::int32_t child, std::int32_t p) {
+  NUCLEUS_CHECK(child != p);
+  NUCLEUS_CHECK_MSG(root_[child] == kInvalidId, "child is not a root");
+  parent_[child] = p;
+  root_[child] = p;
+}
+
+}  // namespace nucleus

@@ -1,0 +1,250 @@
+#include "nucleus/em/semi_external_truss.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "nucleus/dsf/disjoint_set.h"
+#include "nucleus/em/pair_file.h"
+
+namespace nucleus {
+namespace {
+
+/// In-memory edge table in EdgeIndex id order: endpoints sorted
+/// lexicographically with (u, v), u < v, plus per-vertex bases so the
+/// forward edges of a scanned vertex get their ids in O(1).
+struct EdgeTable {
+  std::vector<std::pair<VertexId, VertexId>> endpoints;
+  std::vector<std::int64_t> forward_base;  // id of u's first forward edge
+
+  EdgeId Find(VertexId u, VertexId v) const {
+    if (u > v) std::swap(u, v);
+    const auto it = std::lower_bound(endpoints.begin(), endpoints.end(),
+                                     std::make_pair(u, v));
+    if (it == endpoints.end() || *it != std::make_pair(u, v)) {
+      return kInvalidId;
+    }
+    return static_cast<EdgeId>(it - endpoints.begin());
+  }
+};
+
+StatusOr<EdgeTable> LoadEdgeTable(AdjacencyFile& graph) {
+  EdgeTable table;
+  table.endpoints.reserve(static_cast<std::size_t>(graph.NumEdges()));
+  table.forward_base.assign(
+      static_cast<std::size_t>(graph.NumVertices()) + 1, 0);
+  Status scan = graph.ScanEdges([&table](VertexId u, VertexId v) {
+    table.endpoints.emplace_back(u, v);  // emitted in (u, v) lex order
+    ++table.forward_base[u + 1];
+  });
+  if (!scan.ok()) return scan;
+  for (std::size_t u = 0; u + 1 < table.forward_base.size(); ++u) {
+    table.forward_base[u + 1] += table.forward_base[u];
+  }
+  return table;
+}
+
+/// One sequential triangle enumeration: calls f(e_uv, e_uw, e_vw) for every
+/// triangle u < v < w. Forward edge ids of the scanned vertex come from
+/// forward_base; the closing edge by binary search.
+template <typename F>
+Status ScanTriangles(AdjacencyFile& graph, const EdgeTable& table, F&& f) {
+  return graph.ScanVertices([&](VertexId u,
+                                std::span<const VertexId> neighbors) {
+    // Forward slice of the (sorted) neighbor list.
+    std::size_t first_forward = 0;
+    while (first_forward < neighbors.size() &&
+           neighbors[first_forward] <= u) {
+      ++first_forward;
+    }
+    const std::int64_t base = table.forward_base[u];
+    for (std::size_t i = first_forward; i < neighbors.size(); ++i) {
+      for (std::size_t j = i + 1; j < neighbors.size(); ++j) {
+        const EdgeId closing = table.Find(neighbors[i], neighbors[j]);
+        if (closing == kInvalidId) continue;
+        const EdgeId e_uv =
+            static_cast<EdgeId>(base + (i - first_forward));
+        const EdgeId e_uw =
+            static_cast<EdgeId>(base + (j - first_forward));
+        f(e_uv, e_uw, closing);
+      }
+    }
+  });
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::int32_t>> SemiExternalTriangleSupports(
+    AdjacencyFile& graph) {
+  auto table = LoadEdgeTable(graph);
+  if (!table.ok()) return table.status();
+  std::vector<std::int32_t> supports(table->endpoints.size(), 0);
+  Status scan = ScanTriangles(graph, *table, [&](EdgeId a, EdgeId b,
+                                                 EdgeId c) {
+    ++supports[a];
+    ++supports[b];
+    ++supports[c];
+  });
+  if (!scan.ok()) return scan;
+  return supports;
+}
+
+StatusOr<SemiExternalTrussResult> SemiExternalTrussDecomposition(
+    AdjacencyFile& graph, const std::string& temp_dir) {
+  SemiExternalTrussResult result;
+  auto table_or = LoadEdgeTable(graph);
+  if (!table_or.ok()) return table_or.status();
+  const EdgeTable& table = *table_or;
+  const std::int64_t m = static_cast<std::int64_t>(table.endpoints.size());
+
+  std::vector<std::int32_t> supports(m, 0);
+  if (Status s = ScanTriangles(graph, table,
+                               [&](EdgeId a, EdgeId b, EdgeId c) {
+                                 ++supports[a];
+                                 ++supports[b];
+                                 ++supports[c];
+                               });
+      !s.ok()) {
+    return s;
+  }
+
+  // Wave-synchronous peel. States: 2 = alive, 1 = dying this wave,
+  // 0 = dead (lambda final).
+  result.peel.lambda.assign(m, 0);
+  std::vector<char> state(m, 2);
+  std::int64_t processed = 0;
+  Lambda level = 0;
+  while (processed < m) {
+    // Kill sweep (in memory): alive edges at or below the level die now.
+    bool any_dying = false;
+    for (EdgeId e = 0; e < m; ++e) {
+      if (state[e] == 2 && supports[e] <= level) {
+        state[e] = 1;
+        result.peel.lambda[e] = level;
+        ++processed;
+        any_dying = true;
+      }
+    }
+    if (!any_dying) {
+      ++level;
+      continue;
+    }
+    // Charge sweep (one disk scan): a triangle dies in the wave where its
+    // first edge dies; its still-alive edges each lose one support.
+    ++result.waves;
+    if (Status s = ScanTriangles(
+            graph, table,
+            [&](EdgeId a, EdgeId b, EdgeId c) {
+              const EdgeId edges[3] = {a, b, c};
+              int dying = 0;
+              for (EdgeId e : edges) {
+                if (state[e] == 0) return;  // died in an earlier wave
+                dying += state[e] == 1;
+              }
+              if (dying == 0) return;
+              for (EdgeId e : edges) {
+                if (state[e] == 2) --supports[e];
+              }
+            });
+        !s.ok()) {
+      return s;
+    }
+    for (EdgeId e = 0; e < m; ++e) {
+      if (state[e] == 1) state[e] = 0;
+    }
+  }
+  for (EdgeId e = 0; e < m; ++e) {
+    result.peel.max_lambda =
+        std::max(result.peel.max_lambda, result.peel.lambda[e]);
+  }
+
+  // Hierarchy in one more triangle scan: union the minimum-lambda edges of
+  // every triangle (strong triangle connectivity, Definition 5); spill
+  // (higher-lambda edge, min-edge) ADJ pairs for the binned build.
+  const std::vector<Lambda>& lambda = result.peel.lambda;
+  const std::string spill_path = temp_dir + "/em_truss_adj.pairs";
+  const std::string sorted_path = temp_dir + "/em_truss_adj_sorted.pairs";
+  auto spill_or = PairFile::Create(spill_path);
+  if (!spill_or.ok()) return spill_or.status();
+  PairFile spill = std::move(*spill_or);
+
+  DisjointSet edge_sets(m);
+  Status append_status = Status::Ok();
+  if (Status s = ScanTriangles(
+          graph, table,
+          [&](EdgeId a, EdgeId b, EdgeId c) {
+            if (!append_status.ok()) return;
+            const EdgeId edges[3] = {a, b, c};
+            EdgeId min_edge = a;
+            for (EdgeId e : edges) {
+              if (lambda[e] < lambda[min_edge]) min_edge = e;
+            }
+            for (EdgeId e : edges) {
+              if (lambda[e] == lambda[min_edge]) {
+                edge_sets.Union(e, min_edge);
+              } else {
+                append_status = spill.Append(e, min_edge);
+                if (!append_status.ok()) return;
+              }
+            }
+          });
+      !s.ok()) {
+    return s;
+  }
+  if (!append_status.ok()) return append_status;
+  if (Status s = spill.Flush(); !s.ok()) return s;
+  result.num_adj = spill.NumPairs();
+
+  SkeletonBuild& build = result.build;
+  build.comp.assign(m, kInvalidId);
+  std::vector<std::int32_t> node_of_root(m, kInvalidId);
+  for (EdgeId e = 0; e < m; ++e) {
+    const std::int32_t r = edge_sets.Find(e);
+    if (node_of_root[r] == kInvalidId) {
+      node_of_root[r] = build.skeleton.AddNode(lambda[e]);
+    }
+    build.comp[e] = node_of_root[r];
+  }
+
+  const std::int32_t num_bins = result.peel.max_lambda + 1;
+  std::vector<std::int64_t> bin_begin;
+  auto sorted_or = spill.SortByBin(
+      [&lambda](std::int32_t /*hi*/, std::int32_t lo) { return lambda[lo]; },
+      num_bins, sorted_path, &bin_begin);
+  if (!sorted_or.ok()) return sorted_or.status();
+  PairFile sorted = std::move(*sorted_or);
+
+  HierarchySkeleton& skeleton = build.skeleton;
+  std::vector<std::pair<std::int32_t, std::int32_t>> merge;
+  for (Lambda k = result.peel.max_lambda; k >= 0; --k) {
+    merge.clear();
+    Status bin_scan = sorted.ScanRange(
+        bin_begin[k], bin_begin[k + 1],
+        [&](std::int32_t hi, std::int32_t lo) {
+          const std::int32_t s = skeleton.FindRoot(build.comp[hi]);
+          const std::int32_t t = skeleton.FindRoot(build.comp[lo]);
+          if (s == t) return;
+          if (skeleton.LambdaOf(s) > skeleton.LambdaOf(t)) {
+            skeleton.AttachChild(s, t);
+          } else {
+            merge.emplace_back(s, t);
+          }
+        });
+    if (!bin_scan.ok()) return bin_scan;
+    for (const auto& [s, t] : merge) skeleton.UnionR(s, t);
+  }
+
+  build.num_subnuclei = skeleton.NumNodes();
+  build.root_id = skeleton.AddNode(kRootLambda);
+  for (std::int32_t s = 0; s < build.root_id; ++s) {
+    if (!skeleton.HasParent(s)) skeleton.SetParent(s, build.root_id);
+  }
+
+  result.io.Add(graph.stats());
+  result.io.Add(spill.stats());
+  result.io.Add(sorted.stats());
+  std::remove(spill_path.c_str());
+  std::remove(sorted_path.c_str());
+  return result;
+}
+
+}  // namespace nucleus

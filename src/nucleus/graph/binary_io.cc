@@ -1,0 +1,199 @@
+#include "nucleus/graph/binary_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace nucleus {
+namespace {
+
+// fclose-on-scope-exit wrapper so every early return closes the stream.
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteBytes(std::FILE* f, const void* data, std::size_t size,
+                  const std::string& path) {
+  if (std::fwrite(data, 1, size, f) != size) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+Status ReadBytes(std::FILE* f, void* data, std::size_t size,
+                 const std::string& path) {
+  if (std::fread(data, 1, size, f) != size) {
+    return Status::OutOfRange("truncated file " + path);
+  }
+  return Status::Ok();
+}
+
+Status ParseHeader(std::FILE* f, const std::string& path,
+                   BinaryGraphHeader* header) {
+  if (Status s = ReadBytes(f, header->magic, sizeof(header->magic), path);
+      !s.ok()) {
+    return s;
+  }
+  if (std::memcmp(header->magic, kBinaryGraphMagic,
+                  sizeof(kBinaryGraphMagic)) != 0) {
+    return Status::InvalidArgument("bad magic in " + path +
+                                   " (not a binary graph file)");
+  }
+  if (Status s = ReadBytes(f, &header->version, sizeof(header->version), path);
+      !s.ok()) {
+    return s;
+  }
+  if (header->version != kBinaryGraphVersion) {
+    return Status::InvalidArgument("unsupported binary graph version " +
+                                   std::to_string(header->version) + " in " +
+                                   path);
+  }
+  if (Status s = ReadBytes(f, &header->num_vertices,
+                           sizeof(header->num_vertices), path);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = ReadBytes(f, &header->adj_size, sizeof(header->adj_size),
+                           path);
+      !s.ok()) {
+    return s;
+  }
+  if (header->num_vertices < 0) {
+    return Status::InvalidArgument("negative vertex count in " + path);
+  }
+  if (header->adj_size < 0 || header->adj_size % 2 != 0) {
+    return Status::InvalidArgument("invalid adjacency size in " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteBinaryGraph(const Graph& g, const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::Internal("cannot create " + path);
+  }
+  std::FILE* f = file.get();
+
+  const std::int32_t n = g.NumVertices();
+  const std::vector<VertexId>& adj = g.AdjArray();
+  const std::int64_t adj_size = static_cast<std::int64_t>(adj.size());
+  if (Status s = WriteBytes(f, kBinaryGraphMagic, sizeof(kBinaryGraphMagic),
+                            path);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s =
+          WriteBytes(f, &kBinaryGraphVersion, sizeof(kBinaryGraphVersion),
+                     path);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = WriteBytes(f, &n, sizeof(n), path); !s.ok()) return s;
+  if (Status s = WriteBytes(f, &adj_size, sizeof(adj_size), path); !s.ok()) {
+    return s;
+  }
+
+  // Offsets are regenerated from the graph (AdjOffset is the CSR offset
+  // array; the final entry is adj.size()).
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(n) + 1);
+  for (VertexId v = 0; v < n; ++v) offsets[v] = g.AdjOffset(v);
+  offsets[n] = adj_size;
+  if (Status s = WriteBytes(f, offsets.data(),
+                            offsets.size() * sizeof(std::int64_t), path);
+      !s.ok()) {
+    return s;
+  }
+  if (!adj.empty()) {
+    if (Status s =
+            WriteBytes(f, adj.data(), adj.size() * sizeof(VertexId), path);
+        !s.ok()) {
+      return s;
+    }
+  }
+  if (std::fflush(f) != 0) {
+    return Status::Internal("flush failed for " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Graph> ReadBinaryGraph(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::FILE* f = file.get();
+
+  BinaryGraphHeader header;
+  if (Status s = ParseHeader(f, path, &header); !s.ok()) return s;
+
+  std::vector<std::int64_t> offsets(
+      static_cast<std::size_t>(header.num_vertices) + 1);
+  if (Status s = ReadBytes(f, offsets.data(),
+                           offsets.size() * sizeof(std::int64_t), path);
+      !s.ok()) {
+    return s;
+  }
+  std::vector<VertexId> adj(static_cast<std::size_t>(header.adj_size));
+  if (!adj.empty()) {
+    if (Status s =
+            ReadBytes(f, adj.data(), adj.size() * sizeof(VertexId), path);
+        !s.ok()) {
+      return s;
+    }
+  }
+
+  // Validate the structural invariants Graph::FromCsr would abort on, so a
+  // corrupted file surfaces as a Status instead of a process abort.
+  if (offsets.front() != 0 || offsets.back() != header.adj_size) {
+    return Status::InvalidArgument("corrupt offsets in " + path);
+  }
+  for (std::size_t v = 0; v + 1 < offsets.size(); ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      return Status::InvalidArgument("non-monotone offsets in " + path);
+    }
+    for (std::int64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const VertexId w = adj[static_cast<std::size_t>(i)];
+      if (w < 0 || w >= header.num_vertices) {
+        return Status::InvalidArgument("out-of-range vertex id in " + path);
+      }
+      if (w == static_cast<VertexId>(v)) {
+        return Status::InvalidArgument("self-loop in " + path);
+      }
+      if (i > offsets[v] && adj[static_cast<std::size_t>(i - 1)] >= w) {
+        return Status::InvalidArgument("unsorted adjacency in " + path);
+      }
+    }
+  }
+  // Symmetry: every (v, w) entry must have a matching (w, v) entry. The
+  // lists are sorted, so binary search each reverse edge.
+  for (std::size_t v = 0; v + 1 < offsets.size(); ++v) {
+    for (std::int64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const VertexId w = adj[static_cast<std::size_t>(i)];
+      const auto begin = adj.begin() + offsets[w];
+      const auto end = adj.begin() + offsets[w + 1];
+      if (!std::binary_search(begin, end, static_cast<VertexId>(v))) {
+        return Status::InvalidArgument("asymmetric adjacency in " + path);
+      }
+    }
+  }
+  return Graph::FromCsr(std::move(offsets), std::move(adj));
+}
+
+StatusOr<BinaryGraphHeader> ReadBinaryGraphHeader(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  BinaryGraphHeader header;
+  if (Status s = ParseHeader(file.get(), path, &header); !s.ok()) return s;
+  return header;
+}
+
+}  // namespace nucleus

@@ -1,0 +1,119 @@
+#include "nucleus/graph/edge_list_io.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "nucleus/graph/graph_builder.h"
+
+namespace nucleus {
+namespace {
+
+// Parses a non-negative integer from the front of `sv`, advancing it past
+// the number and any following whitespace. Returns false on malformed input.
+bool ParseId(std::string_view* sv, std::int64_t* out) {
+  std::size_t i = 0;
+  while (i < sv->size() && std::isspace(static_cast<unsigned char>((*sv)[i])))
+    ++i;
+  sv->remove_prefix(i);
+  if (sv->empty()) return false;
+  const char* begin = sv->data();
+  const char* end = sv->data() + sv->size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  if (ec != std::errc() || *out < 0) return false;
+  sv->remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return true;
+}
+
+bool IsBlankOrComment(std::string_view line) {
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    return c == '#' || c == '%';
+  }
+  return true;
+}
+
+StatusOr<Graph> ParseEdgeLines(std::istream& in, bool one_based,
+                               std::int64_t skip_records) {
+  GraphBuilder builder;
+  std::string line;
+  std::int64_t line_no = 0;
+  std::int64_t records = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view sv(line);
+    if (IsBlankOrComment(sv)) continue;
+    if (skip_records > 0) {
+      --skip_records;
+      continue;  // MatrixMarket size line
+    }
+    std::int64_t u = 0;
+    std::int64_t v = 0;
+    if (!ParseId(&sv, &u) || !ParseId(&sv, &v)) {
+      return Status::InvalidArgument("malformed edge at line " +
+                                     std::to_string(line_no) + ": '" + line +
+                                     "'");
+    }
+    if (one_based) {
+      if (u == 0 || v == 0) {
+        return Status::InvalidArgument(
+            "MatrixMarket index 0 at line " + std::to_string(line_no));
+      }
+      --u;
+      --v;
+    }
+    constexpr std::int64_t kMaxVertex = 2147483646;
+    if (u > kMaxVertex || v > kMaxVertex) {
+      return Status::OutOfRange("vertex id exceeds 2^31-2 at line " +
+                                std::to_string(line_no));
+    }
+    builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    ++records;
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+StatusOr<Graph> ReadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  return ParseEdgeLines(in, /*one_based=*/false, /*skip_records=*/0);
+}
+
+StatusOr<Graph> ParseEdgeList(const std::string& text) {
+  std::istringstream in(text);
+  return ParseEdgeLines(in, /*one_based=*/false, /*skip_records=*/0);
+}
+
+Status WriteEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open '" + path + "' for writing");
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    out << u << ' ' << v << '\n';
+  });
+  out.flush();
+  if (!out) return Status::Internal("write failure on '" + path + "'");
+  return Status::Ok();
+}
+
+StatusOr<Graph> ReadMatrixMarket(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::string header;
+  if (!std::getline(in, header) ||
+      header.rfind("%%MatrixMarket", 0) != 0) {
+    return Status::InvalidArgument("missing %%MatrixMarket header in '" +
+                                   path + "'");
+  }
+  if (header.find("coordinate") == std::string::npos) {
+    return Status::InvalidArgument("only coordinate format supported");
+  }
+  // The first non-comment line is the size line; skip it, then read edges.
+  return ParseEdgeLines(in, /*one_based=*/true, /*skip_records=*/1);
+}
+
+}  // namespace nucleus

@@ -1,0 +1,34 @@
+// Plain-text graph IO: whitespace-separated edge lists (the SNAP format the
+// paper's datasets ship in) and MatrixMarket coordinate files (UF Sparse
+// Matrix Collection format, used by uk-2005).
+#ifndef NUCLEUS_GRAPH_EDGE_LIST_IO_H_
+#define NUCLEUS_GRAPH_EDGE_LIST_IO_H_
+
+#include <string>
+
+#include "nucleus/graph/graph.h"
+#include "nucleus/util/status.h"
+
+namespace nucleus {
+
+/// Reads a whitespace-separated edge list. Lines starting with '#' or '%'
+/// are comments. Directions are ignored, self-loops and duplicates dropped
+/// (paper Section 5: "We ignore the directions for directed graphs").
+/// Vertex ids must be non-negative integers; the graph gets
+/// max_id + 1 vertices.
+StatusOr<Graph> ReadEdgeList(const std::string& path);
+
+/// Parses an edge list from an in-memory string (same format as above).
+StatusOr<Graph> ParseEdgeList(const std::string& text);
+
+/// Writes one "u v" line per undirected edge (u < v).
+Status WriteEdgeList(const Graph& g, const std::string& path);
+
+/// Reads a MatrixMarket coordinate file as an undirected graph. Supports
+/// "pattern", "integer" and "real" fields; values are ignored. 1-based
+/// indices per the format.
+StatusOr<Graph> ReadMatrixMarket(const std::string& path);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_GRAPH_EDGE_LIST_IO_H_

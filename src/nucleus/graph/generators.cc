@@ -1,0 +1,397 @@
+#include "nucleus/graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "nucleus/graph/graph_builder.h"
+#include "nucleus/util/rng.h"
+
+namespace nucleus {
+
+Graph Path(VertexId n) {
+  NUCLEUS_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) b.AddEdge(v, v + 1);
+  return b.Build();
+}
+
+Graph Cycle(VertexId n) {
+  NUCLEUS_CHECK(n >= 3);
+  GraphBuilder b(n);
+  for (VertexId v = 0; v < n; ++v) b.AddEdge(v, (v + 1) % n);
+  return b.Build();
+}
+
+Graph Star(VertexId leaves) {
+  NUCLEUS_CHECK(leaves >= 0);
+  GraphBuilder b(leaves + 1);
+  for (VertexId v = 1; v <= leaves; ++v) b.AddEdge(0, v);
+  return b.Build();
+}
+
+Graph Complete(VertexId n) {
+  NUCLEUS_CHECK(n >= 1);
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) b.AddEdge(u, v);
+  return b.Build();
+}
+
+Graph CompleteBipartite(VertexId a, VertexId b_size) {
+  NUCLEUS_CHECK(a >= 1 && b_size >= 1);
+  GraphBuilder b(a + b_size);
+  for (VertexId u = 0; u < a; ++u)
+    for (VertexId v = 0; v < b_size; ++v) b.AddEdge(u, a + v);
+  return b.Build();
+}
+
+Graph Grid2D(VertexId rows, VertexId cols) {
+  NUCLEUS_CHECK(rows >= 1 && cols >= 1);
+  GraphBuilder b(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.Build();
+}
+
+Graph Wheel(VertexId n) {
+  NUCLEUS_CHECK(n >= 4);
+  GraphBuilder b(n);
+  const VertexId rim = n - 1;
+  for (VertexId v = 0; v < rim; ++v) {
+    b.AddEdge(v, (v + 1) % rim);
+    b.AddEdge(v, rim);  // hub is the last vertex
+  }
+  return b.Build();
+}
+
+Graph Lollipop(VertexId clique_size, VertexId path_length) {
+  NUCLEUS_CHECK(clique_size >= 1 && path_length >= 0);
+  GraphBuilder b(clique_size + path_length);
+  for (VertexId u = 0; u < clique_size; ++u)
+    for (VertexId v = u + 1; v < clique_size; ++v) b.AddEdge(u, v);
+  VertexId prev = clique_size - 1;
+  for (VertexId i = 0; i < path_length; ++i) {
+    b.AddEdge(prev, clique_size + i);
+    prev = clique_size + i;
+  }
+  return b.Build();
+}
+
+Graph ErdosRenyiGnm(VertexId n, std::int64_t m, std::uint64_t seed) {
+  NUCLEUS_CHECK(n >= 2);
+  const std::int64_t max_edges =
+      static_cast<std::int64_t>(n) * (n - 1) / 2;
+  NUCLEUS_CHECK(m >= 0 && m <= max_edges);
+  Rng rng(seed);
+  std::set<std::pair<VertexId, VertexId>> chosen;
+  while (static_cast<std::int64_t>(chosen.size()) < m) {
+    VertexId u = rng.UniformVertex(n);
+    VertexId v = rng.UniformVertex(n);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    chosen.emplace(u, v);
+  }
+  GraphBuilder b(n);
+  for (const auto& [u, v] : chosen) b.AddEdge(u, v);
+  return b.Build();
+}
+
+Graph ErdosRenyiGnp(VertexId n, double p, std::uint64_t seed) {
+  NUCLEUS_CHECK(n >= 1);
+  NUCLEUS_CHECK(p >= 0.0 && p <= 1.0);
+  GraphBuilder b(n);
+  if (p > 0.0) {
+    Rng rng(seed);
+    if (p >= 1.0) return Complete(n);
+    // Geometric skipping over the lexicographic enumeration of pairs.
+    const double log_q = std::log(1.0 - p);
+    std::int64_t v = 1;
+    std::int64_t u = -1;
+    const std::int64_t nn = n;
+    while (v < nn) {
+      const double r = std::max(rng.UniformReal(), 1e-300);
+      u += 1 + static_cast<std::int64_t>(std::floor(std::log(r) / log_q));
+      while (u >= v && v < nn) {
+        u -= v;
+        ++v;
+      }
+      if (v < nn) {
+        b.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+      }
+    }
+  }
+  return b.Build();
+}
+
+Graph BarabasiAlbert(VertexId n, VertexId edges_per_vertex,
+                     std::uint64_t seed) {
+  NUCLEUS_CHECK(edges_per_vertex >= 1);
+  NUCLEUS_CHECK(n > edges_per_vertex);
+  Rng rng(seed);
+  GraphBuilder b(n);
+  // Repeated-endpoints array: picking a uniform element is degree-
+  // proportional sampling.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(2) * n * edges_per_vertex);
+  // Seed clique over the first edges_per_vertex + 1 vertices.
+  for (VertexId u = 0; u <= edges_per_vertex; ++u) {
+    for (VertexId v = u + 1; v <= edges_per_vertex; ++v) {
+      b.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (VertexId v = edges_per_vertex + 1; v < n; ++v) {
+    std::set<VertexId> targets;
+    while (static_cast<VertexId>(targets.size()) < edges_per_vertex) {
+      const VertexId t = endpoints[static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(endpoints.size()) - 1))];
+      if (t != v) targets.insert(t);
+    }
+    for (VertexId t : targets) {
+      b.AddEdge(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return b.Build();
+}
+
+Graph RMat(int scale, std::int64_t num_edges, double a, double b, double c,
+           std::uint64_t seed) {
+  NUCLEUS_CHECK(scale >= 1 && scale < 31);
+  const double d = 1.0 - a - b - c;
+  NUCLEUS_CHECK(a >= 0 && b >= 0 && c >= 0 && d >= -1e-9);
+  Rng rng(seed);
+  const VertexId n = static_cast<VertexId>(1) << scale;
+  GraphBuilder builder(n);
+  for (std::int64_t e = 0; e < num_edges; ++e) {
+    VertexId u = 0;
+    VertexId v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      const double r = rng.UniformReal();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    builder.AddEdge(u, v);  // self-loops dropped, duplicates deduped
+  }
+  return builder.Build();
+}
+
+Graph WattsStrogatz(VertexId n, VertexId k, double beta, std::uint64_t seed) {
+  NUCLEUS_CHECK(n >= 3 && k >= 1 && 2 * k < n);
+  NUCLEUS_CHECK(beta >= 0.0 && beta <= 1.0);
+  Rng rng(seed);
+  std::set<std::pair<VertexId, VertexId>> edges;
+  auto canon = [](VertexId u, VertexId v) {
+    return u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+  };
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId j = 1; j <= k; ++j) {
+      edges.insert(canon(u, (u + j) % n));
+    }
+  }
+  std::vector<std::pair<VertexId, VertexId>> lattice(edges.begin(),
+                                                     edges.end());
+  for (const auto& [u, v] : lattice) {
+    if (!rng.Bernoulli(beta)) continue;
+    // Rewire the far endpoint to a uniform non-neighbor.
+    for (int attempts = 0; attempts < 64; ++attempts) {
+      const VertexId w = rng.UniformVertex(n);
+      if (w == u || w == v) continue;
+      const auto candidate = canon(u, w);
+      if (edges.count(candidate) > 0) continue;
+      edges.erase(canon(u, v));
+      edges.insert(candidate);
+      break;
+    }
+  }
+  GraphBuilder b(n);
+  for (const auto& [u, v] : edges) b.AddEdge(u, v);
+  return b.Build();
+}
+
+Graph PlantedPartition(VertexId communities, VertexId block_size, double p_in,
+                       double p_out, std::uint64_t seed) {
+  NUCLEUS_CHECK(communities >= 1 && block_size >= 1);
+  const VertexId n = communities * block_size;
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      const bool same = (u / block_size) == (v / block_size);
+      if (rng.Bernoulli(same ? p_in : p_out)) b.AddEdge(u, v);
+    }
+  }
+  return b.Build();
+}
+
+Graph Caveman(VertexId caves, VertexId cave_size, std::int64_t bridges,
+              std::uint64_t seed) {
+  NUCLEUS_CHECK(caves >= 1 && cave_size >= 2);
+  const VertexId n = caves * cave_size;
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (VertexId cave = 0; cave < caves; ++cave) {
+    const VertexId base = cave * cave_size;
+    for (VertexId u = 0; u < cave_size; ++u)
+      for (VertexId v = u + 1; v < cave_size; ++v)
+        b.AddEdge(base + u, base + v);
+  }
+  std::int64_t added = 0;
+  while (added < bridges && caves >= 2) {
+    const VertexId cu = static_cast<VertexId>(rng.UniformInt(0, caves - 1));
+    const VertexId cv = static_cast<VertexId>(rng.UniformInt(0, caves - 1));
+    if (cu == cv) continue;
+    const VertexId u =
+        cu * cave_size + static_cast<VertexId>(rng.UniformInt(0, cave_size - 1));
+    const VertexId v =
+        cv * cave_size + static_cast<VertexId>(rng.UniformInt(0, cave_size - 1));
+    b.AddEdge(u, v);
+    ++added;
+  }
+  return b.Build();
+}
+
+Graph MixedCaveman(VertexId caves, VertexId min_cave_size,
+                   VertexId max_cave_size, std::int64_t bridges,
+                   std::uint64_t seed) {
+  NUCLEUS_CHECK(caves >= 1);
+  NUCLEUS_CHECK(2 <= min_cave_size && min_cave_size <= max_cave_size);
+  Rng rng(seed);
+  GraphBuilder b;
+  std::vector<VertexId> cave_base;
+  std::vector<VertexId> cave_size;
+  VertexId next = 0;
+  for (VertexId cave = 0; cave < caves; ++cave) {
+    const VertexId size =
+        static_cast<VertexId>(rng.UniformInt(min_cave_size, max_cave_size));
+    cave_base.push_back(next);
+    cave_size.push_back(size);
+    for (VertexId u = 0; u < size; ++u)
+      for (VertexId v = u + 1; v < size; ++v)
+        b.AddEdge(next + u, next + v);
+    next += size;
+  }
+  std::int64_t added = 0;
+  while (added < bridges && caves >= 2) {
+    const VertexId cu = static_cast<VertexId>(rng.UniformInt(0, caves - 1));
+    const VertexId cv = static_cast<VertexId>(rng.UniformInt(0, caves - 1));
+    if (cu == cv) continue;
+    const VertexId u = cave_base[cu] + static_cast<VertexId>(
+                                           rng.UniformInt(0, cave_size[cu] - 1));
+    const VertexId v = cave_base[cv] + static_cast<VertexId>(
+                                           rng.UniformInt(0, cave_size[cv] - 1));
+    b.AddEdge(u, v);
+    ++added;
+  }
+  return b.Build();
+}
+
+namespace {
+
+// Recursively assigns the vertex ranges of a hierarchical-communities tree
+// and emits cross edges between sibling subtrees.
+void BuildHierarchicalLevel(GraphBuilder* b, Rng* rng, VertexId lo,
+                            VertexId hi, int level, int branching,
+                            VertexId leaf_size,
+                            VertexId edges_per_pair_base) {
+  const VertexId span = hi - lo;
+  if (level == 0) {
+    NUCLEUS_CHECK(span == leaf_size);
+    for (VertexId u = lo; u < hi; ++u)
+      for (VertexId v = u + 1; v < hi; ++v) b->AddEdge(u, v);
+    return;
+  }
+  const VertexId child_span = span / branching;
+  for (int i = 0; i < branching; ++i) {
+    BuildHierarchicalLevel(b, rng, lo + i * child_span,
+                           lo + (i + 1) * child_span, level - 1, branching,
+                           leaf_size, edges_per_pair_base);
+  }
+  // Cross edges between each pair of children; fewer near the root.
+  const VertexId per_pair = edges_per_pair_base * level;
+  for (int i = 0; i < branching; ++i) {
+    for (int j = i + 1; j < branching; ++j) {
+      for (VertexId e = 0; e < per_pair; ++e) {
+        const VertexId u =
+            lo + i * child_span +
+            static_cast<VertexId>(rng->UniformInt(0, child_span - 1));
+        const VertexId v =
+            lo + j * child_span +
+            static_cast<VertexId>(rng->UniformInt(0, child_span - 1));
+        b->AddEdge(u, v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Graph HierarchicalCommunities(int levels, int branching, VertexId leaf_size,
+                              VertexId edges_per_pair_base,
+                              std::uint64_t seed) {
+  NUCLEUS_CHECK(levels >= 0 && branching >= 2 && leaf_size >= 2);
+  NUCLEUS_CHECK(edges_per_pair_base >= 1);
+  VertexId n = leaf_size;
+  for (int i = 0; i < levels; ++i) n *= branching;
+  Rng rng(seed);
+  GraphBuilder b(n);
+  BuildHierarchicalLevel(&b, &rng, 0, n, levels, branching, leaf_size,
+                         edges_per_pair_base);
+  return b.Build();
+}
+
+Graph WithTriadicClosure(const Graph& g, std::int64_t closures,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(g.NumVertices());
+  g.ForEachEdge([&](VertexId u, VertexId v) { b.AddEdge(u, v); });
+  std::int64_t done = 0;
+  std::int64_t attempts = 0;
+  const std::int64_t max_attempts = closures * 20 + 100;
+  while (done < closures && attempts < max_attempts) {
+    ++attempts;
+    const VertexId w = rng.UniformVertex(g.NumVertices());
+    const auto nbrs = g.Neighbors(w);
+    if (nbrs.size() < 2) continue;
+    const auto i = rng.UniformInt(0, static_cast<std::int64_t>(nbrs.size()) - 1);
+    const auto j = rng.UniformInt(0, static_cast<std::int64_t>(nbrs.size()) - 1);
+    if (i == j) continue;
+    b.AddEdge(nbrs[i], nbrs[j]);
+    ++done;
+  }
+  return b.Build();
+}
+
+Graph WithRandomEdges(const Graph& g, std::int64_t extra, std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(g.NumVertices());
+  g.ForEachEdge([&](VertexId u, VertexId v) { b.AddEdge(u, v); });
+  for (std::int64_t e = 0; e < extra; ++e) {
+    const VertexId u = rng.UniformVertex(g.NumVertices());
+    const VertexId v = rng.UniformVertex(g.NumVertices());
+    if (u != v) b.AddEdge(u, v);
+  }
+  return b.Build();
+}
+
+}  // namespace nucleus

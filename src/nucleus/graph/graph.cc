@@ -1,0 +1,49 @@
+#include "nucleus/graph/graph.h"
+
+#include <algorithm>
+
+namespace nucleus {
+
+Graph Graph::FromCsr(std::vector<std::int64_t> offsets,
+                     std::vector<VertexId> adj) {
+  NUCLEUS_CHECK(!offsets.empty());
+  NUCLEUS_CHECK(offsets.front() == 0);
+  NUCLEUS_CHECK(offsets.back() == static_cast<std::int64_t>(adj.size()));
+  const VertexId n = static_cast<VertexId>(offsets.size()) - 1;
+  for (VertexId v = 0; v < n; ++v) {
+    NUCLEUS_CHECK(offsets[v] <= offsets[v + 1]);
+    for (std::int64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      NUCLEUS_CHECK(adj[i] >= 0 && adj[i] < n);
+      NUCLEUS_CHECK_MSG(adj[i] != v, "self-loop in CSR input");
+      if (i > offsets[v]) {
+        NUCLEUS_CHECK_MSG(adj[i - 1] < adj[i],
+                          "adjacency list not strictly increasing");
+      }
+    }
+  }
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.adj_ = std::move(adj);
+  // Symmetry check: every (u, v) entry must have a matching (v, u) entry.
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      NUCLEUS_CHECK_MSG(g.HasEdge(v, u), "CSR input is not symmetric");
+    }
+  }
+  return g;
+}
+
+std::int64_t Graph::MaxDegree() const {
+  std::int64_t best = 0;
+  const VertexId n = NumVertices();
+  for (VertexId v = 0; v < n; ++v) best = std::max(best, Degree(v));
+  return best;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u < 0 || v < 0 || u >= NumVertices() || v >= NumVertices()) return false;
+  const auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace nucleus

@@ -1,0 +1,94 @@
+#include "nucleus/graph/graph_builder.h"
+
+#include <algorithm>
+
+namespace nucleus {
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  NUCLEUS_CHECK(u >= 0 && v >= 0);
+  if (u == v) return;  // self-loop
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+  if (v >= num_vertices_) num_vertices_ = v + 1;
+}
+
+void GraphBuilder::AddEdges(
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  for (const auto& [u, v] : edges) AddEdge(u, v);
+}
+
+void GraphBuilder::EnsureVertex(VertexId v) {
+  NUCLEUS_CHECK(v >= 0);
+  if (v >= num_vertices_) num_vertices_ = v + 1;
+}
+
+Graph GraphBuilder::Build() const {
+  std::vector<std::pair<VertexId, VertexId>> edges = edges_;
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  const VertexId n = num_vertices_;
+  std::vector<std::int64_t> offsets(n + 1, 0);
+  for (const auto& [u, v] : edges) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+  std::vector<VertexId> adj(offsets[n]);
+  std::vector<std::int64_t> fill(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges) {
+    adj[fill[u]++] = v;
+    adj[fill[v]++] = u;
+  }
+  // Canonical-(u,v)-sorted insertion yields ascending "v" entries per list,
+  // but the mixed u/v insertions need a per-list sort.
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(adj.begin() + offsets[v], adj.begin() + offsets[v + 1]);
+  }
+  return Graph::FromCsr(std::move(offsets), std::move(adj));
+}
+
+Graph GraphFromEdges(VertexId num_vertices,
+                     const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  GraphBuilder builder(num_vertices);
+  builder.AddEdges(edges);
+  return builder.Build();
+}
+
+Graph DisjointUnion(const std::vector<Graph>& graphs) {
+  GraphBuilder builder;
+  VertexId offset = 0;
+  for (const Graph& g : graphs) {
+    const VertexId n = g.NumVertices();
+    builder.EnsureVertex(offset + n - 1 >= 0 ? offset + n - 1 : 0);
+    g.ForEachEdge(
+        [&](VertexId u, VertexId v) { builder.AddEdge(offset + u, offset + v); });
+    offset += n;
+  }
+  if (offset > 0) builder.EnsureVertex(offset - 1);
+  return builder.Build();
+}
+
+Graph InducedSubgraph(const Graph& g, const std::vector<VertexId>& vertices,
+                      std::vector<VertexId>* old_to_new) {
+  std::vector<VertexId> sorted = vertices;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  std::vector<VertexId> map(g.NumVertices(), kInvalidId);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    NUCLEUS_CHECK(sorted[i] >= 0 && sorted[i] < g.NumVertices());
+    map[sorted[i]] = static_cast<VertexId>(i);
+  }
+
+  GraphBuilder builder(static_cast<VertexId>(sorted.size()));
+  for (VertexId u : sorted) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (u < v && map[v] != kInvalidId) builder.AddEdge(map[u], map[v]);
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  return builder.Build();
+}
+
+}  // namespace nucleus

@@ -1,0 +1,166 @@
+#include "nucleus/graph/graph_stats.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "nucleus/util/bucket_queue.h"
+
+namespace nucleus {
+
+DegreeStats ComputeDegreeStats(const Graph& g) {
+  DegreeStats stats;
+  const VertexId n = g.NumVertices();
+  if (n == 0) return stats;
+  stats.min = g.Degree(0);
+  for (VertexId v = 0; v < n; ++v) {
+    const std::int64_t d = g.Degree(v);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+  }
+  stats.mean = 2.0 * static_cast<double>(g.NumEdges()) / n;
+  return stats;
+}
+
+std::vector<std::int32_t> ConnectedComponents(const Graph& g,
+                                              std::int32_t* num_components) {
+  const VertexId n = g.NumVertices();
+  std::vector<std::int32_t> comp(n, -1);
+  std::int32_t next = 0;
+  std::queue<VertexId> queue;
+  for (VertexId s = 0; s < n; ++s) {
+    if (comp[s] != -1) continue;
+    comp[s] = next;
+    queue.push(s);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop();
+      for (VertexId v : g.Neighbors(u)) {
+        if (comp[v] == -1) {
+          comp[v] = next;
+          queue.push(v);
+        }
+      }
+    }
+    ++next;
+  }
+  if (num_components != nullptr) *num_components = next;
+  return comp;
+}
+
+std::vector<VertexId> LargestComponentVertices(const Graph& g) {
+  std::int32_t num_components = 0;
+  const std::vector<std::int32_t> comp = ConnectedComponents(g, &num_components);
+  if (num_components == 0) return {};
+  std::vector<std::int64_t> sizes(num_components, 0);
+  for (std::int32_t c : comp) ++sizes[c];
+  const std::int32_t best = static_cast<std::int32_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+  std::vector<VertexId> vertices;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (comp[v] == best) vertices.push_back(v);
+  }
+  return vertices;
+}
+
+std::int64_t CountTriangles(const Graph& g) {
+  // Forward algorithm: orient edges from lower to higher degree (ties by
+  // id); count common out-neighbors per oriented edge.
+  const VertexId n = g.NumVertices();
+  auto rank_less = [&g](VertexId a, VertexId b) {
+    const auto da = g.Degree(a);
+    const auto db = g.Degree(b);
+    return da != db ? da < db : a < b;
+  };
+  std::vector<std::vector<VertexId>> out(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.Neighbors(u)) {
+      if (rank_less(u, v)) out[u].push_back(v);
+    }
+  }
+  for (VertexId u = 0; u < n; ++u) std::sort(out[u].begin(), out[u].end());
+  std::int64_t triangles = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : out[u]) {
+      // |out[u] ∩ out[v]| by sorted merge.
+      std::size_t i = 0;
+      std::size_t j = 0;
+      while (i < out[u].size() && j < out[v].size()) {
+        if (out[u][i] < out[v][j]) {
+          ++i;
+        } else if (out[u][i] > out[v][j]) {
+          ++j;
+        } else {
+          ++triangles;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+namespace {
+
+// Counts wedges (paths of length 2) and triangles-per-vertex in one pass.
+std::int64_t CountWedges(const Graph& g) {
+  std::int64_t wedges = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const std::int64_t d = g.Degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  return wedges;
+}
+
+}  // namespace
+
+double GlobalClusteringCoefficient(const Graph& g) {
+  const std::int64_t wedges = CountWedges(g);
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(g)) /
+         static_cast<double>(wedges);
+}
+
+double AverageLocalClustering(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  if (n == 0) return 0.0;
+  double total = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbrs = g.Neighbors(v);
+    const std::int64_t d = static_cast<std::int64_t>(nbrs.size());
+    if (d < 2) continue;
+    std::int64_t links = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (g.HasEdge(nbrs[i], nbrs[j])) ++links;
+      }
+    }
+    total += 2.0 * static_cast<double>(links) /
+             (static_cast<double>(d) * static_cast<double>(d - 1));
+  }
+  return total / n;
+}
+
+std::int32_t Degeneracy(const Graph& g, std::vector<VertexId>* ordering) {
+  const VertexId n = g.NumVertices();
+  if (ordering != nullptr) ordering->clear();
+  if (n == 0) return 0;
+  std::vector<std::int32_t> degrees(n);
+  for (VertexId v = 0; v < n; ++v)
+    degrees[v] = static_cast<std::int32_t>(g.Degree(v));
+  PeelingBucketQueue queue;
+  queue.Init(degrees);
+  std::int32_t degeneracy = 0;
+  while (!queue.Empty()) {
+    std::int32_t value = 0;
+    const VertexId u = queue.PopMin(&value);
+    degeneracy = std::max(degeneracy, value);
+    if (ordering != nullptr) ordering->push_back(u);
+    for (VertexId v : g.Neighbors(u)) {
+      if (!queue.Popped(v) && queue.Value(v) > value) queue.Decrement(v);
+    }
+  }
+  return degeneracy;
+}
+
+}  // namespace nucleus

@@ -1,0 +1,48 @@
+// Structural statistics used by Table 3 of the paper, the dataset registry,
+// and the test suite's reference implementations.
+#ifndef NUCLEUS_GRAPH_GRAPH_STATS_H_
+#define NUCLEUS_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nucleus/graph/graph.h"
+
+namespace nucleus {
+
+struct DegreeStats {
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  double mean = 0.0;
+};
+
+DegreeStats ComputeDegreeStats(const Graph& g);
+
+/// Connected components by BFS. Returns the component id of every vertex in
+/// [0, num_components); ids are assigned in order of the smallest vertex.
+std::vector<std::int32_t> ConnectedComponents(const Graph& g,
+                                              std::int32_t* num_components);
+
+/// Vertex set of the largest connected component (smallest-vertex tiebreak).
+std::vector<VertexId> LargestComponentVertices(const Graph& g);
+
+/// Total number of triangles (each counted once) via the forward algorithm.
+std::int64_t CountTriangles(const Graph& g);
+
+/// Global clustering coefficient: 3 * triangles / #wedges. Returns 0 for
+/// graphs with no wedge.
+double GlobalClusteringCoefficient(const Graph& g);
+
+/// Average of per-vertex local clustering coefficients (vertices of degree
+/// < 2 contribute 0, as in Watts-Strogatz).
+double AverageLocalClustering(const Graph& g);
+
+/// Degeneracy (max core number) and, optionally, a degeneracy ordering
+/// (smallest-last). Standalone so the graph layer has no dependency on the
+/// decomposition layer; cross-checked against PeelCore in tests.
+std::int32_t Degeneracy(const Graph& g,
+                        std::vector<VertexId>* ordering = nullptr);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_GRAPH_GRAPH_STATS_H_

@@ -1,0 +1,96 @@
+#include "nucleus/io/hierarchy_export.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace nucleus {
+namespace {
+
+bool NodeVisible(const NucleusHierarchy& h, std::int32_t id,
+                 const ExportOptions& options) {
+  return id == h.root() ||
+         h.node(id).subtree_members >= options.min_subtree_members;
+}
+
+}  // namespace
+
+std::string HierarchyToDot(const NucleusHierarchy& h,
+                           const ExportOptions& options) {
+  std::ostringstream out;
+  out << "digraph nucleus_hierarchy {\n"
+      << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (std::int32_t id = 0; id < h.NumNodes(); ++id) {
+    if (!NodeVisible(h, id, options)) continue;
+    const auto& node = h.node(id);
+    out << "  n" << id << " [label=\"";
+    if (id == h.root()) {
+      out << "root";
+    } else {
+      out << "k=" << node.lambda;
+    }
+    out << "\\nsubtree=" << node.subtree_members;
+    if (options.include_members && !node.members.empty()) {
+      out << "\\nmembers=";
+      for (std::size_t i = 0; i < node.members.size(); ++i) {
+        if (i > 0) out << ",";
+        out << node.members[i];
+      }
+    }
+    out << "\"];\n";
+  }
+  for (std::int32_t id = 0; id < h.NumNodes(); ++id) {
+    if (id == h.root() || !NodeVisible(h, id, options)) continue;
+    // Splice hidden intermediate nodes up to the nearest visible ancestor.
+    std::int32_t parent = h.node(id).parent;
+    while (parent != h.root() && !NodeVisible(h, parent, options)) {
+      parent = h.node(parent).parent;
+    }
+    out << "  n" << parent << " -> n" << id << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string HierarchyToJson(const NucleusHierarchy& h,
+                            const ExportOptions& options) {
+  std::ostringstream out;
+  out << "{\"root\": " << h.root() << ", \"max_lambda\": " << h.MaxLambda()
+      << ", \"num_nuclei\": " << h.NumNuclei() << ", \"nodes\": [\n";
+  bool first = true;
+  for (std::int32_t id = 0; id < h.NumNodes(); ++id) {
+    const auto& node = h.node(id);
+    if (!first) out << ",\n";
+    first = false;
+    out << "  {\"id\": " << id << ", \"lambda\": " << node.lambda
+        << ", \"parent\": " << node.parent
+        << ", \"size\": " << node.members.size()
+        << ", \"subtree_size\": " << node.subtree_members << ", \"children\": [";
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << node.children[i];
+    }
+    out << "]";
+    if (options.include_members) {
+      out << ", \"members\": [";
+      for (std::size_t i = 0; i < node.members.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << node.members[i];
+      }
+      out << "]";
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+Status WriteStringToFile(const std::string& content, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open '" + path + "' for writing");
+  out << content;
+  out.flush();
+  if (!out) return Status::Internal("write failure on '" + path + "'");
+  return Status::Ok();
+}
+
+}  // namespace nucleus

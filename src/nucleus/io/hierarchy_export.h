@@ -1,0 +1,34 @@
+// Exporters for the nucleus hierarchy: Graphviz DOT (visualization, the
+// use-case of Alvarez-Hamelin et al. and Colomer-de-Simon et al. the paper
+// cites) and a line-oriented JSON document for downstream tooling.
+#ifndef NUCLEUS_IO_HIERARCHY_EXPORT_H_
+#define NUCLEUS_IO_HIERARCHY_EXPORT_H_
+
+#include <string>
+
+#include "nucleus/core/hierarchy.h"
+#include "nucleus/util/status.h"
+
+namespace nucleus {
+
+struct ExportOptions {
+  /// Include the direct member ids of every node (can be large).
+  bool include_members = false;
+  /// Skip nodes whose subtree has fewer members than this.
+  std::int64_t min_subtree_members = 0;
+};
+
+/// DOT digraph, one box per hierarchy node labeled "λ=<k> |subtree|=<n>".
+std::string HierarchyToDot(const NucleusHierarchy& h,
+                           const ExportOptions& options = {});
+
+/// JSON object {"root": id, "nodes": [{id, lambda, parent, size,
+/// subtree_size, children: [...], members?: [...]}]}.
+std::string HierarchyToJson(const NucleusHierarchy& h,
+                            const ExportOptions& options = {});
+
+Status WriteStringToFile(const std::string& content, const std::string& path);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_IO_HIERARCHY_EXPORT_H_

@@ -1,0 +1,154 @@
+#include "nucleus/parallel/parallel_peel.h"
+
+#include <algorithm>
+
+#include "nucleus/core/peeling.h"
+
+namespace nucleus {
+namespace {
+
+/// Per-thread scratch for wave processing: next-wave members and future
+/// bucket registrations, merged at barrier time.
+struct ThreadBuffers {
+  std::vector<CliqueId> next_wave;
+  std::vector<std::pair<std::int32_t, CliqueId>> requeue;  // (support, id)
+};
+
+}  // namespace
+
+template <typename Space>
+PeelResult PeelParallel(const Space& space, int num_threads) {
+  const std::int64_t n = space.NumCliques();
+  PeelResult result;
+  result.lambda.assign(n, 0);
+  if (n == 0) return result;
+  if (num_threads <= 0) {
+    num_threads =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+  num_threads =
+      static_cast<int>(std::min<std::int64_t>(num_threads, std::max<std::int64_t>(n, 1)));
+
+  // Atomic supports, seeded by the (parallel) support computation.
+  const std::vector<std::int32_t> initial =
+      ComputeSupportsParallel(space, num_threads);
+  std::vector<std::atomic<std::int32_t>> supports(n);
+  std::int32_t max_support = 0;
+  for (std::int64_t u = 0; u < n; ++u) {
+    supports[u].store(initial[u], std::memory_order_relaxed);
+    max_support = std::max(max_support, initial[u]);
+  }
+
+  // round[u] == 0: unprocessed; otherwise the wave round that processed u.
+  std::vector<std::int32_t> round(n, 0);
+
+  // Lazy buckets: every K_r is registered at its initial support; each
+  // successful decrement re-registers at the new value. Entries are
+  // validated (round == 0 and support == level) when drained.
+  std::vector<std::vector<CliqueId>> buckets(
+      static_cast<std::size_t>(max_support) + 1);
+  for (std::int64_t u = 0; u < n; ++u) {
+    buckets[initial[u]].push_back(static_cast<CliqueId>(u));
+  }
+
+  std::vector<ThreadBuffers> buffers(num_threads);
+  std::vector<CliqueId> wave;
+  std::int64_t processed = 0;
+  std::int32_t round_counter = 0;
+
+  for (std::int32_t level = 0; level <= max_support && processed < n;
+       ++level) {
+    // Seed the level's first wave from the bucket.
+    wave.clear();
+    for (CliqueId u : buckets[level]) {
+      if (round[u] == 0 &&
+          supports[u].load(std::memory_order_relaxed) == level) {
+        wave.push_back(u);
+      }
+    }
+    std::sort(wave.begin(), wave.end());
+    wave.erase(std::unique(wave.begin(), wave.end()), wave.end());
+
+    while (!wave.empty()) {
+      ++round_counter;
+      const std::int32_t cur = round_counter;
+
+      // Barrier 1: mark the whole wave processed at this level.
+      internal::ParallelFor(
+          static_cast<std::int64_t>(wave.size()), num_threads,
+          [&](int, std::int64_t begin, std::int64_t end) {
+            for (std::int64_t i = begin; i < end; ++i) {
+              round[wave[i]] = cur;
+              result.lambda[wave[i]] = level;
+            }
+          });
+      processed += static_cast<std::int64_t>(wave.size());
+
+      // Barrier 2: charge supercliques. Exactly one wave member — the
+      // minimum-id one inside each K_s — performs the decrements, and only
+      // against members never processed (round 0). Supercliques containing
+      // a member processed in an earlier round are dead (Alg. 1 line 8).
+      internal::ParallelFor(
+          static_cast<std::int64_t>(wave.size()), num_threads,
+          [&](int t, std::int64_t begin, std::int64_t end) {
+            ThreadBuffers& buf = buffers[t];
+            for (std::int64_t i = begin; i < end; ++i) {
+              const CliqueId u = wave[i];
+              space.ForEachSuperclique(u, [&](const CliqueId* members,
+                                              int count) {
+                CliqueId owner = u;
+                for (int j = 0; j < count; ++j) {
+                  const CliqueId m = members[j];
+                  const std::int32_t r = round[m];
+                  if (r != 0 && r != cur) return;  // dead superclique
+                  if (r == cur && m < owner) owner = m;
+                }
+                if (owner != u) return;  // another wave member charges it
+                for (int j = 0; j < count; ++j) {
+                  const CliqueId m = members[j];
+                  if (round[m] != 0) continue;
+                  // CAS decrement, never below the level.
+                  std::int32_t s =
+                      supports[m].load(std::memory_order_relaxed);
+                  while (s > level &&
+                         !supports[m].compare_exchange_weak(
+                             s, s - 1, std::memory_order_relaxed)) {
+                  }
+                  if (s > level) {  // we performed the decrement from s
+                    const std::int32_t now = s - 1;
+                    if (now == level) {
+                      buf.next_wave.push_back(m);
+                    } else {
+                      buf.requeue.emplace_back(now, m);
+                    }
+                  }
+                }
+              });
+            }
+          });
+
+      // Merge thread buffers (serial; sizes are small per wave).
+      wave.clear();
+      for (ThreadBuffers& buf : buffers) {
+        wave.insert(wave.end(), buf.next_wave.begin(), buf.next_wave.end());
+        buf.next_wave.clear();
+        for (const auto& [s, id] : buf.requeue) buckets[s].push_back(id);
+        buf.requeue.clear();
+      }
+      std::sort(wave.begin(), wave.end());
+      wave.erase(std::unique(wave.begin(), wave.end()), wave.end());
+    }
+  }
+  NUCLEUS_CHECK(processed == n);
+  for (std::int64_t u = 0; u < n; ++u) {
+    result.max_lambda = std::max(result.max_lambda, result.lambda[u]);
+  }
+  return result;
+}
+
+template PeelResult PeelParallel<VertexSpace>(const VertexSpace&, int);
+template PeelResult PeelParallel<EdgeSpace>(const EdgeSpace&, int);
+template PeelResult PeelParallel<TriangleSpace>(const TriangleSpace&, int);
+template PeelResult PeelParallel<GenericSpace>(const GenericSpace&, int);
+
+}  // namespace nucleus

@@ -1,0 +1,75 @@
+// Level-synchronous parallel peeling (ParK-style) for any (r, s) space —
+// the concrete half of the paper's closing future-work sentence: "adapting
+// the existing parallel peeling algorithms for the hierarchy computation
+// can be helpful."
+//
+// Instead of popping one minimum K_r at a time (Alg. 1's bucket queue), the
+// algorithm advances a support level and processes whole WAVES: all
+// unprocessed K_r's whose current support equals the level. Waves are
+// partitioned across threads. Two properties make the result exactly equal
+// to the serial peel:
+//
+//  * Supports are decremented with a compare-and-swap that refuses to drop
+//    a value below the current level, so every K_r is processed at exactly
+//    its lambda.
+//  * Alg. 1's "skip a superclique containing a processed K_r" rule has a
+//    same-wave hazard (two wave members in one K_s must not both charge the
+//    third member). The wave is therefore processed in two barriers: first
+//    every wave member is marked with the wave's round number, then each
+//    superclique is charged by exactly one deterministic owner — the
+//    minimum-id wave member it contains — and only against members not yet
+//    processed in any round.
+//
+// Combined with the serial hierarchy constructions (DFT over the parallel
+// lambda, or BuildVertexHierarchy for (1,2)), this parallelizes the
+// dominant phase of every decomposition while keeping output identical.
+#ifndef NUCLEUS_PARALLEL_PARALLEL_PEEL_H_
+#define NUCLEUS_PARALLEL_PARALLEL_PEEL_H_
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "nucleus/core/generic_space.h"
+#include "nucleus/core/spaces.h"
+#include "nucleus/core/types.h"
+
+namespace nucleus {
+
+namespace internal {
+
+/// Runs f(t, begin, end) on `num_threads` threads over [0, total) in
+/// contiguous chunks; joins before returning. f must only write to
+/// disjoint state per chunk or use atomics.
+template <typename F>
+void ParallelFor(std::int64_t total, int num_threads, F&& f) {
+  if (total <= 0) return;
+  const std::int64_t chunk = (total + num_threads - 1) / num_threads;
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    const std::int64_t begin = t * chunk;
+    const std::int64_t end = std::min(total, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&f, t, begin, end] { f(t, begin, end); });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace internal
+
+/// Parallel Set-lambda. Produces a PeelResult bit-identical to Peel()
+/// regardless of num_threads (0 = hardware concurrency).
+template <typename Space>
+PeelResult PeelParallel(const Space& space, int num_threads = 0);
+
+extern template PeelResult PeelParallel<VertexSpace>(const VertexSpace&, int);
+extern template PeelResult PeelParallel<EdgeSpace>(const EdgeSpace&, int);
+extern template PeelResult PeelParallel<TriangleSpace>(const TriangleSpace&,
+                                                       int);
+extern template PeelResult PeelParallel<GenericSpace>(const GenericSpace&,
+                                                      int);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_PARALLEL_PARALLEL_PEEL_H_

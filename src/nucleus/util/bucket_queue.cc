@@ -1,0 +1,84 @@
+#include "nucleus/util/bucket_queue.h"
+
+#include <algorithm>
+
+namespace nucleus {
+
+void PeelingBucketQueue::Init(const std::vector<std::int32_t>& values) {
+  const std::int64_t n = static_cast<std::int64_t>(values.size());
+  values_ = values;
+  order_.assign(n, 0);
+  pos_.assign(n, 0);
+  cursor_ = 0;
+
+  std::int32_t max_value = 0;
+  for (std::int32_t v : values) {
+    NUCLEUS_CHECK(v >= 0);
+    max_value = std::max(max_value, v);
+  }
+
+  // Counting sort of ids by key.
+  std::vector<std::int64_t> count(max_value + 2, 0);
+  for (std::int32_t v : values) ++count[v + 1];
+  for (std::int32_t v = 0; v <= max_value; ++v) count[v + 1] += count[v];
+  bin_start_ = count;  // bin_start_[v] = first position of key v
+  std::vector<std::int64_t> fill = count;
+  for (CliqueId id = 0; id < n; ++id) {
+    const std::int64_t p = fill[values[id]]++;
+    order_[p] = id;
+    pos_[id] = p;
+  }
+  bin_start_.pop_back();  // drop the terminal sentinel
+}
+
+CliqueId PeelingBucketQueue::PopMin(std::int32_t* value) {
+  NUCLEUS_CHECK(!Empty());
+  const CliqueId id = order_[cursor_];
+  ++cursor_;
+  if (value != nullptr) *value = values_[id];
+  return id;
+}
+
+void PeelingBucketQueue::Decrement(CliqueId id) {
+  NUCLEUS_CHECK(!Popped(id));
+  const std::int32_t v = values_[id];
+  NUCLEUS_CHECK(v > 0);
+  // Move `id` to the front of its bin, then shrink the bin from the left so
+  // the order_ array stays sorted by current key.
+  std::int64_t& front = bin_start_[v];
+  if (front < cursor_) front = cursor_;  // bin front cannot precede cursor
+  const std::int64_t p = pos_[id];
+  const CliqueId other = order_[front];
+  if (other != id) {
+    std::swap(order_[front], order_[p]);
+    pos_[other] = p;
+    pos_[id] = front;
+  }
+  ++front;
+  --values_[id];
+}
+
+MaxBucketFrontier::MaxBucketFrontier(std::int32_t max_value) {
+  NUCLEUS_CHECK(max_value >= 0);
+  buckets_.resize(max_value + 1);
+}
+
+void MaxBucketFrontier::Push(CliqueId id, std::int32_t value) {
+  NUCLEUS_CHECK(value >= 0 &&
+                value < static_cast<std::int32_t>(buckets_.size()));
+  buckets_[value].push_back(id);
+  current_max_ = std::max(current_max_, value);
+  ++size_;
+}
+
+CliqueId MaxBucketFrontier::PopMax(std::int32_t* value) {
+  NUCLEUS_CHECK(!Empty());
+  while (buckets_[current_max_].empty()) --current_max_;
+  const CliqueId id = buckets_[current_max_].back();
+  buckets_[current_max_].pop_back();
+  --size_;
+  if (value != nullptr) *value = current_max_;
+  return id;
+}
+
+}  // namespace nucleus

@@ -1,0 +1,78 @@
+// Bucket-based priority structures.
+//
+// PeelingBucketQueue is the O(|K_r| + max support) structure of Batagelj &
+// Zaversnik used by the peeling phase (paper Alg. 1): elements are popped in
+// nondecreasing order of their current support, and supports may be
+// decremented by one while the element is still enqueued.
+//
+// MaxBucketFrontier is the bucket priority queue that makes the Matula-Beck
+// LCPS traversal practical (paper Section 5.1): discovered vertices are
+// pushed with their lambda and the maximum-lambda vertex is popped in O(1)
+// amortized time.
+#ifndef NUCLEUS_UTIL_BUCKET_QUEUE_H_
+#define NUCLEUS_UTIL_BUCKET_QUEUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nucleus/util/common.h"
+
+namespace nucleus {
+
+/// Min-bucket queue over ids 0..n-1 with integer keys. Keys may only be
+/// decremented (by one) while an element is enqueued; elements are popped in
+/// nondecreasing key order. Total cost O(n + max_key + #decrements).
+class PeelingBucketQueue {
+ public:
+  /// Initializes the queue with one entry per element of `values`.
+  void Init(const std::vector<std::int32_t>& values);
+
+  /// Number of elements not yet popped.
+  std::int64_t Remaining() const { return static_cast<std::int64_t>(order_.size()) - cursor_; }
+  bool Empty() const { return Remaining() == 0; }
+
+  /// Pops an element with the minimum current key. Requires !Empty().
+  /// The popped key is the element's final peeling number.
+  CliqueId PopMin(std::int32_t* value);
+
+  /// Decrements the key of `id` by one. Requires the element to be enqueued
+  /// (not popped) with a key strictly greater than the last popped key.
+  void Decrement(CliqueId id);
+
+  /// Current key of `id` (final key if already popped).
+  std::int32_t Value(CliqueId id) const { return values_[id]; }
+
+  /// True once `id` has been popped (i.e., "processed" in Alg. 1 terms).
+  bool Popped(CliqueId id) const { return pos_[id] < cursor_; }
+
+ private:
+  std::vector<std::int32_t> values_;  // current key per id
+  std::vector<CliqueId> order_;       // ids sorted by current key
+  std::vector<std::int64_t> pos_;     // position of id in order_
+  std::vector<std::int64_t> bin_start_;  // first position of each key value
+  std::int64_t cursor_ = 0;           // next position to pop
+};
+
+/// Max-bucket frontier with dynamic inserts, used by LCPS. Pop returns an
+/// element with the maximum key among those currently enqueued.
+class MaxBucketFrontier {
+ public:
+  /// `max_value` is an inclusive upper bound for all pushed keys.
+  explicit MaxBucketFrontier(std::int32_t max_value);
+
+  void Push(CliqueId id, std::int32_t value);
+  bool Empty() const { return size_ == 0; }
+  std::int64_t Size() const { return size_; }
+
+  /// Pops an element with the maximum key. Requires !Empty().
+  CliqueId PopMax(std::int32_t* value);
+
+ private:
+  std::vector<std::vector<CliqueId>> buckets_;
+  std::int32_t current_max_ = 0;
+  std::int64_t size_ = 0;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_UTIL_BUCKET_QUEUE_H_

@@ -1,0 +1,56 @@
+// Core type aliases and invariant-checking macros shared by every module.
+#ifndef NUCLEUS_UTIL_COMMON_H_
+#define NUCLEUS_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nucleus {
+
+/// Vertex identifier. Graphs are limited to 2^31 - 1 vertices.
+using VertexId = std::int32_t;
+
+/// Edge identifier (index into EdgeIndex). Limited to 2^31 - 1 edges.
+using EdgeId = std::int32_t;
+
+/// Triangle identifier (index into TriangleIndex).
+using TriangleId = std::int32_t;
+
+/// Generic K_r identifier used by the decomposition algorithms: a VertexId
+/// for (1,2), an EdgeId for (2,3), a TriangleId for (3,4).
+using CliqueId = std::int32_t;
+
+/// Peeling number (lambda). kUnsetLambda marks "not yet assigned"; the
+/// artificial hierarchy root uses kRootLambda so genuine lambda = 0
+/// sub-nuclei are not merged into it.
+using Lambda = std::int32_t;
+
+inline constexpr CliqueId kInvalidId = -1;
+inline constexpr Lambda kUnsetLambda = -1;
+inline constexpr Lambda kRootLambda = -1;
+
+}  // namespace nucleus
+
+/// CHECK-style invariant assertion, active in all build types. The library
+/// does not use exceptions (Google style); violated internal invariants
+/// abort with a source location.
+#define NUCLEUS_CHECK(cond)                                                    \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::fprintf(stderr, "NUCLEUS_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                           \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (0)
+
+#define NUCLEUS_CHECK_MSG(cond, msg)                                           \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::fprintf(stderr, "NUCLEUS_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, msg);                            \
+      std::abort();                                                            \
+    }                                                                          \
+  } while (0)
+
+#endif  // NUCLEUS_UTIL_COMMON_H_

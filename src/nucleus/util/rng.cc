@@ -1,0 +1,27 @@
+#include "nucleus/util/rng.h"
+
+namespace nucleus {
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  NUCLEUS_CHECK(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+VertexId Rng::UniformVertex(VertexId n) {
+  NUCLEUS_CHECK(n > 0);
+  return static_cast<VertexId>(UniformInt(0, n - 1));
+}
+
+double Rng::UniformReal() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformReal() < p;
+}
+
+}  // namespace nucleus

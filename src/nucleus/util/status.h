@@ -1,0 +1,96 @@
+// Minimal Status / StatusOr for error propagation without exceptions.
+// Used by IO paths; algorithmic code uses NUCLEUS_CHECK for invariants.
+#ifndef NUCLEUS_UTIL_STATUS_H_
+#define NUCLEUS_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "nucleus/util/common.h"
+
+namespace nucleus {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kInternal = 4,
+};
+
+/// Result of an operation that can fail. Cheap to copy when OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable one-line rendering, e.g. "INVALID_ARGUMENT: bad header".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value or an error Status. Dereferencing a non-OK StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : payload_(std::move(value)) {}          // NOLINT
+  StatusOr(Status status) : payload_(std::move(status)) {    // NOLINT
+    NUCLEUS_CHECK_MSG(!this->ok(), "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    NUCLEUS_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    NUCLEUS_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    NUCLEUS_CHECK_MSG(ok(), status().ToString().c_str());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_UTIL_STATUS_H_

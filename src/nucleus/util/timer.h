@@ -1,0 +1,29 @@
+// Wall-clock timer used by the benchmark harness and the decomposition
+// facade to report per-phase timings (peeling vs post-processing), mirroring
+// the paper's Figure 6 breakdown.
+#ifndef NUCLEUS_UTIL_TIMER_H_
+#define NUCLEUS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace nucleus {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_UTIL_TIMER_H_

@@ -1,0 +1,204 @@
+#include "nucleus/variants/directed_core.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "nucleus/graph/graph_builder.h"
+
+namespace nucleus {
+namespace {
+
+/// CSR construction for one direction of the arc list.
+void BuildCsr(VertexId n,
+              const std::vector<std::pair<VertexId, VertexId>>& arcs,
+              bool outgoing, std::vector<std::int64_t>* offsets,
+              std::vector<VertexId>* adj) {
+  offsets->assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : arcs) {
+    ++(*offsets)[(outgoing ? u : v) + 1];
+  }
+  for (VertexId i = 0; i < n; ++i) (*offsets)[i + 1] += (*offsets)[i];
+  adj->resize(arcs.size());
+  std::vector<std::int64_t> fill(offsets->begin(), offsets->end() - 1);
+  for (const auto& [u, v] : arcs) {
+    const VertexId src = outgoing ? u : v;
+    const VertexId dst = outgoing ? v : u;
+    (*adj)[fill[src]++] = dst;
+  }
+  for (VertexId i = 0; i < n; ++i) {
+    std::sort(adj->begin() + (*offsets)[i], adj->begin() + (*offsets)[i + 1]);
+  }
+}
+
+}  // namespace
+
+DirectedGraph DirectedGraph::FromArcs(
+    VertexId num_vertices, std::vector<std::pair<VertexId, VertexId>> arcs) {
+  for (const auto& [u, v] : arcs) {
+    NUCLEUS_CHECK(u >= 0 && u < num_vertices);
+    NUCLEUS_CHECK(v >= 0 && v < num_vertices);
+  }
+  std::erase_if(arcs, [](const auto& a) { return a.first == a.second; });
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+
+  DirectedGraph dg;
+  BuildCsr(num_vertices, arcs, /*outgoing=*/true, &dg.out_offsets_,
+           &dg.out_adj_);
+  BuildCsr(num_vertices, arcs, /*outgoing=*/false, &dg.in_offsets_,
+           &dg.in_adj_);
+  return dg;
+}
+
+Graph DirectedGraph::Underlying() const {
+  GraphBuilder b(NumVertices());
+  for (VertexId u = 0; u < NumVertices(); ++u) {
+    for (VertexId v : OutNeighbors(u)) b.AddEdge(u, v);
+  }
+  return b.Build();
+}
+
+std::vector<char> DCoreMembership(const DirectedGraph& dg, std::int32_t k,
+                                  std::int32_t l) {
+  NUCLEUS_CHECK(k >= 0 && l >= 0);
+  const VertexId n = dg.NumVertices();
+  std::vector<char> alive(n, 1);
+  std::vector<std::int64_t> in_deg(n), out_deg(n);
+  std::deque<VertexId> queue;
+  for (VertexId v = 0; v < n; ++v) {
+    in_deg[v] = dg.InDegree(v);
+    out_deg[v] = dg.OutDegree(v);
+    if (in_deg[v] < k || out_deg[v] < l) {
+      alive[v] = 0;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId u : dg.OutNeighbors(v)) {
+      if (alive[u] && --in_deg[u] < k) {
+        alive[u] = 0;
+        queue.push_back(u);
+      }
+    }
+    for (VertexId u : dg.InNeighbors(v)) {
+      if (alive[u] && --out_deg[u] < l) {
+        alive[u] = 0;
+        queue.push_back(u);
+      }
+    }
+  }
+  return alive;
+}
+
+std::vector<std::int32_t> DCoreOutNumbers(const DirectedGraph& dg,
+                                          std::int32_t k) {
+  const VertexId n = dg.NumVertices();
+  std::vector<std::int32_t> out_num(n, -1);
+  if (n == 0) return out_num;
+
+  // Restrict to the (k, 0)-core first: vertices outside it keep -1.
+  std::vector<char> alive = DCoreMembership(dg, k, 0);
+  std::vector<std::int64_t> in_deg(n), out_deg(n);
+  std::int64_t remaining = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!alive[v]) continue;
+    ++remaining;
+    std::int64_t din = 0, dout = 0;
+    for (VertexId u : dg.InNeighbors(v)) din += alive[u];
+    for (VertexId u : dg.OutNeighbors(v)) dout += alive[u];
+    in_deg[v] = din;
+    out_deg[v] = dout;
+  }
+
+  // Constrained peel: repeatedly remove the vertex of minimum out-degree
+  // (generalized-core running max gives the out-number), restoring the
+  // in >= k invariant by cascading after every removal. A vertex removed
+  // by the cascade was certified by the same subgraph as the minimum
+  // vertex, so it receives the same running value.
+  std::vector<std::int64_t> bucket_of(n, -1);
+  const std::int64_t max_out =
+      *std::max_element(out_deg.begin(), out_deg.end());
+  std::vector<std::vector<VertexId>> buckets(
+      static_cast<std::size_t>(max_out) + 1);
+  for (VertexId v = 0; v < n; ++v) {
+    if (alive[v]) buckets[out_deg[v]].push_back(v);
+  }
+
+  std::deque<VertexId> cascade;
+  std::int32_t running = 0;
+  std::int64_t cursor = 0;  // lower bound for the minimum live out-degree
+  auto remove_vertex = [&](VertexId v) {
+    alive[v] = 0;
+    --remaining;
+    out_num[v] = running;
+    for (VertexId u : dg.OutNeighbors(v)) {
+      if (alive[u] && --in_deg[u] < k) cascade.push_back(u);
+    }
+    for (VertexId u : dg.InNeighbors(v)) {
+      if (alive[u]) {
+        --out_deg[u];
+        buckets[out_deg[u]].push_back(u);  // lazy bucket entry
+        cursor = std::min(cursor, out_deg[u]);
+      }
+    }
+  };
+
+  while (remaining > 0) {
+    // Pop the minimum live out-degree; stale lazy entries are discarded.
+    // Decrements lower `cursor` as they happen, so the sweep never misses
+    // a newly created smaller bucket.
+    while (cursor <= max_out &&
+           (buckets[cursor].empty() ||
+            !alive[buckets[cursor].back()] ||
+            out_deg[buckets[cursor].back()] !=
+                static_cast<std::int64_t>(cursor))) {
+      if (!buckets[cursor].empty()) {
+        buckets[cursor].pop_back();  // stale entry
+        continue;
+      }
+      ++cursor;
+    }
+    NUCLEUS_CHECK(cursor <= max_out);
+    const VertexId v = buckets[cursor].back();
+    buckets[cursor].pop_back();
+    running = std::max(running, static_cast<std::int32_t>(cursor));
+    remove_vertex(v);
+    while (!cascade.empty()) {
+      const VertexId u = cascade.front();
+      cascade.pop_front();
+      if (alive[u]) remove_vertex(u);
+    }
+  }
+  return out_num;
+}
+
+DCoreMatrix ComputeDCoreMatrix(const DirectedGraph& dg) {
+  DCoreMatrix matrix;
+  for (std::int32_t k = 0;; ++k) {
+    std::vector<std::int32_t> row = DCoreOutNumbers(dg, k);
+    const bool nonempty =
+        std::any_of(row.begin(), row.end(), [](std::int32_t x) {
+          return x >= 0;
+        });
+    if (k > 0 && !nonempty) break;
+    matrix.rows.push_back(std::move(row));
+    matrix.max_k = k;
+    if (!nonempty) break;  // k = 0 on an empty graph
+  }
+  return matrix;
+}
+
+DCoreHierarchy DecomposeDCore(const DirectedGraph& dg, std::int32_t k) {
+  DCoreHierarchy out;
+  out.out_numbers = DCoreOutNumbers(dg, k);
+  std::vector<std::int64_t> labels(out.out_numbers.size());
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    labels[v] = out.out_numbers[v] + 1;  // rank 0 <=> not in the (k,0)-core
+  }
+  out.skeleton = BuildVertexHierarchy(dg.Underlying(), labels);
+  return out;
+}
+
+}  // namespace nucleus

@@ -1,0 +1,245 @@
+#include "nucleus/variants/probabilistic_core.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <tuple>
+#include <utility>
+
+namespace nucleus {
+namespace {
+
+// Probabilities above this are treated as certain edges (counted, not in
+// the DP) so the O(d) downdate never divides by ~0.
+constexpr double kCertainThreshold = 1.0 - 1e-9;
+// Edges below this probability are dropped at construction.
+constexpr double kDropThreshold = 1e-15;
+// Comparison slack for "Pr >= eta" against accumulated float error.
+constexpr double kEtaSlack = 1e-9;
+// Downdates between full DP rebuilds (bounds drift).
+constexpr int kRebuildPeriod = 32;
+
+/// Pr[exactly j uncertain edges survive], built by the standard product DP.
+std::vector<double> ExactDistribution(std::span<const double> probs) {
+  std::vector<double> dp(probs.size() + 1, 0.0);
+  dp[0] = 1.0;
+  std::size_t count = 0;
+  for (double p : probs) {
+    ++count;
+    for (std::size_t j = count; j >= 1; --j) {
+      dp[j] = dp[j] * (1.0 - p) + dp[j - 1] * p;
+    }
+    dp[0] *= (1.0 - p);
+  }
+  return dp;
+}
+
+std::int32_t EtaDegreeFromState(const std::vector<double>& dp,
+                                std::int32_t certain, double eta) {
+  // Pr[deg >= k] = Pr[uncertain >= k - certain]; scan tails from the top.
+  double tail = 0.0;
+  std::int32_t best = certain;  // Pr[deg >= certain] >= Pr[unc >= 0] = 1
+  for (std::int32_t j = static_cast<std::int32_t>(dp.size()) - 1; j >= 1;
+       --j) {
+    tail += dp[j];
+    if (tail >= eta - kEtaSlack) {
+      best = certain + j;
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+UncertainGraph UncertainGraph::FromEdges(
+    VertexId num_vertices, std::vector<ProbabilisticEdge> edges) {
+  for (ProbabilisticEdge& e : edges) {
+    NUCLEUS_CHECK(e.u >= 0 && e.u < num_vertices);
+    NUCLEUS_CHECK(e.v >= 0 && e.v < num_vertices);
+    NUCLEUS_CHECK_MSG(e.u != e.v, "self-loops are not allowed");
+    NUCLEUS_CHECK_MSG(e.p >= 0.0 && e.p <= 1.0,
+                      "probabilities must be in [0, 1]");
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const ProbabilisticEdge& a, const ProbabilisticEdge& b) {
+              return std::tie(a.u, a.v) < std::tie(b.u, b.v);
+            });
+  // Combine duplicates as independent alternatives.
+  std::vector<ProbabilisticEdge> combined;
+  combined.reserve(edges.size());
+  for (const ProbabilisticEdge& e : edges) {
+    if (!combined.empty() && combined.back().u == e.u &&
+        combined.back().v == e.v) {
+      combined.back().p = 1.0 - (1.0 - combined.back().p) * (1.0 - e.p);
+    } else {
+      combined.push_back(e);
+    }
+  }
+  std::erase_if(combined, [](const ProbabilisticEdge& e) {
+    return e.p < kDropThreshold;
+  });
+
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(num_vertices) + 1,
+                                    0);
+  for (const ProbabilisticEdge& e : combined) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (VertexId v = 0; v < num_vertices; ++v) offsets[v + 1] += offsets[v];
+  std::vector<VertexId> adj(static_cast<std::size_t>(offsets.back()));
+  std::vector<double> probs(adj.size());
+  std::vector<std::int64_t> fill(offsets.begin(), offsets.end() - 1);
+  for (const ProbabilisticEdge& e : combined) {
+    adj[fill[e.u]] = e.v;
+    probs[fill[e.u]++] = e.p;
+    adj[fill[e.v]] = e.u;
+    probs[fill[e.v]++] = e.p;
+  }
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    const std::int64_t begin = offsets[v];
+    const std::int64_t end = offsets[v + 1];
+    std::vector<std::pair<VertexId, double>> list;
+    list.reserve(end - begin);
+    for (std::int64_t i = begin; i < end; ++i) {
+      list.emplace_back(adj[i], probs[i]);
+    }
+    std::sort(list.begin(), list.end());
+    for (std::int64_t i = begin; i < end; ++i) {
+      adj[i] = list[i - begin].first;
+      probs[i] = list[i - begin].second;
+    }
+  }
+  return UncertainGraph(Graph::FromCsr(std::move(offsets), std::move(adj)),
+                        std::move(probs));
+}
+
+UncertainGraph UncertainGraph::UniformProbability(const Graph& g, double p) {
+  std::vector<ProbabilisticEdge> edges;
+  edges.reserve(g.NumEdges());
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    edges.push_back({u, v, p});
+  });
+  return FromEdges(g.NumVertices(), std::move(edges));
+}
+
+std::vector<double> DegreeTailDistribution(std::span<const double> probs) {
+  const std::vector<double> dp = ExactDistribution(probs);
+  std::vector<double> tail(dp.size());
+  double sum = 0.0;
+  for (std::size_t j = dp.size(); j-- > 0;) {
+    sum += dp[j];
+    tail[j] = std::min(sum, 1.0);
+  }
+  return tail;
+}
+
+std::int32_t EtaDegree(std::span<const double> probs, double eta) {
+  NUCLEUS_CHECK(eta > 0.0 && eta <= 1.0);
+  const std::vector<double> tail = DegreeTailDistribution(probs);
+  for (std::int32_t k = static_cast<std::int32_t>(tail.size()) - 1; k >= 1;
+       --k) {
+    if (tail[k] >= eta - kEtaSlack) return k;
+  }
+  return 0;
+}
+
+ProbabilisticCoreResult ProbabilisticCoreNumbers(const UncertainGraph& ug,
+                                                 double eta) {
+  NUCLEUS_CHECK(eta > 0.0 && eta <= 1.0);
+  const VertexId n = ug.NumVertices();
+  const Graph& g = ug.graph();
+  ProbabilisticCoreResult result;
+  result.lambda.assign(n, 0);
+
+  // Per-vertex state over ALIVE incident edges: count of certain edges +
+  // DP over the uncertain ones.
+  std::vector<std::int32_t> certain(n, 0);
+  std::vector<std::vector<double>> dp(n);
+  std::vector<char> removed(n, 0);
+  std::vector<int> downdates(n, 0);
+  std::vector<std::int32_t> eta_deg(n, 0);
+
+  auto rebuild = [&](VertexId v) {
+    std::vector<double> uncertain;
+    certain[v] = 0;
+    const auto neighbors = g.Neighbors(v);
+    const auto probs = ug.ProbsOf(v);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      if (removed[neighbors[i]]) continue;
+      if (probs[i] >= kCertainThreshold) {
+        ++certain[v];
+      } else {
+        uncertain.push_back(probs[i]);
+      }
+    }
+    dp[v] = ExactDistribution({uncertain.data(), uncertain.size()});
+    downdates[v] = 0;
+  };
+
+  using Entry = std::pair<std::int32_t, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  for (VertexId v = 0; v < n; ++v) {
+    rebuild(v);
+    eta_deg[v] = EtaDegreeFromState(dp[v], certain[v], eta);
+    heap.emplace(eta_deg[v], v);
+  }
+
+  // Removes the alive edge (u, its neighbor with probability p) from u's
+  // state by the O(d) downdate, with periodic full rebuilds.
+  auto downdate = [&](VertexId u, double p) {
+    if (p >= kCertainThreshold) {
+      --certain[u];
+      return;
+    }
+    if (++downdates[u] >= kRebuildPeriod) {
+      rebuild(u);
+      return;
+    }
+    std::vector<double>& f = dp[u];
+    const double q = 1.0 - p;
+    double prev = 0.0;
+    for (std::size_t j = 0; j + 1 < f.size(); ++j) {
+      double gj = (f[j] - prev * p) / q;
+      gj = std::clamp(gj, 0.0, 1.0);
+      f[j] = gj;
+      prev = gj;
+    }
+    f.pop_back();
+  };
+
+  std::int32_t running = 0;
+  while (!heap.empty()) {
+    const auto [value, v] = heap.top();
+    heap.pop();
+    if (removed[v] || value != eta_deg[v]) continue;  // stale
+    removed[v] = 1;
+    running = std::max(running, value);
+    result.lambda[v] = running;
+
+    const auto neighbors = g.Neighbors(v);
+    const auto probs = ug.ProbsOf(v);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const VertexId u = neighbors[i];
+      if (removed[u]) continue;
+      downdate(u, probs[i]);
+      eta_deg[u] = EtaDegreeFromState(dp[u], certain[u], eta);
+      heap.emplace(eta_deg[u], u);
+    }
+  }
+  result.max_lambda = running;
+  return result;
+}
+
+ProbabilisticCoreDecomposition DecomposeProbabilisticCore(
+    const UncertainGraph& ug, double eta) {
+  ProbabilisticCoreDecomposition out;
+  out.core = ProbabilisticCoreNumbers(ug, eta);
+  std::vector<std::int64_t> labels(out.core.lambda.begin(),
+                                   out.core.lambda.end());
+  out.skeleton = BuildVertexHierarchy(ug.graph(), labels);
+  return out;
+}
+
+}  // namespace nucleus

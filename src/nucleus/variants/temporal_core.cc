@@ -1,0 +1,107 @@
+#include "nucleus/variants/temporal_core.h"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+#include "nucleus/core/peeling.h"
+#include "nucleus/core/spaces.h"
+#include "nucleus/graph/graph_builder.h"
+
+namespace nucleus {
+
+TemporalGraph TemporalGraph::FromEvents(VertexId num_vertices,
+                                        std::vector<TemporalEdge> events) {
+  for (TemporalEdge& e : events) {
+    NUCLEUS_CHECK(e.u >= 0 && e.u < num_vertices);
+    NUCLEUS_CHECK(e.v >= 0 && e.v < num_vertices);
+    NUCLEUS_CHECK_MSG(e.u != e.v, "self-loop events are not allowed");
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TemporalEdge& a, const TemporalEdge& b) {
+              return std::tie(a.time, a.u, a.v) < std::tie(b.time, b.u, b.v);
+            });
+  TemporalGraph tg;
+  tg.num_vertices_ = num_vertices;
+  tg.events_ = std::move(events);
+  return tg;
+}
+
+std::pair<std::int64_t, std::int64_t> TemporalGraph::TimeRange() const {
+  if (events_.empty()) return {0, -1};
+  return {events_.front().time, events_.back().time};
+}
+
+Graph TemporalGraph::Snapshot(std::int64_t t_begin, std::int64_t t_end,
+                              std::int32_t h) const {
+  NUCLEUS_CHECK(h >= 1);
+  // Events are time-sorted: binary search the window, then count pair
+  // multiplicities within it.
+  const auto lo = std::lower_bound(
+      events_.begin(), events_.end(), t_begin,
+      [](const TemporalEdge& e, std::int64_t t) { return e.time < t; });
+  const auto hi = std::upper_bound(
+      events_.begin(), events_.end(), t_end,
+      [](std::int64_t t, const TemporalEdge& e) { return t < e.time; });
+
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(hi - lo);
+  for (auto it = lo; it != hi; ++it) pairs.emplace_back(it->u, it->v);
+  std::sort(pairs.begin(), pairs.end());
+
+  GraphBuilder builder(num_vertices_);
+  std::size_t i = 0;
+  while (i < pairs.size()) {
+    std::size_t j = i;
+    while (j < pairs.size() && pairs[j] == pairs[i]) ++j;
+    if (static_cast<std::int32_t>(j - i) >= h) {
+      builder.AddEdge(pairs[i].first, pairs[i].second);
+    }
+    i = j;
+  }
+  return builder.Build();
+}
+
+TemporalCoreResult DecomposeWindow(const TemporalGraph& tg,
+                                   std::int64_t t_begin, std::int64_t t_end,
+                                   std::int32_t h) {
+  TemporalCoreResult out;
+  out.snapshot = tg.Snapshot(t_begin, t_end, h);
+  out.peel = Peel(VertexSpace(out.snapshot));
+  std::vector<std::int64_t> labels(out.peel.lambda.begin(),
+                                   out.peel.lambda.end());
+  out.skeleton = BuildVertexHierarchy(out.snapshot, labels);
+  return out;
+}
+
+std::vector<WindowCoreStats> CoreEvolution(const TemporalGraph& tg,
+                                           std::int64_t window_length,
+                                           std::int64_t step, std::int32_t h) {
+  NUCLEUS_CHECK(window_length >= 0);
+  NUCLEUS_CHECK(step >= 1);
+  NUCLEUS_CHECK(h >= 1);
+  std::vector<WindowCoreStats> out;
+  const auto [t_min, t_max] = tg.TimeRange();
+  if (t_max < t_min) return out;  // no events
+
+  for (std::int64_t t = t_min; t <= t_max; t += step) {
+    const std::int64_t t_end = t + window_length;
+    TemporalCoreResult window = DecomposeWindow(tg, t, t_end, h);
+    WindowCoreStats stats;
+    stats.t_begin = t;
+    stats.t_end = t_end;
+    stats.num_edges = window.snapshot.NumEdges();
+    stats.max_core = window.peel.max_lambda;
+    for (Lambda l : window.peel.lambda) {
+      if (l == window.peel.max_lambda && l > 0) ++stats.max_core_size;
+    }
+    const NucleusHierarchy tree =
+        LabeledHierarchyTree(window.snapshot, window.skeleton);
+    stats.num_nuclei = tree.NumNuclei();
+    out.push_back(stats);
+  }
+  return out;
+}
+
+}  // namespace nucleus

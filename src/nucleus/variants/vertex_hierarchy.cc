@@ -1,0 +1,105 @@
+#include "nucleus/variants/vertex_hierarchy.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "nucleus/dsf/disjoint_set.h"
+
+namespace nucleus {
+namespace {
+
+/// Dense rank of `label`: 0 for label <= 0, else 1 + index in the sorted
+/// distinct positive labels.
+Lambda RankOf(const std::vector<std::int64_t>& distinct, std::int64_t label) {
+  if (label <= 0) return 0;
+  const auto it = std::lower_bound(distinct.begin(), distinct.end(), label);
+  NUCLEUS_CHECK(it != distinct.end() && *it == label);
+  return static_cast<Lambda>(it - distinct.begin()) + 1;
+}
+
+}  // namespace
+
+LabeledSkeleton BuildVertexHierarchy(const Graph& g,
+                                     const std::vector<std::int64_t>& labels) {
+  const VertexId n = g.NumVertices();
+  NUCLEUS_CHECK(static_cast<std::int64_t>(labels.size()) == n);
+
+  LabeledSkeleton out;
+  out.distinct_labels.reserve(labels.size());
+  for (std::int64_t l : labels) {
+    if (l > 0) out.distinct_labels.push_back(l);
+  }
+  std::sort(out.distinct_labels.begin(), out.distinct_labels.end());
+  out.distinct_labels.erase(
+      std::unique(out.distinct_labels.begin(), out.distinct_labels.end()),
+      out.distinct_labels.end());
+
+  // 1. Maximal sub-nuclei: components of equal-label edges.
+  DisjointSet vertex_sets(n);
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    if (labels[u] == labels[v]) vertex_sets.Union(u, v);
+  });
+
+  SkeletonBuild& build = out.build;
+  build.comp.assign(n, kInvalidId);
+  std::vector<std::int32_t> node_of_root(n, kInvalidId);
+  for (VertexId v = 0; v < n; ++v) {
+    const std::int32_t r = vertex_sets.Find(v);
+    if (node_of_root[r] == kInvalidId) {
+      node_of_root[r] =
+          build.skeleton.AddNode(RankOf(out.distinct_labels, labels[v]));
+      out.node_label.push_back(std::max<std::int64_t>(labels[v], 0));
+    }
+    build.comp[v] = node_of_root[r];
+  }
+
+  // 2. ADJ pairs from label-crossing edges, binned by the lower rank.
+  const Lambda max_rank =
+      static_cast<Lambda>(out.distinct_labels.size());  // ranks 1..max_rank
+  std::vector<std::vector<std::pair<std::int32_t, std::int32_t>>> bins(
+      static_cast<std::size_t>(max_rank) + 1);
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    if (labels[u] == labels[v]) return;
+    const VertexId hi = labels[u] > labels[v] ? u : v;
+    const VertexId lo = labels[u] > labels[v] ? v : u;
+    bins[RankOf(out.distinct_labels, labels[lo])].emplace_back(
+        build.comp[hi], build.comp[lo]);
+  });
+
+  // 3. BuildHierarchy (paper Alg. 9) over the bins in decreasing rank.
+  HierarchySkeleton& skeleton = build.skeleton;
+  std::vector<std::pair<std::int32_t, std::int32_t>> merge;
+  for (Lambda k = max_rank; k >= 0; --k) {
+    merge.clear();
+    for (const auto& [hi_node, lo_node] : bins[k]) {
+      const std::int32_t s = skeleton.FindRoot(hi_node);
+      const std::int32_t t = skeleton.FindRoot(lo_node);
+      if (s == t) continue;
+      if (skeleton.LambdaOf(s) > skeleton.LambdaOf(t)) {
+        skeleton.AttachChild(s, t);
+      } else {
+        merge.emplace_back(s, t);
+      }
+    }
+    for (const auto& [s, t] : merge) skeleton.UnionR(s, t);
+  }
+
+  build.num_subnuclei = skeleton.NumNodes();
+  build.root_id = skeleton.AddNode(kRootLambda);
+  out.node_label.push_back(0);
+  for (std::int32_t s = 0; s < build.root_id; ++s) {
+    if (!skeleton.HasParent(s)) skeleton.SetParent(s, build.root_id);
+  }
+  out.vertex_rank.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    out.vertex_rank[v] = RankOf(out.distinct_labels, labels[v]);
+  }
+  return out;
+}
+
+NucleusHierarchy LabeledHierarchyTree(const Graph& g,
+                                      const LabeledSkeleton& skeleton) {
+  return NucleusHierarchy::FromSkeleton(skeleton.build, g.NumVertices());
+}
+
+}  // namespace nucleus

@@ -1,0 +1,183 @@
+#include "nucleus/graph/binary_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/graph/generators.h"
+#include "nucleus/graph/graph.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void ExpectSameGraph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.NumVertices(), b.NumVertices());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (VertexId v = 0; v < a.NumVertices(); ++v) {
+    const auto na = a.Neighbors(v);
+    const auto nb = b.Neighbors(v);
+    ASSERT_EQ(na.size(), nb.size()) << "vertex " << v;
+    for (std::size_t i = 0; i < na.size(); ++i) {
+      EXPECT_EQ(na[i], nb[i]) << "vertex " << v << " slot " << i;
+    }
+  }
+}
+
+TEST(BinaryIo, RoundTripsEmptyGraph) {
+  const std::string path = TempPath("empty.nucgraph");
+  ASSERT_TRUE(WriteBinaryGraph(Graph(), path).ok());
+  auto loaded = ReadBinaryGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumVertices(), 0);
+  EXPECT_EQ(loaded->NumEdges(), 0);
+}
+
+TEST(BinaryIo, RoundTripsIsolatedVertices) {
+  // 5 vertices, no edges: offsets all zero, empty adjacency payload.
+  Graph g = Graph::FromCsr({0, 0, 0, 0, 0, 0}, {});
+  const std::string path = TempPath("isolated.nucgraph");
+  ASSERT_TRUE(WriteBinaryGraph(g, path).ok());
+  auto loaded = ReadBinaryGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameGraph(g, *loaded);
+}
+
+TEST(BinaryIo, RoundTripsStructuredFamilies) {
+  const std::string path = TempPath("family.nucgraph");
+  for (const Graph& g :
+       {Path(17), Cycle(9), Star(12), Complete(8), CompleteBipartite(4, 6),
+        Grid2D(5, 7), Wheel(10), Lollipop(6, 5)}) {
+    ASSERT_TRUE(WriteBinaryGraph(g, path).ok());
+    auto loaded = ReadBinaryGraph(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ExpectSameGraph(g, *loaded);
+  }
+}
+
+TEST(BinaryIo, RoundTripsRandomGraphs) {
+  const std::string path = TempPath("random.nucgraph");
+  for (std::uint64_t seed : {1u, 7u, 42u}) {
+    Graph g = ErdosRenyiGnm(200, 900, seed);
+    ASSERT_TRUE(WriteBinaryGraph(g, path).ok());
+    auto loaded = ReadBinaryGraph(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ExpectSameGraph(g, *loaded);
+  }
+}
+
+TEST(BinaryIo, HeaderProbeReportsSizes) {
+  Graph g = Complete(6);  // 15 edges
+  const std::string path = TempPath("probe.nucgraph");
+  ASSERT_TRUE(WriteBinaryGraph(g, path).ok());
+  auto header = ReadBinaryGraphHeader(path);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->version, kBinaryGraphVersion);
+  EXPECT_EQ(header->num_vertices, 6);
+  EXPECT_EQ(header->adj_size, 30);
+}
+
+TEST(BinaryIo, MissingFileIsNotFound) {
+  auto result = ReadBinaryGraph(TempPath("does_not_exist.nucgraph"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  const std::string path = TempPath("bad_magic.nucgraph");
+  std::ofstream out(path, std::ios::binary);
+  out << "NOTAGRPHxxxxxxxxxxxxxxxxxxxxxxxxxxxx";
+  out.close();
+  auto result = ReadBinaryGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BinaryIo, RejectsTruncatedHeader) {
+  const std::string path = TempPath("short_header.nucgraph");
+  std::ofstream out(path, std::ios::binary);
+  out << "NUCG";  // magic cut off mid-way
+  out.close();
+  auto result = ReadBinaryGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BinaryIo, RejectsUnsupportedVersion) {
+  const std::string path = TempPath("version.nucgraph");
+  ASSERT_TRUE(WriteBinaryGraph(Path(4), path).ok());
+  // Overwrite the version field (bytes 8..11) with 99.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(8);
+  const std::uint32_t bogus = 99;
+  f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  f.close();
+  auto result = ReadBinaryGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BinaryIo, RejectsTruncatedPayload) {
+  const std::string path = TempPath("truncated.nucgraph");
+  ASSERT_TRUE(WriteBinaryGraph(Complete(10), path).ok());
+  // Chop the last 8 bytes of the adjacency array off.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() - 8);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  out.close();
+  auto result = ReadBinaryGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BinaryIo, RejectsCorruptVertexId) {
+  const std::string path = TempPath("corrupt_vertex.nucgraph");
+  Graph g = Path(5);
+  ASSERT_TRUE(WriteBinaryGraph(g, path).ok());
+  // First adjacency entry lives after header (24 bytes) + offsets
+  // (6 * 8 bytes). Replace it with an out-of-range id.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(24 + 6 * 8);
+  const VertexId bogus = 1000;
+  f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  f.close();
+  auto result = ReadBinaryGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BinaryIo, RejectsAsymmetricAdjacency) {
+  const std::string path = TempPath("asymmetric.nucgraph");
+  Graph g = Path(5);  // adjacency: 0:[1] 1:[0,2] 2:[1,3] 3:[2,4] 4:[3]
+  ASSERT_TRUE(WriteBinaryGraph(g, path).ok());
+  // Rewrite vertex 0's single neighbor 1 -> 3. Still sorted and in-range,
+  // but 3's list does not contain 0.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(24 + 6 * 8);
+  const VertexId bogus = 3;
+  f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  f.close();
+  auto result = ReadBinaryGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BinaryIo, WriteFailsOnUnwritablePath) {
+  Status s = WriteBinaryGraph(Path(3), "/nonexistent_dir/x.nucgraph");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,184 @@
+#include "nucleus/util/bucket_queue.h"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nucleus {
+namespace {
+
+TEST(PeelingBucketQueue, PopsInSortedOrderWithoutDecrements) {
+  PeelingBucketQueue q;
+  q.Init({5, 1, 3, 1, 0, 7});
+  std::vector<std::int32_t> values;
+  while (!q.Empty()) {
+    std::int32_t v = 0;
+    q.PopMin(&v);
+    values.push_back(v);
+  }
+  EXPECT_EQ(values, (std::vector<std::int32_t>{0, 1, 1, 3, 5, 7}));
+}
+
+TEST(PeelingBucketQueue, SingleElement) {
+  PeelingBucketQueue q;
+  q.Init({4});
+  EXPECT_EQ(q.Remaining(), 1);
+  std::int32_t v = 0;
+  EXPECT_EQ(q.PopMin(&v), 0);
+  EXPECT_EQ(v, 4);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(PeelingBucketQueue, EmptyInit) {
+  PeelingBucketQueue q;
+  q.Init({});
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Remaining(), 0);
+}
+
+TEST(PeelingBucketQueue, DecrementMovesElementEarlier) {
+  PeelingBucketQueue q;
+  q.Init({0, 5, 5, 5});
+  std::int32_t v = 0;
+  EXPECT_EQ(q.PopMin(&v), 0);
+  q.Decrement(3);
+  q.Decrement(3);
+  q.Decrement(3);  // id 3 now has key 2
+  EXPECT_EQ(q.Value(3), 2);
+  EXPECT_EQ(q.PopMin(&v), 3);
+  EXPECT_EQ(v, 2);
+}
+
+TEST(PeelingBucketQueue, PoppedFlagTracksProcessedElements) {
+  PeelingBucketQueue q;
+  q.Init({2, 1});
+  EXPECT_FALSE(q.Popped(0));
+  EXPECT_FALSE(q.Popped(1));
+  q.PopMin(nullptr);
+  EXPECT_TRUE(q.Popped(1));  // id 1 had the smaller key
+  EXPECT_FALSE(q.Popped(0));
+}
+
+TEST(PeelingBucketQueue, ValuesAreFinalAfterPop) {
+  PeelingBucketQueue q;
+  q.Init({3, 1});
+  std::int32_t v = 0;
+  q.PopMin(&v);
+  EXPECT_EQ(q.Value(1), 1);
+  q.Decrement(0);
+  EXPECT_EQ(q.Value(0), 2);
+}
+
+TEST(PeelingBucketQueue, KCoreStylePeelSimulation) {
+  // Decrements mirror the core-peel on a star: center degree n-1, leaves 1.
+  const int n = 8;
+  std::vector<std::int32_t> degrees(n, 1);
+  degrees[0] = n - 1;
+  PeelingBucketQueue q;
+  q.Init(degrees);
+  // First pop must be a leaf with key 1; after decrementing the center for
+  // each processed leaf above key 1... the center never goes below 1.
+  std::vector<std::int32_t> lambdas(n, -1);
+  while (!q.Empty()) {
+    std::int32_t v = 0;
+    const CliqueId u = q.PopMin(&v);
+    lambdas[u] = v;
+    if (u != 0 && !q.Popped(0) && q.Value(0) > v) q.Decrement(0);
+  }
+  for (int i = 0; i < n; ++i) EXPECT_EQ(lambdas[i], 1) << "vertex " << i;
+}
+
+TEST(PeelingBucketQueue, RandomizedAgainstSortSimulation) {
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 1 + static_cast<int>(rng() % 64);
+    std::vector<std::int32_t> keys(n);
+    for (auto& k : keys) k = static_cast<std::int32_t>(rng() % 20);
+    PeelingBucketQueue q;
+    q.Init(keys);
+    // Interleave random valid decrements with pops; popped keys must be
+    // nondecreasing and match a reference multiset simulation.
+    std::vector<std::int32_t> sim = keys;
+    std::vector<char> popped(n, 0);
+    std::int32_t last = 0;
+    for (int step = 0; step < n; ++step) {
+      // A few random decrements of unpopped elements with key > last.
+      for (int d = 0; d < 3; ++d) {
+        const int id = static_cast<int>(rng() % n);
+        if (!popped[id] && sim[id] > last && sim[id] > 0) {
+          q.Decrement(id);
+          --sim[id];
+        }
+      }
+      std::int32_t v = 0;
+      const CliqueId u = q.PopMin(&v);
+      EXPECT_FALSE(popped[u]);
+      EXPECT_EQ(v, sim[u]);
+      EXPECT_GE(v, last);
+      // u must hold a minimal current key.
+      for (int i = 0; i < n; ++i) {
+        if (!popped[i]) {
+          EXPECT_LE(v, std::max(sim[i], last));
+        }
+      }
+      popped[u] = 1;
+      last = v;
+    }
+    EXPECT_TRUE(q.Empty());
+  }
+}
+
+TEST(MaxBucketFrontier, PopsMaxFirst) {
+  MaxBucketFrontier f(10);
+  f.Push(1, 3);
+  f.Push(2, 7);
+  f.Push(3, 5);
+  std::int32_t v = 0;
+  EXPECT_EQ(f.PopMax(&v), 2);
+  EXPECT_EQ(v, 7);
+  EXPECT_EQ(f.PopMax(&v), 3);
+  EXPECT_EQ(v, 5);
+  EXPECT_EQ(f.PopMax(&v), 1);
+  EXPECT_EQ(v, 3);
+  EXPECT_TRUE(f.Empty());
+}
+
+TEST(MaxBucketFrontier, MaxRecoversAfterHigherPush) {
+  MaxBucketFrontier f(10);
+  f.Push(1, 2);
+  std::int32_t v = 0;
+  f.PopMax(&v);
+  f.Push(2, 9);  // max pointer must move back up
+  f.Push(3, 1);
+  EXPECT_EQ(f.PopMax(&v), 2);
+  EXPECT_EQ(v, 9);
+  EXPECT_EQ(f.PopMax(&v), 3);
+  EXPECT_EQ(v, 1);
+}
+
+TEST(MaxBucketFrontier, DuplicateIdsAllowed) {
+  MaxBucketFrontier f(4);
+  f.Push(7, 1);
+  f.Push(7, 4);
+  std::int32_t v = 0;
+  EXPECT_EQ(f.PopMax(&v), 7);
+  EXPECT_EQ(v, 4);
+  EXPECT_EQ(f.PopMax(&v), 7);
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(f.Empty());
+}
+
+TEST(MaxBucketFrontier, SizeTracksPushPop) {
+  MaxBucketFrontier f(3);
+  EXPECT_EQ(f.Size(), 0);
+  f.Push(0, 0);
+  f.Push(1, 3);
+  EXPECT_EQ(f.Size(), 2);
+  f.PopMax(nullptr);
+  EXPECT_EQ(f.Size(), 1);
+}
+
+}  // namespace
+}  // namespace nucleus

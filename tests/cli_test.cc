@@ -1,0 +1,244 @@
+#include "nucleus/cli/cli.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/graph/edge_list_io.h"
+#include "nucleus/graph/generators.h"
+
+namespace nucleus {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult RunArgs(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = ::nucleus::RunCli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string WriteTestGraph() {
+  const std::string path = TempPath("cli_graph.txt");
+  const Graph g = Caveman(3, 6, 3, 5);
+  EXPECT_TRUE(WriteEdgeList(g, path).ok());
+  return path;
+}
+
+TEST(Cli, NoCommandFails) {
+  const CliResult r = RunArgs({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("missing command"), std::string::npos);
+  EXPECT_NE(r.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const CliResult r = RunArgs({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, FlagWithoutValueFails) {
+  const CliResult r = RunArgs({"stats", "--input"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("requires a value"), std::string::npos);
+}
+
+TEST(Cli, StatsOnGeneratedGraph) {
+  const std::string path = WriteTestGraph();
+  const CliResult r = RunArgs({"stats", "--input", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("vertices: 18"), std::string::npos);
+  EXPECT_NE(r.out.find("degeneracy: 5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, StatsMissingFileFails) {
+  const CliResult r = RunArgs({"stats", "--input", "/no/such/file"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("NOT_FOUND"), std::string::npos);
+}
+
+TEST(Cli, DecomposeDefaultCoreFnd) {
+  const std::string path = WriteTestGraph();
+  const CliResult r = RunArgs({"decompose", "--input", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("(1,2) k-core"), std::string::npos);
+  EXPECT_NE(r.out.find("algorithm: FND"), std::string::npos);
+  EXPECT_NE(r.out.find("max lambda: 5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, DecomposeTrussWritesArtifacts) {
+  const std::string path = WriteTestGraph();
+  const std::string json = TempPath("cli_h.json");
+  const std::string dot = TempPath("cli_h.dot");
+  const std::string lambda = TempPath("cli_lambda.txt");
+  const CliResult r =
+      RunArgs({"decompose", "--input", path, "--family", "truss", "--algorithm",
+           "dft", "--out-json", json, "--out-dot", dot, "--lambda", lambda});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream json_in(json);
+  EXPECT_TRUE(json_in.good());
+  std::ifstream dot_in(dot);
+  EXPECT_TRUE(dot_in.good());
+  std::ifstream lambda_in(lambda);
+  EXPECT_TRUE(lambda_in.good());
+  // Lambda file: one "<edge id> <lambda>" line per edge.
+  const auto reread = ReadEdgeList(path);
+  ASSERT_TRUE(reread.ok());
+  std::string line;
+  std::int64_t lines = 0;
+  while (std::getline(lambda_in, line)) ++lines;
+  EXPECT_EQ(lines, reread->NumEdges());
+  for (const auto& p : {json, dot, lambda, path}) std::remove(p.c_str());
+}
+
+TEST(Cli, DecomposeRejectsBadFamily) {
+  const std::string path = WriteTestGraph();
+  const CliResult r =
+      RunArgs({"decompose", "--input", path, "--family", "pentagon"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown family"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, DecomposeRejectsLcpsOnTruss) {
+  const std::string path = WriteTestGraph();
+  const CliResult r = RunArgs({"decompose", "--input", path, "--family", "truss",
+                           "--algorithm", "lcps"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("core only"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, DecomposeRejectsNaive) {
+  const std::string path = WriteTestGraph();
+  const CliResult r =
+      RunArgs({"decompose", "--input", path, "--algorithm", "naive"});
+  EXPECT_EQ(r.code, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, GenerateRoundTrips) {
+  const std::string path = TempPath("cli_generated.txt");
+  const CliResult r = RunArgs({"generate", "--type", "er", "--out", path, "--n",
+                           "100", "--param", "0.05", "--seed", "7"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  const auto g = ReadEdgeList(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(g->NumEdges(), 100);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, GenerateAllTypes) {
+  for (const std::string type :
+       {"er", "ba", "rmat", "ws", "planted", "caveman"}) {
+    const std::string path = TempPath("cli_gen_" + type + ".txt");
+    const CliResult r =
+        RunArgs({"generate", "--type", type, "--out", path, "--n", "64"});
+    EXPECT_EQ(r.code, 0) << type << ": " << r.err;
+    const auto g = ReadEdgeList(path);
+    ASSERT_TRUE(g.ok()) << type;
+    EXPECT_GT(g->NumEdges(), 0) << type;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Cli, GenerateUnknownTypeFails) {
+  const CliResult r =
+      RunArgs({"generate", "--type", "hypercube", "--out", TempPath("x.txt")});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(Cli, GenerateRequiresTypeAndOut) {
+  EXPECT_EQ(RunArgs({"generate", "--type", "er"}).code, 2);
+  EXPECT_EQ(RunArgs({"generate", "--out", TempPath("y.txt")}).code, 2);
+}
+
+TEST(Cli, ConvertRoundTripsThroughBinary) {
+  const std::string edges_path = WriteTestGraph();
+  const std::string bin_path = TempPath("cli_graph.nucgraph");
+  const std::string back_path = TempPath("cli_graph_back.txt");
+
+  CliResult r = RunArgs({"convert", "--input", edges_path, "--out", bin_path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("wrote"), std::string::npos);
+
+  r = RunArgs({"convert", "--input", bin_path, "--out", back_path});
+  EXPECT_EQ(r.code, 0) << r.err;
+
+  const auto original = ReadEdgeList(edges_path);
+  const auto round_tripped = ReadEdgeList(back_path);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(round_tripped.ok());
+  EXPECT_EQ(original->NumVertices(), round_tripped->NumVertices());
+  EXPECT_EQ(original->NumEdges(), round_tripped->NumEdges());
+}
+
+TEST(Cli, ConvertRequiresBothPaths) {
+  EXPECT_EQ(RunArgs({"convert", "--input", "x"}).code, 2);
+  EXPECT_EQ(RunArgs({"convert", "--out", "y"}).code, 2);
+}
+
+TEST(Cli, SemiExternalCoreAndTruss) {
+  const std::string edges_path = WriteTestGraph();
+  const std::string bin_path = TempPath("cli_sem.nucgraph");
+  ASSERT_EQ(
+      RunArgs({"convert", "--input", edges_path, "--out", bin_path}).code, 0);
+  for (const std::string family : {"core", "truss"}) {
+    const CliResult r = RunArgs({"semi-external", "--input", bin_path,
+                                 "--family", family, "--temp",
+                                 ::testing::TempDir()});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.out.find("max lambda"), std::string::npos) << family;
+    EXPECT_NE(r.out.find("io:"), std::string::npos) << family;
+  }
+}
+
+TEST(Cli, SemiExternalRejectsBadFamilyAndMissingFile) {
+  EXPECT_EQ(RunArgs({"semi-external", "--input", "x.nucgraph", "--family",
+                     "34"})
+                .code,
+            2);
+  EXPECT_EQ(
+      RunArgs({"semi-external", "--input", TempPath("nope.nucgraph")}).code,
+      1);
+}
+
+TEST(Cli, QueryReportsCommonNucleus) {
+  const std::string edges_path = WriteTestGraph();
+  // Caveman(3, 6, ...): vertices 0 and 1 share a cave (dense), vertices 0
+  // and 17 do not.
+  CliResult r =
+      RunArgs({"query", "--input", edges_path, "--u", "0", "--v", "1"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("smallest common nucleus"), std::string::npos);
+
+  r = RunArgs({"query", "--input", edges_path, "--u", "0", "--v", "0"});
+  EXPECT_EQ(r.code, 0);
+}
+
+TEST(Cli, QueryValidatesArguments) {
+  const std::string edges_path = WriteTestGraph();
+  EXPECT_EQ(RunArgs({"query", "--input", edges_path, "--u", "0"}).code, 2);
+  EXPECT_EQ(RunArgs({"query", "--input", edges_path, "--u", "0", "--v",
+                     "99999"})
+                .code,
+            2);
+}
+
+}  // namespace
+}  // namespace nucleus

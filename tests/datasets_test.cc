@@ -1,0 +1,85 @@
+#include "nucleus/bench/datasets.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/graph/graph_stats.h"
+
+namespace nucleus {
+namespace {
+
+TEST(Datasets, NineProxiesInPaperOrder) {
+  const auto& specs = PaperDatasets();
+  ASSERT_EQ(specs.size(), 9u);
+  EXPECT_EQ(specs[0].paper_name, "skitter");
+  EXPECT_EQ(specs[3].paper_name, "Stanford3");
+  EXPECT_EQ(specs[7].paper_name, "uk-2005");
+  EXPECT_EQ(specs[8].paper_name, "wiki-0611");
+}
+
+TEST(Datasets, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& spec : PaperDatasets()) {
+    EXPECT_TRUE(names.insert(spec.name).second);
+  }
+}
+
+TEST(Datasets, LookupByEitherName) {
+  EXPECT_EQ(DatasetByName("stanford3-syn").paper_name, "Stanford3");
+  EXPECT_EQ(DatasetByName("Stanford3").name, "stanford3-syn");
+}
+
+TEST(DatasetsDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH(DatasetByName("no-such-graph"), "unknown dataset");
+}
+
+TEST(Datasets, Table1TripleMatchesPaper) {
+  const auto names = Table1DatasetNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(DatasetByName(names[0]).paper_name, "Stanford3");
+  EXPECT_EQ(DatasetByName(names[1]).paper_name, "twitter-hb");
+  EXPECT_EQ(DatasetByName(names[2]).paper_name, "uk-2005");
+}
+
+TEST(Datasets, GenerationIsDeterministic) {
+  const auto& spec = DatasetByName("mit-syn");
+  const Graph a = spec.make();
+  const Graph b = spec.make();
+  EXPECT_EQ(a.NumVertices(), b.NumVertices());
+  EXPECT_EQ(a.NumEdges(), b.NumEdges());
+  bool same = true;
+  a.ForEachEdge([&](VertexId u, VertexId v) {
+    if (!b.HasEdge(u, v)) same = false;
+  });
+  EXPECT_TRUE(same);
+}
+
+TEST(Datasets, RegimesAreStructurallyDistinct) {
+  // The facebook-style proxies must be denser (|E|/|V|) than the web-style
+  // ones, and the uk-2005 proxy must have the most extreme clique regime —
+  // the structural axes of the paper's Table 3.
+  const Graph facebook = DatasetByName("mit-syn").make();
+  const Graph web = DatasetByName("google-syn").make();
+  const double fb_density =
+      static_cast<double>(facebook.NumEdges()) / facebook.NumVertices();
+  const double web_density =
+      static_cast<double>(web.NumEdges()) / web.NumVertices();
+  EXPECT_GT(fb_density, 4 * web_density);
+
+  const Graph uk = DatasetByName("uk-2005-syn").make();
+  EXPECT_GT(GlobalClusteringCoefficient(uk),
+            GlobalClusteringCoefficient(web) * 5);
+}
+
+TEST(Datasets, AllProxiesAreNonTrivial) {
+  for (const auto& spec : PaperDatasets()) {
+    const Graph g = spec.make();
+    EXPECT_GT(g.NumVertices(), 100) << spec.name;
+    EXPECT_GT(g.NumEdges(), 500) << spec.name;
+    EXPECT_GT(CountTriangles(g), 0) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace nucleus

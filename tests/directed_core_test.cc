@@ -1,0 +1,220 @@
+#include "nucleus/variants/directed_core.h"
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/core/peeling.h"
+#include "nucleus/core/spaces.h"
+#include "nucleus/graph/generators.h"
+#include "nucleus/util/rng.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+using Arc = std::pair<VertexId, VertexId>;
+
+DirectedGraph RandomDigraph(VertexId n, std::int64_t arcs,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Arc> list;
+  list.reserve(arcs);
+  for (std::int64_t i = 0; i < arcs; ++i) {
+    const VertexId u = rng.UniformVertex(n);
+    const VertexId v = rng.UniformVertex(n);
+    if (u != v) list.emplace_back(u, v);
+  }
+  return DirectedGraph::FromArcs(n, std::move(list));
+}
+
+// Reference (k, l)-membership: iterated pruning straight from the
+// definition, no queues.
+std::vector<char> ReferenceMembership(const DirectedGraph& dg, std::int32_t k,
+                                      std::int32_t l) {
+  const VertexId n = dg.NumVertices();
+  std::vector<char> alive(n, 1);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!alive[v]) continue;
+      std::int64_t din = 0, dout = 0;
+      for (VertexId u : dg.InNeighbors(v)) din += alive[u];
+      for (VertexId u : dg.OutNeighbors(v)) dout += alive[u];
+      if (din < k || dout < l) {
+        alive[v] = 0;
+        changed = true;
+      }
+    }
+  }
+  return alive;
+}
+
+TEST(DirectedGraph, FromArcsDedupesAndDropsSelfLoops) {
+  DirectedGraph dg = DirectedGraph::FromArcs(
+      3, {{0, 1}, {0, 1}, {1, 0}, {2, 2}, {1, 2}});
+  EXPECT_EQ(dg.NumArcs(), 3);  // 0->1, 1->0, 1->2
+  EXPECT_EQ(dg.OutDegree(0), 1);
+  EXPECT_EQ(dg.InDegree(0), 1);
+  EXPECT_EQ(dg.OutDegree(1), 2);
+  EXPECT_EQ(dg.InDegree(2), 1);
+  EXPECT_EQ(dg.OutDegree(2), 0);
+}
+
+TEST(DirectedGraph, UnderlyingCoalescesReciprocalArcs) {
+  DirectedGraph dg = DirectedGraph::FromArcs(3, {{0, 1}, {1, 0}, {1, 2}});
+  const Graph g = dg.Underlying();
+  EXPECT_EQ(g.NumEdges(), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(DCore, MembershipMatchesReferenceOnRandomDigraphs) {
+  for (std::uint64_t seed : {1u, 4u, 7u}) {
+    const DirectedGraph dg = RandomDigraph(25, 140, seed);
+    for (std::int32_t k = 0; k <= 3; ++k) {
+      for (std::int32_t l = 0; l <= 3; ++l) {
+        SCOPED_TRACE(testing::Message()
+                     << "seed=" << seed << " k=" << k << " l=" << l);
+        EXPECT_EQ(DCoreMembership(dg, k, l), ReferenceMembership(dg, k, l));
+      }
+    }
+  }
+}
+
+TEST(DCore, DirectedCycleHasElevenCore) {
+  // A directed cycle: every vertex has in = out = 1, so the (1,1)-core is
+  // everything and the (1,2)/(2,1)-cores are empty.
+  std::vector<Arc> arcs;
+  for (VertexId v = 0; v < 8; ++v) arcs.emplace_back(v, (v + 1) % 8);
+  const DirectedGraph dg = DirectedGraph::FromArcs(8, std::move(arcs));
+  const auto core11 = DCoreMembership(dg, 1, 1);
+  EXPECT_EQ(std::count(core11.begin(), core11.end(), 1), 8);
+  const auto core12 = DCoreMembership(dg, 1, 2);
+  EXPECT_EQ(std::count(core12.begin(), core12.end(), 1), 0);
+}
+
+TEST(DCore, DagHasNoNonTrivialCore) {
+  // Acyclic orientations always have a source (in-degree 0), so every
+  // (k >= 1, l >= 1)-core is empty.
+  std::vector<Arc> arcs;
+  for (VertexId u = 0; u < 10; ++u) {
+    for (VertexId v = u + 1; v < 10; ++v) arcs.emplace_back(u, v);
+  }
+  const DirectedGraph dg = DirectedGraph::FromArcs(10, std::move(arcs));
+  const auto core = DCoreMembership(dg, 1, 1);
+  EXPECT_EQ(std::count(core.begin(), core.end(), 1), 0);
+}
+
+TEST(DCore, OutNumbersConsistentWithMembership) {
+  // out_num[v] >= l  <=>  v in (k, l)-core, for every l.
+  for (std::uint64_t seed : {2u, 5u}) {
+    const DirectedGraph dg = RandomDigraph(20, 120, seed);
+    for (std::int32_t k = 0; k <= 2; ++k) {
+      SCOPED_TRACE(testing::Message() << "seed=" << seed << " k=" << k);
+      const std::vector<std::int32_t> out_num = DCoreOutNumbers(dg, k);
+      for (std::int32_t l = 0; l <= 4; ++l) {
+        const std::vector<char> want = ReferenceMembership(dg, k, l);
+        for (VertexId v = 0; v < dg.NumVertices(); ++v) {
+          EXPECT_EQ(out_num[v] >= l, want[v] == 1)
+              << "v=" << v << " l=" << l;
+        }
+      }
+    }
+  }
+}
+
+TEST(DCore, BidirectedGraphAtKZeroMatchesUndirectedCore) {
+  // With every edge doubled into two arcs and k = 0, the out-peel is
+  // exactly the undirected peel, so out-numbers equal plain core numbers.
+  const Graph g = ErdosRenyiGnp(30, 0.2, 9);
+  std::vector<Arc> arcs;
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    arcs.emplace_back(u, v);
+    arcs.emplace_back(v, u);
+  });
+  const DirectedGraph dg = DirectedGraph::FromArcs(30, std::move(arcs));
+  const std::vector<std::int32_t> out_num = DCoreOutNumbers(dg, 0);
+  const PeelResult peel = Peel(VertexSpace(g));
+  for (VertexId v = 0; v < 30; ++v) {
+    EXPECT_EQ(out_num[v], peel.lambda[v]) << "vertex " << v;
+  }
+}
+
+TEST(DCore, MatrixRowsAreMonotone) {
+  // Rows: out-numbers can only drop as the in-threshold k rises.
+  const DirectedGraph dg = RandomDigraph(25, 160, 12);
+  const DCoreMatrix matrix = ComputeDCoreMatrix(dg);
+  ASSERT_GE(matrix.rows.size(), 1u);
+  for (std::size_t k = 1; k < matrix.rows.size(); ++k) {
+    for (VertexId v = 0; v < dg.NumVertices(); ++v) {
+      EXPECT_LE(matrix.rows[k][v], matrix.rows[k - 1][v])
+          << "k=" << k << " v=" << v;
+    }
+  }
+  // max_k row is the last non-empty one.
+  EXPECT_EQ(matrix.max_k,
+            static_cast<std::int32_t>(matrix.rows.size()) - 1);
+}
+
+TEST(DCore, HierarchyCoresAreWeakThresholdComponents) {
+  for (std::uint64_t seed : {3u, 6u}) {
+    SCOPED_TRACE(seed);
+    const DirectedGraph dg = RandomDigraph(22, 130, seed);
+    const std::int32_t k = 1;
+    const DCoreHierarchy h = DecomposeDCore(dg, k);
+    const Graph und = dg.Underlying();
+
+    std::set<std::vector<VertexId>> from_tree;
+    const NucleusHierarchy tree = LabeledHierarchyTree(und, h.skeleton);
+    for (std::int32_t id = 0; id < tree.NumNodes(); ++id) {
+      if (tree.node(id).lambda < 1) continue;
+      from_tree.insert(tree.MembersOfSubtree(id));
+    }
+
+    std::set<std::vector<VertexId>> reference;
+    std::set<std::int32_t> levels(h.out_numbers.begin(),
+                                  h.out_numbers.end());
+    for (std::int32_t l : levels) {
+      if (l < 0) continue;
+      std::vector<char> in(und.NumVertices());
+      for (VertexId v = 0; v < und.NumVertices(); ++v) {
+        in[v] = h.out_numbers[v] >= l;
+      }
+      std::vector<char> seen(und.NumVertices(), 0);
+      for (VertexId s = 0; s < und.NumVertices(); ++s) {
+        if (!in[s] || seen[s]) continue;
+        std::vector<VertexId> comp{s};
+        std::vector<VertexId> stack{s};
+        seen[s] = 1;
+        while (!stack.empty()) {
+          const VertexId x = stack.back();
+          stack.pop_back();
+          for (VertexId u : und.Neighbors(x)) {
+            if (in[u] && !seen[u]) {
+              seen[u] = 1;
+              comp.push_back(u);
+              stack.push_back(u);
+            }
+          }
+        }
+        std::sort(comp.begin(), comp.end());
+        reference.insert(std::move(comp));
+      }
+    }
+    EXPECT_EQ(from_tree, reference);
+  }
+}
+
+TEST(DCore, EmptyGraph) {
+  const DirectedGraph dg = DirectedGraph::FromArcs(0, {});
+  EXPECT_TRUE(DCoreOutNumbers(dg, 1).empty());
+  const DCoreMatrix matrix = ComputeDCoreMatrix(dg);
+  EXPECT_EQ(matrix.max_k, 0);
+}
+
+}  // namespace
+}  // namespace nucleus

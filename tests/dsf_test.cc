@@ -1,0 +1,151 @@
+#include "nucleus/dsf/disjoint_set.h"
+
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/dsf/root_forest.h"
+
+namespace nucleus {
+namespace {
+
+TEST(DisjointSet, SingletonsInitially) {
+  DisjointSet dsf(5);
+  EXPECT_EQ(dsf.NumSets(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(dsf.Find(i), i);
+    EXPECT_EQ(dsf.SizeOf(i), 1);
+  }
+}
+
+TEST(DisjointSet, UnionMergesAndTracksSizes) {
+  DisjointSet dsf(6);
+  EXPECT_TRUE(dsf.Union(0, 1));
+  EXPECT_TRUE(dsf.Union(2, 3));
+  EXPECT_TRUE(dsf.Union(0, 2));
+  EXPECT_FALSE(dsf.Union(1, 3));  // already together
+  EXPECT_EQ(dsf.NumSets(), 3);
+  EXPECT_EQ(dsf.SizeOf(3), 4);
+  EXPECT_TRUE(dsf.SameSet(0, 3));
+  EXPECT_FALSE(dsf.SameSet(0, 4));
+}
+
+TEST(DisjointSet, ChainUnionStillShallow) {
+  const int n = 1000;
+  DisjointSet dsf(n);
+  for (int i = 0; i + 1 < n; ++i) dsf.Union(i, i + 1);
+  EXPECT_EQ(dsf.NumSets(), 1);
+  for (int i = 0; i < n; ++i) EXPECT_EQ(dsf.Find(i), dsf.Find(0));
+}
+
+TEST(DisjointSet, RandomizedAgainstLabelPropagation) {
+  std::mt19937 rng(7);
+  const int n = 120;
+  DisjointSet dsf(n);
+  std::vector<int> label(n);
+  std::iota(label.begin(), label.end(), 0);
+  auto relabel = [&](int from, int to) {
+    for (int& l : label) {
+      if (l == from) l = to;
+    }
+  };
+  for (int step = 0; step < 400; ++step) {
+    const int a = static_cast<int>(rng() % n);
+    const int b = static_cast<int>(rng() % n);
+    dsf.Union(a, b);
+    relabel(label[a], label[b]);
+    const int c = static_cast<int>(rng() % n);
+    const int d = static_cast<int>(rng() % n);
+    EXPECT_EQ(dsf.SameSet(c, d), label[c] == label[d]);
+  }
+}
+
+TEST(HierarchySkeleton, AddNodeAssignsSequentialIds) {
+  HierarchySkeleton skel;
+  EXPECT_EQ(skel.AddNode(3), 0);
+  EXPECT_EQ(skel.AddNode(2), 1);
+  EXPECT_EQ(skel.NumNodes(), 2);
+  EXPECT_EQ(skel.LambdaOf(0), 3);
+  EXPECT_EQ(skel.LambdaOf(1), 2);
+  EXPECT_FALSE(skel.HasParent(0));
+}
+
+TEST(HierarchySkeleton, FindRootOfFreshNodeIsItself) {
+  HierarchySkeleton skel;
+  const auto a = skel.AddNode(1);
+  EXPECT_EQ(skel.FindRoot(a), a);
+}
+
+TEST(HierarchySkeleton, UnionRMergesEqualLambdaNodes) {
+  HierarchySkeleton skel;
+  const auto a = skel.AddNode(2);
+  const auto b = skel.AddNode(2);
+  const auto c = skel.AddNode(2);
+  skel.UnionR(a, b);
+  skel.UnionR(a, c);
+  EXPECT_EQ(skel.FindRoot(a), skel.FindRoot(b));
+  EXPECT_EQ(skel.FindRoot(b), skel.FindRoot(c));
+  // Losers got parent links to their group (hierarchy-internal links).
+  int parentless = 0;
+  for (std::int32_t id = 0; id < 3; ++id) {
+    if (!skel.HasParent(id)) ++parentless;
+  }
+  EXPECT_EQ(parentless, 1);
+}
+
+TEST(HierarchySkeleton, AttachChildSetsParentAndRoot) {
+  HierarchySkeleton skel;
+  const auto child = skel.AddNode(5);
+  const auto parent = skel.AddNode(3);
+  skel.AttachChild(child, parent);
+  EXPECT_EQ(skel.Parent(child), parent);
+  EXPECT_EQ(skel.FindRoot(child), parent);
+}
+
+TEST(HierarchySkeleton, FindRootFollowsAttachmentChains) {
+  HierarchySkeleton skel;
+  const auto a = skel.AddNode(5);
+  const auto b = skel.AddNode(4);
+  const auto c = skel.AddNode(3);
+  skel.AttachChild(a, b);
+  skel.AttachChild(b, c);
+  EXPECT_EQ(skel.FindRoot(a), c);
+  // Path compression: a second lookup still answers correctly.
+  EXPECT_EQ(skel.FindRoot(a), c);
+  EXPECT_EQ(skel.Parent(a), b);  // parent preserved despite compression
+}
+
+TEST(HierarchySkeleton, UnionPreservesParentLinksOfAttachedChildren) {
+  HierarchySkeleton skel;
+  const auto high = skel.AddNode(7);
+  const auto a = skel.AddNode(4);
+  const auto b = skel.AddNode(4);
+  skel.AttachChild(high, a);
+  skel.UnionR(a, b);
+  // high's hierarchy parent must still be a.
+  EXPECT_EQ(skel.Parent(high), a);
+  EXPECT_EQ(skel.FindRoot(high), skel.FindRoot(b));
+}
+
+TEST(HierarchySkeleton, SetParentDoesNotAffectFindRoot) {
+  HierarchySkeleton skel;
+  const auto a = skel.AddNode(1);
+  const auto root = skel.AddNode(kRootLambda);
+  skel.SetParent(a, root);
+  EXPECT_EQ(skel.Parent(a), root);
+  EXPECT_EQ(skel.FindRoot(a), a);  // root field untouched
+}
+
+TEST(HierarchySkeletonDeathTest, AttachNonRootAborts) {
+  HierarchySkeleton skel;
+  const auto a = skel.AddNode(5);
+  const auto b = skel.AddNode(4);
+  const auto c = skel.AddNode(3);
+  skel.AttachChild(a, b);
+  EXPECT_DEATH(skel.AttachChild(a, c), "not a root");
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,88 @@
+#include "nucleus/cliques/edge_index.h"
+
+#include <gtest/gtest.h>
+
+#include "nucleus/graph/generators.h"
+#include "nucleus/graph/graph_builder.h"
+
+namespace nucleus {
+namespace {
+
+TEST(EdgeIndex, TriangleIdsAreLexicographic) {
+  const Graph g = GraphFromEdges(3, {{0, 1}, {0, 2}, {1, 2}});
+  const EdgeIndex index = EdgeIndex::Build(g);
+  EXPECT_EQ(index.NumEdges(), 3);
+  EXPECT_EQ(index.GetEdgeId(g, 0, 1), 0);
+  EXPECT_EQ(index.GetEdgeId(g, 0, 2), 1);
+  EXPECT_EQ(index.GetEdgeId(g, 1, 2), 2);
+}
+
+TEST(EdgeIndex, LookupIsSymmetric) {
+  const Graph g = GraphFromEdges(4, {{0, 3}, {1, 2}});
+  const EdgeIndex index = EdgeIndex::Build(g);
+  EXPECT_EQ(index.GetEdgeId(g, 0, 3), index.GetEdgeId(g, 3, 0));
+  EXPECT_EQ(index.GetEdgeId(g, 2, 1), index.GetEdgeId(g, 1, 2));
+}
+
+TEST(EdgeIndex, MissingEdgeIsInvalid) {
+  const Graph g = GraphFromEdges(4, {{0, 1}});
+  const EdgeIndex index = EdgeIndex::Build(g);
+  EXPECT_EQ(index.GetEdgeId(g, 0, 2), kInvalidId);
+  EXPECT_EQ(index.GetEdgeId(g, 2, 3), kInvalidId);
+  EXPECT_EQ(index.GetEdgeId(g, -1, 0), kInvalidId);
+  EXPECT_EQ(index.GetEdgeId(g, 0, 99), kInvalidId);
+}
+
+TEST(EdgeIndex, EndpointsRoundTrip) {
+  const Graph g = ErdosRenyiGnm(30, 80, 9);
+  const EdgeIndex index = EdgeIndex::Build(g);
+  for (EdgeId e = 0; e < index.NumEdges(); ++e) {
+    const auto [u, v] = index.Endpoints(e);
+    EXPECT_LT(u, v);
+    EXPECT_TRUE(g.HasEdge(u, v));
+    EXPECT_EQ(index.GetEdgeId(g, u, v), e);
+  }
+}
+
+TEST(EdgeIndex, AdjEdgeIdsAlignedWithNeighbors) {
+  const Graph g = ErdosRenyiGnm(25, 60, 10);
+  const EdgeIndex index = EdgeIndex::Build(g);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    const auto nbrs = g.Neighbors(u);
+    const auto eids = index.AdjEdgeIds(g, u);
+    ASSERT_EQ(nbrs.size(), eids.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const auto [a, b] = index.Endpoints(eids[i]);
+      EXPECT_TRUE((a == u && b == nbrs[i]) || (a == nbrs[i] && b == u));
+    }
+  }
+}
+
+TEST(EdgeIndex, EveryEdgeCoveredExactlyTwiceInAdjArrays) {
+  const Graph g = BarabasiAlbert(40, 3, 11);
+  const EdgeIndex index = EdgeIndex::Build(g);
+  std::vector<int> seen(index.NumEdges(), 0);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (EdgeId e : index.AdjEdgeIds(g, u)) ++seen[e];
+  }
+  for (EdgeId e = 0; e < index.NumEdges(); ++e) EXPECT_EQ(seen[e], 2);
+}
+
+TEST(EdgeIndex, EmptyGraph) {
+  const EdgeIndex index = EdgeIndex::Build(Graph());
+  EXPECT_EQ(index.NumEdges(), 0);
+}
+
+TEST(EdgeIndex, IsolatedVerticesHaveNoEntries) {
+  GraphBuilder b;
+  b.AddEdge(1, 3);
+  b.EnsureVertex(6);
+  const Graph g = b.Build();
+  const EdgeIndex index = EdgeIndex::Build(g);
+  EXPECT_EQ(index.NumEdges(), 1);
+  EXPECT_TRUE(index.AdjEdgeIds(g, 0).empty());
+  EXPECT_TRUE(index.AdjEdgeIds(g, 6).empty());
+}
+
+}  // namespace
+}  // namespace nucleus

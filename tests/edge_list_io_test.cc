@@ -1,0 +1,150 @@
+#include "nucleus/graph/edge_list_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/graph/generators.h"
+
+namespace nucleus {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(ParseEdgeList, BasicEdges) {
+  const auto g = ParseEdgeList("0 1\n1 2\n2 0\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 3);
+  EXPECT_EQ(g->NumEdges(), 3);
+}
+
+TEST(ParseEdgeList, CommentsAndBlankLines) {
+  const auto g = ParseEdgeList(
+      "# SNAP-style comment\n"
+      "% matrix-market-style comment\n"
+      "\n"
+      "0 1\n"
+      "   \n"
+      "1 2\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 2);
+}
+
+TEST(ParseEdgeList, DirectionsAndDuplicatesCollapse) {
+  const auto g = ParseEdgeList("0 1\n1 0\n0 1\n1 1\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 1);  // self-loop dropped too
+}
+
+TEST(ParseEdgeList, TabsAndExtraWhitespace) {
+  const auto g = ParseEdgeList("0\t1\n  2   3  \n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumEdges(), 2);
+  EXPECT_EQ(g->NumVertices(), 4);
+}
+
+TEST(ParseEdgeList, MalformedLineIsError) {
+  const auto g = ParseEdgeList("0 1\nnot an edge\n");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(g.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParseEdgeList, MissingSecondEndpointIsError) {
+  const auto g = ParseEdgeList("5\n");
+  ASSERT_FALSE(g.ok());
+}
+
+TEST(ParseEdgeList, NegativeIdIsError) {
+  const auto g = ParseEdgeList("0 -2\n");
+  ASSERT_FALSE(g.ok());
+}
+
+TEST(ParseEdgeList, EmptyInputIsEmptyGraph) {
+  const auto g = ParseEdgeList("");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumVertices(), 0);
+}
+
+TEST(ReadEdgeList, MissingFileIsNotFound) {
+  const auto g = ReadEdgeList("/nonexistent/path/graph.txt");
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EdgeListRoundTrip, WriteThenReadPreservesGraph) {
+  const Graph original = ErdosRenyiGnm(40, 120, 3);
+  const std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(WriteEdgeList(original, path).ok());
+  const auto reread = ReadEdgeList(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread->NumEdges(), original.NumEdges());
+  bool same = true;
+  original.ForEachEdge([&](VertexId u, VertexId v) {
+    if (!reread->HasEdge(u, v)) same = false;
+  });
+  EXPECT_TRUE(same);
+  std::remove(path.c_str());
+}
+
+TEST(ReadMatrixMarket, PatternCoordinateFile) {
+  const std::string path = TempPath("graph.mtx");
+  WriteFile(path,
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "% a comment\n"
+            "4 4 3\n"
+            "1 2\n"
+            "2 3\n"
+            "3 4\n");
+  const auto g = ReadMatrixMarket(path);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->NumVertices(), 4);  // 1-based ids 1..4 -> 0..3
+  EXPECT_EQ(g->NumEdges(), 3);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  std::remove(path.c_str());
+}
+
+TEST(ReadMatrixMarket, RejectsMissingHeader) {
+  const std::string path = TempPath("noheader.mtx");
+  WriteFile(path, "4 4 1\n1 2\n");
+  const auto g = ReadMatrixMarket(path);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ReadMatrixMarket, RejectsZeroIndex) {
+  const std::string path = TempPath("zeroidx.mtx");
+  WriteFile(path,
+            "%%MatrixMarket matrix coordinate pattern general\n"
+            "2 2 1\n"
+            "0 1\n");
+  const auto g = ReadMatrixMarket(path);
+  ASSERT_FALSE(g.ok());
+  std::remove(path.c_str());
+}
+
+TEST(ReadMatrixMarket, RejectsNonCoordinate) {
+  const std::string path = TempPath("dense.mtx");
+  WriteFile(path, "%%MatrixMarket matrix array real general\n1 1\n0.5\n");
+  const auto g = ReadMatrixMarket(path);
+  ASSERT_FALSE(g.ok());
+  std::remove(path.c_str());
+}
+
+TEST(WriteEdgeList, UnwritablePathIsError) {
+  const Graph g = Path(3);
+  EXPECT_FALSE(WriteEdgeList(g, "/nonexistent/dir/out.txt").ok());
+}
+
+}  // namespace
+}  // namespace nucleus

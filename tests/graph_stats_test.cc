@@ -1,0 +1,113 @@
+#include "nucleus/graph/graph_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "nucleus/graph/generators.h"
+#include "nucleus/graph/graph_builder.h"
+
+namespace nucleus {
+namespace {
+
+TEST(DegreeStats, PathDegrees) {
+  const DegreeStats s = ComputeDegreeStats(Path(5));
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 2);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0 * 4 / 5);
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  const DegreeStats s = ComputeDegreeStats(Graph());
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.max, 0);
+}
+
+TEST(ConnectedComponents, CountsAndLabels) {
+  const Graph g = DisjointUnion({Path(3), Cycle(4), Path(1)});
+  std::int32_t count = 0;
+  const auto comp = ConnectedComponents(g, &count);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], comp[6]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_EQ(comp[7], 2);
+}
+
+TEST(ConnectedComponents, SingleComponent) {
+  std::int32_t count = 0;
+  ConnectedComponents(Complete(5), &count);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(LargestComponentVertices, PicksBiggest) {
+  const Graph g = DisjointUnion({Path(2), Complete(5), Path(3)});
+  const auto vs = LargestComponentVertices(g);
+  EXPECT_EQ(vs.size(), 5u);
+  EXPECT_EQ(vs[0], 2);  // K5 occupies vertices 2..6
+  EXPECT_EQ(vs[4], 6);
+}
+
+TEST(CountTriangles, KnownCounts) {
+  EXPECT_EQ(CountTriangles(Complete(4)), 4);
+  EXPECT_EQ(CountTriangles(Complete(6)), 20);
+  EXPECT_EQ(CountTriangles(Cycle(5)), 0);
+  EXPECT_EQ(CountTriangles(CompleteBipartite(3, 3)), 0);
+  EXPECT_EQ(CountTriangles(Wheel(7)), 6);
+}
+
+TEST(CountTriangles, BowTie) {
+  const Graph g =
+      GraphFromEdges(5, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}});
+  EXPECT_EQ(CountTriangles(g), 2);
+}
+
+TEST(GlobalClusteringCoefficient, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(Complete(6)), 1.0);
+}
+
+TEST(GlobalClusteringCoefficient, TriangleFreeIsZero) {
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(CompleteBipartite(4, 4)), 0.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(Path(10)), 0.0);
+}
+
+TEST(AverageLocalClustering, CompleteIsOneStarIsZero) {
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(Complete(5)), 1.0);
+  EXPECT_DOUBLE_EQ(AverageLocalClustering(Star(8)), 0.0);
+}
+
+TEST(Degeneracy, KnownValues) {
+  EXPECT_EQ(Degeneracy(Complete(7)), 6);
+  EXPECT_EQ(Degeneracy(Path(10)), 1);
+  EXPECT_EQ(Degeneracy(Cycle(10)), 2);
+  EXPECT_EQ(Degeneracy(Star(20)), 1);
+  EXPECT_EQ(Degeneracy(Grid2D(4, 4)), 2);
+  EXPECT_EQ(Degeneracy(Graph()), 0);
+}
+
+TEST(Degeneracy, OrderingIsPermutationWithSmallBackDegree) {
+  const Graph g = ErdosRenyiGnp(60, 0.2, 5);
+  std::vector<VertexId> ordering;
+  const std::int32_t d = Degeneracy(g, &ordering);
+  ASSERT_EQ(ordering.size(), static_cast<std::size_t>(g.NumVertices()));
+  std::vector<std::int32_t> pos(g.NumVertices());
+  std::vector<char> seen(g.NumVertices(), 0);
+  for (std::size_t i = 0; i < ordering.size(); ++i) {
+    EXPECT_FALSE(seen[ordering[i]]);
+    seen[ordering[i]] = 1;
+    pos[ordering[i]] = static_cast<std::int32_t>(i);
+  }
+  // Every vertex has at most `d` neighbors later in the ordering.
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    std::int32_t later = 0;
+    for (VertexId v : g.Neighbors(u)) {
+      if (pos[v] > pos[u]) ++later;
+    }
+    EXPECT_LE(later, d);
+  }
+}
+
+TEST(Degeneracy, CavemanEqualsCliqueSizeMinusOne) {
+  EXPECT_EQ(Degeneracy(Caveman(4, 10, 5, 3)), 9);
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,149 @@
+#include "nucleus/graph/graph.h"
+
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/graph/graph_builder.h"
+
+namespace nucleus {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumVertices(), 0);
+  EXPECT_EQ(g.NumEdges(), 0);
+  EXPECT_EQ(g.MaxDegree(), 0);
+}
+
+TEST(Graph, TriangleBasics) {
+  const Graph g = GraphFromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(g.NumVertices(), 3);
+  EXPECT_EQ(g.NumEdges(), 3);
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+  EXPECT_EQ(g.MaxDegree(), 2);
+}
+
+TEST(Graph, NeighborsAreSortedAscending) {
+  const Graph g = GraphFromEdges(6, {{3, 1}, {3, 5}, {3, 0}, {3, 4}});
+  const auto nbrs = g.Neighbors(3);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_EQ(nbrs[0], 0);
+  EXPECT_EQ(nbrs[1], 1);
+  EXPECT_EQ(nbrs[2], 4);
+  EXPECT_EQ(nbrs[3], 5);
+}
+
+TEST(Graph, HasEdgeOutOfRangeIsFalse) {
+  const Graph g = GraphFromEdges(2, {{0, 1}});
+  EXPECT_FALSE(g.HasEdge(-1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 5));
+}
+
+TEST(Graph, ForEachEdgeVisitsEachOnceCanonically) {
+  const Graph g = GraphFromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  std::vector<std::pair<VertexId, VertexId>> seen;
+  g.ForEachEdge([&](VertexId u, VertexId v) { seen.emplace_back(u, v); });
+  EXPECT_EQ(seen, (std::vector<std::pair<VertexId, VertexId>>{
+                      {0, 1}, {0, 3}, {1, 2}, {2, 3}}));
+}
+
+TEST(Graph, FromCsrRoundTrip) {
+  const Graph g =
+      Graph::FromCsr({0, 2, 4, 6}, {1, 2, 0, 2, 0, 1});  // triangle
+  EXPECT_EQ(g.NumVertices(), 3);
+  EXPECT_EQ(g.NumEdges(), 3);
+}
+
+TEST(GraphDeathTest, FromCsrRejectsAsymmetric) {
+  EXPECT_DEATH(Graph::FromCsr({0, 1, 1}, {1}), "not symmetric");
+}
+
+TEST(GraphDeathTest, FromCsrRejectsSelfLoop) {
+  EXPECT_DEATH(Graph::FromCsr({0, 1, 2}, {0, 1}), "self-loop");
+}
+
+TEST(GraphDeathTest, FromCsrRejectsUnsortedAdjacency) {
+  EXPECT_DEATH(Graph::FromCsr({0, 2, 3, 4}, {2, 1, 0, 0}),
+               "strictly increasing");
+}
+
+TEST(GraphBuilder, DropsSelfLoopsAndDuplicates) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 0);  // self-loop ignored
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);  // duplicate in reverse orientation
+  b.AddEdge(0, 1);  // exact duplicate
+  const Graph g = b.Build();
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_EQ(g.Degree(0), 1);
+}
+
+TEST(GraphBuilder, GrowsVertexCountFromIds) {
+  GraphBuilder b;
+  b.AddEdge(2, 9);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 10);
+  EXPECT_EQ(g.Degree(5), 0);
+}
+
+TEST(GraphBuilder, EnsureVertexCreatesIsolated) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.EnsureVertex(4);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 5);
+  EXPECT_EQ(g.Degree(4), 0);
+}
+
+TEST(GraphBuilder, BuildIsRepeatable) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  const Graph g1 = b.Build();
+  const Graph g2 = b.Build();
+  EXPECT_EQ(g1.NumEdges(), g2.NumEdges());
+  EXPECT_EQ(g1.NumVertices(), g2.NumVertices());
+}
+
+TEST(DisjointUnion, OffsetsVertexIds) {
+  const Graph g = DisjointUnion(
+      {GraphFromEdges(3, {{0, 1}, {1, 2}}), GraphFromEdges(2, {{0, 1}})});
+  EXPECT_EQ(g.NumVertices(), 5);
+  EXPECT_EQ(g.NumEdges(), 3);
+  EXPECT_TRUE(g.HasEdge(3, 4));
+  EXPECT_FALSE(g.HasEdge(2, 3));
+}
+
+TEST(DisjointUnion, EmptyListYieldsEmptyGraph) {
+  const Graph g = DisjointUnion({});
+  EXPECT_EQ(g.NumVertices(), 0);
+}
+
+TEST(InducedSubgraph, KeepsOnlyInternalEdges) {
+  const Graph g =
+      GraphFromEdges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}, {1, 3}});
+  std::vector<VertexId> map;
+  const Graph sub = InducedSubgraph(g, {1, 2, 3}, &map);
+  EXPECT_EQ(sub.NumVertices(), 3);
+  EXPECT_EQ(sub.NumEdges(), 3);  // 1-2, 2-3, 1-3
+  EXPECT_EQ(map[1], 0);
+  EXPECT_EQ(map[2], 1);
+  EXPECT_EQ(map[3], 2);
+  EXPECT_EQ(map[0], kInvalidId);
+  EXPECT_EQ(map[4], kInvalidId);
+}
+
+TEST(InducedSubgraph, DeduplicatesAndSortsSelection) {
+  const Graph g = GraphFromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const Graph sub = InducedSubgraph(g, {3, 1, 3, 2});
+  EXPECT_EQ(sub.NumVertices(), 3);
+  EXPECT_EQ(sub.NumEdges(), 2);
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,99 @@
+#include "nucleus/io/hierarchy_export.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/core/decomposition.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+NucleusHierarchy Figure2Hierarchy() {
+  DecomposeOptions options;
+  options.family = Family::kCore12;
+  options.algorithm = Algorithm::kFnd;
+  return Decompose(testing_util::PaperFigure2Graph(), options).hierarchy;
+}
+
+TEST(HierarchyToDot, ContainsAllNodesAndEdges) {
+  const NucleusHierarchy h = Figure2Hierarchy();
+  const std::string dot = HierarchyToDot(h);
+  EXPECT_NE(dot.find("digraph nucleus_hierarchy"), std::string::npos);
+  // 4 nodes: root, 2-core, two 3-cores; 3 edges.
+  std::size_t arrows = 0;
+  for (std::size_t pos = dot.find("->"); pos != std::string::npos;
+       pos = dot.find("->", pos + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, 3u);
+  EXPECT_NE(dot.find("k=2"), std::string::npos);
+  EXPECT_NE(dot.find("k=3"), std::string::npos);
+  EXPECT_NE(dot.find("root"), std::string::npos);
+}
+
+TEST(HierarchyToDot, MinSubtreeFilterSplicesEdges) {
+  const NucleusHierarchy h = Figure2Hierarchy();
+  ExportOptions options;
+  options.min_subtree_members = 5;  // hides the two 3-cores (4 members each)
+  const std::string dot = HierarchyToDot(h, options);
+  EXPECT_EQ(dot.find("k=3"), std::string::npos);
+  EXPECT_NE(dot.find("k=2"), std::string::npos);
+}
+
+TEST(HierarchyToDot, MembersIncludedOnRequest) {
+  const NucleusHierarchy h = Figure2Hierarchy();
+  ExportOptions options;
+  options.include_members = true;
+  const std::string dot = HierarchyToDot(h, options);
+  EXPECT_NE(dot.find("members="), std::string::npos);
+}
+
+TEST(HierarchyToJson, ParsesStructurally) {
+  const NucleusHierarchy h = Figure2Hierarchy();
+  const std::string json = HierarchyToJson(h);
+  EXPECT_NE(json.find("\"root\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"max_lambda\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"num_nuclei\": 3"), std::string::npos);
+  // Balanced braces and brackets (cheap well-formedness check).
+  std::int64_t braces = 0;
+  std::int64_t brackets = 0;
+  for (char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(HierarchyToJson, MembersIncludedOnRequest) {
+  const NucleusHierarchy h = Figure2Hierarchy();
+  ExportOptions options;
+  options.include_members = true;
+  const std::string json = HierarchyToJson(h, options);
+  EXPECT_NE(json.find("\"members\": ["), std::string::npos);
+}
+
+TEST(WriteStringToFile, RoundTrips) {
+  const std::string path = ::testing::TempDir() + "/export_test.txt";
+  ASSERT_TRUE(WriteStringToFile("hello\nworld\n", path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "hello\nworld\n");
+  std::remove(path.c_str());
+}
+
+TEST(WriteStringToFile, BadPathFails) {
+  EXPECT_FALSE(WriteStringToFile("x", "/nonexistent/dir/file.txt").ok());
+}
+
+}  // namespace
+}  // namespace nucleus

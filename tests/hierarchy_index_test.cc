@@ -1,0 +1,205 @@
+#include "nucleus/core/hierarchy_index.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/cliques/edge_index.h"
+#include "nucleus/core/decomposition.h"
+#include "nucleus/core/peeling.h"
+#include "nucleus/core/spaces.h"
+#include "nucleus/dsf/disjoint_set.h"
+#include "nucleus/graph/generators.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+// Brute-force LCA by walking full ancestor chains.
+std::int32_t ReferenceLca(const NucleusHierarchy& h, std::int32_t a,
+                          std::int32_t b) {
+  std::vector<char> on_path(h.NumNodes(), 0);
+  for (std::int32_t x = a; x != kInvalidId; x = h.node(x).parent) {
+    on_path[x] = 1;
+  }
+  for (std::int32_t x = b; x != kInvalidId; x = h.node(x).parent) {
+    if (on_path[x]) return x;
+  }
+  NUCLEUS_CHECK(false);
+  return kInvalidId;
+}
+
+// Brute-force k-nucleus of u per Corollary 2: union-find over supercliques
+// whose members all have lambda >= k, then the component of u.
+template <typename Space>
+std::vector<CliqueId> ReferenceKNucleus(const Space& space,
+                                        const std::vector<Lambda>& lambda,
+                                        CliqueId u, Lambda k) {
+  const std::int64_t n = space.NumCliques();
+  DisjointSet dsf(n);
+  for (CliqueId x = 0; x < n; ++x) {
+    if (lambda[x] < k) continue;
+    space.ForEachSuperclique(x, [&](const CliqueId* members, int count) {
+      for (int i = 0; i < count; ++i) {
+        if (lambda[members[i]] < k) return;
+      }
+      for (int i = 1; i < count; ++i) dsf.Union(members[0], members[i]);
+    });
+  }
+  std::vector<CliqueId> out;
+  for (CliqueId x = 0; x < n; ++x) {
+    if (lambda[x] >= k && dsf.SameSet(x, u)) out.push_back(x);
+  }
+  return out;
+}
+
+TEST(HierarchyIndex, LcaMatchesReferenceAcrossZoo) {
+  for (const auto& c : testing_util::GraphZoo()) {
+    SCOPED_TRACE(c.name);
+    const Graph g = c.make();
+    if (g.NumVertices() == 0) continue;
+    DecomposeOptions opts;
+    opts.family = Family::kCore12;
+    opts.algorithm = Algorithm::kDft;
+    const DecompositionResult result = Decompose(g, opts);
+    const HierarchyIndex index(result.hierarchy);
+    const std::int32_t nodes =
+        static_cast<std::int32_t>(result.hierarchy.NumNodes());
+    for (std::int32_t a = 0; a < nodes; ++a) {
+      for (std::int32_t b = a; b < std::min(nodes, a + 7); ++b) {
+        EXPECT_EQ(index.Lca(a, b), ReferenceLca(result.hierarchy, a, b))
+            << "a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(HierarchyIndex, DepthsAreParentConsistent) {
+  const Graph g = testing_util::PaperFigure2Graph();
+  DecomposeOptions opts;
+  opts.family = Family::kCore12;
+  const DecompositionResult result = Decompose(g, opts);
+  const HierarchyIndex index(result.hierarchy);
+  for (std::int32_t x = 0; x < result.hierarchy.NumNodes(); ++x) {
+    const std::int32_t parent = result.hierarchy.node(x).parent;
+    if (parent == kInvalidId) {
+      EXPECT_EQ(index.Depth(x), 0);
+    } else {
+      EXPECT_EQ(index.Depth(x), index.Depth(parent) + 1);
+    }
+  }
+}
+
+TEST(HierarchyIndex, NucleusAtLevelMatchesCorollary2ForCores) {
+  for (const auto& c : testing_util::GraphZoo()) {
+    SCOPED_TRACE(c.name);
+    const Graph g = c.make();
+    if (g.NumVertices() == 0) continue;
+    DecomposeOptions opts;
+    opts.family = Family::kCore12;
+    opts.algorithm = Algorithm::kFnd;
+    const DecompositionResult result = Decompose(g, opts);
+    const HierarchyIndex index(result.hierarchy);
+    const VertexSpace space(g);
+    for (VertexId u = 0; u < g.NumVertices(); ++u) {
+      for (Lambda k = 1; k <= result.peel.lambda[u]; ++k) {
+        const std::int32_t node = index.NucleusAtLevel(u, k);
+        ASSERT_NE(node, kInvalidId) << "u=" << u << " k=" << k;
+        EXPECT_EQ(result.hierarchy.MembersOfSubtree(node),
+                  ReferenceKNucleus(space, result.peel.lambda, u, k))
+            << "u=" << u << " k=" << k;
+      }
+      EXPECT_EQ(index.NucleusAtLevel(u, result.peel.lambda[u] + 1),
+                kInvalidId);
+    }
+  }
+}
+
+TEST(HierarchyIndex, NucleusAtLevelMatchesCorollary2ForTrusses) {
+  const Graph g = testing_util::BowTieGraph();
+  DecomposeOptions opts;
+  opts.family = Family::kTruss23;
+  opts.algorithm = Algorithm::kDft;
+  const DecompositionResult result = Decompose(g, opts);
+  const HierarchyIndex index(result.hierarchy);
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const EdgeSpace space(g, edges);
+  for (EdgeId e = 0; e < edges.NumEdges(); ++e) {
+    for (Lambda k = 1; k <= result.peel.lambda[e]; ++k) {
+      const std::int32_t node = index.NucleusAtLevel(e, k);
+      ASSERT_NE(node, kInvalidId);
+      EXPECT_EQ(result.hierarchy.MembersOfSubtree(node),
+                ReferenceKNucleus(space, result.peel.lambda, e, k));
+    }
+  }
+}
+
+TEST(HierarchyIndex, SmallestCommonNucleusProperties) {
+  const Graph g = ErdosRenyiGnp(40, 0.2, 77);
+  DecomposeOptions opts;
+  opts.family = Family::kCore12;
+  const DecompositionResult result = Decompose(g, opts);
+  const HierarchyIndex index(result.hierarchy);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v = u; v < std::min<VertexId>(g.NumVertices(), u + 9);
+         ++v) {
+      const std::int32_t node = index.SmallestCommonNucleus(u, v);
+      const Lambda level = index.CommonNucleusLevel(u, v);
+      if (node == kInvalidId) {
+        EXPECT_EQ(level, 0);
+        continue;
+      }
+      EXPECT_EQ(level, result.hierarchy.node(node).lambda);
+      EXPECT_GE(level, 1);
+      // Both endpoints are inside the node's subtree.
+      const std::vector<CliqueId> members =
+          result.hierarchy.MembersOfSubtree(node);
+      EXPECT_TRUE(std::binary_search(members.begin(), members.end(), u));
+      EXPECT_TRUE(std::binary_search(members.begin(), members.end(), v));
+      // Level is bounded by both lambdas.
+      EXPECT_LE(level, result.peel.lambda[u]);
+      EXPECT_LE(level, result.peel.lambda[v]);
+    }
+  }
+}
+
+TEST(HierarchyIndex, SelfQueriesReturnOwnNucleus) {
+  const Graph g = testing_util::PaperFigure2Graph();
+  DecomposeOptions opts;
+  opts.family = Family::kCore12;
+  const DecompositionResult result = Decompose(g, opts);
+  const HierarchyIndex index(result.hierarchy);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    if (result.peel.lambda[u] < 1) continue;
+    EXPECT_EQ(index.SmallestCommonNucleus(u, u),
+              result.hierarchy.NodeOfClique(u));
+    EXPECT_EQ(index.CommonNucleusLevel(u, u), result.peel.lambda[u]);
+  }
+}
+
+TEST(HierarchyIndex, DisjointComponentsShareNoNucleus) {
+  const Graph g = DisjointUnion({Complete(4), Complete(5)});
+  DecomposeOptions opts;
+  opts.family = Family::kCore12;
+  const DecompositionResult result = Decompose(g, opts);
+  const HierarchyIndex index(result.hierarchy);
+  EXPECT_EQ(index.SmallestCommonNucleus(0, 4), kInvalidId);
+  EXPECT_EQ(index.CommonNucleusLevel(0, 4), 0);
+  EXPECT_NE(index.SmallestCommonNucleus(0, 1), kInvalidId);
+}
+
+TEST(HierarchyIndex, SingleNodeHierarchy) {
+  // One isolated vertex: the tree is root + one lambda-0 node.
+  GraphBuilder b;
+  b.EnsureVertex(0);
+  const Graph g = b.Build();
+  DecomposeOptions opts;
+  opts.family = Family::kCore12;
+  const DecompositionResult result = Decompose(g, opts);
+  const HierarchyIndex index(result.hierarchy);
+  EXPECT_EQ(index.SmallestCommonNucleus(0, 0), kInvalidId);
+}
+
+}  // namespace
+}  // namespace nucleus

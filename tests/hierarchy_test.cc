@@ -1,0 +1,192 @@
+#include "nucleus/core/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "nucleus/core/df_traversal.h"
+#include "nucleus/core/peeling.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+NucleusHierarchy CoreHierarchy(const Graph& g) {
+  const VertexSpace space(g);
+  const PeelResult peel = Peel(space);
+  const SkeletonBuild build = DfTraversal(space, peel);
+  NucleusHierarchy h = NucleusHierarchy::FromSkeleton(build, g.NumVertices());
+  h.Validate(peel.lambda);
+  return h;
+}
+
+TEST(NucleusHierarchy, SingleCliqueIsRootPlusOneNode) {
+  const NucleusHierarchy h = CoreHierarchy(Complete(5));
+  EXPECT_EQ(h.NumNodes(), 2);
+  EXPECT_EQ(h.NumNuclei(), 1);
+  EXPECT_EQ(h.MaxLambda(), 4);
+  const auto& root = h.node(h.root());
+  EXPECT_EQ(root.lambda, kRootLambda);
+  ASSERT_EQ(root.children.size(), 1u);
+  const auto& core = h.node(root.children[0]);
+  EXPECT_EQ(core.lambda, 4);
+  EXPECT_EQ(core.members.size(), 5u);
+  EXPECT_EQ(core.subtree_members, 5);
+}
+
+TEST(NucleusHierarchy, Figure2ShapeTwoThreeCoresUnderTwoCore) {
+  // Paper Figure 2: hierarchy must be root -> 2-core -> {3-core, 3-core}.
+  const NucleusHierarchy h = CoreHierarchy(testing_util::PaperFigure2Graph());
+  EXPECT_EQ(h.NumNuclei(), 3);
+  const auto& root = h.node(h.root());
+  ASSERT_EQ(root.children.size(), 1u);
+  const auto& two_core = h.node(root.children[0]);
+  EXPECT_EQ(two_core.lambda, 2);
+  EXPECT_EQ(two_core.subtree_members, 10);
+  EXPECT_EQ(two_core.members.size(), 2u);  // bridge vertices 8, 9
+  ASSERT_EQ(two_core.children.size(), 2u);
+  for (std::int32_t c : two_core.children) {
+    EXPECT_EQ(h.node(c).lambda, 3);
+    EXPECT_EQ(h.node(c).subtree_members, 4);
+    EXPECT_TRUE(h.node(c).children.empty());
+  }
+}
+
+TEST(NucleusHierarchy, DisjointComponentsBecomeSiblings) {
+  const NucleusHierarchy h =
+      CoreHierarchy(DisjointUnion({Complete(4), Complete(5), Cycle(6)}));
+  const auto& root = h.node(h.root());
+  EXPECT_EQ(root.children.size(), 3u);
+  EXPECT_EQ(h.NumNuclei(), 3);
+}
+
+TEST(NucleusHierarchy, IsolatedVerticesKeptInTreeButNotNuclei) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.EnsureVertex(4);  // vertices 3, 4 isolated
+  const NucleusHierarchy h = CoreHierarchy(b.Build());
+  // Nodes: root, the 1-core, and two lambda=0 singletons.
+  EXPECT_EQ(h.NumNodes(), 4);
+  EXPECT_EQ(h.NumNuclei(), 1);
+  std::int64_t zero_nodes = 0;
+  for (std::int32_t id = 0; id < h.NumNodes(); ++id) {
+    if (h.node(id).lambda == 0) {
+      ++zero_nodes;
+      EXPECT_EQ(h.node(id).members.size(), 1u);
+    }
+  }
+  EXPECT_EQ(zero_nodes, 2);
+}
+
+TEST(NucleusHierarchy, AncestorChainEndsAtRoot) {
+  const Graph g = testing_util::PaperFigure2Graph();
+  const NucleusHierarchy h = CoreHierarchy(g);
+  const auto chain = h.AncestorChain(0);  // a K4 vertex
+  ASSERT_EQ(chain.size(), 3u);            // 3-core, 2-core, root
+  EXPECT_EQ(h.node(chain[0]).lambda, 3);
+  EXPECT_EQ(h.node(chain[1]).lambda, 2);
+  EXPECT_EQ(chain[2], h.root());
+  const auto bridge_chain = h.AncestorChain(8);
+  ASSERT_EQ(bridge_chain.size(), 2u);  // 2-core, root
+  EXPECT_EQ(h.node(bridge_chain[0]).lambda, 2);
+}
+
+TEST(NucleusHierarchy, NodeOfCliqueMatchesLambda) {
+  const Graph g = PlantedPartition(3, 8, 0.8, 0.1, 51);
+  const VertexSpace space(g);
+  const PeelResult peel = Peel(space);
+  const SkeletonBuild build = DfTraversal(space, peel);
+  const NucleusHierarchy h =
+      NucleusHierarchy::FromSkeleton(build, g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(h.node(h.NodeOfClique(v)).lambda, peel.lambda[v]);
+  }
+}
+
+TEST(NucleusHierarchy, MembersOfSubtreeIsSortedUnion) {
+  const NucleusHierarchy h = CoreHierarchy(testing_util::PaperFigure2Graph());
+  const auto& root = h.node(h.root());
+  const auto two_core_id = root.children[0];
+  const auto members = h.MembersOfSubtree(two_core_id);
+  EXPECT_EQ(members.size(), 10u);
+  for (std::size_t i = 1; i < members.size(); ++i) {
+    EXPECT_LT(members[i - 1], members[i]);
+  }
+}
+
+TEST(NucleusHierarchy, ExtractNucleiMatchesSubtrees) {
+  const NucleusHierarchy h = CoreHierarchy(Caveman(3, 6, 3, 7));
+  const auto nuclei = h.ExtractNuclei();
+  EXPECT_EQ(static_cast<std::int64_t>(nuclei.size()), h.NumNuclei());
+  for (const auto& nucleus : nuclei) {
+    EXPECT_GE(nucleus.k, 1);
+    EXPECT_FALSE(nucleus.members.empty());
+  }
+}
+
+TEST(NucleusHierarchy, LambdasStrictlyIncreaseDownEveryPath) {
+  const NucleusHierarchy h =
+      CoreHierarchy(HierarchicalCommunities(2, 3, 6, 1, 77));
+  for (std::int32_t id = 0; id < h.NumNodes(); ++id) {
+    for (std::int32_t c : h.node(id).children) {
+      EXPECT_LT(h.node(id).lambda, h.node(c).lambda);
+    }
+  }
+}
+
+TEST(NucleusHierarchy, EmptyGraphRootOnly) {
+  const NucleusHierarchy h = CoreHierarchy(Graph());
+  EXPECT_EQ(h.NumNodes(), 1);
+  EXPECT_EQ(h.NumNuclei(), 0);
+  EXPECT_EQ(h.node(h.root()).subtree_members, 0);
+}
+
+TEST(ProfileHierarchy, Figure2Profile) {
+  const HierarchyProfile p =
+      ProfileHierarchy(CoreHierarchy(testing_util::PaperFigure2Graph()));
+  EXPECT_EQ(p.num_nodes, 3);   // 2-core + two 3-cores
+  EXPECT_EQ(p.num_leaves, 2);  // the 3-cores
+  EXPECT_EQ(p.max_depth, 2);
+  EXPECT_DOUBLE_EQ(p.avg_branching, 2.0);  // the 2-core has two children
+  ASSERT_EQ(p.nodes_per_lambda.size(), 2u);
+  EXPECT_EQ(p.nodes_per_lambda[0], (std::pair<Lambda, std::int64_t>{2, 1}));
+  EXPECT_EQ(p.nodes_per_lambda[1], (std::pair<Lambda, std::int64_t>{3, 2}));
+}
+
+TEST(ProfileHierarchy, EmptyGraphProfile) {
+  const HierarchyProfile p = ProfileHierarchy(CoreHierarchy(Graph()));
+  EXPECT_EQ(p.num_nodes, 0);
+  EXPECT_EQ(p.num_leaves, 0);
+  EXPECT_EQ(p.max_depth, 0);
+  EXPECT_DOUBLE_EQ(p.avg_branching, 0.0);
+}
+
+TEST(ProfileHierarchy, DeepChainProfile) {
+  // Three disjoint chains of bridged cliques K8-K6-K4. Per chain the k-core
+  // hierarchy is the path root -> 3-core(K4..) -> 5-core(K6..) -> 7-core(K8):
+  // 9 nodes, 3 leaves, depth 3.
+  auto clique_chain = [] {
+    GraphBuilder b;
+    VertexId base = 0;
+    VertexId prev_tail = -1;
+    for (VertexId size : {8, 6, 4}) {
+      for (VertexId u = 0; u < size; ++u)
+        for (VertexId v = u + 1; v < size; ++v)
+          b.AddEdge(base + u, base + v);
+      if (prev_tail >= 0) b.AddEdge(prev_tail, base);
+      prev_tail = base;
+      base += size;
+    }
+    return b.Build();
+  };
+  const Graph g =
+      DisjointUnion({clique_chain(), clique_chain(), clique_chain()});
+  const HierarchyProfile p = ProfileHierarchy(CoreHierarchy(g));
+  EXPECT_EQ(p.num_nodes, 9);
+  EXPECT_EQ(p.num_leaves, 3);
+  EXPECT_EQ(p.max_depth, 3);
+  EXPECT_DOUBLE_EQ(p.avg_branching, 1.0);
+  EXPECT_GT(p.avg_members_per_node, 0.0);
+}
+
+}  // namespace
+}  // namespace nucleus

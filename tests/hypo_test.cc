@@ -1,0 +1,57 @@
+#include "nucleus/core/hypo.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+TEST(Hypo, VertexSpaceComponentsMatchGraphComponents) {
+  const Graph g = DisjointUnion({Complete(4), Path(5), Cycle(3)});
+  const HypoStats stats = HypoTraversal(VertexSpace(g));
+  EXPECT_EQ(stats.components, 3);
+}
+
+TEST(Hypo, SingleComponent) {
+  const Graph g = Complete(6);
+  const HypoStats stats = HypoTraversal(VertexSpace(g));
+  EXPECT_EQ(stats.components, 1);
+  EXPECT_GT(stats.visits, 0);
+}
+
+TEST(Hypo, EdgeSpaceComponentsAreTriangleConnectivityClasses) {
+  // Bow tie: two triangles sharing a vertex -> 2 triangle-connected edge
+  // groups; a path contributes one isolated edge "component" per edge.
+  const Graph g = DisjointUnion({testing_util::BowTieGraph(), Path(3)});
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const HypoStats stats = HypoTraversal(EdgeSpace(g, edges));
+  EXPECT_EQ(stats.components, 2 + 2);
+}
+
+TEST(Hypo, TriangleSpaceComponentsAreK4ConnectivityClasses) {
+  // Two disjoint K5s: each K5's triangles are K4-connected into one class.
+  const Graph g = DisjointUnion({Complete(5), Complete(5)});
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const TriangleIndex triangles = TriangleIndex::Build(g, edges);
+  const HypoStats stats = HypoTraversal(TriangleSpace(g, edges, triangles));
+  EXPECT_EQ(stats.components, 2);
+}
+
+TEST(Hypo, EmptySpace) {
+  const Graph g;
+  const HypoStats stats = HypoTraversal(VertexSpace(g));
+  EXPECT_EQ(stats.components, 0);
+  EXPECT_EQ(stats.visits, 0);
+}
+
+TEST(Hypo, VisitsCountSupercliqueMemberTouches) {
+  // Triangle graph, vertex space: each vertex enumerates 2 edges x 2
+  // members = 4 touches, total 12.
+  const Graph g = Complete(3);
+  const HypoStats stats = HypoTraversal(VertexSpace(g));
+  EXPECT_EQ(stats.visits, 12);
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,250 @@
+#include "nucleus/core/incremental_core.h"
+
+#include <gtest/gtest.h>
+
+#include "nucleus/core/peeling.h"
+#include "nucleus/util/rng.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+std::vector<Lambda> Recompute(const IncrementalCoreMaintainer& maintainer) {
+  return Peel(VertexSpace(maintainer.ToGraph())).lambda;
+}
+
+TEST(IncrementalCore, SeedsFromGraph) {
+  const Graph g = testing_util::PaperFigure2Graph();
+  const IncrementalCoreMaintainer maintainer(g);
+  EXPECT_EQ(maintainer.NumVertices(), 10);
+  EXPECT_EQ(maintainer.NumEdges(), g.NumEdges());
+  EXPECT_EQ(maintainer.lambda(), Peel(VertexSpace(g)).lambda);
+}
+
+TEST(IncrementalCore, RejectsSelfLoopsAndDuplicates) {
+  IncrementalCoreMaintainer maintainer(Path(4));
+  EXPECT_FALSE(maintainer.InsertEdge(1, 1));
+  EXPECT_FALSE(maintainer.InsertEdge(0, 1));  // existing
+  EXPECT_EQ(maintainer.NumEdges(), 3);
+}
+
+TEST(IncrementalCore, TriangleCompletionPromotes) {
+  // Path 0-1-2 plus edge 0-2 closes a triangle: all lambdas 1 -> 2.
+  IncrementalCoreMaintainer maintainer(Path(3));
+  for (Lambda l : maintainer.lambda()) EXPECT_EQ(l, 1);
+  EXPECT_TRUE(maintainer.InsertEdge(0, 2));
+  for (Lambda l : maintainer.lambda()) EXPECT_EQ(l, 2);
+}
+
+TEST(IncrementalCore, PendantInsertDoesNotPromoteClique) {
+  IncrementalCoreMaintainer maintainer(
+      DisjointUnion({Complete(4), Path(1)}));
+  EXPECT_TRUE(maintainer.InsertEdge(0, 4));
+  EXPECT_EQ(maintainer.lambda()[4], 1);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(maintainer.lambda()[v], 3);
+}
+
+TEST(IncrementalCore, EqualLambdaEndpointsBothSubcoresHandled) {
+  // Two disjoint triangles (all lambda 2); connecting them adds no promotion
+  // (bridge endpoints keep degree-2 support at level 2... they gain degree
+  // but the 3-core test fails).
+  IncrementalCoreMaintainer maintainer(
+      DisjointUnion({Complete(3), Complete(3)}));
+  EXPECT_TRUE(maintainer.InsertEdge(0, 3));
+  EXPECT_EQ(maintainer.lambda(), Recompute(maintainer));
+  for (Lambda l : maintainer.lambda()) EXPECT_EQ(l, 2);
+}
+
+TEST(IncrementalCore, GrowCliqueEdgeByEdge) {
+  // Start from a star and complete it into K6; every prefix must match the
+  // recomputed core numbers.
+  IncrementalCoreMaintainer maintainer(Star(5));
+  for (VertexId a = 1; a <= 5; ++a) {
+    for (VertexId b = a + 1; b <= 5; ++b) {
+      ASSERT_TRUE(maintainer.InsertEdge(a, b));
+      EXPECT_EQ(maintainer.lambda(), Recompute(maintainer))
+          << "after " << a << "-" << b;
+    }
+  }
+  for (Lambda l : maintainer.lambda()) EXPECT_EQ(l, 5);
+}
+
+TEST(IncrementalCore, RandomInsertionSequencesMatchRecompute) {
+  for (std::uint64_t seed = 300; seed < 312; ++seed) {
+    // Start from a sparse base and insert 60 random new edges.
+    const Graph base = ErdosRenyiGnp(40, 0.05, seed);
+    IncrementalCoreMaintainer maintainer(base);
+    Rng rng(seed * 7 + 1);
+    int inserted = 0;
+    int attempts = 0;
+    while (inserted < 60 && attempts < 2000) {
+      ++attempts;
+      const VertexId a = rng.UniformVertex(40);
+      const VertexId b = rng.UniformVertex(40);
+      if (a == b || maintainer.HasEdge(a, b)) continue;
+      ASSERT_TRUE(maintainer.InsertEdge(a, b));
+      ++inserted;
+      ASSERT_EQ(maintainer.lambda(), Recompute(maintainer))
+          << "seed " << seed << " after " << inserted << " inserts";
+    }
+    EXPECT_EQ(inserted, 60);
+  }
+}
+
+TEST(IncrementalCore, DenseBurstIntoOneVertex) {
+  // Adversarial pattern: all insertions touch one hub.
+  IncrementalCoreMaintainer maintainer(Cycle(12));
+  for (VertexId v = 2; v < 11; ++v) {
+    if (!maintainer.HasEdge(0, v)) {
+      ASSERT_TRUE(maintainer.InsertEdge(0, v));
+      ASSERT_EQ(maintainer.lambda(), Recompute(maintainer));
+    }
+  }
+}
+
+TEST(IncrementalCore, ToGraphRoundTrips) {
+  IncrementalCoreMaintainer maintainer(Path(5));
+  maintainer.InsertEdge(0, 4);
+  const Graph g = maintainer.ToGraph();
+  EXPECT_EQ(g.NumEdges(), 5);
+  EXPECT_TRUE(g.HasEdge(0, 4));
+}
+
+TEST(IncrementalCore, IsolatedVerticesPromoteFromZero) {
+  GraphBuilder b;
+  b.EnsureVertex(3);
+  IncrementalCoreMaintainer maintainer(b.Build());
+  EXPECT_EQ(maintainer.lambda(), (std::vector<Lambda>{0, 0, 0, 0}));
+  EXPECT_TRUE(maintainer.InsertEdge(0, 1));
+  EXPECT_EQ(maintainer.lambda(), (std::vector<Lambda>{1, 1, 0, 0}));
+}
+
+// --- Removals ---------------------------------------------------------------
+
+TEST(IncrementalCore, RemoveRejectsSelfLoopsAndMissingEdges) {
+  IncrementalCoreMaintainer maintainer(Path(4));
+  EXPECT_FALSE(maintainer.RemoveEdge(1, 1));
+  EXPECT_FALSE(maintainer.RemoveEdge(0, 3));  // not an edge
+  EXPECT_EQ(maintainer.NumEdges(), 3);
+}
+
+TEST(IncrementalCore, TriangleBreakDemotes) {
+  IncrementalCoreMaintainer maintainer(Complete(3));
+  for (Lambda l : maintainer.lambda()) EXPECT_EQ(l, 2);
+  EXPECT_TRUE(maintainer.RemoveEdge(0, 1));
+  for (Lambda l : maintainer.lambda()) EXPECT_EQ(l, 1);
+}
+
+TEST(IncrementalCore, RemoveLastEdgeIsolates) {
+  IncrementalCoreMaintainer maintainer(Path(2));
+  EXPECT_TRUE(maintainer.RemoveEdge(0, 1));
+  EXPECT_EQ(maintainer.lambda(), (std::vector<Lambda>{0, 0}));
+  EXPECT_EQ(maintainer.NumEdges(), 0);
+}
+
+TEST(IncrementalCore, BridgeRemovalOnlyAffectsOneSide) {
+  // Two K4s joined by a bridge: removing the bridge keeps both 3-cores.
+  Graph both = DisjointUnion({Complete(4), Complete(4)});
+  IncrementalCoreMaintainer maintainer(both);
+  maintainer.InsertEdge(0, 4);
+  EXPECT_TRUE(maintainer.RemoveEdge(0, 4));
+  EXPECT_EQ(maintainer.lambda(), Recompute(maintainer));
+  for (Lambda l : maintainer.lambda()) EXPECT_EQ(l, 3);
+}
+
+TEST(IncrementalCore, CascadingDemotionThroughSubcore) {
+  // A cycle is one lambda = 2 subcore; cutting any edge demotes the whole
+  // ring to a path (lambda 1 everywhere) in one cascaded update.
+  IncrementalCoreMaintainer maintainer(Cycle(12));
+  EXPECT_TRUE(maintainer.RemoveEdge(0, 11));
+  for (Lambda l : maintainer.lambda()) EXPECT_EQ(l, 1);
+  EXPECT_EQ(maintainer.lambda(), Recompute(maintainer));
+}
+
+TEST(IncrementalCore, HigherCoresUntouchedByLowLevelRemoval) {
+  // K5 with a pendant path: removing a path edge never touches the K5.
+  IncrementalCoreMaintainer maintainer(Lollipop(5, 4));
+  const std::vector<Lambda> before = maintainer.lambda();
+  // The path vertices are 5..8; remove the outermost path edge.
+  EXPECT_TRUE(maintainer.RemoveEdge(7, 8));
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(maintainer.lambda()[v], before[v]);
+  }
+  EXPECT_EQ(maintainer.lambda(), Recompute(maintainer));
+}
+
+TEST(IncrementalCore, InsertThenRemoveRestoresLambda) {
+  for (const auto& c : testing_util::GraphZoo()) {
+    SCOPED_TRACE(c.name);
+    const Graph g = c.make();
+    if (g.NumVertices() < 4) continue;
+    IncrementalCoreMaintainer maintainer(g);
+    const std::vector<Lambda> before = maintainer.lambda();
+    // Find a non-edge deterministically.
+    VertexId a = kInvalidId, b = kInvalidId;
+    for (VertexId u = 0; u < g.NumVertices() && a == kInvalidId; ++u) {
+      for (VertexId v = u + 1; v < g.NumVertices(); ++v) {
+        if (!maintainer.HasEdge(u, v)) {
+          a = u;
+          b = v;
+          break;
+        }
+      }
+    }
+    if (a == kInvalidId) continue;  // complete graph
+    ASSERT_TRUE(maintainer.InsertEdge(a, b));
+    ASSERT_TRUE(maintainer.RemoveEdge(a, b));
+    EXPECT_EQ(maintainer.lambda(), before);
+  }
+}
+
+TEST(IncrementalCore, RemovalNeverIncreasesLambda) {
+  IncrementalCoreMaintainer maintainer(ErdosRenyiGnp(40, 0.2, 51));
+  Rng rng(52);
+  for (int step = 0; step < 60; ++step) {
+    const VertexId u = rng.UniformVertex(40);
+    const VertexId v = rng.UniformVertex(40);
+    const std::vector<Lambda> before = maintainer.lambda();
+    if (maintainer.RemoveEdge(u, v)) {
+      for (VertexId w = 0; w < 40; ++w) {
+        EXPECT_LE(maintainer.lambda()[w], before[w]) << "vertex " << w;
+      }
+    }
+  }
+}
+
+TEST(IncrementalCore, RandomMixedSequencesMatchRecompute) {
+  for (std::uint64_t seed : {5u, 17u, 23u}) {
+    SCOPED_TRACE(seed);
+    IncrementalCoreMaintainer maintainer(ErdosRenyiGnp(30, 0.15, seed));
+    Rng rng(seed * 3 + 1);
+    for (int step = 0; step < 120; ++step) {
+      const VertexId u = rng.UniformVertex(30);
+      const VertexId v = rng.UniformVertex(30);
+      if (u == v) continue;
+      if (rng.Bernoulli(0.45)) {
+        maintainer.RemoveEdge(u, v);
+      } else {
+        maintainer.InsertEdge(u, v);
+      }
+      ASSERT_EQ(maintainer.lambda(), Recompute(maintainer))
+          << "step " << step;
+    }
+  }
+}
+
+TEST(IncrementalCore, DrainEntireGraphEdgeByEdge) {
+  const Graph g = testing_util::PaperFigure2Graph();
+  IncrementalCoreMaintainer maintainer(g);
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  g.ForEachEdge([&](VertexId u, VertexId v) { edges.emplace_back(u, v); });
+  for (const auto& [u, v] : edges) {
+    ASSERT_TRUE(maintainer.RemoveEdge(u, v));
+    ASSERT_EQ(maintainer.lambda(), Recompute(maintainer));
+  }
+  EXPECT_EQ(maintainer.NumEdges(), 0);
+  for (Lambda l : maintainer.lambda()) EXPECT_EQ(l, 0);
+}
+
+}  // namespace
+}  // namespace nucleus

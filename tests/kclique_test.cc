@@ -1,0 +1,103 @@
+#include "nucleus/cliques/kclique.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/graph/generators.h"
+#include "nucleus/graph/graph_builder.h"
+#include "nucleus/graph/graph_stats.h"
+
+namespace nucleus {
+namespace {
+
+std::int64_t Binomial(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  std::int64_t r = 1;
+  for (int i = 0; i < k; ++i) r = r * (n - i) / (i + 1);
+  return r;
+}
+
+TEST(CountCliques, CompleteGraphBinomials) {
+  const Graph g = Complete(8);
+  for (int k = 1; k <= 8; ++k) {
+    EXPECT_EQ(CountCliques(g, k), Binomial(8, k)) << "k=" << k;
+  }
+  EXPECT_EQ(CountCliques(g, 9), 0);
+}
+
+TEST(CountCliques, EdgesAndTrianglesMatchOtherCounters) {
+  for (std::uint64_t seed : {2u, 4u, 6u}) {
+    const Graph g = ErdosRenyiGnp(50, 0.2, seed);
+    EXPECT_EQ(CountCliques(g, 1), g.NumVertices());
+    EXPECT_EQ(CountCliques(g, 2), g.NumEdges());
+    EXPECT_EQ(CountCliques(g, 3), CountTriangles(g));
+  }
+}
+
+TEST(CountCliques, TriangleFreeGraphs) {
+  EXPECT_EQ(CountCliques(CompleteBipartite(6, 6), 3), 0);
+  EXPECT_EQ(CountCliques(Cycle(9), 3), 0);
+  EXPECT_EQ(CountCliques(Path(9), 3), 0);
+}
+
+TEST(CountCliques, CavemanK4s) {
+  // Each cave of size c contributes C(c,4) four-cliques; bridges add none
+  // (a single bridge edge cannot form a K4 across caves).
+  const Graph g = Caveman(3, 6, 2, 5);
+  EXPECT_EQ(CountCliques(g, 4), 3 * Binomial(6, 4));
+}
+
+TEST(ForEachClique, EnumeratesDistinctSortedCliques) {
+  const Graph g = Complete(6);
+  std::set<std::vector<VertexId>> seen;
+  ForEachClique(g, 3, [&](std::span<const VertexId> clique) {
+    std::vector<VertexId> v(clique.begin(), clique.end());
+    // Must be a clique in the graph.
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      for (std::size_t j = i + 1; j < v.size(); ++j) {
+        EXPECT_TRUE(g.HasEdge(v[i], v[j]));
+      }
+    }
+    std::sort(v.begin(), v.end());
+    EXPECT_TRUE(seen.insert(v).second) << "duplicate clique";
+  });
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(ForEachClique, SingletonsForKOne) {
+  const Graph g = Path(4);
+  std::int64_t count = 0;
+  ForEachClique(g, 1, [&](std::span<const VertexId> clique) {
+    EXPECT_EQ(clique.size(), 1u);
+    ++count;
+  });
+  EXPECT_EQ(count, 4);
+}
+
+TEST(CliqueDegrees, CompleteGraphUniform) {
+  const auto deg = CliqueDegrees(Complete(6), 3);
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_EQ(deg[v], Binomial(5, 2));  // triangles through v
+  }
+}
+
+TEST(CliqueDegrees, SumEqualsKTimesCount) {
+  const Graph g = ErdosRenyiGnp(40, 0.25, 9);
+  for (int k = 2; k <= 4; ++k) {
+    const auto deg = CliqueDegrees(g, k);
+    std::int64_t sum = 0;
+    for (auto d : deg) sum += d;
+    EXPECT_EQ(sum, k * CountCliques(g, k)) << "k=" << k;
+  }
+}
+
+TEST(CountCliques, EmptyAndTinyGraphs) {
+  EXPECT_EQ(CountCliques(Graph(), 2), 0);
+  EXPECT_EQ(CountCliques(Path(1), 1), 1);
+  EXPECT_EQ(CountCliques(Path(1), 2), 0);
+}
+
+}  // namespace
+}  // namespace nucleus

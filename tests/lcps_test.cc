@@ -1,0 +1,120 @@
+#include "nucleus/core/lcps.h"
+
+#include <gtest/gtest.h>
+
+#include "nucleus/core/hierarchy.h"
+#include "nucleus/core/naive_traversal.h"
+#include "nucleus/core/peeling.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+NucleusHierarchy LcpsHierarchy(const Graph& g, PeelResult* peel_out) {
+  const VertexSpace space(g);
+  const PeelResult peel = Peel(space);
+  const SkeletonBuild build = LcpsKCoreHierarchy(g, peel);
+  NucleusHierarchy h = NucleusHierarchy::FromSkeleton(build, g.NumVertices());
+  h.Validate(peel.lambda);
+  if (peel_out != nullptr) *peel_out = peel;
+  return h;
+}
+
+TEST(Lcps, Figure2Shape) {
+  PeelResult peel;
+  const NucleusHierarchy h =
+      LcpsHierarchy(testing_util::PaperFigure2Graph(), &peel);
+  EXPECT_EQ(h.NumNuclei(), 3);
+  const auto& root = h.node(h.root());
+  ASSERT_EQ(root.children.size(), 1u);
+  const auto& two_core = h.node(root.children[0]);
+  EXPECT_EQ(two_core.lambda, 2);
+  EXPECT_EQ(two_core.children.size(), 2u);
+}
+
+TEST(Lcps, DeepNestingChainIsSpliced) {
+  // K7 alone: lambda 6 for all; LCPS descends through empty levels 0..5
+  // which must be spliced out of the canonical tree.
+  PeelResult peel;
+  const NucleusHierarchy h = LcpsHierarchy(Complete(7), &peel);
+  EXPECT_EQ(h.NumNodes(), 2);  // root + the 6-core
+  EXPECT_EQ(h.node(h.node(h.root()).children[0]).lambda, 6);
+}
+
+TEST(Lcps, TwoThreeCoresSharingATwoCoreVertex) {
+  // The tie-break hazard: one lambda-2 vertex adjacent to two disjoint K4s.
+  // Discovery-level priorities must keep the two 3-cores in separate nodes.
+  GraphBuilder b;
+  for (VertexId u = 0; u < 4; ++u)
+    for (VertexId v = u + 1; v < 4; ++v) b.AddEdge(u, v);
+  for (VertexId u = 4; u < 8; ++u)
+    for (VertexId v = u + 1; v < 8; ++v) b.AddEdge(u, v);
+  // Vertex 8 ties into both K4s with two edges each (lambda 2), and an
+  // extra cycle through 9 keeps it at lambda 2.
+  b.AddEdge(8, 0);
+  b.AddEdge(8, 1);
+  b.AddEdge(8, 4);
+  b.AddEdge(8, 5);
+  b.AddEdge(9, 0);
+  b.AddEdge(9, 8);
+  const Graph g = b.Build();
+  PeelResult peel;
+  const NucleusHierarchy h = LcpsHierarchy(g, &peel);
+  const VertexSpace space(g);
+  const auto want = testing_util::Canonicalize(
+      CollectNucleiNaive(space, peel.lambda, peel.max_lambda));
+  const auto got = testing_util::NucleiFromHierarchy(h);
+  EXPECT_TRUE(testing_util::NucleiEqual(got, want));
+}
+
+TEST(Lcps, DisconnectedComponentsRestartCleanly) {
+  PeelResult peel;
+  const NucleusHierarchy h = LcpsHierarchy(
+      DisjointUnion({Complete(4), Path(5), Complete(6), Star(4)}), &peel);
+  const auto& root = h.node(h.root());
+  EXPECT_EQ(root.children.size(), 4u);
+}
+
+TEST(Lcps, IsolatedVerticesGetLambdaZeroNodes) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.EnsureVertex(3);
+  PeelResult peel;
+  const NucleusHierarchy h = LcpsHierarchy(b.Build(), &peel);
+  EXPECT_EQ(h.NumNuclei(), 1);  // the single edge's 1-core
+  EXPECT_EQ(h.NumNodes(), 4);   // root, 1-core, two lambda-0 singletons
+}
+
+TEST(Lcps, SubnucleusCountIsLevelNodes) {
+  const Graph g = testing_util::PaperFigure2Graph();
+  const VertexSpace space(g);
+  const PeelResult peel = Peel(space);
+  const SkeletonBuild build = LcpsKCoreHierarchy(g, peel);
+  // Levels created: 0,1,2 chain plus two level-3 nodes = 5.
+  EXPECT_EQ(build.num_subnuclei, 5);
+}
+
+class LcpsZooTest
+    : public ::testing::TestWithParam<testing_util::GraphCase> {};
+
+TEST_P(LcpsZooTest, MatchesNaiveNuclei) {
+  const Graph g = GetParam().make();
+  const VertexSpace space(g);
+  const PeelResult peel = Peel(space);
+  const SkeletonBuild build = LcpsKCoreHierarchy(g, peel);
+  NucleusHierarchy h = NucleusHierarchy::FromSkeleton(build, g.NumVertices());
+  h.Validate(peel.lambda);
+  const auto got = testing_util::NucleiFromHierarchy(h);
+  const auto want = testing_util::Canonicalize(
+      CollectNucleiNaive(space, peel.lambda, peel.max_lambda));
+  EXPECT_TRUE(testing_util::NucleiEqual(got, want));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, LcpsZooTest, ::testing::ValuesIn(testing_util::GraphZoo()),
+    [](const ::testing::TestParamInfo<testing_util::GraphCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,150 @@
+#include "nucleus/core/naive_traversal.h"
+
+#include <gtest/gtest.h>
+
+#include "nucleus/core/peeling.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+using testing_util::Canonicalize;
+using testing_util::GraphCase;
+using testing_util::GraphZoo;
+using testing_util::ReferenceNuclei;
+
+TEST(NaiveTraversal, SingleCliqueSingleNucleusPerLevel) {
+  const Graph g = Complete(5);
+  const VertexSpace space(g);
+  const PeelResult peel = Peel(space);
+  const auto nuclei =
+      Canonicalize(CollectNucleiNaive(space, peel.lambda, peel.max_lambda));
+  // K5: every vertex lambda 4, one 4-core. Only k=4 has a lambda==k seed.
+  ASSERT_EQ(nuclei.size(), 1u);
+  EXPECT_EQ(nuclei[0].k, 4);
+  EXPECT_EQ(nuclei[0].members.size(), 5u);
+}
+
+TEST(NaiveTraversal, Figure2ReportsTwoThreeCoresAndOneTwoCore) {
+  const Graph g = testing_util::PaperFigure2Graph();
+  const VertexSpace space(g);
+  const PeelResult peel = Peel(space);
+  const auto nuclei =
+      Canonicalize(CollectNucleiNaive(space, peel.lambda, peel.max_lambda));
+  // One 2-core spanning everything; two disjoint 3-cores (the K4s). The
+  // 1-core coincides with the 2-core and has no lambda==1 vertex, so — as
+  // in the paper's semantics — it is not reported separately.
+  ASSERT_EQ(nuclei.size(), 3u);
+  EXPECT_EQ(nuclei[0].k, 2);
+  EXPECT_EQ(nuclei[0].members.size(), 10u);
+  EXPECT_EQ(nuclei[1].k, 3);
+  EXPECT_EQ(nuclei[1].members, (std::vector<CliqueId>{0, 1, 2, 3}));
+  EXPECT_EQ(nuclei[2].k, 3);
+  EXPECT_EQ(nuclei[2].members, (std::vector<CliqueId>{4, 5, 6, 7}));
+}
+
+TEST(NaiveTraversal, BowTieTrussesAreTwoSeparateNuclei) {
+  // Figure 3's discriminator: the two triangles share a vertex but no edge,
+  // so they are NOT triangle-connected: two 1-(2,3) nuclei.
+  const Graph g = testing_util::BowTieGraph();
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const EdgeSpace space(g, edges);
+  const PeelResult peel = Peel(space);
+  const auto nuclei =
+      Canonicalize(CollectNucleiNaive(space, peel.lambda, peel.max_lambda));
+  ASSERT_EQ(nuclei.size(), 2u);
+  EXPECT_EQ(nuclei[0].k, 1);
+  EXPECT_EQ(nuclei[1].k, 1);
+  EXPECT_EQ(nuclei[0].members.size(), 3u);
+  EXPECT_EQ(nuclei[1].members.size(), 3u);
+}
+
+TEST(NaiveTraversal, StatsMatchCollectedNuclei) {
+  const Graph g = ErdosRenyiGnp(50, 0.2, 33);
+  const VertexSpace space(g);
+  const PeelResult peel = Peel(space);
+  const auto collected =
+      CollectNucleiNaive(space, peel.lambda, peel.max_lambda);
+  const NaiveStats stats =
+      NaiveTraversal(space, peel.lambda, peel.max_lambda, nullptr);
+  EXPECT_EQ(stats.num_nuclei, static_cast<std::int64_t>(collected.size()));
+  std::int64_t members = 0;
+  for (const auto& nucleus : collected) {
+    members += static_cast<std::int64_t>(nucleus.members.size());
+  }
+  EXPECT_EQ(stats.total_members, members);
+}
+
+TEST(NaiveTraversal, EmptyGraphNoNuclei) {
+  const Graph g;
+  const VertexSpace space(g);
+  const PeelResult peel = Peel(space);
+  EXPECT_TRUE(
+      CollectNucleiNaive(space, peel.lambda, peel.max_lambda).empty());
+}
+
+TEST(NaiveTraversal, MembersWithinANucleusSatisfyDegreeBound) {
+  // Property straight from Definition 2: inside a k-(1,2) nucleus every
+  // vertex has >= k neighbors that are also members.
+  const Graph g = PlantedPartition(3, 10, 0.7, 0.1, 17);
+  const VertexSpace space(g);
+  const PeelResult peel = Peel(space);
+  for (const Nucleus& nucleus :
+       CollectNucleiNaive(space, peel.lambda, peel.max_lambda)) {
+    std::vector<char> in(g.NumVertices(), 0);
+    for (CliqueId v : nucleus.members) in[v] = 1;
+    for (CliqueId v : nucleus.members) {
+      std::int64_t inside = 0;
+      for (VertexId w : g.Neighbors(static_cast<VertexId>(v))) {
+        if (in[w]) ++inside;
+      }
+      EXPECT_GE(inside, nucleus.k);
+    }
+  }
+}
+
+class NaiveZooTest : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(NaiveZooTest, CoreNucleiMatchReference) {
+  const Graph g = GetParam().make();
+  const VertexSpace space(g);
+  const PeelResult peel = Peel(space);
+  const auto got =
+      Canonicalize(CollectNucleiNaive(space, peel.lambda, peel.max_lambda));
+  const auto want = Canonicalize(
+      ReferenceNuclei(space, peel.lambda, peel.max_lambda));
+  EXPECT_TRUE(testing_util::NucleiEqual(got, want));
+}
+
+TEST_P(NaiveZooTest, TrussNucleiMatchReference) {
+  const Graph g = GetParam().make();
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const EdgeSpace space(g, edges);
+  const PeelResult peel = Peel(space);
+  const auto got =
+      Canonicalize(CollectNucleiNaive(space, peel.lambda, peel.max_lambda));
+  const auto want = Canonicalize(
+      ReferenceNuclei(space, peel.lambda, peel.max_lambda));
+  EXPECT_TRUE(testing_util::NucleiEqual(got, want));
+}
+
+TEST_P(NaiveZooTest, Nucleus34MatchReference) {
+  const Graph g = GetParam().make();
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const TriangleIndex triangles = TriangleIndex::Build(g, edges);
+  const TriangleSpace space(g, edges, triangles);
+  const PeelResult peel = Peel(space);
+  const auto got =
+      Canonicalize(CollectNucleiNaive(space, peel.lambda, peel.max_lambda));
+  const auto want = Canonicalize(
+      ReferenceNuclei(space, peel.lambda, peel.max_lambda));
+  EXPECT_TRUE(testing_util::NucleiEqual(got, want));
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, NaiveZooTest, ::testing::ValuesIn(GraphZoo()),
+                         [](const ::testing::TestParamInfo<GraphCase>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace nucleus

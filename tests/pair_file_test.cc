@@ -1,0 +1,164 @@
+#include "nucleus/em/pair_file.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/util/rng.h"
+
+namespace nucleus {
+namespace {
+
+using Pair = std::pair<std::int32_t, std::int32_t>;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<Pair> Collect(PairFile& pf) {
+  std::vector<Pair> out;
+  EXPECT_TRUE(
+      pf.Scan([&](std::int32_t a, std::int32_t b) { out.emplace_back(a, b); })
+          .ok());
+  return out;
+}
+
+TEST(PairFile, AppendScanRoundTrip) {
+  auto pf = PairFile::Create(TempPath("roundtrip.pairs"));
+  ASSERT_TRUE(pf.ok());
+  std::vector<Pair> want;
+  for (std::int32_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(pf->Append(i, 2 * i + 1).ok());
+    want.emplace_back(i, 2 * i + 1);
+  }
+  ASSERT_TRUE(pf->Flush().ok());
+  EXPECT_EQ(pf->NumPairs(), 1000);
+  EXPECT_EQ(Collect(*pf), want);
+}
+
+TEST(PairFile, EmptyFileScansNothing) {
+  auto pf = PairFile::Create(TempPath("empty.pairs"));
+  ASSERT_TRUE(pf.ok());
+  ASSERT_TRUE(pf->Flush().ok());
+  EXPECT_EQ(pf->NumPairs(), 0);
+  EXPECT_TRUE(Collect(*pf).empty());
+}
+
+TEST(PairFile, SmallAppendBufferFlushesTransparently) {
+  // Buffer of 4 pairs: 100 appends cross the flush boundary 25 times.
+  auto pf = PairFile::Create(TempPath("tinybuf.pairs"), /*buffer_pairs=*/4);
+  ASSERT_TRUE(pf.ok());
+  for (std::int32_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pf->Append(i, -i).ok());
+  }
+  ASSERT_TRUE(pf->Flush().ok());
+  const std::vector<Pair> got = Collect(*pf);
+  ASSERT_EQ(got.size(), 100u);
+  for (std::int32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(got[i], Pair(i, -i));
+  }
+}
+
+TEST(PairFile, ScanRangeSelectsSlice) {
+  auto pf = PairFile::Create(TempPath("range.pairs"));
+  ASSERT_TRUE(pf.ok());
+  for (std::int32_t i = 0; i < 50; ++i) ASSERT_TRUE(pf->Append(i, i).ok());
+  ASSERT_TRUE(pf->Flush().ok());
+  std::vector<Pair> got;
+  ASSERT_TRUE(pf->ScanRange(10, 15, [&](std::int32_t a, std::int32_t b) {
+                  got.emplace_back(a, b);
+                }).ok());
+  ASSERT_EQ(got.size(), 5u);
+  for (std::int32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(got[i], Pair(10 + i, 10 + i));
+  }
+}
+
+TEST(PairFile, AppendAfterScanGoesToEnd) {
+  auto pf = PairFile::Create(TempPath("interleave.pairs"));
+  ASSERT_TRUE(pf.ok());
+  ASSERT_TRUE(pf->Append(1, 1).ok());
+  ASSERT_TRUE(pf->Flush().ok());
+  Collect(*pf);  // moves the cursor
+  ASSERT_TRUE(pf->Append(2, 2).ok());
+  ASSERT_TRUE(pf->Flush().ok());
+  EXPECT_EQ(Collect(*pf), (std::vector<Pair>{{1, 1}, {2, 2}}));
+}
+
+TEST(PairFile, SortByBinGroupsAndOrdersBins) {
+  auto pf = PairFile::Create(TempPath("sort_in.pairs"));
+  ASSERT_TRUE(pf.ok());
+  // Key = a % 7; append in scrambled order, deterministic rng.
+  Rng rng(99);
+  std::vector<Pair> pairs;
+  for (std::int32_t i = 0; i < 5000; ++i) {
+    pairs.emplace_back(static_cast<std::int32_t>(rng.UniformInt(0, 999)),
+                       static_cast<std::int32_t>(rng.UniformInt(0, 999)));
+  }
+  for (const auto& [a, b] : pairs) ASSERT_TRUE(pf->Append(a, b).ok());
+
+  std::vector<std::int64_t> bin_begin;
+  auto sorted = pf->SortByBin(
+      [](std::int32_t a, std::int32_t) { return a % 7; }, 7,
+      TempPath("sort_out.pairs"), &bin_begin);
+  ASSERT_TRUE(sorted.ok()) << sorted.status().ToString();
+  ASSERT_EQ(bin_begin.size(), 8u);
+  EXPECT_EQ(bin_begin.front(), 0);
+  EXPECT_EQ(bin_begin.back(), 5000);
+  EXPECT_EQ(sorted->NumPairs(), 5000);
+
+  // Each bin's range holds exactly the pairs with that key (as a multiset).
+  std::vector<std::vector<Pair>> want_bins(7);
+  for (const auto& p : pairs) want_bins[p.first % 7].push_back(p);
+  for (std::int32_t k = 0; k < 7; ++k) {
+    std::vector<Pair> got;
+    ASSERT_TRUE(sorted
+                    ->ScanRange(bin_begin[k], bin_begin[k + 1],
+                                [&](std::int32_t a, std::int32_t b) {
+                                  got.emplace_back(a, b);
+                                })
+                    .ok());
+    std::sort(got.begin(), got.end());
+    std::sort(want_bins[k].begin(), want_bins[k].end());
+    EXPECT_EQ(got, want_bins[k]) << "bin " << k;
+  }
+}
+
+TEST(PairFile, SortByBinHandlesEmptyBins) {
+  auto pf = PairFile::Create(TempPath("sparse_in.pairs"));
+  ASSERT_TRUE(pf.ok());
+  ASSERT_TRUE(pf->Append(5, 0).ok());
+  ASSERT_TRUE(pf->Append(5, 1).ok());
+  std::vector<std::int64_t> bin_begin;
+  auto sorted =
+      pf->SortByBin([](std::int32_t a, std::int32_t) { return a; }, 10,
+                    TempPath("sparse_out.pairs"), &bin_begin);
+  ASSERT_TRUE(sorted.ok());
+  for (std::int32_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(bin_begin[k + 1] - bin_begin[k], k == 5 ? 2 : 0);
+  }
+}
+
+TEST(PairFile, SortByBinRejectsOutOfRangeKey) {
+  auto pf = PairFile::Create(TempPath("badkey_in.pairs"));
+  ASSERT_TRUE(pf.ok());
+  ASSERT_TRUE(pf->Append(42, 0).ok());
+  std::vector<std::int64_t> bin_begin;
+  auto sorted =
+      pf->SortByBin([](std::int32_t a, std::int32_t) { return a; }, 10,
+                    TempPath("badkey_out.pairs"), &bin_begin);
+  ASSERT_FALSE(sorted.ok());
+  EXPECT_EQ(sorted.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(PairFile, CreateFailsOnUnwritablePath) {
+  auto pf = PairFile::Create("/nonexistent_dir/x.pairs");
+  ASSERT_FALSE(pf.ok());
+  EXPECT_EQ(pf.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace nucleus

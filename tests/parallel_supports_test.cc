@@ -1,0 +1,67 @@
+// ComputeSupportsParallel must match the serial support computation
+// bit-for-bit on every space and for any thread count — including thread
+// counts larger than the K_r population.
+#include <gtest/gtest.h>
+
+#include "nucleus/core/peeling.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+using testing_util::GraphCase;
+using testing_util::GraphZoo;
+
+class ParallelSupportsTest : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(ParallelSupportsTest, MatchesSerialAllSpaces) {
+  const Graph g = GetParam().make();
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const TriangleIndex triangles = TriangleIndex::Build(g, edges);
+  {
+    const VertexSpace space(g);
+    EXPECT_EQ(ComputeSupportsParallel(space, 4), ComputeSupports(space));
+  }
+  {
+    const EdgeSpace space(g, edges);
+    EXPECT_EQ(ComputeSupportsParallel(space, 3), ComputeSupports(space));
+  }
+  {
+    const TriangleSpace space(g, edges, triangles);
+    EXPECT_EQ(ComputeSupportsParallel(space, 5), ComputeSupports(space));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ParallelSupportsTest,
+                         ::testing::ValuesIn(GraphZoo()),
+                         [](const ::testing::TestParamInfo<GraphCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(ParallelSupports, MoreThreadsThanCliques) {
+  const Graph g = Path(3);
+  const VertexSpace space(g);
+  EXPECT_EQ(ComputeSupportsParallel(space, 64), ComputeSupports(space));
+}
+
+TEST(ParallelSupports, DefaultThreadCount) {
+  const Graph g = ErdosRenyiGnp(200, 0.05, 9);
+  const VertexSpace space(g);
+  EXPECT_EQ(ComputeSupportsParallel(space), ComputeSupports(space));
+}
+
+TEST(ParallelSupports, SingleThreadDegenerate) {
+  const Graph g = Complete(10);
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const EdgeSpace space(g, edges);
+  EXPECT_EQ(ComputeSupportsParallel(space, 1), ComputeSupports(space));
+}
+
+TEST(ParallelSupports, EmptyGraph) {
+  const Graph g;
+  const VertexSpace space(g);
+  EXPECT_TRUE(ComputeSupportsParallel(space, 4).empty());
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,177 @@
+#include "nucleus/core/peeling.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+using testing_util::GraphCase;
+using testing_util::GraphZoo;
+using testing_util::ReferenceLambda;
+
+TEST(PeelCore, KnownLambdas) {
+  // Path: all lambda 1. Cycle: all 2. Complete(n): all n-1. Star: all 1.
+  {
+    const Graph g = Path(6);
+    const PeelResult r = Peel(VertexSpace(g));
+    for (Lambda l : r.lambda) EXPECT_EQ(l, 1);
+    EXPECT_EQ(r.max_lambda, 1);
+  }
+  {
+    const Graph g = Cycle(6);
+    const PeelResult r = Peel(VertexSpace(g));
+    for (Lambda l : r.lambda) EXPECT_EQ(l, 2);
+  }
+  {
+    const Graph g = Complete(7);
+    const PeelResult r = Peel(VertexSpace(g));
+    for (Lambda l : r.lambda) EXPECT_EQ(l, 6);
+  }
+  {
+    const Graph g = Star(9);
+    const PeelResult r = Peel(VertexSpace(g));
+    for (Lambda l : r.lambda) EXPECT_EQ(l, 1);
+  }
+}
+
+TEST(PeelCore, IsolatedVertexHasLambdaZero) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.EnsureVertex(2);
+  const Graph g = b.Build();
+  const PeelResult r = Peel(VertexSpace(g));
+  EXPECT_EQ(r.lambda[2], 0);
+  EXPECT_EQ(r.lambda[0], 1);
+}
+
+TEST(PeelCore, Figure2TwoThreeCores) {
+  // The paper's Figure 2 situation: K4s have lambda 3, bridge vertices 2.
+  const Graph g = testing_util::PaperFigure2Graph();
+  const PeelResult r = Peel(VertexSpace(g));
+  for (VertexId v = 0; v < 8; ++v) EXPECT_EQ(r.lambda[v], 3) << "v=" << v;
+  EXPECT_EQ(r.lambda[8], 2);
+  EXPECT_EQ(r.lambda[9], 2);
+  EXPECT_EQ(r.max_lambda, 3);
+}
+
+TEST(PeelTruss, TriangleLambdaOne) {
+  const Graph g = Complete(3);
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const PeelResult r = Peel(EdgeSpace(g, edges));
+  for (Lambda l : r.lambda) EXPECT_EQ(l, 1);
+}
+
+TEST(PeelTruss, CompleteGraphLambdaIsNMinusTwo) {
+  const Graph g = Complete(6);
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const PeelResult r = Peel(EdgeSpace(g, edges));
+  for (Lambda l : r.lambda) EXPECT_EQ(l, 4);
+}
+
+TEST(PeelTruss, TriangleFreeEdgesLambdaZero) {
+  const Graph g = CompleteBipartite(4, 4);
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const PeelResult r = Peel(EdgeSpace(g, edges));
+  for (Lambda l : r.lambda) EXPECT_EQ(l, 0);
+  EXPECT_EQ(r.max_lambda, 0);
+}
+
+TEST(PeelTruss, BowTieSharedVertexDoesNotConnectTrusses) {
+  const Graph g = testing_util::BowTieGraph();
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const PeelResult r = Peel(EdgeSpace(g, edges));
+  // Every edge lies in exactly one triangle.
+  for (Lambda l : r.lambda) EXPECT_EQ(l, 1);
+}
+
+TEST(Peel34, K4TrianglesLambdaOne) {
+  const Graph g = Complete(4);
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const TriangleIndex triangles = TriangleIndex::Build(g, edges);
+  const PeelResult r = Peel(TriangleSpace(g, edges, triangles));
+  ASSERT_EQ(r.lambda.size(), 4u);
+  for (Lambda l : r.lambda) EXPECT_EQ(l, 1);
+}
+
+TEST(Peel34, K6TrianglesLambdaThree) {
+  // In K_n every triangle is in n-3 four-cliques and peeling cannot reduce
+  // below that: lambda_4 = n - 3.
+  const Graph g = Complete(6);
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const TriangleIndex triangles = TriangleIndex::Build(g, edges);
+  const PeelResult r = Peel(TriangleSpace(g, edges, triangles));
+  for (Lambda l : r.lambda) EXPECT_EQ(l, 3);
+}
+
+TEST(Peel34, K4FreeTrianglesLambdaZero) {
+  const Graph g = Wheel(8);  // triangles but no K4
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const TriangleIndex triangles = TriangleIndex::Build(g, edges);
+  const PeelResult r = Peel(TriangleSpace(g, edges, triangles));
+  EXPECT_GT(triangles.NumTriangles(), 0);
+  for (Lambda l : r.lambda) EXPECT_EQ(l, 0);
+}
+
+TEST(ComputeSupports, MatchesDegreesForVertexSpace) {
+  const Graph g = BarabasiAlbert(40, 3, 3);
+  const auto supports = ComputeSupports(VertexSpace(g));
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(supports[v], g.Degree(v));
+  }
+}
+
+TEST(ComputeSupports, MatchesTriangleIndexForEdgeSpace) {
+  const Graph g = ErdosRenyiGnp(40, 0.25, 15);
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const TriangleIndex triangles = TriangleIndex::Build(g, edges);
+  const auto supports = ComputeSupports(EdgeSpace(g, edges));
+  for (EdgeId e = 0; e < edges.NumEdges(); ++e) {
+    EXPECT_EQ(supports[e], triangles.EdgeSupport(e));
+  }
+}
+
+// --- Parameterized sweep: bucket peeling vs the definitional fixpoint -----
+
+class PeelZooTest : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(PeelZooTest, CoreMatchesReference) {
+  const Graph g = GetParam().make();
+  const VertexSpace space(g);
+  const PeelResult r = Peel(space);
+  EXPECT_EQ(r.lambda, ReferenceLambda(space));
+}
+
+TEST_P(PeelZooTest, TrussMatchesReference) {
+  const Graph g = GetParam().make();
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const EdgeSpace space(g, edges);
+  const PeelResult r = Peel(space);
+  EXPECT_EQ(r.lambda, ReferenceLambda(space));
+}
+
+TEST_P(PeelZooTest, Nucleus34MatchesReference) {
+  const Graph g = GetParam().make();
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const TriangleIndex triangles = TriangleIndex::Build(g, edges);
+  const TriangleSpace space(g, edges, triangles);
+  const PeelResult r = Peel(space);
+  EXPECT_EQ(r.lambda, ReferenceLambda(space));
+}
+
+TEST_P(PeelZooTest, MaxLambdaIsMaxOfLambdas) {
+  const Graph g = GetParam().make();
+  const PeelResult r = Peel(VertexSpace(g));
+  Lambda expected = 0;
+  for (Lambda l : r.lambda) expected = std::max(expected, l);
+  EXPECT_EQ(r.max_lambda, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, PeelZooTest, ::testing::ValuesIn(GraphZoo()),
+                         [](const ::testing::TestParamInfo<GraphCase>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace nucleus

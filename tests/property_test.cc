@@ -1,0 +1,161 @@
+// Property-based tests of the definitional invariants of nucleus
+// decompositions, run over randomized graph sweeps:
+//   P1 every member of a k-(r,s) nucleus has K_s-degree >= k inside it;
+//   P2 nuclei of the same k are disjoint (maximality);
+//   P3 nuclei nest: a child node's members are a subset of its parent's;
+//   P4 lambda is monotone under edge insertion (k-core);
+//   P5 lambda never exceeds the initial support;
+//   P6 lambda_2 of the (1,2) decomposition upper-bounds lambda_3-based
+//      trussness relations (lambda3(e) <= min(lambda2(u),lambda2(v)) - 1
+//      is NOT generally true, but lambda3(e)+1 <= lambda2 bound holds).
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/core/fast_nucleus.h"
+#include "nucleus/core/hierarchy.h"
+#include "nucleus/core/naive_traversal.h"
+#include "nucleus/core/peeling.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+class PropertyTest : public ::testing::TestWithParam<int> {};
+
+Graph RandomGraph(int seed) {
+  switch (seed % 4) {
+    case 0:
+      return ErdosRenyiGnp(60, 0.12, seed);
+    case 1:
+      return BarabasiAlbert(60, 3, seed);
+    case 2:
+      return PlantedPartition(3, 15, 0.5, 0.05, seed);
+    default:
+      return WithTriadicClosure(BarabasiAlbert(50, 2, seed), 80, seed + 1);
+  }
+}
+
+TEST_P(PropertyTest, P1MinimumDegreeInsideEveryNucleus) {
+  const Graph g = RandomGraph(GetParam());
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const EdgeSpace space(g, edges);
+  const PeelResult peel = Peel(space);
+  for (const Nucleus& nucleus :
+       CollectNucleiNaive(space, peel.lambda, peel.max_lambda)) {
+    std::set<CliqueId> in(nucleus.members.begin(), nucleus.members.end());
+    for (CliqueId e : nucleus.members) {
+      // Support of e counting only triangles fully inside the nucleus.
+      std::int64_t inside = 0;
+      space.ForEachSuperclique(e, [&](const CliqueId* members, int count) {
+        for (int i = 0; i < count; ++i) {
+          if (in.count(members[i]) == 0) return;
+        }
+        ++inside;
+      });
+      EXPECT_GE(inside, nucleus.k);
+    }
+  }
+}
+
+TEST_P(PropertyTest, P2SameKNucleiAreDisjoint) {
+  const Graph g = RandomGraph(GetParam());
+  const VertexSpace space(g);
+  const PeelResult peel = Peel(space);
+  std::map<Lambda, std::set<CliqueId>> seen;
+  for (const Nucleus& nucleus :
+       CollectNucleiNaive(space, peel.lambda, peel.max_lambda)) {
+    auto& at_k = seen[nucleus.k];
+    for (CliqueId v : nucleus.members) {
+      EXPECT_TRUE(at_k.insert(v).second)
+          << "vertex " << v << " in two " << nucleus.k << "-nuclei";
+    }
+  }
+}
+
+TEST_P(PropertyTest, P3HierarchyNodesNestInsideParents) {
+  const Graph g = RandomGraph(GetParam());
+  const VertexSpace space(g);
+  const FndResult fnd = FastNucleusDecomposition(space);
+  const NucleusHierarchy h =
+      NucleusHierarchy::FromSkeleton(fnd.build, space.NumCliques());
+  for (std::int32_t id = 0; id < h.NumNodes(); ++id) {
+    if (id == h.root()) continue;
+    const auto members = h.MembersOfSubtree(id);
+    const auto parent_members = h.MembersOfSubtree(h.node(id).parent);
+    EXPECT_TRUE(std::includes(parent_members.begin(), parent_members.end(),
+                              members.begin(), members.end()));
+  }
+}
+
+TEST_P(PropertyTest, P4CoreLambdaMonotoneUnderEdgeInsertion) {
+  const Graph g = RandomGraph(GetParam());
+  const PeelResult before = Peel(VertexSpace(g));
+  const Graph grown = WithRandomEdges(g, 30, GetParam() + 1000);
+  const PeelResult after = Peel(VertexSpace(grown));
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_GE(after.lambda[v], before.lambda[v]) << "v=" << v;
+  }
+}
+
+TEST_P(PropertyTest, P5LambdaBoundedByInitialSupport) {
+  const Graph g = RandomGraph(GetParam());
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const EdgeSpace space(g, edges);
+  const auto supports = ComputeSupports(space);
+  const PeelResult peel = Peel(space);
+  for (EdgeId e = 0; e < edges.NumEdges(); ++e) {
+    EXPECT_LE(peel.lambda[e], supports[e]);
+  }
+}
+
+TEST_P(PropertyTest, P6TrussnessBoundedByEndpointCoreness) {
+  // An edge in a (k+2)-clique-like dense region: lambda3(e) + 1 <= lambda2
+  // of both endpoints. (A k-truss-community edge lives in a subgraph of
+  // minimum degree >= k+1.)
+  const Graph g = RandomGraph(GetParam());
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const PeelResult core = Peel(VertexSpace(g));
+  const PeelResult truss = Peel(EdgeSpace(g, edges));
+  for (EdgeId e = 0; e < edges.NumEdges(); ++e) {
+    const auto [u, v] = edges.Endpoints(e);
+    const Lambda bound = std::min(core.lambda[u], core.lambda[v]);
+    EXPECT_LE(truss.lambda[e] + 1, bound) << "edge " << u << "-" << v;
+  }
+}
+
+TEST_P(PropertyTest, P7SubnucleiPartitionTheCliqueSpace) {
+  const Graph g = RandomGraph(GetParam());
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const EdgeSpace space(g, edges);
+  const FndResult fnd = FastNucleusDecomposition(space);
+  const NucleusHierarchy h =
+      NucleusHierarchy::FromSkeleton(fnd.build, space.NumCliques());
+  std::int64_t total = 0;
+  for (std::int32_t id = 0; id < h.NumNodes(); ++id) {
+    total += static_cast<std::int64_t>(h.node(id).members.size());
+  }
+  EXPECT_EQ(total, space.NumCliques());
+}
+
+TEST_P(PropertyTest, P8MaxLambdaNucleusIsAClique) {
+  // The innermost (3,4) nucleus with lambda = max contains triangles whose
+  // union has min K4-degree = max lambda: check it is non-trivial whenever
+  // K4s exist.
+  const Graph g = RandomGraph(GetParam());
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const TriangleIndex triangles = TriangleIndex::Build(g, edges);
+  const TriangleSpace space(g, edges, triangles);
+  const PeelResult peel = Peel(space);
+  if (triangles.CountK4s() > 0) {
+    EXPECT_GE(peel.max_lambda, 1);
+  } else {
+    EXPECT_EQ(peel.max_lambda, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest, ::testing::Range(200, 216));
+
+}  // namespace
+}  // namespace nucleus

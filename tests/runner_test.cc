@@ -1,0 +1,63 @@
+#include "nucleus/bench/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+TEST(RunBench, ReportsPhaseSplit) {
+  const Graph g = PlantedPartition(3, 12, 0.5, 0.05, 61);
+  const BenchRun run = RunBench(g, Family::kTruss23, Algorithm::kFnd);
+  EXPECT_EQ(run.algorithm, Algorithm::kFnd);
+  EXPECT_GT(run.num_cliques, 0);
+  EXPECT_GT(run.num_subnuclei, 0);
+  EXPECT_GE(run.peel_seconds, 0.0);
+  EXPECT_GE(run.post_seconds, 0.0);
+  EXPECT_NEAR(run.total_seconds, run.peel_seconds + run.post_seconds, 1e-9);
+  EXPECT_GT(run.max_lambda, 0);
+}
+
+TEST(RunBench, IndexTimeFoldedIntoPeel) {
+  // For (2,3)/(3,4) the clique-index construction is part of the reported
+  // peeling phase, as the paper's peeling numbers include support counting.
+  const Graph g = Complete(12);
+  const BenchRun run = RunBench(g, Family::kNucleus34, Algorithm::kDft);
+  EXPECT_GT(run.peel_seconds, 0.0);
+}
+
+TEST(RunBench, AlgorithmsAgreeOnMaxLambda) {
+  const Graph g = testing_util::PaperFigure2Graph();
+  const Lambda expected =
+      RunBench(g, Family::kCore12, Algorithm::kFnd).max_lambda;
+  for (Algorithm algorithm : {Algorithm::kDft, Algorithm::kLcps,
+                              Algorithm::kNaive, Algorithm::kHypo}) {
+    EXPECT_EQ(RunBench(g, Family::kCore12, algorithm).max_lambda, expected);
+  }
+}
+
+TEST(RunNaiveBudgeted, CompletesSmallGraphs) {
+  const Graph g = Complete(8);
+  const NaiveBenchRun run = RunNaiveBudgeted(g, Family::kTruss23, 30.0);
+  EXPECT_TRUE(run.completed);
+  EXPECT_GT(run.total_seconds, 0.0);
+}
+
+TEST(RunNaiveBudgeted, ZeroBudgetStopsEarlyOnNonTrivialGraph) {
+  const Graph g = PlantedPartition(4, 20, 0.5, 0.05, 63);
+  const NaiveBenchRun run = RunNaiveBudgeted(g, Family::kTruss23, 0.0);
+  EXPECT_FALSE(run.completed);
+}
+
+TEST(RunNaiveBudgeted, AllFamiliesRun) {
+  const Graph g = Caveman(3, 6, 3, 7);
+  for (Family family :
+       {Family::kCore12, Family::kTruss23, Family::kNucleus34}) {
+    const NaiveBenchRun run = RunNaiveBudgeted(g, family, 30.0);
+    EXPECT_TRUE(run.completed) << FamilyName(family);
+  }
+}
+
+}  // namespace
+}  // namespace nucleus

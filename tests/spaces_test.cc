@@ -1,0 +1,111 @@
+// Consistency of the clique spaces: superclique enumeration must agree with
+// the independent k-clique counter, every enumeration must contain the
+// queried K_r itself, and each K_s must be reachable from each of its
+// member K_r's exactly once.
+#include "nucleus/core/spaces.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/cliques/kclique.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+using testing_util::GraphCase;
+using testing_util::GraphZoo;
+
+template <typename Space>
+void CheckSpaceInvariants(const Space& space, std::int64_t expected_ks_count) {
+  // Each K_s contains exactly kMembers K_r's and is enumerated once from
+  // each member, so the total enumeration count is kMembers * |K_s|.
+  std::int64_t total = 0;
+  std::map<std::vector<CliqueId>, int> seen;  // sorted members -> count
+  for (CliqueId u = 0; u < space.NumCliques(); ++u) {
+    space.ForEachSuperclique(u, [&](const CliqueId* members, int count) {
+      EXPECT_EQ(count, Space::kMembers);
+      // u itself is always a member and members are distinct.
+      std::vector<CliqueId> sorted(members, members + count);
+      EXPECT_NE(std::find(sorted.begin(), sorted.end(), u), sorted.end());
+      std::sort(sorted.begin(), sorted.end());
+      EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()),
+                sorted.end());
+      ++seen[sorted];
+      ++total;
+    });
+  }
+  EXPECT_EQ(total, Space::kMembers * expected_ks_count);
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), expected_ks_count);
+  for (const auto& [key, count] : seen) {
+    EXPECT_EQ(count, Space::kMembers);
+  }
+}
+
+class SpacesZooTest : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(SpacesZooTest, VertexSpaceEnumeratesEdges) {
+  const Graph g = GetParam().make();
+  CheckSpaceInvariants(VertexSpace(g), CountCliques(g, 2));
+}
+
+TEST_P(SpacesZooTest, EdgeSpaceEnumeratesTriangles) {
+  const Graph g = GetParam().make();
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  CheckSpaceInvariants(EdgeSpace(g, edges), CountCliques(g, 3));
+}
+
+TEST_P(SpacesZooTest, TriangleSpaceEnumeratesK4s) {
+  const Graph g = GetParam().make();
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const TriangleIndex triangles = TriangleIndex::Build(g, edges);
+  CheckSpaceInvariants(TriangleSpace(g, edges, triangles),
+                       CountCliques(g, 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, SpacesZooTest, ::testing::ValuesIn(GraphZoo()),
+                         [](const ::testing::TestParamInfo<GraphCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(SpacesTest, ConstantsMatchFamilies) {
+  EXPECT_EQ(VertexSpace::kR, 1);
+  EXPECT_EQ(VertexSpace::kS, 2);
+  EXPECT_EQ(EdgeSpace::kR, 2);
+  EXPECT_EQ(EdgeSpace::kS, 3);
+  EXPECT_EQ(TriangleSpace::kR, 3);
+  EXPECT_EQ(TriangleSpace::kS, 4);
+}
+
+TEST(SpacesTest, EdgeSpaceMembersAreTheTriangleEdges) {
+  const Graph g = Complete(3);
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const EdgeSpace space(g, edges);
+  space.ForEachSuperclique(0, [&](const CliqueId* members, int count) {
+    ASSERT_EQ(count, 3);
+    std::set<CliqueId> ids(members, members + 3);
+    EXPECT_EQ(ids, (std::set<CliqueId>{0, 1, 2}));
+  });
+}
+
+TEST(SpacesTest, TriangleSpaceMembersAreTheK4Triangles) {
+  const Graph g = Complete(4);
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const TriangleIndex triangles = TriangleIndex::Build(g, edges);
+  const TriangleSpace space(g, edges, triangles);
+  std::int64_t calls = 0;
+  space.ForEachSuperclique(0, [&](const CliqueId* members, int count) {
+    ASSERT_EQ(count, 4);
+    std::set<CliqueId> ids(members, members + 4);
+    EXPECT_EQ(ids, (std::set<CliqueId>{0, 1, 2, 3}));
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,98 @@
+#include "nucleus/util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "nucleus/util/rng.h"
+#include "nucleus/util/timer.h"
+
+namespace nucleus {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad header");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad header");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad header");
+}
+
+TEST(Status, AllConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> v(std::string("hello"));
+  ASSERT_TRUE(v.ok());
+  const std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.UniformInt(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, UniformRealInHalfOpenUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const double r = rng.UniformReal();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1.0);
+  }
+}
+
+TEST(Timer, MeasuresNonNegativeMonotoneTime) {
+  Timer t;
+  const double a = t.Seconds();
+  const double b = t.Seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  t.Restart();
+  EXPECT_GE(t.Seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,63 @@
+#include "nucleus/bench/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace nucleus {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "12345"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  // All lines equally wide (right-aligned last column).
+  std::istringstream lines(s);
+  std::string line;
+  std::size_t width = 0;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    if (n == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << "line " << n;
+    ++n;
+  }
+  EXPECT_EQ(n, 4);  // header + separator + 2 rows
+}
+
+TEST(TablePrinterDeathTest, WrongCellCountAborts) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "cells.size");
+}
+
+TEST(Format, Speedup) {
+  EXPECT_EQ(FormatSpeedup(12.578), "12.58x");
+  EXPECT_EQ(FormatSpeedup(1.0), "1.00x");
+  EXPECT_EQ(FormatSpeedup(1321.89), "1321.89x");
+}
+
+TEST(Format, Seconds) {
+  EXPECT_EQ(FormatSeconds(1.9444), "1.944");
+  EXPECT_EQ(FormatSeconds(0.0512), "0.0512");
+}
+
+TEST(Format, CountsUsePaperSuffixes) {
+  EXPECT_EQ(FormatCount(837), "837");
+  EXPECT_EQ(FormatCount(11100000), "11.1M");
+  EXPECT_EQ(FormatCount(852400), "852.4K");
+  EXPECT_EQ(FormatCount(52200000000), "52.2B");
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(9999), "9999");
+}
+
+TEST(Format, DoublePrecision) {
+  EXPECT_EQ(FormatDouble(6.543, 2), "6.54");
+  EXPECT_EQ(FormatDouble(90.6, 1), "90.6");
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,146 @@
+#include "nucleus/core/tcp_index.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/core/df_traversal.h"
+#include "nucleus/core/hierarchy.h"
+#include "nucleus/core/peeling.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+struct TrussSetup {
+  Graph g;
+  EdgeIndex edges;
+  PeelResult peel;
+  TcpIndex tcp;
+};
+
+TrussSetup MakeSetup(Graph graph) {
+  TrussSetup s{std::move(graph), {}, {}, {}};
+  s.edges = EdgeIndex::Build(s.g);
+  s.peel = Peel(EdgeSpace(s.g, s.edges));
+  s.tcp = TcpIndex::Build(s.g, s.edges, s.peel.lambda);
+  return s;
+}
+
+// Expected k-truss communities containing q, derived from the (2,3)
+// hierarchy: for each max-nucleus chain node with lambda >= k (minimal such
+// ancestor), the subtree members of edges incident to q.
+std::vector<std::vector<EdgeId>> ExpectedCommunities(const TrussSetup& s,
+                                                     VertexId q, Lambda k) {
+  const EdgeSpace space(s.g, s.edges);
+  const SkeletonBuild build = DfTraversal(space, s.peel);
+  const NucleusHierarchy h =
+      NucleusHierarchy::FromSkeleton(build, s.edges.NumEdges());
+  std::set<std::int32_t> community_nodes;
+  for (VertexId y : s.g.Neighbors(q)) {
+    const EdgeId e = s.edges.GetEdgeId(s.g, q, y);
+    if (s.peel.lambda[e] < k) continue;
+    // Walk up from the edge's deepest node to the last node with
+    // lambda >= k: that node's subtree is the k-community of e.
+    std::int32_t node = h.NodeOfClique(e);
+    while (h.node(node).parent != kInvalidId &&
+           h.node(h.node(node).parent).lambda >= k) {
+      node = h.node(node).parent;
+    }
+    community_nodes.insert(node);
+  }
+  std::vector<std::vector<EdgeId>> out;
+  for (std::int32_t node : community_nodes) {
+    out.push_back(h.MembersOfSubtree(node));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ExpectSameCommunities(const TrussSetup& s, VertexId q, Lambda k) {
+  auto got = s.tcp.QueryCommunities(s.g, s.edges, s.peel.lambda, q, k);
+  std::sort(got.begin(), got.end());
+  const auto want = ExpectedCommunities(s, q, k);
+  EXPECT_EQ(got, want) << "q=" << q << " k=" << k;
+}
+
+TEST(TcpIndex, ForestSizeBoundedByEgoNetwork) {
+  const TrussSetup s = MakeSetup(PlantedPartition(2, 12, 0.7, 0.1, 3));
+  for (VertexId x = 0; x < s.g.NumVertices(); ++x) {
+    // A spanning forest has fewer edges than nodes (= neighbors of x).
+    EXPECT_LT(static_cast<std::int64_t>(s.tcp.TreeEdgesOf(x).size()),
+              std::max<std::int64_t>(s.g.Degree(x), 1));
+  }
+}
+
+TEST(TcpIndex, TreeEdgesAreTriangles) {
+  const TrussSetup s = MakeSetup(ErdosRenyiGnp(40, 0.25, 5));
+  for (VertexId x = 0; x < s.g.NumVertices(); ++x) {
+    for (const TcpIndex::TreeEdge& te : s.tcp.TreeEdgesOf(x)) {
+      EXPECT_TRUE(s.g.HasEdge(x, te.y));
+      EXPECT_TRUE(s.g.HasEdge(x, te.z));
+      EXPECT_TRUE(s.g.HasEdge(te.y, te.z));
+      // Weight is the min trussness of the triangle's edges.
+      const Lambda w = std::min({s.peel.lambda[s.edges.GetEdgeId(s.g, x, te.y)],
+                                 s.peel.lambda[s.edges.GetEdgeId(s.g, x, te.z)],
+                                 s.peel.lambda[s.edges.GetEdgeId(s.g, te.y, te.z)]});
+      EXPECT_EQ(te.weight, w);
+    }
+  }
+}
+
+TEST(TcpIndex, NoTrianglesMeansEmptyForest) {
+  const TrussSetup s = MakeSetup(CompleteBipartite(5, 5));
+  EXPECT_EQ(s.tcp.TotalTreeEdges(), 0);
+}
+
+TEST(TcpIndex, QueryCompleteGraphSingleCommunity) {
+  const TrussSetup s = MakeSetup(Complete(6));
+  const auto communities =
+      s.tcp.QueryCommunities(s.g, s.edges, s.peel.lambda, 0, 4);
+  ASSERT_EQ(communities.size(), 1u);
+  EXPECT_EQ(communities[0].size(), 15u);  // all edges of K6
+}
+
+TEST(TcpIndex, QueryAboveTrussnessIsEmpty) {
+  const TrussSetup s = MakeSetup(Complete(5));
+  EXPECT_TRUE(
+      s.tcp.QueryCommunities(s.g, s.edges, s.peel.lambda, 0, 4).empty());
+}
+
+TEST(TcpIndex, QueryBowTieSeparatesTriangles) {
+  // Vertex 2 belongs to both triangles; they are distinct 1-truss
+  // communities (not triangle-connected).
+  const TrussSetup s = MakeSetup(testing_util::BowTieGraph());
+  const auto communities =
+      s.tcp.QueryCommunities(s.g, s.edges, s.peel.lambda, 2, 1);
+  EXPECT_EQ(communities.size(), 2u);
+}
+
+TEST(TcpIndex, QueryMatchesHierarchyOnStructuredGraphs) {
+  for (auto make : {+[] { return testing_util::PaperFigure2Graph(); },
+                    +[] { return Caveman(3, 6, 4, 7); },
+                    +[] { return PlantedPartition(2, 10, 0.8, 0.15, 9); }}) {
+    const TrussSetup s = MakeSetup(make());
+    for (VertexId q = 0; q < s.g.NumVertices(); q += 3) {
+      for (Lambda k = 1; k <= s.peel.max_lambda; ++k) {
+        ExpectSameCommunities(s, q, k);
+      }
+    }
+  }
+}
+
+TEST(TcpIndex, QueryMatchesHierarchyOnRandomGraphs) {
+  for (int seed = 60; seed < 66; ++seed) {
+    const TrussSetup s = MakeSetup(ErdosRenyiGnp(35, 0.3, seed));
+    for (VertexId q = 0; q < s.g.NumVertices(); q += 5) {
+      for (Lambda k = 1; k <= s.peel.max_lambda; ++k) {
+        ExpectSameCommunities(s, q, k);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,177 @@
+#include "nucleus/variants/temporal_core.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/core/peeling.h"
+#include "nucleus/core/spaces.h"
+#include "nucleus/graph/generators.h"
+#include "nucleus/util/rng.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+// Spreads a static graph's edges over [0, spread) deterministically, with
+// `copies` events per edge at distinct times.
+TemporalGraph Temporalize(const Graph& g, std::int64_t spread, int copies,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TemporalEdge> events;
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    for (int c = 0; c < copies; ++c) {
+      events.push_back({u, v, rng.UniformInt(0, spread - 1)});
+    }
+  });
+  return TemporalGraph::FromEvents(g.NumVertices(), std::move(events));
+}
+
+TEST(TemporalGraph, EventsAreTimeSorted) {
+  TemporalGraph tg = TemporalGraph::FromEvents(
+      3, {{0, 1, 5}, {1, 2, 1}, {0, 2, 3}});
+  ASSERT_EQ(tg.NumEvents(), 3);
+  EXPECT_EQ(tg.events()[0].time, 1);
+  EXPECT_EQ(tg.events()[2].time, 5);
+  EXPECT_EQ(tg.TimeRange(), (std::pair<std::int64_t, std::int64_t>{1, 5}));
+}
+
+TEST(TemporalGraph, SnapshotFiltersWindow) {
+  TemporalGraph tg = TemporalGraph::FromEvents(
+      4, {{0, 1, 0}, {1, 2, 5}, {2, 3, 10}});
+  const Graph g = tg.Snapshot(4, 9);
+  EXPECT_EQ(g.NumEdges(), 1);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(TemporalGraph, SnapshotMultiplicityThreshold) {
+  // (0,1) occurs twice in the window, (1,2) once.
+  TemporalGraph tg = TemporalGraph::FromEvents(
+      3, {{0, 1, 1}, {0, 1, 2}, {1, 2, 2}});
+  EXPECT_EQ(tg.Snapshot(0, 5, 1).NumEdges(), 2);
+  const Graph h2 = tg.Snapshot(0, 5, 2);
+  EXPECT_EQ(h2.NumEdges(), 1);
+  EXPECT_TRUE(h2.HasEdge(0, 1));
+  EXPECT_EQ(tg.Snapshot(0, 5, 3).NumEdges(), 0);
+}
+
+TEST(TemporalGraph, WindowBoundariesAreInclusive) {
+  TemporalGraph tg = TemporalGraph::FromEvents(2, {{0, 1, 7}});
+  EXPECT_EQ(tg.Snapshot(7, 7).NumEdges(), 1);
+  EXPECT_EQ(tg.Snapshot(8, 9).NumEdges(), 0);
+  EXPECT_EQ(tg.Snapshot(0, 6).NumEdges(), 0);
+}
+
+TEST(TemporalCore, FullWindowH1EqualsStaticCore) {
+  for (const auto& c : testing_util::GraphZoo()) {
+    SCOPED_TRACE(c.name);
+    const Graph g = c.make();
+    if (g.NumEdges() == 0) continue;
+    const TemporalGraph tg = Temporalize(g, 100, 1, 17);
+    const auto [t0, t1] = tg.TimeRange();
+    const TemporalCoreResult window = DecomposeWindow(tg, t0, t1, 1);
+    const PeelResult want = Peel(VertexSpace(g));
+    EXPECT_EQ(window.peel.lambda, want.lambda);
+    EXPECT_EQ(window.peel.max_lambda, want.max_lambda);
+  }
+}
+
+TEST(TemporalCore, GrowingWindowIsMonotone) {
+  const Graph g = ErdosRenyiGnp(40, 0.2, 23);
+  const TemporalGraph tg = Temporalize(g, 50, 1, 29);
+  PeelResult prev;
+  prev.lambda.assign(g.NumVertices(), 0);
+  for (std::int64_t t_end : {10, 20, 30, 49}) {
+    const TemporalCoreResult window = DecomposeWindow(tg, 0, t_end, 1);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_GE(window.peel.lambda[v], prev.lambda[v])
+          << "vertex " << v << " t_end " << t_end;
+    }
+    prev = window.peel;
+  }
+}
+
+TEST(TemporalCore, HigherMultiplicityThresholdIsMonotone) {
+  const Graph g = ErdosRenyiGnp(30, 0.25, 31);
+  const TemporalGraph tg = Temporalize(g, 10, 3, 37);  // repeats likely
+  const auto [t0, t1] = tg.TimeRange();
+  PeelResult prev = DecomposeWindow(tg, t0, t1, 1).peel;
+  for (std::int32_t h = 2; h <= 4; ++h) {
+    const PeelResult cur = DecomposeWindow(tg, t0, t1, h).peel;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      EXPECT_LE(cur.lambda[v], prev.lambda[v]) << "vertex " << v << " h "
+                                               << h;
+    }
+    prev = cur;
+  }
+}
+
+TEST(TemporalCore, WindowHierarchyIsValid) {
+  const Graph g = ErdosRenyiGnp(35, 0.2, 41);
+  const TemporalGraph tg = Temporalize(g, 40, 1, 43);
+  const TemporalCoreResult window = DecomposeWindow(tg, 5, 25, 1);
+  const NucleusHierarchy tree =
+      LabeledHierarchyTree(window.snapshot, window.skeleton);
+  tree.Validate(window.skeleton.vertex_rank);
+  // Every vertex with lambda >= 1 sits in some nucleus.
+  for (VertexId v = 0; v < window.snapshot.NumVertices(); ++v) {
+    if (window.peel.lambda[v] >= 1) {
+      EXPECT_GE(tree.node(tree.NodeOfClique(v)).lambda, 1);
+    }
+  }
+}
+
+TEST(TemporalCore, CoreEvolutionCoversSpan) {
+  const Graph g = Complete(8);
+  const TemporalGraph tg = Temporalize(g, 30, 1, 47);
+  const auto [t0, t1] = tg.TimeRange();
+  const std::vector<WindowCoreStats> evo = CoreEvolution(tg, 5, 5, 1);
+  ASSERT_FALSE(evo.empty());
+  EXPECT_EQ(evo.front().t_begin, t0);
+  EXPECT_GE(evo.back().t_end, t1);
+  for (std::size_t i = 1; i < evo.size(); ++i) {
+    EXPECT_EQ(evo[i].t_begin, evo[i - 1].t_begin + 5);
+  }
+  // The union of all windows sees every event, so some window has edges.
+  std::int64_t total_edges = 0;
+  for (const auto& w : evo) total_edges += w.num_edges;
+  EXPECT_GT(total_edges, 0);
+}
+
+TEST(TemporalCore, EvolutionDetectsDenseBurst) {
+  // Sparse background plus a K6 burst at t in [50, 52]: the max core
+  // jumps to 5 exactly in windows covering the burst.
+  std::vector<TemporalEdge> events;
+  for (VertexId v = 0; v + 1 < 12; ++v) {
+    events.push_back({v, static_cast<VertexId>(v + 1), v});  // path, t<12
+  }
+  for (VertexId u = 0; u < 6; ++u) {
+    for (VertexId v = u + 1; v < 6; ++v) {
+      events.push_back({u, v, 50 + (u + v) % 3});
+    }
+  }
+  const TemporalGraph tg = TemporalGraph::FromEvents(12, std::move(events));
+  const std::vector<WindowCoreStats> evo = CoreEvolution(tg, 4, 10, 1);
+  Lambda burst_max = 0;
+  Lambda background_max = 0;
+  for (const auto& w : evo) {
+    if (w.t_begin == 50) {
+      burst_max = std::max(burst_max, w.max_core);
+    } else if (w.t_end < 50) {
+      background_max = std::max(background_max, w.max_core);
+    }
+  }
+  EXPECT_EQ(burst_max, 5);
+  EXPECT_LE(background_max, 1);
+}
+
+TEST(TemporalCore, EmptyTemporalGraph) {
+  const TemporalGraph tg = TemporalGraph::FromEvents(5, {});
+  EXPECT_EQ(tg.NumEvents(), 0);
+  EXPECT_TRUE(CoreEvolution(tg, 10, 1, 1).empty());
+  const TemporalCoreResult window = DecomposeWindow(tg, 0, 100, 1);
+  EXPECT_EQ(window.snapshot.NumEdges(), 0);
+}
+
+}  // namespace
+}  // namespace nucleus

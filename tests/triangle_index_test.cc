@@ -1,0 +1,159 @@
+#include "nucleus/cliques/triangle_index.h"
+
+#include <array>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/cliques/kclique.h"
+#include "nucleus/graph/generators.h"
+#include "nucleus/graph/graph_builder.h"
+#include "nucleus/graph/graph_stats.h"
+
+namespace nucleus {
+namespace {
+
+struct Built {
+  Graph g;
+  EdgeIndex edges;
+  TriangleIndex triangles;
+};
+
+Built BuildAll(Graph g) {
+  EdgeIndex edges = EdgeIndex::Build(g);
+  TriangleIndex triangles = TriangleIndex::Build(g, edges);
+  return {std::move(g), std::move(edges), std::move(triangles)};
+}
+
+TEST(TriangleIndex, SingleTriangle) {
+  const auto b = BuildAll(Complete(3));
+  ASSERT_EQ(b.triangles.NumTriangles(), 1);
+  const auto& vs = b.triangles.Vertices(0);
+  EXPECT_EQ(vs, (std::array<VertexId, 3>{0, 1, 2}));
+  for (EdgeId e = 0; e < 3; ++e) {
+    EXPECT_EQ(b.triangles.EdgeSupport(e), 1);
+    ASSERT_EQ(b.triangles.EdgeTriangles(e).size(), 1u);
+    EXPECT_EQ(b.triangles.EdgeTriangles(e)[0].tid, 0);
+  }
+}
+
+TEST(TriangleIndex, CountsMatchForwardAlgorithm) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const Graph g = ErdosRenyiGnp(60, 0.15, seed);
+    const auto b = BuildAll(g);
+    EXPECT_EQ(b.triangles.NumTriangles(), CountTriangles(g));
+  }
+}
+
+TEST(TriangleIndex, VerticesSortedAndEdgesConsistent) {
+  const auto b = BuildAll(ErdosRenyiGnp(40, 0.25, 7));
+  for (TriangleId t = 0; t < b.triangles.NumTriangles(); ++t) {
+    const auto& [u, v, w] = b.triangles.Vertices(t);
+    EXPECT_LT(u, v);
+    EXPECT_LT(v, w);
+    const auto& e = b.triangles.Edges(t);
+    EXPECT_EQ(b.edges.GetEdgeId(b.g, u, v), e[0]);
+    EXPECT_EQ(b.edges.GetEdgeId(b.g, u, w), e[1]);
+    EXPECT_EQ(b.edges.GetEdgeId(b.g, v, w), e[2]);
+  }
+}
+
+TEST(TriangleIndex, EdgeSupportMatchesPerEdgeRecount) {
+  const auto b = BuildAll(BarabasiAlbert(50, 4, 13));
+  for (EdgeId e = 0; e < b.edges.NumEdges(); ++e) {
+    const auto [u, v] = b.edges.Endpoints(e);
+    // Count common neighbors directly.
+    std::int64_t common = 0;
+    for (VertexId x : b.g.Neighbors(u)) {
+      if (x != v && b.g.HasEdge(v, x)) ++common;
+    }
+    EXPECT_EQ(b.triangles.EdgeSupport(e), common);
+  }
+}
+
+TEST(TriangleIndex, EdgeTrianglesSortedByThirdVertex) {
+  const auto b = BuildAll(Complete(7));
+  for (EdgeId e = 0; e < b.edges.NumEdges(); ++e) {
+    const auto list = b.triangles.EdgeTriangles(e);
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      EXPECT_LT(list[i - 1].third, list[i].third);
+    }
+  }
+}
+
+TEST(TriangleIndex, GetTriangleIdAnyVertexOrder) {
+  const auto b = BuildAll(Complete(4));
+  const TriangleId t = b.triangles.GetTriangleId(b.g, b.edges, 0, 1, 2);
+  ASSERT_NE(t, kInvalidId);
+  EXPECT_EQ(b.triangles.GetTriangleId(b.g, b.edges, 2, 0, 1), t);
+  EXPECT_EQ(b.triangles.GetTriangleId(b.g, b.edges, 1, 2, 0), t);
+}
+
+TEST(TriangleIndex, GetTriangleIdMissing) {
+  const auto b = BuildAll(Cycle(5));
+  EXPECT_EQ(b.triangles.GetTriangleId(b.g, b.edges, 0, 1, 2), kInvalidId);
+}
+
+TEST(TriangleIndex, K4EnumerationOnK5) {
+  const auto b = BuildAll(Complete(5));
+  EXPECT_EQ(b.triangles.NumTriangles(), 10);
+  // Every triangle of K5 is in exactly 2 K4s.
+  for (TriangleId t = 0; t < 10; ++t) {
+    EXPECT_EQ(b.triangles.TriangleSupport(t), 2);
+  }
+  EXPECT_EQ(b.triangles.CountK4s(), 5);
+}
+
+TEST(TriangleIndex, K4MembersAreTheFourTriangles) {
+  const auto b = BuildAll(Complete(4));
+  // K4 has 4 triangles, each contained in exactly one K4.
+  ASSERT_EQ(b.triangles.NumTriangles(), 4);
+  for (TriangleId t = 0; t < 4; ++t) {
+    std::set<TriangleId> members{t};
+    b.triangles.ForEachK4(
+        t, [&](VertexId x, TriangleId a, TriangleId b2, TriangleId c) {
+          EXPECT_GE(x, 0);
+          members.insert(a);
+          members.insert(b2);
+          members.insert(c);
+        });
+    EXPECT_EQ(members.size(), 4u);  // all four triangles of the K4
+  }
+}
+
+TEST(TriangleIndex, CountK4sMatchesGenericCliqueCounter) {
+  for (std::uint64_t seed : {3u, 5u, 8u}) {
+    const Graph g = ErdosRenyiGnp(35, 0.3, seed);
+    const auto b = BuildAll(g);
+    EXPECT_EQ(b.triangles.CountK4s(), CountCliques(g, 4)) << "seed " << seed;
+  }
+}
+
+TEST(TriangleIndex, TriangleSupportMatchesCommonNeighborCount) {
+  const auto b = BuildAll(PlantedPartition(2, 12, 0.7, 0.1, 21));
+  for (TriangleId t = 0; t < b.triangles.NumTriangles(); ++t) {
+    const auto& [u, v, w] = b.triangles.Vertices(t);
+    std::int64_t common = 0;
+    for (VertexId x : b.g.Neighbors(u)) {
+      if (x != v && x != w && b.g.HasEdge(v, x) && b.g.HasEdge(w, x)) ++common;
+    }
+    EXPECT_EQ(b.triangles.TriangleSupport(t), common);
+  }
+}
+
+TEST(TriangleIndex, TriangleFreeGraph) {
+  const auto b = BuildAll(CompleteBipartite(5, 5));
+  EXPECT_EQ(b.triangles.NumTriangles(), 0);
+  for (EdgeId e = 0; e < b.edges.NumEdges(); ++e) {
+    EXPECT_EQ(b.triangles.EdgeSupport(e), 0);
+  }
+}
+
+TEST(TriangleIndex, EmptyGraph) {
+  const auto b = BuildAll(Graph());
+  EXPECT_EQ(b.triangles.NumTriangles(), 0);
+  EXPECT_EQ(b.triangles.CountK4s(), 0);
+}
+
+}  // namespace
+}  // namespace nucleus

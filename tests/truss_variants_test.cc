@@ -1,0 +1,141 @@
+#include "nucleus/core/truss_variants.h"
+
+#include <gtest/gtest.h>
+
+#include "nucleus/core/peeling.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+struct TrussFixture {
+  Graph g;
+  EdgeIndex edges;
+  PeelResult peel;
+};
+
+TrussFixture Make(Graph graph) {
+  TrussFixture s{std::move(graph), {}, {}};
+  s.edges = EdgeIndex::Build(s.g);
+  s.peel = Peel(EdgeSpace(s.g, s.edges));
+  return s;
+}
+
+TEST(TrussVariants, Figure3BowTieDiscriminatesAllThreeSemantics) {
+  // The paper's Figure 3 situation at support threshold k=1: two triangles
+  // share a vertex. k-dense: one edge set. k-truss (vertex-connected): one
+  // component. k-truss community (triangle-connected): two.
+  const TrussFixture s = Make(testing_util::BowTieGraph());
+  const auto dense = KDenseEdges(s.peel.lambda, 1);
+  EXPECT_EQ(dense.size(), 6u);  // all edges have trussness 1
+  const auto trusses = KTrussComponents(s.g, s.edges, s.peel.lambda, 1);
+  ASSERT_EQ(trusses.size(), 1u);
+  EXPECT_EQ(trusses[0].size(), 6u);
+  const auto communities = KTrussCommunities(s.g, s.edges, s.peel.lambda, 1);
+  ASSERT_EQ(communities.size(), 2u);
+  EXPECT_EQ(communities[0].size(), 3u);
+  EXPECT_EQ(communities[1].size(), 3u);
+}
+
+TEST(TrussVariants, DisjointTrianglesSplitEverywhere) {
+  const TrussFixture s = Make(DisjointUnion({Complete(3), Complete(3)}));
+  EXPECT_EQ(KDenseEdges(s.peel.lambda, 1).size(), 6u);
+  EXPECT_EQ(KTrussComponents(s.g, s.edges, s.peel.lambda, 1).size(), 2u);
+  EXPECT_EQ(KTrussCommunities(s.g, s.edges, s.peel.lambda, 1).size(), 2u);
+}
+
+TEST(TrussVariants, ThresholdFiltersByTrussness) {
+  // K5 with a pendant triangle glued on an edge: K5 edges have trussness 3,
+  // the two pendant edges 1.
+  GraphBuilder b;
+  for (VertexId u = 0; u < 5; ++u)
+    for (VertexId v = u + 1; v < 5; ++v) b.AddEdge(u, v);
+  b.AddEdge(0, 5);
+  b.AddEdge(1, 5);
+  const TrussFixture s = Make(b.Build());
+  EXPECT_EQ(KDenseEdges(s.peel.lambda, 1).size(), 12u);
+  EXPECT_EQ(KDenseEdges(s.peel.lambda, 2).size(), 10u);  // K5 only
+  EXPECT_EQ(KDenseEdges(s.peel.lambda, 3).size(), 10u);
+  EXPECT_TRUE(KDenseEdges(s.peel.lambda, 4).empty());
+}
+
+TEST(TrussVariants, CommunitiesMatchNaiveNucleiAtEveryLevel) {
+  // KTrussCommunities at level k must equal the union of naive k-(2,3)
+  // nuclei... precisely: the triangle-connected components of the
+  // lambda >= k edge set, which is what Corollary 2 traverses.
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const TrussFixture s = Make(ErdosRenyiGnp(40, 0.25, seed));
+    const EdgeSpace space(s.g, s.edges);
+    for (Lambda k = 1; k <= s.peel.max_lambda; ++k) {
+      const auto communities =
+          KTrussCommunities(s.g, s.edges, s.peel.lambda, k);
+      // Reference: per-k DSF from the test utilities, but keeping ALL
+      // components (not only those with a lambda == k member), since the
+      // k-truss query semantics include deeper-nested communities.
+      DisjointSet dsf(s.edges.NumEdges());
+      std::vector<char> alive(s.edges.NumEdges(), 0);
+      for (EdgeId e = 0; e < s.edges.NumEdges(); ++e) {
+        if (s.peel.lambda[e] < k) continue;
+        alive[e] = 1;
+        space.ForEachSuperclique(e, [&](const CliqueId* members, int count) {
+          for (int i = 0; i < count; ++i) {
+            if (s.peel.lambda[members[i]] < k) return;
+          }
+          for (int i = 1; i < count; ++i) dsf.Union(members[0], members[i]);
+        });
+      }
+      std::set<std::int32_t> reps;
+      std::int64_t alive_count = 0;
+      for (EdgeId e = 0; e < s.edges.NumEdges(); ++e) {
+        if (alive[e]) {
+          reps.insert(dsf.Find(e));
+          ++alive_count;
+        }
+      }
+      EXPECT_EQ(static_cast<std::int64_t>(communities.size()),
+                static_cast<std::int64_t>(reps.size()))
+          << "k=" << k;
+      std::int64_t total = 0;
+      for (const auto& c : communities) {
+        total += static_cast<std::int64_t>(c.size());
+      }
+      EXPECT_EQ(total, alive_count) << "k=" << k;
+    }
+  }
+}
+
+TEST(TrussVariants, VertexConnectedCoarserThanTriangleConnected) {
+  // Every triangle-connected community is contained in exactly one
+  // vertex-connected truss component: the community count is >= and the
+  // partition refines.
+  const TrussFixture s = Make(WithTriadicClosure(BarabasiAlbert(40, 3, 21), 60, 22));
+  for (Lambda k = 1; k <= s.peel.max_lambda; ++k) {
+    const auto trusses = KTrussComponents(s.g, s.edges, s.peel.lambda, k);
+    const auto communities =
+        KTrussCommunities(s.g, s.edges, s.peel.lambda, k);
+    EXPECT_GE(communities.size(), trusses.size()) << "k=" << k;
+    // Map each edge to its truss component; every community must land in
+    // a single component.
+    std::vector<std::int32_t> truss_of(s.edges.NumEdges(), -1);
+    for (std::size_t i = 0; i < trusses.size(); ++i) {
+      for (EdgeId e : trusses[i]) {
+        truss_of[e] = static_cast<std::int32_t>(i);
+      }
+    }
+    for (const auto& community : communities) {
+      for (EdgeId e : community) {
+        EXPECT_EQ(truss_of[e], truss_of[community.front()]);
+      }
+    }
+  }
+}
+
+TEST(TrussVariants, NoTrianglesMeansEmptyEverything) {
+  const TrussFixture s = Make(CompleteBipartite(4, 4));
+  EXPECT_TRUE(KDenseEdges(s.peel.lambda, 1).empty());
+  EXPECT_TRUE(KTrussComponents(s.g, s.edges, s.peel.lambda, 1).empty());
+  EXPECT_TRUE(KTrussCommunities(s.g, s.edges, s.peel.lambda, 1).empty());
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,165 @@
+#include "nucleus/variants/vertex_hierarchy.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/core/df_traversal.h"
+#include "nucleus/core/peeling.h"
+#include "nucleus/core/spaces.h"
+#include "nucleus/graph/generators.h"
+#include "nucleus/util/rng.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+// Brute-force: for every distinct positive label t, the connected
+// components of the subgraph induced on {v : label(v) >= t}, deduplicated
+// across thresholds, as canonical sorted member sets.
+std::set<std::vector<VertexId>> ReferenceCores(
+    const Graph& g, const std::vector<std::int64_t>& labels) {
+  std::set<std::vector<VertexId>> cores;
+  std::set<std::int64_t> thresholds;
+  for (std::int64_t l : labels) {
+    if (l > 0) thresholds.insert(l);
+  }
+  for (std::int64_t t : thresholds) {
+    std::vector<char> in(g.NumVertices(), 0);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) in[v] = labels[v] >= t;
+    std::vector<char> seen(g.NumVertices(), 0);
+    for (VertexId s = 0; s < g.NumVertices(); ++s) {
+      if (!in[s] || seen[s]) continue;
+      std::vector<VertexId> component;
+      std::vector<VertexId> stack = {s};
+      seen[s] = 1;
+      while (!stack.empty()) {
+        const VertexId v = stack.back();
+        stack.pop_back();
+        component.push_back(v);
+        for (VertexId u : g.Neighbors(v)) {
+          if (in[u] && !seen[u]) {
+            seen[u] = 1;
+            stack.push_back(u);
+          }
+        }
+      }
+      std::sort(component.begin(), component.end());
+      cores.insert(std::move(component));
+    }
+  }
+  return cores;
+}
+
+// Cores extracted from the labeled hierarchy, deduplicated the same way.
+std::set<std::vector<VertexId>> HierarchyCores(const Graph& g,
+                                               const LabeledSkeleton& ls) {
+  const NucleusHierarchy tree = LabeledHierarchyTree(g, ls);
+  std::set<std::vector<VertexId>> cores;
+  for (std::int32_t id = 0; id < tree.NumNodes(); ++id) {
+    if (tree.node(id).lambda < 1) continue;
+    cores.insert(tree.MembersOfSubtree(id));
+  }
+  return cores;
+}
+
+TEST(VertexHierarchy, KCoreLabelsReproduceDfTraversal) {
+  for (const auto& c : testing_util::GraphZoo()) {
+    SCOPED_TRACE(c.name);
+    const Graph g = c.make();
+    const VertexSpace space(g);
+    const PeelResult peel = Peel(space);
+    std::vector<std::int64_t> labels(peel.lambda.begin(), peel.lambda.end());
+
+    const LabeledSkeleton ls = BuildVertexHierarchy(g, labels);
+    const SkeletonBuild dft = DfTraversal(space, peel);
+    EXPECT_EQ(ls.build.num_subnuclei, dft.num_subnuclei);
+    // The labeled tree's k values are dense ranks; translate back to the
+    // original lambda thresholds before comparing against DFT.
+    std::vector<Nucleus> labeled =
+        testing_util::NucleiFromHierarchy(LabeledHierarchyTree(g, ls));
+    for (Nucleus& nucleus : labeled) {
+      nucleus.k = static_cast<Lambda>(ls.distinct_labels[nucleus.k - 1]);
+    }
+    EXPECT_TRUE(testing_util::NucleiEqual(
+        testing_util::Canonicalize(std::move(labeled)),
+        testing_util::NucleiFromHierarchy(
+            NucleusHierarchy::FromSkeleton(dft, g.NumVertices()))));
+  }
+}
+
+TEST(VertexHierarchy, ArbitraryLabelsMatchThresholdComponents) {
+  // Labels unrelated to any degeneracy: vertex id modulo patterns, large
+  // gaps, duplicated extremes — the builder must still produce exactly the
+  // threshold components.
+  for (const auto& c : testing_util::GraphZoo()) {
+    SCOPED_TRACE(c.name);
+    const Graph g = c.make();
+    std::vector<std::int64_t> labels(g.NumVertices());
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      labels[v] = (v % 5) * 1000 + (v % 3);  // sparse, gappy label space
+    }
+    const LabeledSkeleton ls = BuildVertexHierarchy(g, labels);
+    EXPECT_EQ(HierarchyCores(g, ls), ReferenceCores(g, labels));
+  }
+}
+
+TEST(VertexHierarchy, NegativeAndZeroLabelsShareRankZero) {
+  // Path: (-7) - 0 - 5 - 5. Only the 5-5 component is a core.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  const Graph g = b.Build();
+  const LabeledSkeleton ls = BuildVertexHierarchy(g, {-7, 0, 5, 5});
+  const auto cores = HierarchyCores(g, ls);
+  EXPECT_EQ(cores, (std::set<std::vector<VertexId>>{{2, 3}}));
+  // Distinct labels exclude non-positive values.
+  EXPECT_EQ(ls.distinct_labels, (std::vector<std::int64_t>{5}));
+}
+
+TEST(VertexHierarchy, Int64LabelsBeyondInt32Work) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  const Graph g = b.Build();
+  const std::int64_t big = std::int64_t{1} << 40;
+  const LabeledSkeleton ls = BuildVertexHierarchy(g, {big, big, big / 2});
+  const auto cores = HierarchyCores(g, ls);
+  EXPECT_EQ(cores,
+            (std::set<std::vector<VertexId>>{{0, 1}, {0, 1, 2}}));
+  // Node labels preserve the original 64-bit values.
+  EXPECT_NE(std::find(ls.node_label.begin(), ls.node_label.end(), big),
+            ls.node_label.end());
+}
+
+TEST(VertexHierarchy, UniformLabelsGiveOneNodePerComponent) {
+  const Graph g = DisjointUnion({Complete(4), Cycle(5), Path(3)});
+  std::vector<std::int64_t> labels(g.NumVertices(), 9);
+  const LabeledSkeleton ls = BuildVertexHierarchy(g, labels);
+  EXPECT_EQ(ls.build.num_subnuclei, 3);
+  EXPECT_EQ(HierarchyCores(g, ls).size(), 3u);
+}
+
+TEST(VertexHierarchy, EmptyGraph) {
+  const LabeledSkeleton ls = BuildVertexHierarchy(Graph(), {});
+  EXPECT_EQ(ls.build.num_subnuclei, 0);
+  EXPECT_TRUE(ls.distinct_labels.empty());
+}
+
+TEST(VertexHierarchy, RandomLabelSweepsMatchReference) {
+  for (std::uint64_t seed : {3u, 11u, 29u}) {
+    const Graph g = ErdosRenyiGnp(40, 0.15, seed);
+    Rng rng(seed * 7 + 1);
+    std::vector<std::int64_t> labels(g.NumVertices());
+    for (auto& l : labels) l = rng.UniformInt(-2, 6);
+    SCOPED_TRACE(seed);
+    const LabeledSkeleton ls = BuildVertexHierarchy(g, labels);
+    EXPECT_EQ(HierarchyCores(g, ls), ReferenceCores(g, labels));
+  }
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -1,0 +1,90 @@
+#include "nucleus/core/views.h"
+
+#include <gtest/gtest.h>
+
+#include "nucleus/core/peeling.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+TEST(KCoreVertices, FiltersByCoreNumber) {
+  const Graph g = Lollipop(5, 4);  // K5 (lambda 4) + path (lambda 1)
+  const PeelResult peel = Peel(VertexSpace(g));
+  EXPECT_EQ(KCoreVertices(peel.lambda, 1).size(), 9u);
+  EXPECT_EQ(KCoreVertices(peel.lambda, 2).size(), 5u);
+  EXPECT_EQ(KCoreVertices(peel.lambda, 4).size(), 5u);
+  EXPECT_TRUE(KCoreVertices(peel.lambda, 5).empty());
+}
+
+TEST(KCoreSubgraph, ExtractsDenseCore) {
+  const Graph g = Lollipop(6, 10);
+  const PeelResult peel = Peel(VertexSpace(g));
+  std::vector<VertexId> map;
+  const Graph core = KCoreSubgraph(g, peel.lambda, 2, &map);
+  EXPECT_EQ(core.NumVertices(), 6);
+  EXPECT_EQ(core.NumEdges(), 15);  // the K6
+  EXPECT_EQ(map[0], 0);
+  EXPECT_EQ(map[10], kInvalidId);  // path vertex excluded
+}
+
+TEST(KCoreSubgraph, MinDegreeProperty) {
+  // Definitional: the k-core subgraph has min degree >= k.
+  for (std::uint64_t seed : {5u, 6u, 7u}) {
+    const Graph g = ErdosRenyiGnp(60, 0.12, seed);
+    const PeelResult peel = Peel(VertexSpace(g));
+    for (Lambda k = 1; k <= peel.max_lambda; ++k) {
+      const Graph core = KCoreSubgraph(g, peel.lambda, k);
+      for (VertexId v = 0; v < core.NumVertices(); ++v) {
+        EXPECT_GE(core.Degree(v), k) << "k=" << k;
+      }
+    }
+  }
+}
+
+TEST(EdgeDensity, KnownValues) {
+  EXPECT_DOUBLE_EQ(EdgeDensity(Complete(6)), 1.0);
+  EXPECT_DOUBLE_EQ(EdgeDensity(Graph()), 0.0);
+  EXPECT_DOUBLE_EQ(EdgeDensity(Path(1)), 0.0);
+  EXPECT_DOUBLE_EQ(EdgeDensity(Path(2)), 1.0);
+  EXPECT_NEAR(EdgeDensity(Cycle(10)), 10.0 * 2 / (10 * 9), 1e-12);
+}
+
+TEST(ReportNucleus, CliqueReportsFullDensity) {
+  DecomposeOptions options;
+  options.family = Family::kTruss23;
+  const Graph g = DisjointUnion({Complete(5), Path(4)});
+  const DecompositionResult result = Decompose(g, options);
+  const auto top = TopNucleusNodes(result.hierarchy, 1);
+  ASSERT_EQ(top.size(), 1u);
+  const NucleusReport report =
+      ReportNucleus(g, Family::kTruss23, result.hierarchy, top[0]);
+  EXPECT_EQ(report.k, 3);
+  EXPECT_EQ(report.num_members, 10);  // K5 edges
+  EXPECT_EQ(report.num_vertices, 5);
+  EXPECT_DOUBLE_EQ(report.density, 1.0);
+}
+
+TEST(TopNucleusNodes, OrderedByLambdaThenSize) {
+  DecomposeOptions options;
+  options.family = Family::kCore12;
+  const Graph g = DisjointUnion({Complete(6), Complete(4), Complete(4), Cycle(8)});
+  const DecompositionResult result = Decompose(g, options);
+  const auto top = TopNucleusNodes(result.hierarchy, 10);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(result.hierarchy.node(top[0]).lambda, 5);
+  EXPECT_EQ(result.hierarchy.node(top[1]).lambda, 3);
+  EXPECT_EQ(result.hierarchy.node(top[2]).lambda, 3);
+  EXPECT_EQ(result.hierarchy.node(top[3]).lambda, 2);
+}
+
+TEST(TopNucleusNodes, CountTruncates) {
+  DecomposeOptions options;
+  const Graph g = DisjointUnion({Complete(4), Complete(4), Complete(4)});
+  const DecompositionResult result = Decompose(g, options);
+  EXPECT_EQ(TopNucleusNodes(result.hierarchy, 2).size(), 2u);
+  EXPECT_EQ(TopNucleusNodes(result.hierarchy, 0).size(), 0u);
+}
+
+}  // namespace
+}  // namespace nucleus

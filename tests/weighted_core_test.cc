@@ -1,0 +1,226 @@
+#include "nucleus/variants/weighted_core.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/core/peeling.h"
+#include "nucleus/core/spaces.h"
+#include "nucleus/graph/generators.h"
+#include "nucleus/util/rng.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+// Reference weighted core numbers straight from the definition: lambda_w(v)
+// is the largest t such that v survives iterated pruning of vertices with
+// weighted degree < t, where t ranges over all achievable values.
+std::vector<std::int64_t> ReferenceWeightedCores(const WeightedGraph& wg) {
+  const VertexId n = wg.NumVertices();
+  std::vector<std::int64_t> lambda(n, 0);
+  // Candidate thresholds: all initial weighted degrees (the min weighted
+  // degree at any peel step is one of these or smaller... to be safe use
+  // every value from 1 to max initial degree achievable via subsets; for
+  // test sizes we iterate over the sorted set of all pruning-fixpoint
+  // minimums instead: prune with increasing t until everything dies).
+  std::vector<char> alive(n, 1);
+  std::int64_t t = 1;
+  std::int64_t alive_count = n;
+  while (alive_count > 0) {
+    // Prune to the t-fixpoint.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (VertexId v = 0; v < n; ++v) {
+        if (!alive[v]) continue;
+        std::int64_t wdeg = 0;
+        const auto neighbors = wg.graph().Neighbors(v);
+        const auto weights = wg.WeightsOf(v);
+        for (std::size_t i = 0; i < neighbors.size(); ++i) {
+          if (alive[neighbors[i]]) wdeg += weights[i];
+        }
+        if (wdeg < t) {
+          alive[v] = 0;
+          --alive_count;
+          lambda[v] = t - 1;
+          changed = true;
+        }
+      }
+    }
+    ++t;
+  }
+  return lambda;
+}
+
+WeightedGraph RandomWeighted(VertexId n, double p, std::uint64_t seed,
+                             std::int64_t max_weight) {
+  const Graph g = ErdosRenyiGnp(n, p, seed);
+  Rng rng(seed + 1000);
+  std::vector<WeightedEdge> edges;
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    edges.push_back({u, v, rng.UniformInt(1, max_weight)});
+  });
+  return WeightedGraph::FromEdges(n, std::move(edges));
+}
+
+TEST(WeightedGraph, FromEdgesSortsAndAligns) {
+  WeightedGraph wg = WeightedGraph::FromEdges(
+      4, {{2, 0, 5}, {0, 1, 2}, {3, 0, 7}});
+  EXPECT_EQ(wg.NumEdges(), 3);
+  const auto n0 = wg.graph().Neighbors(0);
+  const auto w0 = wg.WeightsOf(0);
+  ASSERT_EQ(n0.size(), 3u);
+  EXPECT_EQ(n0[0], 1);
+  EXPECT_EQ(w0[0], 2);
+  EXPECT_EQ(n0[1], 2);
+  EXPECT_EQ(w0[1], 5);
+  EXPECT_EQ(n0[2], 3);
+  EXPECT_EQ(w0[2], 7);
+  EXPECT_EQ(wg.WeightedDegree(0), 14);
+}
+
+TEST(WeightedGraph, DuplicateEdgesSumWeights) {
+  WeightedGraph wg =
+      WeightedGraph::FromEdges(2, {{0, 1, 3}, {1, 0, 4}, {0, 1, 1}});
+  EXPECT_EQ(wg.NumEdges(), 1);
+  EXPECT_EQ(wg.WeightedDegree(0), 8);
+  EXPECT_EQ(wg.WeightedDegree(1), 8);
+}
+
+TEST(WeightedCore, UnitWeightsEqualPlainKCore) {
+  for (const auto& c : testing_util::GraphZoo()) {
+    SCOPED_TRACE(c.name);
+    const Graph g = c.make();
+    const WeightedGraph wg = WeightedGraph::UniformWeights(g, 1);
+    const WeightedCoreResult got = WeightedCoreNumbers(wg);
+    const PeelResult want = Peel(VertexSpace(g));
+    ASSERT_EQ(got.lambda.size(), want.lambda.size());
+    for (std::size_t v = 0; v < want.lambda.size(); ++v) {
+      EXPECT_EQ(got.lambda[v], want.lambda[v]) << "vertex " << v;
+    }
+    EXPECT_EQ(got.max_lambda, want.max_lambda);
+  }
+}
+
+TEST(WeightedCore, UniformWeightWScalesPlainKCore) {
+  // With every weight w, the weighted degree is w * degree, so
+  // lambda_w(v) lies in [w * (lambda(v) - 1) + 1, w * lambda(v)]; for the
+  // peel's running max it is exactly w * lambda(v) on these graphs where
+  // the peel removes a minimum vertex whose plain degree certifies it.
+  const Graph g = Complete(6);
+  const WeightedGraph wg = WeightedGraph::UniformWeights(g, 10);
+  const WeightedCoreResult got = WeightedCoreNumbers(wg);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(got.lambda[v], 50);
+}
+
+TEST(WeightedCore, MatchesReferenceOnRandomWeightedGraphs) {
+  for (std::uint64_t seed : {1u, 5u, 9u, 13u}) {
+    SCOPED_TRACE(seed);
+    const WeightedGraph wg = RandomWeighted(30, 0.2, seed, 5);
+    const WeightedCoreResult got = WeightedCoreNumbers(wg);
+    const std::vector<std::int64_t> want = ReferenceWeightedCores(wg);
+    EXPECT_EQ(got.lambda, want);
+  }
+}
+
+TEST(WeightedCore, HeavyEdgeDominatesDegree) {
+  // Star with one heavy spoke: hub weighted degree 100 + 3, leaves 1 or
+  // 100. The {hub, heavy-leaf} pair supports min weighted degree 100.
+  WeightedGraph wg = WeightedGraph::FromEdges(
+      5, {{0, 1, 100}, {0, 2, 1}, {0, 3, 1}, {0, 4, 1}});
+  const WeightedCoreResult got = WeightedCoreNumbers(wg);
+  EXPECT_EQ(got.lambda[0], 100);
+  EXPECT_EQ(got.lambda[1], 100);
+  EXPECT_EQ(got.lambda[2], 1);
+  EXPECT_EQ(got.max_lambda, 100);
+}
+
+TEST(WeightedCore, MonotoneUnderWeightIncrease) {
+  // Raising one edge's weight never lowers any lambda_w.
+  const WeightedGraph base = RandomWeighted(25, 0.25, 21, 4);
+  const WeightedCoreResult before = WeightedCoreNumbers(base);
+
+  std::vector<WeightedEdge> edges;
+  base.graph().ForEachEdge([&](VertexId u, VertexId v) {
+    // Find the weight via the aligned span.
+    const auto neighbors = base.graph().Neighbors(u);
+    const auto weights = base.WeightsOf(u);
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      if (neighbors[i] == v) {
+        edges.push_back({u, v, weights[i]});
+        break;
+      }
+    }
+  });
+  ASSERT_FALSE(edges.empty());
+  edges[edges.size() / 2].weight += 10;
+  const WeightedGraph bumped =
+      WeightedGraph::FromEdges(base.NumVertices(), std::move(edges));
+  const WeightedCoreResult after = WeightedCoreNumbers(bumped);
+  for (std::size_t v = 0; v < before.lambda.size(); ++v) {
+    EXPECT_GE(after.lambda[v], before.lambda[v]) << "vertex " << v;
+  }
+}
+
+TEST(WeightedCore, HierarchyMatchesThresholdComponents) {
+  for (std::uint64_t seed : {2u, 8u}) {
+    SCOPED_TRACE(seed);
+    const WeightedGraph wg = RandomWeighted(30, 0.2, seed, 6);
+    const WeightedCoreDecomposition d = DecomposeWeightedCore(wg);
+
+    // Every hierarchy core must be a connected component of a lambda
+    // threshold subgraph and vice versa.
+    std::set<std::vector<VertexId>> from_tree;
+    const NucleusHierarchy tree = LabeledHierarchyTree(wg.graph(), d.skeleton);
+    for (std::int32_t id = 0; id < tree.NumNodes(); ++id) {
+      if (tree.node(id).lambda < 1) continue;
+      from_tree.insert(tree.MembersOfSubtree(id));
+    }
+    std::set<std::vector<VertexId>> reference;
+    std::set<std::int64_t> thresholds(d.core.lambda.begin(),
+                                      d.core.lambda.end());
+    for (std::int64_t t : thresholds) {
+      if (t <= 0) continue;
+      std::vector<char> in(wg.NumVertices());
+      for (VertexId v = 0; v < wg.NumVertices(); ++v) {
+        in[v] = d.core.lambda[v] >= t;
+      }
+      std::vector<char> seen(wg.NumVertices(), 0);
+      for (VertexId s = 0; s < wg.NumVertices(); ++s) {
+        if (!in[s] || seen[s]) continue;
+        std::vector<VertexId> comp{s};
+        std::vector<VertexId> stack{s};
+        seen[s] = 1;
+        while (!stack.empty()) {
+          const VertexId x = stack.back();
+          stack.pop_back();
+          for (VertexId u : wg.graph().Neighbors(x)) {
+            if (in[u] && !seen[u]) {
+              seen[u] = 1;
+              comp.push_back(u);
+              stack.push_back(u);
+            }
+          }
+        }
+        std::sort(comp.begin(), comp.end());
+        reference.insert(std::move(comp));
+      }
+    }
+    EXPECT_EQ(from_tree, reference);
+  }
+}
+
+TEST(WeightedCore, EmptyAndIsolated) {
+  const WeightedGraph empty = WeightedGraph::FromEdges(0, {});
+  EXPECT_TRUE(WeightedCoreNumbers(empty).lambda.empty());
+  const WeightedGraph isolated = WeightedGraph::FromEdges(3, {});
+  const WeightedCoreResult r = WeightedCoreNumbers(isolated);
+  EXPECT_EQ(r.lambda, (std::vector<std::int64_t>{0, 0, 0}));
+  EXPECT_EQ(r.max_lambda, 0);
+}
+
+}  // namespace
+}  // namespace nucleus

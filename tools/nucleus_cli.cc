@@ -1,0 +1,12 @@
+// Command-line interface to the nucleus-hierarchy library. All logic lives
+// in src/nucleus/cli/cli.cc so the test suite exercises it directly.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "nucleus/cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return nucleus::RunCli(args, std::cout, std::cerr);
+}
