@@ -5,6 +5,7 @@
 
 #include "nucleus/dsf/disjoint_set.h"
 #include "nucleus/em/pair_file.h"
+#include "nucleus/util/scratch.h"
 
 namespace nucleus {
 namespace {
@@ -90,8 +91,13 @@ StatusOr<SemiExternalResult> SemiExternalCoreDecomposition(
   // One edge scan: equal-lambda endpoints are unioned (components become
   // the maximal sub-cores T_{1,2}); lambda-crossing edges spill to disk as
   // (higher-lambda vertex, lower-lambda vertex) ADJ pairs.
-  const std::string spill_path = temp_dir + "/em_adj.pairs";
-  const std::string sorted_path = temp_dir + "/em_adj_sorted.pairs";
+  const std::string spill_path = UniqueScratchPath(temp_dir, "em_adj", ".pairs");
+  const std::string sorted_path =
+      UniqueScratchPath(temp_dir, "em_adj_sorted", ".pairs");
+  // Declared before the PairFiles so the scratch files are closed before
+  // they are removed, on success and on every early-error return.
+  ScratchFileRemover spill_cleanup(spill_path);
+  ScratchFileRemover sorted_cleanup(sorted_path);
   auto spill_or = PairFile::Create(spill_path);
   if (!spill_or.ok()) return spill_or.status();
   PairFile spill = std::move(*spill_or);
@@ -164,8 +170,6 @@ StatusOr<SemiExternalResult> SemiExternalCoreDecomposition(
   result.io.Add(graph.stats());
   result.io.Add(spill.stats());
   result.io.Add(sorted.stats());
-  std::remove(spill_path.c_str());
-  std::remove(sorted_path.c_str());
   return result;
 }
 

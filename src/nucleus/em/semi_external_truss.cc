@@ -5,6 +5,7 @@
 
 #include "nucleus/dsf/disjoint_set.h"
 #include "nucleus/em/pair_file.h"
+#include "nucleus/util/scratch.h"
 
 namespace nucleus {
 namespace {
@@ -161,8 +162,14 @@ StatusOr<SemiExternalTrussResult> SemiExternalTrussDecomposition(
   // every triangle (strong triangle connectivity, Definition 5); spill
   // (higher-lambda edge, min-edge) ADJ pairs for the binned build.
   const std::vector<Lambda>& lambda = result.peel.lambda;
-  const std::string spill_path = temp_dir + "/em_truss_adj.pairs";
-  const std::string sorted_path = temp_dir + "/em_truss_adj_sorted.pairs";
+  const std::string spill_path =
+      UniqueScratchPath(temp_dir, "em_truss_adj", ".pairs");
+  const std::string sorted_path =
+      UniqueScratchPath(temp_dir, "em_truss_adj_sorted", ".pairs");
+  // Declared before the PairFiles so the scratch files are closed before
+  // they are removed, on success and on every early-error return.
+  ScratchFileRemover spill_cleanup(spill_path);
+  ScratchFileRemover sorted_cleanup(sorted_path);
   auto spill_or = PairFile::Create(spill_path);
   if (!spill_or.ok()) return spill_or.status();
   PairFile spill = std::move(*spill_or);
@@ -242,8 +249,6 @@ StatusOr<SemiExternalTrussResult> SemiExternalTrussDecomposition(
   result.io.Add(graph.stats());
   result.io.Add(spill.stats());
   result.io.Add(sorted.stats());
-  std::remove(spill_path.c_str());
-  std::remove(sorted_path.c_str());
   return result;
 }
 

@@ -1,0 +1,35 @@
+#include "nucleus/util/scratch.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace nucleus {
+
+namespace {
+long ProcessId() {
+#ifdef _WIN32
+  return static_cast<long>(_getpid());
+#else
+  return static_cast<long>(getpid());
+#endif
+}
+}  // namespace
+
+ScratchFileRemover::~ScratchFileRemover() { std::remove(path_.c_str()); }
+
+std::string UniqueScratchPath(const std::string& dir, const std::string& stem,
+                              const std::string& suffix) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t seq = counter.fetch_add(1, std::memory_order_relaxed);
+  return dir + "/" + stem + "." + std::to_string(ProcessId()) + "." +
+         std::to_string(seq) + suffix;
+}
+
+}  // namespace nucleus

@@ -1,0 +1,34 @@
+// Unique scratch-file naming for disk-backed algorithms. Multiple processes
+// (e.g. parallel ctest invocations) and multiple in-process calls may share
+// one temp directory; fixed scratch names would silently corrupt each other.
+#ifndef NUCLEUS_UTIL_SCRATCH_H_
+#define NUCLEUS_UTIL_SCRATCH_H_
+
+#include <string>
+#include <utility>
+
+namespace nucleus {
+
+/// Returns `dir/stem.<pid>.<seq><suffix>` where <seq> is a process-wide
+/// atomic counter, so every call yields a path no other live call (in this
+/// process or another) is using. The file is not created.
+std::string UniqueScratchPath(const std::string& dir, const std::string& stem,
+                              const std::string& suffix);
+
+/// Removes `path` on destruction (best effort; a path that was never
+/// created is fine). Declare one before opening the scratch file so the
+/// removal runs after the file object has closed, on every exit path.
+class ScratchFileRemover {
+ public:
+  explicit ScratchFileRemover(std::string path) : path_(std::move(path)) {}
+  ~ScratchFileRemover();
+  ScratchFileRemover(const ScratchFileRemover&) = delete;
+  ScratchFileRemover& operator=(const ScratchFileRemover&) = delete;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_UTIL_SCRATCH_H_

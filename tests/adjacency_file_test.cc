@@ -15,9 +15,7 @@
 namespace nucleus {
 namespace {
 
-std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
-}
+using testing_util::TempPath;
 
 // Writes g, opens it with the given block size, and checks both scan
 // flavors reproduce the in-memory structure exactly.

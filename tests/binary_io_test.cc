@@ -14,9 +14,7 @@
 namespace nucleus {
 namespace {
 
-std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
-}
+using testing_util::TempPath;
 
 void ExpectSameGraph(const Graph& a, const Graph& b) {
   ASSERT_EQ(a.NumVertices(), b.NumVertices());

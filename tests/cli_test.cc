@@ -9,13 +9,12 @@
 
 #include "nucleus/graph/edge_list_io.h"
 #include "nucleus/graph/generators.h"
+#include "test_util.h"
 
 namespace nucleus {
 namespace {
 
-std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
-}
+using testing_util::TempPath;
 
 struct CliResult {
   int code;

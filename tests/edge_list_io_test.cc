@@ -7,13 +7,12 @@
 #include <gtest/gtest.h>
 
 #include "nucleus/graph/generators.h"
+#include "test_util.h"
 
 namespace nucleus {
 namespace {
 
-std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
-}
+using testing_util::TempPath;
 
 void WriteFile(const std::string& path, const std::string& content) {
   std::ofstream out(path);

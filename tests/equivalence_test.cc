@@ -78,6 +78,45 @@ TEST_P(EquivalenceTest, Nucleus34AllAlgorithmsAgree) {
   CheckAllAlgorithms(space, triangles.NumTriangles());
 }
 
+// Direct FND-vs-DFT comparison, independent of the naive baseline: both
+// hierarchy builders must agree on the peel numbers and produce identical
+// canonical nuclei on every zoo graph, in both the (2,3) truss and the
+// (3,4) nucleus space.
+template <typename Space>
+void CheckFndMatchesDftCanonically(const Space& space,
+                                   std::int64_t num_cliques) {
+  const PeelResult peel = Peel(space);
+  const SkeletonBuild dft = DfTraversal(space, peel);
+  NucleusHierarchy dft_h = NucleusHierarchy::FromSkeleton(dft, num_cliques);
+  dft_h.Validate(peel.lambda);
+
+  const FndResult fnd = FastNucleusDecomposition(space);
+  EXPECT_EQ(fnd.peel.max_lambda, peel.max_lambda);
+  NucleusHierarchy fnd_h =
+      NucleusHierarchy::FromSkeleton(fnd.build, num_cliques);
+  fnd_h.Validate(fnd.peel.lambda);
+
+  const auto from_dft = NucleiFromHierarchy(dft_h);
+  const auto from_fnd = NucleiFromHierarchy(fnd_h);
+  EXPECT_EQ(from_dft.size(), from_fnd.size());
+  EXPECT_TRUE(NucleiEqual(from_dft, from_fnd)) << "FND vs DFT";
+}
+
+TEST_P(EquivalenceTest, Truss23FndMatchesDftCanonically) {
+  const Graph g = GetParam().make();
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const EdgeSpace space(g, edges);
+  CheckFndMatchesDftCanonically(space, edges.NumEdges());
+}
+
+TEST_P(EquivalenceTest, Nucleus34FndMatchesDftCanonically) {
+  const Graph g = GetParam().make();
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const TriangleIndex triangles = TriangleIndex::Build(g, edges);
+  const TriangleSpace space(g, edges, triangles);
+  CheckFndMatchesDftCanonically(space, triangles.NumTriangles());
+}
+
 INSTANTIATE_TEST_SUITE_P(Zoo, EquivalenceTest,
                          ::testing::ValuesIn(GraphZoo()),
                          [](const ::testing::TestParamInfo<GraphCase>& info) {

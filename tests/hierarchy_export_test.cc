@@ -82,7 +82,7 @@ TEST(HierarchyToJson, MembersIncludedOnRequest) {
 }
 
 TEST(WriteStringToFile, RoundTrips) {
-  const std::string path = ::testing::TempDir() + "/export_test.txt";
+  const std::string path = testing_util::TempPath("export_test.txt");
   ASSERT_TRUE(WriteStringToFile("hello\nworld\n", path).ok());
   std::ifstream in(path);
   std::stringstream buffer;

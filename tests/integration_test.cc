@@ -27,9 +27,7 @@
 namespace nucleus {
 namespace {
 
-std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
-}
+using testing_util::TempPath;
 
 TEST(Integration, DiskPipelineAnswersSameQueriesAsInMemory) {
   // Graph -> binary file -> semi-external decomposition -> HierarchyIndex

@@ -8,15 +8,14 @@
 #include <gtest/gtest.h>
 
 #include "nucleus/util/rng.h"
+#include "test_util.h"
 
 namespace nucleus {
 namespace {
 
 using Pair = std::pair<std::int32_t, std::int32_t>;
 
-std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
-}
+using testing_util::TempPath;
 
 std::vector<Pair> Collect(PairFile& pf) {
   std::vector<Pair> out;

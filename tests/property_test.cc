@@ -157,5 +157,71 @@ TEST_P(PropertyTest, P8MaxLambdaNucleusIsAClique) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest, ::testing::Range(200, 216));
 
+// Structural invariant checked across the full GraphZoo() rather than the
+// random sweep, for the higher-order (2,3) and (3,4) spaces, against an
+// independent connectivity oracle (Validate alone cannot catch a wrong
+// comp assignment): for every level k, union K_r's through supercliques
+// whose members all have lambda >= k; then every hierarchy node at lambda k
+// must have its direct members inside one component, and two distinct
+// lambda-k nodes must occupy different components (maximality).
+class ZooPropertyTest : public ::testing::TestWithParam<testing_util::GraphCase> {};
+
+template <typename Space>
+void CheckNodesMatchLevelConnectivity(const Space& space,
+                                      std::int64_t num_cliques) {
+  const FndResult fnd = FastNucleusDecomposition(space);
+  const NucleusHierarchy h =
+      NucleusHierarchy::FromSkeleton(fnd.build, num_cliques);
+  h.Validate(fnd.peel.lambda);
+  const std::vector<Lambda>& lambda = fnd.peel.lambda;
+  for (Lambda k = 0; k <= fnd.peel.max_lambda; ++k) {
+    DisjointSet dsf(num_cliques);
+    for (CliqueId u = 0; u < num_cliques; ++u) {
+      if (lambda[u] < k) continue;
+      space.ForEachSuperclique(u, [&](const CliqueId* members, int count) {
+        for (int i = 0; i < count; ++i) {
+          if (lambda[members[i]] < k) return;
+        }
+        for (int i = 1; i < count; ++i) dsf.Union(members[0], members[i]);
+      });
+    }
+    std::map<std::int32_t, std::int32_t> node_of_component;
+    for (std::int32_t id = 0; id < h.NumNodes(); ++id) {
+      if (id == h.root() || h.node(id).lambda != k) continue;
+      const auto& members = h.node(id).members;
+      ASSERT_FALSE(members.empty());
+      const std::int32_t rep = dsf.Find(members[0]);
+      for (CliqueId u : members) {
+        EXPECT_EQ(dsf.Find(u), rep)
+            << "node " << id << " at k=" << k << " spans two components";
+      }
+      const auto [it, inserted] = node_of_component.emplace(rep, id);
+      EXPECT_TRUE(inserted) << "nodes " << it->second << " and " << id
+                            << " at k=" << k << " share a component";
+    }
+  }
+}
+
+TEST_P(ZooPropertyTest, Truss23NodesMatchLevelConnectivity) {
+  const Graph g = GetParam().make();
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const EdgeSpace space(g, edges);
+  CheckNodesMatchLevelConnectivity(space, edges.NumEdges());
+}
+
+TEST_P(ZooPropertyTest, Nucleus34NodesMatchLevelConnectivity) {
+  const Graph g = GetParam().make();
+  const EdgeIndex edges = EdgeIndex::Build(g);
+  const TriangleIndex triangles = TriangleIndex::Build(g, edges);
+  const TriangleSpace space(g, edges, triangles);
+  CheckNodesMatchLevelConnectivity(space, triangles.NumTriangles());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooPropertyTest, ::testing::ValuesIn(testing_util::GraphZoo()),
+    [](const ::testing::TestParamInfo<testing_util::GraphCase>& info) {
+      return info.param.name;
+    });
+
 }  // namespace
 }  // namespace nucleus

@@ -1,5 +1,6 @@
 #include "nucleus/em/semi_external_truss.h"
 
+#include <filesystem>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -17,9 +18,7 @@
 namespace nucleus {
 namespace {
 
-std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
-}
+using testing_util::TempPath;
 
 AdjacencyFile MustOpen(const Graph& g, std::size_t block_bytes = 1 << 16) {
   const std::string path = TempPath("set.nucgraph");
@@ -123,6 +122,18 @@ TEST(SemiExternalTruss, TinyBlocksGiveIdenticalResults) {
   ASSERT_TRUE(r_tiny.ok());
   EXPECT_EQ(r_big->peel.lambda, r_tiny->peel.lambda);
   EXPECT_EQ(r_big->build.num_subnuclei, r_tiny->build.num_subnuclei);
+}
+
+TEST(SemiExternalTruss, SpillFilesAreRemovedOnSuccess) {
+  // A dedicated scratch directory: whatever spill files the decomposition
+  // creates (their names are unique per call), all must be gone on success.
+  const std::string dir = TempPath("set_scratch");
+  std::filesystem::create_directory(dir);
+  AdjacencyFile file = MustOpen(testing_util::BowTieGraph());
+  auto em = SemiExternalTrussDecomposition(file, dir);
+  ASSERT_TRUE(em.ok());
+  EXPECT_TRUE(std::filesystem::is_empty(dir)) << "leftover scratch in " << dir;
+  std::filesystem::remove_all(dir);
 }
 
 TEST(SemiExternalTruss, UnwritableTempDirFails) {

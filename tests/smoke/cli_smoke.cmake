@@ -1,0 +1,61 @@
+# End-to-end smoke test for the nucleus_cli binary, run by ctest as
+# `cmake -DNUCLEUS_CLI=... -DWORK_DIR=... -P cli_smoke.cmake`.
+#
+# Pipeline exercised: generate a small ER graph -> decompose it as a k-core
+# and a k-truss hierarchy -> query the common k-core of two vertices ->
+# confirm a bad subcommand fails. Each step checks the exit code and the
+# shape of the output, not exact numbers.
+
+if(NOT DEFINED NUCLEUS_CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "cli_smoke.cmake requires -DNUCLEUS_CLI=<binary> -DWORK_DIR=<dir>")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(EDGES ${WORK_DIR}/smoke_edges.txt)
+
+function(run_cli expect_code out_var)
+  execute_process(
+    COMMAND ${NUCLEUS_CLI} ${ARGN}
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL ${expect_code})
+    message(FATAL_ERROR "nucleus_cli ${ARGN}: exit ${code}, expected ${expect_code}\nstdout:\n${stdout}\nstderr:\n${stderr}")
+  endif()
+  set(${out_var} "${stdout}" PARENT_SCOPE)
+endfunction()
+
+function(expect_match text pattern context)
+  if(NOT text MATCHES "${pattern}")
+    message(FATAL_ERROR "${context}: output did not match '${pattern}'\noutput:\n${text}")
+  endif()
+endfunction()
+
+# 1. Generate a tiny Erdős–Rényi edge list.
+run_cli(0 gen_out generate --type er --out ${EDGES} --n 40 --param 0.2 --seed 7)
+expect_match("${gen_out}" "wrote .*smoke_edges.txt: 40 vertices, [0-9]+ edges" "generate")
+if(NOT EXISTS ${EDGES})
+  message(FATAL_ERROR "generate did not write ${EDGES}")
+endif()
+
+# 2. Build the k-core hierarchy.
+run_cli(0 core_out decompose --input ${EDGES} --family core)
+expect_match("${core_out}" "family: \\(1,2\\) k-core, algorithm: FND" "decompose core")
+expect_match("${core_out}" "K_r count: 40, max lambda: [0-9]+, nuclei: [0-9]+, sub-nuclei: [0-9]+" "decompose core")
+expect_match("${core_out}" "hierarchy: depth [0-9]+, leaves [0-9]+" "decompose core")
+
+# 3. Build the k-truss hierarchy.
+run_cli(0 truss_out decompose --input ${EDGES} --family truss)
+expect_match("${truss_out}" "family: \\(2,3\\) k-truss, algorithm: FND" "decompose truss")
+expect_match("${truss_out}" "top nucleus k=[0-9]+: [0-9]+ K_r's" "decompose truss")
+
+# 4. Query the smallest common k-core of two vertices.
+run_cli(0 query_out query --input ${EDGES} --u 0 --v 2)
+expect_match("${query_out}" "lambda\\(0\\) = [0-9]+, lambda\\(2\\) = [0-9]+" "query")
+expect_match("${query_out}" "smallest common nucleus: k=[0-9]+ with [0-9]+ vertices" "query")
+
+# 5. Unknown subcommands must fail with a usage message on a nonzero exit.
+run_cli(2 bad_out badcmd)
+
+message(STATUS "cli smoke test passed")

@@ -14,6 +14,10 @@
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
 #include "nucleus/cliques/edge_index.h"
 #include "nucleus/cliques/triangle_index.h"
 #include "nucleus/core/hierarchy.h"
@@ -26,6 +30,14 @@
 
 namespace nucleus {
 namespace testing_util {
+
+// ---------------------------------------------------------------------------
+// TempDir()-based scratch path with a per-process prefix. Parallel ctest
+// runs several processes of one test binary against a single shared
+// TempDir(); the prefix keeps their files disjoint.
+inline std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
+}
 
 // ---------------------------------------------------------------------------
 // Reference lambda: iterated pruning per k, straight from the definition.
