@@ -1,14 +1,22 @@
 // Extension bench E3: level-synchronous parallel peeling (the paper's
 // future-work direction). For each dataset proxy, the serial bucket peel
 // (Alg. 1) is compared against the wave-parallel peel at several thread
-// counts, for (1,2) and (2,3). Outputs are asserted identical before
-// timing is reported.
+// counts, for (1,2) and (2,3). Each parallel run reuses one persistent
+// ThreadPool across all of its waves. Outputs are asserted identical
+// before timing is reported.
 //
-// NOTE: this reproduction machine exposes a single hardware core, so
-// multi-thread rows measure the algorithm's synchronization overhead, not
-// speedup; the interesting single-machine result is the threads=1 column —
-// the wave formulation's overhead over the bucket queue.
+// Flags:
+//   --threads a,b,c   thread counts for the wave columns (default 1,2,4;
+//                     0 = all hardware threads)
+//
+// NOTE: on a single-core machine, multi-thread rows measure the
+// algorithm's synchronization overhead, not speedup; the interesting
+// single-machine result is the threads=1 column — the wave formulation's
+// overhead over the bucket queue.
+#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "nucleus/bench/datasets.h"
 #include "nucleus/bench/table.h"
@@ -22,15 +30,16 @@ namespace {
 
 template <typename Space>
 void AddRows(const std::string& name, const Space& space,
-             TablePrinter* table) {
+             const std::vector<int>& thread_counts, TablePrinter* table) {
   Timer serial_timer;
   const PeelResult serial = Peel(space);
   const double serial_seconds = serial_timer.Seconds();
 
   std::vector<std::string> row = {name, FormatSeconds(serial_seconds)};
-  for (int threads : {1, 2, 4}) {
+  for (int threads : thread_counts) {
     Timer timer;
-    const PeelResult parallel = PeelParallel(space, threads);
+    const PeelResult parallel =
+        PeelParallel(space, ParallelConfig::WithThreads(threads));
     const double seconds = timer.Seconds();
     NUCLEUS_CHECK_MSG(parallel.lambda == serial.lambda,
                       "parallel lambda mismatch");
@@ -39,19 +48,56 @@ void AddRows(const std::string& name, const Space& space,
   table->AddRow(std::move(row));
 }
 
-void Run() {
+std::vector<int> ParseThreadList(int argc, char** argv) {
+  std::string list = "1,2,4";
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
+      list = argv[++i];
+    } else {
+      std::cerr << "usage: parallel_peel [--threads a,b,c]\n";
+      std::exit(2);
+    }
+  }
+  std::vector<int> threads;
+  for (std::size_t pos = 0; pos <= list.size();) {
+    const std::size_t comma = list.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    const std::string token = list.substr(pos, end - pos);
+    char* rest = nullptr;
+    const long value = std::strtol(token.c_str(), &rest, 10);
+    if (token.empty() || rest == nullptr || *rest != '\0' || value < 0 ||
+        value > 4096) {
+      std::cerr << "error: bad --threads entry '" << token
+                << "' (expected comma-separated counts, 0 = hardware)\n";
+      std::exit(2);
+    }
+    threads.push_back(static_cast<int>(value));
+    pos = end + 1;
+  }
+  return threads;
+}
+
+void Run(const std::vector<int>& thread_counts) {
   std::cout << "Extension E3: wave-parallel peeling vs serial bucket peel\n"
-            << "(single-core machine: multi-thread rows show sync overhead;"
-            << "\n outputs verified identical to Alg. 1 before reporting)\n\n";
-  TablePrinter table12(
-      {"graph (1,2)", "serial", "waves t=1", "waves t=2", "waves t=4"});
-  TablePrinter table23(
-      {"graph (2,3)", "serial", "waves t=1", "waves t=2", "waves t=4"});
+            << "(multi-thread rows on a single-core machine show sync "
+               "overhead;\n outputs verified identical to Alg. 1 before "
+               "reporting)\n\n";
+  std::vector<std::string> header12 = {"graph (1,2)", "serial"};
+  std::vector<std::string> header23 = {"graph (2,3)", "serial"};
+  for (int threads : thread_counts) {
+    const std::string column =
+        "waves t=" +
+        std::to_string(ParallelConfig::WithThreads(threads).ResolvedThreads());
+    header12.push_back(column);
+    header23.push_back(column);
+  }
+  TablePrinter table12(std::move(header12));
+  TablePrinter table23(std::move(header23));
   for (const DatasetSpec& spec : PaperDatasets()) {
     const Graph g = spec.make();
-    AddRows(spec.paper_name, VertexSpace(g), &table12);
+    AddRows(spec.paper_name, VertexSpace(g), thread_counts, &table12);
     const EdgeIndex edges = EdgeIndex::Build(g);
-    AddRows(spec.paper_name, EdgeSpace(g, edges), &table23);
+    AddRows(spec.paper_name, EdgeSpace(g, edges), thread_counts, &table23);
   }
   table12.Print(std::cout);
   std::cout << "\n";
@@ -64,7 +110,7 @@ void Run() {
 }  // namespace
 }  // namespace nucleus
 
-int main() {
-  nucleus::Run();
+int main(int argc, char** argv) {
+  nucleus::Run(nucleus::ParseThreadList(argc, argv));
   return 0;
 }

@@ -8,12 +8,14 @@
 
 namespace nucleus {
 
-BenchRun RunBench(const Graph& g, Family family, Algorithm algorithm) {
+BenchRun RunBench(const Graph& g, Family family, Algorithm algorithm,
+                  const ParallelConfig& parallel) {
   DecomposeOptions options;
   options.family = family;
   options.algorithm = algorithm;
   options.build_tree = false;
   options.collect_nuclei = false;
+  options.parallel = parallel;
   const DecompositionResult result = Decompose(g, options);
 
   BenchRun run;
@@ -29,8 +31,9 @@ BenchRun RunBench(const Graph& g, Family family, Algorithm algorithm) {
   return run;
 }
 
-double RunTotalSeconds(const Graph& g, Family family, Algorithm algorithm) {
-  return RunBench(g, family, algorithm).total_seconds;
+double RunTotalSeconds(const Graph& g, Family family, Algorithm algorithm,
+                       const ParallelConfig& parallel) {
+  return RunBench(g, family, algorithm, parallel).total_seconds;
 }
 
 namespace {

@@ -10,6 +10,7 @@
 
 #include "nucleus/core/decomposition.h"
 #include "nucleus/graph/graph.h"
+#include "nucleus/parallel/parallel_config.h"
 
 namespace nucleus {
 
@@ -28,10 +29,14 @@ struct BenchRun {
 };
 
 /// Runs `algorithm` on `g` for `family` and returns the timing split.
-BenchRun RunBench(const Graph& g, Family family, Algorithm algorithm);
+/// `parallel` threads the run (default serial, matching the paper's
+/// single-thread tables).
+BenchRun RunBench(const Graph& g, Family family, Algorithm algorithm,
+                  const ParallelConfig& parallel = {});
 
 /// Convenience: total seconds of a run.
-double RunTotalSeconds(const Graph& g, Family family, Algorithm algorithm);
+double RunTotalSeconds(const Graph& g, Family family, Algorithm algorithm,
+                       const ParallelConfig& parallel = {});
 
 /// Naive (Alg. 3) with a traversal deadline. When the deadline fires the
 /// returned time is a LOWER BOUND and `completed` is false — the bench

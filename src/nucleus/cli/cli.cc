@@ -1,5 +1,7 @@
 #include "nucleus/cli/cli.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <ostream>
@@ -53,6 +55,26 @@ std::string FlagOr(const ParsedArgs& parsed, const std::string& name,
   return it == parsed.flags.end() ? fallback : it->second;
 }
 
+/// --threads N: 1 = serial (default), 0 = all hardware threads. Rejects
+/// non-numeric or out-of-range input; ParallelConfig handles clamping of
+/// the rest.
+bool ParseThreads(const ParsedArgs& parsed, ParallelConfig* parallel,
+                  std::ostream& err) {
+  const std::string value = FlagOr(parsed, "threads", "1");
+  char* end = nullptr;
+  errno = 0;
+  const long threads = std::strtol(value.c_str(), &end, 10);
+  constexpr long kMaxThreads = 4096;
+  if (value.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+      threads > kMaxThreads || threads < -kMaxThreads) {
+    err << "error: --threads expects an integer in [-" << kMaxThreads << ", "
+        << kMaxThreads << "], got '" << value << "'\n";
+    return false;
+  }
+  parallel->num_threads = static_cast<int>(threads);
+  return true;
+}
+
 bool ParseFamily(const std::string& name, Family* family, std::ostream& err) {
   if (name == "core") {
     *family = Family::kCore12;
@@ -100,7 +122,8 @@ int CmdDecompose(const ParsedArgs& parsed, std::ostream& out,
   DecomposeOptions options;
   if (!ParseFamily(FlagOr(parsed, "family", "core"), &options.family, err) ||
       !ParseAlgorithm(FlagOr(parsed, "algorithm", "fnd"), &options.algorithm,
-                      err)) {
+                      err) ||
+      !ParseThreads(parsed, &options.parallel, err)) {
     return 2;
   }
   if (options.algorithm == Algorithm::kLcps &&
@@ -118,7 +141,8 @@ int CmdDecompose(const ParsedArgs& parsed, std::ostream& out,
   out << "graph: " << graph->NumVertices() << " vertices, "
       << graph->NumEdges() << " edges\n";
   out << "family: " << FamilyName(options.family)
-      << ", algorithm: " << AlgorithmName(options.algorithm) << "\n";
+      << ", algorithm: " << AlgorithmName(options.algorithm)
+      << ", threads: " << options.parallel.ResolvedThreads() << "\n";
   out << "K_r count: " << result.num_cliques
       << ", max lambda: " << result.peel.max_lambda
       << ", nuclei: " << result.hierarchy.NumNuclei()
@@ -377,8 +401,8 @@ void PrintUsage(std::ostream& err) {
   err << "usage: nucleus_cli <decompose | stats | generate | convert | "
          "semi-external | query> [--flag value]...\n"
       << "  decompose     --input F [--family core|truss|34] "
-         "[--algorithm fnd|dft|lcps] [--out-json F] [--out-dot F] "
-         "[--lambda F]\n"
+         "[--algorithm fnd|dft|lcps] [--threads N] [--out-json F] "
+         "[--out-dot F] [--lambda F]\n"
       << "  stats         --input F\n"
       << "  generate      --type er|ba|rmat|ws|planted|caveman --out F "
          "[--n N] [--param P] [--seed S]\n"

@@ -4,8 +4,11 @@
 //
 // Subcommands:
 //   decompose --input <edges.txt> [--family core|truss|34]
-//             [--algorithm fnd|dft|lcps|naive] [--out-json F] [--out-dot F]
+//             [--algorithm fnd|dft|lcps|naive] [--threads N]
+//             [--out-json F] [--out-dot F]
 //             [--lambda F]         write per-K_r lambda values to F
+//             --threads: 1 = serial (default), 0 = all hardware threads,
+//             N > 1 = wave-parallel peel + parallel FND hierarchy
 //   stats     --input <edges.txt>  structural statistics
 //   generate  --type <name> --out <edges.txt> [--n N] [--param P] [--seed S]
 //             types: er, ba, rmat, ws, planted, caveman

@@ -11,6 +11,8 @@
 #include "nucleus/core/lcps.h"
 #include "nucleus/core/naive_traversal.h"
 #include "nucleus/core/peeling.h"
+#include "nucleus/parallel/parallel_fnd.h"
+#include "nucleus/parallel/parallel_peel.h"
 #include "nucleus/util/timer.h"
 
 namespace nucleus {
@@ -54,9 +56,16 @@ DecompositionResult RunOnSpace(const Space& space,
   result.timings.index_seconds = index_seconds;
   Timer timer;
 
+  // Serial stays on Alg. 1's bucket queue; any other resolved thread count
+  // peels wave-parallel (bit-identical lambda either way).
+  const bool threaded = options.parallel.ResolvedThreads() > 1;
+  const auto peel = [&] {
+    return threaded ? PeelParallel(space, options.parallel) : Peel(space);
+  };
+
   switch (options.algorithm) {
     case Algorithm::kNaive: {
-      result.peel = Peel(space);
+      result.peel = peel();
       result.timings.peel_seconds = timer.Seconds();
       timer.Restart();
       if (options.collect_nuclei) {
@@ -73,7 +82,7 @@ DecompositionResult RunOnSpace(const Space& space,
       break;
     }
     case Algorithm::kDft: {
-      result.peel = Peel(space);
+      result.peel = peel();
       result.timings.peel_seconds = timer.Seconds();
       timer.Restart();
       SkeletonBuild build = DfTraversal(space, result.peel);
@@ -86,7 +95,10 @@ DecompositionResult RunOnSpace(const Space& space,
       break;
     }
     case Algorithm::kFnd: {
-      FndResult fnd = FastNucleusDecomposition(space);
+      FndResult fnd = threaded
+                          ? FastNucleusDecompositionParallel(space,
+                                                             options.parallel)
+                          : FastNucleusDecomposition(space);
       result.peel = std::move(fnd.peel);
       result.num_subnuclei = fnd.build.num_subnuclei;
       result.num_adj = fnd.num_adj;
@@ -100,7 +112,7 @@ DecompositionResult RunOnSpace(const Space& space,
     }
     case Algorithm::kLcps: {
       if constexpr (std::is_same_v<Space, VertexSpace>) {
-        result.peel = Peel(space);
+        result.peel = peel();
         result.timings.peel_seconds = timer.Seconds();
         timer.Restart();
         SkeletonBuild build = LcpsKCoreHierarchy(space.graph(), result.peel);
@@ -116,7 +128,7 @@ DecompositionResult RunOnSpace(const Space& space,
       break;
     }
     case Algorithm::kHypo: {
-      result.peel = Peel(space);
+      result.peel = peel();
       result.timings.peel_seconds = timer.Seconds();
       timer.Restart();
       (void)HypoTraversal(space);

@@ -11,6 +11,7 @@
 #include "nucleus/core/hierarchy.h"
 #include "nucleus/core/types.h"
 #include "nucleus/graph/graph.h"
+#include "nucleus/parallel/parallel_config.h"
 
 namespace nucleus {
 
@@ -41,6 +42,13 @@ struct DecomposeOptions {
   /// Skip NucleusHierarchy construction and validation (benchmarks time the
   /// skeleton algorithms exactly as the paper does).
   bool build_tree = true;
+  /// Threading. Defaults to serial (num_threads == 1); num_threads == 0
+  /// uses all hardware threads. With more than one resolved thread the
+  /// peeling phase runs wave-parallel for every algorithm, and kFnd runs
+  /// the fully parallel pipeline (FastNucleusDecompositionParallel). The
+  /// peel output is bit-identical to the serial run; the kFnd hierarchy is
+  /// canonically identical (see parallel/parallel_fnd.h).
+  ParallelConfig parallel;
 };
 
 struct PhaseTimings {

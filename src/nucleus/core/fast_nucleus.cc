@@ -40,6 +40,18 @@ void BuildHierarchy(
   }
 }
 
+void FinishSkeleton(
+    const std::vector<std::pair<std::int32_t, std::int32_t>>& adj,
+    Lambda max_lambda, SkeletonBuild* build) {
+  HierarchySkeleton& skeleton = build->skeleton;
+  BuildHierarchy(adj, max_lambda, &skeleton);
+  build->num_subnuclei = skeleton.NumNodes();
+  build->root_id = skeleton.AddNode(kRootLambda);
+  for (std::int32_t s = 0; s < build->root_id; ++s) {
+    if (!skeleton.HasParent(s)) skeleton.SetParent(s, build->root_id);
+  }
+}
+
 }  // namespace internal
 
 template FndPeelState FastNucleusPeel<VertexSpace>(const VertexSpace&);

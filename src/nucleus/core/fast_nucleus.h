@@ -54,6 +54,13 @@ namespace internal {
 void BuildHierarchy(const std::vector<std::pair<std::int32_t, std::int32_t>>& adj,
                     Lambda max_lambda, HierarchySkeleton* skeleton);
 
+/// The shared FND epilogue (serial and parallel pipelines): BuildHierarchy
+/// over `adj`, sub-nucleus count, artificial root, and tying parentless
+/// nodes to it. `build->skeleton` and `build->comp` must already be set.
+void FinishSkeleton(
+    const std::vector<std::pair<std::int32_t, std::int32_t>>& adj,
+    Lambda max_lambda, SkeletonBuild* build);
+
 }  // namespace internal
 
 /// Alg. 8 lines 1-19: peeling with sub-nucleus detection and ADJ recording.
@@ -130,15 +137,9 @@ FndResult FastNucleusDecomposition(const Space& space) {
 
   timer.Restart();
   result.num_adj = static_cast<std::int64_t>(state.adj.size());
-  HierarchySkeleton& skeleton = state.skeleton;
-  internal::BuildHierarchy(state.adj, result.peel.max_lambda, &skeleton);
-  result.build.num_subnuclei = skeleton.NumNodes();
-  result.build.root_id = skeleton.AddNode(kRootLambda);
-  for (std::int32_t s = 0; s < result.build.root_id; ++s) {
-    if (!skeleton.HasParent(s)) skeleton.SetParent(s, result.build.root_id);
-  }
   result.build.skeleton = std::move(state.skeleton);
   result.build.comp = std::move(state.comp);
+  internal::FinishSkeleton(state.adj, result.peel.max_lambda, &result.build);
   result.build_seconds = timer.Seconds();
   return result;
 }

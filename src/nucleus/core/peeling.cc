@@ -8,12 +8,6 @@ template std::vector<std::int32_t> ComputeSupports<EdgeSpace>(
     const EdgeSpace&);
 template std::vector<std::int32_t> ComputeSupports<TriangleSpace>(
     const TriangleSpace&);
-template std::vector<std::int32_t> ComputeSupportsParallel<VertexSpace>(
-    const VertexSpace&, int);
-template std::vector<std::int32_t> ComputeSupportsParallel<EdgeSpace>(
-    const EdgeSpace&, int);
-template std::vector<std::int32_t> ComputeSupportsParallel<TriangleSpace>(
-    const TriangleSpace&, int);
 template PeelResult Peel<VertexSpace>(const VertexSpace&);
 template PeelResult Peel<EdgeSpace>(const EdgeSpace&);
 template PeelResult Peel<TriangleSpace>(const TriangleSpace&);

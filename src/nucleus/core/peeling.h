@@ -9,7 +9,6 @@
 #ifndef NUCLEUS_CORE_PEELING_H_
 #define NUCLEUS_CORE_PEELING_H_
 
-#include <thread>
 #include <vector>
 
 #include "nucleus/core/spaces.h"
@@ -31,41 +30,10 @@ std::vector<std::int32_t> ComputeSupports(const Space& space) {
   return supports;
 }
 
-/// Parallel support computation — the embarrassingly parallel prefix of the
-/// peeling phase, implementing the direction the paper's conclusion points
-/// to ("adapting the existing parallel peeling algorithms for the hierarchy
-/// computation can be helpful"). Output is bit-identical to
-/// ComputeSupports; the K_r range is partitioned across threads and each
-/// thread only writes its own slice.
-template <typename Space>
-std::vector<std::int32_t> ComputeSupportsParallel(const Space& space,
-                                                  int num_threads = 0) {
-  const std::int64_t n = space.NumCliques();
-  if (num_threads <= 0) {
-    num_threads =
-        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
-  }
-  num_threads = static_cast<int>(
-      std::min<std::int64_t>(num_threads, std::max<std::int64_t>(n, 1)));
-  std::vector<std::int32_t> supports(n, 0);
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  const std::int64_t chunk = (n + num_threads - 1) / num_threads;
-  for (int t = 0; t < num_threads; ++t) {
-    const std::int64_t begin = t * chunk;
-    const std::int64_t end = std::min(n, begin + chunk);
-    workers.emplace_back([&space, &supports, begin, end] {
-      for (CliqueId u = static_cast<CliqueId>(begin); u < end; ++u) {
-        std::int32_t count = 0;
-        space.ForEachSuperclique(u,
-                                 [&count](const CliqueId*, int) { ++count; });
-        supports[u] = count;
-      }
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
-  return supports;
-}
+// The parallel support computation (ComputeSupportsParallel) lives in
+// parallel/parallel_peel.h with the rest of the threaded peeling phase; it
+// runs over the shared ThreadPool and stays bit-identical to
+// ComputeSupports.
 
 /// Alg. 1. Runs in O(R_r + sum_u omega_r(u) d(u)^{s-r}) as analyzed in the
 /// paper's Section 3.3.
@@ -104,12 +72,6 @@ extern template std::vector<std::int32_t> ComputeSupports<EdgeSpace>(
     const EdgeSpace&);
 extern template std::vector<std::int32_t> ComputeSupports<TriangleSpace>(
     const TriangleSpace&);
-extern template std::vector<std::int32_t> ComputeSupportsParallel<VertexSpace>(
-    const VertexSpace&, int);
-extern template std::vector<std::int32_t> ComputeSupportsParallel<EdgeSpace>(
-    const EdgeSpace&, int);
-extern template std::vector<std::int32_t>
-ComputeSupportsParallel<TriangleSpace>(const TriangleSpace&, int);
 extern template PeelResult Peel<VertexSpace>(const VertexSpace&);
 extern template PeelResult Peel<EdgeSpace>(const EdgeSpace&);
 extern template PeelResult Peel<TriangleSpace>(const TriangleSpace&);

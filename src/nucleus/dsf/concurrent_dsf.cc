@@ -1,0 +1,49 @@
+#include "nucleus/dsf/concurrent_dsf.h"
+
+#include <utility>
+
+#include "nucleus/util/common.h"
+
+namespace nucleus {
+
+ConcurrentDisjointSet::ConcurrentDisjointSet(std::int64_t n) : parent_(n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    parent_[i].store(static_cast<std::int32_t>(i), std::memory_order_relaxed);
+  }
+}
+
+std::int32_t ConcurrentDisjointSet::Find(std::int32_t x) {
+  for (;;) {
+    std::int32_t p = parent_[x].load(std::memory_order_acquire);
+    if (p == x) return x;
+    const std::int32_t gp = parent_[p].load(std::memory_order_acquire);
+    if (gp == p) return p;
+    // Path halving: point x at its grandparent. Losing the CAS only means
+    // another thread already shortened this link.
+    parent_[x].compare_exchange_weak(p, gp, std::memory_order_acq_rel,
+                                     std::memory_order_relaxed);
+    x = gp;
+  }
+}
+
+bool ConcurrentDisjointSet::Union(std::int32_t x, std::int32_t y) {
+  for (;;) {
+    std::int32_t rx = Find(x);
+    std::int32_t ry = Find(y);
+    if (rx == ry) return false;
+    if (rx > ry) std::swap(rx, ry);
+    // Hang the larger root under the smaller. The CAS only succeeds while
+    // ry is still a root; a lost race means some thread changed ry's set,
+    // so re-resolve both roots and retry.
+    std::int32_t expected = ry;
+    if (parent_[ry].compare_exchange_strong(expected, rx,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      return true;
+    }
+    x = rx;
+    y = ry;
+  }
+}
+
+}  // namespace nucleus

@@ -1,0 +1,53 @@
+// Lock-free concurrent disjoint-set forest for the parallel sub-nucleus
+// detection (the concurrent counterpart of Alg. 4's DisjointSet).
+//
+// Parents are atomics; Union links by MINIMUM id — the CAS hangs the
+// larger root under the smaller — and Find applies path halving with CAS.
+// Min-id linking trades the union-by-rank height bound for a property the
+// deterministic parallel pipeline needs: once all Unions have completed,
+// the representative of every set is its minimum element, regardless of
+// how the unions interleaved across threads. The resulting partition AND
+// its representatives are therefore schedule-independent, which is what
+// lets FastNucleusDecompositionParallel number skeleton nodes identically
+// for every thread count.
+//
+// Trees stay shallow in practice because Find halves paths and the
+// workload unions each element O(superclique degree) times.
+#ifndef NUCLEUS_DSF_CONCURRENT_DSF_H_
+#define NUCLEUS_DSF_CONCURRENT_DSF_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace nucleus {
+
+class ConcurrentDisjointSet {
+ public:
+  /// n singleton sets, ids 0..n-1.
+  explicit ConcurrentDisjointSet(std::int64_t n);
+
+  std::int64_t NumElements() const {
+    return static_cast<std::int64_t>(parent_.size());
+  }
+
+  /// Representative of x's set. Safe to call concurrently with Union/Find.
+  /// After all concurrent Unions have been joined (e.g. past a ThreadPool
+  /// barrier), returns the minimum element of x's set.
+  std::int32_t Find(std::int32_t x);
+
+  /// Merges the sets of x and y; the smaller root wins. Returns true iff
+  /// this call performed the link (the sets were distinct and this thread
+  /// won the race to join them).
+  bool Union(std::int32_t x, std::int32_t y);
+
+  /// Quiescent-state only (no concurrent Union).
+  bool SameSet(std::int32_t x, std::int32_t y) { return Find(x) == Find(y); }
+
+ private:
+  std::vector<std::atomic<std::int32_t>> parent_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_DSF_CONCURRENT_DSF_H_

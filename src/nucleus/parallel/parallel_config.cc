@@ -1,0 +1,13 @@
+#include "nucleus/parallel/parallel_config.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace nucleus {
+
+int ParallelConfig::ResolvedThreads() const {
+  if (num_threads >= 1) return num_threads;
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+}  // namespace nucleus

@@ -1,0 +1,54 @@
+// ParallelConfig: the one place thread counts and grain sizes are chosen
+// and validated. Every parallel entry point (PeelParallel,
+// FastNucleusDecompositionParallel, Decompose with threading, the CLI's
+// --threads flag) carries one of these instead of a raw int, so the
+// "num_threads <= 0" / "more threads than work" special cases are resolved
+// exactly once — the runtime below (ThreadPool) only ever sees a resolved
+// count >= 1 and a grain >= 1.
+#ifndef NUCLEUS_PARALLEL_PARALLEL_CONFIG_H_
+#define NUCLEUS_PARALLEL_PARALLEL_CONFIG_H_
+
+#include <cstdint>
+
+namespace nucleus {
+
+struct ParallelConfig {
+  /// Number of threads (execution lanes, caller included). 1 = serial;
+  /// 0 or negative = use all hardware threads.
+  int num_threads = 1;
+
+  /// Work items per scheduling chunk of a ParallelFor. Chunk boundaries
+  /// depend only on the grain — never on the thread count — which is what
+  /// makes per-chunk output buffers mergeable into a thread-count-
+  /// independent order. 0 or negative = kDefaultGrain.
+  std::int64_t grain_size = 0;
+
+  static constexpr std::int64_t kDefaultGrain = 1024;
+
+  /// The validated thread count: num_threads if >= 1, otherwise the
+  /// hardware concurrency (at least 1).
+  int ResolvedThreads() const;
+
+  /// The validated grain: grain_size if >= 1, otherwise kDefaultGrain.
+  std::int64_t ResolvedGrain() const {
+    return grain_size >= 1 ? grain_size : kDefaultGrain;
+  }
+
+  /// All hardware threads, default grain.
+  static ParallelConfig Auto() {
+    ParallelConfig config;
+    config.num_threads = 0;
+    return config;
+  }
+
+  /// Exactly `num_threads` lanes (<= 0 = hardware concurrency).
+  static ParallelConfig WithThreads(int num_threads) {
+    ParallelConfig config;
+    config.num_threads = num_threads;
+    return config;
+  }
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_PARALLEL_PARALLEL_CONFIG_H_

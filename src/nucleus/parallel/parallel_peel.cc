@@ -1,15 +1,17 @@
 #include "nucleus/parallel/parallel_peel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <utility>
 
 #include "nucleus/core/peeling.h"
 
 namespace nucleus {
 namespace {
 
-/// Per-thread scratch for wave processing: next-wave members and future
+/// Per-lane scratch for wave processing: next-wave members and future
 /// bucket registrations, merged at barrier time.
-struct ThreadBuffers {
+struct LaneBuffers {
   std::vector<CliqueId> next_wave;
   std::vector<std::pair<std::int32_t, CliqueId>> requeue;  // (support, id)
 };
@@ -17,21 +19,17 @@ struct ThreadBuffers {
 }  // namespace
 
 template <typename Space>
-PeelResult PeelParallel(const Space& space, int num_threads) {
+PeelResult PeelParallel(const Space& space, ThreadPool& pool,
+                        std::int64_t grain) {
   const std::int64_t n = space.NumCliques();
   PeelResult result;
   result.lambda.assign(n, 0);
   if (n == 0) return result;
-  if (num_threads <= 0) {
-    num_threads =
-        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
-  }
-  num_threads =
-      static_cast<int>(std::min<std::int64_t>(num_threads, std::max<std::int64_t>(n, 1)));
+  const int num_lanes = pool.num_threads();
 
   // Atomic supports, seeded by the (parallel) support computation.
   const std::vector<std::int32_t> initial =
-      ComputeSupportsParallel(space, num_threads);
+      ComputeSupportsParallel(space, pool, grain);
   std::vector<std::atomic<std::int32_t>> supports(n);
   std::int32_t max_support = 0;
   for (std::int64_t u = 0; u < n; ++u) {
@@ -51,7 +49,7 @@ PeelResult PeelParallel(const Space& space, int num_threads) {
     buckets[initial[u]].push_back(static_cast<CliqueId>(u));
   }
 
-  std::vector<ThreadBuffers> buffers(num_threads);
+  std::vector<LaneBuffers> buffers(num_lanes);
   std::vector<CliqueId> wave;
   std::int64_t processed = 0;
   std::int32_t round_counter = 0;
@@ -74,24 +72,23 @@ PeelResult PeelParallel(const Space& space, int num_threads) {
       const std::int32_t cur = round_counter;
 
       // Barrier 1: mark the whole wave processed at this level.
-      internal::ParallelFor(
-          static_cast<std::int64_t>(wave.size()), num_threads,
-          [&](int, std::int64_t begin, std::int64_t end) {
-            for (std::int64_t i = begin; i < end; ++i) {
-              round[wave[i]] = cur;
-              result.lambda[wave[i]] = level;
-            }
-          });
+      pool.ParallelFor(static_cast<std::int64_t>(wave.size()), grain,
+                       [&](int, std::int64_t begin, std::int64_t end) {
+                         for (std::int64_t i = begin; i < end; ++i) {
+                           round[wave[i]] = cur;
+                           result.lambda[wave[i]] = level;
+                         }
+                       });
       processed += static_cast<std::int64_t>(wave.size());
 
       // Barrier 2: charge supercliques. Exactly one wave member — the
       // minimum-id one inside each K_s — performs the decrements, and only
       // against members never processed (round 0). Supercliques containing
       // a member processed in an earlier round are dead (Alg. 1 line 8).
-      internal::ParallelFor(
-          static_cast<std::int64_t>(wave.size()), num_threads,
-          [&](int t, std::int64_t begin, std::int64_t end) {
-            ThreadBuffers& buf = buffers[t];
+      pool.ParallelFor(
+          static_cast<std::int64_t>(wave.size()), grain,
+          [&](int lane, std::int64_t begin, std::int64_t end) {
+            LaneBuffers& buf = buffers[lane];
             for (std::int64_t i = begin; i < end; ++i) {
               const CliqueId u = wave[i];
               space.ForEachSuperclique(u, [&](const CliqueId* members,
@@ -127,9 +124,12 @@ PeelResult PeelParallel(const Space& space, int num_threads) {
             }
           });
 
-      // Merge thread buffers (serial; sizes are small per wave).
+      // Merge lane buffers (serial; sizes are small per wave). The sort +
+      // unique below makes the wave independent of which lane ran which
+      // chunk; bucket entries are validated on drain, so their order is
+      // immaterial too.
       wave.clear();
-      for (ThreadBuffers& buf : buffers) {
+      for (LaneBuffers& buf : buffers) {
         wave.insert(wave.end(), buf.next_wave.begin(), buf.next_wave.end());
         buf.next_wave.clear();
         for (const auto& [s, id] : buf.requeue) buckets[s].push_back(id);
@@ -146,9 +146,27 @@ PeelResult PeelParallel(const Space& space, int num_threads) {
   return result;
 }
 
-template PeelResult PeelParallel<VertexSpace>(const VertexSpace&, int);
-template PeelResult PeelParallel<EdgeSpace>(const EdgeSpace&, int);
-template PeelResult PeelParallel<TriangleSpace>(const TriangleSpace&, int);
-template PeelResult PeelParallel<GenericSpace>(const GenericSpace&, int);
+template <typename Space>
+PeelResult PeelParallel(const Space& space, const ParallelConfig& config) {
+  ThreadPool pool(config);
+  return PeelParallel(space, pool, config.ResolvedGrain());
+}
+
+#define NUCLEUS_PARALLEL_PEEL_DEFINE(Space)                          \
+  template std::vector<std::int32_t> ComputeSupportsParallel<Space>( \
+      const Space&, ThreadPool&, std::int64_t);                      \
+  template std::vector<std::int32_t> ComputeSupportsParallel<Space>( \
+      const Space&, int);                                            \
+  template PeelResult PeelParallel<Space>(const Space&, ThreadPool&, \
+                                          std::int64_t);             \
+  template PeelResult PeelParallel<Space>(const Space&,              \
+                                          const ParallelConfig&)
+
+NUCLEUS_PARALLEL_PEEL_DEFINE(VertexSpace);
+NUCLEUS_PARALLEL_PEEL_DEFINE(EdgeSpace);
+NUCLEUS_PARALLEL_PEEL_DEFINE(TriangleSpace);
+NUCLEUS_PARALLEL_PEEL_DEFINE(GenericSpace);
+
+#undef NUCLEUS_PARALLEL_PEEL_DEFINE
 
 }  // namespace nucleus

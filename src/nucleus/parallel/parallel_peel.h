@@ -6,8 +6,9 @@
 // Instead of popping one minimum K_r at a time (Alg. 1's bucket queue), the
 // algorithm advances a support level and processes whole WAVES: all
 // unprocessed K_r's whose current support equals the level. Waves are
-// partitioned across threads. Two properties make the result exactly equal
-// to the serial peel:
+// partitioned across a persistent ThreadPool (one pool per peel; the
+// workers are parked between waves instead of respawned). Two properties
+// make the result exactly equal to the serial peel:
 //
 //  * Supports are decremented with a compare-and-swap that refuses to drop
 //    a value below the current level, so every K_r is processed at exactly
@@ -20,55 +21,87 @@
 //    minimum-id wave member it contains — and only against members not yet
 //    processed in any round.
 //
-// Combined with the serial hierarchy constructions (DFT over the parallel
-// lambda, or BuildVertexHierarchy for (1,2)), this parallelizes the
-// dominant phase of every decomposition while keeping output identical.
+// Combined with a hierarchy construction — the serial DFT, or the parallel
+// FND in parallel_fnd.h — this parallelizes the dominant phase of every
+// decomposition while keeping output identical.
 #ifndef NUCLEUS_PARALLEL_PARALLEL_PEEL_H_
 #define NUCLEUS_PARALLEL_PARALLEL_PEEL_H_
 
-#include <atomic>
-#include <thread>
+#include <cstdint>
 #include <vector>
 
 #include "nucleus/core/generic_space.h"
 #include "nucleus/core/spaces.h"
 #include "nucleus/core/types.h"
+#include "nucleus/parallel/parallel_config.h"
+#include "nucleus/parallel/thread_pool.h"
 
 namespace nucleus {
 
-namespace internal {
-
-/// Runs f(t, begin, end) on `num_threads` threads over [0, total) in
-/// contiguous chunks; joins before returning. f must only write to
-/// disjoint state per chunk or use atomics.
-template <typename F>
-void ParallelFor(std::int64_t total, int num_threads, F&& f) {
-  if (total <= 0) return;
-  const std::int64_t chunk = (total + num_threads - 1) / num_threads;
-  std::vector<std::thread> workers;
-  workers.reserve(num_threads);
-  for (int t = 0; t < num_threads; ++t) {
-    const std::int64_t begin = t * chunk;
-    const std::int64_t end = std::min(total, begin + chunk);
-    if (begin >= end) break;
-    workers.emplace_back([&f, t, begin, end] { f(t, begin, end); });
-  }
-  for (std::thread& worker : workers) worker.join();
+/// Initial K_s-degrees over a caller-provided pool: the embarrassingly
+/// parallel prefix of the peeling phase. Output is bit-identical to
+/// ComputeSupports for any pool size; each chunk writes only its own slice.
+template <typename Space>
+std::vector<std::int32_t> ComputeSupportsParallel(const Space& space,
+                                                  ThreadPool& pool,
+                                                  std::int64_t grain) {
+  std::vector<std::int32_t> supports(space.NumCliques(), 0);
+  pool.ParallelFor(space.NumCliques(), grain,
+                   [&](int, std::int64_t begin, std::int64_t end) {
+                     for (CliqueId u = static_cast<CliqueId>(begin); u < end;
+                          ++u) {
+                       std::int32_t count = 0;
+                       space.ForEachSuperclique(
+                           u, [&count](const CliqueId*, int) { ++count; });
+                       supports[u] = count;
+                     }
+                   });
+  return supports;
 }
 
-}  // namespace internal
-
-/// Parallel Set-lambda. Produces a PeelResult bit-identical to Peel()
-/// regardless of num_threads (0 = hardware concurrency).
+/// Convenience overload with a scoped pool. num_threads <= 0 = hardware
+/// concurrency (resolved by ParallelConfig).
 template <typename Space>
-PeelResult PeelParallel(const Space& space, int num_threads = 0);
+std::vector<std::int32_t> ComputeSupportsParallel(const Space& space,
+                                                  int num_threads = 0) {
+  const ParallelConfig config = ParallelConfig::WithThreads(num_threads);
+  ThreadPool pool(config);
+  return ComputeSupportsParallel(space, pool, config.ResolvedGrain());
+}
 
-extern template PeelResult PeelParallel<VertexSpace>(const VertexSpace&, int);
-extern template PeelResult PeelParallel<EdgeSpace>(const EdgeSpace&, int);
-extern template PeelResult PeelParallel<TriangleSpace>(const TriangleSpace&,
-                                                       int);
-extern template PeelResult PeelParallel<GenericSpace>(const GenericSpace&,
-                                                      int);
+/// Parallel Set-lambda over a caller-provided pool (reused across all waves
+/// and the support computation). Produces a PeelResult bit-identical to
+/// Peel() for any pool size and grain.
+template <typename Space>
+PeelResult PeelParallel(const Space& space, ThreadPool& pool,
+                        std::int64_t grain);
+
+/// Parallel Set-lambda with a pool scoped to the call.
+template <typename Space>
+PeelResult PeelParallel(const Space& space, const ParallelConfig& config);
+
+/// Back-compat convenience: thread count only (0 = hardware concurrency).
+template <typename Space>
+PeelResult PeelParallel(const Space& space, int num_threads = 0) {
+  return PeelParallel(space, ParallelConfig::WithThreads(num_threads));
+}
+
+#define NUCLEUS_PARALLEL_PEEL_DECLARE(Space)                                \
+  extern template std::vector<std::int32_t> ComputeSupportsParallel<Space>( \
+      const Space&, ThreadPool&, std::int64_t);                             \
+  extern template std::vector<std::int32_t> ComputeSupportsParallel<Space>( \
+      const Space&, int);                                                   \
+  extern template PeelResult PeelParallel<Space>(const Space&, ThreadPool&, \
+                                                 std::int64_t);             \
+  extern template PeelResult PeelParallel<Space>(const Space&,              \
+                                                 const ParallelConfig&)
+
+NUCLEUS_PARALLEL_PEEL_DECLARE(VertexSpace);
+NUCLEUS_PARALLEL_PEEL_DECLARE(EdgeSpace);
+NUCLEUS_PARALLEL_PEEL_DECLARE(TriangleSpace);
+NUCLEUS_PARALLEL_PEEL_DECLARE(GenericSpace);
+
+#undef NUCLEUS_PARALLEL_PEEL_DECLARE
 
 }  // namespace nucleus
 

@@ -1,0 +1,87 @@
+#include "nucleus/parallel/thread_pool.h"
+
+#include <algorithm>
+
+#include "nucleus/util/common.h"
+
+namespace nucleus {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  NUCLEUS_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads - 1);
+  for (int lane = 1; lane < num_threads; ++lane) {
+    workers_.emplace_back([this, lane] { WorkerLoop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunChunks(int lane, const ChunkFn& f) {
+  for (;;) {
+    const std::int64_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job_num_chunks_) return;
+    const std::int64_t begin = c * job_grain_;
+    f(lane, begin, std::min(job_total_, begin + job_grain_));
+  }
+}
+
+void ThreadPool::ParallelFor(std::int64_t total, std::int64_t grain,
+                             const ChunkFn& f) {
+  if (total <= 0) return;
+  NUCLEUS_CHECK(grain >= 1);
+  const std::int64_t num_chunks = (total + grain - 1) / grain;
+  if (workers_.empty() || num_chunks == 1) {
+    // Serial pool or a single chunk: run inline with identical chunk
+    // boundaries and no synchronization.
+    for (std::int64_t c = 0; c < num_chunks; ++c) {
+      const std::int64_t begin = c * grain;
+      f(0, begin, std::min(total, begin + grain));
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_fn_ = &f;
+    job_total_ = total;
+    job_grain_ = grain;
+    job_num_chunks_ = num_chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    workers_finished_ = 0;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  RunChunks(0, f);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] {
+    return workers_finished_ == static_cast<int>(workers_.size());
+  });
+}
+
+void ThreadPool::WorkerLoop(int lane) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const ChunkFn* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      fn = job_fn_;
+    }
+    RunChunks(lane, *fn);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++workers_finished_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace nucleus

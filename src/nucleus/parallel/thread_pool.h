@@ -1,0 +1,87 @@
+// A persistent, work-stealing-free thread pool. Workers are spawned once
+// and parked on a condition variable between jobs, so issuing a ParallelFor
+// costs one notify instead of num_threads thread spawns — the wave peel
+// issues two ParallelFors per wave and used to pay the spawn cost for every
+// one of them.
+//
+// Scheduling is dynamic over fixed chunks: [0, total) is cut into
+// ceil(total / grain) chunks at multiples of `grain`, and the caller plus
+// the workers grab chunks from a shared atomic counter. Chunk BOUNDARIES
+// therefore depend only on (total, grain), never on the thread count or on
+// timing — callers that key per-chunk output buffers on `begin / grain`
+// obtain results mergeable into a schedule-independent order (see
+// FastNucleusDecompositionParallel).
+//
+// The caller participates as lane 0; a pool of num_threads == 1 spawns no
+// worker at all and runs every chunk inline, so the serial configuration
+// has no synchronization cost and trivially identical behavior.
+#ifndef NUCLEUS_PARALLEL_THREAD_POOL_H_
+#define NUCLEUS_PARALLEL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "nucleus/parallel/parallel_config.h"
+
+namespace nucleus {
+
+class ThreadPool {
+ public:
+  /// f(lane, begin, end): one scheduling chunk. `lane` is in
+  /// [0, num_threads()) and identifies the executing lane (for per-lane
+  /// scratch buffers); `begin / grain` identifies the chunk (for
+  /// deterministic per-chunk output buffers).
+  using ChunkFn = std::function<void(int, std::int64_t, std::int64_t)>;
+
+  /// Spawns num_threads - 1 workers (the caller is lane 0). num_threads
+  /// must be >= 1 — resolve raw user input through ParallelConfig first.
+  explicit ThreadPool(int num_threads);
+  explicit ThreadPool(const ParallelConfig& config)
+      : ThreadPool(config.ResolvedThreads()) {}
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins the workers. Must not race with an in-flight ParallelFor.
+  ~ThreadPool();
+
+  /// Total lanes including the caller.
+  int num_threads() const { return num_threads_; }
+
+  /// Runs f over [0, total) in chunks of `grain` (>= 1; the last chunk may
+  /// be short) and blocks until every chunk has finished. Chunks run
+  /// exactly once each, in unspecified order on unspecified lanes. Must
+  /// not be called reentrantly from inside a chunk.
+  void ParallelFor(std::int64_t total, std::int64_t grain, const ChunkFn& f);
+
+ private:
+  void WorkerLoop(int lane);
+  void RunChunks(int lane, const ChunkFn& f);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait for a new epoch
+  std::condition_variable done_cv_;   // caller waits for worker arrivals
+  std::uint64_t epoch_ = 0;           // bumped per ParallelFor (guarded)
+  bool stop_ = false;                 // destructor signal (guarded)
+  int workers_finished_ = 0;          // arrivals for current epoch (guarded)
+
+  // Current job; fields written by the caller under mutex_ before the epoch
+  // bump, read by workers after observing the bump under the same mutex.
+  const ChunkFn* job_fn_ = nullptr;
+  std::int64_t job_total_ = 0;
+  std::int64_t job_grain_ = 0;
+  std::int64_t job_num_chunks_ = 0;
+  std::atomic<std::int64_t> next_chunk_{0};
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_PARALLEL_THREAD_POOL_H_

@@ -1,0 +1,107 @@
+// ConcurrentDisjointSet: partition correctness against the serial
+// DisjointSet, deterministic min-id representatives, and schedule
+// independence under genuinely concurrent unions.
+#include "nucleus/dsf/concurrent_dsf.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/dsf/disjoint_set.h"
+#include "nucleus/parallel/thread_pool.h"
+#include "nucleus/util/rng.h"
+
+namespace nucleus {
+namespace {
+
+std::vector<std::pair<std::int32_t, std::int32_t>> RandomEdges(
+    std::int32_t n, std::int64_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  edges.reserve(count);
+  for (std::int64_t i = 0; i < count; ++i) {
+    edges.emplace_back(static_cast<std::int32_t>(rng.UniformInt(0, n - 1)),
+                       static_cast<std::int32_t>(rng.UniformInt(0, n - 1)));
+  }
+  return edges;
+}
+
+/// The canonical partition: every element mapped to its set's minimum.
+std::vector<std::int32_t> MinLabels(ConcurrentDisjointSet& dsf) {
+  std::vector<std::int32_t> labels(dsf.NumElements());
+  for (std::int32_t u = 0; u < dsf.NumElements(); ++u) labels[u] = dsf.Find(u);
+  return labels;
+}
+
+TEST(ConcurrentDsf, SingletonsAreTheirOwnRoots) {
+  ConcurrentDisjointSet dsf(5);
+  for (std::int32_t u = 0; u < 5; ++u) EXPECT_EQ(dsf.Find(u), u);
+}
+
+TEST(ConcurrentDsf, SerialUnionsMatchDisjointSetPartition) {
+  const std::int32_t n = 200;
+  const auto edges = RandomEdges(n, 300, 17);
+  ConcurrentDisjointSet concurrent(n);
+  DisjointSet serial(n);
+  for (const auto& [a, b] : edges) {
+    concurrent.Union(a, b);
+    serial.Union(a, b);
+  }
+  // Same partition: equal same-set relation everywhere.
+  for (std::int32_t u = 0; u < n; ++u) {
+    for (std::int32_t v = u + 1; v < n; ++v) {
+      EXPECT_EQ(concurrent.SameSet(u, v), serial.SameSet(u, v))
+          << u << "," << v;
+    }
+  }
+}
+
+TEST(ConcurrentDsf, RepresentativeIsSetMinimum) {
+  ConcurrentDisjointSet dsf(10);
+  dsf.Union(9, 4);
+  dsf.Union(4, 7);
+  dsf.Union(8, 9);
+  for (std::int32_t u : {4, 7, 8, 9}) EXPECT_EQ(dsf.Find(u), 4);
+  dsf.Union(7, 2);
+  for (std::int32_t u : {2, 4, 7, 8, 9}) EXPECT_EQ(dsf.Find(u), 2);
+  EXPECT_EQ(dsf.Find(3), 3);
+}
+
+TEST(ConcurrentDsf, UnionReturnsTrueOnlyForTheWinningLink) {
+  ConcurrentDisjointSet dsf(4);
+  EXPECT_TRUE(dsf.Union(0, 1));
+  EXPECT_FALSE(dsf.Union(1, 0));
+  EXPECT_TRUE(dsf.Union(2, 3));
+  EXPECT_TRUE(dsf.Union(0, 3));
+  EXPECT_FALSE(dsf.Union(1, 2));
+}
+
+TEST(ConcurrentDsf, ConcurrentUnionsAreScheduleIndependent) {
+  const std::int32_t n = 500;
+  const auto edges = RandomEdges(n, 2000, 23);
+
+  // Reference labels from a serial application.
+  ConcurrentDisjointSet reference(n);
+  for (const auto& [a, b] : edges) reference.Union(a, b);
+  const auto expected = MinLabels(reference);
+
+  for (int threads : {2, 4, 8}) {
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      ConcurrentDisjointSet dsf(n);
+      ThreadPool pool(threads);
+      pool.ParallelFor(static_cast<std::int64_t>(edges.size()), 64,
+                       [&](int, std::int64_t begin, std::int64_t end) {
+                         for (std::int64_t i = begin; i < end; ++i) {
+                           dsf.Union(edges[i].first, edges[i].second);
+                         }
+                       });
+      EXPECT_EQ(MinLabels(dsf), expected)
+          << "threads=" << threads << " repeat=" << repeat;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nucleus

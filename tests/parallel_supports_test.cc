@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "nucleus/core/peeling.h"
+#include "nucleus/parallel/parallel_peel.h"
 #include "test_util.h"
 
 namespace nucleus {

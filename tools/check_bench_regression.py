@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the bench-smoke CI job.
+
+Compares a fresh ``table1_speedups --json`` run against the last recorded
+run in BENCH_baseline.json and fails (exit 1) if any speedup column
+regresses by more than the tolerance. Speedups are ratios of two timings
+taken on the same machine in the same process, so they transfer across CI
+runners far better than raw seconds do.
+
+Usage:
+    check_bench_regression.py BENCH_baseline.json candidate.json \
+        [--tolerance 0.25] [--min-baseline 0.25]
+
+Columns whose baseline speedup is below --min-baseline are reported but
+not gated: with both sides of the ratio under a few hundred milliseconds
+they are dominated by noise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_baseline_run(path, bench_name):
+    with open(path) as f:
+        data = json.load(f)
+    runs = data.get("runs")
+    if runs is None:  # a bare run file (e.g. a previous candidate)
+        return data
+    for run in reversed(runs):
+        if run.get("bench") == bench_name:
+            return run
+    sys.exit(f"error: no '{bench_name}' run recorded in {path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="maximum allowed relative drop (default 0.25)")
+    parser.add_argument("--min-baseline", type=float, default=0.25,
+                        help="skip gating columns with a baseline speedup "
+                             "below this (noise floor)")
+    args = parser.parse_args()
+
+    with open(args.candidate) as f:
+        candidate = json.load(f)
+    bench_name = candidate.get("bench", "table1_speedups")
+    baseline = load_baseline_run(args.baseline, bench_name)
+
+    failures = []
+    skipped = 0
+    print(f"{'dataset':<12} {'column':<12} {'baseline':>9} {'current':>9} "
+          f"{'ratio':>7}  status")
+    for dataset, base_row in sorted(baseline["results"].items()):
+        cand_row = candidate.get("results", {}).get(dataset)
+        if cand_row is None:
+            failures.append(f"{dataset}: missing from candidate run")
+            continue
+        for column, base_value in sorted(base_row.items()):
+            if column not in cand_row:
+                failures.append(f"{dataset}/{column}: missing from candidate")
+                continue
+            cand_value = cand_row[column]
+            ratio = cand_value / base_value if base_value > 0 else float("inf")
+            if base_value < args.min_baseline:
+                status = "skipped (baseline below noise floor)"
+                skipped += 1
+            elif ratio < 1.0 - args.tolerance:
+                status = "FAIL"
+                failures.append(
+                    f"{dataset}/{column}: {base_value:.2f} -> "
+                    f"{cand_value:.2f} ({(1.0 - ratio) * 100:.0f}% drop)")
+            else:
+                status = "ok"
+            print(f"{dataset:<12} {column:<12} {base_value:>8.2f}x "
+                  f"{cand_value:>8.2f}x {ratio:>6.2f}  {status}")
+
+    print(f"\ntolerance: {args.tolerance:.0%} drop; "
+          f"{skipped} column(s) under the noise floor")
+    if failures:
+        print("\nPERF REGRESSION GATE FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        sys.exit(1)
+    print("perf regression gate passed")
+
+
+if __name__ == "__main__":
+    main()
