@@ -3,9 +3,12 @@
 #include <cerrno>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "nucleus/core/decomposition.h"
 #include "nucleus/core/hierarchy_index.h"
@@ -18,6 +21,10 @@
 #include "nucleus/graph/generators.h"
 #include "nucleus/graph/graph_stats.h"
 #include "nucleus/io/hierarchy_export.h"
+#include "nucleus/serve/query_engine.h"
+#include "nucleus/serve/request_loop.h"
+#include "nucleus/store/snapshot.h"
+#include "nucleus/util/parse_util.h"
 
 namespace nucleus {
 namespace {
@@ -49,26 +56,85 @@ bool ParseArgs(const std::vector<std::string>& args, ParsedArgs* parsed,
   return true;
 }
 
+/// Every command declares its flag vocabulary; anything else is an error,
+/// so a typo ('--outjson') fails loudly instead of being ignored.
+bool CheckFlags(const ParsedArgs& parsed,
+                std::initializer_list<const char*> allowed,
+                std::ostream& err) {
+  for (const auto& [name, value] : parsed.flags) {
+    bool known = false;
+    for (const char* candidate : allowed) {
+      if (name == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      err << "error: unknown flag '--" << name << "' for command '"
+          << parsed.command << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
 std::string FlagOr(const ParsedArgs& parsed, const std::string& name,
                    const std::string& fallback) {
   const auto it = parsed.flags.find(name);
   return it == parsed.flags.end() ? fallback : it->second;
 }
 
-/// --threads N: 1 = serial (default), 0 = all hardware threads. Rejects
-/// non-numeric or out-of-range input; ParallelConfig handles clamping of
-/// the rest.
+bool HasFlag(const ParsedArgs& parsed, const std::string& name) {
+  return parsed.flags.find(name) != parsed.flags.end();
+}
+
+/// Strict integer flag: the whole value must be one number in [min, max];
+/// trailing garbage ('--u 3x') is rejected, matching --threads handling.
+bool ParseIntFlag(const ParsedArgs& parsed, const std::string& name,
+                  std::int64_t fallback, std::int64_t min, std::int64_t max,
+                  std::int64_t* out, std::ostream& err) {
+  const auto it = parsed.flags.find(name);
+  if (it == parsed.flags.end()) {
+    *out = fallback;
+    return true;
+  }
+  std::int64_t parsed_value = 0;
+  if (!StrictParseInt64(it->second, &parsed_value) || parsed_value < min ||
+      parsed_value > max) {
+    err << "error: --" << name << " expects an integer in [" << min << ", "
+        << max << "], got '" << it->second << "'\n";
+    return false;
+  }
+  *out = parsed_value;
+  return true;
+}
+
+/// Strict double flag, same trailing-garbage policy.
+bool ParseDoubleFlag(const ParsedArgs& parsed, const std::string& name,
+                     double fallback, double* out, std::ostream& err) {
+  const auto it = parsed.flags.find(name);
+  if (it == parsed.flags.end()) {
+    *out = fallback;
+    return true;
+  }
+  const std::string& value = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed_value = std::strtod(value.c_str(), &end);
+  if (value.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    err << "error: --" << name << " expects a number, got '" << value
+        << "'\n";
+    return false;
+  }
+  *out = parsed_value;
+  return true;
+}
+
+/// --threads N: 1 = serial (default), 0 = all hardware threads.
 bool ParseThreads(const ParsedArgs& parsed, ParallelConfig* parallel,
                   std::ostream& err) {
-  const std::string value = FlagOr(parsed, "threads", "1");
-  char* end = nullptr;
-  errno = 0;
-  const long threads = std::strtol(value.c_str(), &end, 10);
-  constexpr long kMaxThreads = 4096;
-  if (value.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
-      threads > kMaxThreads || threads < -kMaxThreads) {
-    err << "error: --threads expects an integer in [-" << kMaxThreads << ", "
-        << kMaxThreads << "], got '" << value << "'\n";
+  std::int64_t threads = 1;
+  if (!ParseIntFlag(parsed, "threads", 1, -4096, 4096, &threads, err)) {
     return false;
   }
   parallel->num_threads = static_cast<int>(threads);
@@ -109,6 +175,12 @@ bool ParseAlgorithm(const std::string& name, Algorithm* algorithm,
 
 int CmdDecompose(const ParsedArgs& parsed, std::ostream& out,
                  std::ostream& err) {
+  if (!CheckFlags(parsed,
+                  {"input", "family", "algorithm", "threads", "out-json",
+                   "out-dot", "lambda", "out-snapshot", "snapshot-index"},
+                  err)) {
+    return 2;
+  }
   const std::string input = FlagOr(parsed, "input", "");
   if (input.empty()) {
     err << "error: decompose requires --input\n";
@@ -120,10 +192,13 @@ int CmdDecompose(const ParsedArgs& parsed, std::ostream& out,
     return 1;
   }
   DecomposeOptions options;
+  std::int64_t snapshot_index = 1;
   if (!ParseFamily(FlagOr(parsed, "family", "core"), &options.family, err) ||
       !ParseAlgorithm(FlagOr(parsed, "algorithm", "fnd"), &options.algorithm,
                       err) ||
-      !ParseThreads(parsed, &options.parallel, err)) {
+      !ParseThreads(parsed, &options.parallel, err) ||
+      !ParseIntFlag(parsed, "snapshot-index", 1, 0, 1, &snapshot_index,
+                    err)) {
     return 2;
   }
   if (options.algorithm == Algorithm::kLcps &&
@@ -136,7 +211,8 @@ int CmdDecompose(const ParsedArgs& parsed, std::ostream& out,
            "lcps\n";
     return 2;
   }
-  const DecompositionResult result = Decompose(*graph, options);
+  // Non-const: the snapshot block at the end moves the hierarchy out.
+  DecompositionResult result = Decompose(*graph, options);
 
   out << "graph: " << graph->NumVertices() << " vertices, "
       << graph->NumEdges() << " edges\n";
@@ -197,10 +273,27 @@ int CmdDecompose(const ParsedArgs& parsed, std::ostream& out,
     }
     out << "wrote " << lambda_path << "\n";
   }
+  const std::string snapshot_path = FlagOr(parsed, "out-snapshot", "");
+  if (!snapshot_path.empty()) {
+    // Last use of `result`: move the lambdas and hierarchy into the
+    // snapshot instead of deep-copying a potentially huge tree.
+    const SnapshotData snapshot =
+        MakeSnapshot(*graph, options, std::move(result), snapshot_index != 0);
+    const Status status = SaveSnapshot(snapshot, snapshot_path);
+    if (!status.ok()) {
+      err << "error: " << status.ToString() << "\n";
+      return 1;
+    }
+    out << "wrote " << snapshot_path << " ("
+        << snapshot.hierarchy.NumNodes() << " nodes, "
+        << snapshot.meta.num_cliques << " cliques"
+        << (snapshot_index != 0 ? ", with index tables" : "") << ")\n";
+  }
   return 0;
 }
 
 int CmdStats(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
+  if (!CheckFlags(parsed, {"input"}, err)) return 2;
   const std::string input = FlagOr(parsed, "input", "");
   if (input.empty()) {
     err << "error: stats requires --input\n";
@@ -228,37 +321,52 @@ int CmdStats(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
 
 int CmdGenerate(const ParsedArgs& parsed, std::ostream& out,
                 std::ostream& err) {
+  if (!CheckFlags(parsed, {"type", "out", "n", "param", "seed"}, err)) {
+    return 2;
+  }
   const std::string type = FlagOr(parsed, "type", "");
   const std::string out_path = FlagOr(parsed, "out", "");
   if (type.empty() || out_path.empty()) {
     err << "error: generate requires --type and --out\n";
     return 2;
   }
-  const VertexId n =
-      static_cast<VertexId>(std::atoll(FlagOr(parsed, "n", "1000").c_str()));
-  const double param = std::atof(FlagOr(parsed, "param", "0").c_str());
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(std::atoll(FlagOr(parsed, "seed", "42").c_str()));
+  std::int64_t n = 1000;
+  std::int64_t seed = 42;
+  double param = 0.0;
+  if (!ParseIntFlag(parsed, "n", 1000, 1, 2147483647, &n, err) ||
+      !ParseIntFlag(parsed, "seed", 42, 0, 9223372036854775807LL, &seed,
+                    err) ||
+      !ParseDoubleFlag(parsed, "param", 0.0, &param, err)) {
+    return 2;
+  }
 
   Graph g;
   if (type == "er") {
-    g = ErdosRenyiGnp(n, param > 0 ? param : 0.01, seed);
+    g = ErdosRenyiGnp(static_cast<VertexId>(n), param > 0 ? param : 0.01,
+                      static_cast<std::uint64_t>(seed));
   } else if (type == "ba") {
-    g = BarabasiAlbert(n, param > 0 ? static_cast<VertexId>(param) : 3, seed);
+    g = BarabasiAlbert(static_cast<VertexId>(n),
+                       param > 0 ? static_cast<VertexId>(param) : 3,
+                       static_cast<std::uint64_t>(seed));
   } else if (type == "rmat") {
     int scale = 1;
-    while ((VertexId{1} << scale) < n) ++scale;
-    g = RMat(scale, param > 0 ? static_cast<std::int64_t>(param) : 8LL * n,
-             0.57, 0.19, 0.19, seed);
+    while ((std::int64_t{1} << scale) < n) ++scale;
+    g = RMat(scale, param > 0 ? static_cast<std::int64_t>(param) : 8 * n,
+             0.57, 0.19, 0.19, static_cast<std::uint64_t>(seed));
   } else if (type == "ws") {
-    g = WattsStrogatz(n, 4, param > 0 ? param : 0.1, seed);
+    g = WattsStrogatz(static_cast<VertexId>(n), 4, param > 0 ? param : 0.1,
+                      static_cast<std::uint64_t>(seed));
   } else if (type == "planted") {
     const VertexId communities = param > 0 ? static_cast<VertexId>(param) : 8;
-    g = PlantedPartition(communities, std::max<VertexId>(n / communities, 2),
-                         0.4, 0.01, seed);
+    g = PlantedPartition(
+        communities,
+        std::max<VertexId>(static_cast<VertexId>(n) / communities, 2), 0.4,
+        0.01, static_cast<std::uint64_t>(seed));
   } else if (type == "caveman") {
     const VertexId caves = param > 0 ? static_cast<VertexId>(param) : 10;
-    g = Caveman(caves, std::max<VertexId>(n / caves, 3), 2 * caves, seed);
+    g = Caveman(caves,
+                std::max<VertexId>(static_cast<VertexId>(n) / caves, 3),
+                2 * caves, static_cast<std::uint64_t>(seed));
   } else {
     err << "error: unknown type '" << type
         << "' (er | ba | rmat | ws | planted | caveman)\n";
@@ -276,6 +384,7 @@ int CmdGenerate(const ParsedArgs& parsed, std::ostream& out,
 
 int CmdConvert(const ParsedArgs& parsed, std::ostream& out,
                std::ostream& err) {
+  if (!CheckFlags(parsed, {"input", "out"}, err)) return 2;
   const std::string input = FlagOr(parsed, "input", "");
   const std::string out_path = FlagOr(parsed, "out", "");
   if (input.empty() || out_path.empty()) {
@@ -311,6 +420,7 @@ int CmdConvert(const ParsedArgs& parsed, std::ostream& out,
 
 int CmdSemiExternal(const ParsedArgs& parsed, std::ostream& out,
                     std::ostream& err) {
+  if (!CheckFlags(parsed, {"input", "family", "temp"}, err)) return 2;
   const std::string input = FlagOr(parsed, "input", "");
   if (input.empty()) {
     err << "error: semi-external requires --input (a .nucgraph file; "
@@ -358,58 +468,261 @@ int CmdSemiExternal(const ParsedArgs& parsed, std::ostream& out,
   return 0;
 }
 
-int CmdQuery(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
+/// Acquires a query-ready engine either from a .nucsnap file (--snapshot,
+/// the fast path this PR exists for) or by decomposing --input from
+/// scratch. Returns nullptr after reporting to `err`.
+std::unique_ptr<QueryEngine> AcquireEngine(const ParsedArgs& parsed,
+                                           std::ostream& err,
+                                           int* exit_code) {
+  const std::string snapshot_path = FlagOr(parsed, "snapshot", "");
   const std::string input = FlagOr(parsed, "input", "");
-  const std::string u_flag = FlagOr(parsed, "u", "");
-  const std::string v_flag = FlagOr(parsed, "v", "");
-  if (input.empty() || u_flag.empty() || v_flag.empty()) {
-    err << "error: query requires --input, --u and --v\n";
-    return 2;
+  if (snapshot_path.empty() == input.empty()) {
+    err << "error: provide exactly one of --snapshot or --input\n";
+    *exit_code = 2;
+    return nullptr;
+  }
+  if (!snapshot_path.empty()) {
+    // The snapshot already fixes the family and needs no decomposition, so
+    // decompose-only flags are errors here, not silently ignored ones.
+    if (HasFlag(parsed, "family") || HasFlag(parsed, "threads")) {
+      err << "error: --family / --threads only apply with --input (the "
+             "snapshot already fixes the family)\n";
+      *exit_code = 2;
+      return nullptr;
+    }
+    StatusOr<SnapshotData> snapshot = LoadSnapshot(snapshot_path);
+    if (!snapshot.ok()) {
+      err << "error: " << snapshot.status().ToString() << "\n";
+      *exit_code = 1;
+      return nullptr;
+    }
+    return std::make_unique<QueryEngine>(std::move(*snapshot));
   }
   const StatusOr<Graph> graph = ReadEdgeList(input);
   if (!graph.ok()) {
     err << "error: " << graph.status().ToString() << "\n";
-    return 1;
-  }
-  const VertexId u = static_cast<VertexId>(std::atoll(u_flag.c_str()));
-  const VertexId v = static_cast<VertexId>(std::atoll(v_flag.c_str()));
-  if (u < 0 || v < 0 || u >= graph->NumVertices() ||
-      v >= graph->NumVertices()) {
-    err << "error: vertex out of range\n";
-    return 2;
+    *exit_code = 1;
+    return nullptr;
   }
   DecomposeOptions options;
-  options.family = Family::kCore12;
   options.algorithm = Algorithm::kFnd;
-  const DecompositionResult result = Decompose(*graph, options);
-  const HierarchyIndex index(result.hierarchy);
-
-  out << "lambda(" << u << ") = " << result.peel.lambda[u] << ", lambda("
-      << v << ") = " << result.peel.lambda[v] << "\n";
-  const std::int32_t node = index.SmallestCommonNucleus(u, v);
-  if (node == kInvalidId) {
-    out << "no common nucleus (different components or lambda 0)\n";
-  } else {
-    const auto members = result.hierarchy.MembersOfSubtree(node);
-    out << "smallest common nucleus: k=" << result.hierarchy.node(node).lambda
-        << " with " << members.size() << " vertices\n";
+  if (!ParseFamily(FlagOr(parsed, "family", "core"), &options.family, err) ||
+      !ParseThreads(parsed, &options.parallel, err)) {
+    *exit_code = 2;
+    return nullptr;
   }
+  DecompositionResult result = Decompose(*graph, options);
+  return std::make_unique<QueryEngine>(
+      MakeSnapshot(*graph, options, std::move(result), /*with_index=*/false));
+}
+
+int CmdQuery(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
+  if (!CheckFlags(parsed,
+                  {"input", "snapshot", "family", "threads", "u", "v", "k",
+                   "top", "out-json"},
+                  err)) {
+    return 2;
+  }
+  std::int64_t u = -1;
+  std::int64_t v = -1;
+  std::int64_t k = 0;
+  std::int64_t top = 0;
+  if (!ParseIntFlag(parsed, "u", -1, 0, 2147483647, &u, err) ||
+      !ParseIntFlag(parsed, "v", -1, 0, 2147483647, &v, err) ||
+      !ParseIntFlag(parsed, "k", 0, 1, 2147483647, &k, err) ||
+      !ParseIntFlag(parsed, "top", 0, 1, 2147483647, &top, err)) {
+    return 2;
+  }
+  if (!HasFlag(parsed, "u") && !HasFlag(parsed, "top")) {
+    err << "error: query requires --u (with optional --v / --k) and/or "
+           "--top\n";
+    return 2;
+  }
+  if ((HasFlag(parsed, "v") || HasFlag(parsed, "k")) &&
+      !HasFlag(parsed, "u")) {
+    err << "error: --v / --k require --u\n";
+    return 2;
+  }
+  if (HasFlag(parsed, "v") && HasFlag(parsed, "k")) {
+    err << "error: --v and --k are mutually exclusive (common nucleus vs "
+           "k-nucleus lookup)\n";
+    return 2;
+  }
+
+  int exit_code = 0;
+  const std::unique_ptr<QueryEngine> engine =
+      AcquireEngine(parsed, err, &exit_code);
+  if (engine == nullptr) return exit_code;
+  const bool core_family = engine->meta().family == Family::kCore12;
+  const char* member_word = core_family ? "vertices" : "K_r's";
+
+  std::vector<QueryEngine::Query> queries;
+  if (HasFlag(parsed, "u")) {
+    queries.push_back({QueryEngine::QueryKind::kLambda, u, 0});
+    if (HasFlag(parsed, "v")) {
+      queries.push_back({QueryEngine::QueryKind::kLambda, v, 0});
+      queries.push_back({QueryEngine::QueryKind::kCommon, u, v});
+    } else if (HasFlag(parsed, "k")) {
+      queries.push_back({QueryEngine::QueryKind::kNucleus, u, k});
+    }
+  }
+  if (HasFlag(parsed, "top")) {
+    queries.push_back({QueryEngine::QueryKind::kTop, top, 0});
+  }
+
+  std::vector<QueryEngine::Response> responses;
+  responses.reserve(queries.size());
+  for (const auto& query : queries) responses.push_back(engine->Run(query));
+
+  // Validate everything before printing anything: a failing later query
+  // must not leave a half-emitted report on stdout.
+  for (const auto& response : responses) {
+    if (!response.status.ok()) {
+      err << "error: " << response.status.ToString() << "\n";
+      return 2;
+    }
+  }
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto& query = queries[i];
+    const auto& response = responses[i];
+    switch (query.kind) {
+      case QueryEngine::QueryKind::kLambda:
+        out << "lambda(" << query.a << ") = " << response.lambda;
+        // The historical two-lambda prefix of the common-nucleus report.
+        out << (i + 1 < queries.size() &&
+                        queries[i + 1].kind == QueryEngine::QueryKind::kLambda
+                    ? ", "
+                    : "\n");
+        break;
+      case QueryEngine::QueryKind::kCommon:
+        if (!response.found) {
+          out << "no common nucleus (different components or lambda 0)\n";
+        } else {
+          out << "smallest common nucleus: k=" << response.nucleus.k
+              << " with " << response.nucleus.size << " " << member_word
+              << "\n";
+        }
+        break;
+      case QueryEngine::QueryKind::kNucleus:
+        if (!response.found) {
+          out << "no " << query.b << "-nucleus contains " << query.a
+              << " (lambda too small)\n";
+        } else {
+          out << query.b << "-nucleus of " << query.a << ": node "
+              << response.nucleus.node << ", k=" << response.nucleus.k
+              << ", " << response.nucleus.size << " " << member_word << "\n";
+        }
+        break;
+      case QueryEngine::QueryKind::kTop:
+        out << "top " << response.top.size() << " densest nuclei:\n";
+        for (const auto& ref : response.top) {
+          out << "  node " << ref.node << ": k=" << ref.k << ", " << ref.size
+              << " " << member_word << "\n";
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  const std::string json_path = FlagOr(parsed, "out-json", "");
+  if (!json_path.empty()) {
+    std::ostringstream buffer;
+    buffer << "[\n";
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      buffer << "  " << ResponseToJson(queries[i], responses[i])
+             << (i + 1 < queries.size() ? "," : "") << "\n";
+    }
+    buffer << "]\n";
+    const Status status = WriteStringToFile(buffer.str(), json_path);
+    if (!status.ok()) {
+      err << "error: " << status.ToString() << "\n";
+      return 1;
+    }
+    out << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
+int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
+  if (!CheckFlags(parsed, {"snapshot", "queries", "out", "threads", "batch"},
+                  err)) {
+    return 2;
+  }
+  const std::string snapshot_path = FlagOr(parsed, "snapshot", "");
+  if (snapshot_path.empty()) {
+    err << "error: serve requires --snapshot (see decompose "
+           "--out-snapshot)\n";
+    return 2;
+  }
+  ServeOptions options;
+  std::int64_t batch = 256;
+  if (!ParseThreads(parsed, &options.parallel, err) ||
+      !ParseIntFlag(parsed, "batch", 256, 1, 1 << 20, &batch, err)) {
+    return 2;
+  }
+  options.batch_size = batch;
+
+  StatusOr<SnapshotData> snapshot = LoadSnapshot(snapshot_path);
+  if (!snapshot.ok()) {
+    err << "error: " << snapshot.status().ToString() << "\n";
+    return 1;
+  }
+  const QueryEngine engine(std::move(*snapshot));
+  err << "serving " << FamilyName(engine.meta().family) << " snapshot: "
+      << engine.meta().num_cliques << " cliques, "
+      << engine.hierarchy().NumNuclei() << " nuclei, max lambda "
+      << engine.meta().max_lambda << ", threads "
+      << options.parallel.ResolvedThreads() << "\n";
+
+  const std::string queries_path = FlagOr(parsed, "queries", "");
+  std::ifstream query_file;
+  if (!queries_path.empty()) {
+    query_file.open(queries_path);
+    if (!query_file) {
+      err << "error: cannot open " << queries_path << "\n";
+      return 1;
+    }
+  }
+  std::istream& in = queries_path.empty() ? std::cin : query_file;
+
+  const std::string out_path = FlagOr(parsed, "out", "");
+  std::ofstream out_file;
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file) {
+      err << "error: cannot open " << out_path << " for writing\n";
+      return 1;
+    }
+  }
+  std::ostream& response_out = out_path.empty() ? out : out_file;
+
+  const ServeStats stats = ServeRequests(engine, in, response_out, options);
+  err << "served " << stats.requests << " requests (" << stats.errors
+      << " errors) in " << stats.batches << " batches\n";
   return 0;
 }
 
 void PrintUsage(std::ostream& err) {
   err << "usage: nucleus_cli <decompose | stats | generate | convert | "
-         "semi-external | query> [--flag value]...\n"
+         "semi-external | query | serve> [--flag value]...\n"
       << "  decompose     --input F [--family core|truss|34] "
          "[--algorithm fnd|dft|lcps] [--threads N] [--out-json F] "
          "[--out-dot F] [--lambda F]\n"
+      << "                [--out-snapshot F.nucsnap [--snapshot-index 0|1]]\n"
       << "  stats         --input F\n"
       << "  generate      --type er|ba|rmat|ws|planted|caveman --out F "
          "[--n N] [--param P] [--seed S]\n"
       << "  convert       --input F --out G   (.nucgraph <-> edge list)\n"
       << "  semi-external --input F.nucgraph [--family core|truss] "
          "[--temp DIR]\n"
-      << "  query         --input F --u A --v B   (common k-core of A, B)\n";
+      << "  query         (--snapshot F.nucsnap | --input F [--family ...]) "
+         "--u A [--v B | --k K] [--top N] [--out-json F]\n"
+      << "  serve         --snapshot F.nucsnap [--queries F] [--out F] "
+         "[--threads N] [--batch N]\n"
+      << "query/serve ids are K_r ids of the decomposition's family: "
+         "vertex ids (core), edge ids (truss), triangle ids (34)\n";
 }
 
 }  // namespace
@@ -429,6 +742,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     return CmdSemiExternal(parsed, out, err);
   }
   if (parsed.command == "query") return CmdQuery(parsed, out, err);
+  if (parsed.command == "serve") return CmdServe(parsed, out, err);
   err << "error: unknown command '" << parsed.command << "'\n";
   PrintUsage(err);
   return 2;

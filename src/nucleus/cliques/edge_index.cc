@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "nucleus/parallel/thread_pool.h"
+
 namespace nucleus {
 
 EdgeIndex EdgeIndex::Build(const Graph& g) {
@@ -30,6 +32,65 @@ EdgeIndex EdgeIndex::Build(const Graph& g) {
     }
   }
   NUCLEUS_CHECK(next_id == m);
+  for (EdgeId id : index.adj_eid_) NUCLEUS_CHECK(id != kInvalidId);
+  return index;
+}
+
+EdgeIndex EdgeIndex::Build(const Graph& g, const ParallelConfig& parallel) {
+  if (parallel.ResolvedThreads() <= 1) return Build(g);
+  ThreadPool pool(parallel);
+  return Build(g, pool, parallel.ResolvedGrain());
+}
+
+EdgeIndex EdgeIndex::Build(const Graph& g, ThreadPool& pool,
+                           std::int64_t grain) {
+  if (pool.num_threads() <= 1) return Build(g);
+
+  EdgeIndex index;
+  const VertexId n = g.NumVertices();
+  const std::int64_t m = g.NumEdges();
+  NUCLEUS_CHECK_MSG(m <= 2147483647, "more than 2^31-1 edges");
+  index.endpoints_.resize(static_cast<std::size_t>(m));
+  index.adj_eid_.assign(g.AdjArray().size(), kInvalidId);
+
+  // Edge ids are positional: the edges starting at u (pairs (u, v), v > u)
+  // occupy the contiguous id range [start[u], start[u+1]), in neighbor
+  // order. Ids therefore depend only on the graph, never on scheduling.
+  std::vector<std::int64_t> start(static_cast<std::size_t>(n) + 1, 0);
+  pool.ParallelFor(n, grain, [&](int, std::int64_t begin, std::int64_t end) {
+    for (std::int64_t u = begin; u < end; ++u) {
+      const auto nbrs = g.Neighbors(static_cast<VertexId>(u));
+      start[u + 1] = nbrs.end() -
+                     std::upper_bound(nbrs.begin(), nbrs.end(),
+                                      static_cast<VertexId>(u));
+    }
+  });
+  for (VertexId u = 0; u < n; ++u) start[u + 1] += start[u];
+  NUCLEUS_CHECK(start[n] == m);
+
+  pool.ParallelFor(n, grain, [&](int, std::int64_t begin, std::int64_t end) {
+    for (std::int64_t uu = begin; uu < end; ++uu) {
+      const VertexId u = static_cast<VertexId>(uu);
+      const auto nbrs = g.Neighbors(u);
+      const std::int64_t base = g.AdjOffset(u);
+      const std::int64_t first =
+          std::upper_bound(nbrs.begin(), nbrs.end(), u) - nbrs.begin();
+      for (std::int64_t i = first;
+           i < static_cast<std::int64_t>(nbrs.size()); ++i) {
+        const VertexId v = nbrs[i];
+        const EdgeId e = static_cast<EdgeId>(start[u] + (i - first));
+        index.endpoints_[e] = {u, v};
+        index.adj_eid_[base + i] = e;
+        // Mirror entry: u's slot inside v's (sorted) adjacency list. Each
+        // adjacency slot is written by exactly one (u, v) pair, so the
+        // scatter is race-free.
+        const auto nv = g.Neighbors(v);
+        const std::int64_t j =
+            std::lower_bound(nv.begin(), nv.end(), u) - nv.begin();
+        index.adj_eid_[g.AdjOffset(v) + j] = e;
+      }
+    }
+  });
   for (EdgeId id : index.adj_eid_) NUCLEUS_CHECK(id != kInvalidId);
   return index;
 }

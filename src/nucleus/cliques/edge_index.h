@@ -11,14 +11,26 @@
 #include <vector>
 
 #include "nucleus/graph/graph.h"
+#include "nucleus/parallel/parallel_config.h"
 #include "nucleus/util/common.h"
 
 namespace nucleus {
+
+class ThreadPool;
 
 class EdgeIndex {
  public:
   /// Builds the index in O(|V| + |E|).
   static EdgeIndex Build(const Graph& g);
+
+  /// Parallel build over vertices. Edge ids are positional (lexicographic
+  /// by endpoints), so the output is bit-identical to the serial Build for
+  /// every thread count / grain. The ParallelConfig overload spins up its
+  /// own pool; callers with several parallel phases (Decompose) pass an
+  /// existing pool instead to pay the spawn cost once.
+  static EdgeIndex Build(const Graph& g, const ParallelConfig& parallel);
+  static EdgeIndex Build(const Graph& g, ThreadPool& pool,
+                         std::int64_t grain);
 
   EdgeId NumEdges() const { return static_cast<EdgeId>(endpoints_.size()); }
 

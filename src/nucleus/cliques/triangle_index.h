@@ -32,6 +32,17 @@ class TriangleIndex {
   /// Enumerates all triangles. O(sum over edges of min-degree endpoints).
   static TriangleIndex Build(const Graph& g, const EdgeIndex& edges);
 
+  /// Parallel enumeration: a counting pass and a placement pass over
+  /// edges, then per-edge list sorting in parallel. Triangle ids are
+  /// positional ((uv-edge id, third vertex) lexicographic, the serial
+  /// enumeration order), so the output is bit-identical to the serial
+  /// Build for every thread count / grain. As with EdgeIndex, the pool
+  /// overload lets Decompose reuse one pool across both index builds.
+  static TriangleIndex Build(const Graph& g, const EdgeIndex& edges,
+                             const ParallelConfig& parallel);
+  static TriangleIndex Build(const Graph& g, const EdgeIndex& edges,
+                             ThreadPool& pool, std::int64_t grain);
+
   TriangleId NumTriangles() const {
     return static_cast<TriangleId>(vertices_.size());
   }

@@ -13,6 +13,7 @@
 #include "nucleus/core/peeling.h"
 #include "nucleus/parallel/parallel_fnd.h"
 #include "nucleus/parallel/parallel_peel.h"
+#include "nucleus/parallel/thread_pool.h"
 #include "nucleus/util/timer.h"
 
 namespace nucleus {
@@ -153,14 +154,24 @@ DecompositionResult Decompose(const Graph& g,
       return RunOnSpace(space, options, 0.0);
     }
     case Family::kTruss23: {
-      const EdgeIndex edges = EdgeIndex::Build(g);
+      const EdgeIndex edges = EdgeIndex::Build(g, options.parallel);
       const double index_seconds = timer.Seconds();
       EdgeSpace space(g, edges);
       return RunOnSpace(space, options, index_seconds);
     }
     case Family::kNucleus34: {
-      const EdgeIndex edges = EdgeIndex::Build(g);
-      const TriangleIndex triangles = TriangleIndex::Build(g, edges);
+      // One pool for both index builds: the spawn cost is paid once.
+      EdgeIndex edges;
+      TriangleIndex triangles;
+      if (options.parallel.ResolvedThreads() > 1) {
+        ThreadPool pool(options.parallel);
+        const std::int64_t grain = options.parallel.ResolvedGrain();
+        edges = EdgeIndex::Build(g, pool, grain);
+        triangles = TriangleIndex::Build(g, edges, pool, grain);
+      } else {
+        edges = EdgeIndex::Build(g);
+        triangles = TriangleIndex::Build(g, edges);
+      }
       const double index_seconds = timer.Seconds();
       TriangleSpace space(g, edges, triangles);
       return RunOnSpace(space, options, index_seconds);

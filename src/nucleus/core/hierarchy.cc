@@ -123,6 +123,52 @@ NucleusHierarchy NucleusHierarchy::FromSkeleton(const SkeletonBuild& build,
   return h;
 }
 
+NucleusHierarchy NucleusHierarchy::FromParts(
+    std::vector<Lambda> node_lambda, std::vector<std::int32_t> parent,
+    std::vector<std::int32_t> node_of_clique) {
+  const std::int32_t num_nodes =
+      static_cast<std::int32_t>(node_lambda.size());
+  NUCLEUS_CHECK(num_nodes >= 1);
+  NUCLEUS_CHECK(parent.size() == node_lambda.size());
+  NUCLEUS_CHECK(parent[0] == kInvalidId && node_lambda[0] == kRootLambda);
+
+  NucleusHierarchy h;
+  h.root_ = 0;
+  h.nodes_.resize(num_nodes);
+  for (std::int32_t i = 0; i < num_nodes; ++i) {
+    Node& node = h.nodes_[i];
+    node.lambda = node_lambda[i];
+    node.parent = parent[i];
+    if (i == 0) continue;
+    NUCLEUS_CHECK(parent[i] >= 0 && parent[i] < i);
+    NUCLEUS_CHECK(node_lambda[parent[i]] < node_lambda[i]);
+    h.nodes_[parent[i]].children.push_back(i);
+  }
+
+  // Direct members: clique ids ascend, so each bucket fills sorted.
+  for (std::size_t u = 0; u < node_of_clique.size(); ++u) {
+    const std::int32_t id = node_of_clique[u];
+    NUCLEUS_CHECK(id >= 0 && id < num_nodes);
+    h.nodes_[id].members.push_back(static_cast<CliqueId>(u));
+  }
+  h.node_of_clique_ = std::move(node_of_clique);
+
+  // Subtree aggregates, exactly as FromSkeleton step 6 (children have
+  // larger ids than parents, so one backward sweep suffices).
+  for (std::int32_t i = num_nodes - 1; i >= 0; --i) {
+    Node& node = h.nodes_[i];
+    NUCLEUS_CHECK_MSG(i == 0 || !node.members.empty(),
+                      "non-root hierarchy node with no direct members");
+    node.subtree_members += static_cast<std::int64_t>(node.members.size());
+    if (node.parent != kInvalidId) {
+      h.nodes_[node.parent].subtree_members += node.subtree_members;
+    }
+    if (node.lambda >= 1) ++h.num_nuclei_;
+    if (node.lambda > h.max_lambda_) h.max_lambda_ = node.lambda;
+  }
+  return h;
+}
+
 std::vector<std::int32_t> NucleusHierarchy::AncestorChain(CliqueId u) const {
   std::vector<std::int32_t> chain;
   std::int32_t cur = node_of_clique_[u];

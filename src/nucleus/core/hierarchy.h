@@ -43,9 +43,26 @@ class NucleusHierarchy {
   static NucleusHierarchy FromSkeleton(const SkeletonBuild& build,
                                        std::int64_t num_cliques);
 
+  /// Reassembles a hierarchy from its serialized parts (the snapshot load
+  /// path, see store/snapshot.h). Node 0 must be the root (parent
+  /// kInvalidId, lambda kRootLambda); every other node's parent must have a
+  /// smaller id and a strictly smaller lambda — the compact numbering
+  /// FromSkeleton produces. Children lists, direct member lists and subtree
+  /// aggregates are rebuilt from `parent` / `node_of_clique`. Violated
+  /// preconditions abort: callers holding untrusted input (the snapshot
+  /// reader) must validate and return Status before calling this.
+  static NucleusHierarchy FromParts(std::vector<Lambda> node_lambda,
+                                    std::vector<std::int32_t> parent,
+                                    std::vector<std::int32_t> node_of_clique);
+
   std::int32_t root() const { return root_; }
   std::int64_t NumNodes() const {
     return static_cast<std::int64_t>(nodes_.size());
+  }
+
+  /// Size of the K_r space the hierarchy was built over.
+  std::int64_t NumCliques() const {
+    return static_cast<std::int64_t>(node_of_clique_.size());
   }
   const Node& node(std::int32_t id) const { return nodes_[id]; }
 

@@ -40,6 +40,19 @@ HierarchyIndex::HierarchyIndex(const NucleusHierarchy& hierarchy)
   }
 }
 
+HierarchyIndex::HierarchyIndex(const NucleusHierarchy& hierarchy,
+                               HierarchyIndexTables tables)
+    : hierarchy_(&hierarchy),
+      depth_(std::move(tables.depth)),
+      up_(std::move(tables.up)),
+      num_nodes_(static_cast<std::int32_t>(hierarchy.NumNodes())),
+      levels_(tables.levels) {
+  NUCLEUS_CHECK(static_cast<std::int32_t>(depth_.size()) == num_nodes_);
+  NUCLEUS_CHECK(levels_ >= 1);
+  NUCLEUS_CHECK(up_.size() ==
+                static_cast<std::size_t>(levels_) * num_nodes_);
+}
+
 std::int32_t HierarchyIndex::Lca(std::int32_t a, std::int32_t b) const {
   NUCLEUS_CHECK(a >= 0 && a < num_nodes_ && b >= 0 && b < num_nodes_);
   if (depth_[a] < depth_[b]) std::swap(a, b);

@@ -23,10 +23,28 @@
 
 namespace nucleus {
 
+/// The index's precomputed state in serializable form (store/snapshot.h
+/// persists these so a snapshot load skips the O(nodes * log depth) build).
+struct HierarchyIndexTables {
+  std::vector<std::int32_t> depth;  // per node, root = 0
+  std::vector<std::int32_t> up;     // levels x num_nodes, row-major
+  std::int32_t levels = 0;
+};
+
 class HierarchyIndex {
  public:
   /// Builds jump tables in O(nodes * log depth).
   explicit HierarchyIndex(const NucleusHierarchy& hierarchy);
+
+  /// Adopts tables previously produced by Tables() for an identical
+  /// hierarchy (the snapshot load path). Shape mismatches abort; semantic
+  /// validation of untrusted tables happens in the snapshot reader.
+  HierarchyIndex(const NucleusHierarchy& hierarchy,
+                 HierarchyIndexTables tables);
+
+  /// Copies the precomputed state for serialization. A HierarchyIndex
+  /// rebuilt from these tables answers queries identically.
+  HierarchyIndexTables Tables() const { return {depth_, up_, levels_}; }
 
   /// Depth of a node (root = 0).
   std::int32_t Depth(std::int32_t node) const { return depth_[node]; }

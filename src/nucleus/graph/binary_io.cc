@@ -6,16 +6,10 @@
 #include <memory>
 #include <vector>
 
+#include "nucleus/util/file_util.h"
+
 namespace nucleus {
 namespace {
-
-// fclose-on-scope-exit wrapper so every early return closes the stream.
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 Status WriteBytes(std::FILE* f, const void* data, std::size_t size,
                   const std::string& path) {
@@ -71,6 +65,9 @@ Status ParseHeader(std::FILE* f, const std::string& path,
   }
   return Status::Ok();
 }
+
+// Header bytes preceding the arrays: magic + version + |V| + |adj|.
+constexpr std::int64_t kBinaryGraphHeaderBytes = 8 + 4 + 4 + 8;
 
 }  // namespace
 
@@ -132,6 +129,30 @@ StatusOr<Graph> ReadBinaryGraph(const std::string& path) {
 
   BinaryGraphHeader header;
   if (Status s = ParseHeader(f, path, &header); !s.ok()) return s;
+
+  // Size the whole file from the header BEFORE allocating: a corrupt
+  // vertex/adjacency count can neither trigger a giant allocation nor
+  // hide a truncated tail or trailing garbage behind short reads. The
+  // adj_size bound comes first so the expected-size arithmetic below
+  // cannot wrap for adj_size near INT64_MAX (num_vertices is int32, so
+  // its term is bounded already).
+  StatusOr<std::int64_t> actual = FileSize(f, path);
+  if (!actual.ok()) return actual.status();
+  if (header.adj_size > *actual / 4) {
+    return Status::InvalidArgument(
+        "size mismatch in " + path +
+        " (adjacency count exceeds the file size; truncated or corrupt)");
+  }
+  const std::int64_t expected =
+      kBinaryGraphHeaderBytes +
+      (static_cast<std::int64_t>(header.num_vertices) + 1) * 8 +
+      header.adj_size * 4;
+  if (*actual != expected) {
+    return Status::InvalidArgument(
+        "size mismatch in " + path + " (header implies " +
+        std::to_string(expected) + " bytes, file has " +
+        std::to_string(*actual) + "; truncated or trailing data)");
+  }
 
   std::vector<std::int64_t> offsets(
       static_cast<std::size_t>(header.num_vertices) + 1);

@@ -1,7 +1,9 @@
 #include "nucleus/io/hierarchy_export.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 namespace nucleus {
 namespace {
@@ -12,13 +14,82 @@ bool NodeVisible(const NucleusHierarchy& h, std::int32_t id,
          h.node(id).subtree_members >= options.min_subtree_members;
 }
 
+/// Nearest visible ancestor of a visible non-root node (the root is always
+/// visible, so the climb terminates).
+std::int32_t SplicedParent(const NucleusHierarchy& h, std::int32_t id,
+                           const ExportOptions& options) {
+  std::int32_t parent = h.node(id).parent;
+  while (parent != h.root() && !NodeVisible(h, parent, options)) {
+    parent = h.node(parent).parent;
+  }
+  return parent;
+}
+
+/// Escapes a string for a DOT double-quoted label.
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
 
 std::string HierarchyToDot(const NucleusHierarchy& h,
                            const ExportOptions& options) {
   std::ostringstream out;
   out << "digraph nucleus_hierarchy {\n"
       << "  node [shape=box, fontname=\"monospace\"];\n";
+  if (!options.name.empty()) {
+    out << "  label=\"" << DotEscape(options.name) << "\";\n";
+  }
   for (std::int32_t id = 0; id < h.NumNodes(); ++id) {
     if (!NodeVisible(h, id, options)) continue;
     const auto& node = h.node(id);
@@ -41,11 +112,7 @@ std::string HierarchyToDot(const NucleusHierarchy& h,
   for (std::int32_t id = 0; id < h.NumNodes(); ++id) {
     if (id == h.root() || !NodeVisible(h, id, options)) continue;
     // Splice hidden intermediate nodes up to the nearest visible ancestor.
-    std::int32_t parent = h.node(id).parent;
-    while (parent != h.root() && !NodeVisible(h, parent, options)) {
-      parent = h.node(parent).parent;
-    }
-    out << "  n" << parent << " -> n" << id << ";\n";
+    out << "  n" << SplicedParent(h, id, options) << " -> n" << id << ";\n";
   }
   out << "}\n";
   return out.str();
@@ -53,21 +120,38 @@ std::string HierarchyToDot(const NucleusHierarchy& h,
 
 std::string HierarchyToJson(const NucleusHierarchy& h,
                             const ExportOptions& options) {
+  // Spliced children lists, so the emitted tree is closed over the visible
+  // node set (matching the DOT exporter's edge splicing).
+  std::vector<std::int32_t> parent(static_cast<std::size_t>(h.NumNodes()),
+                                   kInvalidId);
+  std::vector<std::vector<std::int32_t>> children(
+      static_cast<std::size_t>(h.NumNodes()));
+  for (std::int32_t id = 0; id < h.NumNodes(); ++id) {
+    if (id == h.root() || !NodeVisible(h, id, options)) continue;
+    parent[id] = SplicedParent(h, id, options);
+    children[parent[id]].push_back(id);
+  }
+
   std::ostringstream out;
-  out << "{\"root\": " << h.root() << ", \"max_lambda\": " << h.MaxLambda()
+  out << "{";
+  if (!options.name.empty()) {
+    out << "\"name\": \"" << JsonEscape(options.name) << "\", ";
+  }
+  out << "\"root\": " << h.root() << ", \"max_lambda\": " << h.MaxLambda()
       << ", \"num_nuclei\": " << h.NumNuclei() << ", \"nodes\": [\n";
   bool first = true;
   for (std::int32_t id = 0; id < h.NumNodes(); ++id) {
+    if (!NodeVisible(h, id, options)) continue;
     const auto& node = h.node(id);
     if (!first) out << ",\n";
     first = false;
     out << "  {\"id\": " << id << ", \"lambda\": " << node.lambda
-        << ", \"parent\": " << node.parent
+        << ", \"parent\": " << parent[id]
         << ", \"size\": " << node.members.size()
         << ", \"subtree_size\": " << node.subtree_members << ", \"children\": [";
-    for (std::size_t i = 0; i < node.children.size(); ++i) {
+    for (std::size_t i = 0; i < children[id].size(); ++i) {
       if (i > 0) out << ", ";
-      out << node.children[i];
+      out << children[id][i];
     }
     out << "]";
     if (options.include_members) {

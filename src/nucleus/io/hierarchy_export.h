@@ -14,16 +14,27 @@ namespace nucleus {
 struct ExportOptions {
   /// Include the direct member ids of every node (can be large).
   bool include_members = false;
-  /// Skip nodes whose subtree has fewer members than this.
+  /// Skip nodes whose subtree has fewer members than this. Hidden nodes
+  /// are spliced: a visible node's parent/edges point to its nearest
+  /// visible ancestor (both exporters).
   std::int64_t min_subtree_members = 0;
+  /// Free-form label (e.g. the dataset name) embedded in the output;
+  /// escaped, so any string is safe.
+  std::string name;
 };
+
+/// Escapes a string for embedding inside a JSON string literal: quote,
+/// backslash and control characters (incl. \n, \t, ...) per RFC 8259.
+std::string JsonEscape(const std::string& s);
 
 /// DOT digraph, one box per hierarchy node labeled "λ=<k> |subtree|=<n>".
 std::string HierarchyToDot(const NucleusHierarchy& h,
                            const ExportOptions& options = {});
 
 /// JSON object {"root": id, "nodes": [{id, lambda, parent, size,
-/// subtree_size, children: [...], members?: [...]}]}.
+/// subtree_size, children: [...], members?: [...]}]}. With
+/// min_subtree_members, hidden nodes are dropped and the emitted
+/// parent/children describe the spliced (visible) tree.
 std::string HierarchyToJson(const NucleusHierarchy& h,
                             const ExportOptions& options = {});
 

@@ -1,0 +1,115 @@
+// Sharded LRU cache for query-serving materializations.
+//
+// The QueryEngine's hot path is pointer-chasing over immutable arrays and
+// needs no synchronization; the one mutable structure is this cache, which
+// memoizes expensive materializations (full member lists of a nucleus
+// subtree). Sharding by key hash keeps concurrent batch workers from
+// serializing on a single mutex; values are handed out as
+// shared_ptr<const V> so an entry evicted mid-use stays alive for the
+// caller that holds it.
+#ifndef NUCLEUS_SERVE_LRU_CACHE_H_
+#define NUCLEUS_SERVE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "nucleus/util/common.h"
+
+namespace nucleus {
+
+struct LruCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+};
+
+template <typename K, typename V>
+class ShardedLruCache {
+ public:
+  /// `entries_per_shard` >= 1; `num_shards` >= 1 (rounded up to a power of
+  /// two so shard selection is a mask).
+  ShardedLruCache(std::size_t entries_per_shard, std::size_t num_shards)
+      : capacity_(entries_per_shard >= 1 ? entries_per_shard : 1) {
+    std::size_t shards = 1;
+    while (shards < num_shards) shards <<= 1;
+    shards_ = std::vector<Shard>(shards);
+  }
+
+  /// Returns the cached value for `key`, computing (outside any lock) and
+  /// inserting it on a miss. Two threads racing on the same missing key may
+  /// both compute; one result wins the slot — acceptable for pure
+  /// memoization, and it keeps arbitrary compute out of the critical
+  /// section. `compute` is a template parameter (not std::function): the
+  /// hit path pays no type-erasure allocation.
+  template <typename ComputeFn>
+  std::shared_ptr<const V> GetOrCompute(const K& key,
+                                        const ComputeFn& compute) {
+    Shard& shard = ShardOf(key);
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      auto it = shard.map.find(key);
+      if (it != shard.map.end()) {
+        shard.order.splice(shard.order.begin(), shard.order, it->second);
+        ++shard.stats.hits;
+        return it->second->second;
+      }
+      ++shard.stats.misses;
+    }
+    auto value = std::make_shared<const V>(compute());
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      // A racing computation landed first; adopt its value.
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      return it->second->second;
+    }
+    shard.order.emplace_front(key, std::move(value));
+    shard.map.emplace(key, shard.order.begin());
+    if (shard.map.size() > capacity_) {
+      shard.map.erase(shard.order.back().first);
+      shard.order.pop_back();
+      ++shard.stats.evictions;
+    }
+    return shard.order.front().second;
+  }
+
+  /// Aggregated over all shards.
+  LruCacheStats Stats() const {
+    LruCacheStats total;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      total.hits += shard.stats.hits;
+      total.misses += shard.stats.misses;
+      total.evictions += shard.stats.evictions;
+    }
+    return total;
+  }
+
+  std::size_t NumShards() const { return shards_.size(); }
+
+ private:
+  using Entry = std::pair<K, std::shared_ptr<const V>>;
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> order;  // most-recently-used first
+    std::unordered_map<K, typename std::list<Entry>::iterator> map;
+    LruCacheStats stats;
+  };
+
+  Shard& ShardOf(const K& key) {
+    return shards_[std::hash<K>{}(key) & (shards_.size() - 1)];
+  }
+
+  const std::size_t capacity_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_SERVE_LRU_CACHE_H_

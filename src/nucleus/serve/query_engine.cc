@@ -1,0 +1,158 @@
+#include "nucleus/serve/query_engine.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace nucleus {
+namespace {
+
+Status InvalidClique(const char* what, std::int64_t value,
+                     std::int64_t num_cliques) {
+  return Status::InvalidArgument(std::string(what) + " id " +
+                                 std::to_string(value) +
+                                 " out of range [0, " +
+                                 std::to_string(num_cliques) + ")");
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(SnapshotData snapshot,
+                         const QueryEngineOptions& options)
+    : snapshot_(std::move(snapshot)),
+      members_cache_(options.cache_entries_per_shard, options.cache_shards) {
+  if (snapshot_.has_index) {
+    index_.emplace(snapshot_.hierarchy, std::move(snapshot_.index_tables));
+  } else {
+    index_.emplace(snapshot_.hierarchy);
+  }
+  const NucleusHierarchy& h = snapshot_.hierarchy;
+  density_ranking_.reserve(static_cast<std::size_t>(h.NumNuclei()));
+  for (std::int32_t id = 0; id < h.NumNodes(); ++id) {
+    if (h.node(id).lambda >= 1) density_ranking_.push_back(id);
+  }
+  std::sort(density_ranking_.begin(), density_ranking_.end(),
+            [&h](std::int32_t a, std::int32_t b) {
+              if (h.node(a).lambda != h.node(b).lambda) {
+                return h.node(a).lambda > h.node(b).lambda;
+              }
+              return a < b;
+            });
+}
+
+QueryEngine::NucleusRef QueryEngine::MakeRef(std::int32_t node) const {
+  const auto& n = snapshot_.hierarchy.node(node);
+  return {node, n.lambda, n.subtree_members};
+}
+
+QueryEngine::Response QueryEngine::Run(const Query& query) const {
+  const std::int64_t num_cliques = snapshot_.meta.num_cliques;
+  Response response;
+  switch (query.kind) {
+    case QueryKind::kLambda: {
+      if (query.a < 0 || query.a >= num_cliques) {
+        response.status = InvalidClique("clique", query.a, num_cliques);
+        return response;
+      }
+      response.lambda =
+          snapshot_.peel.lambda[static_cast<std::size_t>(query.a)];
+      return response;
+    }
+    case QueryKind::kNucleus: {
+      if (query.a < 0 || query.a >= num_cliques) {
+        response.status = InvalidClique("clique", query.a, num_cliques);
+        return response;
+      }
+      if (query.b < 1 || query.b > snapshot_.meta.max_lambda) {
+        response.status = Status::InvalidArgument(
+            "k " + std::to_string(query.b) + " out of range [1, " +
+            std::to_string(snapshot_.meta.max_lambda) + "]");
+        return response;
+      }
+      const std::int32_t node = index_->NucleusAtLevel(
+          static_cast<CliqueId>(query.a), static_cast<Lambda>(query.b));
+      if (node != kInvalidId) {
+        response.found = true;
+        response.nucleus = MakeRef(node);
+      }
+      return response;
+    }
+    case QueryKind::kCommon:
+    case QueryKind::kLevel: {
+      if (query.a < 0 || query.a >= num_cliques) {
+        response.status = InvalidClique("clique", query.a, num_cliques);
+        return response;
+      }
+      if (query.b < 0 || query.b >= num_cliques) {
+        response.status = InvalidClique("clique", query.b, num_cliques);
+        return response;
+      }
+      const std::int32_t node = index_->SmallestCommonNucleus(
+          static_cast<CliqueId>(query.a), static_cast<CliqueId>(query.b));
+      if (node != kInvalidId) {
+        response.found = true;
+        response.nucleus = MakeRef(node);
+        response.lambda = response.nucleus.k;
+      }
+      return response;
+    }
+    case QueryKind::kTop: {
+      if (query.a < 0) {
+        response.status =
+            Status::InvalidArgument("top count must be non-negative");
+        return response;
+      }
+      response.top = TopKDensest(query.a);
+      return response;
+    }
+    case QueryKind::kMembers: {
+      if (query.a < 0 || query.a >= snapshot_.hierarchy.NumNodes()) {
+        response.status = Status::InvalidArgument(
+            "node id " + std::to_string(query.a) + " out of range [0, " +
+            std::to_string(snapshot_.hierarchy.NumNodes()) + ")");
+        return response;
+      }
+      response.nucleus = MakeRef(static_cast<std::int32_t>(query.a));
+      response.members = Members(static_cast<std::int32_t>(query.a));
+      return response;
+    }
+  }
+  response.status = Status::InvalidArgument("unknown query kind");
+  return response;
+}
+
+std::vector<QueryEngine::Response> QueryEngine::RunBatch(
+    const std::vector<Query>& queries, ThreadPool& pool) const {
+  std::vector<Response> responses(queries.size());
+  // Small grain: individual queries are microseconds, but kMembers can be
+  // output-sized; 64 balances scheduling overhead against stragglers.
+  pool.ParallelFor(static_cast<std::int64_t>(queries.size()), 64,
+                   [&](int, std::int64_t begin, std::int64_t end) {
+                     for (std::int64_t i = begin; i < end; ++i) {
+                       responses[static_cast<std::size_t>(i)] =
+                           Run(queries[static_cast<std::size_t>(i)]);
+                     }
+                   });
+  return responses;
+}
+
+std::vector<QueryEngine::NucleusRef> QueryEngine::TopKDensest(
+    std::int64_t k) const {
+  const std::int64_t count = std::min(
+      k, static_cast<std::int64_t>(density_ranking_.size()));
+  std::vector<NucleusRef> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    out.push_back(MakeRef(density_ranking_[static_cast<std::size_t>(i)]));
+  }
+  return out;
+}
+
+std::shared_ptr<const std::vector<CliqueId>> QueryEngine::Members(
+    std::int32_t node) const {
+  return members_cache_.GetOrCompute(node, [this, node] {
+    return snapshot_.hierarchy.MembersOfSubtree(node);
+  });
+}
+
+}  // namespace nucleus

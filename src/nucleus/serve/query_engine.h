@@ -1,0 +1,127 @@
+// QueryEngine: a long-lived, concurrent community-query server over a
+// loaded snapshot — the downstream payoff the paper promises ("community
+// search becomes a tree lookup") turned into a service component.
+//
+// The engine owns a SnapshotData (hierarchy + lambdas + jump tables) and
+// answers the community-search vocabulary:
+//
+//   * lambda(u)                     — peeling number of the K_r u;
+//   * nucleus(u, k)                 — the k-(r,s) nucleus containing u
+//                                     (HierarchyIndex::NucleusAtLevel);
+//   * common(u, v) / level(u, v)    — smallest common nucleus / its k;
+//   * top(k)                        — the k densest nuclei (max lambda
+//                                     first, precomputed ranking);
+//   * members(node)                 — full member materialization of one
+//                                     nucleus subtree, memoized in a
+//                                     sharded LRU cache.
+//
+// Everything the hot path touches is immutable after construction, so
+// Run() is safe from any number of threads; RunBatch() fans a request
+// vector over the shared ThreadPool and returns answers in input order.
+// Unlike the core-layer HierarchyIndex (which NUCLEUS_CHECKs its inputs),
+// the engine treats queries as untrusted network input: out-of-range ids
+// and invalid parameters come back as error Responses, never aborts.
+#ifndef NUCLEUS_SERVE_QUERY_ENGINE_H_
+#define NUCLEUS_SERVE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "nucleus/core/hierarchy_index.h"
+#include "nucleus/parallel/thread_pool.h"
+#include "nucleus/serve/lru_cache.h"
+#include "nucleus/store/snapshot.h"
+#include "nucleus/util/status.h"
+
+namespace nucleus {
+
+struct QueryEngineOptions {
+  /// Member-materialization cache: total capacity is
+  /// cache_shards * cache_entries_per_shard subtree member lists.
+  std::size_t cache_shards = 8;
+  std::size_t cache_entries_per_shard = 64;
+};
+
+class QueryEngine {
+ public:
+  enum class QueryKind : std::int32_t {
+    kLambda,   // a = clique id
+    kNucleus,  // a = clique id, b = k
+    kCommon,   // a, b = clique ids
+    kLevel,    // a, b = clique ids
+    kTop,      // a = k (number of nuclei to report)
+    kMembers,  // a = hierarchy node id
+  };
+
+  struct Query {
+    QueryKind kind = QueryKind::kLambda;
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+  };
+
+  /// One nucleus in an answer: its hierarchy node, its k and its size
+  /// (number of member K_r's in the subtree).
+  struct NucleusRef {
+    std::int32_t node = kInvalidId;
+    Lambda k = 0;
+    std::int64_t size = 0;
+  };
+
+  struct Response {
+    Status status;                  // non-OK: invalid query, others unset
+    Lambda lambda = 0;              // kLambda / kLevel
+    bool found = false;             // kNucleus / kCommon
+    NucleusRef nucleus;             // kNucleus / kCommon (when found)
+    std::vector<NucleusRef> top;    // kTop
+    /// kMembers: shared view of the cached member list.
+    std::shared_ptr<const std::vector<CliqueId>> members;
+  };
+
+  /// Takes ownership of the snapshot. If it carries index tables they are
+  /// adopted verbatim; otherwise the HierarchyIndex is built here once.
+  explicit QueryEngine(SnapshotData snapshot,
+                       const QueryEngineOptions& options = {});
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  const SnapshotMeta& meta() const { return snapshot_.meta; }
+  const NucleusHierarchy& hierarchy() const { return snapshot_.hierarchy; }
+  const HierarchyIndex& index() const { return *index_; }
+  std::int64_t NumCliques() const { return snapshot_.meta.num_cliques; }
+
+  /// Answers one query. Thread-safe; invalid input yields an error Status
+  /// in the Response.
+  Response Run(const Query& query) const;
+
+  /// Answers a batch concurrently over `pool`, preserving input order.
+  /// Responses are identical to sequential Run() calls.
+  std::vector<Response> RunBatch(const std::vector<Query>& queries,
+                                 ThreadPool& pool) const;
+
+  /// The `k` densest nuclei: all lambda >= 1 nodes ordered by lambda
+  /// descending, node id ascending as the tiebreak (deterministic).
+  std::vector<NucleusRef> TopKDensest(std::int64_t k) const;
+
+  /// Member list of one node's subtree, via the sharded LRU cache.
+  std::shared_ptr<const std::vector<CliqueId>> Members(
+      std::int32_t node) const;
+
+  LruCacheStats CacheStats() const { return members_cache_.Stats(); }
+
+ private:
+  NucleusRef MakeRef(std::int32_t node) const;
+
+  SnapshotData snapshot_;
+  std::optional<HierarchyIndex> index_;  // bound to snapshot_.hierarchy
+  /// lambda >= 1 nodes sorted by (lambda desc, id asc); TopKDensest serves
+  /// prefixes of this.
+  std::vector<std::int32_t> density_ranking_;
+  mutable ShardedLruCache<std::int32_t, std::vector<CliqueId>> members_cache_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_SERVE_QUERY_ENGINE_H_

@@ -1,0 +1,197 @@
+#include "nucleus/serve/request_loop.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "nucleus/io/hierarchy_export.h"
+#include "nucleus/util/parse_util.h"
+
+namespace nucleus {
+namespace {
+
+void AppendRef(std::ostringstream& out, const QueryEngine::NucleusRef& ref) {
+  out << "\"node\": " << ref.node << ", \"k\": " << ref.k
+      << ", \"size\": " << ref.size;
+}
+
+}  // namespace
+
+StatusOr<QueryEngine::Query> ParseRequestLine(const std::string& line) {
+  std::istringstream stream(line);
+  std::string verb;
+  std::vector<std::string> args;
+  stream >> verb;
+  for (std::string token; stream >> token;) args.push_back(token);
+
+  QueryEngine::Query query;
+  int arity = 0;
+  if (verb == "lambda") {
+    query.kind = QueryEngine::QueryKind::kLambda;
+    arity = 1;
+  } else if (verb == "nucleus") {
+    query.kind = QueryEngine::QueryKind::kNucleus;
+    arity = 2;
+  } else if (verb == "common") {
+    query.kind = QueryEngine::QueryKind::kCommon;
+    arity = 2;
+  } else if (verb == "level") {
+    query.kind = QueryEngine::QueryKind::kLevel;
+    arity = 2;
+  } else if (verb == "top") {
+    query.kind = QueryEngine::QueryKind::kTop;
+    arity = 1;
+  } else if (verb == "members") {
+    query.kind = QueryEngine::QueryKind::kMembers;
+    arity = 1;
+  } else {
+    return Status::InvalidArgument("unknown request '" + verb +
+                                   "' (lambda | nucleus | common | level | "
+                                   "top | members)");
+  }
+  if (static_cast<int>(args.size()) != arity) {
+    return Status::InvalidArgument("'" + verb + "' expects " +
+                                   std::to_string(arity) + " argument(s)");
+  }
+  if (!StrictParseInt64(args[0], &query.a) ||
+      (arity == 2 && !StrictParseInt64(args[1], &query.b))) {
+    return Status::InvalidArgument("'" + verb +
+                                   "' expects integer arguments");
+  }
+  return query;
+}
+
+std::string ResponseToJson(const QueryEngine::Query& query,
+                           const QueryEngine::Response& response) {
+  std::ostringstream out;
+  if (!response.status.ok()) {
+    out << "{\"error\": \"" << JsonEscape(response.status.message())
+        << "\"}";
+    return out.str();
+  }
+  switch (query.kind) {
+    case QueryEngine::QueryKind::kLambda:
+      out << "{\"query\": \"lambda\", \"u\": " << query.a
+          << ", \"lambda\": " << response.lambda << "}";
+      break;
+    case QueryEngine::QueryKind::kNucleus:
+      out << "{\"query\": \"nucleus\", \"u\": " << query.a
+          << ", \"k\": " << query.b
+          << ", \"found\": " << (response.found ? "true" : "false");
+      if (response.found) {
+        // node_k >= the requested k: the smallest lambda on u's ancestor
+        // chain that still clears the bar.
+        out << ", \"node\": " << response.nucleus.node
+            << ", \"node_k\": " << response.nucleus.k
+            << ", \"size\": " << response.nucleus.size;
+      }
+      out << "}";
+      break;
+    case QueryEngine::QueryKind::kCommon:
+      out << "{\"query\": \"common\", \"u\": " << query.a
+          << ", \"v\": " << query.b
+          << ", \"found\": " << (response.found ? "true" : "false");
+      if (response.found) {
+        out << ", ";
+        AppendRef(out, response.nucleus);
+      }
+      out << "}";
+      break;
+    case QueryEngine::QueryKind::kLevel:
+      out << "{\"query\": \"level\", \"u\": " << query.a
+          << ", \"v\": " << query.b << ", \"level\": " << response.lambda
+          << "}";
+      break;
+    case QueryEngine::QueryKind::kTop: {
+      out << "{\"query\": \"top\", \"count\": " << response.top.size()
+          << ", \"nuclei\": [";
+      for (std::size_t i = 0; i < response.top.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << "{";
+        AppendRef(out, response.top[i]);
+        out << "}";
+      }
+      out << "]}";
+      break;
+    }
+    case QueryEngine::QueryKind::kMembers: {
+      out << "{\"query\": \"members\", ";
+      AppendRef(out, response.nucleus);
+      out << ", \"members\": [";
+      const auto& members = *response.members;
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << members[i];
+      }
+      out << "]}";
+      break;
+    }
+  }
+  return out.str();
+}
+
+ServeStats ServeRequests(const QueryEngine& engine, std::istream& in,
+                         std::ostream& out, const ServeOptions& options) {
+  struct Item {
+    std::int64_t line_no = 0;
+    Status parse_status;
+    QueryEngine::Query query;
+    std::int64_t query_index = -1;  // into the batch's query vector
+  };
+
+  ThreadPool pool(options.parallel);
+  const std::int64_t batch_size =
+      options.batch_size >= 1 ? options.batch_size : 1;
+  ServeStats stats;
+  std::vector<Item> items;
+  std::vector<QueryEngine::Query> queries;
+  std::int64_t line_no = 0;
+
+  const auto flush = [&] {
+    if (items.empty()) return;
+    ++stats.batches;
+    const std::vector<QueryEngine::Response> responses =
+        engine.RunBatch(queries, pool);
+    for (const Item& item : items) {
+      if (!item.parse_status.ok()) {
+        out << "{\"error\": \"" << JsonEscape(item.parse_status.message())
+            << "\", \"line\": " << item.line_no << "}\n";
+        ++stats.errors;
+        continue;
+      }
+      const QueryEngine::Response& response =
+          responses[static_cast<std::size_t>(item.query_index)];
+      if (!response.status.ok()) ++stats.errors;
+      out << ResponseToJson(item.query, response) << "\n";
+    }
+    items.clear();
+    queries.clear();
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+
+    Item item;
+    item.line_no = line_no;
+    ++stats.requests;
+    StatusOr<QueryEngine::Query> parsed = ParseRequestLine(line);
+    if (parsed.ok()) {
+      item.query = *parsed;
+      item.query_index = static_cast<std::int64_t>(queries.size());
+      queries.push_back(*parsed);
+    } else {
+      item.parse_status = parsed.status();
+    }
+    items.push_back(std::move(item));
+    if (static_cast<std::int64_t>(items.size()) >= batch_size) flush();
+  }
+  flush();
+  out.flush();
+  return stats;
+}
+
+}  // namespace nucleus

@@ -1,0 +1,67 @@
+// Line-oriented request/response protocol over a QueryEngine — the
+// transport `nucleus_cli serve` speaks on stdin/stdout (or files), designed
+// so a snapshot-backed process can be driven by anything that writes lines
+// and reads JSON.
+//
+// Requests, one per line (blank lines and '#' comments are skipped).
+// <u> and <v> are K_r ids of the snapshot's family — vertex ids for
+// (1,2), EdgeIndex edge ids for (2,3), TriangleIndex triangle ids for
+// (3,4); <node> is a hierarchy node id:
+//
+//   lambda <u>            peeling number of the K_r u
+//   nucleus <u> <k>       the k-(r,s) nucleus containing u
+//   common <u> <v>        smallest common nucleus of u and v
+//   level <u> <v>         largest k with u, v in a common k-nucleus
+//   top <k>               the k densest nuclei
+//   members <node>        member K_r ids of one hierarchy node's subtree
+//
+// Responses: exactly one JSON object per request line, in request order,
+// e.g. {"query": "common", "u": 3, "v": 17, "found": true, "node": 5,
+// "k": 4, "size": 128}. Malformed requests produce
+// {"error": "<message>", "line": <n>} without stopping the loop.
+//
+// Requests are batched and answered concurrently over the shared
+// ThreadPool; ordering is restored before emission, so output is
+// byte-identical for every thread count.
+#ifndef NUCLEUS_SERVE_REQUEST_LOOP_H_
+#define NUCLEUS_SERVE_REQUEST_LOOP_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "nucleus/parallel/parallel_config.h"
+#include "nucleus/serve/query_engine.h"
+#include "nucleus/util/status.h"
+
+namespace nucleus {
+
+struct ServeOptions {
+  ParallelConfig parallel;
+  /// Lines read before a batch is dispatched to the pool.
+  std::int64_t batch_size = 256;
+};
+
+struct ServeStats {
+  std::int64_t requests = 0;
+  std::int64_t errors = 0;  // parse failures + invalid queries
+  std::int64_t batches = 0;
+};
+
+/// Parses one request line. Strict: unknown verbs, wrong arity and
+/// non-numeric / trailing-garbage arguments all fail.
+StatusOr<QueryEngine::Query> ParseRequestLine(const std::string& line);
+
+/// Serializes one answered query as a single-line JSON object.
+std::string ResponseToJson(const QueryEngine::Query& query,
+                           const QueryEngine::Response& response);
+
+/// Reads requests from `in` until EOF, answers them on `out` (one JSON
+/// line each, input order), batching over a ThreadPool sized by
+/// `options.parallel`.
+ServeStats ServeRequests(const QueryEngine& engine, std::istream& in,
+                         std::ostream& out, const ServeOptions& options = {});
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_SERVE_REQUEST_LOOP_H_

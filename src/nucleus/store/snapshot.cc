@@ -1,0 +1,601 @@
+#include "nucleus/store/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nucleus/util/file_util.h"
+#include "nucleus/util/scratch.h"
+
+namespace nucleus {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t Fnv1a(std::uint64_t hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+// Streams writes through an incremental FNV-1a so the checksum never needs
+// a second pass over the payload.
+class ChecksummingWriter {
+ public:
+  ChecksummingWriter(std::FILE* f, std::string path)
+      : file_(f), path_(std::move(path)) {}
+
+  Status Write(const void* data, std::size_t size) {
+    if (std::fwrite(data, 1, size, file_) != size) {
+      return Status::Internal("short write to " + path_);
+    }
+    checksum_ = Fnv1a(checksum_, data, size);
+    return Status::Ok();
+  }
+
+  template <typename T>
+  Status WriteValue(const T& value) {
+    return Write(&value, sizeof(T));
+  }
+
+  template <typename T>
+  Status WriteArray(const std::vector<T>& values) {
+    if (values.empty()) return Status::Ok();
+    return Write(values.data(), values.size() * sizeof(T));
+  }
+
+  std::uint64_t checksum() const { return checksum_; }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+  std::uint64_t checksum_ = kFnvOffset;
+};
+
+// The mirror image: every read feeds the same incremental checksum, so the
+// footer comparison covers header and payload alike.
+class ChecksummingReader {
+ public:
+  ChecksummingReader(std::FILE* f, std::string path)
+      : file_(f), path_(std::move(path)) {}
+
+  Status Read(void* data, std::size_t size) {
+    if (std::fread(data, 1, size, file_) != size) {
+      return Status::OutOfRange("truncated snapshot " + path_);
+    }
+    checksum_ = Fnv1a(checksum_, data, size);
+    return Status::Ok();
+  }
+
+  template <typename T>
+  Status ReadValue(T* value) {
+    return Read(value, sizeof(T));
+  }
+
+  /// Sized up front from the validated header: one allocation, one read.
+  template <typename T>
+  Status ReadArray(std::int64_t count, std::vector<T>* values) {
+    values->resize(static_cast<std::size_t>(count));
+    if (values->empty()) return Status::Ok();
+    return Read(values->data(), values->size() * sizeof(T));
+  }
+
+  std::uint64_t checksum() const { return checksum_; }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+  std::uint64_t checksum_ = kFnvOffset;
+};
+
+/// The header in parsed form (never memcpy'd as a struct: the on-disk
+/// layout is packed, field by field).
+struct Header {
+  std::uint32_t flags = 0;
+  std::int32_t family = 0;
+  std::int32_t algorithm = 0;
+  std::int32_t num_vertices = 0;
+  std::int64_t num_edges = 0;
+  std::uint64_t graph_fingerprint = 0;
+  std::int64_t num_cliques = 0;
+  std::int32_t max_lambda = 0;
+  std::int32_t num_nodes = 0;
+  std::int32_t levels = 0;
+};
+
+constexpr std::int64_t kHeaderBytes = 64;
+constexpr std::int64_t kFooterBytes = 8;
+
+/// Expected total file size from a validated header whose counts have been
+/// bounded by BoundCountsByFileSize: every term is then <= actual file
+/// size, so the sum cannot overflow.
+std::int64_t ExpectedFileSize(const Header& h) {
+  std::int64_t payload = 0;
+  payload += h.num_cliques * 4;  // lambda
+  payload += static_cast<std::int64_t>(h.num_nodes) * 4;  // node_lambda
+  payload += static_cast<std::int64_t>(h.num_nodes) * 4;  // node_parent
+  payload += h.num_cliques * 4;  // node_of_clique
+  if (h.flags & kSnapshotFlagHasIndex) {
+    payload += static_cast<std::int64_t>(h.num_nodes) * 4;  // depth
+    payload += static_cast<std::int64_t>(h.levels) * h.num_nodes * 4;  // up
+  }
+  return kHeaderBytes + payload + kFooterBytes;
+}
+
+/// Rejects counts a file of `actual` bytes cannot possibly hold BEFORE any
+/// size arithmetic: without this, a crafted num_cliques near 2^62 would
+/// wrap the int64 multiplications in ExpectedFileSize, slip past the size
+/// comparison, and reach a multi-exabyte vector::resize.
+Status BoundCountsByFileSize(const Header& h, std::int64_t actual,
+                             const std::string& path) {
+  const std::int64_t max_entries = actual / 4;  // every array is int32
+  if (h.num_cliques > max_entries || h.num_nodes > max_entries ||
+      static_cast<std::int64_t>(h.levels) * h.num_nodes > max_entries) {
+    return Status::InvalidArgument(
+        "snapshot size mismatch in " + path +
+        " (header counts exceed the file size; truncated or corrupt)");
+  }
+  return Status::Ok();
+}
+
+Status ReadHeader(ChecksummingReader* reader, const std::string& path,
+                  Header* header) {
+  char magic[8];
+  if (Status s = reader->Read(magic, sizeof(magic)); !s.ok()) return s;
+  if (std::memcmp(magic, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::InvalidArgument("bad magic in " + path +
+                                   " (not a snapshot file)");
+  }
+  std::uint32_t version = 0;
+  if (Status s = reader->ReadValue(&version); !s.ok()) return s;
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version) + " in " + path);
+  }
+  if (Status s = reader->ReadValue(&header->flags); !s.ok()) return s;
+  if (Status s = reader->ReadValue(&header->family); !s.ok()) return s;
+  if (Status s = reader->ReadValue(&header->algorithm); !s.ok()) return s;
+  if (Status s = reader->ReadValue(&header->num_vertices); !s.ok()) return s;
+  if (Status s = reader->ReadValue(&header->num_edges); !s.ok()) return s;
+  if (Status s = reader->ReadValue(&header->graph_fingerprint); !s.ok()) {
+    return s;
+  }
+  if (Status s = reader->ReadValue(&header->num_cliques); !s.ok()) return s;
+  if (Status s = reader->ReadValue(&header->max_lambda); !s.ok()) return s;
+  if (Status s = reader->ReadValue(&header->num_nodes); !s.ok()) return s;
+  if (Status s = reader->ReadValue(&header->levels); !s.ok()) return s;
+
+  if (header->flags & ~kSnapshotFlagHasIndex) {
+    return Status::InvalidArgument("unknown snapshot flags in " + path);
+  }
+  if (header->family < 0 ||
+      header->family > static_cast<std::int32_t>(Family::kNucleus34)) {
+    return Status::InvalidArgument("invalid family in " + path);
+  }
+  if (header->algorithm < 0 ||
+      header->algorithm > static_cast<std::int32_t>(Algorithm::kHypo)) {
+    return Status::InvalidArgument("invalid algorithm in " + path);
+  }
+  if (header->num_vertices < 0 || header->num_edges < 0 ||
+      header->num_cliques < 0 || header->max_lambda < 0 ||
+      header->num_nodes < 1) {
+    return Status::InvalidArgument("impossible counts in " + path);
+  }
+  const bool has_index = (header->flags & kSnapshotFlagHasIndex) != 0;
+  // levels is bounded by the depth of a binary-lifted tree over int32 ids.
+  if (has_index ? (header->levels < 1 || header->levels > 32)
+                : header->levels != 0) {
+    return Status::InvalidArgument("invalid index levels in " + path);
+  }
+  return Status::Ok();
+}
+
+/// Full structural validation of the loaded arrays — everything
+/// NucleusHierarchy::FromParts would abort on, surfaced as Status instead.
+Status ValidateParts(const Header& h, const std::vector<Lambda>& lambda,
+                     const std::vector<Lambda>& node_lambda,
+                     const std::vector<std::int32_t>& node_parent,
+                     const std::vector<std::int32_t>& node_of_clique,
+                     const std::string& path) {
+  if (node_lambda[0] != kRootLambda || node_parent[0] != kInvalidId) {
+    return Status::InvalidArgument("corrupt snapshot root node in " + path);
+  }
+  Lambda max_lambda = 0;
+  for (std::int32_t i = 1; i < h.num_nodes; ++i) {
+    if (node_parent[i] < 0 || node_parent[i] >= i) {
+      return Status::InvalidArgument("corrupt parent order in " + path);
+    }
+    if (node_lambda[i] < 0 ||
+        node_lambda[node_parent[i]] >= node_lambda[i]) {
+      return Status::InvalidArgument("non-increasing lambda chain in " +
+                                     path);
+    }
+    if (node_lambda[i] > max_lambda) max_lambda = node_lambda[i];
+  }
+  if (max_lambda != h.max_lambda) {
+    return Status::InvalidArgument("max lambda mismatch in " + path);
+  }
+  std::vector<char> has_member(static_cast<std::size_t>(h.num_nodes), 0);
+  for (std::int64_t u = 0; u < h.num_cliques; ++u) {
+    const std::int32_t id = node_of_clique[static_cast<std::size_t>(u)];
+    if (id < 0 || id >= h.num_nodes) {
+      return Status::InvalidArgument("clique assigned out of range in " +
+                                     path);
+    }
+    if (lambda[static_cast<std::size_t>(u)] != node_lambda[id]) {
+      return Status::InvalidArgument(
+          "lambda / node assignment mismatch in " + path);
+    }
+    has_member[id] = 1;
+  }
+  for (std::int32_t i = 1; i < h.num_nodes; ++i) {
+    if (!has_member[i]) {
+      return Status::InvalidArgument("memberless non-root node in " + path);
+    }
+  }
+  return Status::Ok();
+}
+
+/// Jump tables must be EXACTLY what HierarchyIndex would compute for this
+/// tree; the recheck is a few linear passes, orders cheaper than a
+/// traversal-based rebuild, and guarantees Tables() round-trips
+/// bit-identically.
+Status ValidateIndexTables(const Header& h,
+                           const std::vector<std::int32_t>& node_parent,
+                           const HierarchyIndexTables& tables,
+                           const std::string& path) {
+  const std::int32_t n = h.num_nodes;
+  std::int32_t max_depth = 0;
+  if (tables.depth[0] != 0) {
+    return Status::InvalidArgument("corrupt index depth table in " + path);
+  }
+  for (std::int32_t i = 1; i < n; ++i) {
+    // Parents precede children, so depth[parent] is already verified.
+    if (tables.depth[i] != tables.depth[node_parent[i]] + 1) {
+      return Status::InvalidArgument("corrupt index depth table in " + path);
+    }
+    if (tables.depth[i] > max_depth) max_depth = tables.depth[i];
+  }
+  std::int32_t expected_levels = 1;
+  while ((1 << expected_levels) <= std::max(max_depth, 1)) ++expected_levels;
+  if (tables.levels != expected_levels) {
+    return Status::InvalidArgument("index level count mismatch in " + path);
+  }
+  const auto up = [&](std::int32_t j, std::int32_t x) {
+    return tables.up[static_cast<std::size_t>(j) * n + x];
+  };
+  for (std::int32_t x = 0; x < n; ++x) {
+    if (up(0, x) != node_parent[x]) {
+      return Status::InvalidArgument("corrupt index jump table in " + path);
+    }
+  }
+  for (std::int32_t j = 1; j < tables.levels; ++j) {
+    for (std::int32_t x = 0; x < n; ++x) {
+      const std::int32_t half = up(j - 1, x);
+      const std::int32_t expect =
+          half == kInvalidId ? kInvalidId : up(j - 1, half);
+      if (up(j, x) != expect) {
+        return Status::InvalidArgument("corrupt index jump table in " + path);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::uint64_t GraphFingerprint(const Graph& g) {
+  std::uint64_t hash = kFnvOffset;
+  const std::int64_t n = g.NumVertices();
+  hash = Fnv1a(hash, &n, sizeof(n));
+  for (VertexId v = 0; v < n; ++v) {
+    const std::int64_t offset = g.AdjOffset(v);
+    hash = Fnv1a(hash, &offset, sizeof(offset));
+  }
+  const std::vector<VertexId>& adj = g.AdjArray();
+  if (!adj.empty()) {
+    hash = Fnv1a(hash, adj.data(), adj.size() * sizeof(VertexId));
+  }
+  return hash;
+}
+
+SnapshotData MakeSnapshot(const Graph& g, const DecomposeOptions& options,
+                          const DecompositionResult& result, bool with_index) {
+  DecompositionResult copy;
+  copy.num_cliques = result.num_cliques;
+  copy.peel = result.peel;
+  copy.hierarchy = result.hierarchy;
+  return MakeSnapshot(g, options, std::move(copy), with_index);
+}
+
+SnapshotData MakeSnapshot(const Graph& g, const DecomposeOptions& options,
+                          DecompositionResult&& result, bool with_index) {
+  NUCLEUS_CHECK_MSG(result.hierarchy.NumNodes() >= 1,
+                    "snapshot requires a built hierarchy (build_tree)");
+  NUCLEUS_CHECK(result.hierarchy.NumCliques() == result.num_cliques);
+  SnapshotData snapshot;
+  snapshot.meta.family = options.family;
+  snapshot.meta.algorithm = options.algorithm;
+  snapshot.meta.num_vertices = g.NumVertices();
+  snapshot.meta.num_edges = g.NumEdges();
+  snapshot.meta.graph_fingerprint = GraphFingerprint(g);
+  snapshot.meta.num_cliques = result.num_cliques;
+  snapshot.meta.max_lambda = result.peel.max_lambda;
+  snapshot.peel = std::move(result.peel);
+  snapshot.hierarchy = std::move(result.hierarchy);
+  snapshot.has_index = with_index;
+  if (with_index) {
+    snapshot.index_tables = HierarchyIndex(snapshot.hierarchy).Tables();
+  }
+  return snapshot;
+}
+
+namespace {
+
+/// The actual serialization, against an already-open stream.
+Status WriteSnapshotTo(const SnapshotData& snapshot, std::FILE* f,
+                       const std::string& path) {
+  ChecksummingWriter writer(f, path);
+
+  const NucleusHierarchy& h = snapshot.hierarchy;
+  const std::int32_t num_nodes = static_cast<std::int32_t>(h.NumNodes());
+  const std::int64_t num_cliques = h.NumCliques();
+  NUCLEUS_CHECK(num_cliques == snapshot.meta.num_cliques);
+  NUCLEUS_CHECK(static_cast<std::int64_t>(snapshot.peel.lambda.size()) ==
+                num_cliques);
+
+  const std::uint32_t flags =
+      snapshot.has_index ? kSnapshotFlagHasIndex : 0u;
+  const std::int32_t levels =
+      snapshot.has_index ? snapshot.index_tables.levels : 0;
+  if (Status s = writer.Write(kSnapshotMagic, sizeof(kSnapshotMagic));
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = writer.WriteValue(kSnapshotVersion); !s.ok()) return s;
+  if (Status s = writer.WriteValue(flags); !s.ok()) return s;
+  if (Status s =
+          writer.WriteValue(static_cast<std::int32_t>(snapshot.meta.family));
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = writer.WriteValue(
+          static_cast<std::int32_t>(snapshot.meta.algorithm));
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = writer.WriteValue(snapshot.meta.num_vertices); !s.ok()) {
+    return s;
+  }
+  if (Status s = writer.WriteValue(snapshot.meta.num_edges); !s.ok()) {
+    return s;
+  }
+  if (Status s = writer.WriteValue(snapshot.meta.graph_fingerprint);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = writer.WriteValue(num_cliques); !s.ok()) return s;
+  if (Status s = writer.WriteValue(snapshot.meta.max_lambda); !s.ok()) {
+    return s;
+  }
+  if (Status s = writer.WriteValue(num_nodes); !s.ok()) return s;
+  if (Status s = writer.WriteValue(levels); !s.ok()) return s;
+
+  if (Status s = writer.WriteArray(snapshot.peel.lambda); !s.ok()) return s;
+
+  // Node arrays are assembled per section so the write stays streamed even
+  // for hierarchies whose member lists dwarf memory locality.
+  std::vector<Lambda> node_lambda(static_cast<std::size_t>(num_nodes));
+  std::vector<std::int32_t> node_parent(static_cast<std::size_t>(num_nodes));
+  for (std::int32_t i = 0; i < num_nodes; ++i) {
+    node_lambda[i] = h.node(i).lambda;
+    node_parent[i] = h.node(i).parent;
+  }
+  if (Status s = writer.WriteArray(node_lambda); !s.ok()) return s;
+  if (Status s = writer.WriteArray(node_parent); !s.ok()) return s;
+
+  std::vector<std::int32_t> node_of_clique(
+      static_cast<std::size_t>(num_cliques));
+  for (std::int64_t u = 0; u < num_cliques; ++u) {
+    node_of_clique[static_cast<std::size_t>(u)] =
+        h.NodeOfClique(static_cast<CliqueId>(u));
+  }
+  if (Status s = writer.WriteArray(node_of_clique); !s.ok()) return s;
+
+  if (snapshot.has_index) {
+    NUCLEUS_CHECK(static_cast<std::int32_t>(
+                      snapshot.index_tables.depth.size()) == num_nodes);
+    NUCLEUS_CHECK(snapshot.index_tables.up.size() ==
+                  static_cast<std::size_t>(levels) * num_nodes);
+    if (Status s = writer.WriteArray(snapshot.index_tables.depth); !s.ok()) {
+      return s;
+    }
+    if (Status s = writer.WriteArray(snapshot.index_tables.up); !s.ok()) {
+      return s;
+    }
+  }
+
+  const std::uint64_t checksum = writer.checksum();
+  if (std::fwrite(&checksum, 1, sizeof(checksum), f) != sizeof(checksum)) {
+    return Status::Internal("short write to " + path);
+  }
+  // fflush moves the bytes to the kernel; fsync moves them to the device.
+  // Without the latter, a power loss after the rename below could journal
+  // the new name before the data blocks, leaving garbage at the target.
+  if (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0) {
+    return Status::Internal("flush failed for " + path);
+  }
+  return Status::Ok();
+}
+
+/// Best-effort fsync of the directory containing `path`, making the
+/// rename itself durable. Failure is ignored (some filesystems reject
+/// directory fsync); the data-file fsync above is the critical one.
+void SyncParentDirectory(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+Status SaveSnapshot(const SnapshotData& snapshot, const std::string& path) {
+  // Write-temp-then-rename: a crash or full disk mid-write must never
+  // destroy an existing good snapshot at `path` — for a serving process
+  // the store IS the restart path. The temp file lives next to the target
+  // so the rename stays within one filesystem.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string temp_path = path + ".tmp." +
+                                std::to_string(::getpid()) + "." +
+                                std::to_string(counter.fetch_add(1));
+  ScratchFileRemover remover(temp_path);
+  {
+    FilePtr file(std::fopen(temp_path.c_str(), "wb"));
+    if (file == nullptr) {
+      return Status::Internal("cannot create " + temp_path);
+    }
+    if (Status s = WriteSnapshotTo(snapshot, file.get(), temp_path);
+        !s.ok()) {
+      return s;
+    }
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    return Status::Internal("cannot rename " + temp_path + " to " + path);
+  }
+  SyncParentDirectory(path);
+  return Status::Ok();
+}
+
+StatusOr<SnapshotData> LoadSnapshot(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  ChecksummingReader reader(file.get(), path);
+
+  Header header;
+  if (Status s = ReadHeader(&reader, path, &header); !s.ok()) return s;
+
+  // Size the whole file from the header BEFORE any allocation: a corrupt
+  // count can neither over-allocate nor hide trailing garbage.
+  StatusOr<std::int64_t> actual = FileSize(file.get(), path);
+  if (!actual.ok()) return actual.status();
+  if (Status s = BoundCountsByFileSize(header, *actual, path); !s.ok()) {
+    return s;
+  }
+  if (*actual != ExpectedFileSize(header)) {
+    return Status::InvalidArgument(
+        "snapshot size mismatch in " + path + " (expected " +
+        std::to_string(ExpectedFileSize(header)) + " bytes, file has " +
+        std::to_string(*actual) + "; truncated or trailing data)");
+  }
+
+  SnapshotData snapshot;
+  snapshot.meta.family = static_cast<Family>(header.family);
+  snapshot.meta.algorithm = static_cast<Algorithm>(header.algorithm);
+  snapshot.meta.num_vertices = header.num_vertices;
+  snapshot.meta.num_edges = header.num_edges;
+  snapshot.meta.graph_fingerprint = header.graph_fingerprint;
+  snapshot.meta.num_cliques = header.num_cliques;
+  snapshot.meta.max_lambda = header.max_lambda;
+  snapshot.has_index = (header.flags & kSnapshotFlagHasIndex) != 0;
+
+  std::vector<Lambda> node_lambda;
+  std::vector<std::int32_t> node_parent;
+  std::vector<std::int32_t> node_of_clique;
+  if (Status s = reader.ReadArray(header.num_cliques, &snapshot.peel.lambda);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = reader.ReadArray(header.num_nodes, &node_lambda); !s.ok()) {
+    return s;
+  }
+  if (Status s = reader.ReadArray(header.num_nodes, &node_parent); !s.ok()) {
+    return s;
+  }
+  if (Status s = reader.ReadArray(header.num_cliques, &node_of_clique);
+      !s.ok()) {
+    return s;
+  }
+  if (snapshot.has_index) {
+    if (Status s =
+            reader.ReadArray(header.num_nodes, &snapshot.index_tables.depth);
+        !s.ok()) {
+      return s;
+    }
+    if (Status s = reader.ReadArray(
+            static_cast<std::int64_t>(header.levels) * header.num_nodes,
+            &snapshot.index_tables.up);
+        !s.ok()) {
+      return s;
+    }
+    snapshot.index_tables.levels = header.levels;
+  }
+
+  const std::uint64_t computed = reader.checksum();
+  std::uint64_t stored = 0;
+  if (std::fread(&stored, 1, sizeof(stored), file.get()) != sizeof(stored)) {
+    return Status::OutOfRange("truncated snapshot " + path);
+  }
+  if (stored != computed) {
+    return Status::InvalidArgument("checksum mismatch in " + path +
+                                   " (corrupt snapshot)");
+  }
+
+  if (Status s = ValidateParts(header, snapshot.peel.lambda, node_lambda,
+                               node_parent, node_of_clique, path);
+      !s.ok()) {
+    return s;
+  }
+  if (snapshot.has_index) {
+    if (Status s = ValidateIndexTables(header, node_parent,
+                                       snapshot.index_tables, path);
+        !s.ok()) {
+      return s;
+    }
+  }
+
+  snapshot.peel.max_lambda = header.max_lambda;
+  snapshot.hierarchy = NucleusHierarchy::FromParts(
+      std::move(node_lambda), std::move(node_parent),
+      std::move(node_of_clique));
+  return snapshot;
+}
+
+StatusOr<SnapshotMeta> ReadSnapshotMeta(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  ChecksummingReader reader(file.get(), path);
+  Header header;
+  if (Status s = ReadHeader(&reader, path, &header); !s.ok()) return s;
+  SnapshotMeta meta;
+  meta.family = static_cast<Family>(header.family);
+  meta.algorithm = static_cast<Algorithm>(header.algorithm);
+  meta.num_vertices = header.num_vertices;
+  meta.num_edges = header.num_edges;
+  meta.graph_fingerprint = header.graph_fingerprint;
+  meta.num_cliques = header.num_cliques;
+  meta.max_lambda = header.max_lambda;
+  return meta;
+}
+
+}  // namespace nucleus

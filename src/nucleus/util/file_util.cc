@@ -1,0 +1,22 @@
+#include "nucleus/util/file_util.h"
+
+#include <sys/types.h>
+
+namespace nucleus {
+
+StatusOr<std::int64_t> FileSize(std::FILE* f, const std::string& path) {
+  // ftello/fseeko keep off_t width even where long is 32-bit, so files
+  // past 2 GiB size correctly (the validating readers compare against
+  // header-derived totals and would otherwise reject valid large files).
+  const off_t pos = ::ftello(f);
+  if (pos < 0 || ::fseeko(f, 0, SEEK_END) != 0) {
+    return Status::Internal("cannot stat " + path);
+  }
+  const off_t size = ::ftello(f);
+  if (size < 0 || ::fseeko(f, pos, SEEK_SET) != 0) {
+    return Status::Internal("cannot stat " + path);
+  }
+  return static_cast<std::int64_t>(size);
+}
+
+}  // namespace nucleus

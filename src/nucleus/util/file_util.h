@@ -1,0 +1,29 @@
+// Small stdio helpers shared by the binary readers (graph/binary_io,
+// store/snapshot).
+#ifndef NUCLEUS_UTIL_FILE_UTIL_H_
+#define NUCLEUS_UTIL_FILE_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "nucleus/util/status.h"
+
+namespace nucleus {
+
+/// fclose-on-scope-exit wrapper so every early return closes the stream.
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/// Size of an open stream in bytes, preserving the current position.
+/// `path` is only used for error messages.
+StatusOr<std::int64_t> FileSize(std::FILE* f, const std::string& path);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_UTIL_FILE_UTIL_H_

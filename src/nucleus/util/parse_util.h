@@ -1,0 +1,29 @@
+// Strict numeric parsing shared by the CLI flag parser and the serve
+// request protocol: one definition of "the whole token must be one
+// number", so the two surfaces cannot drift.
+#ifndef NUCLEUS_UTIL_PARSE_UTIL_H_
+#define NUCLEUS_UTIL_PARSE_UTIL_H_
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace nucleus {
+
+/// Parses `token` as one base-10 int64. Rejects empty tokens, trailing
+/// garbage ("3x"), and out-of-range values; leaves *value untouched on
+/// failure.
+inline bool StrictParseInt64(const std::string& token, std::int64_t* value) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(token.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  *value = static_cast<std::int64_t>(parsed);
+  return true;
+}
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_UTIL_PARSE_UTIL_H_

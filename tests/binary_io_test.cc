@@ -125,7 +125,8 @@ TEST(BinaryIo, RejectsUnsupportedVersion) {
 TEST(BinaryIo, RejectsTruncatedPayload) {
   const std::string path = TempPath("truncated.nucgraph");
   ASSERT_TRUE(WriteBinaryGraph(Complete(10), path).ok());
-  // Chop the last 8 bytes of the adjacency array off.
+  // Chop the last 8 bytes of the adjacency array off. The size check spots
+  // the mismatch before any array is allocated or read.
   std::ifstream in(path, std::ios::binary);
   std::string bytes((std::istreambuf_iterator<char>(in)),
                     std::istreambuf_iterator<char>());
@@ -136,7 +137,36 @@ TEST(BinaryIo, RejectsTruncatedPayload) {
   out.close();
   auto result = ReadBinaryGraph(path);
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("truncated"), std::string::npos);
+}
+
+TEST(BinaryIo, RejectsTrailingGarbage) {
+  const std::string path = TempPath("trailing.nucgraph");
+  ASSERT_TRUE(WriteBinaryGraph(Complete(6), path).ok());
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out << "extra bytes after the adjacency array";
+  out.close();
+  auto result = ReadBinaryGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BinaryIo, RejectsAbsurdVertexCountWithoutAllocating) {
+  // A header claiming 2^30 vertices in a 44-byte file must be rejected by
+  // the size check, not by attempting a multi-gigabyte offsets allocation.
+  const std::string path = TempPath("absurd.nucgraph");
+  ASSERT_TRUE(WriteBinaryGraph(Path(2), path).ok());
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(12);  // num_vertices field
+  const std::int32_t bogus = 1 << 30;
+  f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  f.close();
+  auto result = ReadBinaryGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("size mismatch"),
+            std::string::npos);
 }
 
 TEST(BinaryIo, RejectsCorruptVertexId) {
@@ -164,6 +194,22 @@ TEST(BinaryIo, RejectsAsymmetricAdjacency) {
   std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
   f.seekp(24 + 6 * 8);
   const VertexId bogus = 3;
+  f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  f.close();
+  auto result = ReadBinaryGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BinaryIo, RejectsOverflowingAdjSizeWithoutAllocating) {
+  // adj_size = 2^62 (even, so it passes the parity check) would wrap the
+  // expected-size arithmetic; the bound against the real file size must
+  // reject it before any allocation.
+  const std::string path = TempPath("overflow.nucgraph");
+  ASSERT_TRUE(WriteBinaryGraph(Path(2), path).ok());
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(16);  // adj_size field
+  const std::int64_t bogus = std::int64_t{1} << 62;
   f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
   f.close();
   auto result = ReadBinaryGraph(path);

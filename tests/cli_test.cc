@@ -232,11 +232,140 @@ TEST(Cli, QueryReportsCommonNucleus) {
 
 TEST(Cli, QueryValidatesArguments) {
   const std::string edges_path = WriteTestGraph();
-  EXPECT_EQ(RunArgs({"query", "--input", edges_path, "--u", "0"}).code, 2);
+  // --u alone is a lambda query now; out-of-range and garbage ids fail.
+  EXPECT_EQ(RunArgs({"query", "--input", edges_path, "--u", "0"}).code, 0);
   EXPECT_EQ(RunArgs({"query", "--input", edges_path, "--u", "0", "--v",
                      "99999"})
                 .code,
             2);
+  EXPECT_EQ(RunArgs({"query", "--input", edges_path, "--u", "3x", "--v",
+                     "1"})
+                .code,
+            2);
+  EXPECT_EQ(RunArgs({"query", "--input", edges_path}).code, 2);
+  // --v and --k are mutually exclusive, and both require --u.
+  EXPECT_EQ(RunArgs({"query", "--input", edges_path, "--u", "0", "--v", "1",
+                     "--k", "2"})
+                .code,
+            2);
+  EXPECT_EQ(RunArgs({"query", "--input", edges_path, "--top", "3", "--v",
+                     "1"})
+                .code,
+            2);
+}
+
+TEST(Cli, RejectsUnknownFlags) {
+  const std::string edges_path = WriteTestGraph();
+  const CliResult r =
+      RunArgs({"decompose", "--input", edges_path, "--outjson", "x.json"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown flag '--outjson'"), std::string::npos);
+  EXPECT_EQ(RunArgs({"stats", "--input", edges_path, "--family", "core"})
+                .code,
+            2);
+  std::remove(edges_path.c_str());
+}
+
+TEST(Cli, RejectsTrailingGarbageInNumericFlags) {
+  const std::string edges_path = WriteTestGraph();
+  EXPECT_EQ(
+      RunArgs({"decompose", "--input", edges_path, "--threads", "2x"}).code,
+      2);
+  EXPECT_EQ(RunArgs({"generate", "--type", "er", "--out",
+                     TempPath("z.txt"), "--n", "10q"})
+                .code,
+            2);
+  EXPECT_EQ(RunArgs({"generate", "--type", "er", "--out",
+                     TempPath("z.txt"), "--param", "0.1.2"})
+                .code,
+            2);
+  std::remove(edges_path.c_str());
+}
+
+TEST(Cli, QueryByLevelAndTop) {
+  const std::string edges_path = WriteTestGraph();
+  CliResult r = RunArgs(
+      {"query", "--input", edges_path, "--u", "0", "--k", "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("2-nucleus of 0"), std::string::npos);
+
+  const std::string json = TempPath("cli_query.json");
+  r = RunArgs({"query", "--input", edges_path, "--top", "3", "--out-json",
+               json});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("densest nuclei"), std::string::npos);
+  std::ifstream json_in(json);
+  std::stringstream buffer;
+  buffer << json_in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"query\": \"top\""), std::string::npos);
+  std::remove(json.c_str());
+  std::remove(edges_path.c_str());
+}
+
+TEST(Cli, DecomposeSnapshotThenQueryAndServe) {
+  const std::string edges_path = WriteTestGraph();
+  const std::string snapshot = TempPath("cli_snap.nucsnap");
+
+  CliResult r = RunArgs({"decompose", "--input", edges_path, "--family",
+                         "truss", "--out-snapshot", snapshot});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("with index tables"), std::string::npos);
+
+  // Snapshot-backed query answers must match fresh-decompose answers.
+  const std::string snap_json = TempPath("cli_snap_q.json");
+  const std::string fresh_json = TempPath("cli_fresh_q.json");
+  r = RunArgs({"query", "--snapshot", snapshot, "--u", "0", "--v", "1",
+               "--out-json", snap_json});
+  EXPECT_EQ(r.code, 0) << r.err;
+  r = RunArgs({"query", "--input", edges_path, "--family", "truss", "--u",
+               "0", "--v", "1", "--out-json", fresh_json});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream a(snap_json);
+  std::ifstream b(fresh_json);
+  std::stringstream sa;
+  std::stringstream sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+  EXPECT_NE(sa.str().find("\"query\": \"common\""), std::string::npos);
+
+  // Serve a small scripted session from a file.
+  const std::string queries = TempPath("cli_serve_q.txt");
+  const std::string answers = TempPath("cli_serve_a.txt");
+  {
+    std::ofstream q(queries);
+    q << "# comment and blank lines are skipped\n\n"
+      << "lambda 0\nnucleus 0 2\ncommon 0 1\nlevel 0 1\ntop 2\n"
+      << "members 1\nbogus 1\n";
+  }
+  r = RunArgs({"serve", "--snapshot", snapshot, "--queries", queries,
+               "--out", answers, "--threads", "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.err.find("served 7 requests (1 errors)"), std::string::npos);
+  std::ifstream ans(answers);
+  std::stringstream sc;
+  sc << ans.rdbuf();
+  EXPECT_NE(sc.str().find("\"query\": \"lambda\""), std::string::npos);
+  EXPECT_NE(sc.str().find("\"query\": \"top\""), std::string::npos);
+  EXPECT_NE(sc.str().find("\"error\""), std::string::npos);
+
+  EXPECT_EQ(RunArgs({"serve", "--snapshot", TempPath("no.nucsnap")}).code,
+            1);
+  EXPECT_EQ(RunArgs({"serve", "--queries", queries}).code, 2);
+  // Decompose-only flags are rejected with --snapshot, not ignored.
+  EXPECT_EQ(RunArgs({"query", "--snapshot", snapshot, "--u", "0",
+                     "--family", "truss"})
+                .code,
+            2);
+  EXPECT_EQ(RunArgs({"query", "--snapshot", snapshot, "--u", "0",
+                     "--threads", "2"})
+                .code,
+            2);
+
+  for (const auto& p :
+       {snapshot, snap_json, fresh_json, queries, answers, edges_path}) {
+    std::remove(p.c_str());
+  }
 }
 
 }  // namespace

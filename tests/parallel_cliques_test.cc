@@ -1,0 +1,102 @@
+// Determinism sweep for the parallel clique-index builds: EdgeIndex and
+// TriangleIndex must be BIT-IDENTICAL to their serial builds for every
+// thread count and grain, because downstream ids (edge ids = (2,3) clique
+// ids, triangle ids = (3,4) clique ids) are part of the public result of a
+// decomposition — lambdas, hierarchies and snapshots are all keyed on them.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/cliques/edge_index.h"
+#include "nucleus/cliques/triangle_index.h"
+#include "nucleus/core/decomposition.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+using testing_util::GraphZoo;
+
+void ExpectEdgeIndexEqual(const Graph& g, const EdgeIndex& a,
+                          const EdgeIndex& b) {
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (EdgeId e = 0; e < a.NumEdges(); ++e) {
+    EXPECT_EQ(a.Endpoints(e), b.Endpoints(e)) << "edge " << e;
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const auto ea = a.AdjEdgeIds(g, v);
+    const auto eb = b.AdjEdgeIds(g, v);
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i], eb[i]) << "vertex " << v << " slot " << i;
+    }
+  }
+}
+
+void ExpectTriangleIndexEqual(const TriangleIndex& a,
+                              const TriangleIndex& b, EdgeId num_edges) {
+  ASSERT_EQ(a.NumTriangles(), b.NumTriangles());
+  for (TriangleId t = 0; t < a.NumTriangles(); ++t) {
+    EXPECT_EQ(a.Vertices(t), b.Vertices(t)) << "triangle " << t;
+    EXPECT_EQ(a.Edges(t), b.Edges(t)) << "triangle " << t;
+  }
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    const auto la = a.EdgeTriangles(e);
+    const auto lb = b.EdgeTriangles(e);
+    ASSERT_EQ(la.size(), lb.size()) << "edge " << e;
+    for (std::size_t i = 0; i < la.size(); ++i) {
+      EXPECT_EQ(la[i].third, lb[i].third) << "edge " << e << " slot " << i;
+      EXPECT_EQ(la[i].tid, lb[i].tid) << "edge " << e << " slot " << i;
+    }
+  }
+}
+
+class ParallelCliqueIndexTest
+    : public ::testing::TestWithParam<testing_util::GraphCase> {};
+
+TEST_P(ParallelCliqueIndexTest, DeterminismAcrossThreadsAndGrains) {
+  const Graph g = GetParam().make();
+  const EdgeIndex serial_edges = EdgeIndex::Build(g);
+  const TriangleIndex serial_triangles = TriangleIndex::Build(g, serial_edges);
+
+  for (int threads : {1, 2, 4, 8}) {
+    for (std::int64_t grain : {std::int64_t{1}, std::int64_t{7},
+                               ParallelConfig::kDefaultGrain}) {
+      ParallelConfig config;
+      config.num_threads = threads;
+      config.grain_size = grain;
+      const EdgeIndex parallel_edges = EdgeIndex::Build(g, config);
+      ExpectEdgeIndexEqual(g, serial_edges, parallel_edges);
+      const TriangleIndex parallel_triangles =
+          TriangleIndex::Build(g, parallel_edges, config);
+      ExpectTriangleIndexEqual(serial_triangles, parallel_triangles,
+                               serial_edges.NumEdges());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ParallelCliqueIndexTest,
+                         ::testing::ValuesIn(GraphZoo()),
+                         [](const auto& info) { return info.param.name; });
+
+// The facade wires options.parallel through to the index builds: a
+// threaded (3,4) decomposition (whose clique space IS the triangle index)
+// must reproduce the serial result exactly.
+TEST(ParallelCliqueIndexDecompose, ThreadedNucleus34MatchesSerial) {
+  const Graph g = ErdosRenyiGnp(40, 0.15, 7);
+  DecomposeOptions serial_options;
+  serial_options.family = Family::kNucleus34;
+  serial_options.algorithm = Algorithm::kFnd;
+  const DecompositionResult serial = Decompose(g, serial_options);
+
+  DecomposeOptions threaded_options = serial_options;
+  threaded_options.parallel.num_threads = 4;
+  const DecompositionResult threaded = Decompose(g, threaded_options);
+
+  EXPECT_EQ(serial.num_cliques, threaded.num_cliques);
+  EXPECT_EQ(serial.peel.lambda, threaded.peel.lambda);
+  EXPECT_EQ(serial.peel.max_lambda, threaded.peel.max_lambda);
+}
+
+}  // namespace
+}  // namespace nucleus

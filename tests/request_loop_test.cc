@@ -1,0 +1,134 @@
+#include "nucleus/serve/request_loop.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/core/decomposition.h"
+#include "nucleus/store/snapshot.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+QueryEngine MakeFigure2Engine() {
+  const Graph g = testing_util::PaperFigure2Graph();
+  DecomposeOptions options;
+  options.family = Family::kCore12;
+  options.algorithm = Algorithm::kFnd;
+  const DecompositionResult result = Decompose(g, options);
+  return QueryEngine(MakeSnapshot(g, options, result, true));
+}
+
+TEST(ParseRequestLine, AcceptsEveryVerb) {
+  EXPECT_TRUE(ParseRequestLine("lambda 3").ok());
+  EXPECT_TRUE(ParseRequestLine("nucleus 3 2").ok());
+  EXPECT_TRUE(ParseRequestLine("common 0 7").ok());
+  EXPECT_TRUE(ParseRequestLine("level 0 7").ok());
+  EXPECT_TRUE(ParseRequestLine("top 5").ok());
+  EXPECT_TRUE(ParseRequestLine("members 1").ok());
+  const auto q = ParseRequestLine("nucleus 3 2");
+  EXPECT_EQ(q->kind, QueryEngine::QueryKind::kNucleus);
+  EXPECT_EQ(q->a, 3);
+  EXPECT_EQ(q->b, 2);
+}
+
+TEST(ParseRequestLine, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseRequestLine("").ok());
+  EXPECT_FALSE(ParseRequestLine("frobnicate 1").ok());
+  EXPECT_FALSE(ParseRequestLine("lambda").ok());          // missing arg
+  EXPECT_FALSE(ParseRequestLine("lambda 1 2").ok());      // extra arg
+  EXPECT_FALSE(ParseRequestLine("common 1").ok());        // arity
+  EXPECT_FALSE(ParseRequestLine("lambda 3x").ok());       // trailing junk
+  EXPECT_FALSE(ParseRequestLine("nucleus 1 two").ok());   // non-numeric
+}
+
+TEST(ServeRequests, AnswersInOrderWithErrorsInline) {
+  const QueryEngine engine = MakeFigure2Engine();
+  std::istringstream in(
+      "# figure 2 session\n"
+      "\n"
+      "lambda 0\n"
+      "wat 1\n"
+      "common 0 5\n"
+      "level 0 5\n"
+      "top 2\n"
+      "members 0\n");
+  std::ostringstream out;
+  const ServeStats stats = ServeRequests(engine, in, out);
+  EXPECT_EQ(stats.requests, 6);
+  EXPECT_EQ(stats.errors, 1);
+
+  std::vector<std::string> lines;
+  std::istringstream result(out.str());
+  for (std::string line; std::getline(result, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 6u);
+  // Vertex 0 is in a K4: lambda 3. Vertices 0 and 5 are in different K4s:
+  // common nucleus is the 2-core.
+  EXPECT_EQ(lines[0], "{\"query\": \"lambda\", \"u\": 0, \"lambda\": 3}");
+  EXPECT_NE(lines[1].find("\"error\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"line\": 4"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"query\": \"common\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"found\": true"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"k\": 2"), std::string::npos);
+  EXPECT_EQ(lines[3],
+            "{\"query\": \"level\", \"u\": 0, \"v\": 5, \"level\": 2}");
+  EXPECT_NE(lines[4].find("\"query\": \"top\", \"count\": 2"),
+            std::string::npos);
+  // members of the root subtree = all 10 vertices.
+  EXPECT_NE(lines[5].find("\"members\": [0, 1, 2, 3, 4, 5, 6, 7, 8, 9]"),
+            std::string::npos);
+}
+
+TEST(ServeRequests, InvalidQueryArgumentsBecomeErrorObjects) {
+  const QueryEngine engine = MakeFigure2Engine();
+  std::istringstream in("lambda 99999\nmembers -2\n");
+  std::ostringstream out;
+  const ServeStats stats = ServeRequests(engine, in, out);
+  EXPECT_EQ(stats.requests, 2);
+  EXPECT_EQ(stats.errors, 2);
+  std::istringstream result(out.str());
+  std::string line;
+  while (std::getline(result, line)) {
+    EXPECT_NE(line.find("\"error\""), std::string::npos) << line;
+  }
+}
+
+TEST(ServeRequests, OutputIsIdenticalAcrossThreadCountsAndBatchSizes) {
+  const QueryEngine engine = MakeFigure2Engine();
+  // A workload long enough to span several batches.
+  std::string script;
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      script += "common " + std::to_string(i) + " " + std::to_string(j) +
+                "\n";
+      script += "nucleus " + std::to_string(i) + " 2\n";
+    }
+    script += "top 3\nmembers 1\nlambda " + std::to_string(i) + "\n";
+  }
+
+  std::string reference;
+  for (int threads : {1, 2, 4, 8}) {
+    for (std::int64_t batch : {1, 7, 256}) {
+      ServeOptions options;
+      options.parallel.num_threads = threads;
+      options.batch_size = batch;
+      std::istringstream in(script);
+      std::ostringstream out;
+      const ServeStats stats = ServeRequests(engine, in, out, options);
+      EXPECT_EQ(stats.requests, 230);
+      EXPECT_EQ(stats.errors, 0);
+      if (reference.empty()) {
+        reference = out.str();
+      } else {
+        EXPECT_EQ(out.str(), reference)
+            << "threads=" << threads << " batch=" << batch;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nucleus

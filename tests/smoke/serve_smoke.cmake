@@ -1,0 +1,101 @@
+# End-to-end smoke test for the persist & serve pipeline, run by ctest (and
+# by the CI serve-smoke step) as
+#   `cmake -DNUCLEUS_CLI=... -DWORK_DIR=... -P serve_smoke.cmake`.
+#
+# Pipeline exercised: generate a graph -> decompose --out-snapshot ->
+# snapshot-backed `query` answers DIFFED against fresh-decompose answers ->
+# `serve` a scripted session at 1 and 2 threads with byte-identical output
+# -> corrupt the snapshot and confirm the loader rejects it cleanly.
+
+if(NOT DEFINED NUCLEUS_CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "serve_smoke.cmake requires -DNUCLEUS_CLI=<binary> -DWORK_DIR=<dir>")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(EDGES ${WORK_DIR}/serve_edges.txt)
+set(SNAP ${WORK_DIR}/serve.nucsnap)
+
+function(run_cli expect_code out_var)
+  execute_process(
+    COMMAND ${NUCLEUS_CLI} ${ARGN}
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL ${expect_code})
+    message(FATAL_ERROR "nucleus_cli ${ARGN}: exit ${code}, expected ${expect_code}\nstdout:\n${stdout}\nstderr:\n${stderr}")
+  endif()
+  set(${out_var} "${stdout}" PARENT_SCOPE)
+endfunction()
+
+function(expect_match text pattern context)
+  if(NOT text MATCHES "${pattern}")
+    message(FATAL_ERROR "${context}: output did not match '${pattern}'\noutput:\n${text}")
+  endif()
+endfunction()
+
+# 1. Generate a planted-partition graph and decompose it into a snapshot.
+run_cli(0 gen_out generate --type planted --out ${EDGES} --n 120 --param 6 --seed 11)
+run_cli(0 dec_out decompose --input ${EDGES} --family truss --out-snapshot ${SNAP})
+expect_match("${dec_out}" "wrote .*serve.nucsnap .* with index tables" "decompose --out-snapshot")
+if(NOT EXISTS ${SNAP})
+  message(FATAL_ERROR "decompose did not write ${SNAP}")
+endif()
+
+# 2. Snapshot-backed query answers must equal fresh-decompose answers.
+run_cli(0 q1 query --snapshot ${SNAP} --u 0 --v 1 --out-json ${WORK_DIR}/snap_q.json)
+run_cli(0 q2 query --input ${EDGES} --family truss --u 0 --v 1 --out-json ${WORK_DIR}/fresh_q.json)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  ${WORK_DIR}/snap_q.json ${WORK_DIR}/fresh_q.json RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "snapshot-backed query answers differ from fresh-decompose answers")
+endif()
+
+run_cli(0 topq query --snapshot ${SNAP} --top 3)
+expect_match("${topq}" "top 3 densest nuclei" "query --top")
+
+# 3. Serve a batch session; output must be identical at 1 and 2 threads.
+file(WRITE ${WORK_DIR}/queries.txt "# serve smoke session
+lambda 0
+nucleus 0 2
+common 0 1
+level 0 1
+top 3
+members 1
+")
+run_cli(0 s1 serve --snapshot ${SNAP} --queries ${WORK_DIR}/queries.txt --out ${WORK_DIR}/answers_t1.txt --threads 1)
+run_cli(0 s2 serve --snapshot ${SNAP} --queries ${WORK_DIR}/queries.txt --out ${WORK_DIR}/answers_t2.txt --threads 2)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  ${WORK_DIR}/answers_t1.txt ${WORK_DIR}/answers_t2.txt RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "serve output differs between 1 and 2 threads")
+endif()
+file(READ ${WORK_DIR}/answers_t1.txt answers)
+expect_match("${answers}" "\"query\": \"lambda\"" "serve answers")
+expect_match("${answers}" "\"query\": \"top\"" "serve answers")
+
+# 4. Corrupt snapshots are rejected with a clean error, not a crash:
+# (a) wrong magic, (b) a file that ends inside the header.
+file(WRITE ${WORK_DIR}/bad_magic.nucsnap "NOTASNAP and then sixty more bytes of padding to clear the header..")
+execute_process(
+  COMMAND ${NUCLEUS_CLI} serve --snapshot ${WORK_DIR}/bad_magic.nucsnap --queries ${WORK_DIR}/queries.txt
+  OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr RESULT_VARIABLE code)
+if(NOT code EQUAL 1)
+  message(FATAL_ERROR "bad-magic snapshot: exit ${code}, expected 1\n${stderr}")
+endif()
+if(NOT stderr MATCHES "bad magic")
+  message(FATAL_ERROR "bad-magic snapshot: unexpected error\n${stderr}")
+endif()
+
+file(WRITE ${WORK_DIR}/short.nucsnap "NUCSNAP1")
+execute_process(
+  COMMAND ${NUCLEUS_CLI} query --snapshot ${WORK_DIR}/short.nucsnap --u 0
+  OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr RESULT_VARIABLE code)
+if(NOT code EQUAL 1)
+  message(FATAL_ERROR "truncated snapshot: exit ${code}, expected 1\n${stderr}")
+endif()
+if(NOT stderr MATCHES "truncated")
+  message(FATAL_ERROR "truncated snapshot: unexpected error\n${stderr}")
+endif()
+
+message(STATUS "serve smoke test passed")
