@@ -21,8 +21,10 @@
 #include "nucleus/graph/generators.h"
 #include "nucleus/graph/graph_stats.h"
 #include "nucleus/io/hierarchy_export.h"
+#include "nucleus/serve/live_update.h"
 #include "nucleus/serve/query_engine.h"
 #include "nucleus/serve/request_loop.h"
+#include "nucleus/store/delta.h"
 #include "nucleus/store/snapshot.h"
 #include "nucleus/util/parse_util.h"
 
@@ -139,6 +141,41 @@ bool ParseThreads(const ParsedArgs& parsed, ParallelConfig* parallel,
   }
   parallel->num_threads = static_cast<int>(threads);
   return true;
+}
+
+/// Splits a comma-separated flag value ("d1.nucdelta,d2.nucdelta") into
+/// its non-empty components.
+std::vector<std::string> SplitCommaList(const std::string& value) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    if (end > start) parts.push_back(value.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+/// Loads --snapshot, resolving --deltas (a comma-separated chain of
+/// .nucdelta records) against `graph` when present. Shared by query,
+/// serve and update. `link` (optional) receives the chain endpoint for a
+/// continuing LiveUpdater; it is set only when deltas were resolved.
+StatusOr<SnapshotData> LoadSnapshotOrChain(const std::string& snapshot_path,
+                                           const std::string& deltas,
+                                           const Graph* graph,
+                                           std::optional<ChainLink>* link) {
+  if (deltas.empty()) return LoadSnapshot(snapshot_path);
+  NUCLEUS_CHECK(graph != nullptr);  // callers enforce --deltas => --input
+  std::vector<std::string> paths{snapshot_path};
+  for (std::string& path : SplitCommaList(deltas)) {
+    paths.push_back(std::move(path));
+  }
+  ChainLink resolved;
+  StatusOr<SnapshotData> snapshot = ResolveChain(paths, *graph, &resolved);
+  if (snapshot.ok() && link != nullptr) *link = resolved;
+  return snapshot;
 }
 
 bool ParseFamily(const std::string& name, Family* family, std::ostream& err) {
@@ -468,25 +505,60 @@ int CmdSemiExternal(const ParsedArgs& parsed, std::ostream& out,
   return 0;
 }
 
-/// Acquires a query-ready engine either from a .nucsnap file (--snapshot,
-/// the fast path this PR exists for) or by decomposing --input from
+/// Acquires a query-ready engine from a .nucsnap file (--snapshot, the
+/// fast path), from a snapshot chain (--snapshot + --deltas + --input,
+/// resolved through store/delta.h), or by decomposing --input from
 /// scratch. Returns nullptr after reporting to `err`.
 std::unique_ptr<QueryEngine> AcquireEngine(const ParsedArgs& parsed,
                                            std::ostream& err,
                                            int* exit_code) {
   const std::string snapshot_path = FlagOr(parsed, "snapshot", "");
   const std::string input = FlagOr(parsed, "input", "");
+  const std::string deltas = FlagOr(parsed, "deltas", "");
+  if (!deltas.empty()) {
+    // Chain resolution patches the base lambdas and rebuilds the (1,2)
+    // hierarchy of the final state, which needs the current graph.
+    if (snapshot_path.empty() || input.empty()) {
+      err << "error: --deltas requires --snapshot (the chain base) and "
+             "--input (the current graph)\n";
+      *exit_code = 2;
+      return nullptr;
+    }
+    if (HasFlag(parsed, "family") || HasFlag(parsed, "threads") ||
+        HasFlag(parsed, "algorithm")) {
+      err << "error: --family / --algorithm / --threads do not apply to a "
+             "chain (the base snapshot fixes them)\n";
+      *exit_code = 2;
+      return nullptr;
+    }
+    const StatusOr<Graph> graph = ReadEdgeList(input);
+    if (!graph.ok()) {
+      err << "error: " << graph.status().ToString() << "\n";
+      *exit_code = 1;
+      return nullptr;
+    }
+    StatusOr<SnapshotData> snapshot =
+        LoadSnapshotOrChain(snapshot_path, deltas, &*graph, nullptr);
+    if (!snapshot.ok()) {
+      err << "error: " << snapshot.status().ToString() << "\n";
+      *exit_code = 1;
+      return nullptr;
+    }
+    return std::make_unique<QueryEngine>(std::move(*snapshot));
+  }
   if (snapshot_path.empty() == input.empty()) {
-    err << "error: provide exactly one of --snapshot or --input\n";
+    err << "error: provide exactly one of --snapshot or --input (or "
+           "--snapshot with --deltas and --input for a chain)\n";
     *exit_code = 2;
     return nullptr;
   }
   if (!snapshot_path.empty()) {
     // The snapshot already fixes the family and needs no decomposition, so
     // decompose-only flags are errors here, not silently ignored ones.
-    if (HasFlag(parsed, "family") || HasFlag(parsed, "threads")) {
-      err << "error: --family / --threads only apply with --input (the "
-             "snapshot already fixes the family)\n";
+    if (HasFlag(parsed, "family") || HasFlag(parsed, "threads") ||
+        HasFlag(parsed, "algorithm")) {
+      err << "error: --family / --algorithm / --threads only apply with "
+             "--input (the snapshot already fixes them)\n";
       *exit_code = 2;
       return nullptr;
     }
@@ -507,7 +579,20 @@ std::unique_ptr<QueryEngine> AcquireEngine(const ParsedArgs& parsed,
   DecomposeOptions options;
   options.algorithm = Algorithm::kFnd;
   if (!ParseFamily(FlagOr(parsed, "family", "core"), &options.family, err) ||
+      !ParseAlgorithm(FlagOr(parsed, "algorithm", "fnd"), &options.algorithm,
+                      err) ||
       !ParseThreads(parsed, &options.parallel, err)) {
+    *exit_code = 2;
+    return nullptr;
+  }
+  if (options.algorithm == Algorithm::kNaive) {
+    err << "error: naive computes no hierarchy; use fnd, dft or lcps\n";
+    *exit_code = 2;
+    return nullptr;
+  }
+  if (options.algorithm == Algorithm::kLcps &&
+      options.family != Family::kCore12) {
+    err << "error: lcps supports --family core only\n";
     *exit_code = 2;
     return nullptr;
   }
@@ -518,8 +603,8 @@ std::unique_ptr<QueryEngine> AcquireEngine(const ParsedArgs& parsed,
 
 int CmdQuery(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   if (!CheckFlags(parsed,
-                  {"input", "snapshot", "family", "threads", "u", "v", "k",
-                   "top", "out-json"},
+                  {"input", "snapshot", "deltas", "family", "algorithm",
+                   "threads", "u", "v", "k", "top", "out-json"},
                   err)) {
     return 2;
   }
@@ -645,8 +730,112 @@ int CmdQuery(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// Applies one edit batch to a loaded snapshot (or chain) and persists the
+/// patched result — the durable half of live maintenance. Requires the
+/// current graph: the incremental maintainer needs the adjacency, and the
+/// fingerprint pairing proves the snapshot describes exactly this graph.
+int CmdUpdate(const ParsedArgs& parsed, std::ostream& out,
+              std::ostream& err) {
+  if (!CheckFlags(parsed,
+                  {"snapshot", "deltas", "input", "edits", "out-snapshot",
+                   "snapshot-index", "out-delta"},
+                  err)) {
+    return 2;
+  }
+  const std::string snapshot_path = FlagOr(parsed, "snapshot", "");
+  const std::string input = FlagOr(parsed, "input", "");
+  const std::string edits_path = FlagOr(parsed, "edits", "");
+  if (snapshot_path.empty() || input.empty() || edits_path.empty()) {
+    err << "error: update requires --snapshot, --input (the graph the "
+           "snapshot was built from) and --edits\n";
+    return 2;
+  }
+  std::int64_t snapshot_index = 1;
+  if (!ParseIntFlag(parsed, "snapshot-index", 1, 0, 1, &snapshot_index,
+                    err)) {
+    return 2;
+  }
+
+  const StatusOr<Graph> graph = ReadEdgeList(input);
+  if (!graph.ok()) {
+    err << "error: " << graph.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::optional<ChainLink> link;
+  StatusOr<SnapshotData> snapshot = LoadSnapshotOrChain(
+      snapshot_path, FlagOr(parsed, "deltas", ""), &*graph, &link);
+  if (!snapshot.ok()) {
+    err << "error: " << snapshot.status().ToString() << "\n";
+    return 1;
+  }
+
+  StatusOr<std::unique_ptr<LiveUpdater>> updater =
+      LiveUpdater::Create(*graph, *snapshot, link);
+  if (!updater.ok()) {
+    err << "error: " << updater.status().ToString() << "\n";
+    return 1;
+  }
+  StatusOr<std::vector<EdgeEdit>> edits = ReadEditList(edits_path);
+  if (!edits.ok()) {
+    err << "error: " << edits.status().ToString() << "\n";
+    return 1;
+  }
+
+  StatusOr<LiveUpdater::Result> result = (*updater)->Apply(*edits);
+  if (!result.ok()) {
+    err << "error: " << result.status().ToString() << "\n";
+    return 1;
+  }
+  const CoreDeltaReport& report = result->report;
+  out << "graph: " << (*updater)->NumVertices() << " vertices, "
+      << (*updater)->NumEdges() << " edges (after edits)\n";
+  out << "applied " << report.applied << " edit(s), skipped "
+      << report.skipped << ", touched " << report.touched.size()
+      << " vertex lambda(s), max lambda " << report.max_lambda
+      << ", subcore visits " << report.subcore_visited << "\n";
+
+  const std::string delta_path = FlagOr(parsed, "out-delta", "");
+  if (!delta_path.empty()) {
+    if (Status s = SaveDelta(result->delta, delta_path); !s.ok()) {
+      err << "error: " << s.ToString() << "\n";
+      return 1;
+    }
+    out << "wrote " << delta_path << " (delta: " << result->delta.edits.size()
+        << " edit(s), " << result->delta.patched_ids.size()
+        << " patched lambda(s))\n";
+  }
+  const std::string out_snapshot = FlagOr(parsed, "out-snapshot", "");
+  if (!out_snapshot.empty()) {
+    // An all-skipped batch changes nothing: the loaded (or chain-resolved)
+    // state IS the post-state, so persist that instead of re-deriving it.
+    SnapshotData& patched =
+        result->changed ? result->snapshot : *snapshot;
+    if (snapshot_index != 0) {
+      if (!patched.has_index) {
+        patched.has_index = true;
+        patched.index_tables = HierarchyIndex(patched.hierarchy).Tables();
+      }
+    } else {
+      patched.has_index = false;
+      patched.index_tables = HierarchyIndexTables{};
+    }
+    if (Status s = SaveSnapshot(patched, out_snapshot); !s.ok()) {
+      err << "error: " << s.ToString() << "\n";
+      return 1;
+    }
+    out << "wrote " << out_snapshot << " ("
+        << patched.hierarchy.NumNodes() << " nodes, "
+        << patched.meta.num_cliques << " cliques"
+        << (snapshot_index != 0 ? ", with index tables" : "") << ")\n";
+  }
+  return 0;
+}
+
 int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
-  if (!CheckFlags(parsed, {"snapshot", "queries", "out", "threads", "batch"},
+  if (!CheckFlags(parsed,
+                  {"snapshot", "deltas", "input", "queries", "out", "threads",
+                   "batch"},
                   err)) {
     return 2;
   }
@@ -654,6 +843,12 @@ int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   if (snapshot_path.empty()) {
     err << "error: serve requires --snapshot (see decompose "
            "--out-snapshot)\n";
+    return 2;
+  }
+  const std::string input = FlagOr(parsed, "input", "");
+  const std::string deltas = FlagOr(parsed, "deltas", "");
+  if (!deltas.empty() && input.empty()) {
+    err << "error: --deltas requires --input (the current graph)\n";
     return 2;
   }
   ServeOptions options;
@@ -664,17 +859,45 @@ int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   }
   options.batch_size = batch;
 
-  StatusOr<SnapshotData> snapshot = LoadSnapshot(snapshot_path);
+  // With --input the session is live: the graph is loaded next to the
+  // snapshot (fingerprint-checked) and the `update` protocol verb is
+  // enabled; without it the session is read-only.
+  std::optional<Graph> graph;
+  if (!input.empty()) {
+    StatusOr<Graph> loaded = ReadEdgeList(input);
+    if (!loaded.ok()) {
+      err << "error: " << loaded.status().ToString() << "\n";
+      return 1;
+    }
+    graph = std::move(*loaded);
+  }
+
+  std::optional<ChainLink> link;
+  StatusOr<SnapshotData> snapshot = LoadSnapshotOrChain(
+      snapshot_path, deltas, graph.has_value() ? &*graph : nullptr, &link);
   if (!snapshot.ok()) {
     err << "error: " << snapshot.status().ToString() << "\n";
     return 1;
   }
-  const QueryEngine engine(std::move(*snapshot));
+
+  std::unique_ptr<LiveUpdater> updater;
+  if (graph.has_value()) {
+    StatusOr<std::unique_ptr<LiveUpdater>> created =
+        LiveUpdater::Create(*graph, *snapshot, link);
+    if (!created.ok()) {
+      err << "error: " << created.status().ToString() << "\n";
+      return 1;
+    }
+    updater = std::move(*created);
+  }
+
+  QueryEngine engine(std::move(*snapshot));
   err << "serving " << FamilyName(engine.meta().family) << " snapshot: "
       << engine.meta().num_cliques << " cliques, "
       << engine.hierarchy().NumNuclei() << " nuclei, max lambda "
       << engine.meta().max_lambda << ", threads "
-      << options.parallel.ResolvedThreads() << "\n";
+      << options.parallel.ResolvedThreads()
+      << (updater != nullptr ? ", updates enabled" : "") << "\n";
 
   const std::string queries_path = FlagOr(parsed, "queries", "");
   std::ifstream query_file;
@@ -698,15 +921,17 @@ int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   }
   std::ostream& response_out = out_path.empty() ? out : out_file;
 
-  const ServeStats stats = ServeRequests(engine, in, response_out, options);
+  const ServeStats stats =
+      ServeRequests(engine, updater.get(), in, response_out, options);
   err << "served " << stats.requests << " requests (" << stats.errors
-      << " errors) in " << stats.batches << " batches\n";
+      << " errors, " << stats.updates << " updates) in " << stats.batches
+      << " batches\n";
   return 0;
 }
 
 void PrintUsage(std::ostream& err) {
   err << "usage: nucleus_cli <decompose | stats | generate | convert | "
-         "semi-external | query | serve> [--flag value]...\n"
+         "semi-external | query | serve | update> [--flag value]...\n"
       << "  decompose     --input F [--family core|truss|34] "
          "[--algorithm fnd|dft|lcps] [--threads N] [--out-json F] "
          "[--out-dot F] [--lambda F]\n"
@@ -717,10 +942,18 @@ void PrintUsage(std::ostream& err) {
       << "  convert       --input F --out G   (.nucgraph <-> edge list)\n"
       << "  semi-external --input F.nucgraph [--family core|truss] "
          "[--temp DIR]\n"
-      << "  query         (--snapshot F.nucsnap | --input F [--family ...]) "
+      << "  query         (--snapshot F.nucsnap [--deltas D1,D2 --input F] "
+         "| --input F [--family ...] [--algorithm ...]) "
          "--u A [--v B | --k K] [--top N] [--out-json F]\n"
-      << "  serve         --snapshot F.nucsnap [--queries F] [--out F] "
-         "[--threads N] [--batch N]\n"
+      << "  serve         --snapshot F.nucsnap [--deltas D1,D2] [--input F] "
+         "[--queries F] [--out F] [--threads N] [--batch N]\n"
+      << "                (--input pairs the graph and enables the "
+         "'update u v +|-' protocol verb; (1,2) snapshots only)\n"
+      << "  update        --snapshot F.nucsnap [--deltas D1,D2] --input F "
+         "--edits E [--out-snapshot G.nucsnap [--snapshot-index 0|1]] "
+         "[--out-delta D.nucdelta]\n"
+      << "                (edit lines: '+ u v' inserts, '- u v' removes; "
+         "see store/README.md for the chain format)\n"
       << "query/serve ids are K_r ids of the decomposition's family: "
          "vertex ids (core), edge ids (truss), triangle ids (34)\n";
 }
@@ -743,6 +976,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   }
   if (parsed.command == "query") return CmdQuery(parsed, out, err);
   if (parsed.command == "serve") return CmdServe(parsed, out, err);
+  if (parsed.command == "update") return CmdUpdate(parsed, out, err);
   err << "error: unknown command '" << parsed.command << "'\n";
   PrintUsage(err);
   return 2;

@@ -2,22 +2,58 @@
 
 #include <algorithm>
 #include <queue>
+#include <utility>
 
+#include "nucleus/core/df_traversal.h"
 #include "nucleus/core/peeling.h"
 #include "nucleus/core/spaces.h"
-#include "nucleus/graph/graph_builder.h"
 
 namespace nucleus {
+namespace {
 
-IncrementalCoreMaintainer::IncrementalCoreMaintainer(const Graph& g) {
+/// SplitMix64 finalizer: the per-edge mix of EdgeSetFingerprint. A plain
+/// XOR of raw (u, v) keys would cancel structured edit patterns; the
+/// finalizer makes every edge contribute an independent-looking word.
+std::uint64_t MixEdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  std::uint64_t x = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u))
+                     << 32) |
+                    static_cast<std::uint32_t>(v);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t VertexCountSeed(VertexId n) {
+  // Distinguishes graphs that differ only in isolated trailing vertices.
+  return MixEdgeKey(-1, n);
+}
+
+}  // namespace
+
+std::uint64_t EdgeSetFingerprint(const Graph& g) {
+  std::uint64_t fp = VertexCountSeed(g.NumVertices());
+  g.ForEachEdge([&fp](VertexId u, VertexId v) { fp ^= MixEdgeKey(u, v); });
+  return fp;
+}
+
+IncrementalCoreMaintainer::IncrementalCoreMaintainer(const Graph& g)
+    : IncrementalCoreMaintainer(g, Peel(VertexSpace(g)).lambda) {}
+
+IncrementalCoreMaintainer::IncrementalCoreMaintainer(
+    const Graph& g, std::vector<Lambda> lambda) {
   const VertexId n = g.NumVertices();
+  NUCLEUS_CHECK_MSG(static_cast<VertexId>(lambda.size()) == n,
+                    "lambda size does not match the graph");
   adjacency_.resize(n);
   for (VertexId v = 0; v < n; ++v) {
     const auto nbrs = g.Neighbors(v);
     adjacency_[v].assign(nbrs.begin(), nbrs.end());
   }
   num_edges_ = g.NumEdges();
-  lambda_ = Peel(VertexSpace(g)).lambda;
+  lambda_ = std::move(lambda);
+  edge_fingerprint_ = EdgeSetFingerprint(g);
   candidate_mark_.assign(n, 0);
   candidate_degree_.assign(n, 0);
 }
@@ -40,6 +76,7 @@ bool IncrementalCoreMaintainer::InsertEdge(VertexId u, VertexId v) {
   insert_sorted(u, v);
   insert_sorted(v, u);
   ++num_edges_;
+  edge_fingerprint_ ^= MixEdgeKey(u, v);
 
   // Only the subcore of the lower endpoint can be promoted.
   const VertexId root = lambda_[u] <= lambda_[v] ? u : v;
@@ -72,6 +109,7 @@ bool IncrementalCoreMaintainer::InsertEdge(VertexId u, VertexId v) {
     }
     candidate_degree_[w] = cd;
   }
+  subcore_visited_ += static_cast<std::int64_t>(candidates.size());
 
   // Peel candidates whose candidate degree is <= k; evicted vertices stop
   // supporting their equal-lambda neighbors.
@@ -110,6 +148,7 @@ bool IncrementalCoreMaintainer::RemoveEdge(VertexId u, VertexId v) {
   erase_sorted(u, v);
   erase_sorted(v, u);
   --num_edges_;
+  edge_fingerprint_ ^= MixEdgeKey(u, v);
 
   // Removal can demote only the subcore(s) of the endpoint(s) whose lambda
   // equals k = min(lambda(u), lambda(v)); a demotion is by exactly one.
@@ -143,6 +182,7 @@ bool IncrementalCoreMaintainer::RemoveEdge(VertexId u, VertexId v) {
     }
     candidate_degree_[w] = support;
   }
+  subcore_visited_ += static_cast<std::int64_t>(candidates.size());
 
   // Cascade demotions: a candidate whose support fell below k drops to
   // k - 1 and stops supporting its equal-lambda neighbors.
@@ -164,14 +204,56 @@ bool IncrementalCoreMaintainer::RemoveEdge(VertexId u, VertexId v) {
   return true;
 }
 
-Graph IncrementalCoreMaintainer::ToGraph() const {
-  GraphBuilder builder(NumVertices());
-  for (VertexId ufrom = 0; ufrom < NumVertices(); ++ufrom) {
-    for (VertexId to : adjacency_[ufrom]) {
-      if (ufrom < to) builder.AddEdge(ufrom, to);
+CoreDeltaReport IncrementalCoreMaintainer::ApplyEdits(
+    std::span<const EdgeEdit> edits) {
+  CoreDeltaReport report;
+  // Snapshot the pre-state once; the patch is the post-batch diff, so an
+  // edit sequence that promotes and then demotes a vertex reports nothing
+  // for it (the patch describes states, not intermediate churn).
+  const std::vector<Lambda> before = lambda_;
+  subcore_visited_ = 0;
+  for (const EdgeEdit& edit : edits) {
+    const bool changed = edit.op == EdgeEditOp::kInsert
+                             ? InsertEdge(edit.u, edit.v)
+                             : RemoveEdge(edit.u, edit.v);
+    if (changed) {
+      ++report.applied;
+    } else {
+      ++report.skipped;
     }
   }
-  return builder.Build();
+  report.subcore_visited = subcore_visited_;
+  const VertexId n = NumVertices();
+  for (VertexId v = 0; v < n; ++v) {
+    if (lambda_[v] != before[v]) {
+      report.touched.push_back(v);
+      report.old_lambda.push_back(before[v]);
+      report.new_lambda.push_back(lambda_[v]);
+    }
+    if (lambda_[v] > report.max_lambda) report.max_lambda = lambda_[v];
+  }
+  return report;
+}
+
+Graph IncrementalCoreMaintainer::ToGraph() const {
+  const VertexId n = NumVertices();
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    offsets[v + 1] =
+        offsets[v] + static_cast<std::int64_t>(adjacency_[v].size());
+  }
+  std::vector<VertexId> adj;
+  adj.reserve(static_cast<std::size_t>(offsets[n]));
+  for (VertexId v = 0; v < n; ++v) {
+    adj.insert(adj.end(), adjacency_[v].begin(), adjacency_[v].end());
+  }
+  return Graph::FromCsr(std::move(offsets), std::move(adj));
+}
+
+NucleusHierarchy RebuildCoreHierarchy(const Graph& g, const PeelResult& peel) {
+  const VertexSpace space(g);
+  const SkeletonBuild build = DfTraversal(space, peel);
+  return NucleusHierarchy::FromSkeleton(build, g.NumVertices());
 }
 
 }  // namespace nucleus

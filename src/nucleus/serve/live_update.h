@@ -1,0 +1,107 @@
+// LiveUpdater: the orchestration layer of live snapshot maintenance.
+//
+// A serving process pairs three things: the current graph, the snapshot
+// state derived from it, and (since PR 4) a stream of edge edits. The
+// updater owns the middle of that pipeline — it keeps the incremental
+// k-core maintainer (core/incremental_core.h) seeded from the snapshot's
+// lambdas, and turns each validated edit batch into
+//
+//   * a CoreDeltaReport        (what changed),
+//   * a DeltaData chain record (the durable form, store/delta.h), and
+//   * a materialized SnapshotData of the post-state (the servable form:
+//     patched lambdas + the rebuilt (1,2) hierarchy, byte-identical to a
+//     fresh Algorithm::kDft decomposition of the edited graph),
+//
+// leaving the caller to wire the pieces: QueryEngine::ApplyUpdate for
+// serving without a restart, SaveDelta / SaveSnapshot for persistence.
+//
+// Edits arrive from untrusted surfaces (the serve protocol's `update`
+// verb, `nucleus_cli update --edits` files), so Apply validates the whole
+// batch up front and applies nothing on rejection. Updates are (1,2)-core
+// only — the space the streaming maintenance of Sariyuce et al.
+// (PVLDB 2013) covers.
+#ifndef NUCLEUS_SERVE_LIVE_UPDATE_H_
+#define NUCLEUS_SERVE_LIVE_UPDATE_H_
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nucleus/core/incremental_core.h"
+#include "nucleus/store/delta.h"
+#include "nucleus/store/snapshot.h"
+#include "nucleus/util/status.h"
+
+namespace nucleus {
+
+class LiveUpdater {
+ public:
+  /// One applied batch, in every form downstream consumers need.
+  struct Result {
+    CoreDeltaReport report;
+    DeltaData delta;
+    /// True iff the batch changed the graph (report.applied > 0).
+    bool changed = false;
+    /// Post-state snapshot: (1,2), Algorithm::kDft, no index tables (the
+    /// engine or a later save builds them on demand). Only populated when
+    /// `changed` — an all-skipped batch leaves the served state as-is, so
+    /// there is nothing to swap in and the O(V+E) materialization is
+    /// skipped (idempotent replays stay O(edits)).
+    SnapshotData snapshot;
+  };
+
+  /// Validates that `snapshot` is the (1,2), Algorithm::kDft state of `g`
+  /// — family, algorithm, vertex / clique / edge counts and the graph
+  /// fingerprint must all match — and seeds the maintainer from the
+  /// snapshot's lambdas (no re-peel). kDft is required because that is
+  /// the hierarchy shape updates rebuild: any other algorithm's node ids
+  /// would not survive the first applied batch.
+  /// `link` continues an existing chain (the ChainLink ResolveChain
+  /// returned); without it the snapshot is treated as a chain base.
+  /// `g` is copied into the maintainer's adjacency; it need not outlive
+  /// the updater.
+  static StatusOr<std::unique_ptr<LiveUpdater>> Create(
+      const Graph& g, const SnapshotData& snapshot,
+      const std::optional<ChainLink>& link = std::nullopt);
+
+  /// Validates `edits` (every endpoint in range, no self-loops — anything
+  /// else rejects the WHOLE batch with InvalidArgument and changes
+  /// nothing), applies them, and rebuilds the post-state. Inserts of
+  /// existing edges and removals of missing edges are valid no-ops,
+  /// counted in report.skipped.
+  StatusOr<Result> Apply(std::span<const EdgeEdit> edits);
+
+  VertexId NumVertices() const { return maintainer_.NumVertices(); }
+  std::int64_t NumEdges() const { return maintainer_.NumEdges(); }
+  const IncrementalCoreMaintainer& maintainer() const { return maintainer_; }
+
+ private:
+  LiveUpdater(const Graph& g, std::vector<Lambda> lambda,
+              const ChainLink& link);
+
+  IncrementalCoreMaintainer maintainer_;
+  std::uint64_t base_fingerprint_;
+  /// EdgeSetFingerprint / LambdaFingerprint of the state the NEXT delta
+  /// descends from; both advance to the child values after every Apply.
+  std::uint64_t parent_fingerprint_;
+  std::uint64_t parent_lambda_fingerprint_;
+};
+
+/// Parses a `nucleus_cli update --edits` file: one edit per line,
+///
+///   + <u> <v>    insert undirected edge {u, v}
+///   - <u> <v>    remove undirected edge {u, v}
+///
+/// with '#' comments and blank lines skipped. Integers are strict
+/// (util/parse_util.h); any malformed line fails the whole file with its
+/// line number.
+StatusOr<std::vector<EdgeEdit>> ParseEditList(const std::string& text);
+
+/// Reads and parses an edit file from disk.
+StatusOr<std::vector<EdgeEdit>> ReadEditList(const std::string& path);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_SERVE_LIVE_UPDATE_H_

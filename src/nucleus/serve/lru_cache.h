@@ -65,7 +65,14 @@ class ShardedLruCache {
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
-      // A racing computation landed first; adopt its value.
+      // A racing computation landed first; adopt its value. This lookup
+      // was served FROM the cache after all, so reclassify the miss
+      // recorded above as a hit — every GetOrCompute contributes exactly
+      // one of {hit, miss}, and `misses` counts exactly the calls whose
+      // computation filled a slot, which is what hit-rate telemetry
+      // means by a miss.
+      ++shard.stats.hits;
+      --shard.stats.misses;
       shard.order.splice(shard.order.begin(), shard.order, it->second);
       return it->second->second;
     }

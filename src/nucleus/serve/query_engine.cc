@@ -1,6 +1,7 @@
 #include "nucleus/serve/query_engine.h"
 
 #include <algorithm>
+#include <mutex>
 #include <string>
 #include <utility>
 
@@ -17,36 +18,87 @@ Status InvalidClique(const char* what, std::int64_t value,
 
 }  // namespace
 
-QueryEngine::QueryEngine(SnapshotData snapshot,
-                         const QueryEngineOptions& options)
-    : snapshot_(std::move(snapshot)),
-      members_cache_(options.cache_entries_per_shard, options.cache_shards) {
-  if (snapshot_.has_index) {
-    index_.emplace(snapshot_.hierarchy, std::move(snapshot_.index_tables));
+std::shared_ptr<QueryEngine::State> QueryEngine::BuildState(
+    SnapshotData snapshot, std::uint64_t epoch) {
+  auto state = std::make_shared<State>();
+  state->snapshot = std::move(snapshot);
+  state->epoch = epoch;
+  if (state->snapshot.has_index) {
+    state->index.emplace(state->snapshot.hierarchy,
+                         std::move(state->snapshot.index_tables));
   } else {
-    index_.emplace(snapshot_.hierarchy);
+    state->index.emplace(state->snapshot.hierarchy);
   }
-  const NucleusHierarchy& h = snapshot_.hierarchy;
-  density_ranking_.reserve(static_cast<std::size_t>(h.NumNuclei()));
+  const NucleusHierarchy& h = state->snapshot.hierarchy;
+  state->density_ranking.reserve(static_cast<std::size_t>(h.NumNuclei()));
   for (std::int32_t id = 0; id < h.NumNodes(); ++id) {
-    if (h.node(id).lambda >= 1) density_ranking_.push_back(id);
+    if (h.node(id).lambda >= 1) state->density_ranking.push_back(id);
   }
-  std::sort(density_ranking_.begin(), density_ranking_.end(),
+  std::sort(state->density_ranking.begin(), state->density_ranking.end(),
             [&h](std::int32_t a, std::int32_t b) {
               if (h.node(a).lambda != h.node(b).lambda) {
                 return h.node(a).lambda > h.node(b).lambda;
               }
               return a < b;
             });
+  return state;
 }
 
-QueryEngine::NucleusRef QueryEngine::MakeRef(std::int32_t node) const {
-  const auto& n = snapshot_.hierarchy.node(node);
+QueryEngine::QueryEngine(SnapshotData snapshot,
+                         const QueryEngineOptions& options)
+    : state_(BuildState(std::move(snapshot), 0)),
+      members_cache_(options.cache_entries_per_shard, options.cache_shards) {}
+
+std::shared_ptr<const QueryEngine::State> QueryEngine::CurrentState() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  return state_;
+}
+
+Status QueryEngine::ApplyUpdate(SnapshotData snapshot) {
+  const std::shared_ptr<const State> current = CurrentState();
+  const SnapshotMeta& now = current->snapshot.meta;
+  if (snapshot.meta.family != now.family) {
+    return Status::InvalidArgument(
+        "update snapshot family does not match the served snapshot");
+  }
+  if (snapshot.meta.num_vertices != now.num_vertices ||
+      snapshot.meta.num_cliques != now.num_cliques) {
+    return Status::InvalidArgument(
+        "update snapshot describes a different K_r id space "
+        "(vertex or clique count changed)");
+  }
+  // Build outside the lock: readers keep answering on the old state while
+  // the index and ranking come up. The epoch advances monotonically even
+  // across racing writers (each bases its epoch on the state it read and
+  // the swap is last-writer-wins, which is the semantics of concurrent
+  // updates anyway).
+  std::shared_ptr<State> next =
+      BuildState(std::move(snapshot), current->epoch + 1);
+  {
+    std::unique_lock<std::shared_mutex> lock(state_mutex_);
+    if (state_->epoch >= next->epoch) {
+      // A concurrent writer already published this or a later generation;
+      // bump past it so cache keys stay unique per published state.
+      next->epoch = state_->epoch + 1;
+    }
+    state_ = std::move(next);
+  }
+  return Status::Ok();
+}
+
+std::int64_t QueryEngine::UpdateEpoch() const {
+  return static_cast<std::int64_t>(CurrentState()->epoch);
+}
+
+QueryEngine::NucleusRef QueryEngine::MakeRef(const State& state,
+                                             std::int32_t node) const {
+  const auto& n = state.snapshot.hierarchy.node(node);
   return {node, n.lambda, n.subtree_members};
 }
 
-QueryEngine::Response QueryEngine::Run(const Query& query) const {
-  const std::int64_t num_cliques = snapshot_.meta.num_cliques;
+QueryEngine::Response QueryEngine::RunOnState(const State& state,
+                                              const Query& query) const {
+  const std::int64_t num_cliques = state.snapshot.meta.num_cliques;
   Response response;
   switch (query.kind) {
     case QueryKind::kLambda: {
@@ -55,7 +107,7 @@ QueryEngine::Response QueryEngine::Run(const Query& query) const {
         return response;
       }
       response.lambda =
-          snapshot_.peel.lambda[static_cast<std::size_t>(query.a)];
+          state.snapshot.peel.lambda[static_cast<std::size_t>(query.a)];
       return response;
     }
     case QueryKind::kNucleus: {
@@ -63,17 +115,17 @@ QueryEngine::Response QueryEngine::Run(const Query& query) const {
         response.status = InvalidClique("clique", query.a, num_cliques);
         return response;
       }
-      if (query.b < 1 || query.b > snapshot_.meta.max_lambda) {
+      if (query.b < 1 || query.b > state.snapshot.meta.max_lambda) {
         response.status = Status::InvalidArgument(
             "k " + std::to_string(query.b) + " out of range [1, " +
-            std::to_string(snapshot_.meta.max_lambda) + "]");
+            std::to_string(state.snapshot.meta.max_lambda) + "]");
         return response;
       }
-      const std::int32_t node = index_->NucleusAtLevel(
+      const std::int32_t node = state.index->NucleusAtLevel(
           static_cast<CliqueId>(query.a), static_cast<Lambda>(query.b));
       if (node != kInvalidId) {
         response.found = true;
-        response.nucleus = MakeRef(node);
+        response.nucleus = MakeRef(state, node);
       }
       return response;
     }
@@ -87,11 +139,11 @@ QueryEngine::Response QueryEngine::Run(const Query& query) const {
         response.status = InvalidClique("clique", query.b, num_cliques);
         return response;
       }
-      const std::int32_t node = index_->SmallestCommonNucleus(
+      const std::int32_t node = state.index->SmallestCommonNucleus(
           static_cast<CliqueId>(query.a), static_cast<CliqueId>(query.b));
       if (node != kInvalidId) {
         response.found = true;
-        response.nucleus = MakeRef(node);
+        response.nucleus = MakeRef(state, node);
         response.lambda = response.nucleus.k;
       }
       return response;
@@ -102,18 +154,26 @@ QueryEngine::Response QueryEngine::Run(const Query& query) const {
             Status::InvalidArgument("top count must be non-negative");
         return response;
       }
-      response.top = TopKDensest(query.a);
+      const std::int64_t count = std::min(
+          query.a,
+          static_cast<std::int64_t>(state.density_ranking.size()));
+      response.top.reserve(static_cast<std::size_t>(count));
+      for (std::int64_t i = 0; i < count; ++i) {
+        response.top.push_back(MakeRef(
+            state, state.density_ranking[static_cast<std::size_t>(i)]));
+      }
       return response;
     }
     case QueryKind::kMembers: {
-      if (query.a < 0 || query.a >= snapshot_.hierarchy.NumNodes()) {
+      if (query.a < 0 || query.a >= state.snapshot.hierarchy.NumNodes()) {
         response.status = Status::InvalidArgument(
             "node id " + std::to_string(query.a) + " out of range [0, " +
-            std::to_string(snapshot_.hierarchy.NumNodes()) + ")");
+            std::to_string(state.snapshot.hierarchy.NumNodes()) + ")");
         return response;
       }
-      response.nucleus = MakeRef(static_cast<std::int32_t>(query.a));
-      response.members = Members(static_cast<std::int32_t>(query.a));
+      response.nucleus = MakeRef(state, static_cast<std::int32_t>(query.a));
+      response.members =
+          MembersOnState(state, static_cast<std::int32_t>(query.a));
       return response;
     }
   }
@@ -121,16 +181,24 @@ QueryEngine::Response QueryEngine::Run(const Query& query) const {
   return response;
 }
 
+QueryEngine::Response QueryEngine::Run(const Query& query) const {
+  const std::shared_ptr<const State> state = CurrentState();
+  return RunOnState(*state, query);
+}
+
 std::vector<QueryEngine::Response> QueryEngine::RunBatch(
     const std::vector<Query>& queries, ThreadPool& pool) const {
+  // One state for the whole batch: answers are mutually consistent and
+  // unaffected by updates that land while the batch is in flight.
+  const std::shared_ptr<const State> state = CurrentState();
   std::vector<Response> responses(queries.size());
   // Small grain: individual queries are microseconds, but kMembers can be
   // output-sized; 64 balances scheduling overhead against stragglers.
   pool.ParallelFor(static_cast<std::int64_t>(queries.size()), 64,
                    [&](int, std::int64_t begin, std::int64_t end) {
                      for (std::int64_t i = begin; i < end; ++i) {
-                       responses[static_cast<std::size_t>(i)] =
-                           Run(queries[static_cast<std::size_t>(i)]);
+                       responses[static_cast<std::size_t>(i)] = RunOnState(
+                           *state, queries[static_cast<std::size_t>(i)]);
                      }
                    });
   return responses;
@@ -138,21 +206,31 @@ std::vector<QueryEngine::Response> QueryEngine::RunBatch(
 
 std::vector<QueryEngine::NucleusRef> QueryEngine::TopKDensest(
     std::int64_t k) const {
+  const std::shared_ptr<const State> state = CurrentState();
   const std::int64_t count = std::min(
-      k, static_cast<std::int64_t>(density_ranking_.size()));
+      k, static_cast<std::int64_t>(state->density_ranking.size()));
   std::vector<NucleusRef> out;
   out.reserve(static_cast<std::size_t>(count));
   for (std::int64_t i = 0; i < count; ++i) {
-    out.push_back(MakeRef(density_ranking_[static_cast<std::size_t>(i)]));
+    out.push_back(MakeRef(
+        *state, state->density_ranking[static_cast<std::size_t>(i)]));
   }
   return out;
 }
 
+std::shared_ptr<const std::vector<CliqueId>> QueryEngine::MembersOnState(
+    const State& state, std::int32_t node) const {
+  const std::uint64_t key =
+      (state.epoch << 32) | static_cast<std::uint32_t>(node);
+  return members_cache_.GetOrCompute(key, [&state, node] {
+    return state.snapshot.hierarchy.MembersOfSubtree(node);
+  });
+}
+
 std::shared_ptr<const std::vector<CliqueId>> QueryEngine::Members(
     std::int32_t node) const {
-  return members_cache_.GetOrCompute(node, [this, node] {
-    return snapshot_.hierarchy.MembersOfSubtree(node);
-  });
+  const std::shared_ptr<const State> state = CurrentState();
+  return MembersOnState(*state, node);
 }
 
 }  // namespace nucleus

@@ -15,9 +15,18 @@
 //                                     nucleus subtree, memoized in a
 //                                     sharded LRU cache.
 //
-// Everything the hot path touches is immutable after construction, so
-// Run() is safe from any number of threads; RunBatch() fans a request
-// vector over the shared ThreadPool and returns answers in input order.
+// Since PR 4 the engine is UPDATABLE: ApplyUpdate swaps in the state of an
+// edited graph (produced by serve/live_update.h from the incremental
+// k-core maintainer) without a restart. The hot path stays lock-light: all
+// query state lives in one immutable State object behind a shared_ptr;
+// readers take a shared lock only long enough to copy the pointer, so an
+// in-flight Run/RunBatch keeps its state alive and is never torn by a
+// concurrent swap — a batch answers every query against the single state
+// it captured on entry. Member-cache invalidation is by epoch: every state
+// carries a generation number that prefixes the cache key, so entries of a
+// replaced state simply stop being referenced and age out of the LRU
+// shards (no full flush, no stop-the-world).
+//
 // Unlike the core-layer HierarchyIndex (which NUCLEUS_CHECKs its inputs),
 // the engine treats queries as untrusted network input: out-of-range ids
 // and invalid parameters come back as error Responses, never aborts.
@@ -27,6 +36,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <vector>
 
 #include "nucleus/core/hierarchy_index.h"
@@ -87,17 +97,42 @@ class QueryEngine {
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  const SnapshotMeta& meta() const { return snapshot_.meta; }
-  const NucleusHierarchy& hierarchy() const { return snapshot_.hierarchy; }
-  const HierarchyIndex& index() const { return *index_; }
-  std::int64_t NumCliques() const { return snapshot_.meta.num_cliques; }
+  /// Accessors into the CURRENT state. The returned references stay valid
+  /// until the next ApplyUpdate (the engine keeps the current state
+  /// alive); callers that run concurrently with updates must not hold
+  /// them across an update boundary — query via Run/RunBatch instead,
+  /// which pin the state they answer from.
+  const SnapshotMeta& meta() const { return CurrentState()->snapshot.meta; }
+  const NucleusHierarchy& hierarchy() const {
+    return CurrentState()->snapshot.hierarchy;
+  }
+  const HierarchyIndex& index() const { return *CurrentState()->index; }
+  std::int64_t NumCliques() const {
+    return CurrentState()->snapshot.meta.num_cliques;
+  }
 
-  /// Answers one query. Thread-safe; invalid input yields an error Status
+  /// Swaps in the state of an edited graph. `snapshot` must describe the
+  /// same family and K_r id space layout as the current state (for (1,2):
+  /// the same vertex count) — anything else is a pairing error and returns
+  /// InvalidArgument without touching the served state. Index tables and
+  /// the density ranking are built OUTSIDE the writer lock; the swap
+  /// itself is a pointer assignment, so readers are stalled for
+  /// nanoseconds, not for the rebuild. In-flight readers finish on the
+  /// state they captured; their member-cache entries age out by epoch.
+  Status ApplyUpdate(SnapshotData snapshot);
+
+  /// Number of state swaps applied so far (telemetry; initial state is 0).
+  std::int64_t UpdateEpoch() const;
+
+  /// Answers one query against the current state. Thread-safe, including
+  /// against concurrent ApplyUpdate; invalid input yields an error Status
   /// in the Response.
   Response Run(const Query& query) const;
 
   /// Answers a batch concurrently over `pool`, preserving input order.
-  /// Responses are identical to sequential Run() calls.
+  /// The whole batch is answered against ONE state (captured on entry),
+  /// so responses are identical to sequential Run() calls on that state
+  /// and mutually consistent even if an update lands mid-batch.
   std::vector<Response> RunBatch(const std::vector<Query>& queries,
                                  ThreadPool& pool) const;
 
@@ -112,14 +147,32 @@ class QueryEngine {
   LruCacheStats CacheStats() const { return members_cache_.Stats(); }
 
  private:
-  NucleusRef MakeRef(std::int32_t node) const;
+  /// Everything a query touches, immutable once published. Heap-allocated
+  /// so the HierarchyIndex's internal pointer to the hierarchy survives
+  /// publication (the State never moves after construction).
+  struct State {
+    SnapshotData snapshot;
+    std::optional<HierarchyIndex> index;  // bound to snapshot.hierarchy
+    /// lambda >= 1 nodes sorted by (lambda desc, id asc); TopKDensest
+    /// serves prefixes of this.
+    std::vector<std::int32_t> density_ranking;
+    /// Cache-key prefix: entries of retired states become unreachable.
+    std::uint64_t epoch = 0;
+  };
 
-  SnapshotData snapshot_;
-  std::optional<HierarchyIndex> index_;  // bound to snapshot_.hierarchy
-  /// lambda >= 1 nodes sorted by (lambda desc, id asc); TopKDensest serves
-  /// prefixes of this.
-  std::vector<std::int32_t> density_ranking_;
-  mutable ShardedLruCache<std::int32_t, std::vector<CliqueId>> members_cache_;
+  static std::shared_ptr<State> BuildState(SnapshotData snapshot,
+                                           std::uint64_t epoch);
+  std::shared_ptr<const State> CurrentState() const;
+
+  Response RunOnState(const State& state, const Query& query) const;
+  NucleusRef MakeRef(const State& state, std::int32_t node) const;
+  std::shared_ptr<const std::vector<CliqueId>> MembersOnState(
+      const State& state, std::int32_t node) const;
+
+  mutable std::shared_mutex state_mutex_;      // guards state_ (swap only)
+  std::shared_ptr<const State> state_;
+  mutable ShardedLruCache<std::uint64_t, std::vector<CliqueId>>
+      members_cache_;  // key = epoch << 32 | node
 };
 
 }  // namespace nucleus

@@ -3,6 +3,7 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "nucleus/io/hierarchy_export.h"
@@ -18,12 +19,33 @@ void AppendRef(std::ostringstream& out, const QueryEngine::NucleusRef& ref) {
 
 }  // namespace
 
-StatusOr<QueryEngine::Query> ParseRequestLine(const std::string& line) {
+StatusOr<ServeRequest> ParseServeLine(const std::string& line) {
   std::istringstream stream(line);
   std::string verb;
   std::vector<std::string> args;
   stream >> verb;
   for (std::string token; stream >> token;) args.push_back(token);
+
+  ServeRequest request;
+  if (verb == "update") {
+    if (args.size() != 3 || (args[2] != "+" && args[2] != "-")) {
+      return Status::InvalidArgument(
+          "'update' expects: update <u> <v> <+|->");
+    }
+    std::int64_t u = 0;
+    std::int64_t v = 0;
+    if (!StrictParseInt64(args[0], &u) || !StrictParseInt64(args[1], &v) ||
+        u < 0 || v < 0 || u > 2147483647 || v > 2147483647) {
+      return Status::InvalidArgument(
+          "'update' expects non-negative integer vertex ids");
+    }
+    request.is_update = true;
+    request.edit.u = static_cast<VertexId>(u);
+    request.edit.v = static_cast<VertexId>(v);
+    request.edit.op =
+        args[2] == "+" ? EdgeEditOp::kInsert : EdgeEditOp::kRemove;
+    return request;
+  }
 
   QueryEngine::Query query;
   int arity = 0;
@@ -48,7 +70,7 @@ StatusOr<QueryEngine::Query> ParseRequestLine(const std::string& line) {
   } else {
     return Status::InvalidArgument("unknown request '" + verb +
                                    "' (lambda | nucleus | common | level | "
-                                   "top | members)");
+                                   "top | members | update)");
   }
   if (static_cast<int>(args.size()) != arity) {
     return Status::InvalidArgument("'" + verb + "' expects " +
@@ -59,7 +81,19 @@ StatusOr<QueryEngine::Query> ParseRequestLine(const std::string& line) {
     return Status::InvalidArgument("'" + verb +
                                    "' expects integer arguments");
   }
-  return query;
+  request.query = query;
+  return request;
+}
+
+StatusOr<QueryEngine::Query> ParseRequestLine(const std::string& line) {
+  StatusOr<ServeRequest> request = ParseServeLine(line);
+  if (!request.ok()) return request.status();
+  if (request->is_update) {
+    return Status::InvalidArgument(
+        "'update' is not a query (serve sessions accept it only with a "
+        "live updater)");
+  }
+  return request->query;
 }
 
 std::string ResponseToJson(const QueryEngine::Query& query,
@@ -131,8 +165,21 @@ std::string ResponseToJson(const QueryEngine::Query& query,
   return out.str();
 }
 
-ServeStats ServeRequests(const QueryEngine& engine, std::istream& in,
-                         std::ostream& out, const ServeOptions& options) {
+std::string UpdateToJson(const EdgeEdit& edit,
+                         const CoreDeltaReport& report) {
+  std::ostringstream out;
+  out << "{\"query\": \"update\", \"u\": " << edit.u
+      << ", \"v\": " << edit.v << ", \"op\": \""
+      << (edit.op == EdgeEditOp::kInsert ? "+" : "-")
+      << "\", \"applied\": " << (report.applied > 0 ? "true" : "false")
+      << ", \"touched\": " << report.touched.size()
+      << ", \"max_lambda\": " << report.max_lambda << "}";
+  return out.str();
+}
+
+ServeStats ServeRequests(QueryEngine& engine, LiveUpdater* updater,
+                         std::istream& in, std::ostream& out,
+                         const ServeOptions& options) {
   struct Item {
     std::int64_t line_no = 0;
     Status parse_status;
@@ -169,20 +216,56 @@ ServeStats ServeRequests(const QueryEngine& engine, std::istream& in,
     queries.clear();
   };
 
+  /// An update is a sequencing point: everything before it answers on the
+  /// pre-update state, everything after on the post-update state, so the
+  /// output is deterministic at any thread count / batch size.
+  const auto apply_update = [&](const EdgeEdit& edit) -> Status {
+    if (updater == nullptr) {
+      return Status::InvalidArgument(
+          "updates are not enabled on this session (serve with --input "
+          "<graph> to allow them)");
+    }
+    StatusOr<LiveUpdater::Result> result =
+        updater->Apply(std::span<const EdgeEdit>(&edit, 1));
+    if (!result.ok()) return result.status();
+    // A skipped no-op (duplicate insert / missing removal) left the graph
+    // untouched: keep serving the current state — no swap, no epoch bump,
+    // the member cache stays warm.
+    if (result->changed) {
+      if (Status s = engine.ApplyUpdate(std::move(result->snapshot));
+          !s.ok()) {
+        return s;
+      }
+    }
+    ++stats.updates;
+    out << UpdateToJson(edit, result->report) << "\n";
+    return Status::Ok();
+  };
+
   std::string line;
   while (std::getline(in, line)) {
     ++line_no;
     const std::size_t start = line.find_first_not_of(" \t\r");
     if (start == std::string::npos || line[start] == '#') continue;
 
+    ++stats.requests;
+    StatusOr<ServeRequest> parsed = ParseServeLine(line);
+    if (parsed.ok() && parsed->is_update) {
+      flush();
+      if (Status s = apply_update(parsed->edit); !s.ok()) {
+        out << "{\"error\": \"" << JsonEscape(s.message())
+            << "\", \"line\": " << line_no << "}\n";
+        ++stats.errors;
+      }
+      continue;
+    }
+
     Item item;
     item.line_no = line_no;
-    ++stats.requests;
-    StatusOr<QueryEngine::Query> parsed = ParseRequestLine(line);
     if (parsed.ok()) {
-      item.query = *parsed;
+      item.query = parsed->query;
       item.query_index = static_cast<std::int64_t>(queries.size());
-      queries.push_back(*parsed);
+      queries.push_back(parsed->query);
     } else {
       item.parse_status = parsed.status();
     }
@@ -192,6 +275,15 @@ ServeStats ServeRequests(const QueryEngine& engine, std::istream& in,
   flush();
   out.flush();
   return stats;
+}
+
+ServeStats ServeRequests(const QueryEngine& engine, std::istream& in,
+                         std::ostream& out, const ServeOptions& options) {
+  // Without an updater the engine is never mutated (the only mutating path
+  // is apply_update, which requires one), so serving a const engine
+  // through the mutable entry point is sound.
+  return ServeRequests(const_cast<QueryEngine&>(engine), nullptr, in, out,
+                       options);
 }
 
 }  // namespace nucleus

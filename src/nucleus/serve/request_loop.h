@@ -14,6 +14,10 @@
 //   level <u> <v>         largest k with u, v in a common k-nucleus
 //   top <k>               the k densest nuclei
 //   members <node>        member K_r ids of one hierarchy node's subtree
+//   update <u> <v> <+|->  insert (+) or remove (-) the undirected edge
+//                         {u, v} and re-serve the edited graph — only on a
+//                         (1,2) session started with the graph at hand
+//                         (`serve --input`); requires a LiveUpdater
 //
 // Responses: exactly one JSON object per request line, in request order,
 // e.g. {"query": "common", "u": 3, "v": 17, "found": true, "node": 5,
@@ -22,7 +26,11 @@
 //
 // Requests are batched and answered concurrently over the shared
 // ThreadPool; ordering is restored before emission, so output is
-// byte-identical for every thread count.
+// byte-identical for every thread count. An `update` line is a
+// sequencing point: the pending batch is flushed (answered against the
+// pre-update state), the edit is applied synchronously, and every later
+// line sees the edited graph — which keeps sessions with updates
+// deterministic at any thread count and batch size too.
 #ifndef NUCLEUS_SERVE_REQUEST_LOOP_H_
 #define NUCLEUS_SERVE_REQUEST_LOOP_H_
 
@@ -30,7 +38,9 @@
 #include <iosfwd>
 #include <string>
 
+#include "nucleus/core/incremental_core.h"
 #include "nucleus/parallel/parallel_config.h"
+#include "nucleus/serve/live_update.h"
 #include "nucleus/serve/query_engine.h"
 #include "nucleus/util/status.h"
 
@@ -44,21 +54,47 @@ struct ServeOptions {
 
 struct ServeStats {
   std::int64_t requests = 0;
-  std::int64_t errors = 0;  // parse failures + invalid queries
+  std::int64_t errors = 0;   // parse failures + invalid queries/updates
   std::int64_t batches = 0;
+  std::int64_t updates = 0;  // update lines applied
 };
 
-/// Parses one request line. Strict: unknown verbs, wrong arity and
-/// non-numeric / trailing-garbage arguments all fail.
+/// One parsed protocol line: a query, or an edge update.
+struct ServeRequest {
+  bool is_update = false;
+  QueryEngine::Query query;  // when !is_update
+  EdgeEdit edit;             // when is_update
+};
+
+/// Parses one request line (any verb, including `update`). Strict:
+/// unknown verbs, wrong arity and non-numeric / trailing-garbage
+/// arguments all fail.
+StatusOr<ServeRequest> ParseServeLine(const std::string& line);
+
+/// Parses one QUERY line; the `update` verb is rejected here (callers that
+/// serve updates use ParseServeLine).
 StatusOr<QueryEngine::Query> ParseRequestLine(const std::string& line);
 
 /// Serializes one answered query as a single-line JSON object.
 std::string ResponseToJson(const QueryEngine::Query& query,
                            const QueryEngine::Response& response);
 
+/// Serializes one applied update as a single-line JSON object:
+/// {"query": "update", "u": .., "v": .., "op": "+", "applied": true,
+///  "touched": .., "max_lambda": ..}. `applied` is false for no-op edits
+/// (inserting an existing edge, removing a missing one).
+std::string UpdateToJson(const EdgeEdit& edit, const CoreDeltaReport& report);
+
 /// Reads requests from `in` until EOF, answers them on `out` (one JSON
 /// line each, input order), batching over a ThreadPool sized by
-/// `options.parallel`.
+/// `options.parallel`. With a non-null `updater` the session is mutable:
+/// `update` lines go through the updater and swap the engine's state;
+/// with a null `updater` they are answered with an error object.
+ServeStats ServeRequests(QueryEngine& engine, LiveUpdater* updater,
+                         std::istream& in, std::ostream& out,
+                         const ServeOptions& options = {});
+
+/// Read-only session (no update support) over a const engine.
 ServeStats ServeRequests(const QueryEngine& engine, std::istream& in,
                          std::ostream& out, const ServeOptions& options = {});
 

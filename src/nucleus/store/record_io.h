@@ -1,0 +1,170 @@
+// Shared plumbing of the checksummed store formats (.nucsnap snapshots,
+// .nucdelta chain records): streaming FNV-1a writers/readers so a record's
+// footer checksum is computed in the same pass that moves the bytes, plus
+// the count-bounding guard every reader must run BEFORE any size
+// arithmetic or allocation.
+//
+// Internal to store/ — the public surfaces are snapshot.h and delta.h.
+#ifndef NUCLEUS_STORE_RECORD_IO_H_
+#define NUCLEUS_STORE_RECORD_IO_H_
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nucleus/util/file_util.h"
+#include "nucleus/util/scratch.h"
+#include "nucleus/util/status.h"
+
+namespace nucleus {
+namespace store_internal {
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+inline std::uint64_t Fnv1a(std::uint64_t hash, const void* data,
+                           std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+// Streams writes through an incremental FNV-1a so the checksum never needs
+// a second pass over the payload.
+class ChecksummingWriter {
+ public:
+  ChecksummingWriter(std::FILE* f, std::string path)
+      : file_(f), path_(std::move(path)) {}
+
+  Status Write(const void* data, std::size_t size) {
+    if (std::fwrite(data, 1, size, file_) != size) {
+      return Status::Internal("short write to " + path_);
+    }
+    checksum_ = Fnv1a(checksum_, data, size);
+    return Status::Ok();
+  }
+
+  template <typename T>
+  Status WriteValue(const T& value) {
+    return Write(&value, sizeof(T));
+  }
+
+  template <typename T>
+  Status WriteArray(const std::vector<T>& values) {
+    if (values.empty()) return Status::Ok();
+    return Write(values.data(), values.size() * sizeof(T));
+  }
+
+  std::uint64_t checksum() const { return checksum_; }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+  std::uint64_t checksum_ = kFnvOffset;
+};
+
+// The mirror image: every read feeds the same incremental checksum, so the
+// footer comparison covers header and payload alike. `kind` names the
+// record type in truncation errors ("snapshot", "delta record"), so an
+// operator chasing a damaged chain is pointed at the right file type.
+class ChecksummingReader {
+ public:
+  ChecksummingReader(std::FILE* f, std::string path,
+                     std::string kind = "snapshot")
+      : file_(f), path_(std::move(path)), kind_(std::move(kind)) {}
+
+  Status Read(void* data, std::size_t size) {
+    if (std::fread(data, 1, size, file_) != size) {
+      return Status::OutOfRange("truncated " + kind_ + " " + path_);
+    }
+    checksum_ = Fnv1a(checksum_, data, size);
+    return Status::Ok();
+  }
+
+  template <typename T>
+  Status ReadValue(T* value) {
+    return Read(value, sizeof(T));
+  }
+
+  /// Sized up front from the validated header: one allocation, one read.
+  template <typename T>
+  Status ReadArray(std::int64_t count, std::vector<T>* values) {
+    values->resize(static_cast<std::size_t>(count));
+    if (values->empty()) return Status::Ok();
+    return Read(values->data(), values->size() * sizeof(T));
+  }
+
+  std::uint64_t checksum() const { return checksum_; }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+  std::string kind_;
+  std::uint64_t checksum_ = kFnvOffset;
+};
+
+/// Flushes `f` all the way to the device. fflush moves the bytes to the
+/// kernel; fsync moves them to the device. Without the latter, a power
+/// loss after a rename could journal the new name before the data blocks,
+/// leaving garbage at the target.
+inline Status FlushToDevice(std::FILE* f, const std::string& path) {
+  if (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0) {
+    return Status::Internal("flush failed for " + path);
+  }
+  return Status::Ok();
+}
+
+/// Best-effort fsync of the directory containing `path`, making a rename
+/// into it durable. Failure is ignored (some filesystems reject directory
+/// fsync); the data-file fsync is the critical one.
+inline void SyncParentDirectory(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+/// Write-temp-then-rename: a crash or full disk mid-write must never
+/// destroy an existing good record at `path` — for a serving process the
+/// store IS the restart path. The temp file lives next to the target so
+/// the rename stays within one filesystem. `write_fn(FILE*, temp_path)`
+/// performs the serialization (including its own FlushToDevice).
+template <typename WriteFn>
+Status WriteFileAtomically(const std::string& path, const WriteFn& write_fn) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string temp_path = path + ".tmp." +
+                                std::to_string(::getpid()) + "." +
+                                std::to_string(counter.fetch_add(1));
+  ScratchFileRemover remover(temp_path);
+  {
+    FilePtr file(std::fopen(temp_path.c_str(), "wb"));
+    if (file == nullptr) {
+      return Status::Internal("cannot create " + temp_path);
+    }
+    if (Status s = write_fn(file.get(), temp_path); !s.ok()) return s;
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    return Status::Internal("cannot rename " + temp_path + " to " + path);
+  }
+  SyncParentDirectory(path);
+  return Status::Ok();
+}
+
+}  // namespace store_internal
+}  // namespace nucleus
+
+#endif  // NUCLEUS_STORE_RECORD_IO_H_

@@ -1,103 +1,22 @@
 #include "nucleus/store/snapshot.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "nucleus/store/record_io.h"
 #include "nucleus/util/file_util.h"
-#include "nucleus/util/scratch.h"
 
 namespace nucleus {
 namespace {
 
-constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
-constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
-
-std::uint64_t Fnv1a(std::uint64_t hash, const void* data, std::size_t size) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < size; ++i) {
-    hash ^= bytes[i];
-    hash *= kFnvPrime;
-  }
-  return hash;
-}
-
-// Streams writes through an incremental FNV-1a so the checksum never needs
-// a second pass over the payload.
-class ChecksummingWriter {
- public:
-  ChecksummingWriter(std::FILE* f, std::string path)
-      : file_(f), path_(std::move(path)) {}
-
-  Status Write(const void* data, std::size_t size) {
-    if (std::fwrite(data, 1, size, file_) != size) {
-      return Status::Internal("short write to " + path_);
-    }
-    checksum_ = Fnv1a(checksum_, data, size);
-    return Status::Ok();
-  }
-
-  template <typename T>
-  Status WriteValue(const T& value) {
-    return Write(&value, sizeof(T));
-  }
-
-  template <typename T>
-  Status WriteArray(const std::vector<T>& values) {
-    if (values.empty()) return Status::Ok();
-    return Write(values.data(), values.size() * sizeof(T));
-  }
-
-  std::uint64_t checksum() const { return checksum_; }
-
- private:
-  std::FILE* file_;
-  std::string path_;
-  std::uint64_t checksum_ = kFnvOffset;
-};
-
-// The mirror image: every read feeds the same incremental checksum, so the
-// footer comparison covers header and payload alike.
-class ChecksummingReader {
- public:
-  ChecksummingReader(std::FILE* f, std::string path)
-      : file_(f), path_(std::move(path)) {}
-
-  Status Read(void* data, std::size_t size) {
-    if (std::fread(data, 1, size, file_) != size) {
-      return Status::OutOfRange("truncated snapshot " + path_);
-    }
-    checksum_ = Fnv1a(checksum_, data, size);
-    return Status::Ok();
-  }
-
-  template <typename T>
-  Status ReadValue(T* value) {
-    return Read(value, sizeof(T));
-  }
-
-  /// Sized up front from the validated header: one allocation, one read.
-  template <typename T>
-  Status ReadArray(std::int64_t count, std::vector<T>* values) {
-    values->resize(static_cast<std::size_t>(count));
-    if (values->empty()) return Status::Ok();
-    return Read(values->data(), values->size() * sizeof(T));
-  }
-
-  std::uint64_t checksum() const { return checksum_; }
-
- private:
-  std::FILE* file_;
-  std::string path_;
-  std::uint64_t checksum_ = kFnvOffset;
-};
+using store_internal::ChecksummingReader;
+using store_internal::ChecksummingWriter;
+using store_internal::Fnv1a;
+using store_internal::kFnvOffset;
 
 /// The header in parsed form (never memcpy'd as a struct: the on-disk
 /// layout is packed, field by field).
@@ -430,57 +349,16 @@ Status WriteSnapshotTo(const SnapshotData& snapshot, std::FILE* f,
   if (std::fwrite(&checksum, 1, sizeof(checksum), f) != sizeof(checksum)) {
     return Status::Internal("short write to " + path);
   }
-  // fflush moves the bytes to the kernel; fsync moves them to the device.
-  // Without the latter, a power loss after the rename below could journal
-  // the new name before the data blocks, leaving garbage at the target.
-  if (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0) {
-    return Status::Internal("flush failed for " + path);
-  }
-  return Status::Ok();
-}
-
-/// Best-effort fsync of the directory containing `path`, making the
-/// rename itself durable. Failure is ignored (some filesystems reject
-/// directory fsync); the data-file fsync above is the critical one.
-void SyncParentDirectory(const std::string& path) {
-  const std::size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash + 1);
-  const int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
+  return store_internal::FlushToDevice(f, path);
 }
 
 }  // namespace
 
 Status SaveSnapshot(const SnapshotData& snapshot, const std::string& path) {
-  // Write-temp-then-rename: a crash or full disk mid-write must never
-  // destroy an existing good snapshot at `path` — for a serving process
-  // the store IS the restart path. The temp file lives next to the target
-  // so the rename stays within one filesystem.
-  static std::atomic<std::uint64_t> counter{0};
-  const std::string temp_path = path + ".tmp." +
-                                std::to_string(::getpid()) + "." +
-                                std::to_string(counter.fetch_add(1));
-  ScratchFileRemover remover(temp_path);
-  {
-    FilePtr file(std::fopen(temp_path.c_str(), "wb"));
-    if (file == nullptr) {
-      return Status::Internal("cannot create " + temp_path);
-    }
-    if (Status s = WriteSnapshotTo(snapshot, file.get(), temp_path);
-        !s.ok()) {
-      return s;
-    }
-  }
-  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
-    return Status::Internal("cannot rename " + temp_path + " to " + path);
-  }
-  SyncParentDirectory(path);
-  return Status::Ok();
+  return store_internal::WriteFileAtomically(
+      path, [&snapshot](std::FILE* f, const std::string& temp_path) {
+        return WriteSnapshotTo(snapshot, f, temp_path);
+      });
 }
 
 StatusOr<SnapshotData> LoadSnapshot(const std::string& path) {

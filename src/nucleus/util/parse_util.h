@@ -13,13 +13,18 @@ namespace nucleus {
 
 /// Parses `token` as one base-10 int64. Rejects empty tokens, trailing
 /// garbage ("3x"), and out-of-range values; leaves *value untouched on
-/// failure.
+/// failure. The whole token must be the number: strtoll on its own would
+/// skip leading whitespace (" 42") and accept an explicit plus sign
+/// ("+7"), so the first character is required to be a digit or '-' before
+/// strtoll ever runs.
 inline bool StrictParseInt64(const std::string& token, std::int64_t* value) {
   if (token.empty()) return false;
+  const char first = token.front();
+  if (first != '-' && (first < '0' || first > '9')) return false;
   errno = 0;
   char* end = nullptr;
   const long long parsed = std::strtoll(token.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || errno == ERANGE) return false;
+  if (end == token.c_str() || *end != '\0' || errno == ERANGE) return false;
   *value = static_cast<std::int64_t>(parsed);
   return true;
 }

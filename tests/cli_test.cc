@@ -266,6 +266,25 @@ TEST(Cli, RejectsUnknownFlags) {
   std::remove(edges_path.c_str());
 }
 
+TEST(Cli, RejectsLeadingWhitespaceAndPlusInNumericFlags) {
+  const std::string edges_path = WriteTestGraph();
+  // strtoll would skip leading whitespace and accept an explicit '+';
+  // StrictParseInt64's whole-token contract must reject both on the flag
+  // parser surface.
+  EXPECT_EQ(
+      RunArgs({"query", "--input", edges_path, "--u", " 42"}).code, 2);
+  EXPECT_EQ(
+      RunArgs({"query", "--input", edges_path, "--u", "\t7"}).code, 2);
+  EXPECT_EQ(
+      RunArgs({"query", "--input", edges_path, "--u", "+42"}).code, 2);
+  EXPECT_EQ(
+      RunArgs({"decompose", "--input", edges_path, "--threads", " 2"}).code,
+      2);
+  // Plain numbers still parse.
+  EXPECT_EQ(RunArgs({"query", "--input", edges_path, "--u", "0"}).code, 0);
+  std::remove(edges_path.c_str());
+}
+
 TEST(Cli, RejectsTrailingGarbageInNumericFlags) {
   const std::string edges_path = WriteTestGraph();
   EXPECT_EQ(
@@ -341,7 +360,8 @@ TEST(Cli, DecomposeSnapshotThenQueryAndServe) {
   r = RunArgs({"serve", "--snapshot", snapshot, "--queries", queries,
                "--out", answers, "--threads", "2"});
   EXPECT_EQ(r.code, 0) << r.err;
-  EXPECT_NE(r.err.find("served 7 requests (1 errors)"), std::string::npos);
+  EXPECT_NE(r.err.find("served 7 requests (1 errors, 0 updates)"),
+            std::string::npos);
   std::ifstream ans(answers);
   std::stringstream sc;
   sc << ans.rdbuf();
@@ -364,6 +384,224 @@ TEST(Cli, DecomposeSnapshotThenQueryAndServe) {
 
   for (const auto& p :
        {snapshot, snap_json, fresh_json, queries, answers, edges_path}) {
+    std::remove(p.c_str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Live snapshot updates: `update` command, snapshot chains, serve verb.
+
+/// Picks one existing edge and one non-edge of `g`, deterministically.
+void PickEdits(const Graph& g, std::pair<VertexId, VertexId>* removal,
+               std::pair<VertexId, VertexId>* insertion) {
+  *removal = {kInvalidId, kInvalidId};
+  g.ForEachEdge([&](VertexId u, VertexId v) {
+    if (removal->first == kInvalidId) *removal = {u, v};
+  });
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (VertexId v = u + 1; v < g.NumVertices(); ++v) {
+      if (!g.HasEdge(u, v)) {
+        *insertion = {u, v};
+        return;
+      }
+    }
+  }
+}
+
+TEST(Cli, UpdatePatchesSnapshotAndChainMatchesFreshDecompose) {
+  const std::string edges_path = WriteTestGraph();
+  const auto graph = ReadEdgeList(edges_path);
+  ASSERT_TRUE(graph.ok());
+  std::pair<VertexId, VertexId> removal, insertion;
+  PickEdits(*graph, &removal, &insertion);
+
+  // Materialize the edited graph as a file for fresh-decompose comparison.
+  GraphBuilder edited_builder(graph->NumVertices());
+  graph->ForEachEdge([&](VertexId u, VertexId v) {
+    if (std::make_pair(u, v) != removal) edited_builder.AddEdge(u, v);
+  });
+  edited_builder.AddEdge(insertion.first, insertion.second);
+  const std::string edited_path = TempPath("cli_update_edited.txt");
+  ASSERT_TRUE(WriteEdgeList(edited_builder.Build(), edited_path).ok());
+
+  const std::string edits_path = TempPath("cli_update_edits.txt");
+  {
+    std::ofstream edits(edits_path);
+    edits << "# one removal, one insertion, one no-op duplicate\n"
+          << "- " << removal.first << " " << removal.second << "\n"
+          << "+ " << insertion.first << " " << insertion.second << "\n"
+          << "+ " << insertion.first << " " << insertion.second << "\n";
+  }
+
+  const std::string base = TempPath("cli_update_base.nucsnap");
+  const std::string patched = TempPath("cli_update_patched.nucsnap");
+  const std::string delta = TempPath("cli_update_d1.nucdelta");
+  CliResult r = RunArgs({"decompose", "--input", edges_path, "--family",
+                         "core", "--algorithm", "dft", "--out-snapshot",
+                         base});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  r = RunArgs({"update", "--snapshot", base, "--input", edges_path,
+               "--edits", edits_path, "--out-snapshot", patched,
+               "--out-delta", delta});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("applied 2 edit(s), skipped 1"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("wrote " + delta), std::string::npos);
+  EXPECT_NE(r.out.find("wrote " + patched), std::string::npos);
+
+  // The patched snapshot, the resolved chain, and a fresh kDft decompose
+  // of the edited graph must answer identically.
+  const auto query_json = [&](const std::vector<std::string>& args) {
+    const std::string path = TempPath("cli_update_q.json");
+    std::vector<std::string> full = args;
+    full.insert(full.end(), {"--u", "0", "--v", "2", "--top", "3",
+                             "--out-json", path});
+    const CliResult result = RunArgs(full);
+    EXPECT_EQ(result.code, 0) << result.err;
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    std::remove(path.c_str());
+    return buffer.str();
+  };
+  const std::string fresh = query_json({"query", "--input", edited_path,
+                                        "--family", "core", "--algorithm",
+                                        "dft"});
+  EXPECT_EQ(query_json({"query", "--snapshot", patched}), fresh);
+  EXPECT_EQ(query_json({"query", "--snapshot", base, "--deltas", delta,
+                        "--input", edited_path}),
+            fresh);
+
+  // A chain paired with the WRONG graph is rejected.
+  EXPECT_EQ(RunArgs({"query", "--snapshot", base, "--deltas", delta,
+                     "--input", edges_path, "--u", "0"})
+                .code,
+            1);
+
+  for (const auto& p :
+       {edges_path, edited_path, edits_path, base, patched, delta}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST(Cli, UpdateValidatesInputs) {
+  const std::string edges_path = WriteTestGraph();
+  const std::string base = TempPath("cli_upd_val.nucsnap");
+  ASSERT_EQ(RunArgs({"decompose", "--input", edges_path, "--family", "core",
+                     "--algorithm", "dft", "--out-snapshot", base})
+                .code,
+            0);
+
+  // Missing required flags.
+  EXPECT_EQ(RunArgs({"update", "--snapshot", base}).code, 2);
+
+  // Malformed edit files fail with the line number: bad op, leading
+  // whitespace inside a token can't occur (tokenized), but an explicit
+  // '+' sign on an id must be rejected (StrictParseInt64 on this surface).
+  const std::string bad_edits = TempPath("cli_upd_bad_edits.txt");
+  for (const std::string line : {"* 0 1", "+ 0", "+ 0 1 2", "+ +1 2",
+                                 "+ 0 2x"}) {
+    std::ofstream f(bad_edits);
+    f << line << "\n";
+    f.close();
+    const CliResult r = RunArgs({"update", "--snapshot", base, "--input",
+                                 edges_path, "--edits", bad_edits});
+    EXPECT_EQ(r.code, 1) << line;
+    EXPECT_NE(r.err.find("edit line 1"), std::string::npos) << line;
+  }
+
+  // Out-of-range endpoints reject the whole batch.
+  {
+    std::ofstream f(bad_edits);
+    f << "+ 0 99999\n";
+  }
+  CliResult r = RunArgs({"update", "--snapshot", base, "--input", edges_path,
+                         "--edits", bad_edits});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("out of range"), std::string::npos);
+
+  // A truss snapshot cannot be live-updated.
+  const std::string truss_snap = TempPath("cli_upd_truss.nucsnap");
+  ASSERT_EQ(RunArgs({"decompose", "--input", edges_path, "--family", "truss",
+                     "--out-snapshot", truss_snap})
+                .code,
+            0);
+  {
+    std::ofstream f(bad_edits);
+    f << "+ 0 1\n";
+  }
+  r = RunArgs({"update", "--snapshot", truss_snap, "--input", edges_path,
+               "--edits", bad_edits});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("(1,2) core"), std::string::npos);
+
+  for (const auto& p : {edges_path, base, bad_edits, truss_snap}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST(Cli, ServeUpdateVerbRequiresInputAndServesEditedGraph) {
+  const std::string edges_path = WriteTestGraph();
+  const auto graph = ReadEdgeList(edges_path);
+  ASSERT_TRUE(graph.ok());
+  std::pair<VertexId, VertexId> removal, insertion;
+  PickEdits(*graph, &removal, &insertion);
+
+  const std::string base = TempPath("cli_serve_upd.nucsnap");
+  ASSERT_EQ(RunArgs({"decompose", "--input", edges_path, "--family", "core",
+                     "--algorithm", "dft", "--out-snapshot", base})
+                .code,
+            0);
+
+  const std::string queries = TempPath("cli_serve_upd_q.txt");
+  {
+    std::ofstream q(queries);
+    q << "lambda " << removal.first << "\n"
+      << "update " << removal.first << " " << removal.second << " -\n"
+      << "lambda " << removal.first << "\n"
+      << "update " << insertion.first << " " << insertion.second << " +\n"
+      << "top 3\n";
+  }
+
+  // Without --input the update verb is an error object, but the session
+  // keeps serving.
+  const std::string answers = TempPath("cli_serve_upd_a.txt");
+  CliResult r = RunArgs({"serve", "--snapshot", base, "--queries", queries,
+                         "--out", answers});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.err.find("2 errors, 0 updates"), std::string::npos) << r.err;
+
+  // With --input the updates apply, identically at 1 and 2 threads.
+  std::string reference;
+  for (const std::string threads : {"1", "2"}) {
+    r = RunArgs({"serve", "--snapshot", base, "--input", edges_path,
+                 "--queries", queries, "--out", answers, "--threads",
+                 threads});
+    EXPECT_EQ(r.code, 0) << r.err;
+    EXPECT_NE(r.err.find("updates enabled"), std::string::npos);
+    EXPECT_NE(r.err.find("0 errors, 2 updates"), std::string::npos) << r.err;
+    std::ifstream ans(answers);
+    std::stringstream buffer;
+    buffer << ans.rdbuf();
+    EXPECT_NE(buffer.str().find("\"query\": \"update\""), std::string::npos);
+    EXPECT_NE(buffer.str().find("\"applied\": true"), std::string::npos);
+    if (reference.empty()) {
+      reference = buffer.str();
+    } else {
+      EXPECT_EQ(buffer.str(), reference);
+    }
+  }
+
+  // Serving a graph that does not match the snapshot is a pairing error.
+  const std::string other_graph = TempPath("cli_serve_upd_other.txt");
+  ASSERT_TRUE(WriteEdgeList(Cycle(8), other_graph).ok());
+  r = RunArgs({"serve", "--snapshot", base, "--input", other_graph,
+               "--queries", queries});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("does not match"), std::string::npos);
+
+  for (const auto& p : {edges_path, base, queries, answers, other_graph}) {
     std::remove(p.c_str());
   }
 }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "nucleus/core/decomposition.h"
 #include "nucleus/core/peeling.h"
 #include "nucleus/util/rng.h"
 #include "test_util.h"
@@ -231,6 +232,193 @@ TEST(IncrementalCore, RandomMixedSequencesMatchRecompute) {
           << "step " << step;
     }
   }
+}
+
+// --- Randomized differential suite (zoo-wide) -------------------------------
+// Interleaved insert/remove streams over every zoo fixture, with lambda()
+// checked against a fresh (1,2) peel of ToGraph() after every single
+// operation — removal cascades are the classic failure mode, so removals
+// are drawn with high probability.
+
+class IncrementalCoreDifferentialTest
+    : public ::testing::TestWithParam<testing_util::GraphCase> {};
+
+TEST_P(IncrementalCoreDifferentialTest, InterleavedStreamMatchesFreshPeel) {
+  const Graph g = GetParam().make();
+  if (g.NumVertices() < 2) return;
+  const VertexId n = g.NumVertices();
+  for (std::uint64_t seed : {1u, 2u}) {
+    SCOPED_TRACE(seed);
+    IncrementalCoreMaintainer maintainer(g);
+    Rng rng(seed * 1000003);
+    for (int step = 0; step < 80; ++step) {
+      const VertexId u = rng.UniformVertex(n);
+      const VertexId v = rng.UniformVertex(n);
+      if (u == v) continue;
+      // Removal-heavy mix; removing a missing edge / inserting an existing
+      // one are no-ops and exercise the skip paths.
+      if (rng.Bernoulli(0.5)) {
+        maintainer.RemoveEdge(u, v);
+      } else {
+        maintainer.InsertEdge(u, v);
+      }
+      const Graph current = maintainer.ToGraph();
+      ASSERT_EQ(maintainer.lambda(), Peel(VertexSpace(current)).lambda)
+          << "step " << step << " after "
+          << (maintainer.HasEdge(u, v) ? "insert" : "remove") << " " << u
+          << "-" << v;
+      ASSERT_EQ(maintainer.edge_set_fingerprint(),
+                EdgeSetFingerprint(current))
+          << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, IncrementalCoreDifferentialTest,
+                         ::testing::ValuesIn(testing_util::GraphZoo()),
+                         [](const auto& info) { return info.param.name; });
+
+// --- ApplyEdits batches -----------------------------------------------------
+
+TEST(IncrementalCore, ApplyEditsMatchesSingleEditSequence) {
+  const Graph g = ErdosRenyiGnp(40, 0.1, 97);
+  IncrementalCoreMaintainer batch(g);
+  IncrementalCoreMaintainer serial(g);
+  Rng rng(98);
+  std::vector<EdgeEdit> edits;
+  for (int i = 0; i < 60; ++i) {
+    EdgeEdit edit;
+    edit.u = rng.UniformVertex(40);
+    edit.v = rng.UniformVertex(40);
+    if (edit.u == edit.v) continue;
+    edit.op = rng.Bernoulli(0.5) ? EdgeEditOp::kRemove : EdgeEditOp::kInsert;
+    edits.push_back(edit);
+  }
+  std::int64_t applied = 0;
+  for (const EdgeEdit& edit : edits) {
+    const bool changed = edit.op == EdgeEditOp::kInsert
+                             ? serial.InsertEdge(edit.u, edit.v)
+                             : serial.RemoveEdge(edit.u, edit.v);
+    if (changed) ++applied;
+  }
+  const CoreDeltaReport report = batch.ApplyEdits(edits);
+  EXPECT_EQ(report.applied, applied);
+  EXPECT_EQ(report.skipped,
+            static_cast<std::int64_t>(edits.size()) - applied);
+  EXPECT_EQ(batch.lambda(), serial.lambda());
+  EXPECT_EQ(batch.NumEdges(), serial.NumEdges());
+  EXPECT_EQ(batch.edge_set_fingerprint(), serial.edge_set_fingerprint());
+}
+
+TEST(IncrementalCore, ApplyEditsReportsTheExactLambdaPatch) {
+  const Graph g = testing_util::PaperFigure2Graph();
+  IncrementalCoreMaintainer maintainer(g);
+  const std::vector<Lambda> before = maintainer.lambda();
+  // Cut the 2-core bridge cycle: 8 and 9 demote to 1.
+  const std::vector<EdgeEdit> edits{{8, 4, EdgeEditOp::kRemove},
+                                    {9, 3, EdgeEditOp::kRemove}};
+  const CoreDeltaReport report = maintainer.ApplyEdits(edits);
+  EXPECT_EQ(report.applied, 2);
+  EXPECT_EQ(report.skipped, 0);
+  EXPECT_EQ(report.max_lambda, 3);
+  EXPECT_GT(report.subcore_visited, 0);
+  ASSERT_EQ(report.touched.size(), report.old_lambda.size());
+  ASSERT_EQ(report.touched.size(), report.new_lambda.size());
+  // touched is ascending and is exactly the before/after diff.
+  for (std::size_t i = 1; i < report.touched.size(); ++i) {
+    EXPECT_LT(report.touched[i - 1], report.touched[i]);
+  }
+  std::vector<Lambda> patched = before;
+  for (std::size_t i = 0; i < report.touched.size(); ++i) {
+    EXPECT_EQ(report.old_lambda[i], before[report.touched[i]]);
+    EXPECT_NE(report.old_lambda[i], report.new_lambda[i]);
+    patched[report.touched[i]] = report.new_lambda[i];
+  }
+  EXPECT_EQ(patched, maintainer.lambda());
+}
+
+TEST(IncrementalCore, ApplyEditsEmptyAndAllSkippedBatches) {
+  IncrementalCoreMaintainer maintainer(Path(4));
+  const CoreDeltaReport empty = maintainer.ApplyEdits({});
+  EXPECT_EQ(empty.applied, 0);
+  EXPECT_EQ(empty.skipped, 0);
+  EXPECT_TRUE(empty.touched.empty());
+  EXPECT_EQ(empty.max_lambda, 1);
+
+  const std::vector<EdgeEdit> noops{{0, 1, EdgeEditOp::kInsert},  // exists
+                                    {0, 3, EdgeEditOp::kRemove},  // missing
+                                    {2, 2, EdgeEditOp::kInsert}};  // loop
+  const CoreDeltaReport report = maintainer.ApplyEdits(noops);
+  EXPECT_EQ(report.applied, 0);
+  EXPECT_EQ(report.skipped, 3);
+  EXPECT_TRUE(report.touched.empty());
+}
+
+TEST(IncrementalCore, ApplyEditsCancellingPairReportsNothingTouched) {
+  IncrementalCoreMaintainer maintainer(Path(3));
+  // Insert then remove the same edge: the patch is the post-batch diff, so
+  // the transiently promoted triangle reports no touched vertices.
+  const std::vector<EdgeEdit> edits{{0, 2, EdgeEditOp::kInsert},
+                                    {0, 2, EdgeEditOp::kRemove}};
+  const CoreDeltaReport report = maintainer.ApplyEdits(edits);
+  EXPECT_EQ(report.applied, 2);
+  EXPECT_TRUE(report.touched.empty());
+  for (Lambda l : maintainer.lambda()) EXPECT_EQ(l, 1);
+}
+
+TEST(IncrementalCore, LambdaSeededConstructorMatchesPeelingConstructor) {
+  for (const auto& c : testing_util::GraphZoo()) {
+    SCOPED_TRACE(c.name);
+    const Graph g = c.make();
+    const PeelResult peel = Peel(VertexSpace(g));
+    IncrementalCoreMaintainer from_graph(g);
+    IncrementalCoreMaintainer from_lambda(g, peel.lambda);
+    EXPECT_EQ(from_graph.lambda(), from_lambda.lambda());
+    EXPECT_EQ(from_graph.edge_set_fingerprint(),
+              from_lambda.edge_set_fingerprint());
+  }
+}
+
+// --- RebuildCoreHierarchy ---------------------------------------------------
+
+TEST(IncrementalCore, RebuildCoreHierarchyIsByteIdenticalToDftDecompose) {
+  for (const auto& c : testing_util::GraphZoo()) {
+    SCOPED_TRACE(c.name);
+    const Graph g = c.make();
+    DecomposeOptions options;
+    options.family = Family::kCore12;
+    options.algorithm = Algorithm::kDft;
+    const DecompositionResult fresh = Decompose(g, options);
+    const NucleusHierarchy rebuilt = RebuildCoreHierarchy(g, fresh.peel);
+    ASSERT_EQ(rebuilt.NumNodes(), fresh.hierarchy.NumNodes());
+    for (std::int32_t i = 0; i < rebuilt.NumNodes(); ++i) {
+      EXPECT_EQ(rebuilt.node(i).lambda, fresh.hierarchy.node(i).lambda);
+      EXPECT_EQ(rebuilt.node(i).parent, fresh.hierarchy.node(i).parent);
+      EXPECT_EQ(rebuilt.node(i).members, fresh.hierarchy.node(i).members);
+      EXPECT_EQ(rebuilt.node(i).subtree_members,
+                fresh.hierarchy.node(i).subtree_members);
+    }
+    for (CliqueId u = 0; u < rebuilt.NumCliques(); ++u) {
+      EXPECT_EQ(rebuilt.NodeOfClique(u), fresh.hierarchy.NodeOfClique(u));
+    }
+  }
+}
+
+TEST(IncrementalCore, EdgeSetFingerprintTracksEditsAndOrderIndependence) {
+  const Graph g = Cycle(8);
+  IncrementalCoreMaintainer a(g);
+  IncrementalCoreMaintainer b(g);
+  // Same edits in different orders end in the same fingerprint...
+  a.InsertEdge(0, 4);
+  a.InsertEdge(1, 5);
+  b.InsertEdge(1, 5);
+  b.InsertEdge(0, 4);
+  EXPECT_EQ(a.edge_set_fingerprint(), b.edge_set_fingerprint());
+  // ...which differs from the start state and returns on undo.
+  EXPECT_NE(a.edge_set_fingerprint(), EdgeSetFingerprint(g));
+  a.RemoveEdge(0, 4);
+  a.RemoveEdge(1, 5);
+  EXPECT_EQ(a.edge_set_fingerprint(), EdgeSetFingerprint(g));
 }
 
 TEST(IncrementalCore, DrainEntireGraphEdgeByEdge) {

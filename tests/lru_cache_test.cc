@@ -1,0 +1,105 @@
+// ShardedLruCache accounting and concurrency. The adopt path (a thread
+// loses the compute race and takes the winner's entry) historically kept
+// its provisional miss, so hit-rate telemetry under-reported cache
+// effectiveness; these tests pin the repaired invariants:
+//
+//   * every GetOrCompute contributes exactly one of {hit, miss}, so
+//     hits + misses == lookups always;
+//   * `misses` counts exactly the calls whose computation filled a slot,
+//     so with eviction disabled, misses == distinct keys even under a
+//     same-key stampede.
+#include "nucleus/serve/lru_cache.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nucleus {
+namespace {
+
+TEST(LruCache, SerialHitMissAndEvictionAccounting) {
+  ShardedLruCache<int, int> cache(/*entries_per_shard=*/2,
+                                  /*num_shards=*/1);
+  int computes = 0;
+  const auto get = [&](int key) {
+    return *cache.GetOrCompute(key, [&] {
+      ++computes;
+      return key * 10;
+    });
+  };
+  EXPECT_EQ(get(1), 10);
+  EXPECT_EQ(get(1), 10);
+  EXPECT_EQ(get(2), 20);
+  LruCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(computes, 2);
+
+  // Capacity 2: key 3 evicts the LRU entry (key 1).
+  EXPECT_EQ(get(3), 30);
+  EXPECT_EQ(cache.Stats().evictions, 1);
+  EXPECT_EQ(get(1), 10);  // recomputed
+  EXPECT_EQ(computes, 4);
+  stats = cache.Stats();
+  EXPECT_EQ(stats.hits + stats.misses, 5);  // one of {hit, miss} per lookup
+}
+
+TEST(LruCache, ShardCountRoundsUpToPowerOfTwo) {
+  ShardedLruCache<int, int> cache(4, 3);
+  EXPECT_EQ(cache.NumShards(), 4u);
+  ShardedLruCache<int, int> one(4, 1);
+  EXPECT_EQ(one.NumShards(), 1u);
+}
+
+// The satellite's regression test: a concurrent same-key stampede. All
+// threads race GetOrCompute on the same small key set; losers of the
+// insert race adopt the winner's value. With capacity ample enough that
+// nothing evicts, the repaired accounting must show
+// hits + misses == lookups and misses == distinct keys — before the fix,
+// every lost race left an extra miss (and a missing hit), so hit-rate
+// under-reported under exactly the contention the sharded cache exists
+// for.
+TEST(LruCacheConcurrent, SameKeyStampedeKeepsStatsConsistent) {
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 200;
+  constexpr int kKeys = 4;
+  ShardedLruCache<int, std::vector<int>> cache(/*entries_per_shard=*/64,
+                                               /*num_shards=*/2);
+  std::atomic<int> computes{0};
+  std::atomic<int> lookups{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIterations; ++i) {
+        const int key = i % kKeys;
+        const auto value = cache.GetOrCompute(key, [&] {
+          computes.fetch_add(1, std::memory_order_relaxed);
+          return std::vector<int>(16, key);
+        });
+        lookups.fetch_add(1, std::memory_order_relaxed);
+        ASSERT_EQ(value->size(), 16u);
+        ASSERT_EQ((*value)[0], key);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const LruCacheStats stats = cache.Stats();
+  EXPECT_EQ(lookups.load(), kThreads * kIterations);
+  // Exactly one of {hit, miss} per lookup.
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kIterations);
+  // A miss is a cache fill: one per key, no matter how many threads
+  // computed redundantly (redundant computes' misses were reclassified
+  // as hits when they adopted the winner's entry).
+  EXPECT_EQ(stats.misses, kKeys);
+  EXPECT_GE(computes.load(), kKeys);
+  EXPECT_EQ(stats.evictions, 0);
+}
+
+}  // namespace
+}  // namespace nucleus

@@ -45,6 +45,60 @@ TEST(ParseRequestLine, RejectsMalformedRequests) {
   EXPECT_FALSE(ParseRequestLine("nucleus 1 two").ok());   // non-numeric
 }
 
+TEST(ParseRequestLine, RejectsExplicitSignOnTheProtocolSurface) {
+  // strtoll alone would accept "+7"; the whole-token contract of
+  // StrictParseInt64 must hold on the serve surface too (whitespace
+  // inside a token cannot occur here — the tokenizer strips it — but an
+  // explicit sign can).
+  EXPECT_FALSE(ParseRequestLine("lambda +7").ok());
+  EXPECT_FALSE(ParseRequestLine("nucleus 1 +2").ok());
+  EXPECT_FALSE(ParseRequestLine("members +0").ok());
+  EXPECT_TRUE(ParseRequestLine("lambda 7").ok());
+}
+
+TEST(ParseServeLine, ParsesAndValidatesUpdateVerb) {
+  const auto insert = ParseServeLine("update 3 9 +");
+  ASSERT_TRUE(insert.ok());
+  EXPECT_TRUE(insert->is_update);
+  EXPECT_EQ(insert->edit.u, 3);
+  EXPECT_EQ(insert->edit.v, 9);
+  EXPECT_EQ(insert->edit.op, EdgeEditOp::kInsert);
+  const auto remove = ParseServeLine("update 9 3 -");
+  ASSERT_TRUE(remove.ok());
+  EXPECT_EQ(remove->edit.op, EdgeEditOp::kRemove);
+
+  EXPECT_FALSE(ParseServeLine("update 3 9").ok());       // missing op
+  EXPECT_FALSE(ParseServeLine("update 3 9 *").ok());     // bad op
+  EXPECT_FALSE(ParseServeLine("update 3 9 + 1").ok());   // extra arg
+  EXPECT_FALSE(ParseServeLine("update 3x 9 +").ok());    // junk id
+  EXPECT_FALSE(ParseServeLine("update +3 9 +").ok());    // signed id
+  EXPECT_FALSE(ParseServeLine("update -1 9 +").ok());    // negative id
+  // The query-only parser rejects the verb outright.
+  EXPECT_FALSE(ParseRequestLine("update 3 9 +").ok());
+  // Non-update verbs still parse through ParseServeLine.
+  const auto query = ParseServeLine("common 0 7");
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE(query->is_update);
+}
+
+TEST(ServeRequests, UpdateVerbWithoutUpdaterIsAnInlineError) {
+  QueryEngine engine = MakeFigure2Engine();
+  std::istringstream in("lambda 0\nupdate 0 5 +\nlambda 0\n");
+  std::ostringstream out;
+  const ServeStats stats = ServeRequests(engine, nullptr, in, out);
+  EXPECT_EQ(stats.requests, 3);
+  EXPECT_EQ(stats.errors, 1);
+  EXPECT_EQ(stats.updates, 0);
+  std::vector<std::string> lines;
+  std::istringstream result(out.str());
+  for (std::string line; std::getline(result, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[1].find("\"error\""), std::string::npos);
+  EXPECT_NE(lines[1].find("not enabled"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"line\": 2"), std::string::npos);
+  EXPECT_EQ(lines[0], lines[2]);  // session keeps serving, state unchanged
+}
+
 TEST(ServeRequests, AnswersInOrderWithErrorsInline) {
   const QueryEngine engine = MakeFigure2Engine();
   std::istringstream in(

@@ -98,4 +98,95 @@ if(NOT stderr MATCHES "truncated")
   message(FATAL_ERROR "truncated snapshot: unexpected error\n${stderr}")
 endif()
 
+# 5. Live updates: patch a (1,2) snapshot with an edit batch and verify the
+# patched snapshot AND the resolved delta chain answer byte-identically to a
+# fresh decompose of the edited graph (kDft — the shape the update path
+# maintains).
+set(CORE_SNAP ${WORK_DIR}/core.nucsnap)
+run_cli(0 dec_core decompose --input ${EDGES} --family core --algorithm dft --out-snapshot ${CORE_SNAP})
+
+# Edits: remove the first two edges of the edge list (never the max vertex
+# id, so the vertex count is unchanged), mirrored textually for the fresh
+# decompose.
+file(STRINGS ${EDGES} edge_lines)
+list(GET edge_lines 0 removed_a)
+list(GET edge_lines 1 removed_b)
+string(REPLACE " " ";" removed_a_parts "${removed_a}")
+string(REPLACE " " ";" removed_b_parts "${removed_b}")
+file(WRITE ${WORK_DIR}/edits.txt "# smoke edit batch\n- ${removed_a}\n- ${removed_b}\n")
+list(REMOVE_AT edge_lines 0 1)
+string(REPLACE ";" "\n" edited_text "${edge_lines}")
+file(WRITE ${WORK_DIR}/edited.txt "${edited_text}\n")
+
+set(PATCHED ${WORK_DIR}/patched.nucsnap)
+set(DELTA ${WORK_DIR}/d1.nucdelta)
+run_cli(0 upd_out update --snapshot ${CORE_SNAP} --input ${EDGES} --edits ${WORK_DIR}/edits.txt --out-snapshot ${PATCHED} --out-delta ${DELTA})
+expect_match("${upd_out}" "applied 2 edit" "update command")
+if(NOT EXISTS ${PATCHED} OR NOT EXISTS ${DELTA})
+  message(FATAL_ERROR "update did not write ${PATCHED} / ${DELTA}")
+endif()
+
+run_cli(0 q_fresh query --input ${WORK_DIR}/edited.txt --family core --algorithm dft --u 0 --v 1 --top 3 --out-json ${WORK_DIR}/fresh_upd.json)
+run_cli(0 q_patch query --snapshot ${PATCHED} --u 0 --v 1 --top 3 --out-json ${WORK_DIR}/patched_upd.json)
+run_cli(0 q_chain query --snapshot ${CORE_SNAP} --deltas ${DELTA} --input ${WORK_DIR}/edited.txt --u 0 --v 1 --top 3 --out-json ${WORK_DIR}/chain_upd.json)
+foreach(candidate patched_upd chain_upd)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${WORK_DIR}/fresh_upd.json ${WORK_DIR}/${candidate}.json RESULT_VARIABLE diff)
+  if(NOT diff EQUAL 0)
+    message(FATAL_ERROR "${candidate} answers differ from a fresh decompose of the edited graph")
+  endif()
+endforeach()
+
+# 6. The serve `update` verb: a live session applies the same edits and its
+# post-update answers must equal serving the patched snapshot; output is
+# byte-identical at 1 and 2 threads.
+list(GET removed_a_parts 0 ra_u)
+list(GET removed_a_parts 1 ra_v)
+list(GET removed_b_parts 0 rb_u)
+list(GET removed_b_parts 1 rb_v)
+file(WRITE ${WORK_DIR}/live_session.txt "lambda 0
+update ${ra_u} ${ra_v} -
+update ${rb_u} ${rb_v} -
+lambda 0
+common 0 1
+top 3
+")
+file(WRITE ${WORK_DIR}/post_session.txt "lambda 0
+common 0 1
+top 3
+")
+run_cli(0 live1 serve --snapshot ${CORE_SNAP} --input ${EDGES} --queries ${WORK_DIR}/live_session.txt --out ${WORK_DIR}/live_t1.txt --threads 1)
+run_cli(0 live2 serve --snapshot ${CORE_SNAP} --input ${EDGES} --queries ${WORK_DIR}/live_session.txt --out ${WORK_DIR}/live_t2.txt --threads 2)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  ${WORK_DIR}/live_t1.txt ${WORK_DIR}/live_t2.txt RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "live serve output differs between 1 and 2 threads")
+endif()
+run_cli(0 post serve --snapshot ${PATCHED} --queries ${WORK_DIR}/post_session.txt --out ${WORK_DIR}/post_answers.txt)
+file(STRINGS ${WORK_DIR}/live_t1.txt live_lines)
+file(STRINGS ${WORK_DIR}/post_answers.txt post_lines)
+list(GET live_lines 3 live_post_lambda)
+list(GET live_lines 4 live_post_common)
+list(GET live_lines 5 live_post_top)
+list(GET post_lines 0 patched_lambda)
+list(GET post_lines 1 patched_common)
+list(GET post_lines 2 patched_top)
+if(NOT live_post_lambda STREQUAL patched_lambda OR
+   NOT live_post_common STREQUAL patched_common OR
+   NOT live_post_top STREQUAL patched_top)
+  message(FATAL_ERROR "post-update live answers differ from the patched snapshot:\n${live_post_lambda}\nvs\n${patched_lambda}")
+endif()
+file(READ ${WORK_DIR}/live_t1.txt live_answers)
+expect_match("${live_answers}" "\"query\": \"update\"" "live session")
+expect_match("${live_answers}" "\"applied\": true" "live session")
+
+# A corrupt delta chain is rejected cleanly, not served.
+file(WRITE ${WORK_DIR}/bad.nucdelta "NUCDELT1 and then garbage well past the header size to be safe........................................")
+execute_process(
+  COMMAND ${NUCLEUS_CLI} query --snapshot ${CORE_SNAP} --deltas ${WORK_DIR}/bad.nucdelta --input ${WORK_DIR}/edited.txt --u 0
+  OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr RESULT_VARIABLE code)
+if(NOT code EQUAL 1)
+  message(FATAL_ERROR "corrupt delta: exit ${code}, expected 1\n${stderr}")
+endif()
+
 message(STATUS "serve smoke test passed")
