@@ -24,7 +24,9 @@
 #include "nucleus/serve/live_update.h"
 #include "nucleus/serve/query_engine.h"
 #include "nucleus/serve/request_loop.h"
+#include "nucleus/serve/snapshot_registry.h"
 #include "nucleus/store/delta.h"
+#include "nucleus/store/manifest.h"
 #include "nucleus/store/snapshot.h"
 #include "nucleus/util/parse_util.h"
 
@@ -835,29 +837,107 @@ int CmdUpdate(const ParsedArgs& parsed, std::ostream& out,
 int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   if (!CheckFlags(parsed,
                   {"snapshot", "deltas", "input", "queries", "out", "threads",
-                   "batch"},
+                   "batch", "registry", "budget-mb"},
                   err)) {
     return 2;
   }
+  const std::string registry_path = FlagOr(parsed, "registry", "");
   const std::string snapshot_path = FlagOr(parsed, "snapshot", "");
-  if (snapshot_path.empty()) {
-    err << "error: serve requires --snapshot (see decompose "
-           "--out-snapshot)\n";
+  if (registry_path.empty() == snapshot_path.empty()) {
+    err << "error: serve requires exactly one of --snapshot (single "
+           "tenant) or --registry (multi-tenant manifest)\n";
     return 2;
   }
   const std::string input = FlagOr(parsed, "input", "");
   const std::string deltas = FlagOr(parsed, "deltas", "");
+  if (!registry_path.empty() &&
+      (!input.empty() || !deltas.empty())) {
+    err << "error: --input / --deltas do not apply with --registry (the "
+           "manifest names each tenant's graph and deltas)\n";
+    return 2;
+  }
+  if (registry_path.empty() && HasFlag(parsed, "budget-mb")) {
+    err << "error: --budget-mb only applies with --registry (a single "
+           "snapshot is always resident)\n";
+    return 2;
+  }
   if (!deltas.empty() && input.empty()) {
     err << "error: --deltas requires --input (the current graph)\n";
     return 2;
   }
   ServeOptions options;
   std::int64_t batch = 256;
+  std::int64_t budget_mb = 0;
   if (!ParseThreads(parsed, &options.parallel, err) ||
-      !ParseIntFlag(parsed, "batch", 256, 1, 1 << 20, &batch, err)) {
+      !ParseIntFlag(parsed, "batch", 256, 1, 1 << 20, &batch, err) ||
+      !ParseIntFlag(parsed, "budget-mb", 0, 0, 1 << 20, &budget_mb, err)) {
     return 2;
   }
   options.batch_size = batch;
+
+  // Opened only AFTER the snapshot/manifest loads: opening --out
+  // truncates it, and a failed startup must not destroy the previous
+  // run's transcript.
+  const std::string queries_path = FlagOr(parsed, "queries", "");
+  const std::string out_path = FlagOr(parsed, "out", "");
+  std::ifstream query_file;
+  std::ofstream out_file;
+  const auto open_streams = [&]() -> bool {
+    if (!queries_path.empty()) {
+      query_file.open(queries_path);
+      if (!query_file) {
+        err << "error: cannot open " << queries_path << "\n";
+        return false;
+      }
+    }
+    if (!out_path.empty()) {
+      out_file.open(out_path);
+      if (!out_file) {
+        err << "error: cannot open " << out_path << " for writing\n";
+        return false;
+      }
+    }
+    return true;
+  };
+  const auto in_stream = [&]() -> std::istream& {
+    return queries_path.empty() ? std::cin : query_file;
+  };
+  const auto out_stream = [&]() -> std::ostream& {
+    return out_path.empty() ? out : out_file;
+  };
+
+  if (!registry_path.empty()) {
+    // Multi-tenant mode: attach every manifest tenant eagerly, so a
+    // broken tenant fails the process at startup with its name attached
+    // (runtime faults — eviction re-loads, protocol attaches — stay
+    // per-tenant errors inside the session).
+    StatusOr<RegistryManifest> manifest = LoadManifest(registry_path);
+    if (!manifest.ok()) {
+      err << "error: " << manifest.status().ToString() << "\n";
+      return 1;
+    }
+    RegistryOptions registry_options;
+    registry_options.memory_budget_bytes = budget_mb * (1 << 20);
+    SnapshotRegistry registry(registry_options);
+    if (Status s = registry.AttachManifest(*manifest); !s.ok()) {
+      err << "error: " << s.ToString() << "\n";
+      return 1;
+    }
+    if (!open_streams()) return 1;
+    err << "serving " << manifest->tenants.size() << " tenant(s) from "
+        << registry_path << ", threads "
+        << options.parallel.ResolvedThreads();
+    if (budget_mb > 0) {
+      err << ", eviction budget " << budget_mb << " MB";
+    }
+    err << "\n";
+    const ServeStats stats =
+        ServeRegistryRequests(registry, in_stream(), out_stream(), options);
+    err << "served " << stats.requests << " requests (" << stats.errors
+        << " errors, " << stats.updates << " updates, " << stats.admin
+        << " admin) in " << stats.batches << " batches\n";
+    return 0;
+  }
 
   // With --input the session is live: the graph is loaded next to the
   // snapshot (fingerprint-checked) and the `update` protocol verb is
@@ -892,6 +972,7 @@ int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   }
 
   QueryEngine engine(std::move(*snapshot));
+  if (!open_streams()) return 1;
   err << "serving " << FamilyName(engine.meta().family) << " snapshot: "
       << engine.meta().num_cliques << " cliques, "
       << engine.hierarchy().NumNuclei() << " nuclei, max lambda "
@@ -899,30 +980,8 @@ int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
       << options.parallel.ResolvedThreads()
       << (updater != nullptr ? ", updates enabled" : "") << "\n";
 
-  const std::string queries_path = FlagOr(parsed, "queries", "");
-  std::ifstream query_file;
-  if (!queries_path.empty()) {
-    query_file.open(queries_path);
-    if (!query_file) {
-      err << "error: cannot open " << queries_path << "\n";
-      return 1;
-    }
-  }
-  std::istream& in = queries_path.empty() ? std::cin : query_file;
-
-  const std::string out_path = FlagOr(parsed, "out", "");
-  std::ofstream out_file;
-  if (!out_path.empty()) {
-    out_file.open(out_path);
-    if (!out_file) {
-      err << "error: cannot open " << out_path << " for writing\n";
-      return 1;
-    }
-  }
-  std::ostream& response_out = out_path.empty() ? out : out_file;
-
   const ServeStats stats =
-      ServeRequests(engine, updater.get(), in, response_out, options);
+      ServeRequests(engine, updater.get(), in_stream(), out_stream(), options);
   err << "served " << stats.requests << " requests (" << stats.errors
       << " errors, " << stats.updates << " updates) in " << stats.batches
       << " batches\n";
@@ -945,10 +1004,16 @@ void PrintUsage(std::ostream& err) {
       << "  query         (--snapshot F.nucsnap [--deltas D1,D2 --input F] "
          "| --input F [--family ...] [--algorithm ...]) "
          "--u A [--v B | --k K] [--top N] [--out-json F]\n"
-      << "  serve         --snapshot F.nucsnap [--deltas D1,D2] [--input F] "
+      << "  serve         (--snapshot F.nucsnap [--deltas D1,D2] [--input F] "
+         "| --registry M [--budget-mb N]) "
          "[--queries F] [--out F] [--threads N] [--batch N]\n"
       << "                (--input pairs the graph and enables the "
          "'update u v +|-' protocol verb; (1,2) snapshots only)\n"
+      << "                (--registry serves many tenants from a manifest: "
+         "'tenant <name> snapshot=<path> [deltas=..] [graph=..]' per line; "
+         "protocol lines become '<tenant>:<verb> ...' plus "
+         "attach/detach/tenants; --budget-mb bounds resident engines via "
+         "LRU eviction)\n"
       << "  update        --snapshot F.nucsnap [--deltas D1,D2] --input F "
          "--edits E [--out-snapshot G.nucsnap [--snapshot-index 0|1]] "
          "[--out-delta D.nucdelta]\n"

@@ -27,6 +27,22 @@ struct LruCacheStats {
   std::int64_t hits = 0;
   std::int64_t misses = 0;
   std::int64_t evictions = 0;
+  /// Currently resident entries (a gauge, not a counter) — makes eviction
+  /// behaviour observable: entries stays bounded by capacity while
+  /// `evictions` counts the overflow.
+  std::int64_t entries = 0;
+
+  /// Merges COUNTERS from `other` into this. Used to keep one logical
+  /// stats stream per tenant across cache generations (the snapshot
+  /// registry accumulates a retiring engine's counters before dropping
+  /// it). `entries` is a gauge of a live cache, not a counter: a retired
+  /// cache's entries are gone, so Add deliberately leaves it alone and
+  /// aggregators set it from the currently resident cache only.
+  void Add(const LruCacheStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+  }
 };
 
 template <typename K, typename V>
@@ -94,6 +110,7 @@ class ShardedLruCache {
       total.hits += shard.stats.hits;
       total.misses += shard.stats.misses;
       total.evictions += shard.stats.evictions;
+      total.entries += static_cast<std::int64_t>(shard.map.size());
     }
     return total;
   }

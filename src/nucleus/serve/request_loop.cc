@@ -1,12 +1,15 @@
 #include "nucleus/serve/request_loop.h"
 
 #include <istream>
+#include <map>
 #include <ostream>
 #include <sstream>
 #include <utility>
 #include <vector>
 
 #include "nucleus/io/hierarchy_export.h"
+#include "nucleus/serve/snapshot_registry.h"
+#include "nucleus/store/manifest.h"
 #include "nucleus/util/parse_util.h"
 
 namespace nucleus {
@@ -17,15 +20,20 @@ void AppendRef(std::ostringstream& out, const QueryEngine::NucleusRef& ref) {
       << ", \"size\": " << ref.size;
 }
 
-}  // namespace
-
-StatusOr<ServeRequest> ParseServeLine(const std::string& line) {
+/// Whitespace-split tokens of one request line. NUL and other control
+/// bytes are not whitespace, so they stay inside tokens and travel into
+/// (JSON-escaped) error messages rather than confusing the tokenizer.
+std::vector<std::string> Tokenize(const std::string& line) {
   std::istringstream stream(line);
-  std::string verb;
-  std::vector<std::string> args;
-  stream >> verb;
-  for (std::string token; stream >> token;) args.push_back(token);
+  std::vector<std::string> tokens;
+  for (std::string token; stream >> token;) tokens.push_back(token);
+  return tokens;
+}
 
+/// Parses one already-tokenized request (verb + argument tokens). The
+/// shared tail of ParseServeLine (unrouted) and ParseRoutedServeLine.
+StatusOr<ServeRequest> ParseServeVerb(const std::string& verb,
+                                      const std::vector<std::string>& args) {
   ServeRequest request;
   if (verb == "update") {
     if (args.size() != 3 || (args[2] != "+" && args[2] != "-")) {
@@ -68,7 +76,7 @@ StatusOr<ServeRequest> ParseServeLine(const std::string& line) {
     query.kind = QueryEngine::QueryKind::kMembers;
     arity = 1;
   } else {
-    return Status::InvalidArgument("unknown request '" + verb +
+    return Status::InvalidArgument("unknown request '" + TruncateForEcho(verb) +
                                    "' (lambda | nucleus | common | level | "
                                    "top | members | update)");
   }
@@ -83,6 +91,67 @@ StatusOr<ServeRequest> ParseServeLine(const std::string& line) {
   }
   request.query = query;
   return request;
+}
+
+}  // namespace
+
+StatusOr<ServeRequest> ParseServeLine(const std::string& line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty request line");
+  }
+  return ParseServeVerb(
+      tokens[0], std::vector<std::string>(tokens.begin() + 1, tokens.end()));
+}
+
+StatusOr<RoutedServeLine> ParseRoutedServeLine(const std::string& line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty request line");
+  }
+  RoutedServeLine parsed;
+  const std::string& head = tokens[0];
+  const std::vector<std::string> args(tokens.begin() + 1, tokens.end());
+  if (head == "attach") {
+    parsed.admin = RoutedServeLine::Admin::kAttach;
+    parsed.admin_args = args;
+    return parsed;
+  }
+  if (head == "detach") {
+    if (args.size() != 1) {
+      return Status::InvalidArgument("'detach' expects: detach <tenant>");
+    }
+    parsed.admin = RoutedServeLine::Admin::kDetach;
+    parsed.admin_args = args;
+    return parsed;
+  }
+  if (head == "tenants") {
+    if (!args.empty()) {
+      return Status::InvalidArgument("'tenants' takes no arguments");
+    }
+    parsed.admin = RoutedServeLine::Admin::kTenants;
+    return parsed;
+  }
+
+  std::string verb = head;
+  const std::size_t colon = head.find(':');
+  if (colon != std::string::npos) {
+    parsed.tenant = head.substr(0, colon);
+    verb = head.substr(colon + 1);
+    if (!ValidTenantName(parsed.tenant)) {
+      return Status::InvalidArgument(
+          "invalid tenant name '" + TruncateForEcho(parsed.tenant) +
+          "' before ':' (1-64 characters from [A-Za-z0-9_.-])");
+    }
+    if (verb.empty()) {
+      return Status::InvalidArgument("missing verb after '" + parsed.tenant +
+                                     ":'");
+    }
+  }
+  StatusOr<ServeRequest> request = ParseServeVerb(verb, args);
+  if (!request.ok()) return request.status();
+  parsed.request = *request;
+  return parsed;
 }
 
 StatusOr<QueryEngine::Query> ParseRequestLine(const std::string& line) {
@@ -177,14 +246,24 @@ std::string UpdateToJson(const EdgeEdit& edit,
   return out.str();
 }
 
-ServeStats ServeRequests(QueryEngine& engine, LiveUpdater* updater,
-                         std::istream& in, std::ostream& out,
-                         const ServeOptions& options) {
+ServeStats ServeResolvedRequests(const ServeSessionResolver& resolver,
+                                 SnapshotRegistry* registry,
+                                 std::istream& in, std::ostream& out,
+                                 const ServeOptions& options) {
+  /// One pending request line. `group` indexes the per-tenant batch the
+  /// query joined; parse/resolve failures carry the error instead.
   struct Item {
     std::int64_t line_no = 0;
-    Status parse_status;
-    QueryEngine::Query query;
-    std::int64_t query_index = -1;  // into the batch's query vector
+    Status error;
+    std::size_t group = 0;
+    std::int64_t query_index = -1;
+  };
+  /// One tenant's slice of the pending batch. Holding the session here is
+  /// the pin: the engine cannot be evicted (or die under a Detach) while
+  /// its slice is waiting to run.
+  struct Group {
+    ServeSession session;
+    std::vector<QueryEngine::Query> queries;
   };
 
   ThreadPool pool(options.parallel);
@@ -192,54 +271,153 @@ ServeStats ServeRequests(QueryEngine& engine, LiveUpdater* updater,
       options.batch_size >= 1 ? options.batch_size : 1;
   ServeStats stats;
   std::vector<Item> items;
-  std::vector<QueryEngine::Query> queries;
+  std::vector<Group> groups;
+  std::map<std::string, std::size_t> group_of_tenant;
   std::int64_t line_no = 0;
+
+  const auto emit_error = [&](const Status& status, std::int64_t line) {
+    out << "{\"error\": \"" << JsonEscape(status.message())
+        << "\", \"line\": " << line << "}\n";
+    ++stats.errors;
+  };
 
   const auto flush = [&] {
     if (items.empty()) return;
     ++stats.batches;
-    const std::vector<QueryEngine::Response> responses =
-        engine.RunBatch(queries, pool);
+    // Per-tenant sub-batches run back to back; each one is parallel over
+    // the pool and order-deterministic on its own, and emission below is
+    // by input order, so the interleaving is thread-count-invariant.
+    std::vector<std::vector<QueryEngine::Response>> responses(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      responses[g] = groups[g].session.engine->RunBatch(groups[g].queries,
+                                                        pool);
+    }
     for (const Item& item : items) {
-      if (!item.parse_status.ok()) {
-        out << "{\"error\": \"" << JsonEscape(item.parse_status.message())
-            << "\", \"line\": " << item.line_no << "}\n";
-        ++stats.errors;
+      if (!item.error.ok()) {
+        emit_error(item.error, item.line_no);
         continue;
       }
       const QueryEngine::Response& response =
-          responses[static_cast<std::size_t>(item.query_index)];
+          responses[item.group][static_cast<std::size_t>(item.query_index)];
       if (!response.status.ok()) ++stats.errors;
-      out << ResponseToJson(item.query, response) << "\n";
+      const QueryEngine::Query& query =
+          groups[item.group]
+              .queries[static_cast<std::size_t>(item.query_index)];
+      out << ResponseToJson(query, response) << "\n";
     }
     items.clear();
-    queries.clear();
+    groups.clear();  // releases every pin
+    group_of_tenant.clear();
+  };
+
+  /// Resolves (or reuses) the batch's session for `tenant`; returns the
+  /// group index or a resolve failure.
+  const auto group_for = [&](const std::string& tenant)
+      -> StatusOr<std::size_t> {
+    const auto it = group_of_tenant.find(tenant);
+    if (it != group_of_tenant.end()) return it->second;
+    StatusOr<ServeSession> session = resolver(tenant);
+    if (!session.ok()) return session.status();
+    groups.push_back(Group{std::move(*session), {}});
+    const std::size_t index = groups.size() - 1;
+    group_of_tenant.emplace(tenant, index);
+    return index;
   };
 
   /// An update is a sequencing point: everything before it answers on the
   /// pre-update state, everything after on the post-update state, so the
   /// output is deterministic at any thread count / batch size.
-  const auto apply_update = [&](const EdgeEdit& edit) -> Status {
-    if (updater == nullptr) {
+  const auto apply_update = [&](const std::string& tenant,
+                                const EdgeEdit& edit) -> Status {
+    StatusOr<ServeSession> session = resolver(tenant);
+    if (!session.ok()) return session.status();
+    if (session->updater == nullptr) {
       return Status::InvalidArgument(
           "updates are not enabled on this session (serve with --input "
-          "<graph> to allow them)");
+          "<graph>, or give the tenant graph= in its spec)");
     }
     StatusOr<LiveUpdater::Result> result =
-        updater->Apply(std::span<const EdgeEdit>(&edit, 1));
+        session->updater->Apply(std::span<const EdgeEdit>(&edit, 1));
     if (!result.ok()) return result.status();
     // A skipped no-op (duplicate insert / missing removal) left the graph
     // untouched: keep serving the current state — no swap, no epoch bump,
-    // the member cache stays warm.
+    // the member cache stays warm, the tenant stays clean (evictable).
     if (result->changed) {
-      if (Status s = engine.ApplyUpdate(std::move(result->snapshot));
+      if (Status s = session->engine->ApplyUpdate(std::move(result->snapshot));
           !s.ok()) {
         return s;
       }
+      if (session->on_update) session->on_update();
     }
     ++stats.updates;
     out << UpdateToJson(edit, result->report) << "\n";
     return Status::Ok();
+  };
+
+  const auto run_admin = [&](const RoutedServeLine& parsed) -> Status {
+    if (registry == nullptr) {
+      return Status::InvalidArgument(
+          "admin verbs (attach | detach | tenants) require a registry "
+          "session (serve --registry)");
+    }
+    switch (parsed.admin) {
+      case RoutedServeLine::Admin::kAttach: {
+        if (parsed.admin_args.empty()) {
+          return Status::InvalidArgument(
+              "'attach' expects: attach <name> snapshot=<path> "
+              "[deltas=<p1,p2>] [graph=<path>]");
+        }
+        TenantSpec spec;
+        spec.name = parsed.admin_args[0];
+        const std::vector<std::string> args(parsed.admin_args.begin() + 1,
+                                            parsed.admin_args.end());
+        if (Status s = ParseTenantSpecArgs(args, "", &spec); !s.ok()) {
+          return s;
+        }
+        if (Status s = registry->Attach(spec); !s.ok()) return s;
+        ++stats.admin;
+        out << "{\"query\": \"attach\", \"tenant\": \""
+            << JsonEscape(spec.name) << "\", \"ok\": true}\n";
+        return Status::Ok();
+      }
+      case RoutedServeLine::Admin::kDetach: {
+        if (Status s = registry->Detach(parsed.admin_args[0]); !s.ok()) {
+          return s;
+        }
+        ++stats.admin;
+        out << "{\"query\": \"detach\", \"tenant\": \""
+            << JsonEscape(parsed.admin_args[0]) << "\", \"ok\": true}\n";
+        return Status::Ok();
+      }
+      case RoutedServeLine::Admin::kTenants: {
+        ++stats.admin;
+        const std::vector<std::string> names = registry->TenantNames();
+        out << "{\"query\": \"tenants\", \"count\": " << names.size()
+            << ", \"tenants\": [";
+        bool first = true;
+        for (const std::string& name : names) {
+          const StatusOr<TenantStats> tenant_stats = registry->Stats(name);
+          if (!tenant_stats.ok()) continue;  // detached between calls
+          if (!first) out << ", ";
+          first = false;
+          out << "{\"name\": \"" << JsonEscape(name) << "\", \"resident\": "
+              << (tenant_stats->resident ? "true" : "false")
+              << ", \"live\": " << (tenant_stats->live ? "true" : "false")
+              << ", \"dirty\": " << (tenant_stats->dirty ? "true" : "false")
+              << ", \"loads\": " << tenant_stats->loads
+              << ", \"evictions\": " << tenant_stats->evictions
+              << ", \"hits\": " << tenant_stats->hits
+              << ", \"updates\": " << tenant_stats->updates
+              << ", \"resident_bytes\": " << tenant_stats->resident_bytes
+              << "}";
+        }
+        out << "]}\n";
+        return Status::Ok();
+      }
+      case RoutedServeLine::Admin::kNone:
+        break;
+    }
+    return Status::Internal("unreachable admin verb");
   };
 
   std::string line;
@@ -249,25 +427,43 @@ ServeStats ServeRequests(QueryEngine& engine, LiveUpdater* updater,
     if (start == std::string::npos || line[start] == '#') continue;
 
     ++stats.requests;
-    StatusOr<ServeRequest> parsed = ParseServeLine(line);
-    if (parsed.ok() && parsed->is_update) {
+    StatusOr<RoutedServeLine> parsed = ParseRoutedServeLine(line);
+    if (!parsed.ok()) {
+      Item item;
+      item.line_no = line_no;
+      item.error = parsed.status();
+      items.push_back(std::move(item));
+      if (static_cast<std::int64_t>(items.size()) >= batch_size) flush();
+      continue;
+    }
+
+    if (parsed->admin != RoutedServeLine::Admin::kNone) {
+      // Admin verbs are sequencing points: the pending batch answers on
+      // the pre-admin registry, everything later on the post-admin one.
       flush();
-      if (Status s = apply_update(parsed->edit); !s.ok()) {
-        out << "{\"error\": \"" << JsonEscape(s.message())
-            << "\", \"line\": " << line_no << "}\n";
-        ++stats.errors;
+      if (Status s = run_admin(*parsed); !s.ok()) emit_error(s, line_no);
+      continue;
+    }
+
+    if (parsed->request.is_update) {
+      flush();
+      if (Status s = apply_update(parsed->tenant, parsed->request.edit);
+          !s.ok()) {
+        emit_error(s, line_no);
       }
       continue;
     }
 
     Item item;
     item.line_no = line_no;
-    if (parsed.ok()) {
-      item.query = parsed->query;
-      item.query_index = static_cast<std::int64_t>(queries.size());
-      queries.push_back(parsed->query);
+    StatusOr<std::size_t> group = group_for(parsed->tenant);
+    if (group.ok()) {
+      item.group = *group;
+      item.query_index =
+          static_cast<std::int64_t>(groups[*group].queries.size());
+      groups[*group].queries.push_back(parsed->request.query);
     } else {
-      item.parse_status = parsed.status();
+      item.error = group.status();
     }
     items.push_back(std::move(item));
     if (static_cast<std::int64_t>(items.size()) >= batch_size) flush();
@@ -277,6 +473,25 @@ ServeStats ServeRequests(QueryEngine& engine, LiveUpdater* updater,
   return stats;
 }
 
+ServeStats ServeRequests(QueryEngine& engine, LiveUpdater* updater,
+                         std::istream& in, std::ostream& out,
+                         const ServeOptions& options) {
+  const ServeSessionResolver resolver =
+      [&engine, updater](const std::string& tenant)
+      -> StatusOr<ServeSession> {
+    if (!tenant.empty()) {
+      return Status::InvalidArgument(
+          "this session serves a single snapshot; routed '" + tenant +
+          ":' requests require serve --registry");
+    }
+    ServeSession session;
+    session.engine = &engine;
+    session.updater = updater;
+    return session;
+  };
+  return ServeResolvedRequests(resolver, nullptr, in, out, options);
+}
+
 ServeStats ServeRequests(const QueryEngine& engine, std::istream& in,
                          std::ostream& out, const ServeOptions& options) {
   // Without an updater the engine is never mutated (the only mutating path
@@ -284,6 +499,30 @@ ServeStats ServeRequests(const QueryEngine& engine, std::istream& in,
   // through the mutable entry point is sound.
   return ServeRequests(const_cast<QueryEngine&>(engine), nullptr, in, out,
                        options);
+}
+
+ServeStats ServeRegistryRequests(SnapshotRegistry& registry,
+                                 std::istream& in, std::ostream& out,
+                                 const ServeOptions& options) {
+  const ServeSessionResolver resolver =
+      [&registry](const std::string& tenant) -> StatusOr<ServeSession> {
+    if (tenant.empty()) {
+      return Status::InvalidArgument(
+          "registry sessions route by tenant: '<tenant>:<verb> ...' "
+          "(admin: attach | detach | tenants)");
+    }
+    StatusOr<SnapshotRegistry::Lease> lease = registry.Acquire(tenant);
+    if (!lease.ok()) return lease.status();
+    auto shared = std::make_shared<SnapshotRegistry::Lease>(
+        std::move(*lease));
+    ServeSession session;
+    session.engine = &shared->engine();
+    session.updater = shared->updater();
+    session.on_update = [shared] { shared->MarkUpdated(); };
+    session.pin = shared;
+    return session;
+  };
+  return ServeResolvedRequests(resolver, &registry, in, out, options);
 }
 
 }  // namespace nucleus

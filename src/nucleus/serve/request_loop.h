@@ -31,12 +31,40 @@
 // pre-update state), the edit is applied synchronously, and every later
 // line sees the edited graph — which keeps sessions with updates
 // deterministic at any thread count and batch size too.
+//
+// ROUTED sessions (`nucleus_cli serve --registry`) extend the grammar to
+// many tenants in one process. Every request line is prefixed with the
+// tenant it routes to, and three unprefixed ADMIN verbs manage the
+// registry itself:
+//
+//   <tenant>:<verb> <args...>     any verb above, routed — e.g.
+//                                 `web:lambda 3`, `social:update 1 2 +`
+//   attach <name> snapshot=<path> [deltas=<p1,p2>] [graph=<path>]
+//                                 register + load a tenant (same key=value
+//                                 grammar as the store/manifest.h format)
+//   detach <name>                 unregister a tenant
+//   tenants                       list attached tenants with stats
+//
+// The single-tenant contract holds PER TENANT: exactly one JSON object
+// per request line, in input order, byte-identical at every thread count
+// and batch size; successful responses carry no tenant field, so a
+// tenant's slice of a routed transcript — its successfully parsed and
+// resolved lines — is byte-identical to replaying those lines against a
+// dedicated single-tenant session (error objects embed the GLOBAL line
+// number of the routed session, so they diagnose the session they
+// occurred in rather than matching a replay). Updates and admin verbs
+// are global sequencing points. Resolution failures (unknown tenant,
+// evicted tenant whose backing file went bad) are structured per-line
+// JSON errors; the loop never stops and other tenants never notice.
 #ifndef NUCLEUS_SERVE_REQUEST_LOOP_H_
 #define NUCLEUS_SERVE_REQUEST_LOOP_H_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "nucleus/core/incremental_core.h"
 #include "nucleus/parallel/parallel_config.h"
@@ -45,6 +73,8 @@
 #include "nucleus/util/status.h"
 
 namespace nucleus {
+
+class SnapshotRegistry;
 
 struct ServeOptions {
   ParallelConfig parallel;
@@ -57,6 +87,7 @@ struct ServeStats {
   std::int64_t errors = 0;   // parse failures + invalid queries/updates
   std::int64_t batches = 0;
   std::int64_t updates = 0;  // update lines applied
+  std::int64_t admin = 0;    // attach/detach/tenants verbs executed
 };
 
 /// One parsed protocol line: a query, or an edge update.
@@ -66,10 +97,27 @@ struct ServeRequest {
   EdgeEdit edit;             // when is_update
 };
 
+/// One parsed line of the ROUTED grammar: an admin verb, or a request
+/// with its tenant prefix ("" = unrouted).
+struct RoutedServeLine {
+  enum class Admin : std::int32_t { kNone, kAttach, kDetach, kTenants };
+  std::string tenant;                  // empty = unrouted
+  Admin admin = Admin::kNone;
+  std::vector<std::string> admin_args; // raw tokens after the admin verb
+  ServeRequest request;                // when admin == kNone
+};
+
 /// Parses one request line (any verb, including `update`). Strict:
 /// unknown verbs, wrong arity and non-numeric / trailing-garbage
 /// arguments all fail.
 StatusOr<ServeRequest> ParseServeLine(const std::string& line);
+
+/// Parses one line of the routed grammar: `tenant:verb args...`, an admin
+/// verb, or an unrouted request line (tenant left empty — the session
+/// decides whether unrouted lines are legal). Tenant names are validated
+/// against the manifest charset; an empty tenant or verb around ':' is an
+/// error.
+StatusOr<RoutedServeLine> ParseRoutedServeLine(const std::string& line);
 
 /// Parses one QUERY line; the `update` verb is rejected here (callers that
 /// serve updates use ParseServeLine).
@@ -85,11 +133,42 @@ std::string ResponseToJson(const QueryEngine::Query& query,
 /// (inserting an existing edge, removing a missing one).
 std::string UpdateToJson(const EdgeEdit& edit, const CoreDeltaReport& report);
 
-/// Reads requests from `in` until EOF, answers them on `out` (one JSON
-/// line each, input order), batching over a ThreadPool sized by
-/// `options.parallel`. With a non-null `updater` the session is mutable:
-/// `update` lines go through the updater and swap the engine's state;
-/// with a null `updater` they are answered with an error object.
+/// One resolved serving surface: the engine (and optional updater) a
+/// request line routes to. `pin` keeps whatever owns the pointers alive —
+/// and, for registry tenants, pinned against eviction — for as long as
+/// the session object is held; `on_update` (optional) tells the owner an
+/// update batch was APPLIED (registry tenants become dirty/unevictable).
+struct ServeSession {
+  QueryEngine* engine = nullptr;
+  LiveUpdater* updater = nullptr;       // null = read-only
+  std::function<void()> on_update;
+  std::shared_ptr<void> pin;
+};
+
+/// Maps a tenant name ("" = unrouted line) to its serving surface. The
+/// serve loop holds every session it resolved only for the duration of
+/// one batch (a batch is pinned, a session is not cached across flushes),
+/// and turns resolution failures into per-line JSON errors. This is the
+/// seam the single-tenant wrappers and the registry loop share: the loop
+/// itself no longer hard-binds one engine.
+using ServeSessionResolver =
+    std::function<StatusOr<ServeSession>(const std::string& tenant)>;
+
+/// Core loop: reads request lines from `in` until EOF, answers them on
+/// `out` (one JSON line each, input order), resolving every line's tenant
+/// through `resolver` and batching per tenant over a ThreadPool sized by
+/// `options.parallel`. Admin verbs require a non-null `registry`; without
+/// one they are answered with error objects.
+ServeStats ServeResolvedRequests(const ServeSessionResolver& resolver,
+                                 SnapshotRegistry* registry,
+                                 std::istream& in, std::ostream& out,
+                                 const ServeOptions& options = {});
+
+/// Single-tenant session over one engine (unrouted lines only; routed
+/// lines are answered with an error object pointing at --registry). With
+/// a non-null `updater` the session is mutable: `update` lines go through
+/// the updater and swap the engine's state; with a null `updater` they
+/// are answered with an error object.
 ServeStats ServeRequests(QueryEngine& engine, LiveUpdater* updater,
                          std::istream& in, std::ostream& out,
                          const ServeOptions& options = {});
@@ -97,6 +176,14 @@ ServeStats ServeRequests(QueryEngine& engine, LiveUpdater* updater,
 /// Read-only session (no update support) over a const engine.
 ServeStats ServeRequests(const QueryEngine& engine, std::istream& in,
                          std::ostream& out, const ServeOptions& options = {});
+
+/// Routed multi-tenant session over a registry: `tenant:verb` lines
+/// resolve through SnapshotRegistry::Acquire (pinned per batch, lazily
+/// re-loaded after eviction), admin verbs mutate the registry, and
+/// unrouted request lines are errors.
+ServeStats ServeRegistryRequests(SnapshotRegistry& registry,
+                                 std::istream& in, std::ostream& out,
+                                 const ServeOptions& options = {});
 
 }  // namespace nucleus
 

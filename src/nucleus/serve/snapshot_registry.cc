@@ -1,0 +1,285 @@
+#include "nucleus/serve/snapshot_registry.h"
+
+#include <optional>
+#include <utility>
+
+#include "nucleus/graph/edge_list_io.h"
+#include "nucleus/store/delta.h"
+
+namespace nucleus {
+namespace {
+
+/// Status with the same code, message prefixed by the tenant name — every
+/// per-tenant failure names its tenant so a multi-tenant operator log
+/// stays attributable.
+Status TenantError(const std::string& name, const Status& status) {
+  return Status(status.code(), "tenant '" + name + "': " + status.message());
+}
+
+/// Rough live footprint of the incremental maintainer (adjacency sets +
+/// lambda array) a live tenant keeps next to its engine.
+std::int64_t EstimateLiveBytes(const Graph& g) {
+  // Adjacency as hash sets costs well over the CSR's 4 bytes per
+  // directed edge; 16 is a defensible average across load factors.
+  return 16 * 2 * g.NumEdges() + 8 * static_cast<std::int64_t>(g.NumVertices());
+}
+
+}  // namespace
+
+std::int64_t EstimateResidentBytes(const SnapshotData& snapshot) {
+  const NucleusHierarchy& h = snapshot.hierarchy;
+  std::int64_t bytes = 0;
+  bytes += static_cast<std::int64_t>(snapshot.peel.lambda.size()) *
+           sizeof(Lambda);
+  bytes += h.NumCliques() * sizeof(std::int32_t);  // node_of_clique
+  for (std::int32_t id = 0; id < h.NumNodes(); ++id) {
+    const auto& node = h.node(id);
+    bytes += static_cast<std::int64_t>(sizeof(NucleusHierarchy::Node));
+    bytes += static_cast<std::int64_t>(node.children.size()) *
+             sizeof(std::int32_t);
+    bytes += static_cast<std::int64_t>(node.members.size()) *
+             sizeof(CliqueId);
+  }
+  if (snapshot.has_index) {
+    bytes += static_cast<std::int64_t>(snapshot.index_tables.depth.size() +
+                                       snapshot.index_tables.up.size()) *
+             sizeof(std::int32_t);
+  }
+  return bytes;
+}
+
+SnapshotRegistry::SnapshotRegistry(const RegistryOptions& options)
+    : options_(options) {}
+
+StatusOr<std::shared_ptr<SnapshotRegistry::Resident>>
+SnapshotRegistry::LoadResident(const TenantSpec& spec,
+                               const RegistryOptions& options) {
+  if (spec.graph_path.empty()) {
+    StatusOr<SnapshotData> snapshot = LoadSnapshot(spec.snapshot_path);
+    if (!snapshot.ok()) return snapshot.status();
+    const std::int64_t bytes = EstimateResidentBytes(*snapshot);
+    return std::make_shared<Resident>(std::move(*snapshot), options.engine,
+                                      bytes);
+  }
+  // Live tenant: the graph is loaded next to the snapshot (or delta
+  // chain), paired through the fingerprint check inside
+  // LiveUpdater::Create / ResolveChain, and kept — as the maintainer's
+  // adjacency — so the update verb can serve.
+  StatusOr<Graph> graph = ReadEdgeList(spec.graph_path);
+  if (!graph.ok()) return graph.status();
+  std::optional<ChainLink> link;
+  StatusOr<SnapshotData> snapshot = Status::Internal("unset");
+  if (spec.delta_paths.empty()) {
+    snapshot = LoadSnapshot(spec.snapshot_path);
+  } else {
+    std::vector<std::string> paths{spec.snapshot_path};
+    paths.insert(paths.end(), spec.delta_paths.begin(),
+                 spec.delta_paths.end());
+    ChainLink resolved;
+    snapshot = ResolveChain(paths, *graph, &resolved);
+    if (snapshot.ok()) link = resolved;
+  }
+  if (!snapshot.ok()) return snapshot.status();
+  StatusOr<std::unique_ptr<LiveUpdater>> updater =
+      LiveUpdater::Create(*graph, *snapshot, link);
+  if (!updater.ok()) return updater.status();
+  const std::int64_t bytes =
+      EstimateResidentBytes(*snapshot) + EstimateLiveBytes(*graph);
+  auto resident = std::make_shared<Resident>(std::move(*snapshot),
+                                             options.engine, bytes);
+  resident->updater = std::move(*updater);
+  return resident;
+}
+
+Status SnapshotRegistry::Attach(const TenantSpec& spec) {
+  if (Status s = ValidateTenantSpec(spec); !s.ok()) return s;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (tenants_.count(spec.name) != 0) {
+    return Status::InvalidArgument("tenant '" + spec.name +
+                                   "' is already attached");
+  }
+  // Eager load: a broken tenant fails HERE, attributable and atomic —
+  // nothing is registered on failure and the other tenants never notice.
+  StatusOr<std::shared_ptr<Resident>> resident =
+      LoadResident(spec, options_);
+  if (!resident.ok()) return TenantError(spec.name, resident.status());
+  Tenant tenant;
+  tenant.spec = spec;
+  tenant.resident = std::move(*resident);
+  tenant.loads = 1;
+  tenant.last_used = ++tick_;
+  resident_bytes_ += tenant.resident->bytes;
+  tenants_.emplace(spec.name, std::move(tenant));
+  EvictLocked();
+  return Status::Ok();
+}
+
+Status SnapshotRegistry::AttachManifest(const RegistryManifest& manifest) {
+  for (const TenantSpec& spec : manifest.tenants) {
+    if (Status s = Attach(spec); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status SnapshotRegistry::Detach(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    return Status::NotFound("unknown tenant '" + name + "'");
+  }
+  if (it->second.resident != nullptr) {
+    // Budget accounting drops now; a live Lease keeps the state itself
+    // alive (shared_ptr) until the in-flight batch finishes.
+    resident_bytes_ -= it->second.resident->bytes;
+  }
+  tenants_.erase(it);
+  return Status::Ok();
+}
+
+StatusOr<SnapshotRegistry::Lease> SnapshotRegistry::Acquire(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    return Status::NotFound("unknown tenant '" + name +
+                            "' (attach it first)");
+  }
+  Tenant& tenant = it->second;
+  if (tenant.resident == nullptr) {
+    // Lazy re-load after eviction. On failure the tenant stays attached:
+    // the fault is reported per-Acquire and the next hit retries.
+    StatusOr<std::shared_ptr<Resident>> resident =
+        LoadResident(tenant.spec, options_);
+    if (!resident.ok()) return TenantError(name, resident.status());
+    tenant.resident = std::move(*resident);
+    ++tenant.loads;
+    resident_bytes_ += tenant.resident->bytes;
+  } else {
+    ++tenant.hits;
+  }
+  tenant.last_used = ++tick_;
+  tenant.resident->pins.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<Resident> resident = tenant.resident;
+  EvictLocked();  // the just-pinned tenant is exempt; others may go
+  return Lease(this, name, std::move(resident));
+}
+
+void SnapshotRegistry::EvictLocked() {
+  if (options_.memory_budget_bytes <= 0) return;
+  while (resident_bytes_ > options_.memory_budget_bytes) {
+    Tenant* victim = nullptr;
+    for (auto& [name, tenant] : tenants_) {
+      if (tenant.resident == nullptr) continue;
+      if (tenant.resident->pins.load(std::memory_order_relaxed) > 0) {
+        continue;  // a batch is in flight: never pull its state
+      }
+      if (tenant.resident->dirty.load(std::memory_order_relaxed)) {
+        continue;  // unpersisted updates: eviction would roll back
+      }
+      if (victim == nullptr || tenant.last_used < victim->last_used) {
+        victim = &tenant;
+      }
+    }
+    if (victim == nullptr) return;  // budget is best-effort under pinning
+    const LruCacheStats cache = victim->resident->engine.CacheStats();
+    victim->retired_cache.Add(cache);
+    resident_bytes_ -= victim->resident->bytes;
+    victim->resident.reset();
+    ++victim->evictions;
+  }
+}
+
+void SnapshotRegistry::MarkUpdated(const std::string& name,
+                                   const std::shared_ptr<Resident>& resident) {
+  resident->dirty.store(true, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(name);
+  if (it != tenants_.end() && it->second.resident == resident) {
+    ++it->second.updates;
+  }
+}
+
+std::vector<std::string> SnapshotRegistry::TenantNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) names.push_back(name);
+  return names;  // std::map iteration order is already sorted
+}
+
+StatusOr<TenantStats> SnapshotRegistry::Stats(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    return Status::NotFound("unknown tenant '" + name + "'");
+  }
+  const Tenant& tenant = it->second;
+  TenantStats stats;
+  stats.resident = tenant.resident != nullptr;
+  stats.live = !tenant.spec.graph_path.empty();
+  stats.loads = tenant.loads;
+  stats.evictions = tenant.evictions;
+  stats.hits = tenant.hits;
+  stats.updates = tenant.updates;
+  stats.cache = tenant.retired_cache;
+  if (tenant.resident != nullptr) {
+    stats.dirty = tenant.resident->dirty.load(std::memory_order_relaxed);
+    stats.pins = tenant.resident->pins.load(std::memory_order_relaxed);
+    stats.resident_bytes = tenant.resident->bytes;
+    const LruCacheStats resident_cache = tenant.resident->engine.CacheStats();
+    stats.cache.Add(resident_cache);
+    stats.cache.entries = resident_cache.entries;  // gauge: resident only
+  }
+  return stats;
+}
+
+std::int64_t SnapshotRegistry::ResidentBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_;
+}
+
+SnapshotRegistry::Lease::Lease(Lease&& other) noexcept
+    : registry_(other.registry_),
+      name_(std::move(other.name_)),
+      resident_(std::move(other.resident_)) {
+  other.registry_ = nullptr;
+}
+
+SnapshotRegistry::Lease& SnapshotRegistry::Lease::operator=(
+    Lease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    registry_ = other.registry_;
+    name_ = std::move(other.name_);
+    resident_ = std::move(other.resident_);
+    other.registry_ = nullptr;
+  }
+  return *this;
+}
+
+SnapshotRegistry::Lease::~Lease() { Release(); }
+
+void SnapshotRegistry::Lease::Release() {
+  if (resident_ != nullptr) {
+    resident_->pins.fetch_sub(1, std::memory_order_relaxed);
+    resident_.reset();
+    // The drop may have turned an over-budget overshoot (tolerated while
+    // pinned) into evictable idleness; re-enforce now rather than waiting
+    // for the next Acquire, which may never come on an idle registry.
+    if (registry_ != nullptr) registry_->EnforceBudget();
+  }
+  registry_ = nullptr;
+}
+
+void SnapshotRegistry::EnforceBudget() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EvictLocked();
+}
+
+void SnapshotRegistry::Lease::MarkUpdated() {
+  if (registry_ != nullptr && resident_ != nullptr) {
+    registry_->MarkUpdated(name_, resident_);
+  }
+}
+
+}  // namespace nucleus

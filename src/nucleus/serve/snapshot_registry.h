@@ -1,0 +1,222 @@
+// SnapshotRegistry: one process, many graphs — the multi-tenant layer of
+// the serving stack.
+//
+// PR 3/4 made a single snapshot loadable, servable and live-updatable;
+// this module lifts that to the operating mode production serving assumes
+// (and the ROADMAP names as the next serving step): a registry of named
+// TENANTS, each a (snapshot [+ delta chain] [+ graph for live updates])
+// triple resolved through the existing fingerprint pairing. The routed
+// request loop (`<tenant>:<verb> ...`, request_loop.h) resolves every
+// line through this registry.
+//
+// Residency and eviction. Attach loads a tenant eagerly, so a corrupt or
+// mismatched backing file surfaces as a per-tenant Status at attach time
+// while every other tenant keeps serving. Loaded engines are accounted
+// against an optional byte budget; when the budget is exceeded the
+// registry evicts least-recently-used IDLE engines. Three states are
+// never evicted:
+//
+//   * pinned    — a Lease is alive (a batch is in flight). RunBatch never
+//                 loses its state mid-batch; the budget is best-effort
+//                 while everything is pinned, and the overshoot is
+//                 reclaimed as soon as a lease releases (not just at the
+//                 next attach/acquire).
+//   * dirty     — updates were applied that exist nowhere on disk;
+//                 evicting would silently roll the tenant back.
+//   * detached-but-leased — Detach drops the registry's reference, but a
+//                 live Lease keeps the engine alive until it is released.
+//
+// An evicted tenant stays attached: the next Acquire lazily re-loads it
+// from its backing files, and (for clean tenants) the re-loaded state
+// answers byte-identically to the never-evicted one — the property
+// tests/snapshot_registry_test.cc pins. A re-load failure (file corrupted
+// since attach) is again a per-tenant Status; the tenant remains attached
+// and recovers on the next Acquire once the file does.
+//
+// Locking. One mutex guards the tenant table — the ADMIN plane
+// (attach/detach/acquire/stats). Query execution happens on leased
+// engines outside that lock, so a slow re-load of one tenant never stalls
+// another tenant's in-flight batches; it only delays concurrent admin
+// calls. Per-engine concurrency is the QueryEngine's own affair.
+#ifndef NUCLEUS_SERVE_SNAPSHOT_REGISTRY_H_
+#define NUCLEUS_SERVE_SNAPSHOT_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "nucleus/serve/live_update.h"
+#include "nucleus/serve/lru_cache.h"
+#include "nucleus/serve/query_engine.h"
+#include "nucleus/store/manifest.h"
+#include "nucleus/store/snapshot.h"
+#include "nucleus/util/status.h"
+
+namespace nucleus {
+
+struct RegistryOptions {
+  /// Total resident-engine budget in bytes; 0 = unlimited. Enforced by
+  /// LRU eviction of idle engines (see file comment for what "idle"
+  /// excludes), so the actual footprint can exceed the budget while every
+  /// resident engine is pinned or dirty.
+  std::int64_t memory_budget_bytes = 0;
+  /// Per-engine member-cache shape (each tenant gets its own cache).
+  QueryEngineOptions engine;
+};
+
+/// Telemetry for one tenant, cumulative across evictions and re-loads.
+struct TenantStats {
+  bool resident = false;
+  bool live = false;   // graph paired: the update verb is enabled
+  bool dirty = false;  // unpersisted updates applied (never evicted)
+  std::int64_t loads = 0;      // attach + lazy re-loads
+  std::int64_t evictions = 0;  // budget-driven engine drops
+  std::int64_t hits = 0;       // Acquires served from a resident engine
+  std::int64_t updates = 0;    // applied update batches
+  std::int64_t pins = 0;       // currently live Leases
+  std::int64_t resident_bytes = 0;  // 0 when evicted
+  /// Per-tenant member-cache telemetry: the resident engine's counters
+  /// plus everything accumulated from engines this tenant already
+  /// retired — the per-tenant dimension of LruCacheStats.
+  LruCacheStats cache;
+};
+
+/// Rough resident footprint of a loaded snapshot (lambdas, hierarchy,
+/// jump tables), used for budget accounting. Exposed so tests and benches
+/// can size eviction budgets relative to real tenants.
+std::int64_t EstimateResidentBytes(const SnapshotData& snapshot);
+
+class SnapshotRegistry {
+ public:
+  class Lease;
+
+  explicit SnapshotRegistry(const RegistryOptions& options = {});
+
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// Registers and eagerly loads a tenant. Any failure — invalid spec,
+  /// unreadable/corrupt snapshot, delta-chain or fingerprint mismatch,
+  /// live pairing rejected — returns a Status prefixed with the tenant
+  /// name and registers nothing. Duplicate names are errors.
+  Status Attach(const TenantSpec& spec);
+
+  /// Attaches every tenant of a manifest, stopping at the first failure
+  /// (already-attached tenants from earlier lines stay attached).
+  Status AttachManifest(const RegistryManifest& manifest);
+
+  /// Unregisters a tenant. Its engine is dropped from the budget
+  /// immediately; a Lease still holding it keeps the state alive (and
+  /// answering) until released.
+  Status Detach(const std::string& name);
+
+  /// Acquires a pinned lease on a tenant's engine, lazily re-loading it
+  /// if it was evicted. The tenant cannot be evicted while the lease is
+  /// alive. Re-load failures are per-tenant Statuses; the tenant stays
+  /// attached for a later retry.
+  StatusOr<Lease> Acquire(const std::string& name);
+
+  /// Attached tenant names, sorted.
+  std::vector<std::string> TenantNames() const;
+
+  StatusOr<TenantStats> Stats(const std::string& name) const;
+
+  /// Sum of resident engine estimates currently accounted to the budget.
+  std::int64_t ResidentBytes() const;
+
+  const RegistryOptions& options() const { return options_; }
+
+ private:
+  /// Everything resident for one loaded tenant. Held by shared_ptr so an
+  /// in-flight Lease outlives Detach; never mutated structurally after
+  /// construction (the engine handles its own update swaps).
+  struct Resident {
+    Resident(SnapshotData snapshot, const QueryEngineOptions& options,
+             std::int64_t bytes_estimate)
+        : engine(std::move(snapshot), options), bytes(bytes_estimate) {}
+    QueryEngine engine;
+    std::unique_ptr<LiveUpdater> updater;  // null for read-only tenants
+    const std::int64_t bytes;
+    std::atomic<std::int64_t> pins{0};
+    std::atomic<bool> dirty{false};
+  };
+
+  struct Tenant {
+    TenantSpec spec;
+    std::shared_ptr<Resident> resident;  // null = evicted
+    std::int64_t loads = 0;
+    std::int64_t evictions = 0;
+    std::int64_t hits = 0;
+    std::int64_t updates = 0;
+    std::uint64_t last_used = 0;
+    /// Cache counters of engines already evicted (gauges excluded).
+    LruCacheStats retired_cache;
+  };
+
+  static StatusOr<std::shared_ptr<Resident>> LoadResident(
+      const TenantSpec& spec, const RegistryOptions& options);
+
+  /// Drops LRU idle engines until the budget holds (or nothing idle is
+  /// left). Caller holds mutex_.
+  void EvictLocked();
+  /// Takes mutex_ and evicts; run by a releasing Lease so an overshoot
+  /// tolerated while pinned is reclaimed as soon as the pin drops, not
+  /// only at the next Attach/Acquire.
+  void EnforceBudget();
+  void MarkUpdated(const std::string& name,
+                   const std::shared_ptr<Resident>& resident);
+
+  const RegistryOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Tenant> tenants_;
+  std::int64_t resident_bytes_ = 0;
+  std::uint64_t tick_ = 0;  // deterministic LRU clock
+
+  friend class Lease;
+};
+
+/// A pinned reference to one tenant's serving surface. Movable, not
+/// copyable; releasing (destruction) unpins. The engine and updater
+/// pointers stay valid for the lease's lifetime even across a concurrent
+/// Detach or (impossible while pinned, but for clarity) eviction.
+class SnapshotRegistry::Lease {
+ public:
+  Lease(Lease&& other) noexcept;
+  Lease& operator=(Lease&& other) noexcept;
+  Lease(const Lease&) = delete;
+  Lease& operator=(const Lease&) = delete;
+  ~Lease();
+
+  QueryEngine& engine() { return resident_->engine; }
+  const QueryEngine& engine() const { return resident_->engine; }
+  /// Null for read-only tenants.
+  LiveUpdater* updater() { return resident_->updater.get(); }
+
+  /// Marks the leased state dirty after an APPLIED update batch: the
+  /// tenant becomes unevictable (its in-memory state is now ahead of its
+  /// backing files) and the per-tenant update counter advances.
+  void MarkUpdated();
+
+ private:
+  Lease(SnapshotRegistry* registry, std::string name,
+        std::shared_ptr<Resident> resident)
+      : registry_(registry),
+        name_(std::move(name)),
+        resident_(std::move(resident)) {}
+
+  void Release();
+
+  SnapshotRegistry* registry_ = nullptr;
+  std::string name_;
+  std::shared_ptr<Resident> resident_;
+
+  friend class SnapshotRegistry;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_SERVE_SNAPSHOT_REGISTRY_H_

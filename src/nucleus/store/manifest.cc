@@ -1,0 +1,170 @@
+#include "nucleus/store/manifest.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "nucleus/util/parse_util.h"
+
+namespace nucleus {
+namespace {
+
+constexpr std::size_t kMaxTenantNameLength = 64;
+
+bool ValidNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+}
+
+std::string ResolvePath(const std::string& base_dir,
+                        const std::string& path) {
+  if (base_dir.empty() || path.empty() || path.front() == '/') return path;
+  return base_dir + "/" + path;
+}
+
+/// Splits "d1.nucdelta,d2.nucdelta" into non-empty components; an empty
+/// component ("a,,b" or a trailing comma) is the caller's error to report.
+bool SplitDeltaList(const std::string& value,
+                    std::vector<std::string>* parts) {
+  parts->clear();
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::size_t end =
+        comma == std::string::npos ? value.size() : comma;
+    if (end == start) return false;  // empty component
+    parts->push_back(value.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return !parts->empty();
+}
+
+}  // namespace
+
+bool ValidTenantName(const std::string& name) {
+  if (name.empty() || name.size() > kMaxTenantNameLength) return false;
+  for (char c : name) {
+    if (!ValidNameChar(c)) return false;
+  }
+  return true;
+}
+
+Status ValidateTenantSpec(const TenantSpec& spec) {
+  if (!ValidTenantName(spec.name)) {
+    return Status::InvalidArgument(
+        "invalid tenant name '" + TruncateForEcho(spec.name) +
+        "' (1-64 characters from [A-Za-z0-9_.-])");
+  }
+  if (spec.snapshot_path.empty()) {
+    return Status::InvalidArgument("tenant '" + spec.name +
+                                   "' requires snapshot=<path>");
+  }
+  if (!spec.delta_paths.empty() && spec.graph_path.empty()) {
+    return Status::InvalidArgument(
+        "tenant '" + spec.name +
+        "': deltas= requires graph= (chain resolution rebuilds the final "
+        "hierarchy from the current graph)");
+  }
+  return Status::Ok();
+}
+
+Status ParseTenantSpecArgs(const std::vector<std::string>& args,
+                           const std::string& base_dir, TenantSpec* spec) {
+  std::unordered_set<std::string> seen;
+  for (const std::string& arg : args) {
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("expected key=value, got '" +
+                                     TruncateForEcho(arg) +
+                                     "' (snapshot= | deltas= | graph=)");
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    if (value.empty()) {
+      return Status::InvalidArgument("empty value for '" +
+                                     TruncateForEcho(key) + "='");
+    }
+    if (!seen.insert(key).second) {
+      return Status::InvalidArgument("duplicate key '" +
+                                     TruncateForEcho(key) + "='");
+    }
+    if (key == "snapshot") {
+      spec->snapshot_path = ResolvePath(base_dir, value);
+    } else if (key == "deltas") {
+      std::vector<std::string> parts;
+      if (!SplitDeltaList(value, &parts)) {
+        return Status::InvalidArgument(
+            "deltas= expects a comma-separated list of non-empty paths, "
+            "got '" + TruncateForEcho(value) + "'");
+      }
+      spec->delta_paths.clear();
+      for (std::string& part : parts) {
+        spec->delta_paths.push_back(ResolvePath(base_dir, part));
+      }
+    } else if (key == "graph") {
+      spec->graph_path = ResolvePath(base_dir, value);
+    } else {
+      return Status::InvalidArgument(
+          "unknown key '" + TruncateForEcho(key) +
+          "=' (snapshot= | deltas= | graph=)");
+    }
+  }
+  return ValidateTenantSpec(*spec);
+}
+
+StatusOr<RegistryManifest> ParseManifest(const std::string& text,
+                                         const std::string& base_dir) {
+  RegistryManifest manifest;
+  std::unordered_set<std::string> names;
+  std::istringstream stream(text);
+  std::string line;
+  std::int64_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+
+    std::istringstream fields(line);
+    std::string keyword;
+    fields >> keyword;
+    if (keyword != "tenant") {
+      return Status::InvalidArgument(
+          "manifest line " + std::to_string(line_no) +
+          ": expected 'tenant <name> snapshot=<path> ...', got '" +
+          TruncateForEcho(keyword) + "'");
+    }
+    TenantSpec spec;
+    fields >> spec.name;
+    std::vector<std::string> args;
+    for (std::string token; fields >> token;) args.push_back(token);
+    if (Status s = ParseTenantSpecArgs(args, base_dir, &spec); !s.ok()) {
+      return Status::InvalidArgument("manifest line " +
+                                     std::to_string(line_no) + ": " +
+                                     s.message());
+    }
+    if (!names.insert(spec.name).second) {
+      return Status::InvalidArgument(
+          "manifest line " + std::to_string(line_no) + ": tenant '" +
+          spec.name + "' declared twice");
+    }
+    manifest.tenants.push_back(std::move(spec));
+  }
+  return manifest;
+}
+
+StatusOr<RegistryManifest> LoadManifest(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::size_t slash = path.find_last_of('/');
+  const std::string base_dir =
+      slash == std::string::npos ? "" : path.substr(0, slash);
+  return ParseManifest(buffer.str(), base_dir);
+}
+
+}  // namespace nucleus

@@ -1,0 +1,82 @@
+// Registry manifests: the durable description of a multi-tenant serving
+// process — which named tenants exist and which files back each one.
+//
+// A serving process that holds many graphs (serve/snapshot_registry.h)
+// needs a startup answer to "what do I serve?"; the manifest is that
+// answer, one tenant per line:
+//
+//   # comments and blank lines are skipped
+//   tenant <name> snapshot=<path> [deltas=<p1,p2,...>] [graph=<path>]
+//
+//   * name       [A-Za-z0-9_.-]{1,64}; unique within the manifest. Names
+//                route protocol lines (`<name>:<verb> ...`), so ':' and
+//                whitespace can never appear in one.
+//   * snapshot   required; the tenant's base .nucsnap.
+//   * deltas     optional; comma-separated .nucdelta chain resolved
+//                against `graph` at load time (store/delta.h). Requires
+//                `graph` — chain resolution rebuilds the final hierarchy
+//                from the current adjacency.
+//   * graph      optional; the tenant's current edge-list graph. Its
+//                presence makes the tenant LIVE: the registry pairs the
+//                graph with the snapshot through the existing fingerprint
+//                check (serve/live_update.h) and enables the
+//                `<name>:update u v +|-` protocol verb.
+//
+// Parsing follows the strict discipline of the CLI flag and serve
+// protocol surfaces: unknown keys, duplicate keys, duplicate tenants,
+// malformed names and dangling values all fail with the offending line
+// number — a typo is an error, never a silently ignored token.
+#ifndef NUCLEUS_STORE_MANIFEST_H_
+#define NUCLEUS_STORE_MANIFEST_H_
+
+#include <string>
+#include <vector>
+
+#include "nucleus/util/status.h"
+
+namespace nucleus {
+
+/// One tenant: a (snapshot [+ delta chain] [+ graph]) triple plus the name
+/// protocol lines route by.
+struct TenantSpec {
+  std::string name;
+  std::string snapshot_path;
+  std::vector<std::string> delta_paths;  // chain order; requires graph_path
+  std::string graph_path;                // empty = read-only tenant
+};
+
+/// All tenants of one manifest, in file order.
+struct RegistryManifest {
+  std::vector<TenantSpec> tenants;
+};
+
+/// True iff `name` is a routable tenant name: 1-64 characters from
+/// [A-Za-z0-9_.-].
+bool ValidTenantName(const std::string& name);
+
+/// Structural validation shared by every spec producer (manifest lines,
+/// the `attach` protocol verb, direct API callers): valid name, non-empty
+/// snapshot path, and deltas only next to a graph.
+Status ValidateTenantSpec(const TenantSpec& spec);
+
+/// Parses the `key=value...` tail of a tenant declaration (manifest line
+/// or `attach` verb) into `spec`, which must already carry the name.
+/// Recognized keys: snapshot, deltas, graph; anything else, a duplicate
+/// key, or a key without '=' is an error. Relative paths are resolved
+/// against `base_dir` when it is non-empty. Ends with ValidateTenantSpec.
+Status ParseTenantSpecArgs(const std::vector<std::string>& args,
+                           const std::string& base_dir, TenantSpec* spec);
+
+/// Parses a whole manifest from text. `base_dir` resolves relative paths
+/// (pass the manifest's directory so a manifest can sit next to its
+/// snapshots). Errors carry the 1-based line number.
+StatusOr<RegistryManifest> ParseManifest(const std::string& text,
+                                         const std::string& base_dir = "");
+
+/// Reads and parses a manifest file; relative paths inside resolve
+/// against the manifest's own directory.
+StatusOr<RegistryManifest> LoadManifest(const std::string& path);
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_STORE_MANIFEST_H_

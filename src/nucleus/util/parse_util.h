@@ -11,6 +11,15 @@
 
 namespace nucleus {
 
+/// Caps an untrusted token for echoing in an error message: good
+/// diagnostics must not be an amplifier, so a megabyte of garbage never
+/// becomes a megabyte of error. 64 characters is plenty to spot a typo.
+inline std::string TruncateForEcho(const std::string& token) {
+  constexpr std::size_t kMaxEcho = 64;
+  if (token.size() <= kMaxEcho) return token;
+  return token.substr(0, kMaxEcho) + "...";
+}
+
 /// Parses `token` as one base-10 int64. Rejects empty tokens, trailing
 /// garbage ("3x"), and out-of-range values; leaves *value untouched on
 /// failure. The whole token must be the number: strtoll on its own would

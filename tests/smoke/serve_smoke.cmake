@@ -180,6 +180,93 @@ file(READ ${WORK_DIR}/live_t1.txt live_answers)
 expect_match("${live_answers}" "\"query\": \"update\"" "live session")
 expect_match("${live_answers}" "\"applied\": true" "live session")
 
+# 7. Multi-tenant registry serving: a two-tenant manifest (one live core
+# tenant, one read-only truss tenant), a routed session with admin verbs —
+# attach a third tenant mid-session, query it, detach it — byte-identical
+# at 1 and 2 threads, with each tenant's slice byte-identical to its
+# dedicated single-tenant replay.
+file(WRITE ${WORK_DIR}/registry.txt "# serve smoke manifest
+tenant core snapshot=core.nucsnap graph=serve_edges.txt
+tenant truss snapshot=serve.nucsnap
+")
+file(WRITE ${WORK_DIR}/routed_session.txt "tenants
+core:lambda 0
+truss:lambda 0
+core:update ${ra_u} ${ra_v} -
+core:lambda 0
+truss:top 3
+attach extra snapshot=${SNAP}
+extra:common 0 1
+detach extra
+extra:lambda 0
+core:common 0 1
+")
+run_cli(0 mt1 serve --registry ${WORK_DIR}/registry.txt --queries ${WORK_DIR}/routed_session.txt --out ${WORK_DIR}/routed_t1.txt --threads 1)
+run_cli(0 mt2 serve --registry ${WORK_DIR}/registry.txt --queries ${WORK_DIR}/routed_session.txt --out ${WORK_DIR}/routed_t2.txt --threads 2)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  ${WORK_DIR}/routed_t1.txt ${WORK_DIR}/routed_t2.txt RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "routed serve output differs between 1 and 2 threads")
+endif()
+file(READ ${WORK_DIR}/routed_t1.txt routed_answers)
+expect_match("${routed_answers}" "\"query\": \"tenants\", \"count\": 2" "routed session")
+expect_match("${routed_answers}" "\"query\": \"attach\", \"tenant\": \"extra\", \"ok\": true" "routed session")
+expect_match("${routed_answers}" "\"query\": \"detach\", \"tenant\": \"extra\", \"ok\": true" "routed session")
+expect_match("${routed_answers}" "\"query\": \"update\".*\"applied\": true" "routed session")
+expect_match("${routed_answers}" "unknown tenant 'extra'" "post-detach query")
+
+# The core tenant's slice (lines 2, 4, 5, 11 of the session) must equal a
+# dedicated single-tenant live session replaying the same lines.
+file(WRITE ${WORK_DIR}/core_replay.txt "lambda 0
+update ${ra_u} ${ra_v} -
+lambda 0
+common 0 1
+")
+run_cli(0 core_alone serve --snapshot ${CORE_SNAP} --input ${EDGES} --queries ${WORK_DIR}/core_replay.txt --out ${WORK_DIR}/core_alone.txt --threads 1)
+file(STRINGS ${WORK_DIR}/routed_t1.txt routed_lines)
+file(STRINGS ${WORK_DIR}/core_alone.txt alone_lines)
+foreach(pair "1;0" "3;1" "4;2" "10;3")
+  list(GET pair 0 routed_idx)
+  list(GET pair 1 alone_idx)
+  list(GET routed_lines ${routed_idx} routed_line)
+  list(GET alone_lines ${alone_idx} alone_line)
+  if(NOT routed_line STREQUAL alone_line)
+    message(FATAL_ERROR "core tenant slice diverges from its dedicated replay:\n${routed_line}\nvs\n${alone_line}")
+  endif()
+endforeach()
+
+# A manifest naming a corrupt tenant is rejected at startup with the
+# tenant's name attached, and an in-session attach of the same corrupt
+# file is a structured per-line error that leaves the session serving.
+file(WRITE ${WORK_DIR}/bad_registry.txt "tenant good snapshot=serve.nucsnap
+tenant broken snapshot=bad_magic.nucsnap
+")
+execute_process(
+  COMMAND ${NUCLEUS_CLI} serve --registry ${WORK_DIR}/bad_registry.txt --queries ${WORK_DIR}/routed_session.txt
+  OUTPUT_VARIABLE stdout ERROR_VARIABLE stderr RESULT_VARIABLE code)
+if(NOT code EQUAL 1)
+  message(FATAL_ERROR "corrupt-tenant manifest: exit ${code}, expected 1\n${stderr}")
+endif()
+if(NOT stderr MATCHES "tenant 'broken'" OR NOT stderr MATCHES "bad magic")
+  message(FATAL_ERROR "corrupt-tenant manifest: unexpected error\n${stderr}")
+endif()
+
+file(WRITE ${WORK_DIR}/corrupt_attach.txt "truss:lambda 0
+attach broken snapshot=${WORK_DIR}/bad_magic.nucsnap
+truss:lambda 0
+")
+run_cli(0 ca serve --registry ${WORK_DIR}/registry.txt --queries ${WORK_DIR}/corrupt_attach.txt --out ${WORK_DIR}/corrupt_attach_out.txt)
+file(STRINGS ${WORK_DIR}/corrupt_attach_out.txt ca_lines)
+list(GET ca_lines 0 ca_first)
+list(GET ca_lines 1 ca_error)
+list(GET ca_lines 2 ca_last)
+if(NOT ca_error MATCHES "tenant 'broken'" OR NOT ca_error MATCHES "\"line\": 2")
+  message(FATAL_ERROR "in-session corrupt attach: expected a per-line tenant error, got\n${ca_error}")
+endif()
+if(NOT ca_first STREQUAL ca_last)
+  message(FATAL_ERROR "session stopped serving after a failed attach:\n${ca_first}\nvs\n${ca_last}")
+endif()
+
 # A corrupt delta chain is rejected cleanly, not served.
 file(WRITE ${WORK_DIR}/bad.nucdelta "NUCDELT1 and then garbage well past the header size to be safe........................................")
 execute_process(
