@@ -1,13 +1,23 @@
 #include "nucleus/cli/cli.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <ostream>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "nucleus/core/decomposition.h"
@@ -22,6 +32,7 @@
 #include "nucleus/graph/graph_stats.h"
 #include "nucleus/io/hierarchy_export.h"
 #include "nucleus/serve/live_update.h"
+#include "nucleus/serve/net/tcp_server.h"
 #include "nucleus/serve/query_engine.h"
 #include "nucleus/serve/request_loop.h"
 #include "nucleus/serve/snapshot_registry.h"
@@ -834,10 +845,190 @@ int CmdUpdate(const ParsedArgs& parsed, std::ostream& out,
   return 0;
 }
 
+/// SIGINT/SIGTERM → graceful drain of the active TCP server.
+/// RequestDrain is async-signal-safe (an atomic flag plus a self-pipe
+/// write), so the handler may call it directly.
+std::atomic<TcpServer*> g_drain_target{nullptr};
+
+extern "C" void HandleDrainSignal(int /*signum*/) {
+  TcpServer* server = g_drain_target.load(std::memory_order_acquire);
+  if (server != nullptr) server->RequestDrain();
+}
+
+/// Runs the TCP serving tier over an already-resolved session surface:
+/// binds, announces the bound endpoint on stdout (so a pipeline can parse
+/// the ephemeral port), then blocks until the server drains — via a
+/// client's `shutdown` verb or SIGINT/SIGTERM.
+int RunTcpServe(const ServeSessionResolver& resolver,
+                SnapshotRegistry* registry, const TcpServerOptions& options,
+                std::ostream& out, std::ostream& err) {
+  TcpServer server(resolver, registry, options);
+  if (Status s = server.Start(); !s.ok()) {
+    err << "error: " << s.ToString() << "\n";
+    return 1;
+  }
+  g_drain_target.store(&server, std::memory_order_release);
+  std::signal(SIGINT, HandleDrainSignal);
+  std::signal(SIGTERM, HandleDrainSignal);
+  out << "listening on " << options.host << ":" << server.port() << "\n";
+  out.flush();
+  server.Wait();
+  g_drain_target.store(nullptr, std::memory_order_release);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  const TcpServerStats stats = server.Stats();
+  err << "drained: " << stats.connections_accepted << " connection(s), "
+      << stats.lines_admitted << " line(s) served, " << stats.lines_rejected
+      << " rejected (" << stats.oversized_lines << " oversized), "
+      << stats.connections_rejected << " connection(s) over limit\n";
+  return 0;
+}
+
+/// `nucleus_cli connect`: the loopback client of the TCP tier. Sends
+/// protocol lines from --queries (or stdin) to a serve --listen process
+/// and writes the response stream to --out (or stdout). With
+/// `--port stdin` the port is parsed from the server's own
+/// "listening on <host>:<port>" stdout line piped into this process —
+/// which lets a shell (or serve_smoke.cmake) wire server and client
+/// together without racing on a fixed port.
+int CmdConnect(const ParsedArgs& parsed, std::ostream& out,
+               std::ostream& err) {
+  if (!CheckFlags(parsed, {"host", "port", "queries", "out"}, err)) {
+    return 2;
+  }
+  std::string host = FlagOr(parsed, "host", "127.0.0.1");
+  const std::string port_value = FlagOr(parsed, "port", "");
+  if (port_value.empty()) {
+    err << "error: connect requires --port <port | stdin>\n";
+    return 2;
+  }
+  const std::string queries_path = FlagOr(parsed, "queries", "");
+
+  std::int64_t port = 0;
+  if (port_value == "stdin") {
+    if (queries_path.empty()) {
+      err << "error: --port stdin consumes stdin for the announcement, so "
+             "the request lines must come from --queries\n";
+      return 2;
+    }
+    // The server announces `listening on <host>:<port>`; scan stdin for it.
+    std::string line;
+    bool found = false;
+    while (std::getline(std::cin, line)) {
+      const std::string prefix = "listening on ";
+      if (line.rfind(prefix, 0) != 0) continue;
+      const std::size_t colon = line.rfind(':');
+      if (colon == std::string::npos || colon < prefix.size()) continue;
+      if (!StrictParseInt64(line.substr(colon + 1), &port) || port <= 0 ||
+          port > 65535) {
+        continue;
+      }
+      if (!HasFlag(parsed, "host")) {
+        host = line.substr(prefix.size(), colon - prefix.size());
+      }
+      found = true;
+      break;
+    }
+    if (!found) {
+      err << "error: no 'listening on <host>:<port>' line arrived on "
+             "stdin\n";
+      return 1;
+    }
+  } else if (!StrictParseInt64(port_value, &port) || port <= 0 ||
+             port > 65535) {
+    err << "error: --port expects a port number or 'stdin', got '"
+        << port_value << "'\n";
+    return 2;
+  }
+
+  std::ifstream query_file;
+  if (!queries_path.empty()) {
+    query_file.open(queries_path);
+    if (!query_file) {
+      err << "error: cannot open " << queries_path << "\n";
+      return 1;
+    }
+  }
+  std::istream& queries = queries_path.empty() ? std::cin : query_file;
+  const std::string out_path = FlagOr(parsed, "out", "");
+  std::ofstream out_file;
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file) {
+      err << "error: cannot open " << out_path << " for writing\n";
+      return 1;
+    }
+  }
+  std::ostream& responses = out_path.empty() ? out : out_file;
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    err << "error: invalid host '" << host << "' (numeric IPv4 expected)\n";
+    return 2;
+  }
+  int fd = -1;
+  // A fixed --port may race the server's bind; retry briefly. (With
+  // --port stdin the announcement already happened, so the first attempt
+  // lands.)
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) break;
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+    if (errno != ECONNREFUSED) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  if (fd < 0) {
+    err << "error: cannot connect to " << host << ":" << port << ": "
+        << std::strerror(errno) << "\n";
+    return 1;
+  }
+
+  // Writer thread streams requests; the main thread copies responses.
+  // Decoupling the two sides means a request file larger than the socket
+  // buffers cannot deadlock the client against its own unread responses.
+  std::thread writer([fd, &queries] {
+    std::string line;
+    while (std::getline(queries, line)) {
+      line.push_back('\n');
+      const char* p = line.data();
+      std::size_t left = line.size();
+      while (left > 0) {
+        const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) return;  // server went away; reader reports what it got
+        p += n;
+        left -= static_cast<std::size_t>(n);
+      }
+    }
+    ::shutdown(fd, SHUT_WR);  // end of requests; server drains and closes
+  });
+
+  char chunk[65536];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF, or reset after a drain — both end the copy
+    responses.write(chunk, n);
+  }
+  responses.flush();
+  writer.join();
+  ::close(fd);
+  return 0;
+}
+
 int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   if (!CheckFlags(parsed,
                   {"snapshot", "deltas", "input", "queries", "out", "threads",
-                   "batch", "registry", "budget-mb"},
+                   "batch", "registry", "budget-mb", "listen", "max-conns",
+                   "high-water"},
                   err)) {
     return 2;
   }
@@ -868,12 +1059,33 @@ int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   ServeOptions options;
   std::int64_t batch = 256;
   std::int64_t budget_mb = 0;
+  std::int64_t listen_port = -1;
+  std::int64_t max_conns = 64;
+  std::int64_t high_water = 1024;
   if (!ParseThreads(parsed, &options.parallel, err) ||
       !ParseIntFlag(parsed, "batch", 256, 1, 1 << 20, &batch, err) ||
-      !ParseIntFlag(parsed, "budget-mb", 0, 0, 1 << 20, &budget_mb, err)) {
+      !ParseIntFlag(parsed, "budget-mb", 0, 0, 1 << 20, &budget_mb, err) ||
+      !ParseIntFlag(parsed, "listen", -1, 0, 65535, &listen_port, err) ||
+      !ParseIntFlag(parsed, "max-conns", 64, 1, 1 << 16, &max_conns, err) ||
+      !ParseIntFlag(parsed, "high-water", 1024, 1, 1 << 24, &high_water,
+                    err)) {
     return 2;
   }
   options.batch_size = batch;
+  const bool listen = HasFlag(parsed, "listen");
+  if (listen && (HasFlag(parsed, "queries") || HasFlag(parsed, "out"))) {
+    err << "error: --listen serves over TCP; --queries/--out apply to "
+           "stdio sessions (use `nucleus_cli connect` as the client)\n";
+    return 2;
+  }
+  if (!listen && (HasFlag(parsed, "max-conns") || HasFlag(parsed, "high-water"))) {
+    err << "error: --max-conns/--high-water only apply with --listen\n";
+    return 2;
+  }
+  TcpServerOptions tcp_options;
+  tcp_options.port = static_cast<int>(listen_port < 0 ? 0 : listen_port);
+  tcp_options.max_connections = static_cast<int>(max_conns);
+  tcp_options.queue_high_water = high_water;
 
   // Opened only AFTER the snapshot/manifest loads: opening --out
   // truncates it, and a failed startup must not destroy the previous
@@ -931,6 +1143,11 @@ int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
       err << ", eviction budget " << budget_mb << " MB";
     }
     err << "\n";
+    if (listen) {
+      tcp_options.serve = options;
+      return RunTcpServe(MakeRegistryResolver(registry), &registry,
+                         tcp_options, out, err);
+    }
     const ServeStats stats =
         ServeRegistryRequests(registry, in_stream(), out_stream(), options);
     err << "served " << stats.requests << " requests (" << stats.errors
@@ -980,6 +1197,11 @@ int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
       << options.parallel.ResolvedThreads()
       << (updater != nullptr ? ", updates enabled" : "") << "\n";
 
+  if (listen) {
+    tcp_options.serve = options;
+    return RunTcpServe(MakeEngineResolver(engine, updater.get()), nullptr,
+                       tcp_options, out, err);
+  }
   const ServeStats stats =
       ServeRequests(engine, updater.get(), in_stream(), out_stream(), options);
   err << "served " << stats.requests << " requests (" << stats.errors
@@ -990,7 +1212,8 @@ int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
 
 void PrintUsage(std::ostream& err) {
   err << "usage: nucleus_cli <decompose | stats | generate | convert | "
-         "semi-external | query | serve | update> [--flag value]...\n"
+         "semi-external | query | serve | connect | update> "
+         "[--flag value]...\n"
       << "  decompose     --input F [--family core|truss|34] "
          "[--algorithm fnd|dft|lcps] [--threads N] [--out-json F] "
          "[--out-dot F] [--lambda F]\n"
@@ -1014,6 +1237,16 @@ void PrintUsage(std::ostream& err) {
          "protocol lines become '<tenant>:<verb> ...' plus "
          "attach/detach/tenants; --budget-mb bounds resident engines via "
          "LRU eviction)\n"
+      << "                (--listen P serves the same protocol over "
+         "loopback TCP instead of stdio — 0 picks an ephemeral port, "
+         "announced as 'listening on <host>:<port>' on stdout; "
+         "[--max-conns N] caps connections, [--high-water N] bounds each "
+         "connection's admission queue; SIGINT/SIGTERM or the `shutdown` "
+         "verb drain gracefully)\n"
+      << "  connect       --port <P|stdin> [--host H] [--queries F] "
+         "[--out F]\n"
+      << "                (TCP client for serve --listen; --port stdin "
+         "parses the port from a piped-in 'listening on' announcement)\n"
       << "  update        --snapshot F.nucsnap [--deltas D1,D2] --input F "
          "--edits E [--out-snapshot G.nucsnap [--snapshot-index 0|1]] "
          "[--out-delta D.nucdelta]\n"
@@ -1041,6 +1274,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   }
   if (parsed.command == "query") return CmdQuery(parsed, out, err);
   if (parsed.command == "serve") return CmdServe(parsed, out, err);
+  if (parsed.command == "connect") return CmdConnect(parsed, out, err);
   if (parsed.command == "update") return CmdUpdate(parsed, out, err);
   err << "error: unknown command '" << parsed.command << "'\n";
   PrintUsage(err);

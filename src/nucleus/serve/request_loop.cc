@@ -118,8 +118,10 @@ StatusOr<RoutedServeLine> ParseRoutedServeLine(const std::string& line) {
     return parsed;
   }
   if (head == "detach") {
-    if (args.size() != 1) {
-      return Status::InvalidArgument("'detach' expects: detach <tenant>");
+    if (args.empty() || args.size() > 2 ||
+        (args.size() == 2 && args[1] != "force")) {
+      return Status::InvalidArgument(
+          "'detach' expects: detach <tenant> [force]");
     }
     parsed.admin = RoutedServeLine::Admin::kDetach;
     parsed.admin_args = args;
@@ -130,6 +132,20 @@ StatusOr<RoutedServeLine> ParseRoutedServeLine(const std::string& line) {
       return Status::InvalidArgument("'tenants' takes no arguments");
     }
     parsed.admin = RoutedServeLine::Admin::kTenants;
+    return parsed;
+  }
+  if (head == "stats") {
+    if (!args.empty()) {
+      return Status::InvalidArgument("'stats' takes no arguments");
+    }
+    parsed.admin = RoutedServeLine::Admin::kStats;
+    return parsed;
+  }
+  if (head == "shutdown") {
+    if (!args.empty()) {
+      return Status::InvalidArgument("'shutdown' takes no arguments");
+    }
+    parsed.admin = RoutedServeLine::Admin::kShutdown;
     return parsed;
   }
 
@@ -246,238 +262,317 @@ std::string UpdateToJson(const EdgeEdit& edit,
   return out.str();
 }
 
+RequestProcessor::RequestProcessor(ServeSessionResolver resolver,
+                                   SnapshotRegistry* registry,
+                                   std::ostream& out,
+                                   const ServeOptions& options)
+    : resolver_(std::move(resolver)),
+      registry_(registry),
+      out_(out),
+      options_(options),
+      pool_(options.parallel),
+      batch_size_(options.batch_size >= 1 ? options.batch_size : 1) {}
+
+RequestProcessor::~RequestProcessor() = default;
+
+void RequestProcessor::EmitError(const Status& status, std::int64_t line) {
+  out_ << "{\"error\": \"" << JsonEscape(status.message())
+       << "\", \"line\": " << line << "}\n";
+  ++stats_.errors;
+}
+
+void RequestProcessor::FlushBatch() {
+  if (items_.empty()) return;
+  ++stats_.batches;
+  // Per-tenant sub-batches run back to back; each one is parallel over
+  // the pool and order-deterministic on its own, and emission below is
+  // by input order, so the interleaving is thread-count-invariant.
+  std::vector<std::vector<QueryEngine::Response>> responses(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    responses[g] = groups_[g].session.engine->RunBatch(groups_[g].queries,
+                                                       pool_);
+  }
+  for (const Item& item : items_) {
+    if (!item.error.ok()) {
+      EmitError(item.error, item.line_no);
+      continue;
+    }
+    const QueryEngine::Response& response =
+        responses[item.group][static_cast<std::size_t>(item.query_index)];
+    if (!response.status.ok()) ++stats_.errors;
+    const QueryEngine::Query& query =
+        groups_[item.group]
+            .queries[static_cast<std::size_t>(item.query_index)];
+    out_ << ResponseToJson(query, response) << "\n";
+  }
+  items_.clear();
+  groups_.clear();  // releases every pin
+  group_of_tenant_.clear();
+}
+
+StatusOr<std::size_t> RequestProcessor::GroupFor(const std::string& tenant) {
+  const auto it = group_of_tenant_.find(tenant);
+  if (it != group_of_tenant_.end()) return it->second;
+  StatusOr<ServeSession> session = resolver_(tenant);
+  if (!session.ok()) return session.status();
+  groups_.push_back(Group{std::move(*session), {}});
+  const std::size_t index = groups_.size() - 1;
+  group_of_tenant_.emplace(tenant, index);
+  return index;
+}
+
+// An update is a sequencing point: everything before it answers on the
+// pre-update state, everything after on the post-update state, so the
+// output is deterministic at any thread count / batch size.
+Status RequestProcessor::ApplyUpdate(const std::string& tenant,
+                                     const EdgeEdit& edit) {
+  StatusOr<ServeSession> session = resolver_(tenant);
+  if (!session.ok()) return session.status();
+  if (session->updater == nullptr) {
+    return Status::InvalidArgument(
+        "updates are not enabled on this session (serve with --input "
+        "<graph>, or give the tenant graph= in its spec)");
+  }
+  StatusOr<LiveUpdater::Result> result =
+      session->updater->Apply(std::span<const EdgeEdit>(&edit, 1));
+  if (!result.ok()) return result.status();
+  // A skipped no-op (duplicate insert / missing removal) left the graph
+  // untouched: keep serving the current state — no swap, no epoch bump,
+  // the member cache stays warm, the tenant stays clean (evictable).
+  if (result->changed) {
+    if (Status s = session->engine->ApplyUpdate(std::move(result->snapshot));
+        !s.ok()) {
+      return s;
+    }
+    if (session->on_update) session->on_update(result->delta);
+  }
+  ++stats_.updates;
+  out_ << UpdateToJson(edit, result->report) << "\n";
+  return Status::Ok();
+}
+
+Status RequestProcessor::RunAdmin(const RoutedServeLine& parsed) {
+  // `shutdown` works on every session shape — a single-tenant TCP
+  // connection must be able to drain its server too.
+  if (parsed.admin == RoutedServeLine::Admin::kShutdown) {
+    ++stats_.admin;
+    shutdown_ = true;
+    out_ << "{\"query\": \"shutdown\", \"ok\": true}\n";
+    return Status::Ok();
+  }
+  if (registry_ == nullptr) {
+    return Status::InvalidArgument(
+        "admin verbs (attach | detach | tenants | stats) require a "
+        "registry session (serve --registry)");
+  }
+  switch (parsed.admin) {
+    case RoutedServeLine::Admin::kAttach: {
+      if (parsed.admin_args.empty()) {
+        return Status::InvalidArgument(
+            "'attach' expects: attach <name> snapshot=<path> "
+            "[deltas=<p1,p2>] [graph=<path>]");
+      }
+      TenantSpec spec;
+      spec.name = parsed.admin_args[0];
+      const std::vector<std::string> args(parsed.admin_args.begin() + 1,
+                                          parsed.admin_args.end());
+      if (Status s = ParseTenantSpecArgs(args, "", &spec); !s.ok()) {
+        return s;
+      }
+      if (Status s = registry_->Attach(spec); !s.ok()) return s;
+      ++stats_.admin;
+      out_ << "{\"query\": \"attach\", \"tenant\": \""
+           << JsonEscape(spec.name) << "\", \"ok\": true}\n";
+      return Status::Ok();
+    }
+    case RoutedServeLine::Admin::kDetach: {
+      const bool force =
+          parsed.admin_args.size() == 2 && parsed.admin_args[1] == "force";
+      std::vector<std::string> persisted;
+      if (Status s = registry_->Detach(parsed.admin_args[0], force,
+                                       &persisted);
+          !s.ok()) {
+        return s;
+      }
+      ++stats_.admin;
+      out_ << "{\"query\": \"detach\", \"tenant\": \""
+           << JsonEscape(parsed.admin_args[0]) << "\", \"ok\": true";
+      if (force) out_ << ", \"forced\": true";
+      if (!persisted.empty()) {
+        // A dirty tenant's pending state was written out; name the files
+        // so the operator can re-attach (or archive) the exact state.
+        out_ << ", \"persisted\": [";
+        for (std::size_t i = 0; i < persisted.size(); ++i) {
+          if (i > 0) out_ << ", ";
+          out_ << "\"" << JsonEscape(persisted[i]) << "\"";
+        }
+        out_ << "]";
+      }
+      out_ << "}\n";
+      return Status::Ok();
+    }
+    case RoutedServeLine::Admin::kTenants: {
+      ++stats_.admin;
+      const std::vector<std::string> names = registry_->TenantNames();
+      out_ << "{\"query\": \"tenants\", \"count\": " << names.size()
+           << ", \"tenants\": [";
+      bool first = true;
+      for (const std::string& name : names) {
+        const StatusOr<TenantStats> tenant_stats = registry_->Stats(name);
+        if (!tenant_stats.ok()) continue;  // detached between calls
+        if (!first) out_ << ", ";
+        first = false;
+        out_ << "{\"name\": \"" << JsonEscape(name) << "\", \"resident\": "
+             << (tenant_stats->resident ? "true" : "false")
+             << ", \"live\": " << (tenant_stats->live ? "true" : "false")
+             << ", \"dirty\": " << (tenant_stats->dirty ? "true" : "false")
+             << ", \"loads\": " << tenant_stats->loads
+             << ", \"evictions\": " << tenant_stats->evictions
+             << ", \"hits\": " << tenant_stats->hits
+             << ", \"updates\": " << tenant_stats->updates
+             << ", \"resident_bytes\": " << tenant_stats->resident_bytes
+             << "}";
+      }
+      out_ << "]}\n";
+      return Status::Ok();
+    }
+    case RoutedServeLine::Admin::kStats: {
+      ++stats_.admin;
+      const RegistrySummary summary = registry_->Summary();
+      out_ << "{\"query\": \"stats\", \"tenants\": [";
+      bool first = true;
+      for (const std::string& name : registry_->TenantNames()) {
+        const StatusOr<TenantStats> tenant_stats = registry_->Stats(name);
+        if (!tenant_stats.ok()) continue;  // detached between calls
+        if (!first) out_ << ", ";
+        first = false;
+        out_ << "{\"name\": \"" << JsonEscape(name) << "\", \"resident\": "
+             << (tenant_stats->resident ? "true" : "false")
+             << ", \"live\": " << (tenant_stats->live ? "true" : "false")
+             << ", \"dirty\": " << (tenant_stats->dirty ? "true" : "false")
+             << ", \"loads\": " << tenant_stats->loads
+             << ", \"evictions\": " << tenant_stats->evictions
+             << ", \"hits\": " << tenant_stats->hits
+             << ", \"updates\": " << tenant_stats->updates
+             << ", \"pins\": " << tenant_stats->pins
+             << ", \"resident_bytes\": " << tenant_stats->resident_bytes
+             << ", \"cache\": {\"hits\": " << tenant_stats->cache.hits
+             << ", \"misses\": " << tenant_stats->cache.misses
+             << ", \"evictions\": " << tenant_stats->cache.evictions
+             << ", \"entries\": " << tenant_stats->cache.entries << "}}";
+      }
+      out_ << "], \"registry\": {\"tenants\": " << summary.tenants
+           << ", \"resident_bytes\": " << summary.resident_bytes
+           << ", \"budget_bytes\": " << summary.budget_bytes
+           << ", \"detaches\": " << summary.detaches
+           << ", \"detached_cache\": {\"hits\": "
+           << summary.detached_cache.hits
+           << ", \"misses\": " << summary.detached_cache.misses
+           << ", \"evictions\": " << summary.detached_cache.evictions
+           << "}}";
+      if (options_.server_stats_json) {
+        out_ << ", \"server\": " << options_.server_stats_json();
+      }
+      out_ << "}\n";
+      return Status::Ok();
+    }
+    case RoutedServeLine::Admin::kShutdown:
+    case RoutedServeLine::Admin::kNone:
+      break;
+  }
+  return Status::Internal("unreachable admin verb");
+}
+
+void RequestProcessor::ProcessLine(const std::string& line) {
+  ++line_no_;
+  // After an acknowledged shutdown the session ignores further input —
+  // the stream loop stops reading; a socket worker drains its queue
+  // without answering (the client asked the server to go away).
+  if (shutdown_) return;
+  const std::size_t start = line.find_first_not_of(" \t\r");
+  if (start == std::string::npos || line[start] == '#') return;
+
+  ++stats_.requests;
+  StatusOr<RoutedServeLine> parsed = ParseRoutedServeLine(line);
+  if (!parsed.ok()) {
+    Item item;
+    item.line_no = line_no_;
+    item.error = parsed.status();
+    items_.push_back(std::move(item));
+    if (static_cast<std::int64_t>(items_.size()) >= batch_size_) FlushBatch();
+    return;
+  }
+
+  if (parsed->admin != RoutedServeLine::Admin::kNone) {
+    // Admin verbs are sequencing points: the pending batch answers on
+    // the pre-admin registry, everything later on the post-admin one.
+    FlushBatch();
+    if (Status s = RunAdmin(*parsed); !s.ok()) EmitError(s, line_no_);
+    return;
+  }
+
+  if (parsed->request.is_update) {
+    FlushBatch();
+    if (Status s = ApplyUpdate(parsed->tenant, parsed->request.edit);
+        !s.ok()) {
+      EmitError(s, line_no_);
+    }
+    return;
+  }
+
+  Item item;
+  item.line_no = line_no_;
+  StatusOr<std::size_t> group = GroupFor(parsed->tenant);
+  if (group.ok()) {
+    item.group = *group;
+    item.query_index =
+        static_cast<std::int64_t>(groups_[*group].queries.size());
+    groups_[*group].queries.push_back(parsed->request.query);
+  } else {
+    item.error = group.status();
+  }
+  items_.push_back(std::move(item));
+  if (static_cast<std::int64_t>(items_.size()) >= batch_size_) FlushBatch();
+}
+
+void RequestProcessor::RejectLine(const Status& status) {
+  ++line_no_;
+  if (shutdown_) return;
+  // The line's text never reached us (back-pressure dropped it), but it
+  // still owns one slot of the response stream: count it and answer with
+  // the rejection, keeping one-JSON-object-per-line and input order.
+  ++stats_.requests;
+  Item item;
+  item.line_no = line_no_;
+  item.error = status;
+  items_.push_back(std::move(item));
+  if (static_cast<std::int64_t>(items_.size()) >= batch_size_) FlushBatch();
+}
+
+void RequestProcessor::Flush() {
+  FlushBatch();
+  out_.flush();
+}
+
+void RequestProcessor::Finish() { Flush(); }
+
 ServeStats ServeResolvedRequests(const ServeSessionResolver& resolver,
                                  SnapshotRegistry* registry,
                                  std::istream& in, std::ostream& out,
                                  const ServeOptions& options) {
-  /// One pending request line. `group` indexes the per-tenant batch the
-  /// query joined; parse/resolve failures carry the error instead.
-  struct Item {
-    std::int64_t line_no = 0;
-    Status error;
-    std::size_t group = 0;
-    std::int64_t query_index = -1;
-  };
-  /// One tenant's slice of the pending batch. Holding the session here is
-  /// the pin: the engine cannot be evicted (or die under a Detach) while
-  /// its slice is waiting to run.
-  struct Group {
-    ServeSession session;
-    std::vector<QueryEngine::Query> queries;
-  };
-
-  ThreadPool pool(options.parallel);
-  const std::int64_t batch_size =
-      options.batch_size >= 1 ? options.batch_size : 1;
-  ServeStats stats;
-  std::vector<Item> items;
-  std::vector<Group> groups;
-  std::map<std::string, std::size_t> group_of_tenant;
-  std::int64_t line_no = 0;
-
-  const auto emit_error = [&](const Status& status, std::int64_t line) {
-    out << "{\"error\": \"" << JsonEscape(status.message())
-        << "\", \"line\": " << line << "}\n";
-    ++stats.errors;
-  };
-
-  const auto flush = [&] {
-    if (items.empty()) return;
-    ++stats.batches;
-    // Per-tenant sub-batches run back to back; each one is parallel over
-    // the pool and order-deterministic on its own, and emission below is
-    // by input order, so the interleaving is thread-count-invariant.
-    std::vector<std::vector<QueryEngine::Response>> responses(groups.size());
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      responses[g] = groups[g].session.engine->RunBatch(groups[g].queries,
-                                                        pool);
-    }
-    for (const Item& item : items) {
-      if (!item.error.ok()) {
-        emit_error(item.error, item.line_no);
-        continue;
-      }
-      const QueryEngine::Response& response =
-          responses[item.group][static_cast<std::size_t>(item.query_index)];
-      if (!response.status.ok()) ++stats.errors;
-      const QueryEngine::Query& query =
-          groups[item.group]
-              .queries[static_cast<std::size_t>(item.query_index)];
-      out << ResponseToJson(query, response) << "\n";
-    }
-    items.clear();
-    groups.clear();  // releases every pin
-    group_of_tenant.clear();
-  };
-
-  /// Resolves (or reuses) the batch's session for `tenant`; returns the
-  /// group index or a resolve failure.
-  const auto group_for = [&](const std::string& tenant)
-      -> StatusOr<std::size_t> {
-    const auto it = group_of_tenant.find(tenant);
-    if (it != group_of_tenant.end()) return it->second;
-    StatusOr<ServeSession> session = resolver(tenant);
-    if (!session.ok()) return session.status();
-    groups.push_back(Group{std::move(*session), {}});
-    const std::size_t index = groups.size() - 1;
-    group_of_tenant.emplace(tenant, index);
-    return index;
-  };
-
-  /// An update is a sequencing point: everything before it answers on the
-  /// pre-update state, everything after on the post-update state, so the
-  /// output is deterministic at any thread count / batch size.
-  const auto apply_update = [&](const std::string& tenant,
-                                const EdgeEdit& edit) -> Status {
-    StatusOr<ServeSession> session = resolver(tenant);
-    if (!session.ok()) return session.status();
-    if (session->updater == nullptr) {
-      return Status::InvalidArgument(
-          "updates are not enabled on this session (serve with --input "
-          "<graph>, or give the tenant graph= in its spec)");
-    }
-    StatusOr<LiveUpdater::Result> result =
-        session->updater->Apply(std::span<const EdgeEdit>(&edit, 1));
-    if (!result.ok()) return result.status();
-    // A skipped no-op (duplicate insert / missing removal) left the graph
-    // untouched: keep serving the current state — no swap, no epoch bump,
-    // the member cache stays warm, the tenant stays clean (evictable).
-    if (result->changed) {
-      if (Status s = session->engine->ApplyUpdate(std::move(result->snapshot));
-          !s.ok()) {
-        return s;
-      }
-      if (session->on_update) session->on_update();
-    }
-    ++stats.updates;
-    out << UpdateToJson(edit, result->report) << "\n";
-    return Status::Ok();
-  };
-
-  const auto run_admin = [&](const RoutedServeLine& parsed) -> Status {
-    if (registry == nullptr) {
-      return Status::InvalidArgument(
-          "admin verbs (attach | detach | tenants) require a registry "
-          "session (serve --registry)");
-    }
-    switch (parsed.admin) {
-      case RoutedServeLine::Admin::kAttach: {
-        if (parsed.admin_args.empty()) {
-          return Status::InvalidArgument(
-              "'attach' expects: attach <name> snapshot=<path> "
-              "[deltas=<p1,p2>] [graph=<path>]");
-        }
-        TenantSpec spec;
-        spec.name = parsed.admin_args[0];
-        const std::vector<std::string> args(parsed.admin_args.begin() + 1,
-                                            parsed.admin_args.end());
-        if (Status s = ParseTenantSpecArgs(args, "", &spec); !s.ok()) {
-          return s;
-        }
-        if (Status s = registry->Attach(spec); !s.ok()) return s;
-        ++stats.admin;
-        out << "{\"query\": \"attach\", \"tenant\": \""
-            << JsonEscape(spec.name) << "\", \"ok\": true}\n";
-        return Status::Ok();
-      }
-      case RoutedServeLine::Admin::kDetach: {
-        if (Status s = registry->Detach(parsed.admin_args[0]); !s.ok()) {
-          return s;
-        }
-        ++stats.admin;
-        out << "{\"query\": \"detach\", \"tenant\": \""
-            << JsonEscape(parsed.admin_args[0]) << "\", \"ok\": true}\n";
-        return Status::Ok();
-      }
-      case RoutedServeLine::Admin::kTenants: {
-        ++stats.admin;
-        const std::vector<std::string> names = registry->TenantNames();
-        out << "{\"query\": \"tenants\", \"count\": " << names.size()
-            << ", \"tenants\": [";
-        bool first = true;
-        for (const std::string& name : names) {
-          const StatusOr<TenantStats> tenant_stats = registry->Stats(name);
-          if (!tenant_stats.ok()) continue;  // detached between calls
-          if (!first) out << ", ";
-          first = false;
-          out << "{\"name\": \"" << JsonEscape(name) << "\", \"resident\": "
-              << (tenant_stats->resident ? "true" : "false")
-              << ", \"live\": " << (tenant_stats->live ? "true" : "false")
-              << ", \"dirty\": " << (tenant_stats->dirty ? "true" : "false")
-              << ", \"loads\": " << tenant_stats->loads
-              << ", \"evictions\": " << tenant_stats->evictions
-              << ", \"hits\": " << tenant_stats->hits
-              << ", \"updates\": " << tenant_stats->updates
-              << ", \"resident_bytes\": " << tenant_stats->resident_bytes
-              << "}";
-        }
-        out << "]}\n";
-        return Status::Ok();
-      }
-      case RoutedServeLine::Admin::kNone:
-        break;
-    }
-    return Status::Internal("unreachable admin verb");
-  };
-
+  RequestProcessor processor(resolver, registry, out, options);
   std::string line;
   while (std::getline(in, line)) {
-    ++line_no;
-    const std::size_t start = line.find_first_not_of(" \t\r");
-    if (start == std::string::npos || line[start] == '#') continue;
-
-    ++stats.requests;
-    StatusOr<RoutedServeLine> parsed = ParseRoutedServeLine(line);
-    if (!parsed.ok()) {
-      Item item;
-      item.line_no = line_no;
-      item.error = parsed.status();
-      items.push_back(std::move(item));
-      if (static_cast<std::int64_t>(items.size()) >= batch_size) flush();
-      continue;
-    }
-
-    if (parsed->admin != RoutedServeLine::Admin::kNone) {
-      // Admin verbs are sequencing points: the pending batch answers on
-      // the pre-admin registry, everything later on the post-admin one.
-      flush();
-      if (Status s = run_admin(*parsed); !s.ok()) emit_error(s, line_no);
-      continue;
-    }
-
-    if (parsed->request.is_update) {
-      flush();
-      if (Status s = apply_update(parsed->tenant, parsed->request.edit);
-          !s.ok()) {
-        emit_error(s, line_no);
-      }
-      continue;
-    }
-
-    Item item;
-    item.line_no = line_no;
-    StatusOr<std::size_t> group = group_for(parsed->tenant);
-    if (group.ok()) {
-      item.group = *group;
-      item.query_index =
-          static_cast<std::int64_t>(groups[*group].queries.size());
-      groups[*group].queries.push_back(parsed->request.query);
-    } else {
-      item.error = group.status();
-    }
-    items.push_back(std::move(item));
-    if (static_cast<std::int64_t>(items.size()) >= batch_size) flush();
+    processor.ProcessLine(line);
+    if (processor.shutdown_requested()) break;
   }
-  flush();
-  out.flush();
-  return stats;
+  processor.Finish();
+  return processor.stats();
 }
 
-ServeStats ServeRequests(QueryEngine& engine, LiveUpdater* updater,
-                         std::istream& in, std::ostream& out,
-                         const ServeOptions& options) {
-  const ServeSessionResolver resolver =
-      [&engine, updater](const std::string& tenant)
+ServeSessionResolver MakeEngineResolver(QueryEngine& engine,
+                                        LiveUpdater* updater) {
+  return [&engine, updater](const std::string& tenant)
       -> StatusOr<ServeSession> {
     if (!tenant.empty()) {
       return Status::InvalidArgument(
@@ -489,7 +584,13 @@ ServeStats ServeRequests(QueryEngine& engine, LiveUpdater* updater,
     session.updater = updater;
     return session;
   };
-  return ServeResolvedRequests(resolver, nullptr, in, out, options);
+}
+
+ServeStats ServeRequests(QueryEngine& engine, LiveUpdater* updater,
+                         std::istream& in, std::ostream& out,
+                         const ServeOptions& options) {
+  return ServeResolvedRequests(MakeEngineResolver(engine, updater), nullptr,
+                               in, out, options);
 }
 
 ServeStats ServeRequests(const QueryEngine& engine, std::istream& in,
@@ -501,11 +602,8 @@ ServeStats ServeRequests(const QueryEngine& engine, std::istream& in,
                        options);
 }
 
-ServeStats ServeRegistryRequests(SnapshotRegistry& registry,
-                                 std::istream& in, std::ostream& out,
-                                 const ServeOptions& options) {
-  const ServeSessionResolver resolver =
-      [&registry](const std::string& tenant) -> StatusOr<ServeSession> {
+ServeSessionResolver MakeRegistryResolver(SnapshotRegistry& registry) {
+  return [&registry](const std::string& tenant) -> StatusOr<ServeSession> {
     if (tenant.empty()) {
       return Status::InvalidArgument(
           "registry sessions route by tenant: '<tenant>:<verb> ...' "
@@ -518,11 +616,21 @@ ServeStats ServeRegistryRequests(SnapshotRegistry& registry,
     ServeSession session;
     session.engine = &shared->engine();
     session.updater = shared->updater();
-    session.on_update = [shared] { shared->MarkUpdated(); };
+    session.on_update = [shared](const DeltaData& delta) {
+      // Dirty + queued for persistence: a later `detach` writes the
+      // record out instead of losing the applied batch.
+      shared->MarkUpdated(delta);
+    };
     session.pin = shared;
     return session;
   };
-  return ServeResolvedRequests(resolver, &registry, in, out, options);
+}
+
+ServeStats ServeRegistryRequests(SnapshotRegistry& registry,
+                                 std::istream& in, std::ostream& out,
+                                 const ServeOptions& options) {
+  return ServeResolvedRequests(MakeRegistryResolver(registry), &registry, in,
+                               out, options);
 }
 
 }  // namespace nucleus

@@ -42,8 +42,14 @@
 //   attach <name> snapshot=<path> [deltas=<p1,p2>] [graph=<path>]
 //                                 register + load a tenant (same key=value
 //                                 grammar as the store/manifest.h format)
-//   detach <name>                 unregister a tenant
+//   detach <name> [force]         unregister a tenant; a dirty live
+//                                 tenant is persisted first (or the
+//                                 detach refuses) unless `force` discards
 //   tenants                       list attached tenants with stats
+//   stats                         one JSON object: per-tenant TenantStats
+//                                 plus registry / server counters
+//   shutdown                      acknowledge, then end the session (over
+//                                 TCP: drain the whole server)
 //
 // The single-tenant contract holds PER TENANT: exactly one JSON object
 // per request line, in input order, byte-identical at every thread count
@@ -62,12 +68,14 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "nucleus/core/incremental_core.h"
 #include "nucleus/parallel/parallel_config.h"
+#include "nucleus/parallel/thread_pool.h"
 #include "nucleus/serve/live_update.h"
 #include "nucleus/serve/query_engine.h"
 #include "nucleus/util/status.h"
@@ -80,6 +88,11 @@ struct ServeOptions {
   ParallelConfig parallel;
   /// Lines read before a batch is dispatched to the pool.
   std::int64_t batch_size = 256;
+  /// Extra per-server counters for the `stats` verb: when set, its return
+  /// (a JSON object body, e.g. `{"connections": 3}`) is embedded as the
+  /// response's "server" field. Installed by the TCP tier; unset on
+  /// stdio sessions, whose stats responses carry no "server" field.
+  std::function<std::string()> server_stats_json;
 };
 
 struct ServeStats {
@@ -87,7 +100,7 @@ struct ServeStats {
   std::int64_t errors = 0;   // parse failures + invalid queries/updates
   std::int64_t batches = 0;
   std::int64_t updates = 0;  // update lines applied
-  std::int64_t admin = 0;    // attach/detach/tenants verbs executed
+  std::int64_t admin = 0;    // admin verbs executed
 };
 
 /// One parsed protocol line: a query, or an edge update.
@@ -100,7 +113,14 @@ struct ServeRequest {
 /// One parsed line of the ROUTED grammar: an admin verb, or a request
 /// with its tenant prefix ("" = unrouted).
 struct RoutedServeLine {
-  enum class Admin : std::int32_t { kNone, kAttach, kDetach, kTenants };
+  enum class Admin : std::int32_t {
+    kNone,
+    kAttach,
+    kDetach,
+    kTenants,
+    kStats,
+    kShutdown,
+  };
   std::string tenant;                  // empty = unrouted
   Admin admin = Admin::kNone;
   std::vector<std::string> admin_args; // raw tokens after the admin verb
@@ -141,7 +161,10 @@ std::string UpdateToJson(const EdgeEdit& edit, const CoreDeltaReport& report);
 struct ServeSession {
   QueryEngine* engine = nullptr;
   LiveUpdater* updater = nullptr;       // null = read-only
-  std::function<void()> on_update;
+  /// Called with each APPLIED batch's durable delta record, so the owner
+  /// can both mark the state dirty and queue the record for persistence
+  /// (registry tenants: a later Detach writes the queue out).
+  std::function<void(const DeltaData&)> on_update;
   std::shared_ptr<void> pin;
 };
 
@@ -154,11 +177,101 @@ struct ServeSession {
 using ServeSessionResolver =
     std::function<StatusOr<ServeSession>(const std::string& tenant)>;
 
-/// Core loop: reads request lines from `in` until EOF, answers them on
-/// `out` (one JSON line each, input order), resolving every line's tenant
-/// through `resolver` and batching per tenant over a ThreadPool sized by
-/// `options.parallel`. Admin verbs require a non-null `registry`; without
-/// one they are answered with error objects.
+/// Push-driven core of the serve loop: one protocol session whose lines
+/// arrive one call at a time instead of from a stream. This is the seam
+/// the stream loops AND the TCP tier share — a connection worker feeds
+/// socket lines to ProcessLine and the transport-level rejections
+/// (admission-queue overflow, oversized line) to RejectLine, and the
+/// session stays byte-identical to the same lines served over stdio.
+///
+/// Lines are numbered in arrival order (ProcessLine and RejectLine both
+/// advance the counter, so rejection errors carry the right "line"
+/// field). Batching follows options.batch_size exactly like the stream
+/// loop; Flush() additionally forces the pending batch out early —
+/// content is batch-invariant, so transports flush whenever input runs
+/// dry to keep interactive latency bounded. After a `shutdown` verb
+/// (shutdown_requested()) further lines are ignored, mirroring the
+/// stream loop, which stops reading. Not thread-safe; one processor per
+/// session.
+class RequestProcessor {
+ public:
+  RequestProcessor(ServeSessionResolver resolver, SnapshotRegistry* registry,
+                   std::ostream& out, const ServeOptions& options = {});
+  ~RequestProcessor();
+
+  RequestProcessor(const RequestProcessor&) = delete;
+  RequestProcessor& operator=(const RequestProcessor&) = delete;
+
+  /// Feeds one protocol line (without its trailing newline).
+  void ProcessLine(const std::string& line);
+  /// Counts one line WITHOUT processing its text and answers it with
+  /// `status` as a structured error — the back-pressure path.
+  void RejectLine(const Status& status);
+  /// Runs and emits the pending batch now, and flushes `out`.
+  void Flush();
+  /// Final Flush at end of session.
+  void Finish();
+
+  bool shutdown_requested() const { return shutdown_; }
+  const ServeStats& stats() const { return stats_; }
+
+ private:
+  /// One pending request line. `group` indexes the per-tenant batch the
+  /// query joined; parse/resolve failures carry the error instead.
+  struct Item {
+    std::int64_t line_no = 0;
+    Status error;
+    std::size_t group = 0;
+    std::int64_t query_index = -1;
+  };
+  /// One tenant's slice of the pending batch. Holding the session here is
+  /// the pin: the engine cannot be evicted (or die under a Detach) while
+  /// its slice is waiting to run.
+  struct Group {
+    ServeSession session;
+    std::vector<QueryEngine::Query> queries;
+  };
+
+  void EmitError(const Status& status, std::int64_t line);
+  void FlushBatch();
+  StatusOr<std::size_t> GroupFor(const std::string& tenant);
+  Status ApplyUpdate(const std::string& tenant, const EdgeEdit& edit);
+  Status RunAdmin(const RoutedServeLine& parsed);
+
+  const ServeSessionResolver resolver_;
+  SnapshotRegistry* const registry_;
+  std::ostream& out_;
+  const ServeOptions options_;
+  ThreadPool pool_;
+  const std::int64_t batch_size_;
+  ServeStats stats_;
+  std::vector<Item> items_;
+  std::vector<Group> groups_;
+  std::map<std::string, std::size_t> group_of_tenant_;
+  std::int64_t line_no_ = 0;
+  bool shutdown_ = false;
+};
+
+/// The resolver behind single-snapshot sessions: unrouted lines bind to
+/// `engine` (+ optional `updater`); routed lines are errors pointing at
+/// --registry. Both referents must outlive the resolver. Shared by
+/// ServeRequests and the TCP tier's single-snapshot mode.
+ServeSessionResolver MakeEngineResolver(QueryEngine& engine,
+                                        LiveUpdater* updater);
+
+/// The resolver behind routed multi-tenant sessions: tenant names resolve
+/// through SnapshotRegistry::Acquire (the lease is the batch pin; applied
+/// updates are marked + queued for persistence on the lease), unrouted
+/// lines are errors. `registry` must outlive the resolver. Shared by
+/// ServeRegistryRequests and the TCP tier's registry mode.
+ServeSessionResolver MakeRegistryResolver(SnapshotRegistry& registry);
+
+/// Core loop: reads request lines from `in` until EOF (or a `shutdown`
+/// verb), answers them on `out` (one JSON line each, input order),
+/// resolving every line's tenant through `resolver` and batching per
+/// tenant over a ThreadPool sized by `options.parallel`. Admin verbs
+/// require a non-null `registry`; without one they are answered with
+/// error objects.
 ServeStats ServeResolvedRequests(const ServeSessionResolver& resolver,
                                  SnapshotRegistry* registry,
                                  std::istream& in, std::ostream& out,

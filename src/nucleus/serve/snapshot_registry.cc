@@ -54,6 +54,7 @@ SnapshotRegistry::SnapshotRegistry(const RegistryOptions& options)
 StatusOr<std::shared_ptr<SnapshotRegistry::Resident>>
 SnapshotRegistry::LoadResident(const TenantSpec& spec,
                                const RegistryOptions& options) {
+  if (options.load_hook) options.load_hook(spec.name);
   if (spec.graph_path.empty()) {
     StatusOr<SnapshotData> snapshot = LoadSnapshot(spec.snapshot_path);
     if (!snapshot.ok()) return snapshot.status();
@@ -115,53 +116,168 @@ Status SnapshotRegistry::Attach(const TenantSpec& spec) {
 }
 
 Status SnapshotRegistry::AttachManifest(const RegistryManifest& manifest) {
+  // Atomic: a manifest either attaches whole or not at all. On the first
+  // failure every tenant this call already attached is rolled back — a
+  // fresh attach is clean by construction, so the rollback detaches
+  // without persistence concerns. Attach itself prefixes the failing
+  // tenant's name.
+  std::vector<std::string> attached;
+  attached.reserve(manifest.tenants.size());
   for (const TenantSpec& spec : manifest.tenants) {
-    if (Status s = Attach(spec); !s.ok()) return s;
+    if (Status s = Attach(spec); !s.ok()) {
+      for (auto it = attached.rbegin(); it != attached.rend(); ++it) {
+        Detach(*it, /*force=*/true);
+      }
+      return s;
+    }
+    attached.push_back(spec.name);
   }
   return Status::Ok();
 }
 
-Status SnapshotRegistry::Detach(const std::string& name) {
+Status SnapshotRegistry::PersistDirtyLocked(
+    Tenant& tenant, std::vector<std::string>* persisted) {
+  Resident& resident = *tenant.resident;
+  if (resident.updater == nullptr) {
+    return Status::Internal("dirty tenant has no live updater");
+  }
+  std::vector<DeltaData> pending;
+  {
+    std::lock_guard<std::mutex> pending_lock(resident.pending_mutex);
+    pending = resident.pending_deltas;
+  }
+  if (pending.empty()) {
+    return Status::InvalidArgument(
+        "tenant has unpersisted updates but no recorded delta batches; "
+        "'detach " + tenant.spec.name + " force' discards them");
+  }
+  // Non-destructive layout: pending deltas continue the spec's chain next
+  // to the snapshot, the current graph lands next to the original graph
+  // file. Re-attaching with snapshot=<orig> deltas=<orig,+pending>
+  // graph=<graph>.latest resolves to exactly the detached state.
+  std::vector<std::string> written;
+  std::size_t chain_index = tenant.spec.delta_paths.size();
+  for (const DeltaData& delta : pending) {
+    const std::string path = tenant.spec.snapshot_path + ".pending" +
+                             std::to_string(++chain_index) + ".nucdelta";
+    if (Status s = SaveDelta(delta, path); !s.ok()) return s;
+    written.push_back(path);
+  }
+  const std::string graph_path = tenant.spec.graph_path + ".latest";
+  const Graph g = resident.updater->maintainer().ToGraph();
+  if (Status s = WriteEdgeList(g, graph_path); !s.ok()) return s;
+  written.push_back(graph_path);
+  {
+    std::lock_guard<std::mutex> pending_lock(resident.pending_mutex);
+    resident.pending_deltas.clear();
+  }
+  resident.dirty.store(false, std::memory_order_relaxed);
+  if (persisted != nullptr) *persisted = std::move(written);
+  return Status::Ok();
+}
+
+Status SnapshotRegistry::Detach(const std::string& name, bool force,
+                                std::vector<std::string>* persisted) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = tenants_.find(name);
   if (it == tenants_.end()) {
     return Status::NotFound("unknown tenant '" + name + "'");
   }
-  if (it->second.resident != nullptr) {
+  Tenant& tenant = it->second;
+  if (tenant.resident != nullptr &&
+      tenant.resident->dirty.load(std::memory_order_relaxed) && !force) {
+    // Unpersisted updates never vanish silently: write them out, or (on
+    // failure) refuse and leave the tenant attached and retryable.
+    if (Status s = PersistDirtyLocked(tenant, persisted); !s.ok()) {
+      return TenantError(name, s);
+    }
+  }
+  if (tenant.resident != nullptr) {
     // Budget accounting drops now; a live Lease keeps the state itself
     // alive (shared_ptr) until the in-flight batch finishes.
-    resident_bytes_ -= it->second.resident->bytes;
+    resident_bytes_ -= tenant.resident->bytes;
+    detached_cache_.Add(tenant.resident->engine.CacheStats());
   }
+  // The tenant's whole counter lineage (engines it retired via eviction
+  // included) folds into the registry aggregate — mirror of the eviction
+  // path's retired_cache.Add, one level up.
+  detached_cache_.Add(tenant.retired_cache);
+  ++detaches_;
   tenants_.erase(it);
   return Status::Ok();
 }
 
 StatusOr<SnapshotRegistry::Lease> SnapshotRegistry::Acquire(
     const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = tenants_.find(name);
-  if (it == tenants_.end()) {
-    return Status::NotFound("unknown tenant '" + name +
-                            "' (attach it first)");
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    auto it = tenants_.find(name);
+    if (it == tenants_.end()) {
+      return Status::NotFound("unknown tenant '" + name +
+                              "' (attach it first)");
+    }
+    Tenant& tenant = it->second;
+    if (tenant.resident != nullptr) {
+      ++tenant.hits;
+      tenant.last_used = ++tick_;
+      tenant.resident->pins.fetch_add(1, std::memory_order_relaxed);
+      std::shared_ptr<Resident> resident = tenant.resident;
+      EvictLocked();  // the just-pinned tenant is exempt; others may go
+      return Lease(this, name, std::move(resident));
+    }
+
+    if (tenant.loading != nullptr) {
+      // Another Acquire is already re-loading this tenant: coalesce onto
+      // its latch instead of loading twice. Each waiter reports the
+      // outcome individually; on success the loop re-finds the installed
+      // resident (or whatever detach/attach did meanwhile).
+      std::shared_ptr<LoadState> state = tenant.loading;
+      load_cv_.wait(lock, [&state] { return state->done; });
+      if (!state->status.ok()) return TenantError(name, state->status);
+      continue;
+    }
+
+    // Become the loader. The latch keeps this tenant's re-load exclusive
+    // while the mutex is DROPPED for the disk work, so resident tenants
+    // keep serving and other evicted tenants load concurrently.
+    auto state = std::make_shared<LoadState>();
+    tenant.loading = state;
+    const TenantSpec spec = tenant.spec;
+    lock.unlock();
+    StatusOr<std::shared_ptr<Resident>> loaded = LoadResident(spec, options_);
+    lock.lock();
+    state->status = loaded.ok() ? Status::Ok() : loaded.status();
+    state->done = true;
+    auto it2 = tenants_.find(name);
+    if (it2 != tenants_.end() && it2->second.loading == state) {
+      it2->second.loading.reset();
+    }
+    load_cv_.notify_all();
+    if (!loaded.ok()) {
+      // Reported per-Acquire; the latch is cleared, so the tenant stays
+      // attached and the next Acquire retries the load.
+      return TenantError(name, loaded.status());
+    }
+    if (it2 == tenants_.end()) {
+      return Status::NotFound("tenant '" + name +
+                              "' was detached during re-load");
+    }
+    Tenant& current = it2->second;
+    if (current.resident == nullptr) {
+      current.resident = std::move(*loaded);
+      ++current.loads;
+      resident_bytes_ += current.resident->bytes;
+    } else {
+      // Detached and re-attached while we were loading: serve the fresh
+      // attach's state and drop ours.
+      ++current.hits;
+    }
+    current.last_used = ++tick_;
+    current.resident->pins.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<Resident> resident = current.resident;
+    EvictLocked();
+    return Lease(this, name, std::move(resident));
   }
-  Tenant& tenant = it->second;
-  if (tenant.resident == nullptr) {
-    // Lazy re-load after eviction. On failure the tenant stays attached:
-    // the fault is reported per-Acquire and the next hit retries.
-    StatusOr<std::shared_ptr<Resident>> resident =
-        LoadResident(tenant.spec, options_);
-    if (!resident.ok()) return TenantError(name, resident.status());
-    tenant.resident = std::move(*resident);
-    ++tenant.loads;
-    resident_bytes_ += tenant.resident->bytes;
-  } else {
-    ++tenant.hits;
-  }
-  tenant.last_used = ++tick_;
-  tenant.resident->pins.fetch_add(1, std::memory_order_relaxed);
-  std::shared_ptr<Resident> resident = tenant.resident;
-  EvictLocked();  // the just-pinned tenant is exempt; others may go
-  return Lease(this, name, std::move(resident));
 }
 
 void SnapshotRegistry::EvictLocked() {
@@ -190,7 +306,12 @@ void SnapshotRegistry::EvictLocked() {
 }
 
 void SnapshotRegistry::MarkUpdated(const std::string& name,
-                                   const std::shared_ptr<Resident>& resident) {
+                                   const std::shared_ptr<Resident>& resident,
+                                   const DeltaData* delta) {
+  if (delta != nullptr) {
+    std::lock_guard<std::mutex> pending_lock(resident->pending_mutex);
+    resident->pending_deltas.push_back(*delta);
+  }
   resident->dirty.store(true, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = tenants_.find(name);
@@ -231,6 +352,17 @@ StatusOr<TenantStats> SnapshotRegistry::Stats(const std::string& name) const {
     stats.cache.entries = resident_cache.entries;  // gauge: resident only
   }
   return stats;
+}
+
+RegistrySummary SnapshotRegistry::Summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySummary summary;
+  summary.tenants = static_cast<std::int64_t>(tenants_.size());
+  summary.resident_bytes = resident_bytes_;
+  summary.budget_bytes = options_.memory_budget_bytes;
+  summary.detaches = detaches_;
+  summary.detached_cache = detached_cache_;
+  return summary;
 }
 
 std::int64_t SnapshotRegistry::ResidentBytes() const {
@@ -278,7 +410,13 @@ void SnapshotRegistry::EnforceBudget() {
 
 void SnapshotRegistry::Lease::MarkUpdated() {
   if (registry_ != nullptr && resident_ != nullptr) {
-    registry_->MarkUpdated(name_, resident_);
+    registry_->MarkUpdated(name_, resident_, nullptr);
+  }
+}
+
+void SnapshotRegistry::Lease::MarkUpdated(const DeltaData& delta) {
+  if (registry_ != nullptr && resident_ != nullptr) {
+    registry_->MarkUpdated(name_, resident_, &delta);
   }
 }
 

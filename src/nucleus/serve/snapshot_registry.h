@@ -35,14 +35,21 @@
 //
 // Locking. One mutex guards the tenant table — the ADMIN plane
 // (attach/detach/acquire/stats). Query execution happens on leased
-// engines outside that lock, so a slow re-load of one tenant never stalls
-// another tenant's in-flight batches; it only delays concurrent admin
-// calls. Per-engine concurrency is the QueryEngine's own affair.
+// engines outside that lock, and so does the lazy re-load itself: an
+// Acquire that finds its tenant evicted plants a per-tenant loading
+// latch, drops the mutex, loads from disk, and re-takes the mutex only
+// to install the result. Concurrent Acquires of the same tenant coalesce
+// onto that latch; Acquires of OTHER tenants (and all admin calls) run
+// in the meantime, so one tenant's slow disk never head-of-line-blocks
+// the rest of the registry. Per-engine concurrency is the QueryEngine's
+// own affair.
 #ifndef NUCLEUS_SERVE_SNAPSHOT_REGISTRY_H_
 #define NUCLEUS_SERVE_SNAPSHOT_REGISTRY_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -66,6 +73,13 @@ struct RegistryOptions {
   std::int64_t memory_budget_bytes = 0;
   /// Per-engine member-cache shape (each tenant gets its own cache).
   QueryEngineOptions engine;
+  /// Test seam: invoked (with the tenant name) at the start of every
+  /// engine load — eager attach loads AND lazy re-loads — from the
+  /// loading thread. Lazy re-loads run it OUTSIDE the registry mutex, so
+  /// a hook that blocks lets tests hold one tenant's load open while
+  /// proving other tenants keep serving. Must not call back into the
+  /// registry for attach loads (those still hold the mutex).
+  std::function<void(const std::string&)> load_hook;
 };
 
 /// Telemetry for one tenant, cumulative across evictions and re-loads.
@@ -83,6 +97,19 @@ struct TenantStats {
   /// plus everything accumulated from engines this tenant already
   /// retired — the per-tenant dimension of LruCacheStats.
   LruCacheStats cache;
+};
+
+/// Registry-wide telemetry: the cross-tenant dimension the `stats` admin
+/// verb exports next to the per-tenant TenantStats rows.
+struct RegistrySummary {
+  std::int64_t tenants = 0;
+  std::int64_t resident_bytes = 0;
+  std::int64_t budget_bytes = 0;
+  std::int64_t detaches = 0;  // completed Detach calls
+  /// Cache counters folded out of detached tenants (their engines AND
+  /// whatever those tenants had already retired via eviction) — detaching
+  /// moves a tenant's counters here instead of dropping them.
+  LruCacheStats detached_cache;
 };
 
 /// Rough resident footprint of a loaded snapshot (lambdas, hierarchy,
@@ -105,25 +132,48 @@ class SnapshotRegistry {
   /// name and registers nothing. Duplicate names are errors.
   Status Attach(const TenantSpec& spec);
 
-  /// Attaches every tenant of a manifest, stopping at the first failure
-  /// (already-attached tenants from earlier lines stay attached).
+  /// Attaches every tenant of a manifest ATOMICALLY: on the first failure
+  /// the tenants this call already attached are rolled back (detached),
+  /// and the returned Status names the failing tenant. A failed
+  /// `--registry` startup therefore leaves the registry exactly as it
+  /// found it.
   Status AttachManifest(const RegistryManifest& manifest);
 
   /// Unregisters a tenant. Its engine is dropped from the budget
   /// immediately; a Lease still holding it keeps the state alive (and
-  /// answering) until released.
-  Status Detach(const std::string& name);
+  /// answering) until released. A DIRTY live tenant (updates applied that
+  /// exist nowhere on disk) is persisted first — every pending delta
+  /// record goes next to the snapshot and the current graph next to the
+  /// tenant's graph file (paths reported via `persisted`) — so detach
+  /// never silently discards applied updates. If persistence is
+  /// impossible (IO failure, or dirty state with no recorded delta
+  /// batches) the detach is REFUSED and the tenant stays attached, unless
+  /// `force` is set, which discards the unpersisted state deliberately.
+  /// The detached tenant's cache counters (resident engine + already
+  /// retired) fold into Summary().detached_cache instead of vanishing.
+  Status Detach(const std::string& name, bool force = false,
+                std::vector<std::string>* persisted = nullptr);
 
   /// Acquires a pinned lease on a tenant's engine, lazily re-loading it
   /// if it was evicted. The tenant cannot be evicted while the lease is
   /// alive. Re-load failures are per-tenant Statuses; the tenant stays
   /// attached for a later retry.
+  ///
+  /// The re-load itself runs OUTSIDE the registry mutex behind a
+  /// per-tenant loading latch: resident tenants keep serving while one
+  /// tenant loads, two tenants load concurrently, and concurrent Acquires
+  /// of the SAME loading tenant coalesce onto the one in-flight load
+  /// (each still reporting a failure individually, leaving the tenant
+  /// retryable).
   StatusOr<Lease> Acquire(const std::string& name);
 
   /// Attached tenant names, sorted.
   std::vector<std::string> TenantNames() const;
 
   StatusOr<TenantStats> Stats(const std::string& name) const;
+
+  /// Registry-wide counters (see RegistrySummary).
+  RegistrySummary Summary() const;
 
   /// Sum of resident engine estimates currently accounted to the budget.
   std::int64_t ResidentBytes() const;
@@ -143,11 +193,25 @@ class SnapshotRegistry {
     const std::int64_t bytes;
     std::atomic<std::int64_t> pins{0};
     std::atomic<bool> dirty{false};
+    /// Applied-but-unpersisted delta records, in application order — what
+    /// Detach writes out for a dirty tenant. Guarded by its own mutex
+    /// (updates happen on leased engines outside the registry lock).
+    std::mutex pending_mutex;
+    std::vector<DeltaData> pending_deltas;
+  };
+
+  /// One in-flight lazy re-load. `done`/`status` are guarded by the
+  /// registry mutex and signalled through load_cv_; every Acquire that
+  /// coalesced onto this load reads its own copy of the outcome.
+  struct LoadState {
+    bool done = false;
+    Status status = Status::Ok();
   };
 
   struct Tenant {
     TenantSpec spec;
     std::shared_ptr<Resident> resident;  // null = evicted
+    std::shared_ptr<LoadState> loading;  // non-null = re-load in flight
     std::int64_t loads = 0;
     std::int64_t evictions = 0;
     std::int64_t hits = 0;
@@ -168,13 +232,24 @@ class SnapshotRegistry {
   /// only at the next Attach/Acquire.
   void EnforceBudget();
   void MarkUpdated(const std::string& name,
-                   const std::shared_ptr<Resident>& resident);
+                   const std::shared_ptr<Resident>& resident,
+                   const DeltaData* delta);
+  /// Writes a dirty tenant's pending deltas + current graph next to its
+  /// backing files; clears the dirty state on success. Caller holds
+  /// mutex_ (detach is an admin-plane operation; the IO cost mirrors the
+  /// eager load Attach already performs under the lock).
+  Status PersistDirtyLocked(Tenant& tenant,
+                            std::vector<std::string>* persisted);
 
   const RegistryOptions options_;
   mutable std::mutex mutex_;
+  /// Wakes Acquires that coalesced onto an in-flight lazy re-load.
+  std::condition_variable load_cv_;
   std::map<std::string, Tenant> tenants_;
   std::int64_t resident_bytes_ = 0;
   std::uint64_t tick_ = 0;  // deterministic LRU clock
+  std::int64_t detaches_ = 0;
+  LruCacheStats detached_cache_;
 
   friend class Lease;
 };
@@ -198,8 +273,13 @@ class SnapshotRegistry::Lease {
 
   /// Marks the leased state dirty after an APPLIED update batch: the
   /// tenant becomes unevictable (its in-memory state is now ahead of its
-  /// backing files) and the per-tenant update counter advances.
+  /// backing files) and the per-tenant update counter advances. The
+  /// overload taking the batch's delta record also queues it for
+  /// persistence, which is what lets Detach write the dirty state out
+  /// instead of refusing; the zero-argument form only marks dirty (such a
+  /// tenant can only be force-detached).
   void MarkUpdated();
+  void MarkUpdated(const DeltaData& delta);
 
  private:
   Lease(SnapshotRegistry* registry, std::string name,

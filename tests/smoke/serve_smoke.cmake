@@ -5,7 +5,9 @@
 # Pipeline exercised: generate a graph -> decompose --out-snapshot ->
 # snapshot-backed `query` answers DIFFED against fresh-decompose answers ->
 # `serve` a scripted session at 1 and 2 threads with byte-identical output
-# -> corrupt the snapshot and confirm the loader rejects it cleanly.
+# -> corrupt the snapshot and confirm the loader rejects it cleanly
+# -> a loopback-TCP two-tenant session (serve --listen | connect) diffed
+# against its stdin/stdout replay.
 
 if(NOT DEFINED NUCLEUS_CLI OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "serve_smoke.cmake requires -DNUCLEUS_CLI=<binary> -DWORK_DIR=<dir>")
@@ -266,6 +268,42 @@ endif()
 if(NOT ca_first STREQUAL ca_last)
   message(FATAL_ERROR "session stopped serving after a failed attach:\n${ca_first}\nvs\n${ca_last}")
 endif()
+
+# 8. TCP serving tier: the same two-tenant manifest served over loopback.
+# `serve --listen 0` announces its ephemeral port on stdout; that stdout is
+# piped straight into `connect --port stdin`, which parses the
+# announcement, runs the session and exits when the server half-closes
+# after the `shutdown` verb drains it. The TCP transcript must be
+# byte-identical to a stdin/stdout replay of the same session.
+file(WRITE ${WORK_DIR}/tcp_session.txt "tenants
+core:lambda 0
+truss:lambda 0
+core:update ${ra_u} ${ra_v} -
+core:lambda 0
+truss:top 3
+core:common 0 1
+shutdown
+")
+execute_process(
+  COMMAND ${NUCLEUS_CLI} serve --registry ${WORK_DIR}/registry.txt --listen 0
+  COMMAND ${NUCLEUS_CLI} connect --port stdin --queries ${WORK_DIR}/tcp_session.txt --out ${WORK_DIR}/tcp_out.txt
+  OUTPUT_VARIABLE tcp_stdout
+  ERROR_VARIABLE tcp_stderr
+  RESULTS_VARIABLE tcp_codes)
+foreach(code IN LISTS tcp_codes)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "TCP serve pipeline: exit codes ${tcp_codes}\n${tcp_stderr}")
+  endif()
+endforeach()
+run_cli(0 tcp_replay serve --registry ${WORK_DIR}/registry.txt --queries ${WORK_DIR}/tcp_session.txt --out ${WORK_DIR}/tcp_replay.txt)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  ${WORK_DIR}/tcp_out.txt ${WORK_DIR}/tcp_replay.txt RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "TCP transcript differs from the stdio replay of the same session")
+endif()
+file(READ ${WORK_DIR}/tcp_out.txt tcp_answers)
+expect_match("${tcp_answers}" "\"query\": \"shutdown\", \"ok\": true" "TCP session")
+expect_match("${tcp_stderr}" "drained" "TCP server drain summary")
 
 # A corrupt delta chain is rejected cleanly, not served.
 file(WRITE ${WORK_DIR}/bad.nucdelta "NUCDELT1 and then garbage well past the header size to be safe........................................")

@@ -6,8 +6,12 @@
 #include "nucleus/serve/snapshot_registry.h"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
+#include <span>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -600,6 +604,334 @@ TEST(RegistryManifest, AttachManifestLoadsEveryTenant) {
   ASSERT_TRUE(registry.AttachManifest(*manifest).ok());
   EXPECT_TRUE(RunLambda(registry, "alpha", 0).status.ok());
   EXPECT_TRUE(RunLambda(registry, "beta", 0).status.ok());
+}
+
+// Detaching a dirty live tenant persists its state instead of dropping
+// it: the pending delta records land next to the snapshot, the current
+// graph next to the graph file, and re-attaching from the reported paths
+// serves the post-update answers. (Losing the updates would make this
+// round trip answer the PRE-update state.)
+TEST(SnapshotRegistry, DirtyDetachPersistsAndRoundTrips) {
+  const Graph g = testing_util::PaperFigure2Graph();
+  TenantSpec live;
+  live.name = "live";
+  live.snapshot_path = WriteSnapshotFile(g, Family::kCore12, Algorithm::kDft,
+                                         "detach_live.nucsnap");
+  live.graph_path = WriteGraphFile(g, "detach_live_graph.txt");
+  SnapshotRegistry registry;
+  ASSERT_TRUE(registry.Attach(live).ok());
+
+  {
+    StatusOr<SnapshotRegistry::Lease> lease = registry.Acquire("live");
+    ASSERT_TRUE(lease.ok());
+    ASSERT_NE(lease->updater(), nullptr);
+    EdgeEdit edit;
+    edit.u = 3;
+    edit.v = 8;
+    edit.op = EdgeEditOp::kRemove;
+    StatusOr<LiveUpdater::Result> result =
+        lease->updater()->Apply(std::span<const EdgeEdit>(&edit, 1));
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result->changed);
+    ASSERT_TRUE(
+        lease->engine().ApplyUpdate(std::move(result->snapshot)).ok());
+    lease->MarkUpdated(result->delta);
+  }
+  ASSERT_TRUE(registry.Stats("live")->dirty);
+
+  // The post-update ground truth, per vertex.
+  std::vector<Lambda> expected;
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    const QueryEngine::Response response = RunLambda(registry, "live", u);
+    ASSERT_TRUE(response.status.ok());
+    expected.push_back(response.lambda);
+  }
+  // The edit really changed the answer: vertex 8 left the bridge cycle.
+  EXPECT_EQ(expected[8], 1);
+
+  std::vector<std::string> persisted;
+  ASSERT_TRUE(registry.Detach("live", /*force=*/false, &persisted).ok());
+  EXPECT_TRUE(registry.TenantNames().empty());
+  ASSERT_EQ(persisted.size(), 2u);  // one delta batch + the graph
+
+  // Re-attach from exactly what Detach reported.
+  TenantSpec reloaded = live;
+  for (const std::string& path : persisted) {
+    if (path.size() >= 9 &&
+        path.compare(path.size() - 9, 9, ".nucdelta") == 0) {
+      reloaded.delta_paths.push_back(path);
+    } else {
+      reloaded.graph_path = path;
+    }
+  }
+  ASSERT_EQ(reloaded.delta_paths.size(), 1u);
+  ASSERT_NE(reloaded.graph_path, live.graph_path);
+  ASSERT_TRUE(registry.Attach(reloaded).ok());
+  EXPECT_FALSE(registry.Stats("live")->dirty);
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    const QueryEngine::Response response = RunLambda(registry, "live", u);
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_EQ(response.lambda, expected[u]) << "vertex " << u;
+  }
+}
+
+// A dirty tenant whose updates were never recorded as delta batches (the
+// zero-argument MarkUpdated) cannot be persisted: the detach REFUSES and
+// leaves the tenant attached and serving, until `force` discards the
+// state deliberately — at which point its cache counters fold into the
+// registry summary instead of vanishing.
+TEST(SnapshotRegistry, DirtyDetachWithoutRecordedDeltaRefusesUnlessForced) {
+  const Graph g = testing_util::PaperFigure2Graph();
+  TenantSpec live;
+  live.name = "live";
+  live.snapshot_path = WriteSnapshotFile(g, Family::kCore12, Algorithm::kDft,
+                                         "detach_refuse.nucsnap");
+  live.graph_path = WriteGraphFile(g, "detach_refuse_graph.txt");
+  SnapshotRegistry registry;
+  ASSERT_TRUE(registry.Attach(live).ok());
+
+  {
+    StatusOr<SnapshotRegistry::Lease> lease = registry.Acquire("live");
+    ASSERT_TRUE(lease.ok());
+    EdgeEdit edit;
+    edit.u = 3;
+    edit.v = 8;
+    edit.op = EdgeEditOp::kRemove;
+    StatusOr<LiveUpdater::Result> result =
+        lease->updater()->Apply(std::span<const EdgeEdit>(&edit, 1));
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(
+        lease->engine().ApplyUpdate(std::move(result->snapshot)).ok());
+    lease->MarkUpdated();  // dirty, but no record to persist
+
+    // Cache traffic that must survive the eventual detach.
+    QueryEngine::Query query;
+    query.kind = QueryEngine::QueryKind::kMembers;
+    query.a = 0;
+    ASSERT_TRUE(lease->engine().Run(query).status.ok());  // miss
+    ASSERT_TRUE(lease->engine().Run(query).status.ok());  // hit
+  }
+
+  const Status refused = registry.Detach("live");
+  EXPECT_FALSE(refused.ok());
+  EXPECT_NE(refused.message().find("force"), std::string::npos)
+      << refused.ToString();
+  // Still attached, still dirty, still serving the post-update answer.
+  EXPECT_EQ(registry.TenantNames(), (std::vector<std::string>{"live"}));
+  EXPECT_TRUE(registry.Stats("live")->dirty);
+  const QueryEngine::Response after = RunLambda(registry, "live", 8);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.lambda, 1);
+
+  ASSERT_TRUE(registry.Detach("live", /*force=*/true).ok());
+  EXPECT_TRUE(registry.TenantNames().empty());
+  const RegistrySummary summary = registry.Summary();
+  EXPECT_EQ(summary.detaches, 1);
+  EXPECT_EQ(summary.detached_cache.hits, 1);
+  EXPECT_EQ(summary.detached_cache.misses, 1);
+}
+
+// AttachManifest is atomic: a failure on the Nth tenant rolls back the
+// tenants the call already attached (leaving earlier, independently
+// attached tenants alone) and names the failing tenant.
+TEST(RegistryManifest, AttachManifestRollsBackOnLaterFailure) {
+  Fleet fleet;
+  SnapshotRegistry registry;
+  ASSERT_TRUE(registry.Attach(fleet.c).ok());  // pre-existing tenant
+
+  const StatusOr<RegistryManifest> manifest = ParseManifest(
+      "tenant alpha snapshot=" + fleet.a.snapshot_path + "\n" +
+      "tenant beta snapshot=" + fleet.b.snapshot_path + "\n" +
+      "tenant broken snapshot=/nonexistent/broken.nucsnap\n");
+  ASSERT_TRUE(manifest.ok());
+  const Status status = registry.AttachManifest(*manifest);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("tenant 'broken'"), std::string::npos)
+      << status.ToString();
+
+  // alpha and beta were rolled back; gamma was never touched.
+  EXPECT_EQ(registry.TenantNames(), (std::vector<std::string>{"gamma"}));
+  EXPECT_TRUE(RunLambda(registry, "gamma", 0).status.ok());
+
+  // The registry is not poisoned: the same tenants attach cleanly once
+  // the manifest is fixed.
+  const StatusOr<RegistryManifest> fixed = ParseManifest(
+      "tenant alpha snapshot=" + fleet.a.snapshot_path + "\n" +
+      "tenant beta snapshot=" + fleet.b.snapshot_path + "\n");
+  ASSERT_TRUE(fixed.ok());
+  ASSERT_TRUE(registry.AttachManifest(*fixed).ok());
+  EXPECT_EQ(registry.TenantNames(),
+            (std::vector<std::string>{"alpha", "beta", "gamma"}));
+}
+
+/// Gate used by the RegistryConcurrentLoad tests: lets a load_hook block
+/// one tenant's lazy re-load until the test releases it.
+struct LoadGate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool armed = false;
+  bool entered = false;
+  bool released = false;
+  std::int64_t lazy_loads = 0;
+
+  void Arm() {
+    std::lock_guard<std::mutex> lock(mutex);
+    armed = true;
+  }
+  /// The hook body: counts + blocks while armed.
+  void Enter(const std::string& /*tenant*/) {
+    std::unique_lock<std::mutex> lock(mutex);
+    if (!armed) return;
+    ++lazy_loads;
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [this] { return released; });
+  }
+  void AwaitEntered() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return entered; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mutex);
+    released = true;
+    cv.notify_all();
+  }
+};
+
+// One tenant's slow lazy re-load must not head-of-line-block the
+// registry: while alpha's load is held open, other tenants acquire and
+// answer, and the admin plane (names, stats) stays responsive. Against a
+// registry that loads under its global mutex, every one of those calls
+// deadlocks behind the held load.
+TEST(RegistryConcurrentLoad, SlowReloadDoesNotBlockOtherTenants) {
+  Fleet fleet;
+  LoadGate gate;
+  RegistryOptions options;
+  options.memory_budget_bytes = 1;  // every idle engine evicts: next
+                                    // Acquire is a lazy re-load
+  options.load_hook = [&gate](const std::string& tenant) {
+    if (tenant == "alpha") gate.Enter(tenant);
+  };
+  SnapshotRegistry registry(options);
+  ASSERT_TRUE(registry.Attach(fleet.a).ok());
+  ASSERT_TRUE(registry.Attach(fleet.b).ok());
+  gate.Arm();
+
+  std::thread loader([&registry] {
+    const QueryEngine::Response response = RunLambda(registry, "alpha", 0);
+    EXPECT_TRUE(response.status.ok());
+    EXPECT_EQ(response.lambda, 3);
+  });
+  gate.AwaitEntered();
+
+  // alpha is mid-load and holding NO lock: beta serves, admin calls run.
+  EXPECT_TRUE(RunLambda(registry, "beta", 0).status.ok());
+  EXPECT_EQ(registry.TenantNames(),
+            (std::vector<std::string>{"alpha", "beta"}));
+  const StatusOr<TenantStats> stats = registry.Stats("alpha");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->resident);
+
+  gate.Release();
+  loader.join();
+}
+
+// Concurrent Acquires of the same evicted tenant coalesce onto ONE
+// in-flight load: the disk is read once, every caller gets a lease.
+TEST(RegistryConcurrentLoad, ConcurrentAcquiresCoalesceOntoOneLoad) {
+  Fleet fleet;
+  LoadGate gate;
+  RegistryOptions options;
+  options.memory_budget_bytes = 1;
+  options.load_hook = [&gate](const std::string& tenant) {
+    gate.Enter(tenant);
+  };
+  SnapshotRegistry registry(options);
+  ASSERT_TRUE(registry.Attach(fleet.a).ok());
+  gate.Arm();
+
+  constexpr int kThreads = 4;
+  std::atomic<int> successes{0};
+  // Leases release only after every thread holds one: under the 1-byte
+  // budget an early release would evict the engine again and the next
+  // Acquire would be a fresh (correct, but uncoalesced) re-load.
+  std::mutex barrier_mutex;
+  std::condition_variable barrier_cv;
+  int holding = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      StatusOr<SnapshotRegistry::Lease> lease = registry.Acquire("alpha");
+      ASSERT_TRUE(lease.ok()) << lease.status().ToString();
+      QueryEngine::Query query;
+      query.kind = QueryEngine::QueryKind::kLambda;
+      query.a = 0;
+      const QueryEngine::Response response = lease->engine().Run(query);
+      ASSERT_TRUE(response.status.ok());
+      EXPECT_EQ(response.lambda, 3);
+      successes.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<std::mutex> lock(barrier_mutex);
+      ++holding;
+      barrier_cv.notify_all();
+      barrier_cv.wait(lock, [&] { return holding == kThreads; });
+    });
+  }
+  gate.AwaitEntered();
+  // Give the remaining Acquires time to coalesce onto the held load (if
+  // one arrives after the install instead, it is a resident hit — either
+  // way the load below stays single).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gate.Release();
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(successes.load(), kThreads);
+  std::lock_guard<std::mutex> lock(gate.mutex);
+  EXPECT_EQ(gate.lazy_loads, 1);
+}
+
+// A failing coalesced load reports the failure to EVERY waiting Acquire
+// individually, and the tenant stays attached and retryable — the next
+// Acquire after the file recovers succeeds.
+TEST(RegistryConcurrentLoad, ReloadFailureIsPerAcquireAndRetryable) {
+  Fleet fleet;
+  LoadGate gate;
+  RegistryOptions options;
+  options.memory_budget_bytes = 1;
+  options.load_hook = [&gate](const std::string& tenant) {
+    gate.Enter(tenant);
+  };
+  SnapshotRegistry registry(options);
+  ASSERT_TRUE(registry.Attach(fleet.a).ok());
+  const std::string good_bytes = ReadFile(fleet.a.snapshot_path);
+  WriteFile(fleet.a.snapshot_path, good_bytes.substr(0, 32));
+  gate.Arm();
+
+  constexpr int kThreads = 3;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      const StatusOr<SnapshotRegistry::Lease> lease =
+          registry.Acquire("alpha");
+      ASSERT_FALSE(lease.ok());
+      EXPECT_NE(lease.status().message().find("tenant 'alpha'"),
+                std::string::npos)
+          << lease.status().ToString();
+      failures.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  gate.AwaitEntered();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gate.Release();
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), kThreads);
+
+  // Still attached; recovers in place.
+  EXPECT_EQ(registry.TenantNames(), (std::vector<std::string>{"alpha"}));
+  WriteFile(fleet.a.snapshot_path, good_bytes);
+  EXPECT_TRUE(RunLambda(registry, "alpha", 0).status.ok());
 }
 
 TEST(SnapshotRegistry, EstimateResidentBytesScalesWithContent) {

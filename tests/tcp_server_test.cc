@@ -1,0 +1,568 @@
+// Conformance, fault-injection and lifecycle tests for the TCP serving
+// tier: the same fuzz corpus the stdio loop is pinned against must come
+// back byte-identical over a real socket, transport-level rejections
+// (admission-queue overflow, oversized lines) must be structured errors
+// with correct line numbers, a mid-line disconnect must serve the partial
+// final line, and graceful drain must finish in-flight work before
+// closing. Suites are named TcpServer* so the CI TSan job picks them up.
+#include "nucleus/serve/net/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/core/decomposition.h"
+#include "nucleus/graph/edge_list_io.h"
+#include "nucleus/serve/request_loop.h"
+#include "nucleus/serve/snapshot_registry.h"
+#include "nucleus/store/snapshot.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+using testing_util::TempPath;
+
+/// Blocking loopback dial; the server is already listening when tests
+/// call this, so no retry loop is needed.
+int Dial(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  return fd;
+}
+
+/// Streams `payload` to `fd` from a side thread (so a payload larger than
+/// the socket buffers cannot deadlock against unread responses), half-
+/// closes, and returns everything the server sent back. A reset after the
+/// server's drain counts as end-of-stream.
+std::string SendAndCollect(int fd, const std::string& payload) {
+  std::thread writer([fd, &payload] {
+    const char* p = payload.data();
+    std::size_t left = payload.size();
+    while (left > 0) {
+      const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    ::shutdown(fd, SHUT_WR);
+  });
+  std::string received;
+  char chunk[65536];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    received.append(chunk, static_cast<std::size_t>(n));
+  }
+  writer.join();
+  ::close(fd);
+  return received;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream stream(text);
+  for (std::string line; std::getline(stream, line);) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+/// The fuzz corpus of tests/request_loop_fuzz_test.cc (same shapes, same
+/// seeds): valid routed/unrouted lines mixed with every malformed shape
+/// an untrusted client produces. Mirrored here because both files keep
+/// their corpus in an anonymous namespace on purpose — the TCP tier must
+/// hold against the same traffic the stdio loop is pinned against.
+std::vector<std::string> BuildCorpus(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const auto pick_int = [&](std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(rng);
+  };
+  const std::vector<std::string> verbs = {"lambda", "nucleus", "common",
+                                          "level",  "top",     "members"};
+  const std::vector<std::string> tenants = {"alpha", "beta", "ghost"};
+
+  std::vector<std::string> lines;
+  for (int i = 0; i < 600; ++i) {
+    std::string line;
+    switch (pick_int(0, 13)) {
+      case 0: {
+        const std::string& verb = verbs[static_cast<std::size_t>(
+            pick_int(0, static_cast<std::int64_t>(verbs.size()) - 1))];
+        line = verb + " " + std::to_string(pick_int(-3, 40));
+        if (verb == "nucleus" || verb == "common" || verb == "level") {
+          line += " " + std::to_string(pick_int(-3, 40));
+        }
+        break;
+      }
+      case 1: {
+        const std::string& tenant = tenants[static_cast<std::size_t>(
+            pick_int(0, static_cast<std::int64_t>(tenants.size()) - 1))];
+        line = tenant + ":lambda " + std::to_string(pick_int(0, 12));
+        break;
+      }
+      case 2:
+        line = "frobnicate " + std::to_string(pick_int(0, 9));
+        break;
+      case 3: {
+        line = verbs[static_cast<std::size_t>(pick_int(0, 5))];
+        for (std::int64_t k = pick_int(0, 4); k > 0; --k) {
+          if (k != 1 || pick_int(0, 1) == 0) line += " 1";
+        }
+        break;
+      }
+      case 4:
+        line = "lambda " + std::to_string(pick_int(0, 99)) +
+               (pick_int(0, 1) == 0 ? "x" : ".5");
+        break;
+      case 5:
+        line = "members 99999999999999999999999999999999";
+        break;
+      case 6: {
+        line = std::string(static_cast<std::size_t>(pick_int(100, 8192)),
+                           'x') +
+               " 1";
+        break;
+      }
+      case 7: {
+        line = "lambda 1";
+        line[pick_int(0, 1) == 0 ? 6 : 2] = '\0';
+        if (pick_int(0, 1) == 0) line += '\x01';
+        break;
+      }
+      case 8:
+        switch (pick_int(0, 3)) {
+          case 0: line = ":lambda 1"; break;
+          case 1: line = "alpha: 1"; break;
+          case 2: line = "bad name!:lambda 1"; break;
+          default: line = "alpha:"; break;
+        }
+        break;
+      case 9:
+        switch (pick_int(0, 3)) {
+          case 0: line = "attach"; break;
+          case 1: line = "attach x nonsense"; break;
+          case 2: line = "detach"; break;
+          default: line = "tenants extra"; break;
+        }
+        break;
+      case 10:
+        line = "attach t" + std::to_string(pick_int(0, 9)) +
+               " snapshot=/nonexistent/p" + std::to_string(pick_int(0, 9)) +
+               ".nucsnap";
+        break;
+      case 11:
+        switch (pick_int(0, 3)) {
+          case 0: line = "update 0 5 +"; break;
+          case 1: line = "update 0 5 *"; break;
+          case 2: line = "alpha:update 1 2 -"; break;
+          default: line = "update -1 2 +"; break;
+        }
+        break;
+      case 12:
+        line = pick_int(0, 1) == 0 ? "# comment " : "   \t ";
+        break;
+      default:
+        line = "lambda +" + std::to_string(pick_int(0, 9));
+        break;
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string script;
+  for (const std::string& line : lines) {
+    script += line;
+    script += '\n';
+  }
+  return script;
+}
+
+/// Two tenants with the fuzz test's exact shapes: alpha live (updates
+/// apply), beta read-only truss.
+struct FuzzTenants {
+  TenantSpec alpha, beta;
+  FuzzTenants() {
+    const Graph alpha_graph = testing_util::PaperFigure2Graph();
+    DecomposeOptions alpha_options;
+    alpha_options.family = Family::kCore12;
+    alpha_options.algorithm = Algorithm::kDft;
+    alpha.name = "alpha";
+    alpha.snapshot_path = TempPath("tcp_alpha.nucsnap");
+    EXPECT_TRUE(SaveSnapshot(
+                    MakeSnapshot(alpha_graph, alpha_options,
+                                 Decompose(alpha_graph, alpha_options), true),
+                    alpha.snapshot_path)
+                    .ok());
+    alpha.graph_path = TempPath("tcp_alpha_edges.txt");
+    EXPECT_TRUE(WriteEdgeList(alpha_graph, alpha.graph_path).ok());
+
+    const Graph beta_graph = Complete(6);
+    DecomposeOptions beta_options;
+    beta_options.family = Family::kTruss23;
+    beta.name = "beta";
+    beta.snapshot_path = TempPath("tcp_beta.nucsnap");
+    EXPECT_TRUE(SaveSnapshot(
+                    MakeSnapshot(beta_graph, beta_options,
+                                 Decompose(beta_graph, beta_options), true),
+                    beta.snapshot_path)
+                    .ok());
+  }
+};
+
+QueryEngine MakeFigure2Engine() {
+  const Graph g = testing_util::PaperFigure2Graph();
+  DecomposeOptions options;
+  options.family = Family::kCore12;
+  options.algorithm = Algorithm::kFnd;
+  const DecompositionResult result = Decompose(g, options);
+  return QueryEngine(MakeSnapshot(g, options, result, true));
+}
+
+// The core conformance contract of the tier: a routed fuzz session over a
+// real socket is byte-identical to the same lines served over
+// stdin/stdout (fresh, identically seeded registries on both sides —
+// the corpus mutates state via updates and attaches).
+TEST(TcpServerFuzz, TranscriptMatchesStdioByteForByte) {
+  FuzzTenants tenants;
+  for (const std::uint64_t seed : {3u, 41u}) {
+    SCOPED_TRACE(seed);
+    const std::string script = JoinLines(BuildCorpus(seed));
+
+    SnapshotRegistry tcp_registry;
+    ASSERT_TRUE(tcp_registry.Attach(tenants.alpha).ok());
+    ASSERT_TRUE(tcp_registry.Attach(tenants.beta).ok());
+    TcpServerOptions options;
+    options.serve.parallel.num_threads = 4;
+    TcpServer server(MakeRegistryResolver(tcp_registry), &tcp_registry,
+                     options);
+    ASSERT_TRUE(server.Start().ok());
+    const std::string tcp_transcript =
+        SendAndCollect(Dial(server.port()), script);
+    server.Stop();
+
+    SnapshotRegistry stdio_registry;
+    ASSERT_TRUE(stdio_registry.Attach(tenants.alpha).ok());
+    ASSERT_TRUE(stdio_registry.Attach(tenants.beta).ok());
+    std::istringstream in(script);
+    std::ostringstream out;
+    ServeOptions serve_options;
+    serve_options.parallel.num_threads = 4;
+    ServeRegistryRequests(stdio_registry, in, out, serve_options);
+
+    EXPECT_EQ(tcp_transcript, out.str());
+    EXPECT_FALSE(tcp_transcript.empty());
+  }
+}
+
+// Transport-level line hygiene: oversized lines (beyond max_line_bytes)
+// are rejected without buffering and WITHOUT losing their response slot,
+// NUL-bearing lines become parser errors, and lines after either keep
+// serving with correct global line numbers.
+TEST(TcpServerFuzz, OversizedAndNulLinesAreStructuredErrors) {
+  const QueryEngine engine = MakeFigure2Engine();
+  TcpServerOptions options;
+  options.max_line_bytes = 1024;
+  TcpServer server(
+      MakeEngineResolver(const_cast<QueryEngine&>(engine), nullptr), nullptr,
+      options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::string nul_line = "lambda 1";
+  nul_line[2] = '\0';
+  const std::string script = "lambda 0\n" +                  // line 1: ok
+                             std::string(5000, 'x') + "\n" + // line 2: big
+                             nul_line + "\n" +               // line 3: NUL
+                             "lambda 3\n";                   // line 4: ok
+  const std::string transcript =
+      SendAndCollect(Dial(server.port()), script);
+  server.Stop();
+
+  const std::vector<std::string> responses = SplitLines(transcript);
+  ASSERT_EQ(responses.size(), 4u) << transcript;
+  EXPECT_NE(responses[0].find("\"lambda\""), std::string::npos);
+  EXPECT_NE(responses[1].find("\"error\""), std::string::npos);
+  EXPECT_NE(responses[1].find("exceeds"), std::string::npos);
+  EXPECT_NE(responses[1].find("\"line\": 2"), std::string::npos);
+  EXPECT_LT(responses[1].size(), 400u);  // the 5KB line is not echoed
+  EXPECT_NE(responses[2].find("\"error\""), std::string::npos);
+  EXPECT_NE(responses[2].find("\"line\": 3"), std::string::npos);
+  EXPECT_NE(responses[3].find("\"lambda\""), std::string::npos);
+
+  EXPECT_EQ(server.Stats().oversized_lines, 1);
+}
+
+// A connection that dies mid-line gets its partial final line served the
+// way std::getline serves an unterminated last line — as a line.
+TEST(TcpServerFuzz, MidLineDisconnectServesPartialFinalLine) {
+  const QueryEngine engine = MakeFigure2Engine();
+  TcpServer server(
+      MakeEngineResolver(const_cast<QueryEngine&>(engine), nullptr), nullptr,
+      TcpServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  // No trailing newline on the final token; half-close ends the stream.
+  const std::string transcript =
+      SendAndCollect(Dial(server.port()), "lambda 0\nlambda");
+  server.Stop();
+
+  const std::vector<std::string> responses = SplitLines(transcript);
+  ASSERT_EQ(responses.size(), 2u) << transcript;
+  EXPECT_NE(responses[0].find("\"lambda\""), std::string::npos);
+  EXPECT_NE(responses[1].find("\"error\""), std::string::npos);
+  EXPECT_NE(responses[1].find("\"line\": 2"), std::string::npos);
+}
+
+// Back-pressure: with the worker wedged on line 1 (a resolver that blocks
+// until released), lines past the high-water mark are rejected — each
+// with a structured error carrying its own line number — rather than
+// buffered without bound. Rejection happens at ADMISSION (the server's
+// queue-depth gauge never exceeds the mark), and the rejected lines'
+// responses still come back in input order.
+TEST(TcpServerBackpressure, RejectsPastHighWaterWithLineNumbers) {
+  const QueryEngine engine = MakeFigure2Engine();
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool entered = false;
+  bool released = false;
+  const ServeSessionResolver resolver =
+      [&](const std::string& tenant) -> StatusOr<ServeSession> {
+    {
+      std::unique_lock<std::mutex> lock(gate_mutex);
+      entered = true;
+      gate_cv.notify_all();
+      gate_cv.wait(lock, [&] { return released; });
+    }
+    return MakeEngineResolver(const_cast<QueryEngine&>(engine),
+                              nullptr)(tenant);
+  };
+
+  TcpServerOptions options;
+  options.queue_high_water = 4;
+  TcpServer server(resolver, nullptr, options);
+  ASSERT_TRUE(server.Start().ok());
+  const int fd = Dial(server.port());
+
+  // Line 1 wedges the worker inside the resolver...
+  ASSERT_GT(::send(fd, "lambda 0\n", 9, MSG_NOSIGNAL), 0);
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return entered; });
+  }
+  // ...then 10 more lines arrive: 4 fit under the high-water mark, 6 are
+  // rejected at admission.
+  std::string burst;
+  for (int i = 1; i <= 10; ++i) {
+    burst += "lambda " + std::to_string(i) + "\n";
+  }
+  ASSERT_GT(::send(fd, burst.data(), burst.size(), MSG_NOSIGNAL), 0);
+  for (int spin = 0; spin < 500 && server.Stats().lines_rejected < 6;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const TcpServerStats wedged = server.Stats();
+  EXPECT_EQ(wedged.lines_rejected, 6);
+  EXPECT_EQ(wedged.lines_admitted, 5);
+  EXPECT_LE(wedged.queue_depth, options.queue_high_water);
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    released = true;
+    gate_cv.notify_all();
+  }
+
+  const std::string transcript = SendAndCollect(fd, "");
+  server.Stop();
+  const std::vector<std::string> responses = SplitLines(transcript);
+  ASSERT_EQ(responses.size(), 11u) << transcript;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NE(responses[i].find("\"lambda\""), std::string::npos)
+        << responses[i];
+  }
+  for (int i = 5; i < 11; ++i) {
+    EXPECT_NE(responses[i].find("admission queue full"), std::string::npos)
+        << responses[i];
+    EXPECT_NE(responses[i].find("\"line\": " + std::to_string(i + 1)),
+              std::string::npos)
+        << responses[i];
+  }
+}
+
+// Graceful drain under load: clients are streaming when the drain lands.
+// The server stops accepting and admitting, finishes what it admitted,
+// and every client sees a well-formed response prefix followed by EOF —
+// never a torn line.
+TEST(TcpServerDrain, DrainUnderLoadFinishesInFlightAndCloses) {
+  const QueryEngine engine = MakeFigure2Engine();
+  TcpServer server(
+      MakeEngineResolver(const_cast<QueryEngine&>(engine), nullptr), nullptr,
+      TcpServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 4;
+  std::vector<std::string> received(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([c, &server, &received] {
+      const int fd = Dial(server.port());
+      std::thread pump([fd] {
+        const std::string line = "lambda 3\n";
+        for (int i = 0; i < 20000; ++i) {
+          const ssize_t n =
+              ::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+          if (n <= 0) break;  // server drained mid-stream: stop pumping
+        }
+        ::shutdown(fd, SHUT_WR);
+      });
+      char chunk[65536];
+      for (;;) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) break;  // EOF or reset after drain: both end the run
+        received[c].append(chunk, static_cast<std::size_t>(n));
+      }
+      pump.join();
+      ::close(fd);
+    });
+  }
+
+  // Let the load build, then pull the plug mid-flight.
+  for (int spin = 0; spin < 500 && server.Stats().lines_admitted < 100;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.RequestDrain();
+  server.Wait();
+  for (std::thread& t : clients) t.join();
+
+  const TcpServerStats stats = server.Stats();
+  EXPECT_TRUE(stats.draining);
+  EXPECT_EQ(stats.connections_open, 0);
+  EXPECT_EQ(stats.connections_drained, stats.connections_accepted);
+
+  std::int64_t total_responses = 0;
+  for (int c = 0; c < kClients; ++c) {
+    SCOPED_TRACE(c);
+    // Every complete line in the prefix is one well-formed JSON object.
+    const std::vector<std::string> lines = SplitLines(received[c]);
+    for (const std::string& line : lines) {
+      ASSERT_FALSE(line.empty());
+      EXPECT_EQ(line.front(), '{') << line;
+      EXPECT_EQ(line.back(), '}') << line;
+    }
+    total_responses += static_cast<std::int64_t>(lines.size());
+  }
+  EXPECT_GT(total_responses, 0);
+}
+
+// The `shutdown` protocol verb drains the WHOLE server: the issuing
+// connection gets its acknowledgement, other open connections are wound
+// down, and Wait() returns without any server-side Stop() call.
+TEST(TcpServerDrain, ShutdownVerbDrainsWholeServer) {
+  FuzzTenants tenants;
+  SnapshotRegistry registry;
+  ASSERT_TRUE(registry.Attach(tenants.alpha).ok());
+  TcpServer server(MakeRegistryResolver(registry), &registry,
+                   TcpServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  const int idle = Dial(port);  // a second connection, sitting quiet
+  std::string idle_tail;
+  std::thread idle_reader([idle, &idle_tail] {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(idle, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      idle_tail.append(chunk, static_cast<std::size_t>(n));
+    }
+  });
+
+  const std::string transcript =
+      SendAndCollect(Dial(port), "alpha:lambda 0\nstats\nshutdown\n");
+  server.Wait();  // the verb alone must bring the server down
+  idle_reader.join();
+  ::close(idle);
+
+  const std::vector<std::string> responses = SplitLines(transcript);
+  ASSERT_EQ(responses.size(), 3u) << transcript;
+  EXPECT_NE(responses[0].find("\"lambda\""), std::string::npos);
+  // The stats verb exports per-tenant rows, registry counters AND the
+  // server's own connection/queue gauges in one object.
+  EXPECT_NE(responses[1].find("\"tenants\""), std::string::npos);
+  EXPECT_NE(responses[1].find("\"registry\""), std::string::npos);
+  EXPECT_NE(responses[1].find("\"server\": {"), std::string::npos);
+  EXPECT_NE(responses[1].find("\"connections_accepted\": 2"),
+            std::string::npos);
+  EXPECT_NE(responses[1].find("\"queue_high_water\": 1024"),
+            std::string::npos);
+  EXPECT_EQ(responses[2], "{\"query\": \"shutdown\", \"ok\": true}");
+  EXPECT_TRUE(idle_tail.empty());  // wound down without inventing output
+
+  const TcpServerStats stats = server.Stats();
+  EXPECT_TRUE(stats.draining);
+  EXPECT_EQ(stats.connections_open, 0);
+  EXPECT_EQ(stats.connections_drained, 2);
+}
+
+// Connections beyond max_connections are answered with one structured
+// error object and closed — a parseable refusal, not a silent reset —
+// while the connection already inside keeps serving.
+TEST(TcpServerLimit, ConnectionsPastLimitGetStructuredError) {
+  const QueryEngine engine = MakeFigure2Engine();
+  TcpServerOptions options;
+  options.max_connections = 1;
+  TcpServer server(
+      MakeEngineResolver(const_cast<QueryEngine&>(engine), nullptr), nullptr,
+      options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int first = Dial(server.port());
+  for (int spin = 0; spin < 500 && server.Stats().connections_accepted < 1;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const std::string refusal = SendAndCollect(Dial(server.port()), "");
+  EXPECT_NE(refusal.find("\"error\""), std::string::npos) << refusal;
+  EXPECT_NE(refusal.find("connection limit"), std::string::npos);
+  EXPECT_EQ(server.Stats().connections_rejected, 1);
+
+  // The first connection is unaffected.
+  const std::string transcript = SendAndCollect(first, "lambda 0\n");
+  EXPECT_NE(transcript.find("\"lambda\""), std::string::npos);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace nucleus
