@@ -24,6 +24,7 @@
 #define NUCLEUS_SERVE_LIVE_UPDATE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -77,10 +78,20 @@ class LiveUpdater {
   std::int64_t NumEdges() const { return maintainer_.NumEdges(); }
   const IncrementalCoreMaintainer& maintainer() const { return maintainer_; }
 
+  /// Serializes concurrent users of ONE updater. Apply mutates the
+  /// maintainer and advances the fingerprint chain, so it is not
+  /// thread-safe by itself; callers that share an updater across threads
+  /// (the TCP tier: many connections, one engine or one registry tenant)
+  /// hold this across the whole apply sequence — Apply, the engine swap,
+  /// the dirty marking — so updates serialize and the delta chain and the
+  /// served state advance in the same order.
+  std::mutex& apply_mutex() { return apply_mutex_; }
+
  private:
   LiveUpdater(const Graph& g, std::vector<Lambda> lambda,
               const ChainLink& link);
 
+  std::mutex apply_mutex_;
   IncrementalCoreMaintainer maintainer_;
   std::uint64_t base_fingerprint_;
   /// EdgeSetFingerprint / LambdaFingerprint of the state the NEXT delta

@@ -22,9 +22,11 @@ namespace nucleus {
 namespace {
 
 /// Blocking, SIGPIPE-free writes to a (possibly O_NONBLOCK) socket.
-/// Workers stream responses through this; a peer that went away turns
-/// the buffer into a sink (the session still finishes deterministically,
-/// its output just has nowhere to go).
+/// Workers stream responses through this; a peer that went away — or
+/// that holds the socket open without reading past the write-stall
+/// deadline — turns the buffer into a sink (the session still finishes
+/// deterministically, its output just has nowhere to go), so a stalled
+/// client can never pin its worker and wedge drain behind it.
 class FdStreamBuf : public std::streambuf {
  public:
   explicit FdStreamBuf(int fd) : fd_(fd) {
@@ -58,19 +60,31 @@ class FdStreamBuf : public std::streambuf {
       if (n < 0 && errno == EINTR) continue;
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
         // The fd is non-blocking (it shares flags with the reader):
-        // wait for writability instead of spinning.
+        // wait for writability — boundedly. The deadline restarts on
+        // every send that makes progress, so only a peer that accepts
+        // NOTHING for the whole window is cut off.
         struct pollfd pfd;
         pfd.fd = fd_;
         pfd.events = POLLOUT;
         pfd.revents = 0;
-        ::poll(&pfd, 1, -1);
-        continue;
+        const int r = ::poll(&pfd, 1, kWriteStallMs);
+        if (r > 0) continue;                    // writable (or error:
+                                                // the next send reports it)
+        if (r < 0 && errno == EINTR) continue;
+        // Stalled past the deadline: the peer stopped reading but kept
+        // the socket open. Treat it like a vanished peer.
       }
       broken_ = true;  // peer is gone; drop the rest of the session
     }
     setp(buffer_, buffer_ + sizeof(buffer_));
     return true;
   }
+
+  /// How long one blocked write waits for the peer to drain its receive
+  /// buffer before the stream is declared broken. Matches the reap
+  /// pass's linger deadline: both bound how long a dead-but-open client
+  /// can hold server resources.
+  static constexpr int kWriteStallMs = 5000;
 
   int fd_;
   bool broken_ = false;
@@ -421,10 +435,15 @@ void TcpServer::WorkerLoop(Connection* conn) {
       conn->admitted_depth = 0;
     }
     for (Connection::Item& item : batch) {
-      if (processor.shutdown_requested()) break;  // drop post-shutdown input
+      // The depth gauge counts admitted-but-undequeued lines, so it drops
+      // for every kLine leaving the queue — including ones discarded
+      // below (post-shutdown, post-EOF) that are never processed.
+      if (item.kind == Connection::Item::Kind::kLine) {
+        queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      if (eof || processor.shutdown_requested()) continue;  // drop input
       switch (item.kind) {
         case Connection::Item::Kind::kLine:
-          queue_depth_.fetch_sub(1, std::memory_order_relaxed);
           processor.ProcessLine(item.text);
           break;
         case Connection::Item::Kind::kReject:
@@ -436,7 +455,6 @@ void TcpServer::WorkerLoop(Connection* conn) {
           eof = true;
           break;
       }
-      if (eof) break;
     }
     // Input ran dry (or ended): emit what's pending so an interactive
     // client is never left waiting on a half-full batch.
@@ -499,6 +517,18 @@ void TcpServer::PollLoop() {
         any_lingering = true;
         ++it;
         continue;
+      }
+      {
+        // Lines admitted after the worker quit (it exits on `shutdown`
+        // without waiting for the reader) were never dequeued; unwind
+        // their share of the depth gauge before the connection goes away.
+        std::lock_guard<std::mutex> lock(conn.mutex);
+        for (const Connection::Item& item : conn.queue) {
+          if (item.kind == Connection::Item::Kind::kLine) {
+            queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+          }
+        }
+        conn.queue.clear();
       }
       ::close(conn.fd);
       open_.fetch_sub(1, std::memory_order_relaxed);

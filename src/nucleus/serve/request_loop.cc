@@ -2,6 +2,7 @@
 
 #include <istream>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -333,6 +334,13 @@ Status RequestProcessor::ApplyUpdate(const std::string& tenant,
         "updates are not enabled on this session (serve with --input "
         "<graph>, or give the tenant graph= in its spec)");
   }
+  // One updater can be shared by many sessions (TCP connections on a
+  // single-engine server, or concurrent leases of one registry tenant).
+  // The whole apply sequence — maintainer mutation, engine swap, dirty
+  // marking — runs under the updater's mutex so concurrent updates
+  // serialize and the delta chain and the served state advance in the
+  // same order everywhere.
+  std::lock_guard<std::mutex> apply_lock(session->updater->apply_mutex());
   StatusOr<LiveUpdater::Result> result =
       session->updater->Apply(std::span<const EdgeEdit>(&edit, 1));
   if (!result.ok()) return result.status();

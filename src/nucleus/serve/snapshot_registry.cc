@@ -1,5 +1,6 @@
 #include "nucleus/serve/snapshot_registry.h"
 
+#include <cstddef>
 #include <optional>
 #include <utility>
 
@@ -141,6 +142,15 @@ Status SnapshotRegistry::PersistDirtyLocked(
   if (resident.updater == nullptr) {
     return Status::Internal("dirty tenant has no live updater");
   }
+  // The apply mutex is held by every in-flight update across Apply +
+  // engine swap + MarkUpdated, so holding it here freezes one consistent
+  // state for the whole persist: the pending queue cannot grow between
+  // the copy below and the clear at the end (a delta landing in that
+  // window would be cleared without ever being written), and the graph
+  // serialized below matches the drained deltas exactly. Lock order is
+  // mutex_ -> apply_mutex -> pending_mutex; MarkUpdated takes only the
+  // tail of the chain, so the orders compose without a cycle.
+  std::lock_guard<std::mutex> apply_lock(resident.updater->apply_mutex());
   std::vector<DeltaData> pending;
   {
     std::lock_guard<std::mutex> pending_lock(resident.pending_mutex);
@@ -168,10 +178,19 @@ Status SnapshotRegistry::PersistDirtyLocked(
   if (Status s = WriteEdgeList(g, graph_path); !s.ok()) return s;
   written.push_back(graph_path);
   {
+    // Erase exactly what was copied (not clear()): even if a caller ever
+    // ran this without the apply lock excluding new updates, a delta that
+    // arrived mid-persist would survive for the next persist instead of
+    // being dropped unwritten, and the tenant would stay dirty.
     std::lock_guard<std::mutex> pending_lock(resident.pending_mutex);
-    resident.pending_deltas.clear();
+    resident.pending_deltas.erase(
+        resident.pending_deltas.begin(),
+        resident.pending_deltas.begin() +
+            static_cast<std::ptrdiff_t>(pending.size()));
+    if (resident.pending_deltas.empty()) {
+      resident.dirty.store(false, std::memory_order_relaxed);
+    }
   }
-  resident.dirty.store(false, std::memory_order_relaxed);
   if (persisted != nullptr) *persisted = std::move(written);
   return Status::Ok();
 }
@@ -305,19 +324,17 @@ void SnapshotRegistry::EvictLocked() {
   }
 }
 
-void SnapshotRegistry::MarkUpdated(const std::string& name,
-                                   const std::shared_ptr<Resident>& resident,
+void SnapshotRegistry::MarkUpdated(const std::shared_ptr<Resident>& resident,
                                    const DeltaData* delta) {
-  if (delta != nullptr) {
-    std::lock_guard<std::mutex> pending_lock(resident->pending_mutex);
-    resident->pending_deltas.push_back(*delta);
-  }
+  // Deliberately touches no registry state (the update counter lives on
+  // the resident): callers arrive holding the updater's apply mutex, and
+  // taking mutex_ here would deadlock against PersistDirtyLocked, which
+  // acquires the two in the opposite order. Queue, flag and counter move
+  // under pending_mutex so a persist's drain sees them as one unit.
+  std::lock_guard<std::mutex> pending_lock(resident->pending_mutex);
+  if (delta != nullptr) resident->pending_deltas.push_back(*delta);
   resident->dirty.store(true, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = tenants_.find(name);
-  if (it != tenants_.end() && it->second.resident == resident) {
-    ++it->second.updates;
-  }
+  resident->updates.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<std::string> SnapshotRegistry::TenantNames() const {
@@ -341,9 +358,12 @@ StatusOr<TenantStats> SnapshotRegistry::Stats(const std::string& name) const {
   stats.loads = tenant.loads;
   stats.evictions = tenant.evictions;
   stats.hits = tenant.hits;
-  stats.updates = tenant.updates;
   stats.cache = tenant.retired_cache;
   if (tenant.resident != nullptr) {
+    // The counter lives on the resident; an EVICTED tenant's count is
+    // always 0 (updates dirty a resident and dirty residents are never
+    // evicted), so reading it only while resident loses nothing.
+    stats.updates = tenant.resident->updates.load(std::memory_order_relaxed);
     stats.dirty = tenant.resident->dirty.load(std::memory_order_relaxed);
     stats.pins = tenant.resident->pins.load(std::memory_order_relaxed);
     stats.resident_bytes = tenant.resident->bytes;
@@ -409,15 +429,11 @@ void SnapshotRegistry::EnforceBudget() {
 }
 
 void SnapshotRegistry::Lease::MarkUpdated() {
-  if (registry_ != nullptr && resident_ != nullptr) {
-    registry_->MarkUpdated(name_, resident_, nullptr);
-  }
+  if (resident_ != nullptr) SnapshotRegistry::MarkUpdated(resident_, nullptr);
 }
 
 void SnapshotRegistry::Lease::MarkUpdated(const DeltaData& delta) {
-  if (registry_ != nullptr && resident_ != nullptr) {
-    registry_->MarkUpdated(name_, resident_, &delta);
-  }
+  if (resident_ != nullptr) SnapshotRegistry::MarkUpdated(resident_, &delta);
 }
 
 }  // namespace nucleus

@@ -193,9 +193,18 @@ class SnapshotRegistry {
     const std::int64_t bytes;
     std::atomic<std::int64_t> pins{0};
     std::atomic<bool> dirty{false};
+    /// Applied update batches. Lives on the resident (not the Tenant row)
+    /// so MarkUpdated needs no registry lock — which keeps the lock order
+    /// mutex_ -> apply_mutex -> pending_mutex acyclic (see
+    /// PersistDirtyLocked). Updates always dirty a resident and dirty
+    /// residents are never evicted, so the count survives as long as it
+    /// is nonzero.
+    std::atomic<std::int64_t> updates{0};
     /// Applied-but-unpersisted delta records, in application order — what
-    /// Detach writes out for a dirty tenant. Guarded by its own mutex
-    /// (updates happen on leased engines outside the registry lock).
+    /// Detach writes out for a dirty tenant. The mutex also guards the
+    /// dirty flag's transitions (updates happen on leased engines outside
+    /// the registry lock), so a persist's clear and a concurrent mark
+    /// never interleave into a dirty=false state with deltas queued.
     std::mutex pending_mutex;
     std::vector<DeltaData> pending_deltas;
   };
@@ -215,7 +224,6 @@ class SnapshotRegistry {
     std::int64_t loads = 0;
     std::int64_t evictions = 0;
     std::int64_t hits = 0;
-    std::int64_t updates = 0;
     std::uint64_t last_used = 0;
     /// Cache counters of engines already evicted (gauges excluded).
     LruCacheStats retired_cache;
@@ -231,13 +239,14 @@ class SnapshotRegistry {
   /// tolerated while pinned is reclaimed as soon as the pin drops, not
   /// only at the next Attach/Acquire.
   void EnforceBudget();
-  void MarkUpdated(const std::string& name,
-                   const std::shared_ptr<Resident>& resident,
-                   const DeltaData* delta);
+  static void MarkUpdated(const std::shared_ptr<Resident>& resident,
+                          const DeltaData* delta);
   /// Writes a dirty tenant's pending deltas + current graph next to its
   /// backing files; clears the dirty state on success. Caller holds
   /// mutex_ (detach is an admin-plane operation; the IO cost mirrors the
-  /// eager load Attach already performs under the lock).
+  /// eager load Attach already performs under the lock). Holds the
+  /// updater's apply mutex for the duration, so no update batch can land
+  /// between the drain and the clear and be lost.
   Status PersistDirtyLocked(Tenant& tenant,
                             std::vector<std::string>* persisted);
 

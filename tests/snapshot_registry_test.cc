@@ -731,6 +731,79 @@ TEST(SnapshotRegistry, DirtyDetachWithoutRecordedDeltaRefusesUnlessForced) {
   EXPECT_EQ(summary.detached_cache.misses, 1);
 }
 
+// A dirty detach racing an in-flight update loses nothing: the persist
+// takes the updater's apply mutex, so it blocks behind an update that is
+// mid-apply and then writes that update's delta too. Pre-fix the persist
+// copied the pending queue, did its IO, and clear()ed the queue — a
+// delta recorded in that window was dropped unwritten with dirty=false.
+TEST(RegistryConcurrentLoad, DetachPersistIncludesUpdateLandingMidDetach) {
+  const Graph g = testing_util::PaperFigure2Graph();
+  TenantSpec live;
+  live.name = "live";
+  live.snapshot_path = WriteSnapshotFile(g, Family::kCore12, Algorithm::kDft,
+                                         "detach_race.nucsnap");
+  live.graph_path = WriteGraphFile(g, "detach_race_graph.txt");
+  SnapshotRegistry registry;
+  ASSERT_TRUE(registry.Attach(live).ok());
+
+  std::vector<std::string> persisted;
+  Status detach_status;
+  {
+    StatusOr<SnapshotRegistry::Lease> lease = registry.Acquire("live");
+    ASSERT_TRUE(lease.ok());
+    ASSERT_NE(lease->updater(), nullptr);
+    const auto apply = [&](VertexId u, VertexId v) {
+      EdgeEdit edit;
+      edit.u = u;
+      edit.v = v;
+      edit.op = EdgeEditOp::kRemove;
+      StatusOr<LiveUpdater::Result> result =
+          lease->updater()->Apply(std::span<const EdgeEdit>(&edit, 1));
+      ASSERT_TRUE(result.ok());
+      ASSERT_TRUE(result->changed);
+      ASSERT_TRUE(
+          lease->engine().ApplyUpdate(std::move(result->snapshot)).ok());
+      lease->MarkUpdated(result->delta);
+    };
+    apply(3, 8);  // dirty: the detach below must take the persist path
+    ASSERT_TRUE(registry.Stats("live")->dirty);
+
+    // Hold the apply mutex the way the serve loop's update path does,
+    // detach from another thread, and record a second update while the
+    // detach is (post-fix) parked on that mutex.
+    std::unique_lock<std::mutex> apply_lock(
+        lease->updater()->apply_mutex());
+    std::thread detacher([&] {
+      detach_status = registry.Detach("live", /*force=*/false, &persisted);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    apply(4, 9);
+    apply_lock.unlock();
+    detacher.join();
+  }
+  ASSERT_TRUE(detach_status.ok()) << detach_status.ToString();
+  EXPECT_TRUE(registry.TenantNames().empty());
+  ASSERT_EQ(persisted.size(), 3u);  // BOTH delta batches + the graph
+
+  TenantSpec reloaded = live;
+  reloaded.delta_paths.clear();
+  for (const std::string& path : persisted) {
+    if (path.size() >= 9 &&
+        path.compare(path.size() - 9, 9, ".nucdelta") == 0) {
+      reloaded.delta_paths.push_back(path);
+    } else {
+      reloaded.graph_path = path;
+    }
+  }
+  ASSERT_EQ(reloaded.delta_paths.size(), 2u);
+  ASSERT_TRUE(registry.Attach(reloaded).ok());
+  // Both removals survived the round trip: the bridge cycle is gone, so
+  // vertices 8 and 9 each keep a single edge.
+  EXPECT_EQ(RunLambda(registry, "live", 8).lambda, 1);
+  EXPECT_EQ(RunLambda(registry, "live", 9).lambda, 1);
+  EXPECT_EQ(RunLambda(registry, "live", 0).lambda, 3);
+}
+
 // AttachManifest is atomic: a failure on the Nth tenant rolls back the
 // tenants the call already attached (leaving earlier, independently
 // attached tenants alone) and names the failing tenant.

@@ -535,6 +535,59 @@ TEST(TcpServerDrain, ShutdownVerbDrainsWholeServer) {
   EXPECT_EQ(stats.connections_drained, 2);
 }
 
+// Two connections hammering the SAME live tenant with updates: every
+// update batch must apply exactly once, in some serial order (the
+// updater's apply mutex — without it the workers race inside
+// LiveUpdater::Apply and TSan flags this test). Each connection toggles
+// its own absent edge, so all of its updates report applied:true
+// regardless of interleaving, and the net graph is unchanged.
+TEST(TcpServerConcurrency, ConcurrentUpdatesOnOneTenantSerialize) {
+  FuzzTenants tenants;
+  SnapshotRegistry registry;
+  ASSERT_TRUE(registry.Attach(tenants.alpha).ok());
+  TcpServer server(MakeRegistryResolver(registry), &registry,
+                   TcpServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  constexpr int kToggles = 40;
+  const auto script = [](const std::string& edge) {
+    std::string lines;
+    for (int i = 0; i < kToggles; ++i) {
+      lines += "alpha:update " + edge + " +\n";
+      lines += "alpha:update " + edge + " -\n";
+    }
+    return lines;
+  };
+  std::string transcripts[2];
+  std::thread first([&] {
+    transcripts[0] = SendAndCollect(Dial(port), script("0 4"));
+  });
+  std::thread second([&] {
+    transcripts[1] = SendAndCollect(Dial(port), script("1 5"));
+  });
+  first.join();
+  second.join();
+
+  for (const std::string& transcript : transcripts) {
+    const std::vector<std::string> responses = SplitLines(transcript);
+    ASSERT_EQ(responses.size(), 2u * kToggles);
+    for (const std::string& line : responses) {
+      EXPECT_NE(line.find("\"applied\": true"), std::string::npos) << line;
+    }
+  }
+  // Every batch was counted once, and the toggles cancelled out: the
+  // bridge cycle answers exactly as before the storm.
+  EXPECT_EQ(registry.Stats("alpha")->updates, 4 * kToggles);
+  const std::string after =
+      SendAndCollect(Dial(port), "alpha:lambda 8\nalpha:lambda 0\n");
+  server.Stop();
+  const std::vector<std::string> answers = SplitLines(after);
+  ASSERT_EQ(answers.size(), 2u) << after;
+  EXPECT_NE(answers[0].find("\"lambda\": 2"), std::string::npos) << after;
+  EXPECT_NE(answers[1].find("\"lambda\": 3"), std::string::npos) << after;
+}
+
 // Connections beyond max_connections are answered with one structured
 // error object and closed — a parseable refusal, not a silent reset —
 // while the connection already inside keeps serving.
