@@ -183,7 +183,8 @@ void Run(const Options& options) {
       std::cerr << "error: " << snapshot.status().ToString() << "\n";
       std::exit(1);
     }
-    const QueryEngine engine(std::move(*snapshot));
+    const std::unique_ptr<QueryEngine> engine =
+        QueryEngine::FromSnapshotData(std::move(*snapshot));
     std::string script;
     for (const std::string& block : tenant.blocks) script += block;
     ServeOptions serve_options;
@@ -191,7 +192,7 @@ void Run(const Options& options) {
     std::istringstream in(script);
     std::ostringstream out;
     Timer timer;
-    ServeRequests(engine, in, out, serve_options);
+    ServeRequests(*engine, in, out, serve_options);
     direct_seconds += timer.Seconds();
   }
 

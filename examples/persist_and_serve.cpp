@@ -8,6 +8,7 @@
 //      batched run over the shared ThreadPool and a scripted line-protocol
 //      session like the one `nucleus_cli serve` speaks.
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "nucleus/core/decomposition.h"
@@ -58,7 +59,9 @@ int main() {
             << "s)\n";
 
   // 4a. Point queries through the engine.
-  const QueryEngine engine(std::move(*snapshot));
+  const std::unique_ptr<QueryEngine> engine_ptr =
+      QueryEngine::FromSnapshotData(std::move(*snapshot));
+  const QueryEngine& engine = *engine_ptr;
   const auto top = engine.TopKDensest(3);
   std::cout << "top " << top.size() << " densest nuclei:\n";
   for (const auto& ref : top) {

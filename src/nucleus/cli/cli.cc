@@ -39,6 +39,8 @@
 #include "nucleus/store/delta.h"
 #include "nucleus/store/manifest.h"
 #include "nucleus/store/snapshot.h"
+#include "nucleus/store/snapshot_source.h"
+#include "nucleus/store/snapshot_v2.h"
 #include "nucleus/util/parse_util.h"
 
 namespace nucleus {
@@ -171,6 +173,30 @@ std::vector<std::string> SplitCommaList(const std::string& value) {
   return parts;
 }
 
+/// The shared snapshot/deltas/graph trio rules (store/manifest.h), spelled
+/// in CLI flag vocabulary: manifests and the attach verb say
+/// `snapshot=`/`deltas=`/`graph=`; here the same rules report as
+/// `--snapshot`/`--deltas`/`--input`.
+constexpr TenantTrioVocabulary kCliTrioVocabulary{
+    "--snapshot (the chain base)", "--deltas", "--input"};
+
+/// --memory-mode heap|mmap: how a plain snapshot is brought to the query
+/// surface (heap materialization vs. zero-copy mapping of a v2 file).
+bool ParseMemoryMode(const ParsedArgs& parsed, SnapshotMemoryMode* mode,
+                     std::ostream& err) {
+  const std::string value = FlagOr(parsed, "memory-mode", "heap");
+  if (value == "heap") {
+    *mode = SnapshotMemoryMode::kHeap;
+  } else if (value == "mmap") {
+    *mode = SnapshotMemoryMode::kMmap;
+  } else {
+    err << "error: --memory-mode expects heap or mmap, got '" << value
+        << "'\n";
+    return false;
+  }
+  return true;
+}
+
 /// Loads --snapshot, resolving --deltas (a comma-separated chain of
 /// .nucdelta records) against `graph` when present. Shared by query,
 /// serve and update. `link` (optional) receives the chain endpoint for a
@@ -227,13 +253,20 @@ int CmdDecompose(const ParsedArgs& parsed, std::ostream& out,
                  std::ostream& err) {
   if (!CheckFlags(parsed,
                   {"input", "family", "algorithm", "threads", "out-json",
-                   "out-dot", "lambda", "out-snapshot", "snapshot-index"},
+                   "out-dot", "lambda", "out-snapshot", "snapshot-index",
+                   "snapshot-format"},
                   err)) {
     return 2;
   }
   const std::string input = FlagOr(parsed, "input", "");
   if (input.empty()) {
     err << "error: decompose requires --input\n";
+    return 2;
+  }
+  const std::string snapshot_format = FlagOr(parsed, "snapshot-format", "v1");
+  if (snapshot_format != "v1" && snapshot_format != "v2") {
+    err << "error: --snapshot-format expects v1 or v2, got '"
+        << snapshot_format << "'\n";
     return 2;
   }
   const StatusOr<Graph> graph = ReadEdgeList(input);
@@ -329,7 +362,11 @@ int CmdDecompose(const ParsedArgs& parsed, std::ostream& out,
     // snapshot instead of deep-copying a potentially huge tree.
     const SnapshotData snapshot =
         MakeSnapshot(*graph, options, std::move(result), snapshot_index != 0);
-    const Status status = SaveSnapshot(snapshot, snapshot_path);
+    // v2 always embeds the index tables (the lazy mmap reader depends on
+    // them), so --snapshot-index only shapes v1 output.
+    const Status status = snapshot_format == "v2"
+                              ? SaveSnapshotV2(snapshot, snapshot_path)
+                              : SaveSnapshot(snapshot, snapshot_path);
     if (!status.ok()) {
       err << "error: " << status.ToString() << "\n";
       return 1;
@@ -337,7 +374,10 @@ int CmdDecompose(const ParsedArgs& parsed, std::ostream& out,
     out << "wrote " << snapshot_path << " ("
         << snapshot.hierarchy.NumNodes() << " nodes, "
         << snapshot.meta.num_cliques << " cliques"
-        << (snapshot_index != 0 ? ", with index tables" : "") << ")\n";
+        << (snapshot_format == "v2"
+                ? ", v2 layout with index tables"
+                : (snapshot_index != 0 ? ", with index tables" : ""))
+        << ")\n";
   }
   return 0;
 }
@@ -519,7 +559,8 @@ int CmdSemiExternal(const ParsedArgs& parsed, std::ostream& out,
 }
 
 /// Acquires a query-ready engine from a .nucsnap file (--snapshot, the
-/// fast path), from a snapshot chain (--snapshot + --deltas + --input,
+/// fast path; --memory-mode picks heap materialization or a zero-copy
+/// mapping), from a snapshot chain (--snapshot + --deltas + --input,
 /// resolved through store/delta.h), or by decomposing --input from
 /// scratch. Returns nullptr after reporting to `err`.
 std::unique_ptr<QueryEngine> AcquireEngine(const ParsedArgs& parsed,
@@ -528,12 +569,27 @@ std::unique_ptr<QueryEngine> AcquireEngine(const ParsedArgs& parsed,
   const std::string snapshot_path = FlagOr(parsed, "snapshot", "");
   const std::string input = FlagOr(parsed, "input", "");
   const std::string deltas = FlagOr(parsed, "deltas", "");
+  SnapshotMemoryMode memory_mode = SnapshotMemoryMode::kHeap;
+  if (!ParseMemoryMode(parsed, &memory_mode, err)) {
+    *exit_code = 2;
+    return nullptr;
+  }
+  if (memory_mode == SnapshotMemoryMode::kMmap &&
+      (!deltas.empty() || !input.empty())) {
+    err << "error: --memory-mode mmap applies to a plain --snapshot only "
+           "(chain resolution and decomposition materialize heap state)\n";
+    *exit_code = 2;
+    return nullptr;
+  }
   if (!deltas.empty()) {
     // Chain resolution patches the base lambdas and rebuilds the (1,2)
-    // hierarchy of the final state, which needs the current graph.
-    if (snapshot_path.empty() || input.empty()) {
-      err << "error: --deltas requires --snapshot (the chain base) and "
-             "--input (the current graph)\n";
+    // hierarchy of the final state, which needs the current graph — the
+    // same trio rules every serving surface enforces, in CLI spelling.
+    if (Status s = CheckTenantTrio(parsed.command, snapshot_path,
+                                   SplitCommaList(deltas), input,
+                                   kCliTrioVocabulary);
+        !s.ok()) {
+      err << "error: " << s.message() << "\n";
       *exit_code = 2;
       return nullptr;
     }
@@ -557,7 +613,7 @@ std::unique_ptr<QueryEngine> AcquireEngine(const ParsedArgs& parsed,
       *exit_code = 1;
       return nullptr;
     }
-    return std::make_unique<QueryEngine>(std::move(*snapshot));
+    return QueryEngine::FromSnapshotData(std::move(*snapshot));
   }
   if (snapshot_path.empty() == input.empty()) {
     err << "error: provide exactly one of --snapshot or --input (or "
@@ -575,13 +631,14 @@ std::unique_ptr<QueryEngine> AcquireEngine(const ParsedArgs& parsed,
       *exit_code = 2;
       return nullptr;
     }
-    StatusOr<SnapshotData> snapshot = LoadSnapshot(snapshot_path);
-    if (!snapshot.ok()) {
-      err << "error: " << snapshot.status().ToString() << "\n";
+    StatusOr<std::shared_ptr<const SnapshotSource>> source =
+        OpenSnapshotSource(snapshot_path, memory_mode);
+    if (!source.ok()) {
+      err << "error: " << source.status().ToString() << "\n";
       *exit_code = 1;
       return nullptr;
     }
-    return std::make_unique<QueryEngine>(std::move(*snapshot));
+    return QueryEngine::FromSource(std::move(*source));
   }
   const StatusOr<Graph> graph = ReadEdgeList(input);
   if (!graph.ok()) {
@@ -610,14 +667,15 @@ std::unique_ptr<QueryEngine> AcquireEngine(const ParsedArgs& parsed,
     return nullptr;
   }
   DecompositionResult result = Decompose(*graph, options);
-  return std::make_unique<QueryEngine>(
+  return QueryEngine::FromSnapshotData(
       MakeSnapshot(*graph, options, std::move(result), /*with_index=*/false));
 }
 
 int CmdQuery(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   if (!CheckFlags(parsed,
                   {"input", "snapshot", "deltas", "family", "algorithm",
-                   "threads", "u", "v", "k", "top", "out-json"},
+                   "threads", "u", "v", "k", "top", "out-json",
+                   "memory-mode"},
                   err)) {
     return 2;
   }
@@ -1028,7 +1086,7 @@ int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   if (!CheckFlags(parsed,
                   {"snapshot", "deltas", "input", "queries", "out", "threads",
                    "batch", "registry", "budget-mb", "listen", "max-conns",
-                   "high-water"},
+                   "high-water", "memory-mode"},
                   err)) {
     return 2;
   }
@@ -1052,9 +1110,24 @@ int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
            "snapshot is always resident)\n";
     return 2;
   }
-  if (!deltas.empty() && input.empty()) {
-    err << "error: --deltas requires --input (the current graph)\n";
+  SnapshotMemoryMode memory_mode = SnapshotMemoryMode::kHeap;
+  if (!ParseMemoryMode(parsed, &memory_mode, err)) return 2;
+  if (memory_mode == SnapshotMemoryMode::kMmap &&
+      (!input.empty() || !deltas.empty())) {
+    err << "error: --memory-mode mmap serves read-only snapshots only "
+           "(chain resolution and live updates materialize heap state)\n";
     return 2;
+  }
+  if (registry_path.empty()) {
+    // The same snapshot/deltas/graph rules the manifest and the attach
+    // verb enforce, spelled in CLI flags.
+    if (Status s = CheckTenantTrio(parsed.command, snapshot_path,
+                                   SplitCommaList(deltas), input,
+                                   kCliTrioVocabulary);
+        !s.ok()) {
+      err << "error: " << s.message() << "\n";
+      return 2;
+    }
   }
   ServeOptions options;
   std::int64_t batch = 256;
@@ -1130,6 +1203,9 @@ int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
     }
     RegistryOptions registry_options;
     registry_options.memory_budget_bytes = budget_mb * (1 << 20);
+    // Read-only tenants honor the mode (mmap maps v2 files zero-copy);
+    // live tenants always load heap — the registry sorts that out.
+    registry_options.memory_mode = memory_mode;
     SnapshotRegistry registry(registry_options);
     if (Status s = registry.AttachManifest(*manifest); !s.ok()) {
       err << "error: " << s.ToString() << "\n";
@@ -1169,55 +1245,97 @@ int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
     graph = std::move(*loaded);
   }
 
-  std::optional<ChainLink> link;
-  StatusOr<SnapshotData> snapshot = LoadSnapshotOrChain(
-      snapshot_path, deltas, graph.has_value() ? &*graph : nullptr, &link);
-  if (!snapshot.ok()) {
-    err << "error: " << snapshot.status().ToString() << "\n";
-    return 1;
-  }
-
   std::unique_ptr<LiveUpdater> updater;
-  if (graph.has_value()) {
-    StatusOr<std::unique_ptr<LiveUpdater>> created =
-        LiveUpdater::Create(*graph, *snapshot, link);
-    if (!created.ok()) {
-      err << "error: " << created.status().ToString() << "\n";
+  std::unique_ptr<QueryEngine> engine;
+  if (!graph.has_value() && deltas.empty()) {
+    // Read-only session: the source honors --memory-mode (mmap serves a
+    // v2 file zero-copy; a v1 file falls back to heap).
+    StatusOr<std::shared_ptr<const SnapshotSource>> source =
+        OpenSnapshotSource(snapshot_path, memory_mode);
+    if (!source.ok()) {
+      err << "error: " << source.status().ToString() << "\n";
       return 1;
     }
-    updater = std::move(*created);
+    engine = QueryEngine::FromSource(std::move(*source));
+  } else {
+    std::optional<ChainLink> link;
+    StatusOr<SnapshotData> snapshot = LoadSnapshotOrChain(
+        snapshot_path, deltas, graph.has_value() ? &*graph : nullptr, &link);
+    if (!snapshot.ok()) {
+      err << "error: " << snapshot.status().ToString() << "\n";
+      return 1;
+    }
+    if (graph.has_value()) {
+      StatusOr<std::unique_ptr<LiveUpdater>> created =
+          LiveUpdater::Create(*graph, *snapshot, link);
+      if (!created.ok()) {
+        err << "error: " << created.status().ToString() << "\n";
+        return 1;
+      }
+      updater = std::move(*created);
+    }
+    engine = QueryEngine::FromSnapshotData(std::move(*snapshot));
   }
-
-  QueryEngine engine(std::move(*snapshot));
   if (!open_streams()) return 1;
-  err << "serving " << FamilyName(engine.meta().family) << " snapshot: "
-      << engine.meta().num_cliques << " cliques, "
-      << engine.hierarchy().NumNuclei() << " nuclei, max lambda "
-      << engine.meta().max_lambda << ", threads "
+  err << "serving " << FamilyName(engine->meta().family) << " snapshot: "
+      << engine->meta().num_cliques << " cliques, "
+      << engine->NumNuclei() << " nuclei, max lambda "
+      << engine->meta().max_lambda << ", threads "
       << options.parallel.ResolvedThreads()
-      << (updater != nullptr ? ", updates enabled" : "") << "\n";
+      << (updater != nullptr ? ", updates enabled" : "")
+      << (engine->MappedBytes() > 0 ? ", mmap" : "") << "\n";
 
   if (listen) {
     tcp_options.serve = options;
-    return RunTcpServe(MakeEngineResolver(engine, updater.get()), nullptr,
+    return RunTcpServe(MakeEngineResolver(*engine, updater.get()), nullptr,
                        tcp_options, out, err);
   }
-  const ServeStats stats =
-      ServeRequests(engine, updater.get(), in_stream(), out_stream(), options);
+  const ServeStats stats = ServeRequests(*engine, updater.get(), in_stream(),
+                                         out_stream(), options);
   err << "served " << stats.requests << " requests (" << stats.errors
       << " errors, " << stats.updates << " updates) in " << stats.batches
       << " batches\n";
   return 0;
 }
 
+/// Rewrites a snapshot (either version) in the v2 mmap-friendly layout.
+/// Lossless and idempotent: a v2 input round-trips, a v1 input gains the
+/// embedded index tables, member store and density ranking.
+int CmdSnapshotUpgrade(const ParsedArgs& parsed, std::ostream& out,
+                       std::ostream& err) {
+  if (!CheckFlags(parsed, {"snapshot", "out"}, err)) return 2;
+  const std::string in_path = FlagOr(parsed, "snapshot", "");
+  const std::string out_path = FlagOr(parsed, "out", "");
+  if (in_path.empty() || out_path.empty()) {
+    err << "error: snapshot-upgrade requires --snapshot (the v1 or v2 "
+           "input) and --out (the v2 result)\n";
+    return 2;
+  }
+  const StatusOr<std::uint32_t> version = ReadSnapshotVersion(in_path);
+  if (!version.ok()) {
+    err << "error: " << version.status().ToString() << "\n";
+    return 1;
+  }
+  if (Status s = UpgradeSnapshot(in_path, out_path); !s.ok()) {
+    err << "error: " << s.ToString() << "\n";
+    return 1;
+  }
+  out << "upgraded " << in_path << " (v" << *version << ") -> " << out_path
+      << " (v2)\n";
+  return 0;
+}
+
 void PrintUsage(std::ostream& err) {
   err << "usage: nucleus_cli <decompose | stats | generate | convert | "
-         "semi-external | query | serve | connect | update> "
-         "[--flag value]...\n"
+         "semi-external | query | serve | connect | update | "
+         "snapshot-upgrade> [--flag value]...\n"
       << "  decompose     --input F [--family core|truss|34] "
          "[--algorithm fnd|dft|lcps] [--threads N] [--out-json F] "
          "[--out-dot F] [--lambda F]\n"
-      << "                [--out-snapshot F.nucsnap [--snapshot-index 0|1]]\n"
+      << "                [--out-snapshot F.nucsnap [--snapshot-index 0|1] "
+         "[--snapshot-format v1|v2]]\n"
+      << "                (--snapshot-format v2 writes the mmap-friendly "
+         "sectioned layout; v2 always embeds index tables)\n"
       << "  stats         --input F\n"
       << "  generate      --type er|ba|rmat|ws|planted|caveman --out F "
          "[--n N] [--param P] [--seed S]\n"
@@ -1226,10 +1344,14 @@ void PrintUsage(std::ostream& err) {
          "[--temp DIR]\n"
       << "  query         (--snapshot F.nucsnap [--deltas D1,D2 --input F] "
          "| --input F [--family ...] [--algorithm ...]) "
+         "[--memory-mode heap|mmap] "
          "--u A [--v B | --k K] [--top N] [--out-json F]\n"
       << "  serve         (--snapshot F.nucsnap [--deltas D1,D2] [--input F] "
-         "| --registry M [--budget-mb N]) "
+         "| --registry M [--budget-mb N]) [--memory-mode heap|mmap] "
          "[--queries F] [--out F] [--threads N] [--batch N]\n"
+      << "                (--memory-mode mmap serves a v2 snapshot "
+         "zero-copy from a file mapping — read-only surfaces only; live "
+         "tenants and chains stay heap)\n"
       << "                (--input pairs the graph and enables the "
          "'update u v +|-' protocol verb; (1,2) snapshots only)\n"
       << "                (--registry serves many tenants from a manifest: "
@@ -1252,6 +1374,9 @@ void PrintUsage(std::ostream& err) {
          "[--out-delta D.nucdelta]\n"
       << "                (edit lines: '+ u v' inserts, '- u v' removes; "
          "see store/README.md for the chain format)\n"
+      << "  snapshot-upgrade --snapshot F.nucsnap --out G.nucsnap\n"
+      << "                (rewrites a v1 or v2 snapshot in the v2 layout; "
+         "lossless — the result answers byte-identically)\n"
       << "query/serve ids are K_r ids of the decomposition's family: "
          "vertex ids (core), edge ids (truss), triangle ids (34)\n";
 }
@@ -1276,6 +1401,9 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (parsed.command == "serve") return CmdServe(parsed, out, err);
   if (parsed.command == "connect") return CmdConnect(parsed, out, err);
   if (parsed.command == "update") return CmdUpdate(parsed, out, err);
+  if (parsed.command == "snapshot-upgrade") {
+    return CmdSnapshotUpgrade(parsed, out, err);
+  }
   err << "error: unknown command '" << parsed.command << "'\n";
   PrintUsage(err);
   return 2;

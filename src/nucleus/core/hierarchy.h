@@ -74,6 +74,12 @@ class NucleusHierarchy {
   /// Deepest-node id of the K_r u: the node of u's maximum k-(r,s) nucleus.
   std::int32_t NodeOfClique(CliqueId u) const { return node_of_clique_[u]; }
 
+  /// The whole clique→node assignment as a flat array (serializers and
+  /// SnapshotSource views read it without a per-clique copy).
+  const std::vector<std::int32_t>& NodeOfCliqueArray() const {
+    return node_of_clique_;
+  }
+
   /// Node ids from NodeOfClique(u) up to (and including) the root: the
   /// chain of nuclei containing u, densest first.
   std::vector<std::int32_t> AncestorChain(CliqueId u) const;

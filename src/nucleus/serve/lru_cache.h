@@ -31,13 +31,18 @@ struct LruCacheStats {
   /// behaviour observable: entries stays bounded by capacity while
   /// `evictions` counts the overflow.
   std::int64_t entries = 0;
+  /// Estimated bytes of the resident entries (a gauge, like `entries`).
+  /// For an mmap-served tenant this is the engine's whole heap-resident
+  /// hot set, so the stats verb reports it per tenant.
+  std::int64_t bytes = 0;
 
   /// Merges COUNTERS from `other` into this. Used to keep one logical
   /// stats stream per tenant across cache generations (the snapshot
   /// registry accumulates a retiring engine's counters before dropping
-  /// it). `entries` is a gauge of a live cache, not a counter: a retired
-  /// cache's entries are gone, so Add deliberately leaves it alone and
-  /// aggregators set it from the currently resident cache only.
+  /// it). `entries` / `bytes` are gauges of a live cache, not counters: a
+  /// retired cache's entries are gone, so Add deliberately leaves them
+  /// alone and aggregators set them from the currently resident cache
+  /// only.
   void Add(const LruCacheStats& other) {
     hits += other.hits;
     misses += other.misses;
@@ -45,13 +50,34 @@ struct LruCacheStats {
   }
 };
 
+/// Byte cost of a cached value, for the cache's optional byte budget. The
+/// generic overload prices the object header only; containers get the
+/// overloads below. Callers caching a new value type with meaningful
+/// out-of-line storage should add an overload next to these.
+template <typename V>
+std::int64_t LruEntryBytes(const V&) {
+  return static_cast<std::int64_t>(sizeof(V));
+}
+
+template <typename T>
+std::int64_t LruEntryBytes(const std::vector<T>& value) {
+  return static_cast<std::int64_t>(sizeof(std::vector<T>)) +
+         static_cast<std::int64_t>(value.capacity()) *
+             static_cast<std::int64_t>(sizeof(T));
+}
+
 template <typename K, typename V>
 class ShardedLruCache {
  public:
   /// `entries_per_shard` >= 1; `num_shards` >= 1 (rounded up to a power of
-  /// two so shard selection is a mask).
-  ShardedLruCache(std::size_t entries_per_shard, std::size_t num_shards)
-      : capacity_(entries_per_shard >= 1 ? entries_per_shard : 1) {
+  /// two so shard selection is a mask). `max_bytes_per_shard` adds an
+  /// optional byte budget (0 = entry capacity only): a shard over EITHER
+  /// limit evicts from the LRU end, but never below one entry, so a single
+  /// oversized materialization is still served and cached.
+  ShardedLruCache(std::size_t entries_per_shard, std::size_t num_shards,
+                  std::size_t max_bytes_per_shard = 0)
+      : capacity_(entries_per_shard >= 1 ? entries_per_shard : 1),
+        max_bytes_(static_cast<std::int64_t>(max_bytes_per_shard)) {
     std::size_t shards = 1;
     while (shards < num_shards) shards <<= 1;
     shards_ = std::vector<Shard>(shards);
@@ -94,7 +120,11 @@ class ShardedLruCache {
     }
     shard.order.emplace_front(key, std::move(value));
     shard.map.emplace(key, shard.order.begin());
-    if (shard.map.size() > capacity_) {
+    shard.bytes += LruEntryBytes(*shard.order.front().second);
+    while (shard.map.size() > 1 &&
+           (shard.map.size() > capacity_ ||
+            (max_bytes_ > 0 && shard.bytes > max_bytes_))) {
+      shard.bytes -= LruEntryBytes(*shard.order.back().second);
       shard.map.erase(shard.order.back().first);
       shard.order.pop_back();
       ++shard.stats.evictions;
@@ -111,6 +141,7 @@ class ShardedLruCache {
       total.misses += shard.stats.misses;
       total.evictions += shard.stats.evictions;
       total.entries += static_cast<std::int64_t>(shard.map.size());
+      total.bytes += shard.bytes;
     }
     return total;
   }
@@ -124,6 +155,7 @@ class ShardedLruCache {
     std::list<Entry> order;  // most-recently-used first
     std::unordered_map<K, typename std::list<Entry>::iterator> map;
     LruCacheStats stats;
+    std::int64_t bytes = 0;  // resident entry bytes (LruEntryBytes sum)
   };
 
   Shard& ShardOf(const K& key) {
@@ -131,6 +163,7 @@ class ShardedLruCache {
   }
 
   const std::size_t capacity_;
+  const std::int64_t max_bytes_;
   std::vector<Shard> shards_;
 };
 

@@ -19,61 +19,62 @@ Status InvalidClique(const char* what, std::int64_t value,
 }  // namespace
 
 std::shared_ptr<QueryEngine::State> QueryEngine::BuildState(
-    SnapshotData snapshot, std::uint64_t epoch) {
+    std::shared_ptr<const SnapshotSource> source, std::uint64_t epoch) {
   auto state = std::make_shared<State>();
-  state->snapshot = std::move(snapshot);
+  state->view = MakeSourceView(*source);
+  state->source = std::move(source);
   state->epoch = epoch;
-  if (state->snapshot.has_index) {
-    state->index.emplace(state->snapshot.hierarchy,
-                         std::move(state->snapshot.index_tables));
-  } else {
-    state->index.emplace(state->snapshot.hierarchy);
-  }
-  const NucleusHierarchy& h = state->snapshot.hierarchy;
-  state->density_ranking.reserve(static_cast<std::size_t>(h.NumNuclei()));
-  for (std::int32_t id = 0; id < h.NumNodes(); ++id) {
-    if (h.node(id).lambda >= 1) state->density_ranking.push_back(id);
-  }
-  std::sort(state->density_ranking.begin(), state->density_ranking.end(),
-            [&h](std::int32_t a, std::int32_t b) {
-              if (h.node(a).lambda != h.node(b).lambda) {
-                return h.node(a).lambda > h.node(b).lambda;
-              }
-              return a < b;
-            });
   return state;
 }
 
-QueryEngine::QueryEngine(SnapshotData snapshot,
+QueryEngine::QueryEngine(std::shared_ptr<const SnapshotSource> source,
                          const QueryEngineOptions& options)
-    : state_(BuildState(std::move(snapshot), 0)),
-      members_cache_(options.cache_entries_per_shard, options.cache_shards) {}
+    : state_(BuildState(std::move(source), 0)),
+      members_cache_(options.cache_entries_per_shard, options.cache_shards,
+                     options.cache_bytes_per_shard) {}
+
+std::unique_ptr<QueryEngine> QueryEngine::FromSource(
+    std::shared_ptr<const SnapshotSource> source,
+    const QueryEngineOptions& options) {
+  NUCLEUS_CHECK_MSG(source != nullptr, "FromSource requires a source");
+  return std::unique_ptr<QueryEngine>(
+      new QueryEngine(std::move(source), options));
+}
+
+std::unique_ptr<QueryEngine> QueryEngine::FromSnapshotData(
+    SnapshotData snapshot, const QueryEngineOptions& options) {
+  return FromSource(std::make_shared<HeapSource>(std::move(snapshot)),
+                    options);
+}
 
 std::shared_ptr<const QueryEngine::State> QueryEngine::CurrentState() const {
   std::shared_lock<std::shared_mutex> lock(state_mutex_);
   return state_;
 }
 
-Status QueryEngine::ApplyUpdate(SnapshotData snapshot) {
+Status QueryEngine::ApplyUpdate(std::shared_ptr<const SnapshotSource> source) {
+  if (source == nullptr) {
+    return Status::InvalidArgument("update source is null");
+  }
   const std::shared_ptr<const State> current = CurrentState();
-  const SnapshotMeta& now = current->snapshot.meta;
-  if (snapshot.meta.family != now.family) {
+  const SnapshotMeta& now = current->source->meta();
+  if (source->meta().family != now.family) {
     return Status::InvalidArgument(
         "update snapshot family does not match the served snapshot");
   }
-  if (snapshot.meta.num_vertices != now.num_vertices ||
-      snapshot.meta.num_cliques != now.num_cliques) {
+  if (source->meta().num_vertices != now.num_vertices ||
+      source->meta().num_cliques != now.num_cliques) {
     return Status::InvalidArgument(
         "update snapshot describes a different K_r id space "
         "(vertex or clique count changed)");
   }
   // Build outside the lock: readers keep answering on the old state while
-  // the index and ranking come up. The epoch advances monotonically even
-  // across racing writers (each bases its epoch on the state it read and
-  // the swap is last-writer-wins, which is the semantics of concurrent
-  // updates anyway).
+  // the next one comes up. The epoch advances monotonically even across
+  // racing writers (each bases its epoch on the state it read and the swap
+  // is last-writer-wins, which is the semantics of concurrent updates
+  // anyway).
   std::shared_ptr<State> next =
-      BuildState(std::move(snapshot), current->epoch + 1);
+      BuildState(std::move(source), current->epoch + 1);
   {
     std::unique_lock<std::shared_mutex> lock(state_mutex_);
     if (state_->epoch >= next->epoch) {
@@ -86,19 +87,32 @@ Status QueryEngine::ApplyUpdate(SnapshotData snapshot) {
   return Status::Ok();
 }
 
+Status QueryEngine::ApplyUpdate(SnapshotData snapshot) {
+  // The heap construction (index tables, ranking, flat arrays) happens
+  // here, before the writer lock is ever taken.
+  return ApplyUpdate(std::shared_ptr<const SnapshotSource>(
+      std::make_shared<HeapSource>(std::move(snapshot))));
+}
+
 std::int64_t QueryEngine::UpdateEpoch() const {
   return static_cast<std::int64_t>(CurrentState()->epoch);
 }
 
 QueryEngine::NucleusRef QueryEngine::MakeRef(const State& state,
                                              std::int32_t node) const {
-  const auto& n = state.snapshot.hierarchy.node(node);
-  return {node, n.lambda, n.subtree_members};
+  return {node, state.view.node_lambda[node],
+          state.source->SubtreeSize(node)};
 }
 
 QueryEngine::Response QueryEngine::RunOnState(const State& state,
                                               const Query& query) const {
-  const std::int64_t num_cliques = state.snapshot.meta.num_cliques;
+  const std::int64_t num_cliques = state.source->meta().num_cliques;
+  // Argument validation first (the error strings are part of the serving
+  // contract), then the source's lazy verification for the sections this
+  // query kind reads; a corrupt section answers as an error Response.
+  const auto ensure = [&state](std::uint32_t needs) {
+    return state.source->Ensure(needs);
+  };
   Response response;
   switch (query.kind) {
     case QueryKind::kLambda: {
@@ -106,8 +120,12 @@ QueryEngine::Response QueryEngine::RunOnState(const State& state,
         response.status = InvalidClique("clique", query.a, num_cliques);
         return response;
       }
+      if (Status s = ensure(kNeedLookup); !s.ok()) {
+        response.status = s;
+        return response;
+      }
       response.lambda =
-          state.snapshot.peel.lambda[static_cast<std::size_t>(query.a)];
+          state.view.clique_lambda[static_cast<std::size_t>(query.a)];
       return response;
     }
     case QueryKind::kNucleus: {
@@ -115,14 +133,20 @@ QueryEngine::Response QueryEngine::RunOnState(const State& state,
         response.status = InvalidClique("clique", query.a, num_cliques);
         return response;
       }
-      if (query.b < 1 || query.b > state.snapshot.meta.max_lambda) {
+      if (query.b < 1 || query.b > state.source->meta().max_lambda) {
         response.status = Status::InvalidArgument(
             "k " + std::to_string(query.b) + " out of range [1, " +
-            std::to_string(state.snapshot.meta.max_lambda) + "]");
+            std::to_string(state.source->meta().max_lambda) + "]");
         return response;
       }
-      const std::int32_t node = state.index->NucleusAtLevel(
-          static_cast<CliqueId>(query.a), static_cast<Lambda>(query.b));
+      if (Status s = ensure(kNeedLookup | kNeedIndex | kNeedSizes);
+          !s.ok()) {
+        response.status = s;
+        return response;
+      }
+      const std::int32_t node =
+          ViewNucleusAtLevel(state.view, static_cast<CliqueId>(query.a),
+                             static_cast<Lambda>(query.b));
       if (node != kInvalidId) {
         response.found = true;
         response.nucleus = MakeRef(state, node);
@@ -139,8 +163,14 @@ QueryEngine::Response QueryEngine::RunOnState(const State& state,
         response.status = InvalidClique("clique", query.b, num_cliques);
         return response;
       }
-      const std::int32_t node = state.index->SmallestCommonNucleus(
-          static_cast<CliqueId>(query.a), static_cast<CliqueId>(query.b));
+      if (Status s = ensure(kNeedLookup | kNeedIndex | kNeedSizes);
+          !s.ok()) {
+        response.status = s;
+        return response;
+      }
+      const std::int32_t node = ViewSmallestCommonNucleus(
+          state.view, static_cast<CliqueId>(query.a),
+          static_cast<CliqueId>(query.b));
       if (node != kInvalidId) {
         response.found = true;
         response.nucleus = MakeRef(state, node);
@@ -154,21 +184,28 @@ QueryEngine::Response QueryEngine::RunOnState(const State& state,
             Status::InvalidArgument("top count must be non-negative");
         return response;
       }
+      if (Status s = ensure(kNeedRanking | kNeedSizes); !s.ok()) {
+        response.status = s;
+        return response;
+      }
       const std::int64_t count = std::min(
-          query.a,
-          static_cast<std::int64_t>(state.density_ranking.size()));
+          query.a, static_cast<std::int64_t>(state.view.ranking.size()));
       response.top.reserve(static_cast<std::size_t>(count));
       for (std::int64_t i = 0; i < count; ++i) {
         response.top.push_back(MakeRef(
-            state, state.density_ranking[static_cast<std::size_t>(i)]));
+            state, state.view.ranking[static_cast<std::size_t>(i)]));
       }
       return response;
     }
     case QueryKind::kMembers: {
-      if (query.a < 0 || query.a >= state.snapshot.hierarchy.NumNodes()) {
+      if (query.a < 0 || query.a >= state.source->NumNodes()) {
         response.status = Status::InvalidArgument(
             "node id " + std::to_string(query.a) + " out of range [0, " +
-            std::to_string(state.snapshot.hierarchy.NumNodes()) + ")");
+            std::to_string(state.source->NumNodes()) + ")");
+        return response;
+      }
+      if (Status s = ensure(kNeedSizes | kNeedMembers); !s.ok()) {
+        response.status = s;
         return response;
       }
       response.nucleus = MakeRef(state, static_cast<std::int32_t>(query.a));
@@ -207,13 +244,14 @@ std::vector<QueryEngine::Response> QueryEngine::RunBatch(
 std::vector<QueryEngine::NucleusRef> QueryEngine::TopKDensest(
     std::int64_t k) const {
   const std::shared_ptr<const State> state = CurrentState();
-  const std::int64_t count = std::min(
-      k, static_cast<std::int64_t>(state->density_ranking.size()));
+  if (!state->source->Ensure(kNeedRanking | kNeedSizes).ok()) return {};
+  const std::int64_t count =
+      std::min(k, static_cast<std::int64_t>(state->view.ranking.size()));
   std::vector<NucleusRef> out;
   out.reserve(static_cast<std::size_t>(count));
   for (std::int64_t i = 0; i < count; ++i) {
     out.push_back(MakeRef(
-        *state, state->density_ranking[static_cast<std::size_t>(i)]));
+        *state, state->view.ranking[static_cast<std::size_t>(i)]));
   }
   return out;
 }
@@ -223,13 +261,17 @@ std::shared_ptr<const std::vector<CliqueId>> QueryEngine::MembersOnState(
   const std::uint64_t key =
       (state.epoch << 32) | static_cast<std::uint32_t>(node);
   return members_cache_.GetOrCompute(key, [&state, node] {
-    return state.snapshot.hierarchy.MembersOfSubtree(node);
+    return state.source->MaterializeMembers(node);
   });
 }
 
 std::shared_ptr<const std::vector<CliqueId>> QueryEngine::Members(
     std::int32_t node) const {
   const std::shared_ptr<const State> state = CurrentState();
+  if (node < 0 || node >= state->source->NumNodes() ||
+      !state->source->Ensure(kNeedSizes | kNeedMembers).ok()) {
+    return nullptr;
+  }
   return MembersOnState(*state, node);
 }
 

@@ -2,18 +2,27 @@
 // loaded snapshot — the downstream payoff the paper promises ("community
 // search becomes a tree lookup") turned into a service component.
 //
-// The engine owns a SnapshotData (hierarchy + lambdas + jump tables) and
-// answers the community-search vocabulary:
+// The engine answers the community-search vocabulary over a
+// SnapshotSource (store/snapshot_source.h):
 //
 //   * lambda(u)                     — peeling number of the K_r u;
 //   * nucleus(u, k)                 — the k-(r,s) nucleus containing u
-//                                     (HierarchyIndex::NucleusAtLevel);
+//                                     (binary lifting over the source's
+//                                     jump tables);
 //   * common(u, v) / level(u, v)    — smallest common nucleus / its k;
 //   * top(k)                        — the k densest nuclei (max lambda
 //                                     first, precomputed ranking);
 //   * members(node)                 — full member materialization of one
 //                                     nucleus subtree, memoized in a
-//                                     sharded LRU cache.
+//                                     sharded, byte-budgeted LRU cache.
+//
+// Construction goes through factories: FromSource serves any
+// SnapshotSource — a HeapSource (v1 semantics, everything resident) or an
+// MmapSource (zero-copy spans over a mapped v2 file; sections verify
+// lazily on the first query that needs them, members page in through the
+// LRU cache, which is then the engine's only heap-resident hot set).
+// FromSnapshotData wraps the data in a HeapSource — the tests' and
+// LiveUpdater's path.
 //
 // Since PR 4 the engine is UPDATABLE: ApplyUpdate swaps in the state of an
 // edited graph (produced by serve/live_update.h from the incremental
@@ -29,29 +38,34 @@
 //
 // Unlike the core-layer HierarchyIndex (which NUCLEUS_CHECKs its inputs),
 // the engine treats queries as untrusted network input: out-of-range ids
-// and invalid parameters come back as error Responses, never aborts.
+// and invalid parameters come back as error Responses, never aborts — and
+// a lazily detected corrupt section of an mmap source surfaces the same
+// way, as an error Response on the queries that need that section.
 #ifndef NUCLEUS_SERVE_QUERY_ENGINE_H_
 #define NUCLEUS_SERVE_QUERY_ENGINE_H_
 
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <shared_mutex>
 #include <vector>
 
-#include "nucleus/core/hierarchy_index.h"
 #include "nucleus/parallel/thread_pool.h"
 #include "nucleus/serve/lru_cache.h"
 #include "nucleus/store/snapshot.h"
+#include "nucleus/store/snapshot_source.h"
 #include "nucleus/util/status.h"
 
 namespace nucleus {
 
 struct QueryEngineOptions {
-  /// Member-materialization cache: total capacity is
+  /// Member-materialization cache: total entry capacity is
   /// cache_shards * cache_entries_per_shard subtree member lists.
   std::size_t cache_shards = 8;
   std::size_t cache_entries_per_shard = 64;
+  /// Byte budget per cache shard (0 = entry-capacity only). For mmap
+  /// sources the member cache is the only heap-resident hot set, so this
+  /// is the knob that bounds a tenant's RSS.
+  std::size_t cache_bytes_per_shard = 0;
 };
 
 class QueryEngine {
@@ -89,36 +103,54 @@ class QueryEngine {
     std::shared_ptr<const std::vector<CliqueId>> members;
   };
 
-  /// Takes ownership of the snapshot. If it carries index tables they are
-  /// adopted verbatim; otherwise the HierarchyIndex is built here once.
-  explicit QueryEngine(SnapshotData snapshot,
-                       const QueryEngineOptions& options = {});
+  /// Serves an already-open source (heap or mmap). The engine shares
+  /// ownership; a source may back several engines.
+  static std::unique_ptr<QueryEngine> FromSource(
+      std::shared_ptr<const SnapshotSource> source,
+      const QueryEngineOptions& options = {});
+
+  /// Wraps `snapshot` in a HeapSource (v1 bulk-read semantics, index
+  /// tables adopted or built here once) — the path tests and the live
+  /// update pipeline use.
+  static std::unique_ptr<QueryEngine> FromSnapshotData(
+      SnapshotData snapshot, const QueryEngineOptions& options = {});
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
-  /// Accessors into the CURRENT state. The returned references stay valid
-  /// until the next ApplyUpdate (the engine keeps the current state
-  /// alive); callers that run concurrently with updates must not hold
-  /// them across an update boundary — query via Run/RunBatch instead,
+  /// Metadata of the CURRENT state. Stays valid until the next
+  /// ApplyUpdate; callers racing updates should query via Run/RunBatch,
   /// which pin the state they answer from.
-  const SnapshotMeta& meta() const { return CurrentState()->snapshot.meta; }
-  const NucleusHierarchy& hierarchy() const {
-    return CurrentState()->snapshot.hierarchy;
-  }
-  const HierarchyIndex& index() const { return *CurrentState()->index; }
+  const SnapshotMeta& meta() const { return CurrentState()->source->meta(); }
   std::int64_t NumCliques() const {
-    return CurrentState()->snapshot.meta.num_cliques;
+    return CurrentState()->source->meta().num_cliques;
+  }
+  std::int32_t NumNodes() const {
+    return CurrentState()->source->NumNodes();
+  }
+  std::int64_t NumNuclei() const {
+    return CurrentState()->source->NumNuclei();
+  }
+  /// Current source's memory split (registry accounting / stats verb).
+  std::int64_t HeapBytes() const {
+    return CurrentState()->source->HeapBytes();
+  }
+  std::int64_t MappedBytes() const {
+    return CurrentState()->source->MappedBytes();
   }
 
-  /// Swaps in the state of an edited graph. `snapshot` must describe the
-  /// same family and K_r id space layout as the current state (for (1,2):
-  /// the same vertex count) — anything else is a pairing error and returns
-  /// InvalidArgument without touching the served state. Index tables and
-  /// the density ranking are built OUTSIDE the writer lock; the swap
-  /// itself is a pointer assignment, so readers are stalled for
-  /// nanoseconds, not for the rebuild. In-flight readers finish on the
-  /// state they captured; their member-cache entries age out by epoch.
+  /// Swaps in a new source. The source must describe the same family and
+  /// K_r id space layout as the current state (for (1,2): the same vertex
+  /// count) — anything else is a pairing error and returns InvalidArgument
+  /// without touching the served state. The swap itself is a pointer
+  /// assignment, so readers are stalled for nanoseconds. In-flight readers
+  /// finish on the state they captured; their member-cache entries age out
+  /// by epoch.
+  Status ApplyUpdate(std::shared_ptr<const SnapshotSource> source);
+
+  /// Convenience overload: wraps the post-state of an edit batch (the
+  /// LiveUpdater product) in a HeapSource. Index tables and the density
+  /// ranking are built OUTSIDE the writer lock.
   Status ApplyUpdate(SnapshotData snapshot);
 
   /// Number of state swaps applied so far (telemetry; initial state is 0).
@@ -147,21 +179,21 @@ class QueryEngine {
   LruCacheStats CacheStats() const { return members_cache_.Stats(); }
 
  private:
-  /// Everything a query touches, immutable once published. Heap-allocated
-  /// so the HierarchyIndex's internal pointer to the hierarchy survives
-  /// publication (the State never moves after construction).
+  /// Everything a query touches, immutable once published. The SourceView
+  /// captures the source's spans once, so the per-query hot path does no
+  /// virtual dispatch.
   struct State {
-    SnapshotData snapshot;
-    std::optional<HierarchyIndex> index;  // bound to snapshot.hierarchy
-    /// lambda >= 1 nodes sorted by (lambda desc, id asc); TopKDensest
-    /// serves prefixes of this.
-    std::vector<std::int32_t> density_ranking;
+    std::shared_ptr<const SnapshotSource> source;
+    SourceView view;
     /// Cache-key prefix: entries of retired states become unreachable.
     std::uint64_t epoch = 0;
   };
 
-  static std::shared_ptr<State> BuildState(SnapshotData snapshot,
-                                           std::uint64_t epoch);
+  QueryEngine(std::shared_ptr<const SnapshotSource> source,
+              const QueryEngineOptions& options);
+
+  static std::shared_ptr<State> BuildState(
+      std::shared_ptr<const SnapshotSource> source, std::uint64_t epoch);
   std::shared_ptr<const State> CurrentState() const;
 
   Response RunOnState(const State& state, const Query& query) const;

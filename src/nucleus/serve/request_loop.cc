@@ -464,13 +464,17 @@ Status RequestProcessor::RunAdmin(const RoutedServeLine& parsed) {
              << ", \"updates\": " << tenant_stats->updates
              << ", \"pins\": " << tenant_stats->pins
              << ", \"resident_bytes\": " << tenant_stats->resident_bytes
+             << ", \"heap_bytes\": " << tenant_stats->heap_bytes
+             << ", \"mapped_bytes\": " << tenant_stats->mapped_bytes
              << ", \"cache\": {\"hits\": " << tenant_stats->cache.hits
              << ", \"misses\": " << tenant_stats->cache.misses
              << ", \"evictions\": " << tenant_stats->cache.evictions
-             << ", \"entries\": " << tenant_stats->cache.entries << "}}";
+             << ", \"entries\": " << tenant_stats->cache.entries
+             << ", \"bytes\": " << tenant_stats->cache.bytes << "}}";
       }
       out_ << "], \"registry\": {\"tenants\": " << summary.tenants
            << ", \"resident_bytes\": " << summary.resident_bytes
+           << ", \"mapped_bytes\": " << summary.mapped_bytes
            << ", \"budget_bytes\": " << summary.budget_bytes
            << ", \"detaches\": " << summary.detaches
            << ", \"detached_cache\": {\"hits\": "

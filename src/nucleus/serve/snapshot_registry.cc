@@ -6,6 +6,7 @@
 
 #include "nucleus/graph/edge_list_io.h"
 #include "nucleus/store/delta.h"
+#include "nucleus/store/snapshot_source.h"
 
 namespace nucleus {
 namespace {
@@ -28,25 +29,7 @@ std::int64_t EstimateLiveBytes(const Graph& g) {
 }  // namespace
 
 std::int64_t EstimateResidentBytes(const SnapshotData& snapshot) {
-  const NucleusHierarchy& h = snapshot.hierarchy;
-  std::int64_t bytes = 0;
-  bytes += static_cast<std::int64_t>(snapshot.peel.lambda.size()) *
-           sizeof(Lambda);
-  bytes += h.NumCliques() * sizeof(std::int32_t);  // node_of_clique
-  for (std::int32_t id = 0; id < h.NumNodes(); ++id) {
-    const auto& node = h.node(id);
-    bytes += static_cast<std::int64_t>(sizeof(NucleusHierarchy::Node));
-    bytes += static_cast<std::int64_t>(node.children.size()) *
-             sizeof(std::int32_t);
-    bytes += static_cast<std::int64_t>(node.members.size()) *
-             sizeof(CliqueId);
-  }
-  if (snapshot.has_index) {
-    bytes += static_cast<std::int64_t>(snapshot.index_tables.depth.size() +
-                                       snapshot.index_tables.up.size()) *
-             sizeof(std::int32_t);
-  }
-  return bytes;
+  return EstimateSnapshotHeapBytes(snapshot);
 }
 
 SnapshotRegistry::SnapshotRegistry(const RegistryOptions& options)
@@ -57,11 +40,18 @@ SnapshotRegistry::LoadResident(const TenantSpec& spec,
                                const RegistryOptions& options) {
   if (options.load_hook) options.load_hook(spec.name);
   if (spec.graph_path.empty()) {
-    StatusOr<SnapshotData> snapshot = LoadSnapshot(spec.snapshot_path);
-    if (!snapshot.ok()) return snapshot.status();
-    const std::int64_t bytes = EstimateResidentBytes(*snapshot);
-    return std::make_shared<Resident>(std::move(*snapshot), options.engine,
-                                      bytes);
+    // Read-only tenant: honor the registry's memory mode. kMmap maps a
+    // v2 file zero-copy (OpenSnapshotSource falls back to heap for v1);
+    // either way the engine reports its own heap/mapped split, which is
+    // what the budget charges.
+    StatusOr<std::shared_ptr<const SnapshotSource>> source =
+        OpenSnapshotSource(spec.snapshot_path, options.memory_mode);
+    if (!source.ok()) return source.status();
+    std::unique_ptr<QueryEngine> engine =
+        QueryEngine::FromSource(std::move(*source), options.engine);
+    const std::int64_t heap = engine->HeapBytes();
+    const std::int64_t mapped = engine->MappedBytes();
+    return std::make_shared<Resident>(std::move(engine), heap, mapped);
   }
   // Live tenant: the graph is loaded next to the snapshot (or delta
   // chain), paired through the fingerprint check inside
@@ -85,10 +75,12 @@ SnapshotRegistry::LoadResident(const TenantSpec& spec,
   StatusOr<std::unique_ptr<LiveUpdater>> updater =
       LiveUpdater::Create(*graph, *snapshot, link);
   if (!updater.ok()) return updater.status();
-  const std::int64_t bytes =
-      EstimateResidentBytes(*snapshot) + EstimateLiveBytes(*graph);
-  auto resident = std::make_shared<Resident>(std::move(*snapshot),
-                                             options.engine, bytes);
+  const std::int64_t live_bytes = EstimateLiveBytes(*graph);
+  std::unique_ptr<QueryEngine> engine =
+      QueryEngine::FromSnapshotData(std::move(*snapshot), options.engine);
+  const std::int64_t heap = engine->HeapBytes() + live_bytes;
+  auto resident =
+      std::make_shared<Resident>(std::move(engine), heap, /*mapped=*/0);
   resident->updater = std::move(*updater);
   return resident;
 }
@@ -110,7 +102,8 @@ Status SnapshotRegistry::Attach(const TenantSpec& spec) {
   tenant.resident = std::move(*resident);
   tenant.loads = 1;
   tenant.last_used = ++tick_;
-  resident_bytes_ += tenant.resident->bytes;
+  resident_bytes_ += tenant.resident->heap_bytes;
+  mapped_bytes_ += tenant.resident->mapped_bytes;
   tenants_.emplace(spec.name, std::move(tenant));
   EvictLocked();
   return Status::Ok();
@@ -213,9 +206,11 @@ Status SnapshotRegistry::Detach(const std::string& name, bool force,
   }
   if (tenant.resident != nullptr) {
     // Budget accounting drops now; a live Lease keeps the state itself
-    // alive (shared_ptr) until the in-flight batch finishes.
-    resident_bytes_ -= tenant.resident->bytes;
-    detached_cache_.Add(tenant.resident->engine.CacheStats());
+    // alive (shared_ptr) until the in-flight batch finishes — including
+    // an mmap tenant's mapping, which unmaps when the last lease goes.
+    resident_bytes_ -= tenant.resident->heap_bytes;
+    mapped_bytes_ -= tenant.resident->mapped_bytes;
+    detached_cache_.Add(tenant.resident->engine->CacheStats());
   }
   // The tenant's whole counter lineage (engines it retired via eviction
   // included) folds into the registry aggregate — mirror of the eviction
@@ -285,7 +280,8 @@ StatusOr<SnapshotRegistry::Lease> SnapshotRegistry::Acquire(
     if (current.resident == nullptr) {
       current.resident = std::move(*loaded);
       ++current.loads;
-      resident_bytes_ += current.resident->bytes;
+      resident_bytes_ += current.resident->heap_bytes;
+      mapped_bytes_ += current.resident->mapped_bytes;
     } else {
       // Detached and re-attached while we were loading: serve the fresh
       // attach's state and drop ours.
@@ -316,9 +312,13 @@ void SnapshotRegistry::EvictLocked() {
       }
     }
     if (victim == nullptr) return;  // budget is best-effort under pinning
-    const LruCacheStats cache = victim->resident->engine.CacheStats();
+    const LruCacheStats cache = victim->resident->engine->CacheStats();
     victim->retired_cache.Add(cache);
-    resident_bytes_ -= victim->resident->bytes;
+    resident_bytes_ -= victim->resident->heap_bytes;
+    mapped_bytes_ -= victim->resident->mapped_bytes;
+    // For an mmap tenant this reset IS the munmap (absent leases): the
+    // mapping goes with the source, and the file pages become ordinary
+    // page-cache entries the kernel may keep or drop.
     victim->resident.reset();
     ++victim->evictions;
   }
@@ -366,10 +366,14 @@ StatusOr<TenantStats> SnapshotRegistry::Stats(const std::string& name) const {
     stats.updates = tenant.resident->updates.load(std::memory_order_relaxed);
     stats.dirty = tenant.resident->dirty.load(std::memory_order_relaxed);
     stats.pins = tenant.resident->pins.load(std::memory_order_relaxed);
-    stats.resident_bytes = tenant.resident->bytes;
-    const LruCacheStats resident_cache = tenant.resident->engine.CacheStats();
+    stats.resident_bytes = tenant.resident->heap_bytes;
+    stats.heap_bytes = tenant.resident->heap_bytes;
+    stats.mapped_bytes = tenant.resident->mapped_bytes;
+    const LruCacheStats resident_cache =
+        tenant.resident->engine->CacheStats();
     stats.cache.Add(resident_cache);
-    stats.cache.entries = resident_cache.entries;  // gauge: resident only
+    stats.cache.entries = resident_cache.entries;  // gauges: resident only
+    stats.cache.bytes = resident_cache.bytes;
   }
   return stats;
 }
@@ -379,6 +383,7 @@ RegistrySummary SnapshotRegistry::Summary() const {
   RegistrySummary summary;
   summary.tenants = static_cast<std::int64_t>(tenants_.size());
   summary.resident_bytes = resident_bytes_;
+  summary.mapped_bytes = mapped_bytes_;
   summary.budget_bytes = options_.memory_budget_bytes;
   summary.detaches = detaches_;
   summary.detached_cache = detached_cache_;

@@ -61,16 +61,27 @@
 #include "nucleus/serve/query_engine.h"
 #include "nucleus/store/manifest.h"
 #include "nucleus/store/snapshot.h"
+#include "nucleus/store/snapshot_source.h"
 #include "nucleus/util/status.h"
 
 namespace nucleus {
 
 struct RegistryOptions {
-  /// Total resident-engine budget in bytes; 0 = unlimited. Enforced by
-  /// LRU eviction of idle engines (see file comment for what "idle"
+  /// Total resident-engine HEAP budget in bytes; 0 = unlimited. Enforced
+  /// by LRU eviction of idle engines (see file comment for what "idle"
   /// excludes), so the actual footprint can exceed the budget while every
-  /// resident engine is pinned or dirty.
+  /// resident engine is pinned or dirty. Mapped bytes (mmap tenants) are
+  /// tracked separately and do NOT count against this budget — the kernel
+  /// reclaims mapped pages under pressure on its own; evicting an mmap
+  /// tenant just unmaps the file.
   std::int64_t memory_budget_bytes = 0;
+  /// How read-only tenants load their snapshot: kHeap materializes
+  /// everything (v1 semantics, any snapshot version); kMmap serves v2
+  /// files zero-copy from a private read-only mapping (a v1 file falls
+  /// back to heap). Live tenants (a graph is paired) always load heap —
+  /// chain resolution and the incremental maintainer need materialized
+  /// state.
+  SnapshotMemoryMode memory_mode = SnapshotMemoryMode::kHeap;
   /// Per-engine member-cache shape (each tenant gets its own cache).
   QueryEngineOptions engine;
   /// Test seam: invoked (with the tenant name) at the start of every
@@ -92,7 +103,16 @@ struct TenantStats {
   std::int64_t hits = 0;       // Acquires served from a resident engine
   std::int64_t updates = 0;    // applied update batches
   std::int64_t pins = 0;       // currently live Leases
-  std::int64_t resident_bytes = 0;  // 0 when evicted
+  /// Bytes charged against the registry budget (heap + live state);
+  /// 0 when evicted.
+  std::int64_t resident_bytes = 0;
+  /// The budget charge split by residency kind: `heap_bytes` is malloc'd
+  /// state (everything for a heap tenant; the engine shell + live state
+  /// for an mmap tenant — the member cache's share is in `cache.bytes`),
+  /// `mapped_bytes` is the mmap'd snapshot file (kernel-reclaimable,
+  /// outside the budget). Both 0 when evicted.
+  std::int64_t heap_bytes = 0;
+  std::int64_t mapped_bytes = 0;
   /// Per-tenant member-cache telemetry: the resident engine's counters
   /// plus everything accumulated from engines this tenant already
   /// retired — the per-tenant dimension of LruCacheStats.
@@ -104,6 +124,9 @@ struct TenantStats {
 struct RegistrySummary {
   std::int64_t tenants = 0;
   std::int64_t resident_bytes = 0;
+  /// Sum of resident tenants' mapped snapshot bytes (mmap tenants only;
+  /// not charged against the budget — see RegistryOptions).
+  std::int64_t mapped_bytes = 0;
   std::int64_t budget_bytes = 0;
   std::int64_t detaches = 0;  // completed Detach calls
   /// Cache counters folded out of detached tenants (their engines AND
@@ -112,9 +135,10 @@ struct RegistrySummary {
   LruCacheStats detached_cache;
 };
 
-/// Rough resident footprint of a loaded snapshot (lambdas, hierarchy,
-/// jump tables), used for budget accounting. Exposed so tests and benches
-/// can size eviction budgets relative to real tenants.
+/// Rough resident footprint of a heap-loaded snapshot (lambdas,
+/// hierarchy, jump tables), used for budget accounting. Exposed so tests
+/// and benches can size eviction budgets relative to real tenants.
+/// Delegates to EstimateSnapshotHeapBytes (store/snapshot_source.h).
 std::int64_t EstimateResidentBytes(const SnapshotData& snapshot);
 
 class SnapshotRegistry {
@@ -185,12 +209,19 @@ class SnapshotRegistry {
   /// in-flight Lease outlives Detach; never mutated structurally after
   /// construction (the engine handles its own update swaps).
   struct Resident {
-    Resident(SnapshotData snapshot, const QueryEngineOptions& options,
-             std::int64_t bytes_estimate)
-        : engine(std::move(snapshot), options), bytes(bytes_estimate) {}
-    QueryEngine engine;
+    Resident(std::unique_ptr<QueryEngine> engine_in,
+             std::int64_t heap_bytes_in, std::int64_t mapped_bytes_in)
+        : engine(std::move(engine_in)),
+          heap_bytes(heap_bytes_in),
+          mapped_bytes(mapped_bytes_in) {}
+    std::unique_ptr<QueryEngine> engine;  // never null
     std::unique_ptr<LiveUpdater> updater;  // null for read-only tenants
-    const std::int64_t bytes;
+    /// Heap bytes charged against the budget (engine estimate + live
+    /// state for live tenants).
+    const std::int64_t heap_bytes;
+    /// Mapped snapshot bytes (mmap tenants; 0 for heap). Dropping the
+    /// resident unmaps the file — eviction of an mmap tenant IS munmap.
+    const std::int64_t mapped_bytes;
     std::atomic<std::int64_t> pins{0};
     std::atomic<bool> dirty{false};
     /// Applied update batches. Lives on the resident (not the Tenant row)
@@ -255,7 +286,8 @@ class SnapshotRegistry {
   /// Wakes Acquires that coalesced onto an in-flight lazy re-load.
   std::condition_variable load_cv_;
   std::map<std::string, Tenant> tenants_;
-  std::int64_t resident_bytes_ = 0;
+  std::int64_t resident_bytes_ = 0;  // charged (heap) bytes
+  std::int64_t mapped_bytes_ = 0;    // resident mmap tenants' file bytes
   std::uint64_t tick_ = 0;  // deterministic LRU clock
   std::int64_t detaches_ = 0;
   LruCacheStats detached_cache_;
@@ -275,8 +307,8 @@ class SnapshotRegistry::Lease {
   Lease& operator=(const Lease&) = delete;
   ~Lease();
 
-  QueryEngine& engine() { return resident_->engine; }
-  const QueryEngine& engine() const { return resident_->engine; }
+  QueryEngine& engine() { return *resident_->engine; }
+  const QueryEngine& engine() const { return *resident_->engine; }
   /// Null for read-only tenants.
   LiveUpdater* updater() { return resident_->updater.get(); }
 

@@ -125,14 +125,16 @@ StatusOr<DeltaData> LoadDelta(const std::string& path) {
   char magic[8];
   if (Status s = reader.Read(magic, sizeof(magic)); !s.ok()) return s;
   if (std::memcmp(magic, kDeltaMagic, sizeof(kDeltaMagic)) != 0) {
-    return Status::InvalidArgument("bad magic in " + path +
-                                   " (not a delta record)");
+    return Status::InvalidArgument(path +
+                                   ": header: bad magic (not a delta "
+                                   "record)");
   }
   std::uint32_t version = 0;
   if (Status s = reader.ReadValue(&version); !s.ok()) return s;
   if (version != kDeltaVersion) {
-    return Status::InvalidArgument("unsupported delta version " +
-                                   std::to_string(version) + " in " + path);
+    return Status::InvalidArgument(path +
+                                   ": header: unsupported delta version " +
+                                   std::to_string(version));
   }
   std::uint32_t flags = 0;
   std::int32_t family = 0;
@@ -168,18 +170,19 @@ StatusOr<DeltaData> LoadDelta(const std::string& path) {
   if (Status s = reader.ReadValue(&reserved); !s.ok()) return s;
 
   if (flags != 0 || reserved != 0) {
-    return Status::InvalidArgument("unknown delta flags in " + path);
+    return Status::InvalidArgument(path + ": header: unknown delta flags");
   }
   if (family != static_cast<std::int32_t>(Family::kCore12) ||
       algorithm != static_cast<std::int32_t>(Algorithm::kDft)) {
     return Status::InvalidArgument(
-        "delta records describe (1,2) core chains only; " + path +
-        " claims another family or algorithm");
+        path +
+        ": header: delta records describe (1,2) core chains only (record "
+        "claims another family or algorithm)");
   }
   if (delta.num_vertices < 0 || delta.max_lambda < 0 ||
       delta.parent_num_edges < 0 || delta.child_num_edges < 0 ||
       num_edits < 0 || num_patched < 0) {
-    return Status::InvalidArgument("impossible counts in " + path);
+    return Status::InvalidArgument(path + ": header: impossible counts");
   }
 
   // Bound counts by the file size BEFORE any size arithmetic (the same
@@ -190,22 +193,26 @@ StatusOr<DeltaData> LoadDelta(const std::string& path) {
   const std::int64_t max_entries = *actual / 4;  // every array is int32
   if (num_edits > max_entries || num_patched > max_entries) {
     return Status::InvalidArgument(
-        "delta size mismatch in " + path +
-        " (header counts exceed the file size; truncated or corrupt)");
+        path +
+        ": header: size mismatch (header counts exceed the file size; "
+        "truncated or corrupt)");
   }
   if (*actual != ExpectedDeltaFileSize(num_edits, num_patched)) {
     return Status::InvalidArgument(
-        "delta size mismatch in " + path + " (expected " +
+        path + ": header: size mismatch (expected " +
         std::to_string(ExpectedDeltaFileSize(num_edits, num_patched)) +
         " bytes, file has " + std::to_string(*actual) +
         "; truncated or trailing data)");
   }
 
   std::vector<std::int32_t> flat;
+  reader.BeginSection("edits");
   if (Status s = reader.ReadArray(num_edits * 3, &flat); !s.ok()) return s;
+  reader.BeginSection("patched_ids");
   if (Status s = reader.ReadArray(num_patched, &delta.patched_ids); !s.ok()) {
     return s;
   }
+  reader.BeginSection("patched_lambda");
   if (Status s = reader.ReadArray(num_patched, &delta.patched_lambda);
       !s.ok()) {
     return s;
@@ -214,11 +221,11 @@ StatusOr<DeltaData> LoadDelta(const std::string& path) {
   const std::uint64_t computed = reader.checksum();
   std::uint64_t stored = 0;
   if (std::fread(&stored, 1, sizeof(stored), file.get()) != sizeof(stored)) {
-    return Status::OutOfRange("truncated delta record " + path);
+    return Status::OutOfRange(path + ": footer: truncated delta record");
   }
   if (stored != computed) {
-    return Status::InvalidArgument("checksum mismatch in " + path +
-                                   " (corrupt delta record)");
+    return Status::InvalidArgument(
+        path + ": footer: checksum mismatch (corrupt delta record)");
   }
 
   delta.edits.reserve(static_cast<std::size_t>(num_edits));
@@ -231,7 +238,7 @@ StatusOr<DeltaData> LoadDelta(const std::string& path) {
         edit.v >= delta.num_vertices || edit.u == edit.v ||
         (op != static_cast<std::int32_t>(EdgeEditOp::kInsert) &&
          op != static_cast<std::int32_t>(EdgeEditOp::kRemove))) {
-      return Status::InvalidArgument("corrupt edit list in " + path);
+      return Status::InvalidArgument(path + ": edits: corrupt edit list");
     }
     edit.op = static_cast<EdgeEditOp>(op);
     delta.edits.push_back(edit);
@@ -241,11 +248,14 @@ StatusOr<DeltaData> LoadDelta(const std::string& path) {
     const Lambda l = delta.patched_lambda[static_cast<std::size_t>(i)];
     if (id < 0 || id >= delta.num_vertices ||
         (i > 0 && delta.patched_ids[static_cast<std::size_t>(i - 1)] >= id)) {
-      return Status::InvalidArgument("corrupt lambda patch ids in " + path);
+      return Status::InvalidArgument(path +
+                                     ": patched_ids: corrupt lambda patch "
+                                     "ids");
     }
     if (l < 0 || l > delta.max_lambda) {
-      return Status::InvalidArgument("corrupt lambda patch values in " +
-                                     path);
+      return Status::InvalidArgument(path +
+                                     ": patched_lambda: corrupt lambda "
+                                     "patch values");
     }
   }
   return delta;

@@ -51,23 +51,34 @@ bool ValidTenantName(const std::string& name) {
   return true;
 }
 
+Status CheckTenantTrio(const std::string& subject,
+                       const std::string& snapshot_path,
+                       const std::vector<std::string>& delta_paths,
+                       const std::string& graph_path,
+                       const TenantTrioVocabulary& vocab) {
+  if (snapshot_path.empty()) {
+    return Status::InvalidArgument(subject + " requires " +
+                                   vocab.snapshot_flag);
+  }
+  if (!delta_paths.empty() && graph_path.empty()) {
+    return Status::InvalidArgument(
+        subject + ": " + vocab.deltas_flag + " requires " +
+        vocab.graph_flag +
+        " (chain resolution rebuilds the final "
+        "hierarchy from the current graph)");
+  }
+  return Status::Ok();
+}
+
 Status ValidateTenantSpec(const TenantSpec& spec) {
   if (!ValidTenantName(spec.name)) {
     return Status::InvalidArgument(
         "invalid tenant name '" + TruncateForEcho(spec.name) +
         "' (1-64 characters from [A-Za-z0-9_.-])");
   }
-  if (spec.snapshot_path.empty()) {
-    return Status::InvalidArgument("tenant '" + spec.name +
-                                   "' requires snapshot=<path>");
-  }
-  if (!spec.delta_paths.empty() && spec.graph_path.empty()) {
-    return Status::InvalidArgument(
-        "tenant '" + spec.name +
-        "': deltas= requires graph= (chain resolution rebuilds the final "
-        "hierarchy from the current graph)");
-  }
-  return Status::Ok();
+  return CheckTenantTrio("tenant '" + spec.name + "'", spec.snapshot_path,
+                         spec.delta_paths, spec.graph_path,
+                         TenantTrioVocabulary{});
 }
 
 Status ParseTenantSpecArgs(const std::vector<std::string>& args,

@@ -54,9 +54,33 @@ struct RegistryManifest {
 /// [A-Za-z0-9_.-].
 bool ValidTenantName(const std::string& name);
 
+/// How one serving surface spells the snapshot / deltas / graph trio.
+/// The manifest and the `attach` protocol verb say `snapshot=<path>` /
+/// `deltas=` / `graph=`; the CLI says `--snapshot F` / `--deltas` /
+/// `--input`. CheckTenantTrio reports in the caller's spelling so every
+/// surface enforces the SAME rules while erroring in its own vocabulary.
+struct TenantTrioVocabulary {
+  /// Flag spelling including its value shape, for "requires ..." errors.
+  const char* snapshot_flag = "snapshot=<path>";
+  /// Bare flag spellings, for the deltas/graph pairing rule.
+  const char* deltas_flag = "deltas=";
+  const char* graph_flag = "graph=";
+};
+
+/// The structural rules every (snapshot, deltas, graph) trio obeys, on
+/// every surface that accepts one: the snapshot is required, and deltas
+/// require the graph — chain resolution rebuilds the final hierarchy from
+/// the current adjacency, so a chain without its graph is unservable.
+/// `subject` prefixes each message ("tenant 'x'", "query", "serve").
+Status CheckTenantTrio(const std::string& subject,
+                       const std::string& snapshot_path,
+                       const std::vector<std::string>& delta_paths,
+                       const std::string& graph_path,
+                       const TenantTrioVocabulary& vocab = {});
+
 /// Structural validation shared by every spec producer (manifest lines,
-/// the `attach` protocol verb, direct API callers): valid name, non-empty
-/// snapshot path, and deltas only next to a graph.
+/// the `attach` protocol verb, direct API callers): valid name, then the
+/// shared trio rules (CheckTenantTrio) in manifest vocabulary.
 Status ValidateTenantSpec(const TenantSpec& spec);
 
 /// Parses the `key=value...` tail of a tenant declaration (manifest line

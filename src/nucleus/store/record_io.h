@@ -76,15 +76,22 @@ class ChecksummingWriter {
 // footer comparison covers header and payload alike. `kind` names the
 // record type in truncation errors ("snapshot", "delta record"), so an
 // operator chasing a damaged chain is pointed at the right file type.
+// Errors follow the store-wide `path: section: reason` shape; callers
+// advance the section name with BeginSection as the format's layout moves
+// from one array to the next.
 class ChecksummingReader {
  public:
   ChecksummingReader(std::FILE* f, std::string path,
                      std::string kind = "snapshot")
       : file_(f), path_(std::move(path)), kind_(std::move(kind)) {}
 
+  /// Names the region subsequent reads belong to, for error attribution.
+  void BeginSection(std::string section) { section_ = std::move(section); }
+
   Status Read(void* data, std::size_t size) {
     if (std::fread(data, 1, size, file_) != size) {
-      return Status::OutOfRange("truncated " + kind_ + " " + path_);
+      return Status::OutOfRange(path_ + ": " + section_ + ": truncated " +
+                                kind_);
     }
     checksum_ = Fnv1a(checksum_, data, size);
     return Status::Ok();
@@ -109,6 +116,7 @@ class ChecksummingReader {
   std::FILE* file_;
   std::string path_;
   std::string kind_;
+  std::string section_ = "header";
   std::uint64_t checksum_ = kFnvOffset;
 };
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "nucleus/store/record_io.h"
+#include "nucleus/store/snapshot_v2.h"
 #include "nucleus/util/file_util.h"
 
 namespace nucleus {
@@ -62,8 +63,9 @@ Status BoundCountsByFileSize(const Header& h, std::int64_t actual,
   if (h.num_cliques > max_entries || h.num_nodes > max_entries ||
       static_cast<std::int64_t>(h.levels) * h.num_nodes > max_entries) {
     return Status::InvalidArgument(
-        "snapshot size mismatch in " + path +
-        " (header counts exceed the file size; truncated or corrupt)");
+        path +
+        ": header: size mismatch (header counts exceed the file size; "
+        "truncated or corrupt)");
   }
   return Status::Ok();
 }
@@ -73,14 +75,16 @@ Status ReadHeader(ChecksummingReader* reader, const std::string& path,
   char magic[8];
   if (Status s = reader->Read(magic, sizeof(magic)); !s.ok()) return s;
   if (std::memcmp(magic, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
-    return Status::InvalidArgument("bad magic in " + path +
-                                   " (not a snapshot file)");
+    return Status::InvalidArgument(path +
+                                   ": header: bad magic (not a snapshot "
+                                   "file)");
   }
   std::uint32_t version = 0;
   if (Status s = reader->ReadValue(&version); !s.ok()) return s;
   if (version != kSnapshotVersion) {
-    return Status::InvalidArgument("unsupported snapshot version " +
-                                   std::to_string(version) + " in " + path);
+    return Status::InvalidArgument(path +
+                                   ": header: unsupported snapshot version " +
+                                   std::to_string(version));
   }
   if (Status s = reader->ReadValue(&header->flags); !s.ok()) return s;
   if (Status s = reader->ReadValue(&header->family); !s.ok()) return s;
@@ -96,26 +100,26 @@ Status ReadHeader(ChecksummingReader* reader, const std::string& path,
   if (Status s = reader->ReadValue(&header->levels); !s.ok()) return s;
 
   if (header->flags & ~kSnapshotFlagHasIndex) {
-    return Status::InvalidArgument("unknown snapshot flags in " + path);
+    return Status::InvalidArgument(path + ": header: unknown snapshot flags");
   }
   if (header->family < 0 ||
       header->family > static_cast<std::int32_t>(Family::kNucleus34)) {
-    return Status::InvalidArgument("invalid family in " + path);
+    return Status::InvalidArgument(path + ": header: invalid family");
   }
   if (header->algorithm < 0 ||
       header->algorithm > static_cast<std::int32_t>(Algorithm::kHypo)) {
-    return Status::InvalidArgument("invalid algorithm in " + path);
+    return Status::InvalidArgument(path + ": header: invalid algorithm");
   }
   if (header->num_vertices < 0 || header->num_edges < 0 ||
       header->num_cliques < 0 || header->max_lambda < 0 ||
       header->num_nodes < 1) {
-    return Status::InvalidArgument("impossible counts in " + path);
+    return Status::InvalidArgument(path + ": header: impossible counts");
   }
   const bool has_index = (header->flags & kSnapshotFlagHasIndex) != 0;
   // levels is bounded by the depth of a binary-lifted tree over int32 ids.
   if (has_index ? (header->levels < 1 || header->levels > 32)
                 : header->levels != 0) {
-    return Status::InvalidArgument("invalid index levels in " + path);
+    return Status::InvalidArgument(path + ": header: invalid index levels");
   }
   return Status::Ok();
 }
@@ -128,39 +132,44 @@ Status ValidateParts(const Header& h, const std::vector<Lambda>& lambda,
                      const std::vector<std::int32_t>& node_of_clique,
                      const std::string& path) {
   if (node_lambda[0] != kRootLambda || node_parent[0] != kInvalidId) {
-    return Status::InvalidArgument("corrupt snapshot root node in " + path);
+    return Status::InvalidArgument(path +
+                                   ": node_parent: corrupt snapshot root "
+                                   "node");
   }
   Lambda max_lambda = 0;
   for (std::int32_t i = 1; i < h.num_nodes; ++i) {
     if (node_parent[i] < 0 || node_parent[i] >= i) {
-      return Status::InvalidArgument("corrupt parent order in " + path);
+      return Status::InvalidArgument(path +
+                                     ": node_parent: corrupt parent order");
     }
     if (node_lambda[i] < 0 ||
         node_lambda[node_parent[i]] >= node_lambda[i]) {
-      return Status::InvalidArgument("non-increasing lambda chain in " +
-                                     path);
+      return Status::InvalidArgument(
+          path + ": node_lambda: non-increasing lambda chain");
     }
     if (node_lambda[i] > max_lambda) max_lambda = node_lambda[i];
   }
   if (max_lambda != h.max_lambda) {
-    return Status::InvalidArgument("max lambda mismatch in " + path);
+    return Status::InvalidArgument(path +
+                                   ": node_lambda: max lambda mismatch");
   }
   std::vector<char> has_member(static_cast<std::size_t>(h.num_nodes), 0);
   for (std::int64_t u = 0; u < h.num_cliques; ++u) {
     const std::int32_t id = node_of_clique[static_cast<std::size_t>(u)];
     if (id < 0 || id >= h.num_nodes) {
-      return Status::InvalidArgument("clique assigned out of range in " +
-                                     path);
+      return Status::InvalidArgument(
+          path + ": node_of_clique: clique assigned out of range");
     }
     if (lambda[static_cast<std::size_t>(u)] != node_lambda[id]) {
       return Status::InvalidArgument(
-          "lambda / node assignment mismatch in " + path);
+          path + ": lambda: lambda / node assignment mismatch");
     }
     has_member[id] = 1;
   }
   for (std::int32_t i = 1; i < h.num_nodes; ++i) {
     if (!has_member[i]) {
-      return Status::InvalidArgument("memberless non-root node in " + path);
+      return Status::InvalidArgument(
+          path + ": node_of_clique: memberless non-root node");
     }
   }
   return Status::Ok();
@@ -177,26 +186,30 @@ Status ValidateIndexTables(const Header& h,
   const std::int32_t n = h.num_nodes;
   std::int32_t max_depth = 0;
   if (tables.depth[0] != 0) {
-    return Status::InvalidArgument("corrupt index depth table in " + path);
+    return Status::InvalidArgument(path + ": depth: corrupt index depth "
+                                          "table");
   }
   for (std::int32_t i = 1; i < n; ++i) {
     // Parents precede children, so depth[parent] is already verified.
     if (tables.depth[i] != tables.depth[node_parent[i]] + 1) {
-      return Status::InvalidArgument("corrupt index depth table in " + path);
+      return Status::InvalidArgument(path + ": depth: corrupt index depth "
+                                            "table");
     }
     if (tables.depth[i] > max_depth) max_depth = tables.depth[i];
   }
   std::int32_t expected_levels = 1;
   while ((1 << expected_levels) <= std::max(max_depth, 1)) ++expected_levels;
   if (tables.levels != expected_levels) {
-    return Status::InvalidArgument("index level count mismatch in " + path);
+    return Status::InvalidArgument(path + ": up: index level count "
+                                          "mismatch");
   }
   const auto up = [&](std::int32_t j, std::int32_t x) {
     return tables.up[static_cast<std::size_t>(j) * n + x];
   };
   for (std::int32_t x = 0; x < n; ++x) {
     if (up(0, x) != node_parent[x]) {
-      return Status::InvalidArgument("corrupt index jump table in " + path);
+      return Status::InvalidArgument(path + ": up: corrupt index jump "
+                                            "table");
     }
   }
   for (std::int32_t j = 1; j < tables.levels; ++j) {
@@ -205,7 +218,8 @@ Status ValidateIndexTables(const Header& h,
       const std::int32_t expect =
           half == kInvalidId ? kInvalidId : up(j - 1, half);
       if (up(j, x) != expect) {
-        return Status::InvalidArgument("corrupt index jump table in " + path);
+        return Status::InvalidArgument(path + ": up: corrupt index jump "
+                                              "table");
       }
     }
   }
@@ -362,6 +376,22 @@ Status SaveSnapshot(const SnapshotData& snapshot, const std::string& path) {
 }
 
 StatusOr<SnapshotData> LoadSnapshot(const std::string& path) {
+  // Version dispatch on the magic: v2 files load eagerly through the
+  // sectioned reader into the same SnapshotData, so chains, updates and
+  // tooling are format-transparent. Anything else falls through to the v1
+  // reader, whose header check owns the bad-magic diagnosis.
+  {
+    FilePtr probe(std::fopen(path.c_str(), "rb"));
+    if (probe == nullptr) {
+      return Status::NotFound("cannot open " + path);
+    }
+    char magic[8];
+    if (std::fread(magic, 1, sizeof(magic), probe.get()) == sizeof(magic) &&
+        std::memcmp(magic, kSnapshotV2Magic, sizeof(kSnapshotV2Magic)) ==
+            0) {
+      return LoadSnapshotV2(path);
+    }
+  }
   FilePtr file(std::fopen(path.c_str(), "rb"));
   if (file == nullptr) {
     return Status::NotFound("cannot open " + path);
@@ -380,7 +410,7 @@ StatusOr<SnapshotData> LoadSnapshot(const std::string& path) {
   }
   if (*actual != ExpectedFileSize(header)) {
     return Status::InvalidArgument(
-        "snapshot size mismatch in " + path + " (expected " +
+        path + ": header: size mismatch (expected " +
         std::to_string(ExpectedFileSize(header)) + " bytes, file has " +
         std::to_string(*actual) + "; truncated or trailing data)");
   }
@@ -398,26 +428,32 @@ StatusOr<SnapshotData> LoadSnapshot(const std::string& path) {
   std::vector<Lambda> node_lambda;
   std::vector<std::int32_t> node_parent;
   std::vector<std::int32_t> node_of_clique;
+  reader.BeginSection("lambda");
   if (Status s = reader.ReadArray(header.num_cliques, &snapshot.peel.lambda);
       !s.ok()) {
     return s;
   }
+  reader.BeginSection("node_lambda");
   if (Status s = reader.ReadArray(header.num_nodes, &node_lambda); !s.ok()) {
     return s;
   }
+  reader.BeginSection("node_parent");
   if (Status s = reader.ReadArray(header.num_nodes, &node_parent); !s.ok()) {
     return s;
   }
+  reader.BeginSection("node_of_clique");
   if (Status s = reader.ReadArray(header.num_cliques, &node_of_clique);
       !s.ok()) {
     return s;
   }
   if (snapshot.has_index) {
+    reader.BeginSection("depth");
     if (Status s =
             reader.ReadArray(header.num_nodes, &snapshot.index_tables.depth);
         !s.ok()) {
       return s;
     }
+    reader.BeginSection("up");
     if (Status s = reader.ReadArray(
             static_cast<std::int64_t>(header.levels) * header.num_nodes,
             &snapshot.index_tables.up);
@@ -430,11 +466,11 @@ StatusOr<SnapshotData> LoadSnapshot(const std::string& path) {
   const std::uint64_t computed = reader.checksum();
   std::uint64_t stored = 0;
   if (std::fread(&stored, 1, sizeof(stored), file.get()) != sizeof(stored)) {
-    return Status::OutOfRange("truncated snapshot " + path);
+    return Status::OutOfRange(path + ": footer: truncated snapshot");
   }
   if (stored != computed) {
-    return Status::InvalidArgument("checksum mismatch in " + path +
-                                   " (corrupt snapshot)");
+    return Status::InvalidArgument(
+        path + ": footer: checksum mismatch (corrupt snapshot)");
   }
 
   if (Status s = ValidateParts(header, snapshot.peel.lambda, node_lambda,
@@ -461,6 +497,33 @@ StatusOr<SnapshotMeta> ReadSnapshotMeta(const std::string& path) {
   FilePtr file(std::fopen(path.c_str(), "rb"));
   if (file == nullptr) {
     return Status::NotFound("cannot open " + path);
+  }
+  // Same magic dispatch as LoadSnapshot: a v2 header carries the identical
+  // meta block, validated (with the directory) in O(header).
+  {
+    char magic[8];
+    const std::size_t got = std::fread(magic, 1, sizeof(magic), file.get());
+    std::rewind(file.get());
+    if (got == sizeof(magic) &&
+        std::memcmp(magic, kSnapshotV2Magic, sizeof(kSnapshotV2Magic)) ==
+            0) {
+      StatusOr<std::int64_t> actual = FileSize(file.get(), path);
+      if (!actual.ok()) return actual.status();
+      std::vector<unsigned char> bytes(
+          static_cast<std::size_t>(std::min<std::int64_t>(
+              *actual, kSnapshotV2HeaderBytes)));
+      if (std::fread(bytes.data(), 1, bytes.size(), file.get()) !=
+          bytes.size()) {
+        return Status::OutOfRange(path + ": header: truncated snapshot");
+      }
+      store_v2_internal::V2Header v2_header;
+      if (Status s = store_v2_internal::ParseV2Header(bytes.data(), *actual,
+                                                      path, &v2_header);
+          !s.ok()) {
+        return s;
+      }
+      return v2_header.meta;
+    }
   }
   ChecksummingReader reader(file.get(), path);
   Header header;

@@ -388,6 +388,118 @@ TEST(Cli, DecomposeSnapshotThenQueryAndServe) {
   }
 }
 
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(Cli, SnapshotFormatV2MmapQueryAndServeMatchHeap) {
+  const std::string edges_path = WriteTestGraph();
+  const std::string v1_snap = TempPath("cli_fmt_v1.nucsnap");
+  const std::string v2_snap = TempPath("cli_fmt_v2.nucsnap");
+
+  CliResult r = RunArgs({"decompose", "--input", edges_path, "--family",
+                         "truss", "--out-snapshot", v1_snap});
+  EXPECT_EQ(r.code, 0) << r.err;
+  r = RunArgs({"decompose", "--input", edges_path, "--family", "truss",
+               "--snapshot-format", "v2", "--out-snapshot", v2_snap});
+  EXPECT_EQ(r.code, 0) << r.err;
+
+  // Same graph, same family: the zero-copy mmap path must answer
+  // byte-identically to the v1 heap path.
+  const std::string heap_json = TempPath("cli_fmt_heap.json");
+  const std::string mmap_json = TempPath("cli_fmt_mmap.json");
+  r = RunArgs({"query", "--snapshot", v1_snap, "--u", "0", "--v", "1",
+               "--top", "3", "--out-json", heap_json});
+  EXPECT_EQ(r.code, 0) << r.err;
+  r = RunArgs({"query", "--snapshot", v2_snap, "--memory-mode", "mmap",
+               "--u", "0", "--v", "1", "--top", "3", "--out-json",
+               mmap_json});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(ReadWholeFile(heap_json), ReadWholeFile(mmap_json));
+
+  // A whole serve session, transcript-compared across memory modes.
+  const std::string queries = TempPath("cli_fmt_q.txt");
+  {
+    std::ofstream q(queries);
+    q << "lambda 0\nnucleus 0 2\ncommon 0 1\ntop 2\nmembers 1\n";
+  }
+  const std::string heap_answers = TempPath("cli_fmt_heap_a.txt");
+  const std::string mmap_answers = TempPath("cli_fmt_mmap_a.txt");
+  r = RunArgs({"serve", "--snapshot", v1_snap, "--queries", queries,
+               "--out", heap_answers});
+  EXPECT_EQ(r.code, 0) << r.err;
+  r = RunArgs({"serve", "--snapshot", v2_snap, "--memory-mode", "mmap",
+               "--queries", queries, "--out", mmap_answers, "--threads",
+               "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(ReadWholeFile(heap_answers), ReadWholeFile(mmap_answers));
+
+  // Mode and format values are validated, and mmap refuses the surfaces
+  // that must materialize heap state.
+  EXPECT_EQ(RunArgs({"query", "--snapshot", v2_snap, "--memory-mode",
+                     "paged", "--u", "0"})
+                .code,
+            2);
+  EXPECT_EQ(RunArgs({"decompose", "--input", edges_path,
+                     "--snapshot-format", "v3", "--out-snapshot", v2_snap})
+                .code,
+            2);
+  r = RunArgs({"query", "--input", edges_path, "--memory-mode", "mmap",
+               "--u", "0"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("plain --snapshot only"), std::string::npos);
+
+  for (const auto& p : {edges_path, v1_snap, v2_snap, heap_json, mmap_json,
+                        queries, heap_answers, mmap_answers}) {
+    std::remove(p.c_str());
+  }
+}
+
+TEST(Cli, SnapshotUpgradeConvertsV1Losslessly) {
+  const std::string edges_path = WriteTestGraph();
+  const std::string v1_snap = TempPath("cli_up_v1.nucsnap");
+  const std::string v2_snap = TempPath("cli_up_v2.nucsnap");
+
+  CliResult r = RunArgs({"decompose", "--input", edges_path, "--family",
+                         "core", "--out-snapshot", v1_snap});
+  EXPECT_EQ(r.code, 0) << r.err;
+  r = RunArgs({"snapshot-upgrade", "--snapshot", v1_snap, "--out", v2_snap});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("(v1) -> " + v2_snap + " (v2)"), std::string::npos);
+
+  // The upgraded file answers byte-identically through the mmap path.
+  const std::string v1_json = TempPath("cli_up_v1.json");
+  const std::string v2_json = TempPath("cli_up_v2.json");
+  r = RunArgs({"query", "--snapshot", v1_snap, "--u", "0", "--v", "1",
+               "--out-json", v1_json});
+  EXPECT_EQ(r.code, 0) << r.err;
+  r = RunArgs({"query", "--snapshot", v2_snap, "--memory-mode", "mmap",
+               "--u", "0", "--v", "1", "--out-json", v2_json});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(ReadWholeFile(v1_json), ReadWholeFile(v2_json));
+
+  // Idempotent: upgrading the v2 result round-trips.
+  const std::string again = TempPath("cli_up_again.nucsnap");
+  r = RunArgs({"snapshot-upgrade", "--snapshot", v2_snap, "--out", again});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("(v2) -> " + again + " (v2)"), std::string::npos);
+
+  EXPECT_EQ(RunArgs({"snapshot-upgrade", "--out", again}).code, 2);
+  EXPECT_EQ(RunArgs({"snapshot-upgrade", "--snapshot", v1_snap}).code, 2);
+  EXPECT_EQ(RunArgs({"snapshot-upgrade", "--snapshot",
+                     TempPath("cli_up_missing.nucsnap"), "--out", again})
+                .code,
+            1);
+
+  for (const auto& p :
+       {edges_path, v1_snap, v2_snap, v1_json, v2_json, again}) {
+    std::remove(p.c_str());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Live snapshot updates: `update` command, snapshot chains, serve verb.
 

@@ -135,7 +135,9 @@ TEST(LiveUpdate, AllSkippedBatchLeavesServedStateUntouched) {
   SnapshotData snapshot = BuildCoreSnapshot(g);
   auto updater = LiveUpdater::Create(g, snapshot);
   ASSERT_TRUE(updater.ok());
-  QueryEngine engine(std::move(snapshot));
+  const std::unique_ptr<QueryEngine> engine_ptr =
+      QueryEngine::FromSnapshotData(std::move(snapshot));
+  QueryEngine& engine = *engine_ptr;
   engine.Members(1);  // warm one cache entry
   const LruCacheStats warm = engine.CacheStats();
 
@@ -199,7 +201,9 @@ TEST_P(LiveUpdateEquivalenceTest, UpdatedEngineMatchesFreshDecomposeAndLoad) {
   SnapshotData snapshot = BuildCoreSnapshot(g);
   auto updater = LiveUpdater::Create(g, snapshot);
   ASSERT_TRUE(updater.ok()) << updater.status().ToString();
-  QueryEngine engine(std::move(snapshot));
+  const std::unique_ptr<QueryEngine> engine_ptr =
+      QueryEngine::FromSnapshotData(std::move(snapshot));
+  QueryEngine& engine = *engine_ptr;
   Rng rng(4242);
 
   for (int round = 0; round < 3; ++round) {
@@ -220,12 +224,14 @@ TEST_P(LiveUpdateEquivalenceTest, UpdatedEngineMatchesFreshDecomposeAndLoad) {
     ASSERT_TRUE(SaveSnapshot(BuildCoreSnapshot(edited), path).ok());
     StatusOr<SnapshotData> loaded = LoadSnapshot(path);
     ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-    const QueryEngine fresh(std::move(*loaded));
+    const std::unique_ptr<QueryEngine> fresh_ptr =
+        QueryEngine::FromSnapshotData(std::move(*loaded));
+    const QueryEngine& fresh = *fresh_ptr;
     std::remove(path.c_str());
 
     ASSERT_EQ(engine.meta().max_lambda, fresh.meta().max_lambda);
     const auto workload =
-        FullWorkload(engine.NumCliques(), engine.hierarchy().NumNodes(),
+        FullWorkload(engine.NumCliques(), engine.NumNodes(),
                      engine.meta().max_lambda);
     for (const auto& query : workload) {
       ExpectResponsesEqual(engine.Run(query), fresh.Run(query));
@@ -247,7 +253,9 @@ INSTANTIATE_TEST_SUITE_P(Zoo, LiveUpdateEquivalenceTest,
 
 TEST(LiveUpdate, ApplyUpdateRejectsMismatchedState) {
   const Graph g = testing_util::PaperFigure2Graph();
-  QueryEngine engine(BuildCoreSnapshot(g));
+  const std::unique_ptr<QueryEngine> engine_ptr =
+      QueryEngine::FromSnapshotData(BuildCoreSnapshot(g));
+  QueryEngine& engine = *engine_ptr;
   // Different vertex count.
   EXPECT_FALSE(engine.ApplyUpdate(BuildCoreSnapshot(Cycle(12))).ok());
   // Different family.
@@ -266,19 +274,22 @@ TEST(LiveUpdate, MembersSharedPtrSurvivesAnUpdate) {
   SnapshotData snapshot = BuildCoreSnapshot(g);
   auto updater = LiveUpdater::Create(g, snapshot);
   ASSERT_TRUE(updater.ok());
-  QueryEngine engine(std::move(snapshot));
+  const std::unique_ptr<QueryEngine> engine_ptr =
+      QueryEngine::FromSnapshotData(std::move(snapshot));
+  QueryEngine& engine = *engine_ptr;
 
   const auto members_before = engine.Members(1);
   const std::vector<CliqueId> copy = *members_before;
   const std::vector<EdgeEdit> edits{{3, 8, EdgeEditOp::kRemove}};
   auto result = (*updater)->Apply(edits);
   ASSERT_TRUE(result.ok());
+  const NucleusHierarchy updated_hierarchy = result->snapshot.hierarchy;
   ASSERT_TRUE(engine.ApplyUpdate(std::move(result->snapshot)).ok());
   // The pre-update materialization is still alive and unchanged; new
   // queries see the new state (epoch-prefixed cache keys, no flush).
   EXPECT_EQ(*members_before, copy);
   EXPECT_EQ(*engine.Members(1),
-            engine.hierarchy().MembersOfSubtree(1));
+            updated_hierarchy.MembersOfSubtree(1));
 }
 
 // ---------------------------------------------------------------------------
@@ -296,7 +307,9 @@ TEST_P(LiveUpdateConcurrentTest, UpdatesWhileQueryingAreNeverTorn) {
   SnapshotData snapshot = BuildCoreSnapshot(g);
   auto updater = LiveUpdater::Create(g, snapshot);
   ASSERT_TRUE(updater.ok());
-  QueryEngine engine(std::move(snapshot));
+  const std::unique_ptr<QueryEngine> engine_ptr =
+      QueryEngine::FromSnapshotData(std::move(snapshot));
+  QueryEngine& engine = *engine_ptr;
 
   const std::int64_t n = engine.NumCliques();
   std::vector<QueryEngine::Query> batch;
@@ -348,9 +361,11 @@ TEST_P(LiveUpdateConcurrentTest, UpdatesWhileQueryingAreNeverTorn) {
 
   // Final served answers equal a fresh decomposition of the final graph.
   const Graph final_graph = (*updater)->maintainer().ToGraph();
-  const QueryEngine fresh(BuildCoreSnapshot(final_graph, false));
+  const std::unique_ptr<QueryEngine> fresh_ptr =
+      QueryEngine::FromSnapshotData(BuildCoreSnapshot(final_graph, false));
+  const QueryEngine& fresh = *fresh_ptr;
   const auto workload = FullWorkload(
-      n, engine.hierarchy().NumNodes(), engine.meta().max_lambda);
+      n, engine.NumNodes(), engine.meta().max_lambda);
   for (const auto& query : workload) {
     ExpectResponsesEqual(engine.Run(query), fresh.Run(query));
   }
@@ -371,7 +386,9 @@ TEST(LiveUpdateConcurrent, ServeSessionWithUpdatesWhileBatchesRun) {
   SnapshotData snapshot = BuildCoreSnapshot(g);
   auto updater = LiveUpdater::Create(g, snapshot);
   ASSERT_TRUE(updater.ok());
-  QueryEngine engine(std::move(snapshot));
+  const std::unique_ptr<QueryEngine> engine_ptr =
+      QueryEngine::FromSnapshotData(std::move(snapshot));
+  QueryEngine& engine = *engine_ptr;
 
   std::pair<VertexId, VertexId> removal{kInvalidId, kInvalidId};
   g.ForEachEdge([&](VertexId u, VertexId v) {
@@ -412,7 +429,9 @@ TEST(LiveUpdateConcurrent, ServeSessionWithUpdatesWhileBatchesRun) {
   reader.join();
 
   // Insert-then-remove of the same edge restores the original answers.
-  const QueryEngine fresh(BuildCoreSnapshot(g, false));
+  const std::unique_ptr<QueryEngine> fresh_ptr =
+      QueryEngine::FromSnapshotData(BuildCoreSnapshot(g, false));
+  const QueryEngine& fresh = *fresh_ptr;
   for (std::int64_t u = 0; u < engine.NumCliques(); ++u) {
     ExpectResponsesEqual(
         engine.Run({QueryEngine::QueryKind::kLambda, u, 0}),

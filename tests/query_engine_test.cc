@@ -33,7 +33,7 @@ std::vector<QueryEngine::Query> MakeWorkload(const QueryEngine& engine,
                                              std::uint64_t seed) {
   Rng rng(seed);
   const std::int64_t num_cliques = engine.NumCliques();
-  const std::int64_t num_nodes = engine.hierarchy().NumNodes();
+  const std::int64_t num_nodes = engine.NumNodes();
   const Lambda max_lambda = engine.meta().max_lambda;
   std::vector<QueryEngine::Query> workload;
   workload.reserve(static_cast<std::size_t>(count));
@@ -113,7 +113,9 @@ TEST_P(QueryEngineZooTest, MatchesDirectIndexAndIsThreadCountInvariant) {
     const std::vector<Lambda> reference_lambda = snapshot.peel.lambda;
     const HierarchyIndex reference(reference_hierarchy);
 
-    const QueryEngine engine(std::move(snapshot));
+    const std::unique_ptr<QueryEngine> engine_ptr =
+        QueryEngine::FromSnapshotData(std::move(snapshot));
+    const QueryEngine& engine = *engine_ptr;
     if (engine.NumCliques() == 0) continue;
     const auto workload = MakeWorkload(engine, 160, 77);
 
@@ -200,11 +202,13 @@ TEST(QueryEngine, SnapshotLoadedEngineMatchesFreshEngine) {
   StatusOr<SnapshotData> loaded = LoadSnapshot(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
 
-  const QueryEngine fresh_engine(std::move(fresh));
-  const QueryEngine loaded_engine(std::move(*loaded));
-  const auto workload = MakeWorkload(fresh_engine, 200, 13);
+  const std::unique_ptr<QueryEngine> fresh_engine =
+      QueryEngine::FromSnapshotData(std::move(fresh));
+  const std::unique_ptr<QueryEngine> loaded_engine =
+      QueryEngine::FromSnapshotData(std::move(*loaded));
+  const auto workload = MakeWorkload(*fresh_engine, 200, 13);
   for (const auto& query : workload) {
-    ExpectResponsesEqual(fresh_engine.Run(query), loaded_engine.Run(query));
+    ExpectResponsesEqual(fresh_engine->Run(query), loaded_engine->Run(query));
   }
   std::remove(path.c_str());
 }
@@ -213,9 +217,10 @@ TEST(QueryEngine, SnapshotLoadedEngineMatchesFreshEngine) {
 // Engine-level validation and the member cache.
 
 TEST(QueryEngine, RejectsOutOfRangeInput) {
-  const QueryEngine engine(
-      BuildSnapshot(testing_util::PaperFigure2Graph(), Family::kCore12,
-                    false));
+  const std::unique_ptr<QueryEngine> engine_ptr =
+      QueryEngine::FromSnapshotData(BuildSnapshot(
+          testing_util::PaperFigure2Graph(), Family::kCore12, false));
+  const QueryEngine& engine = *engine_ptr;
   EXPECT_FALSE(
       engine.Run({QueryEngine::QueryKind::kLambda, -1, 0}).status.ok());
   EXPECT_FALSE(
@@ -236,8 +241,10 @@ TEST(QueryEngine, RejectsOutOfRangeInput) {
 }
 
 TEST(QueryEngine, TopKDensestIsSortedAndComplete) {
-  const QueryEngine engine(BuildSnapshot(testing_util::PaperFigure2Graph(),
-                                         Family::kCore12, false));
+  const std::unique_ptr<QueryEngine> engine_ptr =
+      QueryEngine::FromSnapshotData(BuildSnapshot(
+          testing_util::PaperFigure2Graph(), Family::kCore12, false));
+  const QueryEngine& engine = *engine_ptr;
   // Figure 2: two k=3 nuclei (the K4s) and one k=2 nucleus.
   const auto top = engine.TopKDensest(10);
   ASSERT_EQ(top.size(), 3u);
@@ -253,11 +260,13 @@ TEST(QueryEngine, MemberCacheHitsAndEvicts) {
   QueryEngineOptions options;
   options.cache_shards = 2;
   options.cache_entries_per_shard = 1;
-  const QueryEngine engine(
-      BuildSnapshot(testing_util::PaperFigure2Graph(), Family::kCore12,
-                    false),
-      options);
-  const std::int64_t num_nodes = engine.hierarchy().NumNodes();
+  SnapshotData snapshot = BuildSnapshot(testing_util::PaperFigure2Graph(),
+                                        Family::kCore12, false);
+  const NucleusHierarchy reference_hierarchy = snapshot.hierarchy;
+  const std::unique_ptr<QueryEngine> engine_ptr =
+      QueryEngine::FromSnapshotData(std::move(snapshot), options);
+  const QueryEngine& engine = *engine_ptr;
+  const std::int64_t num_nodes = engine.NumNodes();
   ASSERT_GE(num_nodes, 3);  // root + 2-core + two 3-cores
 
   auto first = engine.Members(1);
@@ -272,7 +281,7 @@ TEST(QueryEngine, MemberCacheHitsAndEvicts) {
   for (int round = 0; round < 3; ++round) {
     for (std::int32_t node = 0; node < num_nodes; ++node) {
       EXPECT_EQ(*engine.Members(node),
-                engine.hierarchy().MembersOfSubtree(node));
+                reference_hierarchy.MembersOfSubtree(node));
     }
   }
   stats = engine.CacheStats();

@@ -8,6 +8,7 @@
 // an abort, and (d) produce byte-identical transcripts at every thread
 // count and batch size.
 #include <cstdint>
+#include <memory>
 #include <random>
 #include <sstream>
 #include <string>
@@ -184,17 +185,17 @@ void CheckConformance(const std::vector<std::string>& corpus,
   EXPECT_LT(errors, responses.size());
 }
 
-QueryEngine MakeFigure2Engine() {
+std::unique_ptr<QueryEngine> MakeFigure2Engine() {
   const Graph g = testing_util::PaperFigure2Graph();
   DecomposeOptions options;
   options.family = Family::kCore12;
   options.algorithm = Algorithm::kFnd;
   const DecompositionResult result = Decompose(g, options);
-  return QueryEngine(MakeSnapshot(g, options, result, true));
+  return QueryEngine::FromSnapshotData(MakeSnapshot(g, options, result, true));
 }
 
 TEST(RequestLoopFuzz, SingleTenantNoCrashOneJsonPerLineThreadInvariant) {
-  const QueryEngine engine = MakeFigure2Engine();
+  const std::unique_ptr<QueryEngine> engine = MakeFigure2Engine();
   for (const std::uint64_t seed : {1u, 7u, 990131u}) {
     SCOPED_TRACE(seed);
     const std::vector<std::string> corpus = BuildCorpus(seed);
@@ -207,7 +208,7 @@ TEST(RequestLoopFuzz, SingleTenantNoCrashOneJsonPerLineThreadInvariant) {
         options.batch_size = batch;
         std::istringstream in(script);
         std::ostringstream out;
-        ServeRequests(engine, in, out, options);
+        ServeRequests(*engine, in, out, options);
         if (reference.empty()) {
           reference = out.str();
           CheckConformance(corpus, reference);

@@ -1,5 +1,6 @@
 #include "nucleus/serve/request_loop.h"
 
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -13,13 +14,13 @@
 namespace nucleus {
 namespace {
 
-QueryEngine MakeFigure2Engine() {
+std::unique_ptr<QueryEngine> MakeFigure2Engine() {
   const Graph g = testing_util::PaperFigure2Graph();
   DecomposeOptions options;
   options.family = Family::kCore12;
   options.algorithm = Algorithm::kFnd;
   const DecompositionResult result = Decompose(g, options);
-  return QueryEngine(MakeSnapshot(g, options, result, true));
+  return QueryEngine::FromSnapshotData(MakeSnapshot(g, options, result, true));
 }
 
 TEST(ParseRequestLine, AcceptsEveryVerb) {
@@ -82,10 +83,10 @@ TEST(ParseServeLine, ParsesAndValidatesUpdateVerb) {
 }
 
 TEST(ServeRequests, UpdateVerbWithoutUpdaterIsAnInlineError) {
-  QueryEngine engine = MakeFigure2Engine();
+  const std::unique_ptr<QueryEngine> engine = MakeFigure2Engine();
   std::istringstream in("lambda 0\nupdate 0 5 +\nlambda 0\n");
   std::ostringstream out;
-  const ServeStats stats = ServeRequests(engine, nullptr, in, out);
+  const ServeStats stats = ServeRequests(*engine, nullptr, in, out);
   EXPECT_EQ(stats.requests, 3);
   EXPECT_EQ(stats.errors, 1);
   EXPECT_EQ(stats.updates, 0);
@@ -100,7 +101,7 @@ TEST(ServeRequests, UpdateVerbWithoutUpdaterIsAnInlineError) {
 }
 
 TEST(ServeRequests, AnswersInOrderWithErrorsInline) {
-  const QueryEngine engine = MakeFigure2Engine();
+  const std::unique_ptr<QueryEngine> engine = MakeFigure2Engine();
   std::istringstream in(
       "# figure 2 session\n"
       "\n"
@@ -111,7 +112,7 @@ TEST(ServeRequests, AnswersInOrderWithErrorsInline) {
       "top 2\n"
       "members 0\n");
   std::ostringstream out;
-  const ServeStats stats = ServeRequests(engine, in, out);
+  const ServeStats stats = ServeRequests(*engine, in, out);
   EXPECT_EQ(stats.requests, 6);
   EXPECT_EQ(stats.errors, 1);
 
@@ -137,10 +138,10 @@ TEST(ServeRequests, AnswersInOrderWithErrorsInline) {
 }
 
 TEST(ServeRequests, InvalidQueryArgumentsBecomeErrorObjects) {
-  const QueryEngine engine = MakeFigure2Engine();
+  const std::unique_ptr<QueryEngine> engine = MakeFigure2Engine();
   std::istringstream in("lambda 99999\nmembers -2\n");
   std::ostringstream out;
-  const ServeStats stats = ServeRequests(engine, in, out);
+  const ServeStats stats = ServeRequests(*engine, in, out);
   EXPECT_EQ(stats.requests, 2);
   EXPECT_EQ(stats.errors, 2);
   std::istringstream result(out.str());
@@ -151,7 +152,7 @@ TEST(ServeRequests, InvalidQueryArgumentsBecomeErrorObjects) {
 }
 
 TEST(ServeRequests, OutputIsIdenticalAcrossThreadCountsAndBatchSizes) {
-  const QueryEngine engine = MakeFigure2Engine();
+  const std::unique_ptr<QueryEngine> engine = MakeFigure2Engine();
   // A workload long enough to span several batches.
   std::string script;
   for (int i = 0; i < 10; ++i) {
@@ -171,7 +172,7 @@ TEST(ServeRequests, OutputIsIdenticalAcrossThreadCountsAndBatchSizes) {
       options.batch_size = batch;
       std::istringstream in(script);
       std::ostringstream out;
-      const ServeStats stats = ServeRequests(engine, in, out, options);
+      const ServeStats stats = ServeRequests(*engine, in, out, options);
       EXPECT_EQ(stats.requests, 230);
       EXPECT_EQ(stats.errors, 0);
       if (reference.empty()) {

@@ -61,10 +61,11 @@ struct LiveTenantFiles {
     StatusOr<std::unique_ptr<LiveUpdater>> updater =
         LiveUpdater::Create(graph, *snapshot);
     EXPECT_TRUE(updater.ok());
-    QueryEngine engine(std::move(*snapshot));
+    const std::unique_ptr<QueryEngine> engine =
+        QueryEngine::FromSnapshotData(std::move(*snapshot));
     std::istringstream in(script);
     std::ostringstream out;
-    ServeRequests(engine, updater->get(), in, out, options);
+    ServeRequests(*engine, updater->get(), in, out, options);
     return out.str();
   }
 };
@@ -120,7 +121,7 @@ TEST(RoutedServe, SingleTenantSessionsRejectRoutingAndAdmin) {
   DecomposeOptions options;
   options.family = Family::kCore12;
   options.algorithm = Algorithm::kFnd;
-  const QueryEngine engine(
+  const std::unique_ptr<QueryEngine> engine = QueryEngine::FromSnapshotData(
       MakeSnapshot(g, options, Decompose(g, options), true));
 
   std::istringstream in(
@@ -130,7 +131,7 @@ TEST(RoutedServe, SingleTenantSessionsRejectRoutingAndAdmin) {
       "attach web snapshot=x.nucsnap\n"
       "lambda 0\n");
   std::ostringstream out;
-  const ServeStats stats = ServeRequests(engine, in, out);
+  const ServeStats stats = ServeRequests(*engine, in, out);
   EXPECT_EQ(stats.requests, 5);
   EXPECT_EQ(stats.errors, 3);
   EXPECT_EQ(stats.admin, 0);

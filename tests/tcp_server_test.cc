@@ -18,6 +18,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <random>
 #include <sstream>
@@ -239,13 +240,13 @@ struct FuzzTenants {
   }
 };
 
-QueryEngine MakeFigure2Engine() {
+std::unique_ptr<QueryEngine> MakeFigure2Engine() {
   const Graph g = testing_util::PaperFigure2Graph();
   DecomposeOptions options;
   options.family = Family::kCore12;
   options.algorithm = Algorithm::kFnd;
   const DecompositionResult result = Decompose(g, options);
-  return QueryEngine(MakeSnapshot(g, options, result, true));
+  return QueryEngine::FromSnapshotData(MakeSnapshot(g, options, result, true));
 }
 
 // The core conformance contract of the tier: a routed fuzz session over a
@@ -289,11 +290,11 @@ TEST(TcpServerFuzz, TranscriptMatchesStdioByteForByte) {
 // NUL-bearing lines become parser errors, and lines after either keep
 // serving with correct global line numbers.
 TEST(TcpServerFuzz, OversizedAndNulLinesAreStructuredErrors) {
-  const QueryEngine engine = MakeFigure2Engine();
+  const std::unique_ptr<QueryEngine> engine = MakeFigure2Engine();
   TcpServerOptions options;
   options.max_line_bytes = 1024;
   TcpServer server(
-      MakeEngineResolver(const_cast<QueryEngine&>(engine), nullptr), nullptr,
+      MakeEngineResolver(*engine, nullptr), nullptr,
       options);
   ASSERT_TRUE(server.Start().ok());
 
@@ -324,9 +325,9 @@ TEST(TcpServerFuzz, OversizedAndNulLinesAreStructuredErrors) {
 // A connection that dies mid-line gets its partial final line served the
 // way std::getline serves an unterminated last line — as a line.
 TEST(TcpServerFuzz, MidLineDisconnectServesPartialFinalLine) {
-  const QueryEngine engine = MakeFigure2Engine();
+  const std::unique_ptr<QueryEngine> engine = MakeFigure2Engine();
   TcpServer server(
-      MakeEngineResolver(const_cast<QueryEngine&>(engine), nullptr), nullptr,
+      MakeEngineResolver(*engine, nullptr), nullptr,
       TcpServerOptions{});
   ASSERT_TRUE(server.Start().ok());
 
@@ -349,7 +350,7 @@ TEST(TcpServerFuzz, MidLineDisconnectServesPartialFinalLine) {
 // queue-depth gauge never exceeds the mark), and the rejected lines'
 // responses still come back in input order.
 TEST(TcpServerBackpressure, RejectsPastHighWaterWithLineNumbers) {
-  const QueryEngine engine = MakeFigure2Engine();
+  const std::unique_ptr<QueryEngine> engine = MakeFigure2Engine();
   std::mutex gate_mutex;
   std::condition_variable gate_cv;
   bool entered = false;
@@ -362,7 +363,7 @@ TEST(TcpServerBackpressure, RejectsPastHighWaterWithLineNumbers) {
       gate_cv.notify_all();
       gate_cv.wait(lock, [&] { return released; });
     }
-    return MakeEngineResolver(const_cast<QueryEngine&>(engine),
+    return MakeEngineResolver(*engine,
                               nullptr)(tenant);
   };
 
@@ -421,9 +422,9 @@ TEST(TcpServerBackpressure, RejectsPastHighWaterWithLineNumbers) {
 // and every client sees a well-formed response prefix followed by EOF —
 // never a torn line.
 TEST(TcpServerDrain, DrainUnderLoadFinishesInFlightAndCloses) {
-  const QueryEngine engine = MakeFigure2Engine();
+  const std::unique_ptr<QueryEngine> engine = MakeFigure2Engine();
   TcpServer server(
-      MakeEngineResolver(const_cast<QueryEngine&>(engine), nullptr), nullptr,
+      MakeEngineResolver(*engine, nullptr), nullptr,
       TcpServerOptions{});
   ASSERT_TRUE(server.Start().ok());
 
@@ -592,11 +593,11 @@ TEST(TcpServerConcurrency, ConcurrentUpdatesOnOneTenantSerialize) {
 // error object and closed — a parseable refusal, not a silent reset —
 // while the connection already inside keeps serving.
 TEST(TcpServerLimit, ConnectionsPastLimitGetStructuredError) {
-  const QueryEngine engine = MakeFigure2Engine();
+  const std::unique_ptr<QueryEngine> engine = MakeFigure2Engine();
   TcpServerOptions options;
   options.max_connections = 1;
   TcpServer server(
-      MakeEngineResolver(const_cast<QueryEngine&>(engine), nullptr), nullptr,
+      MakeEngineResolver(*engine, nullptr), nullptr,
       options);
   ASSERT_TRUE(server.Start().ok());
 
