@@ -18,6 +18,11 @@
 //   * round-trip p99 at the same connection counts — one request in
 //     flight per connection, so the tail prices per-line latency
 //     (wakeup, admission, batch flush) instead of batching throughput.
+//   * metrics_efficiency — the same one-connection script with the obs
+//     metrics kill switch on vs off (qps_on / qps_off, best of 3 each
+//     way). The instrumentation budget is a handful of relaxed atomic
+//     adds per line, so this should sit at ~1.0 (>= 0.95 target);
+//     recorded in the gated JSON next to net_efficiency.
 //
 // Flags:
 //   --quick       CI smoke mode: fewer connection counts ({1,4,32}) and
@@ -47,6 +52,7 @@
 #include "nucleus/bench/datasets.h"
 #include "nucleus/bench/table.h"
 #include "nucleus/core/decomposition.h"
+#include "nucleus/obs/metrics.h"
 #include "nucleus/serve/net/tcp_server.h"
 #include "nucleus/serve/request_loop.h"
 #include "nucleus/serve/snapshot_registry.h"
@@ -198,6 +204,9 @@ void Run(const Options& options) {
   // below a full-mode baseline.
   const std::int64_t lines_per_conn = 2500;
   const std::int64_t pings_per_conn = options.quick ? 150 : 500;
+  // The metrics on/off leg pumps script 0 this many times concatenated
+  // so the measurement is long enough to resolve a few-percent effect.
+  constexpr int kMetricsRepeat = 8;
 
   // Two tenants behind one registry: every script is routed, so the wire
   // exercises the same grammar the stdio replay does.
@@ -310,8 +319,9 @@ void Run(const Options& options) {
   tcp_options.max_connections = max_conns + 8;
   // A fire-hosed script must fit the admission queue whole — rejects are
   // correct back-pressure behavior, but here they would poison the
-  // byte-compare (the stdio replay admits everything).
-  tcp_options.queue_high_water = lines_per_conn + 64;
+  // byte-compare (the stdio replay admits everything). The metrics leg
+  // below pumps the script kMetricsRepeat x concatenated, so size for it.
+  tcp_options.queue_high_water = lines_per_conn * kMetricsRepeat + 64;
   TcpServer server(MakeRegistryResolver(registry), &registry, tcp_options);
   if (Status s = server.Start(); !s.ok()) {
     std::cerr << "error: " << s.ToString() << "\n";
@@ -404,6 +414,40 @@ void Run(const Options& options) {
   }
   table.Print(std::cout);
 
+  // Metrics overhead: instrumentation on vs off (process-wide kill
+  // switch), best of 3 each way on the same live server. The C=1 script
+  // is a ~5ms measurement — too short to resolve a 5% effect against
+  // loopback scheduling jitter — so this leg pumps it 8x concatenated
+  // (~20k lines) through one connection. Queries are stateless, so the
+  // expected transcript is the reference repeated 8x; it must stay
+  // byte-identical either way — metrics are a pure side channel.
+  std::string metrics_script;
+  std::string metrics_reference;
+  for (int i = 0; i < kMetricsRepeat; ++i) {
+    metrics_script += scripts[0];
+    metrics_reference += reference[0];
+  }
+  double metrics_on_seconds = 0.0;
+  double metrics_off_seconds = 0.0;
+  for (const bool enabled : {true, false}) {
+    obs::SetMetricsEnabled(enabled);
+    double best_seconds = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      Timer timer;
+      const std::string transcript = PumpScript(Dial(port), metrics_script);
+      const double seconds = timer.Seconds();
+      best_seconds = rep == 0 ? seconds : std::min(best_seconds, seconds);
+      if (transcript != metrics_reference) {
+        std::cerr << "error: transcript diverged with metrics "
+                  << (enabled ? "on" : "off") << "\n";
+        std::exit(1);
+      }
+    }
+    (enabled ? metrics_on_seconds : metrics_off_seconds) = best_seconds;
+  }
+  obs::SetMetricsEnabled(true);
+  const double metrics_efficiency = metrics_off_seconds / metrics_on_seconds;
+
   server.Stop();
   const TcpServerStats stats = server.Stats();
   if (stats.lines_rejected != 0 || stats.connections_rejected != 0) {
@@ -420,6 +464,11 @@ void Run(const Options& options) {
             << "\nnet_efficiency (stdio/tcp, ~1.0 when the socket tier is "
                "free): "
             << FormatDouble(net_efficiency, 3)
+            << "\nmetrics on: " << FormatSeconds(metrics_on_seconds)
+            << "; metrics off: " << FormatSeconds(metrics_off_seconds)
+            << "\nmetrics_efficiency (qps_on/qps_off, >= 0.95 when the "
+               "instrumentation is free): "
+            << FormatDouble(metrics_efficiency, 3)
             << "\nEvery TCP transcript is byte-compared against its "
                "stdin/stdout replay;\na divergence fails the bench, not just "
                "the gate.\n";
@@ -446,8 +495,10 @@ void Run(const Options& options) {
     }
     std::fprintf(f, "},\n");
     std::fprintf(f, "  \"results\": {\n");
-    std::fprintf(f, "    \"net2\": {\"net_efficiency\": %.4f}\n",
+    std::fprintf(f, "    \"net2\": {\"net_efficiency\": %.4f},\n",
                  net_efficiency);
+    std::fprintf(f, "    \"net3\": {\"metrics_efficiency\": %.4f}\n",
+                 metrics_efficiency);
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::cout << "\nwrote " << options.json_path << "\n";

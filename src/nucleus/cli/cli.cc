@@ -31,6 +31,9 @@
 #include "nucleus/graph/generators.h"
 #include "nucleus/graph/graph_stats.h"
 #include "nucleus/io/hierarchy_export.h"
+#include "nucleus/obs/exposition.h"
+#include "nucleus/obs/metrics.h"
+#include "nucleus/obs/trace.h"
 #include "nucleus/serve/live_update.h"
 #include "nucleus/serve/net/tcp_server.h"
 #include "nucleus/serve/query_engine.h"
@@ -919,18 +922,45 @@ extern "C" void HandleDrainSignal(int /*signum*/) {
 /// client's `shutdown` verb or SIGINT/SIGTERM.
 int RunTcpServe(const ServeSessionResolver& resolver,
                 SnapshotRegistry* registry, const TcpServerOptions& options,
-                std::ostream& out, std::ostream& err) {
+                int metrics_port, std::ostream& out, std::ostream& err) {
   TcpServer server(resolver, registry, options);
   if (Status s = server.Start(); !s.ok()) {
     err << "error: " << s.ToString() << "\n";
     return 1;
   }
+  // Optional Prometheus scrape endpoint next to the protocol port. The
+  // render refreshes the registry-level gauges (resident/mapped bytes,
+  // cache hit ratios) on every scrape, so a scraper never reads stale
+  // gauges even if no `metrics` verb ever runs.
+  std::unique_ptr<obs::MetricsExpositionServer> exposition;
+  if (metrics_port >= 0) {
+    obs::MetricsExpositionServer::Options mopt;
+    mopt.host = options.host;
+    mopt.port = metrics_port;
+    exposition = std::make_unique<obs::MetricsExpositionServer>(
+        [registry] {
+          obs::MetricsRegistry& m = obs::MetricsRegistry::Global();
+          if (registry != nullptr) PublishRegistryMetrics(*registry, m);
+          return m.ToPrometheusText();
+        },
+        mopt);
+    if (Status s = exposition->Start(); !s.ok()) {
+      err << "error: " << s.ToString() << "\n";
+      server.Stop();
+      return 1;
+    }
+  }
   g_drain_target.store(&server, std::memory_order_release);
   std::signal(SIGINT, HandleDrainSignal);
   std::signal(SIGTERM, HandleDrainSignal);
   out << "listening on " << options.host << ":" << server.port() << "\n";
+  if (exposition != nullptr) {
+    out << "metrics on " << options.host << ":" << exposition->port()
+        << "\n";
+  }
   out.flush();
   server.Wait();
+  if (exposition != nullptr) exposition->Stop();
   g_drain_target.store(nullptr, std::memory_order_release);
   std::signal(SIGINT, SIG_DFL);
   std::signal(SIGTERM, SIG_DFL);
@@ -1086,7 +1116,8 @@ int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   if (!CheckFlags(parsed,
                   {"snapshot", "deltas", "input", "queries", "out", "threads",
                    "batch", "registry", "budget-mb", "listen", "max-conns",
-                   "high-water", "memory-mode"},
+                   "high-water", "memory-mode", "trace-log", "trace-sample",
+                   "slow-ms", "metrics-port"},
                   err)) {
     return 2;
   }
@@ -1135,17 +1166,52 @@ int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   std::int64_t listen_port = -1;
   std::int64_t max_conns = 64;
   std::int64_t high_water = 1024;
+  std::int64_t trace_sample = 1;
+  std::int64_t slow_ms = -1;
+  std::int64_t metrics_port = -1;
   if (!ParseThreads(parsed, &options.parallel, err) ||
       !ParseIntFlag(parsed, "batch", 256, 1, 1 << 20, &batch, err) ||
       !ParseIntFlag(parsed, "budget-mb", 0, 0, 1 << 20, &budget_mb, err) ||
       !ParseIntFlag(parsed, "listen", -1, 0, 65535, &listen_port, err) ||
       !ParseIntFlag(parsed, "max-conns", 64, 1, 1 << 16, &max_conns, err) ||
       !ParseIntFlag(parsed, "high-water", 1024, 1, 1 << 24, &high_water,
+                    err) ||
+      !ParseIntFlag(parsed, "trace-sample", 1, 1, 1 << 30, &trace_sample,
+                    err) ||
+      !ParseIntFlag(parsed, "slow-ms", -1, 0, 1 << 30, &slow_ms, err) ||
+      !ParseIntFlag(parsed, "metrics-port", -1, 0, 65535, &metrics_port,
                     err)) {
     return 2;
   }
   options.batch_size = batch;
+  const std::string trace_path = FlagOr(parsed, "trace-log", "");
+  if (trace_path.empty() &&
+      (HasFlag(parsed, "trace-sample") || HasFlag(parsed, "slow-ms"))) {
+    err << "error: --trace-sample/--slow-ms only apply with --trace-log\n";
+    return 2;
+  }
+  if (!trace_path.empty()) {
+    obs::TraceLog::Options trace_options;
+    trace_options.path = trace_path;
+    trace_options.sample_every = trace_sample;
+    trace_options.slow_ms = slow_ms;
+    StatusOr<std::shared_ptr<obs::TraceLog>> trace_log =
+        obs::TraceLog::Open(trace_options);
+    if (!trace_log.ok()) {
+      err << "error: " << trace_log.status().ToString() << "\n";
+      return 1;
+    }
+    options.trace_log = std::move(*trace_log);
+    err << "tracing to " << trace_path << " (sample 1/" << trace_sample;
+    if (slow_ms >= 0) err << ", slow >= " << slow_ms << " ms";
+    err << ")\n";
+  }
   const bool listen = HasFlag(parsed, "listen");
+  if (!listen && HasFlag(parsed, "metrics-port")) {
+    err << "error: --metrics-port only applies with --listen (stdio "
+           "sessions expose the registry via the `metrics` verb)\n";
+    return 2;
+  }
   if (listen && (HasFlag(parsed, "queries") || HasFlag(parsed, "out"))) {
     err << "error: --listen serves over TCP; --queries/--out apply to "
            "stdio sessions (use `nucleus_cli connect` as the client)\n";
@@ -1222,7 +1288,8 @@ int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
     if (listen) {
       tcp_options.serve = options;
       return RunTcpServe(MakeRegistryResolver(registry), &registry,
-                         tcp_options, out, err);
+                         tcp_options, static_cast<int>(metrics_port), out,
+                         err);
     }
     const ServeStats stats =
         ServeRegistryRequests(registry, in_stream(), out_stream(), options);
@@ -1288,7 +1355,8 @@ int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   if (listen) {
     tcp_options.serve = options;
     return RunTcpServe(MakeEngineResolver(*engine, updater.get()), nullptr,
-                       tcp_options, out, err);
+                       tcp_options, static_cast<int>(metrics_port), out,
+                       err);
   }
   const ServeStats stats = ServeRequests(*engine, updater.get(), in_stream(),
                                          out_stream(), options);
@@ -1365,6 +1433,12 @@ void PrintUsage(std::ostream& err) {
          "[--max-conns N] caps connections, [--high-water N] bounds each "
          "connection's admission queue; SIGINT/SIGTERM or the `shutdown` "
          "verb drain gracefully)\n"
+      << "                (observability: [--trace-log F] writes sampled "
+         "JSON-lines request traces, [--trace-sample N] records 1 in N, "
+         "[--slow-ms T] always records requests at or over T ms; "
+         "[--metrics-port P] with --listen serves Prometheus text on "
+         "'metrics on <host>:<port>'; the `metrics [text]` verb works in "
+         "every session)\n"
       << "  connect       --port <P|stdin> [--host H] [--queries F] "
          "[--out F]\n"
       << "                (TCP client for serve --listen; --port stdin "

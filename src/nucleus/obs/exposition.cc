@@ -1,0 +1,129 @@
+#include "nucleus/obs/exposition.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace nucleus {
+namespace obs {
+namespace {
+
+void SendAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // scraper went away; nothing to do
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+MetricsExpositionServer::MetricsExpositionServer(
+    std::function<std::string()> render, Options options)
+    : render_(std::move(render)), options_(std::move(options)) {}
+
+MetricsExpositionServer::~MetricsExpositionServer() { Stop(); }
+
+Status MetricsExpositionServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("metrics socket: ") +
+                           std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("metrics host must be an IPv4 address: " +
+                                   options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("metrics bind/listen on " + options_.host + ":" +
+                           std::to_string(options_.port) + ": " + detail);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  if (::pipe(wake_fds_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("metrics wake pipe: ") +
+                           std::strerror(errno));
+  }
+  thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void MetricsExpositionServer::Stop() {
+  if (!thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+  const char byte = 'x';
+  (void)!::write(wake_fds_[1], &byte, 1);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  wake_fds_[0] = wake_fds_[1] = -1;
+}
+
+void MetricsExpositionServer::Loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_fds_[0], POLLIN, 0};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Read and discard whatever request line the scraper sent; the
+    // response is the same for every path. A short timeout keeps a
+    // silent client from wedging the loop.
+    timeval tv{0, 200 * 1000};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    char buf[1024];
+    (void)!::recv(fd, buf, sizeof buf, 0);
+    const std::string body = render_();
+    std::string response =
+        "HTTP/1.0 200 OK\r\n"
+        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+        "Content-Length: " +
+        std::to_string(body.size()) +
+        "\r\n"
+        "Connection: close\r\n\r\n" +
+        body;
+    SendAll(fd, response);
+    ::shutdown(fd, SHUT_WR);
+    ::close(fd);
+  }
+}
+
+}  // namespace obs
+}  // namespace nucleus

@@ -1,0 +1,54 @@
+// Minimal plain-text metrics exposition listener: answers every HTTP-ish
+// request on its port with the Prometheus text rendering of the metrics
+// registry, so standard scrapers can point at `serve --metrics-port N`.
+// One accept loop on its own thread; scrapes are rare and small, so
+// connections are handled inline and closed immediately.
+#ifndef NUCLEUS_OBS_EXPOSITION_H_
+#define NUCLEUS_OBS_EXPOSITION_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "nucleus/util/status.h"
+
+namespace nucleus {
+namespace obs {
+
+class MetricsExpositionServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;  // 0 = ephemeral; bound port via port() after Start
+  };
+
+  /// render returns the exposition body for one scrape (typically a
+  /// gauge refresh followed by MetricsRegistry::ToPrometheusText).
+  MetricsExpositionServer(std::function<std::string()> render,
+                          Options options);
+  ~MetricsExpositionServer();
+
+  MetricsExpositionServer(const MetricsExpositionServer&) = delete;
+  MetricsExpositionServer& operator=(const MetricsExpositionServer&) = delete;
+
+  Status Start();
+  void Stop();
+  int port() const { return port_; }
+
+ private:
+  void Loop();
+
+  std::function<std::string()> render_;
+  Options options_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe to interrupt poll() on Stop
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace nucleus
+
+#endif  // NUCLEUS_OBS_EXPOSITION_H_

@@ -1,0 +1,305 @@
+#include "nucleus/obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace nucleus {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+/// Renders a gauge value: integral values print without a decimal point
+/// so byte gauges stay stable to diff, everything else gets %.6g.
+std::string FormatNumber(double v) {
+  const double floor_v = static_cast<double>(static_cast<std::int64_t>(v));
+  if (v == floor_v && v > -9.0e15 && v < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRId64, static_cast<std::int64_t>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::int64_t Histogram::BucketBoundUs(int i) {
+  if (i >= kFiniteBuckets) return std::numeric_limits<std::int64_t>::max();
+  return std::int64_t{1} << i;
+}
+
+int Histogram::BucketFor(std::int64_t us) {
+  if (us <= 1) return 0;
+  // Smallest i with us <= 2^i: bit width of (us - 1).
+  int bits = 0;
+  std::uint64_t v = static_cast<std::uint64_t>(us - 1);
+  while (v != 0) {
+    v >>= 1;
+    ++bits;
+  }
+  return bits < kFiniteBuckets ? bits : kFiniteBuckets;
+}
+
+void Histogram::Observe(std::int64_t us) {
+  if (!MetricsEnabled()) return;
+  if (us < 0) us = 0;
+  buckets_[BucketFor(us)].fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(us, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.sum_us = sum_us_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[i];
+  }
+  return snap;
+}
+
+std::int64_t Histogram::Snapshot::ApproxQuantileUs(double q) const {
+  if (count <= 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  std::int64_t rank = static_cast<std::int64_t>(q * static_cast<double>(count));
+  if (rank >= count) rank = count - 1;
+  std::int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > rank) return BucketBoundUs(i);
+  }
+  return BucketBoundUs(kBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Metric* MetricsRegistry::Resolve(const std::string& name,
+                                                  Kind kind,
+                                                  const std::string& tenant,
+                                                  const std::string& verb) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = families_[name];
+  if (family.children.empty()) family.kind = kind;
+  LabelKey key{tenant, verb};
+  auto it = family.children.find(key);
+  if (it == family.children.end()) {
+    if (static_cast<int>(family.children.size()) >= kMaxLabelSets) {
+      // Cardinality cap: collapse every further label set into one
+      // overflow child so a hostile tenant stream cannot grow us.
+      key = LabelKey{"_other", "_other"};
+      it = family.children.find(key);
+      if (it != family.children.end()) return &it->second;
+    }
+    it = family.children.emplace(key, Metric{}).first;
+    switch (family.kind) {
+      case Kind::kCounter:
+        it->second.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        it->second.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        it->second.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  }
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& tenant,
+                                     const std::string& verb) {
+  Metric* m = Resolve(name, Kind::kCounter, tenant, verb);
+  return m->counter ? m->counter.get() : nullptr;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& tenant,
+                                 const std::string& verb) {
+  Metric* m = Resolve(name, Kind::kGauge, tenant, verb);
+  return m->gauge ? m->gauge.get() : nullptr;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& tenant,
+                                         const std::string& verb) {
+  Metric* m = Resolve(name, Kind::kHistogram, tenant, verb);
+  return m->histogram ? m->histogram.get() : nullptr;
+}
+
+namespace {
+
+/// JSON object key for one label set: "" for unlabeled, else
+/// "tenant=alpha,verb=lambda" with empty halves omitted. Tenant names
+/// are charset-validated upstream, verbs are compile-time literals, so
+/// no JSON escaping is needed here.
+std::string LabelJsonKey(const std::string& tenant, const std::string& verb) {
+  std::string key;
+  if (!tenant.empty()) key += "tenant=" + tenant;
+  if (!verb.empty()) {
+    if (!key.empty()) key += ",";
+    key += "verb=" + verb;
+  }
+  return key;
+}
+
+/// Prometheus label block: {tenant="alpha",verb="lambda"} or "".
+std::string LabelPromBlock(const std::string& tenant, const std::string& verb,
+                           const std::string& extra = "") {
+  std::string block;
+  auto append = [&block](const std::string& k, const std::string& v) {
+    if (v.empty()) return;
+    if (!block.empty()) block += ",";
+    block += k + "=\"" + v + "\"";
+  };
+  append("tenant", tenant);
+  append("verb", verb);
+  if (!extra.empty()) {
+    if (!block.empty()) block += ",";
+    block += extra;
+  }
+  return block.empty() ? "" : "{" + block + "}";
+}
+
+void AppendHistogramJson(std::ostringstream& out,
+                         const Histogram::Snapshot& snap) {
+  out << "{\"count\": " << snap.count << ", \"sum_us\": " << snap.sum_us
+      << ", \"p50_us\": " << snap.ApproxQuantileUs(0.50)
+      << ", \"p90_us\": " << snap.ApproxQuantileUs(0.90)
+      << ", \"p99_us\": " << snap.ApproxQuantileUs(0.99) << ", \"buckets\": [";
+  bool first = true;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    if (snap.buckets[i] == 0) continue;
+    if (!first) out << ", ";
+    first = false;
+    out << "[";
+    if (i >= Histogram::kFiniteBuckets) {
+      out << "-1";  // +Inf bucket: JSON has no Infinity literal.
+    } else {
+      out << Histogram::BucketBoundUs(i);
+    }
+    out << ", " << snap.buckets[i] << "]";
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJsonBody() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream counters, gauges, histograms;
+  bool first_counter = true, first_gauge = true, first_histogram = true;
+  for (const auto& [name, family] : families_) {
+    std::ostringstream* out = nullptr;
+    bool* first = nullptr;
+    switch (family.kind) {
+      case Kind::kCounter:
+        out = &counters;
+        first = &first_counter;
+        break;
+      case Kind::kGauge:
+        out = &gauges;
+        first = &first_gauge;
+        break;
+      case Kind::kHistogram:
+        out = &histograms;
+        first = &first_histogram;
+        break;
+    }
+    if (!*first) *out << ", ";
+    *first = false;
+    *out << "\"" << name << "\": {";
+    bool first_child = true;
+    for (const auto& [key, metric] : family.children) {
+      if (!first_child) *out << ", ";
+      first_child = false;
+      *out << "\"" << LabelJsonKey(key.tenant, key.verb) << "\": ";
+      switch (family.kind) {
+        case Kind::kCounter:
+          *out << metric.counter->Value();
+          break;
+        case Kind::kGauge:
+          *out << FormatNumber(metric.gauge->Value());
+          break;
+        case Kind::kHistogram:
+          AppendHistogramJson(*out, metric.histogram->Snap());
+          break;
+      }
+    }
+    *out << "}";
+  }
+  std::ostringstream body;
+  body << "\"counters\": {" << counters.str() << "}, \"gauges\": {"
+       << gauges.str() << "}, \"histograms\": {" << histograms.str() << "}";
+  return body.str();
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, family] : families_) {
+    switch (family.kind) {
+      case Kind::kCounter:
+        out << "# TYPE " << name << " counter\n";
+        for (const auto& [key, metric] : family.children) {
+          out << name << LabelPromBlock(key.tenant, key.verb) << " "
+              << metric.counter->Value() << "\n";
+        }
+        break;
+      case Kind::kGauge:
+        out << "# TYPE " << name << " gauge\n";
+        for (const auto& [key, metric] : family.children) {
+          out << name << LabelPromBlock(key.tenant, key.verb) << " "
+              << FormatNumber(metric.gauge->Value()) << "\n";
+        }
+        break;
+      case Kind::kHistogram: {
+        out << "# TYPE " << name << " histogram\n";
+        for (const auto& [key, metric] : family.children) {
+          const Histogram::Snapshot snap = metric.histogram->Snap();
+          std::int64_t cumulative = 0;
+          for (int i = 0; i < Histogram::kBuckets; ++i) {
+            cumulative += snap.buckets[i];
+            // Emit only occupied bounds plus the mandatory +Inf bucket
+            // to keep scrapes compact; cumulative counts stay exact.
+            if (snap.buckets[i] == 0 && i < Histogram::kFiniteBuckets) {
+              continue;
+            }
+            std::string le = i >= Histogram::kFiniteBuckets
+                                 ? "+Inf"
+                                 : FormatNumber(static_cast<double>(
+                                       Histogram::BucketBoundUs(i)));
+            out << name << "_bucket"
+                << LabelPromBlock(key.tenant, key.verb, "le=\"" + le + "\"")
+                << " " << cumulative << "\n";
+          }
+          out << name << "_sum" << LabelPromBlock(key.tenant, key.verb) << " "
+              << snap.sum_us << "\n";
+          out << name << "_count" << LabelPromBlock(key.tenant, key.verb)
+              << " " << snap.count << "\n";
+        }
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace nucleus

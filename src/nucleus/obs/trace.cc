@@ -1,0 +1,47 @@
+#include "nucleus/obs/trace.h"
+
+#include "nucleus/io/hierarchy_export.h"
+
+namespace nucleus {
+namespace obs {
+
+StatusOr<std::shared_ptr<TraceLog>> TraceLog::Open(const Options& options) {
+  if (options.sample_every < 1) {
+    return Status::InvalidArgument("trace sample rate must be >= 1");
+  }
+  std::shared_ptr<TraceLog> log(new TraceLog(options));
+  log->out_.open(options.path, std::ios::out | std::ios::trunc);
+  if (!log->out_.is_open()) {
+    return Status::Internal("cannot open trace log: " + options.path);
+  }
+  return log;
+}
+
+void TraceLog::Record(const TraceSpan& span) {
+  const std::int64_t seq = seen_.fetch_add(1, std::memory_order_relaxed);
+  const bool sampled = seq % options_.sample_every == 0;
+  const bool slow =
+      options_.slow_ms >= 0 && span.TotalUs() >= options_.slow_ms * 1000;
+  if (!sampled && !slow) return;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (failed_) return;
+  out_ << "{\"line\": " << span.line << ", \"tenant\": \""
+       << JsonEscape(span.tenant) << "\", \"verb\": \""
+       << JsonEscape(span.verb) << "\", \"error\": "
+       << (span.error ? "true" : "false") << ", \"parse_us\": "
+       << span.parse_us << ", \"queue_us\": " << span.queue_us
+       << ", \"exec_us\": " << span.exec_us << ", \"flush_us\": "
+       << span.flush_us << ", \"total_us\": " << span.TotalUs();
+  if (slow) out_ << ", \"slow\": true";
+  out_ << "}\n";
+  out_.flush();
+  if (!out_.good()) {
+    failed_ = true;
+    return;
+  }
+  written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace nucleus

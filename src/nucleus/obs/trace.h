@@ -1,0 +1,83 @@
+// Per-request tracing for the serving tier: a TraceSpan records the
+// four-phase timing breakdown of one request line (parse -> queue-wait
+// -> execute -> flush) and a TraceLog writes sampled spans as JSON
+// lines, with a threshold-based slow-query override that always logs a
+// span past --slow-ms regardless of sampling.
+//
+// Traces are a side channel: they go to their own file, never to the
+// response stream, so transcripts stay byte-identical with tracing on.
+#ifndef NUCLEUS_OBS_TRACE_H_
+#define NUCLEUS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "nucleus/util/status.h"
+
+namespace nucleus {
+namespace obs {
+
+/// Timing breakdown of one request line, all in microseconds. exec_us
+/// and flush_us are batch-level measurements attributed to every line
+/// in the batch (queries execute as batches; see serve/README.md).
+struct TraceSpan {
+  std::int64_t line = 0;       // 1-based input line number
+  std::string tenant;          // "" for unrouted sessions
+  std::string verb;            // request verb, or an error class
+  bool error = false;          // true when the line produced an error object
+  std::int64_t parse_us = 0;   // line parse + routing
+  std::int64_t queue_us = 0;   // parsed -> batch execution started
+  std::int64_t exec_us = 0;    // batch execution (admin/update: the verb body)
+  std::int64_t flush_us = 0;   // response emission to the output stream
+
+  std::int64_t TotalUs() const {
+    return parse_us + queue_us + exec_us + flush_us;
+  }
+};
+
+/// Append-only JSON-lines trace sink, shared across connection workers
+/// via shared_ptr. Thread-safe; one mutex around the write, sampling
+/// decided by one atomic counter so "every Nth span" holds process-wide
+/// rather than per-thread.
+class TraceLog {
+ public:
+  struct Options {
+    std::string path;
+    std::int64_t sample_every = 1;  // record every Nth span (1 = all)
+    std::int64_t slow_ms = -1;      // always record spans >= this (-1 = off)
+  };
+
+  static StatusOr<std::shared_ptr<TraceLog>> Open(const Options& options);
+
+  /// Applies the sampling + slow-query rules and writes one JSON line
+  /// when the span qualifies. Never throws, never blocks the response
+  /// stream; a failed write disables the sink for the rest of the run.
+  void Record(const TraceSpan& span);
+
+  std::int64_t spans_seen() const {
+    return seen_.load(std::memory_order_relaxed);
+  }
+  std::int64_t spans_written() const {
+    return written_.load(std::memory_order_relaxed);
+  }
+  const Options& options() const { return options_; }
+
+ private:
+  explicit TraceLog(Options options) : options_(std::move(options)) {}
+
+  Options options_;
+  std::ofstream out_;
+  std::mutex mutex_;
+  std::atomic<std::int64_t> seen_{0};
+  std::atomic<std::int64_t> written_{0};
+  bool failed_ = false;  // guarded by mutex_
+};
+
+}  // namespace obs
+}  // namespace nucleus
+
+#endif  // NUCLEUS_OBS_TRACE_H_

@@ -36,17 +36,27 @@ struct LruCacheStats {
   /// hot set, so the stats verb reports it per tenant.
   std::int64_t bytes = 0;
 
-  /// Merges COUNTERS from `other` into this. Used to keep one logical
-  /// stats stream per tenant across cache generations (the snapshot
-  /// registry accumulates a retiring engine's counters before dropping
-  /// it). `entries` / `bytes` are gauges of a live cache, not counters: a
-  /// retired cache's entries are gone, so Add deliberately leaves them
-  /// alone and aggregators set them from the currently resident cache
-  /// only.
+  /// Merges `other` into this: the counters, plus the `bytes` gauge —
+  /// summing bytes is what makes per-shard stats compose into one cache
+  /// total. Aggregators folding a RETIRED cache (whose bytes are freed)
+  /// zero `other.bytes` first; see the snapshot registry's evict/detach
+  /// paths. `entries` stays excluded: a merged entry count is meaningful
+  /// only for live shards, and Stats() sums those directly.
   void Add(const LruCacheStats& other) {
     hits += other.hits;
     misses += other.misses;
     evictions += other.evictions;
+    bytes += other.bytes;
+  }
+
+  /// Derived hit ratio in [0, 1]; 0 when no lookups were recorded. Every
+  /// GetOrCompute contributes exactly one of {hit, miss}, so
+  /// hits + misses == lookups and this is hits / lookups.
+  double HitRatio() const {
+    const std::int64_t lookups = hits + misses;
+    return lookups > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
   }
 };
 
@@ -132,16 +142,16 @@ class ShardedLruCache {
     return shard.order.front().second;
   }
 
-  /// Aggregated over all shards.
+  /// Aggregated over all shards via LruCacheStats::Add (counters +
+  /// bytes); `entries` is summed directly since every shard here is live.
   LruCacheStats Stats() const {
     LruCacheStats total;
     for (const Shard& shard : shards_) {
       std::lock_guard<std::mutex> lock(shard.mutex);
-      total.hits += shard.stats.hits;
-      total.misses += shard.stats.misses;
-      total.evictions += shard.stats.evictions;
+      LruCacheStats slice = shard.stats;
+      slice.bytes = shard.bytes;
+      total.Add(slice);
       total.entries += static_cast<std::int64_t>(shard.map.size());
-      total.bytes += shard.bytes;
     }
     return total;
   }

@@ -116,6 +116,9 @@ struct TcpServer::Connection {
     Status reject;             // kReject
     std::int64_t count = 0;    // kReject: consecutive rejected lines
     bool overflow = false;     // kReject: coalescable back-pressure drop
+    // kLine admission time for the queue-wait histogram; default
+    // (epoch) means metrics were off at admission — not observed.
+    std::chrono::steady_clock::time_point enqueued{};
   };
 
   std::mutex mutex;
@@ -137,7 +140,26 @@ TcpServer::TcpServer(ServeSessionResolver resolver,
                      SnapshotRegistry* registry, TcpServerOptions options)
     : resolver_(std::move(resolver)),
       registry_(registry),
-      options_(std::move(options)) {}
+      options_(std::move(options)),
+      metrics_(options_.serve.metrics != nullptr
+                   ? options_.serve.metrics
+                   : &obs::MetricsRegistry::Global()),
+      m_accepted_(
+          metrics_->GetCounter("nucleus_tcp_connections_accepted_total")),
+      m_rejected_connections_(
+          metrics_->GetCounter("nucleus_tcp_connections_rejected_total")),
+      m_drained_(
+          metrics_->GetCounter("nucleus_tcp_connections_drained_total")),
+      m_lines_admitted_(
+          metrics_->GetCounter("nucleus_tcp_lines_admitted_total")),
+      m_lines_rejected_(
+          metrics_->GetCounter("nucleus_tcp_lines_rejected_total")),
+      m_oversized_lines_(
+          metrics_->GetCounter("nucleus_tcp_oversized_lines_total")),
+      m_open_(metrics_->GetGauge("nucleus_tcp_connections_open")),
+      m_queue_depth_(metrics_->GetGauge("nucleus_tcp_queue_depth")),
+      m_max_queue_depth_(metrics_->GetGauge("nucleus_tcp_max_queue_depth")),
+      m_queue_wait_(metrics_->GetHistogram("nucleus_tcp_queue_wait_us")) {}
 
 TcpServer::~TcpServer() {
   Stop();
@@ -287,6 +309,7 @@ void TcpServer::AcceptPending() {
           ::send(fd, error.data(), error.size(), MSG_NOSIGNAL);
       ::close(fd);
       rejected_connections_.fetch_add(1, std::memory_order_relaxed);
+      m_rejected_connections_->Increment();
       continue;
     }
     SetNonBlocking(fd);
@@ -295,7 +318,10 @@ void TcpServer::AcceptPending() {
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     accepted_.fetch_add(1, std::memory_order_relaxed);
-    open_.fetch_add(1, std::memory_order_relaxed);
+    const std::int64_t now_open =
+        open_.fetch_add(1, std::memory_order_relaxed) + 1;
+    m_accepted_->Increment();
+    m_open_->Set(static_cast<double>(now_open));
     Connection* raw = conn.get();
     conn->worker = std::thread(&TcpServer::WorkerLoop, this, raw);
     connections_.push_back(std::move(conn));
@@ -310,6 +336,7 @@ void TcpServer::AdmitLine(Connection& conn, std::string line) {
     // worker expands into per-line errors, so a firehose of rejected
     // lines costs O(1) memory.
     lines_rejected_.fetch_add(1, std::memory_order_relaxed);
+    m_lines_rejected_->Increment();
     if (!conn.queue.empty() && conn.queue.back().kind ==
             Connection::Item::Kind::kReject &&
         conn.queue.back().overflow) {
@@ -329,15 +356,27 @@ void TcpServer::AdmitLine(Connection& conn, std::string line) {
     Connection::Item item;
     item.kind = Connection::Item::Kind::kLine;
     item.text = std::move(line);
+    const std::int64_t admitted =
+        lines_admitted_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::MetricsEnabled() && (admitted & 7) == 0) {
+      // Queue-wait is sampled 1-in-8: the histogram prices the wait
+      // distribution, and the two clock reads a timestamp costs (here
+      // and at dequeue) are the most expensive instructions on this
+      // path.
+      item.enqueued = std::chrono::steady_clock::now();
+    }
     conn.queue.push_back(std::move(item));
     ++conn.admitted_depth;
-    lines_admitted_.fetch_add(1, std::memory_order_relaxed);
+    m_lines_admitted_->Increment();
     const std::int64_t depth =
         queue_depth_.fetch_add(1, std::memory_order_relaxed) + 1;
     std::int64_t seen = max_queue_depth_.load(std::memory_order_relaxed);
     while (depth > seen && !max_queue_depth_.compare_exchange_weak(
                                seen, depth, std::memory_order_relaxed)) {
     }
+    m_queue_depth_->Set(static_cast<double>(depth));
+    m_max_queue_depth_->Set(static_cast<double>(
+        max_queue_depth_.load(std::memory_order_relaxed)));
   }
   conn.cv.notify_one();
 }
@@ -345,6 +384,8 @@ void TcpServer::AdmitLine(Connection& conn, std::string line) {
 void TcpServer::RejectOversized(Connection& conn) {
   oversized_lines_.fetch_add(1, std::memory_order_relaxed);
   lines_rejected_.fetch_add(1, std::memory_order_relaxed);
+  m_oversized_lines_->Increment();
+  m_lines_rejected_->Increment();
   std::lock_guard<std::mutex> lock(conn.mutex);
   Connection::Item item;
   item.kind = Connection::Item::Kind::kReject;
@@ -439,7 +480,15 @@ void TcpServer::WorkerLoop(Connection* conn) {
       // for every kLine leaving the queue — including ones discarded
       // below (post-shutdown, post-EOF) that are never processed.
       if (item.kind == Connection::Item::Kind::kLine) {
-        queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+        const std::int64_t depth =
+            queue_depth_.fetch_sub(1, std::memory_order_relaxed) - 1;
+        m_queue_depth_->Set(static_cast<double>(depth));
+        if (item.enqueued != std::chrono::steady_clock::time_point{}) {
+          m_queue_wait_->Observe(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - item.enqueued)
+                  .count());
+        }
       }
       if (eof || processor.shutdown_requested()) continue;  // drop input
       switch (item.kind) {
@@ -529,10 +578,15 @@ void TcpServer::PollLoop() {
           }
         }
         conn.queue.clear();
+        m_queue_depth_->Set(static_cast<double>(
+            queue_depth_.load(std::memory_order_relaxed)));
       }
       ::close(conn.fd);
-      open_.fetch_sub(1, std::memory_order_relaxed);
+      const std::int64_t now_open =
+          open_.fetch_sub(1, std::memory_order_relaxed) - 1;
       drained_.fetch_add(1, std::memory_order_relaxed);
+      m_open_->Set(static_cast<double>(now_open));
+      m_drained_->Increment();
       it = connections_.erase(it);
     }
 

@@ -29,7 +29,12 @@
 // has its partial final line served like std::getline would — as a line.
 //
 // The per-server counters surface through the `stats` admin verb (the
-// processor's server_stats_json hook) and through Stats().
+// processor's server_stats_json hook) and through Stats(). They are also
+// mirrored into the obs metrics registry (nucleus_tcp_* families, plus a
+// queue-wait histogram timed from admission to worker dequeue) so a
+// scrape sees the same numbers `stats` reports — the atomics here stay
+// the source of truth; the mirror is last-writer-wins and updates only
+// while obs::MetricsEnabled().
 #ifndef NUCLEUS_SERVE_NET_TCP_SERVER_H_
 #define NUCLEUS_SERVE_NET_TCP_SERVER_H_
 
@@ -40,6 +45,7 @@
 #include <string>
 #include <thread>
 
+#include "nucleus/obs/metrics.h"
 #include "nucleus/serve/request_loop.h"
 #include "nucleus/util/status.h"
 
@@ -147,6 +153,23 @@ class TcpServer {
   std::atomic<std::int64_t> oversized_lines_{0};
   std::atomic<std::int64_t> queue_depth_{0};
   std::atomic<std::int64_t> max_queue_depth_{0};
+
+  // Scrape mirror of the counters above, resolved once in the
+  // constructor (options_.serve.metrics, or the process registry).
+  // Gauges are Set() from the freshly updated atomic rather than
+  // Add()ed, so a mid-run kill-switch toggle can never leave them
+  // drifted from the source-of-truth atomics.
+  obs::MetricsRegistry* const metrics_;
+  obs::Counter* const m_accepted_;
+  obs::Counter* const m_rejected_connections_;
+  obs::Counter* const m_drained_;
+  obs::Counter* const m_lines_admitted_;
+  obs::Counter* const m_lines_rejected_;
+  obs::Counter* const m_oversized_lines_;
+  obs::Gauge* const m_open_;
+  obs::Gauge* const m_queue_depth_;
+  obs::Gauge* const m_max_queue_depth_;
+  obs::Histogram* const m_queue_wait_;  // sampled 1-in-8 admissions
 };
 
 }  // namespace nucleus

@@ -1,5 +1,6 @@
 #include "nucleus/serve/request_loop.h"
 
+#include <chrono>
 #include <istream>
 #include <map>
 #include <mutex>
@@ -15,6 +16,41 @@
 
 namespace nucleus {
 namespace {
+
+using ProcessorClock = std::chrono::steady_clock;
+
+std::int64_t DurationUs(ProcessorClock::time_point from,
+                        ProcessorClock::time_point to) {
+  const std::int64_t us =
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count();
+  return us >= 0 ? us : 0;
+}
+
+const char* VerbName(QueryEngine::QueryKind kind) {
+  switch (kind) {
+    case QueryEngine::QueryKind::kLambda: return "lambda";
+    case QueryEngine::QueryKind::kNucleus: return "nucleus";
+    case QueryEngine::QueryKind::kCommon: return "common";
+    case QueryEngine::QueryKind::kLevel: return "level";
+    case QueryEngine::QueryKind::kTop: return "top";
+    case QueryEngine::QueryKind::kMembers: return "members";
+  }
+  return "unknown";
+}
+
+const char* AdminVerbName(RoutedServeLine::Admin admin) {
+  switch (admin) {
+    case RoutedServeLine::Admin::kAttach: return "attach";
+    case RoutedServeLine::Admin::kDetach: return "detach";
+    case RoutedServeLine::Admin::kTenants: return "tenants";
+    case RoutedServeLine::Admin::kStats: return "stats";
+    case RoutedServeLine::Admin::kMetrics: return "metrics";
+    case RoutedServeLine::Admin::kShutdown: return "shutdown";
+    case RoutedServeLine::Admin::kNone: break;
+  }
+  return "none";
+}
 
 void AppendRef(std::ostringstream& out, const QueryEngine::NucleusRef& ref) {
   out << "\"node\": " << ref.node << ", \"k\": " << ref.k
@@ -140,6 +176,14 @@ StatusOr<RoutedServeLine> ParseRoutedServeLine(const std::string& line) {
       return Status::InvalidArgument("'stats' takes no arguments");
     }
     parsed.admin = RoutedServeLine::Admin::kStats;
+    return parsed;
+  }
+  if (head == "metrics") {
+    if (!(args.empty() || (args.size() == 1 && args[0] == "text"))) {
+      return Status::InvalidArgument("'metrics' expects: metrics [text]");
+    }
+    parsed.admin = RoutedServeLine::Admin::kMetrics;
+    parsed.admin_args = args;
     return parsed;
   }
   if (head == "shutdown") {
@@ -272,7 +316,21 @@ RequestProcessor::RequestProcessor(ServeSessionResolver resolver,
       out_(out),
       options_(options),
       pool_(options.parallel),
-      batch_size_(options.batch_size >= 1 ? options.batch_size : 1) {}
+      batch_size_(options.batch_size >= 1 ? options.batch_size : 1),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : &obs::MetricsRegistry::Global()),
+      parse_errors_(
+          metrics_->GetCounter("nucleus_serve_errors_total", "", "parse")),
+      resolve_errors_(
+          metrics_->GetCounter("nucleus_serve_errors_total", "", "resolve")),
+      query_errors_(
+          metrics_->GetCounter("nucleus_serve_errors_total", "", "query")),
+      update_errors_(
+          metrics_->GetCounter("nucleus_serve_errors_total", "", "update")),
+      admin_errors_(
+          metrics_->GetCounter("nucleus_serve_errors_total", "", "admin")),
+      reject_errors_(
+          metrics_->GetCounter("nucleus_serve_errors_total", "", "reject")) {}
 
 RequestProcessor::~RequestProcessor() = default;
 
@@ -285,14 +343,21 @@ void RequestProcessor::EmitError(const Status& status, std::int64_t line) {
 void RequestProcessor::FlushBatch() {
   if (items_.empty()) return;
   ++stats_.batches;
+  const bool timing = timing_live();
   // Per-tenant sub-batches run back to back; each one is parallel over
   // the pool and order-deterministic on its own, and emission below is
   // by input order, so the interleaving is thread-count-invariant.
   std::vector<std::vector<QueryEngine::Response>> responses(groups_.size());
   for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (timing) groups_[g].exec_start = Clock::now();
     responses[g] = groups_[g].session.engine->RunBatch(groups_[g].queries,
                                                        pool_);
+    if (timing) {
+      groups_[g].exec_us = DurationUs(groups_[g].exec_start, Clock::now());
+    }
   }
+  const Clock::time_point emit_start =
+      timing ? Clock::now() : Clock::time_point{};
   for (const Item& item : items_) {
     if (!item.error.ok()) {
       EmitError(item.error, item.line_no);
@@ -300,11 +365,65 @@ void RequestProcessor::FlushBatch() {
     }
     const QueryEngine::Response& response =
         responses[item.group][static_cast<std::size_t>(item.query_index)];
-    if (!response.status.ok()) ++stats_.errors;
+    if (!response.status.ok()) {
+      ++stats_.errors;
+      query_errors_->Increment();
+    }
     const QueryEngine::Query& query =
         groups_[item.group]
             .queries[static_cast<std::size_t>(item.query_index)];
     out_ << ResponseToJson(query, response) << "\n";
+  }
+  // Instrumentation pass, entirely after emission so no clock read or
+  // histogram update sits between two response writes. exec/flush are
+  // batch-level durations attributed to every line of the batch.
+  if (timing) {
+    const std::int64_t flush_us = DurationUs(emit_start, Clock::now());
+    const bool enabled = obs::MetricsEnabled();
+    for (const Item& item : items_) {
+      std::int64_t queue_us = 0;
+      std::int64_t exec_us = 0;
+      bool is_error = !item.error.ok();
+      const std::string* tenant = nullptr;
+      if (!is_error) {
+        Group& group = groups_[item.group];
+        tenant = &group.tenant;
+        queue_us = DurationUs(item.ready, group.exec_start);
+        exec_us = group.exec_us;
+        const QueryEngine::Query& query =
+            groups_[item.group]
+                .queries[static_cast<std::size_t>(item.query_index)];
+        is_error = !responses[item.group]
+                        [static_cast<std::size_t>(item.query_index)]
+                            .status.ok();
+        if (enabled) {
+          VerbMetrics& vm =
+              group.metrics->by_verb[static_cast<int>(query.kind)];
+          if (vm.requests == nullptr) {
+            vm.requests = metrics_->GetCounter("nucleus_serve_requests_total",
+                                               group.tenant, item.verb);
+            vm.latency = metrics_->GetHistogram(
+                "nucleus_serve_request_latency_us", group.tenant, item.verb);
+          }
+          vm.requests->Increment();
+          vm.latency->Observe(item.parse_us + queue_us + exec_us + flush_us);
+        }
+      } else {
+        queue_us = DurationUs(item.ready, emit_start);
+      }
+      if (options_.trace_log) {
+        obs::TraceSpan span;
+        span.line = item.line_no;
+        if (tenant != nullptr) span.tenant = *tenant;
+        span.verb = item.verb;
+        span.error = is_error;
+        span.parse_us = item.parse_us;
+        span.queue_us = queue_us;
+        span.exec_us = exec_us;
+        span.flush_us = flush_us;
+        options_.trace_log->Record(span);
+      }
+    }
   }
   items_.clear();
   groups_.clear();  // releases every pin
@@ -316,7 +435,11 @@ StatusOr<std::size_t> RequestProcessor::GroupFor(const std::string& tenant) {
   if (it != group_of_tenant_.end()) return it->second;
   StatusOr<ServeSession> session = resolver_(tenant);
   if (!session.ok()) return session.status();
-  groups_.push_back(Group{std::move(*session), {}});
+  Group group;
+  group.session = std::move(*session);
+  group.tenant = tenant;
+  group.metrics = &tenant_metrics_[tenant];
+  groups_.push_back(std::move(group));
   const std::size_t index = groups_.size() - 1;
   group_of_tenant_.emplace(tenant, index);
   return index;
@@ -359,6 +482,26 @@ Status RequestProcessor::ApplyUpdate(const std::string& tenant,
   return Status::Ok();
 }
 
+void RequestProcessor::PublishScrapeGauges() {
+  if (!obs::MetricsEnabled()) return;
+  if (registry_ != nullptr) PublishRegistryMetrics(*registry_, *metrics_);
+}
+
+void RequestProcessor::TraceInline(const char* verb,
+                                   const std::string& tenant, bool error,
+                                   std::int64_t parse_us,
+                                   std::int64_t exec_us) {
+  if (!options_.trace_log) return;
+  obs::TraceSpan span;
+  span.line = line_no_;
+  span.tenant = tenant;
+  span.verb = verb;
+  span.error = error;
+  span.parse_us = parse_us;
+  span.exec_us = exec_us;
+  options_.trace_log->Record(span);
+}
+
 Status RequestProcessor::RunAdmin(const RoutedServeLine& parsed) {
   // `shutdown` works on every session shape — a single-tenant TCP
   // connection must be able to drain its server too.
@@ -366,6 +509,24 @@ Status RequestProcessor::RunAdmin(const RoutedServeLine& parsed) {
     ++stats_.admin;
     shutdown_ = true;
     out_ << "{\"query\": \"shutdown\", \"ok\": true}\n";
+    return Status::Ok();
+  }
+  // `metrics` reads the process-wide registry, so it too works on every
+  // session shape. Per-tenant scrape gauges (resident/mapped bytes,
+  // cache hit ratio) are refreshed from the snapshot registry first.
+  if (parsed.admin == RoutedServeLine::Admin::kMetrics) {
+    ++stats_.admin;
+    PublishScrapeGauges();
+    if (!parsed.admin_args.empty()) {
+      // `metrics text`: the Prometheus exposition, carried inside the
+      // one-JSON-object-per-line protocol as an escaped string.
+      out_ << "{\"query\": \"metrics\", \"format\": \"text\", "
+              "\"exposition\": \""
+           << JsonEscape(metrics_->ToPrometheusText()) << "\"}\n";
+    } else {
+      out_ << "{\"query\": \"metrics\", " << metrics_->ToJsonBody()
+           << "}\n";
+    }
     return Status::Ok();
   }
   if (registry_ == nullptr) {
@@ -488,6 +649,7 @@ Status RequestProcessor::RunAdmin(const RoutedServeLine& parsed) {
       out_ << "}\n";
       return Status::Ok();
     }
+    case RoutedServeLine::Admin::kMetrics:
     case RoutedServeLine::Admin::kShutdown:
     case RoutedServeLine::Admin::kNone:
       break;
@@ -505,11 +667,31 @@ void RequestProcessor::ProcessLine(const std::string& line) {
   if (start == std::string::npos || line[start] == '#') return;
 
   ++stats_.requests;
+  const bool timing = timing_live();
+  const Clock::time_point t0 = timing ? Clock::now() : Clock::time_point{};
   StatusOr<RoutedServeLine> parsed = ParseRoutedServeLine(line);
+  Clock::time_point parsed_at{};
+  std::int64_t parse_us = 0;
+  if (timing) {
+    // The parse/queue split is only visible in trace records; with
+    // metrics alone the latency histogram needs just the t0->flush
+    // total, so parse time folds into queue_us and this path costs one
+    // clock read per line instead of two.
+    if (options_.trace_log != nullptr) {
+      parsed_at = Clock::now();
+      parse_us = DurationUs(t0, parsed_at);
+    } else {
+      parsed_at = t0;
+    }
+  }
   if (!parsed.ok()) {
+    parse_errors_->Increment();
     Item item;
     item.line_no = line_no_;
     item.error = parsed.status();
+    item.verb = "error";
+    item.parse_us = parse_us;
+    item.ready = parsed_at;
     items_.push_back(std::move(item));
     if (static_cast<std::int64_t>(items_.size()) >= batch_size_) FlushBatch();
     return;
@@ -519,29 +701,62 @@ void RequestProcessor::ProcessLine(const std::string& line) {
     // Admin verbs are sequencing points: the pending batch answers on
     // the pre-admin registry, everything later on the post-admin one.
     FlushBatch();
-    if (Status s = RunAdmin(*parsed); !s.ok()) EmitError(s, line_no_);
+    const Clock::time_point exec_start =
+        timing ? Clock::now() : Clock::time_point{};
+    Status s = RunAdmin(*parsed);
+    if (!s.ok()) {
+      admin_errors_->Increment();
+      EmitError(s, line_no_);
+    }
+    if (timing) {
+      const char* verb = AdminVerbName(parsed->admin);
+      if (obs::MetricsEnabled()) {
+        metrics_->GetCounter("nucleus_serve_admin_total", "", verb)
+            ->Increment();
+      }
+      TraceInline(verb, parsed->tenant, !s.ok(), parse_us,
+                  DurationUs(exec_start, Clock::now()));
+    }
     return;
   }
 
   if (parsed->request.is_update) {
     FlushBatch();
-    if (Status s = ApplyUpdate(parsed->tenant, parsed->request.edit);
-        !s.ok()) {
+    const Clock::time_point exec_start =
+        timing ? Clock::now() : Clock::time_point{};
+    Status s = ApplyUpdate(parsed->tenant, parsed->request.edit);
+    if (!s.ok()) {
+      update_errors_->Increment();
       EmitError(s, line_no_);
+    }
+    if (timing) {
+      const std::int64_t exec_us = DurationUs(exec_start, Clock::now());
+      if (obs::MetricsEnabled()) {
+        metrics_->GetCounter("nucleus_serve_updates_total", parsed->tenant)
+            ->Increment();
+        metrics_->GetHistogram("nucleus_serve_update_us", parsed->tenant)
+            ->Observe(exec_us);
+      }
+      TraceInline("update", parsed->tenant, !s.ok(), parse_us, exec_us);
     }
     return;
   }
 
   Item item;
   item.line_no = line_no_;
+  item.parse_us = parse_us;
+  item.ready = parsed_at;
   StatusOr<std::size_t> group = GroupFor(parsed->tenant);
   if (group.ok()) {
     item.group = *group;
+    item.verb = VerbName(parsed->request.query.kind);
     item.query_index =
         static_cast<std::int64_t>(groups_[*group].queries.size());
     groups_[*group].queries.push_back(parsed->request.query);
   } else {
+    resolve_errors_->Increment();
     item.error = group.status();
+    item.verb = "error";
   }
   items_.push_back(std::move(item));
   if (static_cast<std::int64_t>(items_.size()) >= batch_size_) FlushBatch();
@@ -554,9 +769,12 @@ void RequestProcessor::RejectLine(const Status& status) {
   // still owns one slot of the response stream: count it and answer with
   // the rejection, keeping one-JSON-object-per-line and input order.
   ++stats_.requests;
+  reject_errors_->Increment();
   Item item;
   item.line_no = line_no_;
   item.error = status;
+  item.verb = "reject";
+  if (timing_live()) item.ready = Clock::now();
   items_.push_back(std::move(item));
   if (static_cast<std::int64_t>(items_.size()) >= batch_size_) FlushBatch();
 }

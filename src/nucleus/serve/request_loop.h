@@ -48,6 +48,10 @@
 //   tenants                       list attached tenants with stats
 //   stats                         one JSON object: per-tenant TenantStats
 //                                 plus registry / server counters
+//   metrics [text]                the process-wide metrics registry as one
+//                                 JSON tree; `metrics text` embeds the
+//                                 Prometheus plain-text exposition instead
+//                                 (works on every session shape)
 //   shutdown                      acknowledge, then end the session (over
 //                                 TCP: drain the whole server)
 //
@@ -65,6 +69,8 @@
 #ifndef NUCLEUS_SERVE_REQUEST_LOOP_H_
 #define NUCLEUS_SERVE_REQUEST_LOOP_H_
 
+#include <array>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -74,6 +80,8 @@
 #include <vector>
 
 #include "nucleus/core/incremental_core.h"
+#include "nucleus/obs/metrics.h"
+#include "nucleus/obs/trace.h"
 #include "nucleus/parallel/parallel_config.h"
 #include "nucleus/parallel/thread_pool.h"
 #include "nucleus/serve/live_update.h"
@@ -93,6 +101,14 @@ struct ServeOptions {
   /// response's "server" field. Installed by the TCP tier; unset on
   /// stdio sessions, whose stats responses carry no "server" field.
   std::function<std::string()> server_stats_json;
+  /// Sampled JSON-lines trace sink (parse -> queue-wait -> execute ->
+  /// flush per request line); null = no tracing. The TCP tier shares one
+  /// log across every connection worker. Traces never touch the response
+  /// stream, so transcripts stay byte-identical with tracing on.
+  std::shared_ptr<obs::TraceLog> trace_log;
+  /// Metrics registry the session's instrumentation writes to; null =
+  /// the process-global registry. Tests pass their own for isolation.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ServeStats {
@@ -119,6 +135,7 @@ struct RoutedServeLine {
     kDetach,
     kTenants,
     kStats,
+    kMetrics,
     kShutdown,
   };
   std::string tenant;                  // empty = unrouted
@@ -216,27 +233,55 @@ class RequestProcessor {
   const ServeStats& stats() const { return stats_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   /// One pending request line. `group` indexes the per-tenant batch the
-  /// query joined; parse/resolve failures carry the error instead.
+  /// query joined; parse/resolve failures carry the error instead. The
+  /// timing fields feed the latency histograms and trace spans; they are
+  /// only populated when instrumentation is live (see timing_live()).
   struct Item {
     std::int64_t line_no = 0;
     Status error;
     std::size_t group = 0;
     std::int64_t query_index = -1;
+    const char* verb = "";       // metrics/trace label; "" for error lines
+    std::int64_t parse_us = 0;
+    Clock::time_point ready{};   // parsed and queued, awaiting its batch
   };
   /// One tenant's slice of the pending batch. Holding the session here is
   /// the pin: the engine cannot be evicted (or die under a Detach) while
   /// its slice is waiting to run.
+  struct VerbMetrics {
+    obs::Counter* requests = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+  struct TenantMetrics {
+    std::array<VerbMetrics, 8> by_verb{};  // indexed by QueryKind
+  };
   struct Group {
     ServeSession session;
     std::vector<QueryEngine::Query> queries;
+    std::string tenant;
+    TenantMetrics* metrics = nullptr;   // owned by tenant_metrics_
+    std::int64_t exec_us = 0;           // this slice's RunBatch wall time
+    Clock::time_point exec_start{};
   };
+  /// True when per-line clocks must run: tracing is on, or metrics are
+  /// globally enabled. With both off, ProcessLine takes zero clock reads.
+  bool timing_live() const {
+    return options_.trace_log != nullptr || obs::MetricsEnabled();
+  }
 
   void EmitError(const Status& status, std::int64_t line);
   void FlushBatch();
   StatusOr<std::size_t> GroupFor(const std::string& tenant);
   Status ApplyUpdate(const std::string& tenant, const EdgeEdit& edit);
   Status RunAdmin(const RoutedServeLine& parsed);
+  void PublishScrapeGauges();
+  /// Records one span for a line answered inline (admin / update / the
+  /// sequencing-point paths), where exec is the verb body itself.
+  void TraceInline(const char* verb, const std::string& tenant, bool error,
+                   std::int64_t parse_us, std::int64_t exec_us);
 
   const ServeSessionResolver resolver_;
   SnapshotRegistry* const registry_;
@@ -244,10 +289,18 @@ class RequestProcessor {
   const ServeOptions options_;
   ThreadPool pool_;
   const std::int64_t batch_size_;
+  obs::MetricsRegistry* const metrics_;
+  obs::Counter* const parse_errors_;
+  obs::Counter* const resolve_errors_;
+  obs::Counter* const query_errors_;
+  obs::Counter* const update_errors_;
+  obs::Counter* const admin_errors_;
+  obs::Counter* const reject_errors_;
   ServeStats stats_;
   std::vector<Item> items_;
   std::vector<Group> groups_;
   std::map<std::string, std::size_t> group_of_tenant_;
+  std::map<std::string, TenantMetrics> tenant_metrics_;
   std::int64_t line_no_ = 0;
   bool shutdown_ = false;
 };

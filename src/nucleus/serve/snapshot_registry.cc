@@ -1,10 +1,12 @@
 #include "nucleus/serve/snapshot_registry.h"
 
+#include <chrono>
 #include <cstddef>
 #include <optional>
 #include <utility>
 
 #include "nucleus/graph/edge_list_io.h"
+#include "nucleus/obs/metrics.h"
 #include "nucleus/store/delta.h"
 #include "nucleus/store/snapshot_source.h"
 
@@ -38,6 +40,25 @@ SnapshotRegistry::SnapshotRegistry(const RegistryOptions& options)
 StatusOr<std::shared_ptr<SnapshotRegistry::Resident>>
 SnapshotRegistry::LoadResident(const TenantSpec& spec,
                                const RegistryOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  StatusOr<std::shared_ptr<Resident>> result = LoadResidentImpl(spec, options);
+  if (obs::MetricsEnabled()) {
+    const std::int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+    obs::MetricsRegistry& m = obs::MetricsRegistry::Global();
+    m.GetHistogram("nucleus_registry_load_us", spec.name)->Observe(us);
+    m.GetCounter(result.ok() ? "nucleus_registry_loads_total"
+                             : "nucleus_registry_load_failures_total",
+                 spec.name)
+        ->Increment();
+  }
+  return result;
+}
+
+StatusOr<std::shared_ptr<SnapshotRegistry::Resident>>
+SnapshotRegistry::LoadResidentImpl(const TenantSpec& spec,
+                                   const RegistryOptions& options) {
   if (options.load_hook) options.load_hook(spec.name);
   if (spec.graph_path.empty()) {
     // Read-only tenant: honor the registry's memory mode. kMmap maps a
@@ -210,7 +231,10 @@ Status SnapshotRegistry::Detach(const std::string& name, bool force,
     // an mmap tenant's mapping, which unmaps when the last lease goes.
     resident_bytes_ -= tenant.resident->heap_bytes;
     mapped_bytes_ -= tenant.resident->mapped_bytes;
-    detached_cache_.Add(tenant.resident->engine->CacheStats());
+    LruCacheStats cache = tenant.resident->engine->CacheStats();
+    cache.bytes = 0;  // counters only: the detached engine's bytes free
+    cache.entries = 0;
+    detached_cache_.Add(cache);
   }
   // The tenant's whole counter lineage (engines it retired via eviction
   // included) folds into the registry aggregate — mirror of the eviction
@@ -299,6 +323,7 @@ void SnapshotRegistry::EvictLocked() {
   if (options_.memory_budget_bytes <= 0) return;
   while (resident_bytes_ > options_.memory_budget_bytes) {
     Tenant* victim = nullptr;
+    const std::string* victim_name = nullptr;
     for (auto& [name, tenant] : tenants_) {
       if (tenant.resident == nullptr) continue;
       if (tenant.resident->pins.load(std::memory_order_relaxed) > 0) {
@@ -309,10 +334,16 @@ void SnapshotRegistry::EvictLocked() {
       }
       if (victim == nullptr || tenant.last_used < victim->last_used) {
         victim = &tenant;
+        victim_name = &name;
       }
     }
     if (victim == nullptr) return;  // budget is best-effort under pinning
-    const LruCacheStats cache = victim->resident->engine->CacheStats();
+    const auto evict_start = std::chrono::steady_clock::now();
+    LruCacheStats cache = victim->resident->engine->CacheStats();
+    // The evicted engine's cached bytes are freed with it: fold only the
+    // counter lineage, not the (now meaningless) byte gauge.
+    cache.bytes = 0;
+    cache.entries = 0;
     victim->retired_cache.Add(cache);
     resident_bytes_ -= victim->resident->heap_bytes;
     mapped_bytes_ -= victim->resident->mapped_bytes;
@@ -321,6 +352,16 @@ void SnapshotRegistry::EvictLocked() {
     // page-cache entries the kernel may keep or drop.
     victim->resident.reset();
     ++victim->evictions;
+    if (obs::MetricsEnabled()) {
+      const std::int64_t us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - evict_start)
+              .count();
+      obs::MetricsRegistry& m = obs::MetricsRegistry::Global();
+      m.GetCounter("nucleus_registry_evictions_total", *victim_name)
+          ->Increment();
+      m.GetHistogram("nucleus_registry_evict_us", *victim_name)->Observe(us);
+    }
   }
 }
 
@@ -439,6 +480,33 @@ void SnapshotRegistry::Lease::MarkUpdated() {
 
 void SnapshotRegistry::Lease::MarkUpdated(const DeltaData& delta) {
   if (resident_ != nullptr) SnapshotRegistry::MarkUpdated(resident_, &delta);
+}
+
+void PublishRegistryMetrics(const SnapshotRegistry& registry,
+                            obs::MetricsRegistry& m) {
+  const RegistrySummary summary = registry.Summary();
+  // Unlabeled children are the registry-wide aggregates; the per-tenant
+  // values join the same families under their tenant label.
+  m.GetGauge("nucleus_registry_tenants")
+      ->Set(static_cast<double>(summary.tenants));
+  m.GetGauge("nucleus_registry_resident_bytes")
+      ->Set(static_cast<double>(summary.resident_bytes));
+  m.GetGauge("nucleus_registry_mapped_bytes")
+      ->Set(static_cast<double>(summary.mapped_bytes));
+  m.GetGauge("nucleus_registry_budget_bytes")
+      ->Set(static_cast<double>(summary.budget_bytes));
+  for (const std::string& name : registry.TenantNames()) {
+    const StatusOr<TenantStats> stats = registry.Stats(name);
+    if (!stats.ok()) continue;  // detached between calls
+    m.GetGauge("nucleus_registry_resident_bytes", name)
+        ->Set(static_cast<double>(stats->resident_bytes));
+    m.GetGauge("nucleus_registry_mapped_bytes", name)
+        ->Set(static_cast<double>(stats->mapped_bytes));
+    m.GetGauge("nucleus_cache_hit_ratio", name)
+        ->Set(stats->cache.HitRatio());
+    m.GetGauge("nucleus_cache_bytes", name)
+        ->Set(static_cast<double>(stats->cache.bytes));
+  }
 }
 
 }  // namespace nucleus

@@ -141,6 +141,20 @@ struct RegistrySummary {
 /// Delegates to EstimateSnapshotHeapBytes (store/snapshot_source.h).
 std::int64_t EstimateResidentBytes(const SnapshotData& snapshot);
 
+class SnapshotRegistry;
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+/// Publishes the registry's point-in-time per-tenant gauges into `m`:
+/// nucleus_registry_resident_bytes{tenant}, _mapped_bytes{tenant},
+/// nucleus_cache_hit_ratio{tenant}, plus the registry-wide tenant count
+/// and budget. Called at scrape time (the `metrics` verb and the
+/// --metrics-port exposition), not on the serving hot path.
+void PublishRegistryMetrics(const SnapshotRegistry& registry,
+                            obs::MetricsRegistry& m);
+
 class SnapshotRegistry {
  public:
   class Lease;
@@ -260,7 +274,11 @@ class SnapshotRegistry {
     LruCacheStats retired_cache;
   };
 
+  /// LoadResident wraps LoadResidentImpl (the actual disk work) with the
+  /// nucleus_registry_load_us{tenant} histogram + load/failure counters.
   static StatusOr<std::shared_ptr<Resident>> LoadResident(
+      const TenantSpec& spec, const RegistryOptions& options);
+  static StatusOr<std::shared_ptr<Resident>> LoadResidentImpl(
       const TenantSpec& spec, const RegistryOptions& options);
 
   /// Drops LRU idle engines until the budget holds (or nothing idle is

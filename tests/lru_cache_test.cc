@@ -47,6 +47,76 @@ TEST(LruCache, SerialHitMissAndEvictionAccounting) {
   EXPECT_EQ(stats.hits + stats.misses, 5);  // one of {hit, miss} per lookup
 }
 
+TEST(LruCache, StatsAddMergesBytesAndHitRatioDerives) {
+  LruCacheStats a;
+  a.hits = 6;
+  a.misses = 2;
+  a.evictions = 1;
+  a.entries = 3;
+  a.bytes = 100;
+  LruCacheStats b;
+  b.hits = 2;
+  b.misses = 2;
+  b.bytes = 50;
+  a.Add(b);
+  EXPECT_EQ(a.hits, 8);
+  EXPECT_EQ(a.misses, 4);
+  EXPECT_EQ(a.evictions, 1);
+  EXPECT_EQ(a.bytes, 150);      // bytes gauge merges
+  EXPECT_EQ(a.entries, 3);      // entries deliberately excluded from Add
+  EXPECT_DOUBLE_EQ(a.HitRatio(), 8.0 / 12.0);
+  EXPECT_DOUBLE_EQ(LruCacheStats{}.HitRatio(), 0.0);  // no lookups: 0
+}
+
+TEST(LruCache, MergedShardStatsSumBytesAcrossShards) {
+  // Values land in different shards; Stats() must fold every shard's
+  // byte gauge, not just the counters.
+  ShardedLruCache<int, std::vector<int>> cache(/*entries_per_shard=*/8,
+                                               /*num_shards=*/4);
+  for (int key = 0; key < 16; ++key) {
+    cache.GetOrCompute(key, [&] { return std::vector<int>(8, key); });
+  }
+  const LruCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.misses, 16);
+  EXPECT_EQ(stats.entries, 16);
+  // 16 entries of a vector with capacity >= 8 ints each.
+  EXPECT_GE(stats.bytes,
+            16 * static_cast<std::int64_t>(8 * sizeof(int)));
+  EXPECT_DOUBLE_EQ(stats.HitRatio(), 0.0);
+  cache.GetOrCompute(0, [] { return std::vector<int>(); });
+  EXPECT_GT(cache.Stats().HitRatio(), 0.0);
+}
+
+TEST(LruCacheConcurrent, MergedShardStatsSatisfyLookupInvariant) {
+  // The satellite invariant under concurrency: however lookups interleave
+  // across shards and threads, the merged stats satisfy
+  // hits + misses == lookups exactly.
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 300;
+  ShardedLruCache<int, int> cache(/*entries_per_shard=*/4,
+                                  /*num_shards=*/4);
+  std::atomic<int> lookups{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const int key = (t * 7 + i) % 64;  // collisions AND evictions
+        cache.GetOrCompute(key, [key] { return key * 3; });
+        lookups.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const LruCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits + stats.misses, lookups.load());
+  EXPECT_GE(stats.bytes, 0);
+  EXPECT_LE(stats.entries, 4 * 4);
+  const double ratio = stats.HitRatio();
+  EXPECT_GE(ratio, 0.0);
+  EXPECT_LE(ratio, 1.0);
+}
+
 TEST(LruCache, ShardCountRoundsUpToPowerOfTwo) {
   ShardedLruCache<int, int> cache(4, 3);
   EXPECT_EQ(cache.NumShards(), 4u);

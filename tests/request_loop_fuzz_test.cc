@@ -8,6 +8,7 @@
 // an abort, and (d) produce byte-identical transcripts at every thread
 // count and batch size.
 #include <cstdint>
+#include <fstream>
 #include <memory>
 #include <random>
 #include <sstream>
@@ -18,6 +19,8 @@
 
 #include "nucleus/core/decomposition.h"
 #include "nucleus/graph/edge_list_io.h"
+#include "nucleus/obs/metrics.h"
+#include "nucleus/obs/trace.h"
 #include "nucleus/serve/request_loop.h"
 #include "nucleus/serve/snapshot_registry.h"
 #include "nucleus/store/snapshot.h"
@@ -281,6 +284,66 @@ TEST(RequestLoopFuzz, RoutedRegistryNoCrashOneJsonPerLineThreadInvariant) {
               << "threads=" << threads << " batch=" << batch;
         }
       }
+    }
+  }
+}
+
+// The observability hard constraint, fuzz-grade: serving the corpus
+// with tracing AND metrics enabled yields a transcript byte-identical
+// to the untraced reference at every thread count — instrumentation is
+// a pure side channel. The trace file itself must be one well-formed
+// JSON object per recorded span.
+TEST(RequestLoopFuzz, TranscriptUnchangedWithTracingAndMetricsEnabled) {
+  const std::unique_ptr<QueryEngine> engine = MakeFigure2Engine();
+  for (const std::uint64_t seed : {1u, 990131u}) {
+    SCOPED_TRACE(seed);
+    const std::vector<std::string> corpus = BuildCorpus(seed);
+    const std::string script = JoinLines(corpus);
+
+    std::string reference;
+    {
+      std::istringstream in(script);
+      std::ostringstream out;
+      ServeRequests(*engine, in, out);
+      reference = out.str();
+    }
+
+    for (const int threads : {1, 2, 4, 8}) {
+      const std::string trace_path =
+          TempPath("fuzz_trace_" + std::to_string(seed) + "_t" +
+                   std::to_string(threads) + ".jsonl");
+      obs::TraceLog::Options trace_options;
+      trace_options.path = trace_path;
+      trace_options.slow_ms = 0;  // slow path exercised on every span
+      StatusOr<std::shared_ptr<obs::TraceLog>> trace_log =
+          obs::TraceLog::Open(trace_options);
+      ASSERT_TRUE(trace_log.ok());
+      obs::MetricsRegistry metrics;  // fresh registry per run
+      ServeOptions options;
+      options.parallel.num_threads = threads;
+      options.batch_size = 7;
+      options.trace_log = *trace_log;
+      options.metrics = &metrics;
+      std::istringstream in(script);
+      std::ostringstream out;
+      ServeRequests(*engine, in, out, options);
+      EXPECT_EQ(out.str(), reference) << "threads=" << threads;
+
+      std::size_t expected = 0;
+      for (const std::string& line : corpus) {
+        if (!IsSkippedLine(line)) ++expected;
+      }
+      EXPECT_EQ((*trace_log)->spans_seen(),
+                static_cast<std::int64_t>(expected));
+      std::ifstream trace_file(trace_path);
+      std::size_t spans = 0;
+      for (std::string line; std::getline(trace_file, line);) {
+        ++spans;
+        ASSERT_FALSE(line.empty());
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+      }
+      EXPECT_EQ(spans, expected) << "threads=" << threads;
     }
   }
 }

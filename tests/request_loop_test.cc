@@ -1,5 +1,6 @@
 #include "nucleus/serve/request_loop.h"
 
+#include <cstring>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -8,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "nucleus/core/decomposition.h"
+#include "nucleus/serve/snapshot_registry.h"
 #include "nucleus/store/snapshot.h"
 #include "test_util.h"
 
@@ -149,6 +151,111 @@ TEST(ServeRequests, InvalidQueryArgumentsBecomeErrorObjects) {
   while (std::getline(result, line)) {
     EXPECT_NE(line.find("\"error\""), std::string::npos) << line;
   }
+}
+
+/// JSON object keys in document order: every quoted string immediately
+/// followed by a colon. String VALUES are never followed by ':' in this
+/// protocol, so the scan yields exactly the keys.
+std::vector<std::string> JsonKeysInOrder(const std::string& json) {
+  std::vector<std::string> keys;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    if (json[i] != '"') continue;
+    const std::size_t close = json.find('"', i + 1);
+    if (close == std::string::npos) break;
+    if (close + 1 < json.size() && json[close + 1] == ':') {
+      keys.push_back(json.substr(i + 1, close - i - 1));
+    }
+    i = close;
+  }
+  return keys;
+}
+
+// The `stats` verb's schema is pinned: dashboards and the smoke tests
+// parse these exact field names in this exact order. The metrics/tracing
+// subsystem must surface new telemetry through the `metrics` verb (or
+// the exposition endpoint), never by growing this object.
+TEST(ServeRequests, StatsVerbSchemaIsPinned) {
+  const Graph g = testing_util::PaperFigure2Graph();
+  DecomposeOptions options;
+  options.family = Family::kCore12;
+  options.algorithm = Algorithm::kDft;
+  DecompositionResult result = Decompose(g, options);
+  TenantSpec spec;
+  spec.name = "pinned";
+  spec.snapshot_path = testing_util::TempPath("stats_schema.nucsnap");
+  ASSERT_TRUE(SaveSnapshot(MakeSnapshot(g, options, std::move(result),
+                                        /*with_index=*/true),
+                           spec.snapshot_path)
+                  .ok());
+  SnapshotRegistry registry;
+  ASSERT_TRUE(registry.Attach(spec).ok());
+
+  std::istringstream in("pinned:lambda 0\nstats\n");
+  std::ostringstream out;
+  const ServeStats stats = ServeRegistryRequests(registry, in, out);
+  EXPECT_EQ(stats.admin, 1);
+  std::vector<std::string> lines;
+  std::istringstream response(out.str());
+  for (std::string line; std::getline(response, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  const std::string& stats_line = lines[1];
+
+  const std::vector<std::string> expected = {
+      // clang-format off
+      "query", "tenants",
+      // per-tenant object
+      "name", "resident", "live", "dirty", "loads", "evictions", "hits",
+      "updates", "pins", "resident_bytes", "heap_bytes", "mapped_bytes",
+      "cache", "hits", "misses", "evictions", "entries", "bytes",
+      // registry rollup
+      "registry", "tenants", "resident_bytes", "mapped_bytes",
+      "budget_bytes", "detaches", "detached_cache", "hits", "misses",
+      "evictions",
+      // clang-format on
+  };
+  EXPECT_EQ(JsonKeysInOrder(stats_line), expected) << stats_line;
+
+  // Value types: strings where strings belong, booleans for the flags,
+  // bare integers everywhere else (no quotes, no decimal points).
+  EXPECT_NE(stats_line.find("{\"query\": \"stats\", \"tenants\": [{"),
+            std::string::npos);
+  EXPECT_NE(stats_line.find("\"name\": \"pinned\", \"resident\": true, "
+                            "\"live\": false, \"dirty\": false, "
+                            "\"loads\": 1"),
+            std::string::npos);
+  for (const char* int_key :
+       {"\"evictions\": ", "\"hits\": ", "\"updates\": ", "\"pins\": ",
+        "\"resident_bytes\": ", "\"heap_bytes\": ", "\"mapped_bytes\": ",
+        "\"entries\": ", "\"bytes\": ", "\"budget_bytes\": ",
+        "\"detaches\": "}) {
+    const std::size_t at = stats_line.find(int_key);
+    ASSERT_NE(at, std::string::npos) << int_key;
+    const char first = stats_line[at + std::strlen(int_key)];
+    EXPECT_TRUE(first >= '0' && first <= '9') << int_key;
+  }
+}
+
+TEST(ServeRequests, MetricsVerbWorksInEverySessionShape) {
+  // `metrics` is session-shape-independent (unlike stats/attach/detach/
+  // tenants): a single-engine session answers it too, and `metrics text`
+  // embeds the Prometheus exposition as one JSON string.
+  const std::unique_ptr<QueryEngine> engine = MakeFigure2Engine();
+  std::istringstream in("metrics\nmetrics text\nmetrics json\n");
+  std::ostringstream out;
+  const ServeStats stats = ServeRequests(*engine, in, out);
+  EXPECT_EQ(stats.admin, 2);
+  EXPECT_EQ(stats.errors, 1);  // 'metrics json' is a grammar error
+  std::vector<std::string> lines;
+  std::istringstream result(out.str());
+  for (std::string line; std::getline(result, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"query\": \"metrics\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"counters\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"histograms\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"format\": \"text\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"exposition\": \""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"error\""), std::string::npos);
+  EXPECT_NE(lines[2].find("metrics [text]"), std::string::npos);
 }
 
 TEST(ServeRequests, OutputIsIdenticalAcrossThreadCountsAndBatchSizes) {

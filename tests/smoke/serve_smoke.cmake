@@ -7,7 +7,8 @@
 # `serve` a scripted session at 1 and 2 threads with byte-identical output
 # -> corrupt the snapshot and confirm the loader rejects it cleanly
 # -> a loopback-TCP two-tenant session (serve --listen | connect) diffed
-# against its stdin/stdout replay.
+# against its stdin/stdout replay -> a --trace-log session byte-compared
+# against its untraced transcript with the trace records schema-checked.
 
 if(NOT DEFINED NUCLEUS_CLI OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "serve_smoke.cmake requires -DNUCLEUS_CLI=<binary> -DWORK_DIR=<dir>")
@@ -349,6 +350,36 @@ endif()
 file(READ ${WORK_DIR}/tcp_out.txt tcp_answers)
 expect_match("${tcp_answers}" "\"query\": \"shutdown\", \"ok\": true" "TCP session")
 expect_match("${tcp_stderr}" "drained" "TCP server drain summary")
+
+# 9. Request tracing is a pure side channel: the live session from step 6
+# replayed with --trace-log (2 threads) must stay byte-identical to its
+# untraced transcript, and the trace file must be JSON-lines carrying all
+# four span phases for every non-skipped line of the session.
+set(TRACE ${WORK_DIR}/live_trace.jsonl)
+run_cli(0 traced serve --snapshot ${CORE_SNAP} --input ${EDGES} --queries ${WORK_DIR}/live_session.txt --out ${WORK_DIR}/live_traced.txt --threads 2 --trace-log ${TRACE})
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  ${WORK_DIR}/live_t1.txt ${WORK_DIR}/live_traced.txt RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "traced serve transcript differs from the untraced replay")
+endif()
+if(NOT EXISTS ${TRACE})
+  message(FATAL_ERROR "serve --trace-log did not write ${TRACE}")
+endif()
+file(STRINGS ${TRACE} trace_lines)
+list(LENGTH trace_lines trace_count)
+if(NOT trace_count EQUAL 6)
+  message(FATAL_ERROR "expected 6 trace spans (one per session line), got ${trace_count}")
+endif()
+foreach(trace_line IN LISTS trace_lines)
+  if(NOT trace_line MATCHES "^\\{.*\\}$")
+    message(FATAL_ERROR "trace record is not a JSON object:\n${trace_line}")
+  endif()
+  foreach(phase parse_us queue_us exec_us flush_us total_us)
+    if(NOT trace_line MATCHES "\"${phase}\": [0-9]+")
+      message(FATAL_ERROR "trace record is missing ${phase}:\n${trace_line}")
+    endif()
+  endforeach()
+endforeach()
 
 # A corrupt delta chain is rejected cleanly, not served.
 file(WRITE ${WORK_DIR}/bad.nucdelta "NUCDELT1 and then garbage well past the header size to be safe........................................")

@@ -589,6 +589,109 @@ TEST(TcpServerConcurrency, ConcurrentUpdatesOnOneTenantSerialize) {
   EXPECT_NE(answers[1].find("\"lambda\": 3"), std::string::npos) << after;
 }
 
+// max_queue_depth is a compare-exchange high-water mark. Concurrent
+// Stats() readers race the admission/dequeue traffic of several wedged
+// connections; every reader must see a monotonically non-decreasing
+// maximum (a lossy load-then-store could publish a smaller value over a
+// larger one), and once admission quiesces the mark must cover the
+// observed steady-state depth. TSan runs this suite, so the reader/
+// writer races on the stat atomics are covered too.
+TEST(TcpServerConcurrency, MaxQueueDepthIsAMonotonicHighWaterMark) {
+  const std::unique_ptr<QueryEngine> engine = MakeFigure2Engine();
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  int entered = 0;
+  bool released = false;
+  const ServeSessionResolver resolver =
+      [&](const std::string& tenant) -> StatusOr<ServeSession> {
+    {
+      std::unique_lock<std::mutex> lock(gate_mutex);
+      ++entered;
+      gate_cv.notify_all();
+      gate_cv.wait(lock, [&] { return released; });
+    }
+    return MakeEngineResolver(*engine, nullptr)(tenant);
+  };
+
+  TcpServerOptions options;
+  options.queue_high_water = 1024;
+  TcpServer server(resolver, nullptr, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> stop_polling{false};
+  std::atomic<std::int64_t> regressions{0};
+  std::vector<std::thread> pollers;
+  for (int t = 0; t < 3; ++t) {
+    pollers.emplace_back([&] {
+      std::int64_t last_max = 0;
+      while (!stop_polling.load(std::memory_order_acquire)) {
+        const std::int64_t max = server.Stats().max_queue_depth;
+        if (max < last_max) regressions.fetch_add(1);
+        last_max = max;
+      }
+    });
+  }
+
+  // Four connections: line 1 wedges each worker inside the resolver,
+  // then a 50-line burst per connection piles up in the queues.
+  constexpr int kConns = 4;
+  constexpr int kBurst = 50;
+  std::vector<int> fds;
+  for (int c = 0; c < kConns; ++c) {
+    const int fd = Dial(server.port());
+    fds.push_back(fd);
+    ASSERT_GT(::send(fd, "lambda 0\n", 9, MSG_NOSIGNAL), 0);
+  }
+  {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return entered == kConns; });
+  }
+  std::string burst;
+  for (int i = 0; i < kBurst; ++i) {
+    burst += "lambda " + std::to_string(i % 10) + "\n";
+  }
+  for (const int fd : fds) {
+    ASSERT_GT(::send(fd, burst.data(), burst.size(), MSG_NOSIGNAL), 0);
+  }
+  for (int spin = 0;
+       spin < 500 && server.Stats().lines_admitted < kConns * (kBurst + 1);
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Steady state: each worker dequeued its wedge line and is blocked, so
+  // exactly kConns * kBurst admitted lines sit in the queues — and the
+  // high-water mark must already cover them.
+  const TcpServerStats wedged = server.Stats();
+  EXPECT_EQ(wedged.lines_admitted, kConns * (kBurst + 1));
+  EXPECT_EQ(wedged.queue_depth, kConns * kBurst);
+  EXPECT_GE(wedged.max_queue_depth, wedged.queue_depth);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    released = true;
+    gate_cv.notify_all();
+  }
+  std::vector<std::thread> drains;
+  std::vector<std::string> transcripts(fds.size());
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    drains.emplace_back(
+        [&, i] { transcripts[i] = SendAndCollect(fds[i], ""); });
+  }
+  for (std::thread& d : drains) d.join();
+  server.Stop();
+  stop_polling.store(true, std::memory_order_release);
+  for (std::thread& p : pollers) p.join();
+
+  EXPECT_EQ(regressions.load(), 0);  // the mark never moved backwards
+  const TcpServerStats final_stats = server.Stats();
+  EXPECT_EQ(final_stats.queue_depth, 0);
+  EXPECT_GE(final_stats.max_queue_depth, wedged.queue_depth);
+  for (const std::string& transcript : transcripts) {
+    EXPECT_EQ(SplitLines(transcript).size(),
+              static_cast<std::size_t>(kBurst + 1));
+  }
+}
+
 // Connections beyond max_connections are answered with one structured
 // error object and closed — a parseable refusal, not a silent reset —
 // while the connection already inside keeps serving.

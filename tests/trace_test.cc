@@ -1,0 +1,182 @@
+// Tests for the obs trace log: JSON-lines record schema, process-wide
+// sampling, the slow-query override, and the side-channel contract — a
+// serve session's transcript is byte-identical with tracing on, at every
+// thread count (suite names contain "Trace" for the TSan preset).
+#include "nucleus/obs/trace.h"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nucleus/core/decomposition.h"
+#include "nucleus/serve/request_loop.h"
+#include "nucleus/store/snapshot.h"
+#include "test_util.h"
+
+namespace nucleus {
+namespace {
+
+using testing_util::TempPath;
+
+std::vector<std::string> FileLines(const std::string& path) {
+  std::ifstream file(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(file, line);) lines.push_back(line);
+  return lines;
+}
+
+obs::TraceSpan MakeSpan(std::int64_t line, std::int64_t exec_us) {
+  obs::TraceSpan span;
+  span.line = line;
+  span.tenant = "web";
+  span.verb = "lambda";
+  span.parse_us = 2;
+  span.queue_us = 1;
+  span.exec_us = exec_us;
+  span.flush_us = 3;
+  return span;
+}
+
+TEST(TraceLog, WritesJsonLinesWithTheFourPhases) {
+  const std::string path = TempPath("trace_schema.jsonl");
+  obs::TraceLog::Options options;
+  options.path = path;
+  StatusOr<std::shared_ptr<obs::TraceLog>> log = obs::TraceLog::Open(options);
+  ASSERT_TRUE(log.ok());
+  (*log)->Record(MakeSpan(1, 10));
+  obs::TraceSpan error_span = MakeSpan(2, 4);
+  error_span.error = true;
+  error_span.tenant.clear();
+  (*log)->Record(error_span);
+
+  const std::vector<std::string> lines = FileLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0],
+            "{\"line\": 1, \"tenant\": \"web\", \"verb\": \"lambda\", "
+            "\"error\": false, \"parse_us\": 2, \"queue_us\": 1, "
+            "\"exec_us\": 10, \"flush_us\": 3, \"total_us\": 16}");
+  EXPECT_EQ(lines[1],
+            "{\"line\": 2, \"tenant\": \"\", \"verb\": \"lambda\", "
+            "\"error\": true, \"parse_us\": 2, \"queue_us\": 1, "
+            "\"exec_us\": 4, \"flush_us\": 3, \"total_us\": 10}");
+  EXPECT_EQ((*log)->spans_seen(), 2);
+  EXPECT_EQ((*log)->spans_written(), 2);
+}
+
+TEST(TraceLog, SamplingRecordsEveryNthSpanProcessWide) {
+  const std::string path = TempPath("trace_sample.jsonl");
+  obs::TraceLog::Options options;
+  options.path = path;
+  options.sample_every = 3;
+  StatusOr<std::shared_ptr<obs::TraceLog>> log = obs::TraceLog::Open(options);
+  ASSERT_TRUE(log.ok());
+  for (int i = 0; i < 10; ++i) (*log)->Record(MakeSpan(i + 1, 5));
+  EXPECT_EQ((*log)->spans_seen(), 10);
+  EXPECT_EQ((*log)->spans_written(), 4);  // spans 0, 3, 6, 9
+  const std::vector<std::string> lines = FileLines(path);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[0].find("\"line\": 1"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"line\": 4"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"line\": 10"), std::string::npos);
+}
+
+TEST(TraceLog, SlowSpansBypassSamplingAndAreTagged) {
+  const std::string path = TempPath("trace_slow.jsonl");
+  obs::TraceLog::Options options;
+  options.path = path;
+  options.sample_every = 1000000;  // effectively off after span 0
+  options.slow_ms = 1;             // >= 1000 us is slow
+  StatusOr<std::shared_ptr<obs::TraceLog>> log = obs::TraceLog::Open(options);
+  ASSERT_TRUE(log.ok());
+  (*log)->Record(MakeSpan(1, 5));        // sampled (span 0)
+  (*log)->Record(MakeSpan(2, 5));        // dropped
+  (*log)->Record(MakeSpan(3, 100000));   // slow: always recorded
+  (*log)->Record(MakeSpan(4, 5));        // dropped
+  EXPECT_EQ((*log)->spans_written(), 2);
+  const std::vector<std::string> lines = FileLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].find("\"slow\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"line\": 3"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"slow\": true"), std::string::npos);
+}
+
+TEST(TraceLog, RejectsBadOptions) {
+  obs::TraceLog::Options options;
+  options.path = TempPath("trace_bad.jsonl");
+  options.sample_every = 0;
+  EXPECT_FALSE(obs::TraceLog::Open(options).ok());
+  options.sample_every = 1;
+  options.path = TempPath("no_such_dir") + "/sub/trace.jsonl";
+  EXPECT_FALSE(obs::TraceLog::Open(options).ok());
+}
+
+std::unique_ptr<QueryEngine> MakeFigure2Engine() {
+  const Graph g = testing_util::PaperFigure2Graph();
+  DecomposeOptions options;
+  options.family = Family::kCore12;
+  options.algorithm = Algorithm::kFnd;
+  const DecompositionResult result = Decompose(g, options);
+  return QueryEngine::FromSnapshotData(MakeSnapshot(g, options, result, true));
+}
+
+// The hard constraint of the observability layer: tracing must never
+// perturb the response stream. Same script, tracing off vs. on, at
+// several thread counts — transcripts must match byte for byte, and the
+// trace file must carry one span per request with all four phases.
+TEST(TraceServe, TranscriptIsByteIdenticalWithTracingEnabled) {
+  const std::unique_ptr<QueryEngine> engine = MakeFigure2Engine();
+  std::string script;
+  for (int i = 0; i < 10; ++i) {
+    script += "lambda " + std::to_string(i) + "\n";
+    script += "common " + std::to_string(i) + " " + std::to_string(9 - i) +
+              "\n";
+    script += "bogus\n";
+    script += "top 3\n";
+  }
+
+  std::string reference;
+  {
+    std::istringstream in(script);
+    std::ostringstream out;
+    ServeRequests(*engine, in, out);
+    reference = out.str();
+  }
+
+  for (int threads : {1, 2, 4}) {
+    const std::string path =
+        TempPath("trace_serve_t" + std::to_string(threads) + ".jsonl");
+    obs::TraceLog::Options trace_options;
+    trace_options.path = path;
+    StatusOr<std::shared_ptr<obs::TraceLog>> log =
+        obs::TraceLog::Open(trace_options);
+    ASSERT_TRUE(log.ok());
+    ServeOptions options;
+    options.parallel.num_threads = threads;
+    options.batch_size = 7;
+    options.trace_log = *log;
+    std::istringstream in(script);
+    std::ostringstream out;
+    const ServeStats stats = ServeRequests(*engine, in, out, options);
+    EXPECT_EQ(out.str(), reference) << "threads=" << threads;
+    EXPECT_EQ(stats.requests, 40);
+
+    const std::vector<std::string> lines = FileLines(path);
+    EXPECT_EQ(lines.size(), 40u) << "threads=" << threads;
+    for (const std::string& line : lines) {
+      EXPECT_EQ(line.front(), '{');
+      EXPECT_EQ(line.back(), '}');
+      for (const char* key :
+           {"\"parse_us\":", "\"queue_us\":", "\"exec_us\":",
+            "\"flush_us\":", "\"total_us\":", "\"verb\":"}) {
+        EXPECT_NE(line.find(key), std::string::npos) << line;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nucleus
