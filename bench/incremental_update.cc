@@ -49,6 +49,7 @@
 #include "nucleus/serve/live_update.h"
 #include "nucleus/store/delta.h"
 #include "nucleus/store/snapshot.h"
+#include "nucleus/util/mutex.h"
 #include "nucleus/util/rng.h"
 #include "nucleus/util/scratch.h"
 #include "nucleus/util/timer.h"
@@ -221,7 +222,11 @@ void Run(const Options& options) {
       // Serving path: same edits through the LiveUpdater, which also
       // rebuilds the hierarchy so a QueryEngine could swap state now.
       Timer live_timer;
-      StatusOr<LiveUpdater::Result> live = (*updater)->Apply(edits);
+      StatusOr<LiveUpdater::Result> live = Status::Internal("unset");
+      {
+        MutexLock apply_lock((*updater)->apply_mutex());
+        live = (*updater)->Apply(edits);
+      }
       if (!live.ok()) {
         std::cerr << "error: " << live.status().ToString() << "\n";
         std::exit(1);

@@ -44,6 +44,7 @@
 #include "nucleus/store/snapshot.h"
 #include "nucleus/store/snapshot_source.h"
 #include "nucleus/store/snapshot_v2.h"
+#include "nucleus/util/mutex.h"
 #include "nucleus/util/parse_util.h"
 
 namespace nucleus {
@@ -856,7 +857,11 @@ int CmdUpdate(const ParsedArgs& parsed, std::ostream& out,
     return 1;
   }
 
-  StatusOr<LiveUpdater::Result> result = (*updater)->Apply(*edits);
+  StatusOr<LiveUpdater::Result> result = Status::Internal("unset");
+  {
+    MutexLock apply_lock((*updater)->apply_mutex());
+    result = (*updater)->Apply(*edits);
+  }
   if (!result.ok()) {
     err << "error: " << result.status().ToString() << "\n";
     return 1;

@@ -93,7 +93,7 @@ MetricsRegistry::Metric* MetricsRegistry::Resolve(const std::string& name,
                                                   Kind kind,
                                                   const std::string& tenant,
                                                   const std::string& verb) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Family& family = families_[name];
   if (family.children.empty()) family.kind = kind;
   LabelKey key{tenant, verb};
@@ -202,7 +202,7 @@ void AppendHistogramJson(std::ostringstream& out,
 }  // namespace
 
 std::string MetricsRegistry::ToJsonBody() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::ostringstream counters, gauges, histograms;
   bool first_counter = true, first_gauge = true, first_histogram = true;
   for (const auto& [name, family] : families_) {
@@ -251,7 +251,7 @@ std::string MetricsRegistry::ToJsonBody() const {
 }
 
 std::string MetricsRegistry::ToPrometheusText() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::ostringstream out;
   for (const auto& [name, family] : families_) {
     switch (family.kind) {

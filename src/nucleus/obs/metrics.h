@@ -17,8 +17,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "nucleus/util/mutex.h"
 
 namespace nucleus {
 namespace obs {
@@ -163,8 +164,8 @@ class MetricsRegistry {
   Metric* Resolve(const std::string& name, Kind kind,
                   const std::string& tenant, const std::string& verb);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Family> families_;
+  mutable Mutex mutex_;
+  std::map<std::string, Family> families_ GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

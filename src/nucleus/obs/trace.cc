@@ -24,7 +24,7 @@ void TraceLog::Record(const TraceSpan& span) {
       options_.slow_ms >= 0 && span.TotalUs() >= options_.slow_ms * 1000;
   if (!sampled && !slow) return;
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (failed_) return;
   out_ << "{\"line\": " << span.line << ", \"tenant\": \""
        << JsonEscape(span.tenant) << "\", \"verb\": \""

@@ -13,9 +13,9 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "nucleus/util/mutex.h"
 #include "nucleus/util/status.h"
 
 namespace nucleus {
@@ -70,11 +70,11 @@ class TraceLog {
   explicit TraceLog(Options options) : options_(std::move(options)) {}
 
   Options options_;
-  std::ofstream out_;
-  std::mutex mutex_;
+  Mutex mutex_;
+  std::ofstream out_ GUARDED_BY(mutex_);
   std::atomic<std::int64_t> seen_{0};
   std::atomic<std::int64_t> written_{0};
-  bool failed_ = false;  // guarded by mutex_
+  bool failed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace obs

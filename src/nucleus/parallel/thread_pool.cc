@@ -16,19 +16,20 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::RunChunks(int lane, const ChunkFn& f) {
+void ThreadPool::RunChunks(int lane, const ChunkFn& f, std::int64_t total,
+                           std::int64_t grain, std::int64_t num_chunks) {
   for (;;) {
     const std::int64_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
-    if (c >= job_num_chunks_) return;
-    const std::int64_t begin = c * job_grain_;
-    f(lane, begin, std::min(job_total_, begin + job_grain_));
+    if (c >= num_chunks) return;
+    const std::int64_t begin = c * grain;
+    f(lane, begin, std::min(total, begin + grain));
   }
 }
 
@@ -47,7 +48,7 @@ void ThreadPool::ParallelFor(std::int64_t total, std::int64_t grain,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_fn_ = &f;
     job_total_ = total;
     job_grain_ = grain;
@@ -57,27 +58,33 @@ void ThreadPool::ParallelFor(std::int64_t total, std::int64_t grain,
     ++epoch_;
   }
   work_cv_.notify_all();
-  RunChunks(0, f);
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] {
-    return workers_finished_ == static_cast<int>(workers_.size());
-  });
+  RunChunks(0, f, total, grain, num_chunks);
+  MutexLock lock(mutex_);
+  while (workers_finished_ != static_cast<int>(workers_.size())) {
+    done_cv_.wait(lock.native());
+  }
 }
 
 void ThreadPool::WorkerLoop(int lane) {
   std::uint64_t seen = 0;
   for (;;) {
     const ChunkFn* fn = nullptr;
+    std::int64_t total = 0;
+    std::int64_t grain = 0;
+    std::int64_t num_chunks = 0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      MutexLock lock(mutex_);
+      while (!stop_ && epoch_ == seen) work_cv_.wait(lock.native());
       if (stop_) return;
       seen = epoch_;
       fn = job_fn_;
+      total = job_total_;
+      grain = job_grain_;
+      num_chunks = job_num_chunks_;
     }
-    RunChunks(lane, *fn);
+    RunChunks(lane, *fn, total, grain, num_chunks);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++workers_finished_;
     }
     done_cv_.notify_one();

@@ -22,11 +22,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "nucleus/parallel/parallel_config.h"
+#include "nucleus/util/mutex.h"
 
 namespace nucleus {
 
@@ -61,24 +61,34 @@ class ThreadPool {
 
  private:
   void WorkerLoop(int lane);
-  void RunChunks(int lane, const ChunkFn& f);
+  /// Drains chunks of the current job. The geometry travels as value
+  /// parameters: each lane copies it out of the guarded job fields while
+  /// holding mutex_ (the thread-safety analysis rejected the previous
+  /// shape, where RunChunks read job_total_/job_grain_/job_num_chunks_
+  /// directly, lock-free, relying on the epoch handshake for publication).
+  void RunChunks(int lane, const ChunkFn& f, std::int64_t total,
+                 std::int64_t grain, std::int64_t num_chunks);
 
   const int num_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;   // workers wait for a new epoch
-  std::condition_variable done_cv_;   // caller waits for worker arrivals
-  std::uint64_t epoch_ = 0;           // bumped per ParallelFor (guarded)
-  bool stop_ = false;                 // destructor signal (guarded)
-  int workers_finished_ = 0;          // arrivals for current epoch (guarded)
+  Mutex mutex_;
+  std::condition_variable work_cv_;  // workers wait for a new epoch
+  std::condition_variable done_cv_;  // caller waits for worker arrivals
+  // Bumped per ParallelFor.
+  std::uint64_t epoch_ GUARDED_BY(mutex_) = 0;
+  // Destructor signal.
+  bool stop_ GUARDED_BY(mutex_) = false;
+  // Arrivals for the current epoch.
+  int workers_finished_ GUARDED_BY(mutex_) = 0;
 
-  // Current job; fields written by the caller under mutex_ before the epoch
-  // bump, read by workers after observing the bump under the same mutex.
-  const ChunkFn* job_fn_ = nullptr;
-  std::int64_t job_total_ = 0;
-  std::int64_t job_grain_ = 0;
-  std::int64_t job_num_chunks_ = 0;
+  // Current job; written by the caller under mutex_ before the epoch
+  // bump, copied out by workers after observing the bump under the same
+  // mutex.
+  const ChunkFn* job_fn_ GUARDED_BY(mutex_) = nullptr;
+  std::int64_t job_total_ GUARDED_BY(mutex_) = 0;
+  std::int64_t job_grain_ GUARDED_BY(mutex_) = 0;
+  std::int64_t job_num_chunks_ GUARDED_BY(mutex_) = 0;
   std::atomic<std::int64_t> next_chunk_{0};
 };
 

@@ -24,7 +24,6 @@
 #define NUCLEUS_SERVE_LIVE_UPDATE_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -33,6 +32,7 @@
 #include "nucleus/core/incremental_core.h"
 #include "nucleus/store/delta.h"
 #include "nucleus/store/snapshot.h"
+#include "nucleus/util/mutex.h"
 #include "nucleus/util/status.h"
 
 namespace nucleus {
@@ -72,7 +72,11 @@ class LiveUpdater {
   /// nothing), applies them, and rebuilds the post-state. Inserts of
   /// existing edges and removals of missing edges are valid no-ops,
   /// counted in report.skipped.
-  StatusOr<Result> Apply(std::span<const EdgeEdit> edits);
+  /// REQUIRES(apply_mutex_): even single-threaded callers take a
+  /// MutexLock on apply_mutex() first — the compile-time contract does
+  /// not know which callers later grow concurrent.
+  StatusOr<Result> Apply(std::span<const EdgeEdit> edits)
+      REQUIRES(apply_mutex_);
 
   VertexId NumVertices() const { return maintainer_.NumVertices(); }
   std::int64_t NumEdges() const { return maintainer_.NumEdges(); }
@@ -85,19 +89,25 @@ class LiveUpdater {
   /// hold this across the whole apply sequence — Apply, the engine swap,
   /// the dirty marking — so updates serialize and the delta chain and the
   /// served state advance in the same order.
-  std::mutex& apply_mutex() { return apply_mutex_; }
+  Mutex& apply_mutex() RETURN_CAPABILITY(apply_mutex_) {
+    return apply_mutex_;
+  }
 
  private:
   LiveUpdater(const Graph& g, std::vector<Lambda> lambda,
               const ChainLink& link);
 
-  std::mutex apply_mutex_;
+  Mutex apply_mutex_;
+  /// The maintainer is mutated only by Apply (REQUIRES apply_mutex_) but
+  /// read lock-free by the NumVertices/NumEdges/maintainer() accessors,
+  /// which callers use only from the applying thread — so it is
+  /// deliberately not GUARDED_BY(apply_mutex_).
   IncrementalCoreMaintainer maintainer_;
   std::uint64_t base_fingerprint_;
   /// EdgeSetFingerprint / LambdaFingerprint of the state the NEXT delta
   /// descends from; both advance to the child values after every Apply.
-  std::uint64_t parent_fingerprint_;
-  std::uint64_t parent_lambda_fingerprint_;
+  std::uint64_t parent_fingerprint_ GUARDED_BY(apply_mutex_);
+  std::uint64_t parent_lambda_fingerprint_ GUARDED_BY(apply_mutex_);
 };
 
 /// Parses a `nucleus_cli update --edits` file: one edit per line,

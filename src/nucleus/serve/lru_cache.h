@@ -14,12 +14,12 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "nucleus/util/common.h"
+#include "nucleus/util/mutex.h"
 
 namespace nucleus {
 
@@ -104,7 +104,7 @@ class ShardedLruCache {
                                         const ComputeFn& compute) {
     Shard& shard = ShardOf(key);
     {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      MutexLock lock(shard.mutex);
       auto it = shard.map.find(key);
       if (it != shard.map.end()) {
         shard.order.splice(shard.order.begin(), shard.order, it->second);
@@ -114,7 +114,7 @@ class ShardedLruCache {
       ++shard.stats.misses;
     }
     auto value = std::make_shared<const V>(compute());
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       // A racing computation landed first; adopt its value. This lookup
@@ -147,7 +147,7 @@ class ShardedLruCache {
   LruCacheStats Stats() const {
     LruCacheStats total;
     for (const Shard& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      MutexLock lock(shard.mutex);
       LruCacheStats slice = shard.stats;
       slice.bytes = shard.bytes;
       total.Add(slice);
@@ -161,11 +161,14 @@ class ShardedLruCache {
  private:
   using Entry = std::pair<K, std::shared_ptr<const V>>;
   struct Shard {
-    mutable std::mutex mutex;
-    std::list<Entry> order;  // most-recently-used first
-    std::unordered_map<K, typename std::list<Entry>::iterator> map;
-    LruCacheStats stats;
-    std::int64_t bytes = 0;  // resident entry bytes (LruEntryBytes sum)
+    mutable Mutex mutex;
+    // Most-recently-used first.
+    std::list<Entry> order GUARDED_BY(mutex);
+    std::unordered_map<K, typename std::list<Entry>::iterator> map
+        GUARDED_BY(mutex);
+    LruCacheStats stats GUARDED_BY(mutex);
+    // Resident entry bytes (LruEntryBytes sum).
+    std::int64_t bytes GUARDED_BY(mutex) = 0;
   };
 
   Shard& ShardOf(const K& key) {

@@ -13,10 +13,11 @@
 #include <condition_variable>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <ostream>
 #include <streambuf>
 #include <utility>
+
+#include "nucleus/util/mutex.h"
 
 namespace nucleus {
 namespace {
@@ -121,10 +122,11 @@ struct TcpServer::Connection {
     std::chrono::steady_clock::time_point enqueued{};
   };
 
-  std::mutex mutex;
+  Mutex mutex;
   std::condition_variable cv;
-  std::deque<Item> queue;
-  std::int64_t admitted_depth = 0;  // kLine items currently queued
+  std::deque<Item> queue GUARDED_BY(mutex);
+  // kLine items currently queued.
+  std::int64_t admitted_depth GUARDED_BY(mutex) = 0;
 
   std::thread worker;
   std::atomic<bool> worker_done{false};
@@ -174,12 +176,16 @@ Status TcpServer::Start() {
   if (io_thread_.joinable()) {
     return Status::Internal("TcpServer already started");
   }
-  if (::pipe(wake_pipe_) != 0) {
-    return Status::Internal("pipe() failed: " +
-                            std::string(std::strerror(errno)));
+  // A failed Start (bad host, port taken) may be retried; reuse the wake
+  // pipe from the previous attempt instead of leaking two fds per retry.
+  if (wake_pipe_[0] < 0) {
+    if (::pipe(wake_pipe_) != 0) {
+      return Status::Internal("pipe() failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    SetNonBlocking(wake_pipe_[0]);
+    SetNonBlocking(wake_pipe_[1]);
   }
-  SetNonBlocking(wake_pipe_[0]);
-  SetNonBlocking(wake_pipe_[1]);
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -329,7 +335,7 @@ void TcpServer::AcceptPending() {
 }
 
 void TcpServer::AdmitLine(Connection& conn, std::string line) {
-  std::lock_guard<std::mutex> lock(conn.mutex);
+  MutexLock lock(conn.mutex);
   if (conn.admitted_depth >= options_.queue_high_water) {
     // Back-pressure: the line is dropped HERE, but it still gets its
     // response slot — consecutive drops coalesce into one queue item the
@@ -386,7 +392,7 @@ void TcpServer::RejectOversized(Connection& conn) {
   lines_rejected_.fetch_add(1, std::memory_order_relaxed);
   m_oversized_lines_->Increment();
   m_lines_rejected_->Increment();
-  std::lock_guard<std::mutex> lock(conn.mutex);
+  MutexLock lock(conn.mutex);
   Connection::Item item;
   item.kind = Connection::Item::Kind::kReject;
   item.reject = Status::OutOfRange(
@@ -400,7 +406,7 @@ void TcpServer::RejectOversized(Connection& conn) {
 void TcpServer::EnqueueEof(Connection& conn) {
   if (conn.eof_enqueued) return;
   conn.eof_enqueued = true;
-  std::lock_guard<std::mutex> lock(conn.mutex);
+  MutexLock lock(conn.mutex);
   Connection::Item item;
   item.kind = Connection::Item::Kind::kEof;
   conn.queue.push_back(std::move(item));
@@ -470,8 +476,8 @@ void TcpServer::WorkerLoop(Connection* conn) {
   while (!eof && !processor.shutdown_requested()) {
     std::deque<Connection::Item> batch;
     {
-      std::unique_lock<std::mutex> lock(conn->mutex);
-      conn->cv.wait(lock, [conn] { return !conn->queue.empty(); });
+      MutexLock lock(conn->mutex);
+      while (conn->queue.empty()) conn->cv.wait(lock.native());
       batch.swap(conn->queue);
       conn->admitted_depth = 0;
     }
@@ -509,7 +515,7 @@ void TcpServer::WorkerLoop(Connection* conn) {
     // client is never left waiting on a half-full batch.
     bool quiescent;
     {
-      std::lock_guard<std::mutex> lock(conn->mutex);
+      MutexLock lock(conn->mutex);
       quiescent = conn->queue.empty();
     }
     if (quiescent || eof) processor.Flush();
@@ -571,7 +577,7 @@ void TcpServer::PollLoop() {
         // Lines admitted after the worker quit (it exits on `shutdown`
         // without waiting for the reader) were never dequeued; unwind
         // their share of the depth gauge before the connection goes away.
-        std::lock_guard<std::mutex> lock(conn.mutex);
+        MutexLock lock(conn.mutex);
         for (const Connection::Item& item : conn.queue) {
           if (item.kind == Connection::Item::Kind::kLine) {
             queue_depth_.fetch_sub(1, std::memory_order_relaxed);

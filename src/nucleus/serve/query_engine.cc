@@ -48,7 +48,7 @@ std::unique_ptr<QueryEngine> QueryEngine::FromSnapshotData(
 }
 
 std::shared_ptr<const QueryEngine::State> QueryEngine::CurrentState() const {
-  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  ReaderLock lock(state_mutex_);
   return state_;
 }
 
@@ -76,7 +76,7 @@ Status QueryEngine::ApplyUpdate(std::shared_ptr<const SnapshotSource> source) {
   std::shared_ptr<State> next =
       BuildState(std::move(source), current->epoch + 1);
   {
-    std::unique_lock<std::shared_mutex> lock(state_mutex_);
+    WriterLock lock(state_mutex_);
     if (state_->epoch >= next->epoch) {
       // A concurrent writer already published this or a later generation;
       // bump past it so cache keys stay unique per published state.

@@ -46,13 +46,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <vector>
 
 #include "nucleus/parallel/thread_pool.h"
 #include "nucleus/serve/lru_cache.h"
 #include "nucleus/store/snapshot.h"
 #include "nucleus/store/snapshot_source.h"
+#include "nucleus/util/mutex.h"
 #include "nucleus/util/status.h"
 
 namespace nucleus {
@@ -201,8 +201,8 @@ class QueryEngine {
   std::shared_ptr<const std::vector<CliqueId>> MembersOnState(
       const State& state, std::int32_t node) const;
 
-  mutable std::shared_mutex state_mutex_;      // guards state_ (swap only)
-  std::shared_ptr<const State> state_;
+  mutable SharedMutex state_mutex_;  // guards state_ (swap only)
+  std::shared_ptr<const State> state_ GUARDED_BY(state_mutex_);
   mutable ShardedLruCache<std::uint64_t, std::vector<CliqueId>>
       members_cache_;  // key = epoch << 32 | node
 };

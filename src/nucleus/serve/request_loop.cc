@@ -3,7 +3,6 @@
 #include <chrono>
 #include <istream>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -12,6 +11,7 @@
 #include "nucleus/io/hierarchy_export.h"
 #include "nucleus/serve/snapshot_registry.h"
 #include "nucleus/store/manifest.h"
+#include "nucleus/util/mutex.h"
 #include "nucleus/util/parse_util.h"
 
 namespace nucleus {
@@ -463,7 +463,7 @@ Status RequestProcessor::ApplyUpdate(const std::string& tenant,
   // marking — runs under the updater's mutex so concurrent updates
   // serialize and the delta chain and the served state advance in the
   // same order everywhere.
-  std::lock_guard<std::mutex> apply_lock(session->updater->apply_mutex());
+  MutexLock apply_lock(session->updater->apply_mutex());
   StatusOr<LiveUpdater::Result> result =
       session->updater->Apply(std::span<const EdgeEdit>(&edit, 1));
   if (!result.ok()) return result.status();

@@ -38,10 +38,12 @@ SnapshotRegistry::SnapshotRegistry(const RegistryOptions& options)
     : options_(options) {}
 
 StatusOr<std::shared_ptr<SnapshotRegistry::Resident>>
-SnapshotRegistry::LoadResident(const TenantSpec& spec,
+SnapshotRegistry::LoadResident(const SnapshotRegistry* self,
+                               const TenantSpec& spec,
                                const RegistryOptions& options) {
   const auto start = std::chrono::steady_clock::now();
-  StatusOr<std::shared_ptr<Resident>> result = LoadResidentImpl(spec, options);
+  StatusOr<std::shared_ptr<Resident>> result =
+      LoadResidentImpl(self, spec, options);
   if (obs::MetricsEnabled()) {
     const std::int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
                                 std::chrono::steady_clock::now() - start)
@@ -57,7 +59,8 @@ SnapshotRegistry::LoadResident(const TenantSpec& spec,
 }
 
 StatusOr<std::shared_ptr<SnapshotRegistry::Resident>>
-SnapshotRegistry::LoadResidentImpl(const TenantSpec& spec,
+SnapshotRegistry::LoadResidentImpl(const SnapshotRegistry* self,
+                                   const TenantSpec& spec,
                                    const RegistryOptions& options) {
   if (options.load_hook) options.load_hook(spec.name);
   if (spec.graph_path.empty()) {
@@ -72,7 +75,7 @@ SnapshotRegistry::LoadResidentImpl(const TenantSpec& spec,
         QueryEngine::FromSource(std::move(*source), options.engine);
     const std::int64_t heap = engine->HeapBytes();
     const std::int64_t mapped = engine->MappedBytes();
-    return std::make_shared<Resident>(std::move(engine), heap, mapped);
+    return std::make_shared<Resident>(self, std::move(engine), heap, mapped);
   }
   // Live tenant: the graph is loaded next to the snapshot (or delta
   // chain), paired through the fingerprint check inside
@@ -101,14 +104,14 @@ SnapshotRegistry::LoadResidentImpl(const TenantSpec& spec,
       QueryEngine::FromSnapshotData(std::move(*snapshot), options.engine);
   const std::int64_t heap = engine->HeapBytes() + live_bytes;
   auto resident =
-      std::make_shared<Resident>(std::move(engine), heap, /*mapped=*/0);
+      std::make_shared<Resident>(self, std::move(engine), heap, /*mapped=*/0);
   resident->updater = std::move(*updater);
   return resident;
 }
 
 Status SnapshotRegistry::Attach(const TenantSpec& spec) {
   if (Status s = ValidateTenantSpec(spec); !s.ok()) return s;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (tenants_.count(spec.name) != 0) {
     return Status::InvalidArgument("tenant '" + spec.name +
                                    "' is already attached");
@@ -116,7 +119,7 @@ Status SnapshotRegistry::Attach(const TenantSpec& spec) {
   // Eager load: a broken tenant fails HERE, attributable and atomic —
   // nothing is registered on failure and the other tenants never notice.
   StatusOr<std::shared_ptr<Resident>> resident =
-      LoadResident(spec, options_);
+      LoadResident(this, spec, options_);
   if (!resident.ok()) return TenantError(spec.name, resident.status());
   Tenant tenant;
   tenant.spec = spec;
@@ -141,7 +144,10 @@ Status SnapshotRegistry::AttachManifest(const RegistryManifest& manifest) {
   for (const TenantSpec& spec : manifest.tenants) {
     if (Status s = Attach(spec); !s.ok()) {
       for (auto it = attached.rbegin(); it != attached.rend(); ++it) {
-        Detach(*it, /*force=*/true);
+        // Best-effort rollback: the original attach failure is the error
+        // the caller needs; a forced detach of a just-attached (clean)
+        // tenant cannot lose data.
+        (void)Detach(*it, /*force=*/true);
       }
       return s;
     }
@@ -164,10 +170,10 @@ Status SnapshotRegistry::PersistDirtyLocked(
   // serialized below matches the drained deltas exactly. Lock order is
   // mutex_ -> apply_mutex -> pending_mutex; MarkUpdated takes only the
   // tail of the chain, so the orders compose without a cycle.
-  std::lock_guard<std::mutex> apply_lock(resident.updater->apply_mutex());
+  MutexLock apply_lock(resident.updater->apply_mutex());
   std::vector<DeltaData> pending;
   {
-    std::lock_guard<std::mutex> pending_lock(resident.pending_mutex);
+    MutexLock pending_lock(resident.pending_mutex);
     pending = resident.pending_deltas;
   }
   if (pending.empty()) {
@@ -196,7 +202,7 @@ Status SnapshotRegistry::PersistDirtyLocked(
     // ran this without the apply lock excluding new updates, a delta that
     // arrived mid-persist would survive for the next persist instead of
     // being dropped unwritten, and the tenant would stay dirty.
-    std::lock_guard<std::mutex> pending_lock(resident.pending_mutex);
+    MutexLock pending_lock(resident.pending_mutex);
     resident.pending_deltas.erase(
         resident.pending_deltas.begin(),
         resident.pending_deltas.begin() +
@@ -211,7 +217,7 @@ Status SnapshotRegistry::PersistDirtyLocked(
 
 Status SnapshotRegistry::Detach(const std::string& name, bool force,
                                 std::vector<std::string>* persisted) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = tenants_.find(name);
   if (it == tenants_.end()) {
     return Status::NotFound("unknown tenant '" + name + "'");
@@ -247,7 +253,7 @@ Status SnapshotRegistry::Detach(const std::string& name, bool force,
 
 StatusOr<SnapshotRegistry::Lease> SnapshotRegistry::Acquire(
     const std::string& name) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
     auto it = tenants_.find(name);
     if (it == tenants_.end()) {
@@ -270,7 +276,7 @@ StatusOr<SnapshotRegistry::Lease> SnapshotRegistry::Acquire(
       // outcome individually; on success the loop re-finds the installed
       // resident (or whatever detach/attach did meanwhile).
       std::shared_ptr<LoadState> state = tenant.loading;
-      load_cv_.wait(lock, [&state] { return state->done; });
+      while (!state->done) load_cv_.wait(lock.native());
       if (!state->status.ok()) return TenantError(name, state->status);
       continue;
     }
@@ -281,9 +287,10 @@ StatusOr<SnapshotRegistry::Lease> SnapshotRegistry::Acquire(
     auto state = std::make_shared<LoadState>();
     tenant.loading = state;
     const TenantSpec spec = tenant.spec;
-    lock.unlock();
-    StatusOr<std::shared_ptr<Resident>> loaded = LoadResident(spec, options_);
-    lock.lock();
+    lock.Unlock();
+    StatusOr<std::shared_ptr<Resident>> loaded =
+        LoadResident(this, spec, options_);
+    lock.Lock();
     state->status = loaded.ok() ? Status::Ok() : loaded.status();
     state->done = true;
     auto it2 = tenants_.find(name);
@@ -372,14 +379,14 @@ void SnapshotRegistry::MarkUpdated(const std::shared_ptr<Resident>& resident,
   // taking mutex_ here would deadlock against PersistDirtyLocked, which
   // acquires the two in the opposite order. Queue, flag and counter move
   // under pending_mutex so a persist's drain sees them as one unit.
-  std::lock_guard<std::mutex> pending_lock(resident->pending_mutex);
+  MutexLock pending_lock(resident->pending_mutex);
   if (delta != nullptr) resident->pending_deltas.push_back(*delta);
   resident->dirty.store(true, std::memory_order_relaxed);
   resident->updates.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<std::string> SnapshotRegistry::TenantNames() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(tenants_.size());
   for (const auto& [name, tenant] : tenants_) names.push_back(name);
@@ -387,7 +394,7 @@ std::vector<std::string> SnapshotRegistry::TenantNames() const {
 }
 
 StatusOr<TenantStats> SnapshotRegistry::Stats(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = tenants_.find(name);
   if (it == tenants_.end()) {
     return Status::NotFound("unknown tenant '" + name + "'");
@@ -420,7 +427,7 @@ StatusOr<TenantStats> SnapshotRegistry::Stats(const std::string& name) const {
 }
 
 RegistrySummary SnapshotRegistry::Summary() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   RegistrySummary summary;
   summary.tenants = static_cast<std::int64_t>(tenants_.size());
   summary.resident_bytes = resident_bytes_;
@@ -432,7 +439,7 @@ RegistrySummary SnapshotRegistry::Summary() const {
 }
 
 std::int64_t SnapshotRegistry::ResidentBytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return resident_bytes_;
 }
 
@@ -470,7 +477,7 @@ void SnapshotRegistry::Lease::Release() {
 }
 
 void SnapshotRegistry::EnforceBudget() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   EvictLocked();
 }
 

@@ -52,7 +52,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -62,6 +61,7 @@
 #include "nucleus/store/manifest.h"
 #include "nucleus/store/snapshot.h"
 #include "nucleus/store/snapshot_source.h"
+#include "nucleus/util/mutex.h"
 #include "nucleus/util/status.h"
 
 namespace nucleus {
@@ -168,14 +168,14 @@ class SnapshotRegistry {
   /// unreadable/corrupt snapshot, delta-chain or fingerprint mismatch,
   /// live pairing rejected — returns a Status prefixed with the tenant
   /// name and registers nothing. Duplicate names are errors.
-  Status Attach(const TenantSpec& spec);
+  Status Attach(const TenantSpec& spec) EXCLUDES(mutex_);
 
   /// Attaches every tenant of a manifest ATOMICALLY: on the first failure
   /// the tenants this call already attached are rolled back (detached),
   /// and the returned Status names the failing tenant. A failed
   /// `--registry` startup therefore leaves the registry exactly as it
   /// found it.
-  Status AttachManifest(const RegistryManifest& manifest);
+  Status AttachManifest(const RegistryManifest& manifest) EXCLUDES(mutex_);
 
   /// Unregisters a tenant. Its engine is dropped from the budget
   /// immediately; a Lease still holding it keeps the state alive (and
@@ -190,7 +190,8 @@ class SnapshotRegistry {
   /// The detached tenant's cache counters (resident engine + already
   /// retired) fold into Summary().detached_cache instead of vanishing.
   Status Detach(const std::string& name, bool force = false,
-                std::vector<std::string>* persisted = nullptr);
+                std::vector<std::string>* persisted = nullptr)
+      EXCLUDES(mutex_);
 
   /// Acquires a pinned lease on a tenant's engine, lazily re-loading it
   /// if it was evicted. The tenant cannot be evicted while the lease is
@@ -203,18 +204,19 @@ class SnapshotRegistry {
   /// of the SAME loading tenant coalesce onto the one in-flight load
   /// (each still reporting a failure individually, leaving the tenant
   /// retryable).
-  StatusOr<Lease> Acquire(const std::string& name);
+  StatusOr<Lease> Acquire(const std::string& name) EXCLUDES(mutex_);
 
   /// Attached tenant names, sorted.
-  std::vector<std::string> TenantNames() const;
+  std::vector<std::string> TenantNames() const EXCLUDES(mutex_);
 
-  StatusOr<TenantStats> Stats(const std::string& name) const;
+  StatusOr<TenantStats> Stats(const std::string& name) const
+      EXCLUDES(mutex_);
 
   /// Registry-wide counters (see RegistrySummary).
-  RegistrySummary Summary() const;
+  RegistrySummary Summary() const EXCLUDES(mutex_);
 
   /// Sum of resident engine estimates currently accounted to the budget.
-  std::int64_t ResidentBytes() const;
+  std::int64_t ResidentBytes() const EXCLUDES(mutex_);
 
   const RegistryOptions& options() const { return options_; }
 
@@ -223,11 +225,17 @@ class SnapshotRegistry {
   /// in-flight Lease outlives Detach; never mutated structurally after
   /// construction (the engine handles its own update swaps).
   struct Resident {
-    Resident(std::unique_ptr<QueryEngine> engine_in,
+    Resident(const SnapshotRegistry* owner_in,
+             std::unique_ptr<QueryEngine> engine_in,
              std::int64_t heap_bytes_in, std::int64_t mapped_bytes_in)
-        : engine(std::move(engine_in)),
+        : owner(owner_in),
+          engine(std::move(engine_in)),
           heap_bytes(heap_bytes_in),
           mapped_bytes(mapped_bytes_in) {}
+    /// The owning registry — referenced only by the lock-order
+    /// annotation on pending_mutex below (the registry that loaded a
+    /// resident is the one whose mutex_ sits above it).
+    const SnapshotRegistry* const owner;
     std::unique_ptr<QueryEngine> engine;  // never null
     std::unique_ptr<LiveUpdater> updater;  // null for read-only tenants
     /// Heap bytes charged against the budget (engine estimate + live
@@ -250,8 +258,14 @@ class SnapshotRegistry {
     /// dirty flag's transitions (updates happen on leased engines outside
     /// the registry lock), so a persist's clear and a concurrent mark
     /// never interleave into a dirty=false state with deltas queued.
-    std::mutex pending_mutex;
-    std::vector<DeltaData> pending_deltas;
+    ///
+    /// Bottom of the registry's lock order: the ACQUIRED_AFTER edges
+    /// state mutex_ -> apply_mutex -> pending_mutex in the type system
+    /// (checked under -Wthread-safety-beta; see PersistDirtyLocked for
+    /// the one path that holds all three).
+    Mutex pending_mutex ACQUIRED_AFTER(owner->mutex_,
+                                       updater->apply_mutex());
+    std::vector<DeltaData> pending_deltas GUARDED_BY(pending_mutex);
   };
 
   /// One in-flight lazy re-load. `done`/`status` are guarded by the
@@ -277,38 +291,43 @@ class SnapshotRegistry {
   /// LoadResident wraps LoadResidentImpl (the actual disk work) with the
   /// nucleus_registry_load_us{tenant} histogram + load/failure counters.
   static StatusOr<std::shared_ptr<Resident>> LoadResident(
-      const TenantSpec& spec, const RegistryOptions& options);
+      const SnapshotRegistry* self, const TenantSpec& spec,
+      const RegistryOptions& options);
   static StatusOr<std::shared_ptr<Resident>> LoadResidentImpl(
-      const TenantSpec& spec, const RegistryOptions& options);
+      const SnapshotRegistry* self, const TenantSpec& spec,
+      const RegistryOptions& options);
 
   /// Drops LRU idle engines until the budget holds (or nothing idle is
-  /// left). Caller holds mutex_.
-  void EvictLocked();
+  /// left).
+  void EvictLocked() REQUIRES(mutex_);
   /// Takes mutex_ and evicts; run by a releasing Lease so an overshoot
   /// tolerated while pinned is reclaimed as soon as the pin drops, not
   /// only at the next Attach/Acquire.
-  void EnforceBudget();
+  void EnforceBudget() EXCLUDES(mutex_);
   static void MarkUpdated(const std::shared_ptr<Resident>& resident,
                           const DeltaData* delta);
   /// Writes a dirty tenant's pending deltas + current graph next to its
-  /// backing files; clears the dirty state on success. Caller holds
-  /// mutex_ (detach is an admin-plane operation; the IO cost mirrors the
-  /// eager load Attach already performs under the lock). Holds the
-  /// updater's apply mutex for the duration, so no update batch can land
-  /// between the drain and the clear and be lost.
+  /// backing files; clears the dirty state on success. Runs under mutex_
+  /// (detach is an admin-plane operation; the IO cost mirrors the eager
+  /// load Attach already performs under the lock). Holds the updater's
+  /// apply mutex for the duration, so no update batch can land between
+  /// the drain and the clear and be lost.
   Status PersistDirtyLocked(Tenant& tenant,
-                            std::vector<std::string>* persisted);
+                            std::vector<std::string>* persisted)
+      REQUIRES(mutex_);
 
   const RegistryOptions options_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// Wakes Acquires that coalesced onto an in-flight lazy re-load.
   std::condition_variable load_cv_;
-  std::map<std::string, Tenant> tenants_;
-  std::int64_t resident_bytes_ = 0;  // charged (heap) bytes
-  std::int64_t mapped_bytes_ = 0;    // resident mmap tenants' file bytes
-  std::uint64_t tick_ = 0;  // deterministic LRU clock
-  std::int64_t detaches_ = 0;
-  LruCacheStats detached_cache_;
+  std::map<std::string, Tenant> tenants_ GUARDED_BY(mutex_);
+  // Charged (heap) bytes.
+  std::int64_t resident_bytes_ GUARDED_BY(mutex_) = 0;
+  // Resident mmap tenants' file bytes.
+  std::int64_t mapped_bytes_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t tick_ GUARDED_BY(mutex_) = 0;  // deterministic LRU clock
+  std::int64_t detaches_ GUARDED_BY(mutex_) = 0;
+  LruCacheStats detached_cache_ GUARDED_BY(mutex_);
 
   friend class Lease;
 };

@@ -9,11 +9,11 @@
 #include <atomic>
 #include <cerrno>
 #include <cstring>
-#include <mutex>
 #include <utility>
 
 #include "nucleus/store/record_io.h"
 #include "nucleus/store/snapshot_v2.h"
+#include "nucleus/util/mutex.h"
 
 namespace nucleus {
 
@@ -165,7 +165,7 @@ class MmapSource final : public SnapshotSource {
     if ((verified_.load(std::memory_order_acquire) & groups) == groups) {
       return Status::Ok();
     }
-    std::lock_guard<std::mutex> lock(verify_mutex_);
+    MutexLock lock(verify_mutex_);
     // A sticky failure: one corrupt section poisons the source, every
     // later query gets the original diagnosis instead of a re-scan.
     if (!error_.ok()) return error_;
@@ -293,8 +293,9 @@ class MmapSource final : public SnapshotSource {
   v2::V2Header header_;
 
   mutable std::atomic<std::uint32_t> verified_{0};
-  mutable std::mutex verify_mutex_;
-  mutable Status error_;  // guarded by verify_mutex_; sticky first failure
+  mutable Mutex verify_mutex_;
+  // Sticky first verification failure.
+  mutable Status error_ GUARDED_BY(verify_mutex_);
 };
 
 StatusOr<std::shared_ptr<const SnapshotSource>> MmapSource::Open(

@@ -1,0 +1,120 @@
+// Annotated mutex wrappers: thin, zero-overhead shims over the std
+// synchronization primitives that carry Clang thread-safety capability
+// attributes (util/thread_annotations.h). All lock-holding types in
+// src/ use these instead of naked std::mutex / std::shared_mutex —
+// nucleus_lint enforces that — so `-Wthread-safety -Werror` (the
+// clang-analyze preset) can prove GUARDED_BY and lock-order contracts
+// at compile time. Under GCC the attributes vanish and each wrapper is
+// exactly its std counterpart.
+//
+// Condition-variable waits go through MutexLock::native():
+//
+//   MutexLock lock(mu_);
+//   while (!done_) cv_.wait(lock.native());   // not the predicate form
+//
+// The explicit while-loop form is deliberate: the predicate lambda of
+// cv.wait(lock, pred) is analyzed as a separate function that does not
+// hold the capability, so reads of GUARDED_BY members inside it would
+// be (false-positive) violations.
+#ifndef NUCLEUS_UTIL_MUTEX_H_
+#define NUCLEUS_UTIL_MUTEX_H_
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "nucleus/util/thread_annotations.h"
+
+namespace nucleus {
+
+/// std::mutex with capability annotations. Lock/Unlock are public for
+/// the rare manual-management case; prefer MutexLock.
+class CAPABILITY("mutex") Mutex {  // nucleus-lint: allow(naked-mutex)
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;  // nucleus-lint: allow(naked-mutex)
+};
+
+/// Scoped lock over Mutex, backed by std::unique_lock so it can be
+/// dropped and retaken mid-scope (SnapshotRegistry::Acquire does this
+/// around disk loads) and can feed std::condition_variable::wait via
+/// native(). Destruction releases the lock if still held.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() RELEASE() {}
+
+  /// Temporarily drop the lock (e.g. across a blocking load)...
+  void Unlock() RELEASE() { lock_.unlock(); }
+  /// ...and retake it before touching guarded state again.
+  void Lock() ACQUIRE() { lock_.lock(); }
+
+  /// The underlying std lock, for condition_variable::wait. The wait
+  /// releases and reacquires the real mutex; the analysis treats the
+  /// capability as held throughout, which matches the wait's
+  /// postcondition.
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;  // nucleus-lint: allow(naked-mutex)
+};
+
+/// std::shared_mutex with capability annotations (reader/writer).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  friend class ReaderLock;
+  friend class WriterLock;
+  std::shared_mutex mu_;  // nucleus-lint: allow(naked-mutex)
+};
+
+/// Scoped shared (reader) lock over SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.mu_.lock_shared();
+  }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+  ~ReaderLock() RELEASE_GENERIC() { mu_.mu_.unlock_shared(); }
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped exclusive (writer) lock over SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.mu_.lock();
+  }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+  ~WriterLock() RELEASE() { mu_.mu_.unlock(); }
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace nucleus
+
+#endif  // NUCLEUS_UTIL_MUTEX_H_

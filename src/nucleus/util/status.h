@@ -20,7 +20,11 @@ enum class StatusCode {
 };
 
 /// Result of an operation that can fail. Cheap to copy when OK.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures (a detach that
+/// never persisted, a write that never happened). Call sites that truly
+/// cannot act on the error must cast to void with a comment saying why.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -54,7 +58,7 @@ class Status {
 
 /// Either a value or an error Status. Dereferencing a non-OK StatusOr aborts.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(T value) : payload_(std::move(value)) {}          // NOLINT
   StatusOr(Status status) : payload_(std::move(status)) {    // NOLINT

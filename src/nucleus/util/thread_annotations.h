@@ -1,0 +1,117 @@
+// Clang thread-safety (capability) analysis macros.
+//
+// These expand to __attribute__((...)) under Clang and to nothing
+// elsewhere, so annotated code compiles unchanged with GCC/MSVC. The
+// analysis itself is enabled by the `clang-analyze` CMake preset
+// (-Wthread-safety -Wthread-safety-beta promoted to errors); see the
+// root README and src/nucleus/serve/README.md ("Concurrency
+// contracts") for how the serving tier uses them.
+//
+// Naming follows the upstream capability vocabulary
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//
+//   GUARDED_BY(mu)      data member readable/writable only under mu
+//   PT_GUARDED_BY(mu)   pointee (not the pointer) guarded by mu
+//   REQUIRES(mu)        caller must already hold mu
+//   ACQUIRE / RELEASE   function takes / drops the capability
+//   EXCLUDES(mu)        caller must NOT hold mu (deadlock guard)
+//   ACQUIRED_AFTER(...) static lock-order edge, checked under
+//                       -Wthread-safety-beta
+//
+// Apply them to the annotated wrappers in util/mutex.h, not to raw std
+// primitives — nucleus_lint rejects naked std::mutex members in src/.
+#ifndef NUCLEUS_UTIL_THREAD_ANNOTATIONS_H_
+#define NUCLEUS_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define NUCLEUS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define NUCLEUS_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+// -- Type attributes ---------------------------------------------------
+
+/// Marks a class as a lockable capability (e.g. a mutex wrapper).
+#define CAPABILITY(x) NUCLEUS_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability.
+#define SCOPED_CAPABILITY NUCLEUS_THREAD_ANNOTATION_(scoped_lockable)
+
+// -- Data-member attributes --------------------------------------------
+
+/// The member may only be accessed while holding `x`.
+#define GUARDED_BY(x) NUCLEUS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The pointed-to data (not the pointer itself) is guarded by `x`.
+#define PT_GUARDED_BY(x) NUCLEUS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// This capability must be acquired after the listed ones
+/// (lock-order edges; enforced under -Wthread-safety-beta).
+#define ACQUIRED_AFTER(...) \
+  NUCLEUS_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// This capability must be acquired before the listed ones.
+#define ACQUIRED_BEFORE(...) \
+  NUCLEUS_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+// -- Function attributes -----------------------------------------------
+
+/// Caller must hold the listed capabilities exclusively.
+#define REQUIRES(...) \
+  NUCLEUS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the listed capabilities at least shared.
+#define REQUIRES_SHARED(...) \
+  NUCLEUS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability exclusively; caller must not
+/// already hold it.
+#define ACQUIRE(...) \
+  NUCLEUS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The function acquires the capability shared.
+#define ACQUIRE_SHARED(...) \
+  NUCLEUS_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the (exclusively held) capability.
+#define RELEASE(...) \
+  NUCLEUS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function releases the (shared) capability.
+#define RELEASE_SHARED(...) \
+  NUCLEUS_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability whether held shared or
+/// exclusively (use on destructors of reader/writer scopes).
+#define RELEASE_GENERIC(...) \
+  NUCLEUS_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+/// The function attempts the acquire and returns `b` on success.
+#define TRY_ACQUIRE(b, ...) \
+  NUCLEUS_THREAD_ANNOTATION_(try_acquire_capability(b, __VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(b, ...) \
+  NUCLEUS_THREAD_ANNOTATION_(try_acquire_shared_capability(b, __VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (the function acquires
+/// them itself; re-entry would deadlock on std primitives).
+#define EXCLUDES(...) NUCLEUS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts (without acquiring) that the calling thread holds the
+/// capability — for code reachable only under a lock taken elsewhere.
+#define ASSERT_CAPABILITY(x) NUCLEUS_THREAD_ANNOTATION_(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  NUCLEUS_THREAD_ANNOTATION_(assert_shared_capability(x))
+
+/// The function returns a reference to the named capability (so
+/// `Lock l(obj->mu());` resolves to the member, not an opaque value).
+#define RETURN_CAPABILITY(x) NUCLEUS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Turns the analysis off for one function. Use only with a comment
+/// explaining why the invariant holds anyway.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  NUCLEUS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // NUCLEUS_UTIL_THREAD_ANNOTATIONS_H_

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -11,6 +12,7 @@
 #include "nucleus/serve/live_update.h"
 #include "nucleus/store/snapshot.h"
 #include "nucleus/util/rng.h"
+#include "nucleus/util/mutex.h"
 #include "test_util.h"
 
 namespace nucleus {
@@ -18,6 +20,14 @@ namespace {
 
 using testing_util::GraphZoo;
 using testing_util::TempPath;
+
+/// Apply() requires the updater's apply mutex at compile time; tests
+/// take it the same way concurrent production callers do.
+StatusOr<LiveUpdater::Result> LockedApply(LiveUpdater& updater,
+                                          std::span<const EdgeEdit> edits) {
+  MutexLock lock(updater.apply_mutex());
+  return updater.Apply(edits);
+}
 
 SnapshotData BuildCoreSnapshot(const Graph& g, bool with_index = true) {
   DecomposeOptions options;
@@ -83,7 +93,7 @@ ChainFixture BuildChain(const Graph& g, const std::string& stem,
   for (int i = 0; i < batches; ++i) {
     const std::vector<EdgeEdit> edits =
         RandomEdits((*updater)->maintainer(), rng, batch_size);
-    auto result = (*updater)->Apply(edits);
+    auto result = LockedApply(**updater, edits);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
     const std::string delta_path =
         TempPath(stem + "_d" + std::to_string(i) + ".nucdelta");
@@ -389,7 +399,7 @@ TEST(DeltaChain, ChainLinkContinuesAnExistingChain) {
   Rng rng(77);
   const std::vector<EdgeEdit> edits =
       RandomEdits((*updater)->maintainer(), rng, 5);
-  auto result = (*updater)->Apply(edits);
+  auto result = LockedApply(**updater, edits);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   const std::string extension = TempPath("chain_continue_d2.nucdelta");
   ASSERT_TRUE(SaveDelta(result->delta, extension).ok());

@@ -11,6 +11,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <span>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -20,6 +21,7 @@
 #include "nucleus/serve/request_loop.h"
 #include "nucleus/store/snapshot.h"
 #include "nucleus/util/rng.h"
+#include "nucleus/util/mutex.h"
 #include "test_util.h"
 
 namespace nucleus {
@@ -27,6 +29,14 @@ namespace {
 
 using testing_util::GraphZoo;
 using testing_util::TempPath;
+
+/// Apply() requires the updater's apply mutex at compile time; tests
+/// take it the same way concurrent production callers do.
+StatusOr<LiveUpdater::Result> LockedApply(LiveUpdater& updater,
+                                          std::span<const EdgeEdit> edits) {
+  MutexLock lock(updater.apply_mutex());
+  return updater.Apply(edits);
+}
 
 SnapshotData BuildCoreSnapshot(const Graph& g, bool with_index = true) {
   DecomposeOptions options;
@@ -144,7 +154,7 @@ TEST(LiveUpdate, AllSkippedBatchLeavesServedStateUntouched) {
   // A duplicate insert and a missing removal: valid no-ops.
   const std::vector<EdgeEdit> noops{{0, 1, EdgeEditOp::kInsert},
                                     {0, 9, EdgeEditOp::kRemove}};
-  auto result = (*updater)->Apply(noops);
+  auto result = LockedApply(**updater, noops);
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(result->changed);
   EXPECT_EQ(result->report.applied, 0);
@@ -178,11 +188,11 @@ TEST(LiveUpdate, ApplyRejectsInvalidEditsAtomically) {
   // valid.
   const std::vector<EdgeEdit> bad{{0, 5, EdgeEditOp::kInsert},
                                   {0, 99, EdgeEditOp::kInsert}};
-  EXPECT_FALSE((*updater)->Apply(bad).ok());
+  EXPECT_FALSE(LockedApply(**updater, bad).ok());
   const std::vector<EdgeEdit> self{{3, 3, EdgeEditOp::kInsert}};
-  EXPECT_FALSE((*updater)->Apply(self).ok());
+  EXPECT_FALSE(LockedApply(**updater, self).ok());
   const std::vector<EdgeEdit> negative{{-1, 2, EdgeEditOp::kRemove}};
-  EXPECT_FALSE((*updater)->Apply(negative).ok());
+  EXPECT_FALSE(LockedApply(**updater, negative).ok());
   EXPECT_EQ((*updater)->maintainer().edge_set_fingerprint(), before);
   EXPECT_EQ((*updater)->NumEdges(), g.NumEdges());
 }
@@ -210,7 +220,7 @@ TEST_P(LiveUpdateEquivalenceTest, UpdatedEngineMatchesFreshDecomposeAndLoad) {
     SCOPED_TRACE(round);
     const std::vector<EdgeEdit> edits =
         RandomEdits((*updater)->maintainer(), rng, 5);
-    auto result = (*updater)->Apply(edits);
+    auto result = LockedApply(**updater, edits);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     ASSERT_TRUE(engine.ApplyUpdate(std::move(result->snapshot)).ok());
     EXPECT_EQ(engine.UpdateEpoch(), round + 1);
@@ -281,7 +291,7 @@ TEST(LiveUpdate, MembersSharedPtrSurvivesAnUpdate) {
   const auto members_before = engine.Members(1);
   const std::vector<CliqueId> copy = *members_before;
   const std::vector<EdgeEdit> edits{{3, 8, EdgeEditOp::kRemove}};
-  auto result = (*updater)->Apply(edits);
+  auto result = LockedApply(**updater, edits);
   ASSERT_TRUE(result.ok());
   const NucleusHierarchy updated_hierarchy = result->snapshot.hierarchy;
   ASSERT_TRUE(engine.ApplyUpdate(std::move(result->snapshot)).ok());
@@ -347,7 +357,7 @@ TEST_P(LiveUpdateConcurrentTest, UpdatesWhileQueryingAreNeverTorn) {
   for (int round = 0; round < 12; ++round) {
     const std::vector<EdgeEdit> edits =
         RandomEdits((*updater)->maintainer(), rng, 4);
-    auto result = (*updater)->Apply(edits);
+    auto result = LockedApply(**updater, edits);
     ASSERT_TRUE(result.ok());
     ASSERT_TRUE(engine.ApplyUpdate(std::move(result->snapshot)).ok());
   }

@@ -1,0 +1,26 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror (registered with
+// WILL_FAIL): reads and writes a GUARDED_BY member without holding its
+// mutex. Proves the capability analysis is actually wired up — if this
+// file ever compiles, the build gate is dead.
+#include "nucleus/util/mutex.h"
+#include "nucleus/util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() { ++value_; }  // no lock held: -Wthread-safety error
+  int Get() const { return value_; }
+
+ private:
+  mutable nucleus::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Get();
+}

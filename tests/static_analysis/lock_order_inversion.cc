@@ -1,0 +1,23 @@
+// MUST NOT COMPILE under -Wthread-safety-beta -Werror (registered with
+// WILL_FAIL): acquires two mutexes against their declared ACQUIRED_AFTER
+// order — the inversion that makes a deadlock possible if another thread
+// takes them in the declared order. Proves the serving tier's annotated
+// lock order (registry mutex_ -> apply_mutex -> pending_mutex) is
+// machine-checked, not just documented.
+#include "nucleus/util/mutex.h"
+#include "nucleus/util/thread_annotations.h"
+
+namespace {
+
+nucleus::Mutex registry_mutex;
+nucleus::Mutex apply_mutex ACQUIRED_AFTER(registry_mutex);
+
+int Inverted() {
+  nucleus::MutexLock lock_apply(apply_mutex);
+  nucleus::MutexLock lock_registry(registry_mutex);  // declared-order inversion
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Inverted(); }

@@ -1,0 +1,67 @@
+// Positive control for the thread-safety compile-fail tests: correct use
+// of the annotated wrappers must compile cleanly under
+// -Wthread-safety -Wthread-safety-beta -Werror. If this file ever fails,
+// the WILL_FAIL siblings prove nothing (the toolchain, not the contract,
+// is broken).
+#include "nucleus/util/mutex.h"
+#include "nucleus/util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    nucleus::MutexLock lock(mutex_);
+    ++value_;
+  }
+  int Get() const {
+    nucleus::MutexLock lock(mutex_);
+    return value_;
+  }
+  void IncrementLocked() REQUIRES(mutex_) { ++value_; }
+  nucleus::Mutex& mutex() RETURN_CAPABILITY(mutex_) { return mutex_; }
+
+ private:
+  mutable nucleus::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+class Snapshot {
+ public:
+  int Read() const {
+    nucleus::ReaderLock lock(state_mutex_);
+    return state_;
+  }
+  void Write(int v) {
+    nucleus::WriterLock lock(state_mutex_);
+    state_ = v;
+  }
+
+ private:
+  mutable nucleus::SharedMutex state_mutex_;
+  int state_ GUARDED_BY(state_mutex_) = 0;
+};
+
+// Declared lock order: `second` is always taken after `first`.
+nucleus::Mutex first;
+nucleus::Mutex second ACQUIRED_AFTER(first);
+
+int InOrder() {
+  nucleus::MutexLock lock_first(first);
+  nucleus::MutexLock lock_second(second);
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  {
+    nucleus::MutexLock lock(c.mutex());
+    c.IncrementLocked();
+  }
+  Snapshot s;
+  s.Write(c.Get());
+  return s.Read() + InOrder();
+}

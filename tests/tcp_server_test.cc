@@ -8,6 +8,7 @@
 #include "nucleus/serve/net/tcp_server.h"
 
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -718,6 +719,64 @@ TEST(TcpServerLimit, ConnectionsPastLimitGetStructuredError) {
   // The first connection is unaffected.
   const std::string transcript = SendAndCollect(first, "lambda 0\n");
   EXPECT_NE(transcript.find("\"lambda\""), std::string::npos);
+  server.Stop();
+}
+
+// Regression for the Start-retry fd leak fixed alongside the
+// thread-safety annotation rollout: a failed Start() (port already
+// taken) used to create a fresh wake pipe on every attempt without
+// closing the previous pair, leaking two fds per retry. Occupy a port,
+// fail Start() repeatedly, and assert the process's open-fd count stays
+// flat; then free the port and check the same server object starts and
+// serves normally.
+TEST(TcpServerLifecycle, FailedStartIsRetryableWithoutLeakingFds) {
+  const auto count_open_fds = [] {
+    int n = 0;
+    DIR* dir = opendir("/proc/self/fd");
+    EXPECT_NE(dir, nullptr);
+    while (readdir(dir) != nullptr) ++n;
+    closedir(dir);
+    return n;
+  };
+
+  // Occupy an ephemeral port so Start() fails with "address in use".
+  const int blocker = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(blocker, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(blocker, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(blocker, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(blocker, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const int taken_port = ntohs(addr.sin_port);
+
+  FuzzTenants tenants;
+  SnapshotRegistry registry;
+  ASSERT_TRUE(registry.Attach(tenants.alpha).ok());
+  TcpServerOptions options;
+  options.port = taken_port;
+  TcpServer server(MakeRegistryResolver(registry), &registry, options);
+
+  ASSERT_FALSE(server.Start().ok());  // first failure creates the wake pipe
+  const int fds_after_first_failure = count_open_fds();
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    ASSERT_FALSE(server.Start().ok());
+  }
+  // Pre-fix this grew by 2 fds per attempt (40 here).
+  EXPECT_EQ(count_open_fds(), fds_after_first_failure);
+
+  // Free the port; the same object must now start and serve.
+  ASSERT_EQ(::close(blocker), 0);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.port(), taken_port);
+  const std::string transcript =
+      SendAndCollect(Dial(server.port()), "alpha:lambda 0\n");
+  EXPECT_NE(transcript.find("\"lambda\""), std::string::npos) << transcript;
   server.Stop();
 }
 

@@ -115,6 +115,35 @@ TEST(ThreadPool, SerialPoolRunsInlineOnLaneZero) {
   EXPECT_EQ(covered, 100);
 }
 
+TEST(ThreadPool, BackToBackJobsWithChangingGeometryCoverEachIndexOnce) {
+  // Regression for the job-geometry data race fixed alongside the
+  // thread-safety annotation rollout: workers used to read the job's
+  // total/grain/num_chunks from pool members without the mutex, so a
+  // worker could pair the new epoch with stale geometry. Run many
+  // back-to-back jobs whose geometry changes every time and assert every
+  // index is visited exactly once per job — a stale-geometry pairing
+  // over- or under-covers some index.
+  ThreadPool pool(4);
+  const std::int64_t kMaxTotal = 257;
+  std::vector<std::atomic<int>> hits(kMaxTotal);
+  for (int job = 0; job < 300; ++job) {
+    const std::int64_t total = 1 + (job * 37) % kMaxTotal;
+    const std::int64_t grain = 1 + job % 13;
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    pool.ParallelFor(total, grain,
+                     [&](int, std::int64_t begin, std::int64_t end) {
+                       for (std::int64_t i = begin; i < end; ++i) {
+                         hits[i].fetch_add(1, std::memory_order_relaxed);
+                       }
+                     });
+    for (std::int64_t i = 0; i < kMaxTotal; ++i) {
+      ASSERT_EQ(hits[i].load(), i < total ? 1 : 0)
+          << "job " << job << " total " << total << " grain " << grain
+          << " index " << i;
+    }
+  }
+}
+
 TEST(ThreadPool, ConfigConstructorResolves) {
   ThreadPool pool(ParallelConfig::WithThreads(-2));  // -2 -> hardware
   EXPECT_GE(pool.num_threads(), 1);
