@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -38,6 +39,7 @@
 #include "nucleus/serve/net/tcp_server.h"
 #include "nucleus/serve/query_engine.h"
 #include "nucleus/serve/request_loop.h"
+#include "nucleus/serve/router/router.h"
 #include "nucleus/serve/snapshot_registry.h"
 #include "nucleus/store/delta.h"
 #include "nucleus/store/manifest.h"
@@ -986,7 +988,9 @@ int RunTcpServe(const ServeSessionResolver& resolver,
 /// together without racing on a fixed port.
 int CmdConnect(const ParsedArgs& parsed, std::ostream& out,
                std::ostream& err) {
-  if (!CheckFlags(parsed, {"host", "port", "queries", "out"}, err)) {
+  if (!CheckFlags(parsed,
+                  {"host", "port", "queries", "out", "announce-timeout-ms"},
+                  err)) {
     return 2;
   }
   std::string host = FlagOr(parsed, "host", "127.0.0.1");
@@ -1004,33 +1008,91 @@ int CmdConnect(const ParsedArgs& parsed, std::ostream& out,
              "the request lines must come from --queries\n";
       return 2;
     }
-    // The server announces `listening on <host>:<port>`; scan stdin for it.
-    std::string line;
+    std::int64_t timeout_ms = 0;
+    if (!ParseIntFlag(parsed, "announce-timeout-ms", 10000, 1, 3600000,
+                      &timeout_ms, err)) {
+      return 2;
+    }
+    // The server announces `listening on <host>:<port>`; scan stdin for
+    // it under a deadline. The scan reads fd 0 raw (poll + read) rather
+    // than std::getline: a server that died before announcing while
+    // something else still holds the pipe's write end (a forked child, a
+    // stopped process) produces neither a line nor EOF, and a blocking
+    // getline would hang this client forever.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    std::string pending;
     bool found = false;
-    while (std::getline(std::cin, line)) {
-      const std::string prefix = "listening on ";
-      if (line.rfind(prefix, 0) != 0) continue;
-      const std::size_t colon = line.rfind(':');
-      if (colon == std::string::npos || colon < prefix.size()) continue;
-      if (!StrictParseInt64(line.substr(colon + 1), &port) || port <= 0 ||
-          port > 65535) {
-        continue;
+    bool saw_eof = false;
+    while (!found && !saw_eof) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) break;
+      struct pollfd pfd;
+      pfd.fd = STDIN_FILENO;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int wait_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now)
+              .count() +
+          1);
+      const int r = ::poll(&pfd, 1, wait_ms);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        saw_eof = true;
+        break;
       }
-      if (!HasFlag(parsed, "host")) {
-        host = line.substr(prefix.size(), colon - prefix.size());
+      if (r == 0) break;  // deadline
+      char chunk[4096];
+      const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        saw_eof = true;
+        break;
       }
-      found = true;
-      break;
+      pending.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (std::size_t nl = pending.find('\n', start);
+           nl != std::string::npos; nl = pending.find('\n', start)) {
+        const std::string line = pending.substr(start, nl - start);
+        start = nl + 1;
+        const std::string prefix = "listening on ";
+        if (line.rfind(prefix, 0) != 0) continue;
+        const std::size_t colon = line.rfind(':');
+        if (colon == std::string::npos || colon < prefix.size()) continue;
+        if (!StrictParseInt64(line.substr(colon + 1), &port) || port <= 0 ||
+            port > 65535) {
+          continue;
+        }
+        if (!HasFlag(parsed, "host")) {
+          host = line.substr(prefix.size(), colon - prefix.size());
+        }
+        found = true;
+        break;
+      }
+      pending.erase(0, start);
     }
     if (!found) {
-      err << "error: no 'listening on <host>:<port>' line arrived on "
-             "stdin\n";
+      if (saw_eof) {
+        err << "error: stdin closed before a 'listening on <host>:<port>' "
+               "line arrived — the server exited (or was killed) before "
+               "announcing its port\n";
+      } else {
+        err << "error: no 'listening on <host>:<port>' line arrived on "
+               "stdin within " << timeout_ms
+            << " ms — the server likely died (or hung) before announcing; "
+               "see --announce-timeout-ms\n";
+      }
       return 1;
     }
   } else if (!StrictParseInt64(port_value, &port) || port <= 0 ||
              port > 65535) {
     err << "error: --port expects a port number or 'stdin', got '"
         << port_value << "'\n";
+    return 2;
+  } else if (HasFlag(parsed, "announce-timeout-ms")) {
+    err << "error: --announce-timeout-ms only applies with --port stdin "
+           "(it bounds the wait for the server's announcement line)\n";
     return 2;
   }
 
@@ -1371,6 +1433,122 @@ int CmdServe(const ParsedArgs& parsed, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// `nucleus_cli route`: the cross-process sharding tier. Listens with
+/// the same TCP front as `serve --listen`, but instead of resolving
+/// queries locally it pins each `<tenant>:` prefix to a backend
+/// `serve --listen` process (jump-consistent hash over the --backend
+/// list, in order) and relays that backend's responses verbatim — so a
+/// tenant's response slice matches a dedicated single-backend session
+/// byte for byte. Adds the router-only `migrate <tenant> <host:port>`
+/// verb on top of the shared protocol.
+int CmdRoute(const ParsedArgs& parsed, std::ostream& out,
+             std::ostream& err) {
+  if (!CheckFlags(parsed,
+                  {"listen", "backend", "max-conns", "high-water", "pool",
+                   "inflight", "health-ms", "metrics-port"},
+                  err)) {
+    return 2;
+  }
+  const std::string backend_list = FlagOr(parsed, "backend", "");
+  if (backend_list.empty()) {
+    err << "error: route requires --backend <host:port>[,<host:port>...] "
+           "(serve --listen endpoints; LIST ORDER IS TENANT PLACEMENT — "
+           "every router given the same list routes identically)\n";
+    return 2;
+  }
+  if (!HasFlag(parsed, "listen")) {
+    err << "error: route requires --listen P (0 picks an ephemeral port, "
+           "announced as 'listening on <host>:<port>' on stdout)\n";
+    return 2;
+  }
+  std::int64_t listen_port = 0;
+  std::int64_t max_conns = 64;
+  std::int64_t high_water = 1024;
+  std::int64_t pool = 2;
+  std::int64_t inflight = 1024;
+  std::int64_t health_ms = 250;
+  std::int64_t metrics_port = -1;
+  if (!ParseIntFlag(parsed, "listen", 0, 0, 65535, &listen_port, err) ||
+      !ParseIntFlag(parsed, "max-conns", 64, 1, 1 << 16, &max_conns, err) ||
+      !ParseIntFlag(parsed, "high-water", 1024, 1, 1 << 24, &high_water,
+                    err) ||
+      !ParseIntFlag(parsed, "pool", 2, 1, 64, &pool, err) ||
+      !ParseIntFlag(parsed, "inflight", 1024, 1, 1 << 24, &inflight, err) ||
+      !ParseIntFlag(parsed, "health-ms", 250, 0, 3600000, &health_ms,
+                    err) ||
+      !ParseIntFlag(parsed, "metrics-port", -1, 0, 65535, &metrics_port,
+                    err)) {
+    return 2;
+  }
+  TenantRouterOptions router_options;
+  router_options.backends = SplitCommaList(backend_list);
+  router_options.pool_size = static_cast<int>(pool);
+  router_options.max_inflight = inflight;
+  router_options.health_interval_ms = static_cast<int>(health_ms);
+  TenantRouter router(std::move(router_options));
+  if (Status s = router.Start(); !s.ok()) {
+    err << "error: " << s.ToString() << "\n";
+    return 1;
+  }
+  TcpServerOptions tcp_options;
+  tcp_options.port = static_cast<int>(listen_port);
+  tcp_options.max_connections = static_cast<int>(max_conns);
+  tcp_options.queue_high_water = high_water;
+  TcpServer server(router.HandlerFactory(), tcp_options);
+  // Installed before Start: once the listener is up, a `stats` verb may
+  // read the hook from any worker.
+  router.set_server_stats_json([&server] { return server.StatsJson(); });
+  if (Status s = server.Start(); !s.ok()) {
+    err << "error: " << s.ToString() << "\n";
+    router.Stop();
+    return 1;
+  }
+  std::unique_ptr<obs::MetricsExpositionServer> exposition;
+  if (metrics_port >= 0) {
+    obs::MetricsExpositionServer::Options mopt;
+    mopt.host = tcp_options.host;
+    mopt.port = static_cast<int>(metrics_port);
+    exposition = std::make_unique<obs::MetricsExpositionServer>(
+        [] { return obs::MetricsRegistry::Global().ToPrometheusText(); },
+        mopt);
+    if (Status s = exposition->Start(); !s.ok()) {
+      err << "error: " << s.ToString() << "\n";
+      server.Stop();
+      router.Stop();
+      return 1;
+    }
+  }
+  g_drain_target.store(&server, std::memory_order_release);
+  std::signal(SIGINT, HandleDrainSignal);
+  std::signal(SIGTERM, HandleDrainSignal);
+  int up = 0;
+  for (int i = 0; i < router.num_backends(); ++i) {
+    if (router.backend_up(i)) ++up;
+  }
+  err << "routing to " << router.num_backends() << " backend(s) (" << up
+      << " up), pool " << pool << ", in-flight cap " << inflight << "\n";
+  out << "listening on " << tcp_options.host << ":" << server.port()
+      << "\n";
+  if (exposition != nullptr) {
+    out << "metrics on " << tcp_options.host << ":" << exposition->port()
+        << "\n";
+  }
+  out.flush();
+  server.Wait();
+  if (exposition != nullptr) exposition->Stop();
+  g_drain_target.store(nullptr, std::memory_order_release);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  // Front first, then the backend connections: Stop() must not run while
+  // handlers still forward.
+  router.Stop();
+  const TcpServerStats stats = server.Stats();
+  err << "drained: " << stats.connections_accepted << " connection(s), "
+      << stats.lines_admitted << " line(s) routed, " << stats.lines_rejected
+      << " rejected\n";
+  return 0;
+}
+
 /// Rewrites a snapshot (either version) in the v2 mmap-friendly layout.
 /// Lossless and idempotent: a v2 input round-trips, a v1 input gains the
 /// embedded index tables, member store and density ranking.
@@ -1400,7 +1578,7 @@ int CmdSnapshotUpgrade(const ParsedArgs& parsed, std::ostream& out,
 
 void PrintUsage(std::ostream& err) {
   err << "usage: nucleus_cli <decompose | stats | generate | convert | "
-         "semi-external | query | serve | connect | update | "
+         "semi-external | query | serve | route | connect | update | "
          "snapshot-upgrade> [--flag value]...\n"
       << "  decompose     --input F [--family core|truss|34] "
          "[--algorithm fnd|dft|lcps] [--threads N] [--out-json F] "
@@ -1444,8 +1622,19 @@ void PrintUsage(std::ostream& err) {
          "[--metrics-port P] with --listen serves Prometheus text on "
          "'metrics on <host>:<port>'; the `metrics [text]` verb works in "
          "every session)\n"
+      << "  route         --listen P --backend H1:P1[,H2:P2...] [--pool N] "
+         "[--inflight N] [--health-ms T] [--max-conns N] [--high-water N] "
+         "[--metrics-port P]\n"
+      << "                (cross-process sharding tier: pins each "
+         "'<tenant>:<verb>' line to a backend serve --listen process — "
+         "jump-consistent hash over the --backend list, IN ORDER — and "
+         "relays responses verbatim; admin verbs fan out and merge; "
+         "'migrate <tenant> <host:port> [spec args]' moves a tenant "
+         "between backends via detach-persist + attach; --health-ms pings "
+         "backends with `stats`, down backends fail fast with structured "
+         "errors until re-admitted)\n"
       << "  connect       --port <P|stdin> [--host H] [--queries F] "
-         "[--out F]\n"
+         "[--out F] [--announce-timeout-ms T]\n"
       << "                (TCP client for serve --listen; --port stdin "
          "parses the port from a piped-in 'listening on' announcement)\n"
       << "  update        --snapshot F.nucsnap [--deltas D1,D2] --input F "
@@ -1478,6 +1667,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   }
   if (parsed.command == "query") return CmdQuery(parsed, out, err);
   if (parsed.command == "serve") return CmdServe(parsed, out, err);
+  if (parsed.command == "route") return CmdRoute(parsed, out, err);
   if (parsed.command == "connect") return CmdConnect(parsed, out, err);
   if (parsed.command == "update") return CmdUpdate(parsed, out, err);
   if (parsed.command == "snapshot-upgrade") {

@@ -1,16 +1,26 @@
 // Minimal plain-text metrics exposition listener: answers every HTTP-ish
 // request on its port with the Prometheus text rendering of the metrics
 // registry, so standard scrapers can point at `serve --metrics-port N`.
-// One accept loop on its own thread; scrapes are rare and small, so
-// connections are handled inline and closed immediately.
+//
+// One accept loop on its own thread hands each connection to a small
+// fixed pool of scrape workers through a bounded queue, so a silent
+// client (which costs its worker the full recv timeout) or a slow
+// render never delays accepts or other scrapers; connections past the
+// queue bound are shed immediately. accept() failures (EMFILE under fd
+// exhaustion) are counted and backed off instead of spinning.
 #ifndef NUCLEUS_OBS_EXPOSITION_H_
 #define NUCLEUS_OBS_EXPOSITION_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "nucleus/util/mutex.h"
 #include "nucleus/util/status.h"
 
 namespace nucleus {
@@ -21,10 +31,19 @@ class MetricsExpositionServer {
   struct Options {
     std::string host = "127.0.0.1";
     int port = 0;  // 0 = ephemeral; bound port via port() after Start
+    /// Scrape-serving threads. Each stalled client pins one worker for
+    /// at most the 200 ms recv timeout, so N workers bound a scrape's
+    /// worst-case queueing delay even with N-1 stallers.
+    int workers = 4;
+    /// Accepted-but-unserved connections held at once; connections past
+    /// this are closed immediately (scrapers retry on their next cycle).
+    int max_queued = 32;
   };
 
   /// render returns the exposition body for one scrape (typically a
-  /// gauge refresh followed by MetricsRegistry::ToPrometheusText).
+  /// gauge refresh followed by MetricsRegistry::ToPrometheusText). It is
+  /// called concurrently from the worker threads and must be
+  /// thread-safe (the registry renderers are).
   MetricsExpositionServer(std::function<std::string()> render,
                           Options options);
   ~MetricsExpositionServer();
@@ -36,8 +55,15 @@ class MetricsExpositionServer {
   void Stop();
   int port() const { return port_; }
 
+  /// accept() failures observed (EMFILE and friends).
+  std::int64_t accept_errors() const {
+    return accept_errors_.load(std::memory_order_relaxed);
+  }
+
  private:
   void Loop();
+  void WorkerLoop();
+  void ServeScrape(int fd);
 
   std::function<std::string()> render_;
   Options options_;
@@ -45,7 +71,14 @@ class MetricsExpositionServer {
   int wake_fds_[2] = {-1, -1};  // self-pipe to interrupt poll() on Stop
   int port_ = 0;
   std::atomic<bool> stopping_{false};
+  std::atomic<std::int64_t> accept_errors_{0};
   std::thread thread_;
+  std::vector<std::thread> workers_;
+
+  Mutex mutex_;
+  std::condition_variable queue_cv_;
+  /// Accepted fds awaiting a worker; bounded by options_.max_queued.
+  std::deque<int> pending_ GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

@@ -97,6 +97,32 @@ bool SetNonBlocking(int fd) {
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+/// The default per-connection handler: a RequestProcessor session, which
+/// keeps the resolver/registry constructor byte-identical to the stdio
+/// serving path.
+class RequestProcessorHandler : public ConnectionHandler {
+ public:
+  RequestProcessorHandler(const ServeSessionResolver& resolver,
+                          SnapshotRegistry* registry, std::ostream& out,
+                          const ServeOptions& serve)
+      : processor_(resolver, registry, out, serve) {}
+
+  void ProcessLine(const std::string& line) override {
+    processor_.ProcessLine(line);
+  }
+  void RejectLine(const Status& status) override {
+    processor_.RejectLine(status);
+  }
+  void Flush() override { processor_.Flush(); }
+  void Finish() override { processor_.Finish(); }
+  bool shutdown_requested() const override {
+    return processor_.shutdown_requested();
+  }
+
+ private:
+  RequestProcessor processor_;
+};
+
 }  // namespace
 
 /// One live connection: the IO thread owns fd/read-state and feeds the
@@ -138,10 +164,9 @@ struct TcpServer::Connection {
   std::chrono::steady_clock::time_point linger_deadline;
 };
 
-TcpServer::TcpServer(ServeSessionResolver resolver,
-                     SnapshotRegistry* registry, TcpServerOptions options)
-    : resolver_(std::move(resolver)),
-      registry_(registry),
+TcpServer::TcpServer(ConnectionHandlerFactory factory,
+                     TcpServerOptions options)
+    : handler_factory_(std::move(factory)),
       options_(std::move(options)),
       metrics_(options_.serve.metrics != nullptr
                    ? options_.serve.metrics
@@ -152,6 +177,8 @@ TcpServer::TcpServer(ServeSessionResolver resolver,
           metrics_->GetCounter("nucleus_tcp_connections_rejected_total")),
       m_drained_(
           metrics_->GetCounter("nucleus_tcp_connections_drained_total")),
+      m_accept_errors_(
+          metrics_->GetCounter("nucleus_tcp_accept_errors_total")),
       m_lines_admitted_(
           metrics_->GetCounter("nucleus_tcp_lines_admitted_total")),
       m_lines_rejected_(
@@ -162,6 +189,23 @@ TcpServer::TcpServer(ServeSessionResolver resolver,
       m_queue_depth_(metrics_->GetGauge("nucleus_tcp_queue_depth")),
       m_max_queue_depth_(metrics_->GetGauge("nucleus_tcp_max_queue_depth")),
       m_queue_wait_(metrics_->GetHistogram("nucleus_tcp_queue_wait_us")) {}
+
+TcpServer::TcpServer(ServeSessionResolver resolver,
+                     SnapshotRegistry* registry, TcpServerOptions options)
+    : TcpServer(ConnectionHandlerFactory(), std::move(options)) {
+  // The factory is installed after delegation so it can capture `this`
+  // (for the live stats hook) — workers only read it after Start().
+  auto shared_resolver =
+      std::make_shared<ServeSessionResolver>(std::move(resolver));
+  handler_factory_ =
+      [this, shared_resolver,
+       registry](std::ostream& out) -> std::unique_ptr<ConnectionHandler> {
+    ServeOptions serve = options_.serve;
+    serve.server_stats_json = [this] { return StatsJson(); };
+    return std::make_unique<RequestProcessorHandler>(*shared_resolver,
+                                                     registry, out, serve);
+  };
+}
 
 TcpServer::~TcpServer() {
   Stop();
@@ -265,6 +309,7 @@ TcpServerStats TcpServer::Stats() const {
       rejected_connections_.load(std::memory_order_relaxed);
   stats.connections_open = open_.load(std::memory_order_relaxed);
   stats.connections_drained = drained_.load(std::memory_order_relaxed);
+  stats.accept_errors = accept_errors_.load(std::memory_order_relaxed);
   stats.lines_admitted = lines_admitted_.load(std::memory_order_relaxed);
   stats.lines_rejected = lines_rejected_.load(std::memory_order_relaxed);
   stats.oversized_lines = oversized_lines_.load(std::memory_order_relaxed);
@@ -285,6 +330,7 @@ std::string TcpServer::StatsJson() const {
           std::to_string(stats.connections_rejected);
   json += ", \"connections_drained\": " +
           std::to_string(stats.connections_drained);
+  json += ", \"accept_errors\": " + std::to_string(stats.accept_errors);
   json += ", \"lines_admitted\": " + std::to_string(stats.lines_admitted);
   json += ", \"lines_rejected\": " + std::to_string(stats.lines_rejected);
   json += ", \"oversized_lines\": " + std::to_string(stats.oversized_lines);
@@ -302,8 +348,20 @@ void TcpServer::AcceptPending() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // EAGAIN (or a transient error): nothing more to accept
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;  // backlog drained: nothing more to accept
+      }
+      // Resource exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) or another
+      // transient failure. poll() is level-triggered, so returning
+      // without the brief sleep would re-enter here immediately and
+      // busy-spin while fds stay exhausted; the backoff lets the process
+      // shed descriptors, and the still-pending connection re-triggers
+      // the listener once accept can succeed — the listener stays alive.
+      accept_errors_.fetch_add(1, std::memory_order_relaxed);
+      m_accept_errors_->Increment();
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      return;
     }
     if (open_.load(std::memory_order_relaxed) >= options_.max_connections) {
       // Over the connection cap: one structured error, then close. The
@@ -468,9 +526,8 @@ void TcpServer::ReadFromConnection(Connection& conn) {
 void TcpServer::WorkerLoop(Connection* conn) {
   FdStreamBuf buf(conn->fd);
   std::ostream out(&buf);
-  ServeOptions serve = options_.serve;
-  serve.server_stats_json = [this] { return StatsJson(); };
-  RequestProcessor processor(resolver_, registry_, out, serve);
+  const std::unique_ptr<ConnectionHandler> handler = handler_factory_(out);
+  ConnectionHandler& processor = *handler;
 
   bool eof = false;
   while (!eof && !processor.shutdown_requested()) {

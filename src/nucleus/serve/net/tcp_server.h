@@ -40,8 +40,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <thread>
 
@@ -50,6 +52,32 @@
 #include "nucleus/util/status.h"
 
 namespace nucleus {
+
+/// Per-connection protocol driver. The server feeds it the connection's
+/// lines in input order with RequestProcessor semantics: ProcessLine for
+/// each admitted line, RejectLine for each back-pressure/oversized slot
+/// (the line was dropped but still owes a response), Flush whenever the
+/// input runs dry, Finish exactly once at end of session. All calls for
+/// one connection happen on that connection's worker thread; the handler
+/// owns every write to its output stream.
+class ConnectionHandler {
+ public:
+  virtual ~ConnectionHandler() = default;
+  virtual void ProcessLine(const std::string& line) = 0;
+  virtual void RejectLine(const Status& status) = 0;
+  virtual void Flush() = 0;
+  virtual void Finish() = 0;
+  /// True once this session asked the whole server to stop (the
+  /// `shutdown` verb): the server drops remaining input and starts a
+  /// graceful drain.
+  virtual bool shutdown_requested() const = 0;
+};
+
+/// Builds one handler per accepted connection, writing to that
+/// connection's socket stream. Invoked on the connection's worker
+/// thread; must be safe to call concurrently from many workers.
+using ConnectionHandlerFactory =
+    std::function<std::unique_ptr<ConnectionHandler>(std::ostream& out)>;
 
 struct TcpServerOptions {
   /// Numeric listen address. Loopback by default — the tier is built for
@@ -78,6 +106,7 @@ struct TcpServerStats {
   std::int64_t connections_rejected = 0;  // over max_connections
   std::int64_t connections_open = 0;      // gauge
   std::int64_t connections_drained = 0;   // fully closed
+  std::int64_t accept_errors = 0;         // accept() failures (EMFILE, ...)
   std::int64_t lines_admitted = 0;
   std::int64_t lines_rejected = 0;        // back-pressure + oversized
   std::int64_t oversized_lines = 0;
@@ -90,9 +119,17 @@ class TcpServer {
  public:
   /// `resolver` and `registry` have ServeResolvedRequests semantics and
   /// are shared by every connection (the registry and engines are
-  /// thread-safe; each connection's protocol state is its own).
+  /// thread-safe; each connection's protocol state is its own). Each
+  /// connection runs a RequestProcessor with the server's stats hook
+  /// installed.
   TcpServer(ServeSessionResolver resolver, SnapshotRegistry* registry,
             TcpServerOptions options);
+
+  /// Generic front: each accepted connection drives a handler built by
+  /// `factory` instead of a RequestProcessor. The accept / admission /
+  /// back-pressure / drain machinery is identical; only the per-line
+  /// protocol logic changes (the router tier plugs in here).
+  TcpServer(ConnectionHandlerFactory factory, TcpServerOptions options);
   ~TcpServer();  // Stop()
 
   TcpServer(const TcpServer&) = delete;
@@ -132,8 +169,8 @@ class TcpServer {
   void WorkerLoop(Connection* conn);
   void WakeIoThread();
 
-  const ServeSessionResolver resolver_;
-  SnapshotRegistry* const registry_;
+  /// Set once during construction, read only by connection workers.
+  ConnectionHandlerFactory handler_factory_;
   const TcpServerOptions options_;
 
   int listen_fd_ = -1;
@@ -148,6 +185,7 @@ class TcpServer {
   std::atomic<std::int64_t> rejected_connections_{0};
   std::atomic<std::int64_t> open_{0};
   std::atomic<std::int64_t> drained_{0};
+  std::atomic<std::int64_t> accept_errors_{0};
   std::atomic<std::int64_t> lines_admitted_{0};
   std::atomic<std::int64_t> lines_rejected_{0};
   std::atomic<std::int64_t> oversized_lines_{0};
@@ -163,6 +201,7 @@ class TcpServer {
   obs::Counter* const m_accepted_;
   obs::Counter* const m_rejected_connections_;
   obs::Counter* const m_drained_;
+  obs::Counter* const m_accept_errors_;
   obs::Counter* const m_lines_admitted_;
   obs::Counter* const m_lines_rejected_;
   obs::Counter* const m_oversized_lines_;

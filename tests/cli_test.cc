@@ -1,5 +1,8 @@
 #include "nucleus/cli/cli.h"
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -716,6 +719,74 @@ TEST(Cli, ServeUpdateVerbRequiresInputAndServesEditedGraph) {
   for (const auto& p : {edges_path, base, queries, answers, other_graph}) {
     std::remove(p.c_str());
   }
+}
+
+/// Swaps `fd` onto stdin for one RunArgs call, restoring the original
+/// stdin afterwards (connect --port stdin reads STDIN_FILENO raw).
+CliResult RunWithStdinFd(int fd, const std::vector<std::string>& args) {
+  const int saved = ::dup(0);
+  EXPECT_GE(saved, 0);
+  EXPECT_EQ(::dup2(fd, 0), 0);
+  const CliResult r = RunArgs(args);
+  EXPECT_EQ(::dup2(saved, 0), 0);
+  ::close(saved);
+  return r;
+}
+
+// Regression: `connect --port stdin` used to block in getline forever
+// when the server process died before announcing its port but the pipe
+// stayed open (e.g. a shell pipeline keeping the write end). A closed
+// pipe (server exited) must fail immediately with a clear diagnosis.
+TEST(Cli, ConnectStdinFailsFastWhenServerDiesBeforeAnnouncing) {
+  const std::string queries = TempPath("cli_connect_dead_q.txt");
+  { std::ofstream(queries) << "lambda 0\n"; }
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // The server's dying words: stdout chatter, but no announcement line.
+  const std::string noise = "serving 1 tenant(s)\n";
+  ASSERT_EQ(::write(fds[1], noise.data(), noise.size()),
+            static_cast<ssize_t>(noise.size()));
+  ::close(fds[1]);  // the server is gone
+
+  const CliResult r = RunWithStdinFd(
+      fds[0], {"connect", "--port", "stdin", "--queries", queries});
+  ::close(fds[0]);
+  std::remove(queries.c_str());
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("stdin closed before"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("listening on"), std::string::npos) << r.err;
+}
+
+// The hung-server variant: the pipe stays open but no announcement ever
+// arrives. The deadline must fire (default 10 s, configurable) instead
+// of waiting forever.
+TEST(Cli, ConnectStdinAnnouncementDeadlineFires) {
+  const std::string queries = TempPath("cli_connect_hang_q.txt");
+  { std::ofstream(queries) << "lambda 0\n"; }
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  const CliResult r = RunWithStdinFd(
+      fds[0], {"connect", "--port", "stdin", "--queries", queries,
+               "--announce-timeout-ms", "200"});
+  std::remove(queries.c_str());
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  ::close(fds[0]);
+  ::close(fds[1]);
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("within 200 ms"), std::string::npos) << r.err;
+  EXPECT_GE(elapsed.count(), 200);
+  EXPECT_LT(elapsed.count(), 5000);
+}
+
+TEST(Cli, ConnectAnnounceTimeoutRequiresStdinPort) {
+  const CliResult r = RunArgs({"connect", "--port", "99",
+                               "--announce-timeout-ms", "500"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("only applies with --port stdin"), std::string::npos)
+      << r.err;
 }
 
 }  // namespace

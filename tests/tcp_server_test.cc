@@ -9,7 +9,9 @@
 
 #include <arpa/inet.h>
 #include <dirent.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -777,6 +779,70 @@ TEST(TcpServerLifecycle, FailedStartIsRetryableWithoutLeakingFds) {
   const std::string transcript =
       SendAndCollect(Dial(server.port()), "alpha:lambda 0\n");
   EXPECT_NE(transcript.find("\"lambda\""), std::string::npos) << transcript;
+  server.Stop();
+}
+
+// Regression for the accept-path EMFILE spin: under fd exhaustion,
+// accept() fails without consuming the pending connection, and a
+// level-triggered poll() re-fires immediately — the old loop treated
+// every failure as transient and re-entered accept in a hot spin. The
+// fix counts the failure (accept_errors, also a registry counter) and
+// backs off briefly, keeping the listener alive; once fds free up, the
+// SAME pending connection must be accepted and served.
+TEST(TcpServerLifecycle, SurvivesFdExhaustionAndRecovers) {
+  const auto count_open_fds = [] {
+    int n = 0;
+    DIR* dir = opendir("/proc/self/fd");
+    EXPECT_NE(dir, nullptr);
+    while (readdir(dir) != nullptr) ++n;
+    closedir(dir);
+    return n;
+  };
+  const std::unique_ptr<QueryEngine> engine = MakeFigure2Engine();
+  TcpServer server(MakeEngineResolver(*engine, nullptr), nullptr,
+                   TcpServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.Stats().accept_errors, 0);
+
+  // Tighten the fd ceiling to just above the current table, then hoard
+  // every remaining slot except ONE — the client's own socket.
+  struct rlimit saved;
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+  struct rlimit tight = saved;
+  tight.rlim_cur = static_cast<rlim_t>(count_open_fds() + 8);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+  std::vector<int> hoard;
+  for (;;) {
+    const int fd = ::open("/dev/null", O_RDONLY);
+    if (fd < 0) {
+      EXPECT_EQ(errno, EMFILE);
+      break;
+    }
+    hoard.push_back(fd);
+  }
+  ASSERT_FALSE(hoard.empty());
+  ::close(hoard.back());
+  hoard.pop_back();
+
+  // The connect itself succeeds (it rides the listen backlog); the
+  // server's accept() has no fd to give it and must fail-and-back-off,
+  // not die and not spin at full speed.
+  const int fd = Dial(server.port());
+  for (int spin = 0; spin < 500 && server.Stats().accept_errors < 1;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const TcpServerStats starved = server.Stats();
+  EXPECT_GE(starved.accept_errors, 1);
+  EXPECT_EQ(starved.connections_accepted, 0);
+
+  // Free the table: the pending connection is accepted on the next
+  // level-triggered poll pass and the session serves normally.
+  for (const int h : hoard) ::close(h);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &saved), 0);
+  const std::string transcript = SendAndCollect(fd, "lambda 0\n");
+  EXPECT_NE(transcript.find("\"lambda\""), std::string::npos) << transcript;
+  EXPECT_EQ(server.Stats().connections_accepted, 1);
   server.Stop();
 }
 
