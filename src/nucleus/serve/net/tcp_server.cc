@@ -353,14 +353,18 @@ void TcpServer::AcceptPending() {
         return;  // backlog drained: nothing more to accept
       }
       // Resource exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) or another
-      // transient failure. poll() is level-triggered, so returning
-      // without the brief sleep would re-enter here immediately and
-      // busy-spin while fds stay exhausted; the backoff lets the process
-      // shed descriptors, and the still-pending connection re-triggers
-      // the listener once accept can succeed — the listener stays alive.
+      // transient failure. poll() is level-triggered, so returning with
+      // no backoff would re-enter here immediately and busy-spin while
+      // fds stay exhausted. Sleeping would stall every established
+      // connection's IO (this is the shared IO thread), so instead the
+      // listener fd is dropped from the poll set until the deadline —
+      // established connections keep being serviced, the process gets a
+      // beat to shed descriptors, and the still-pending connection
+      // re-triggers the re-armed listener — the listener stays alive.
       accept_errors_.fetch_add(1, std::memory_order_relaxed);
       m_accept_errors_->Increment();
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      accept_backoff_until_ =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
       return;
     }
     if (open_.load(std::memory_order_relaxed) >= options_.max_connections) {
@@ -676,7 +680,14 @@ void TcpServer::PollLoop() {
       pfd.revents = 0;
       fds.push_back(pfd);
     }
-    if (listen_fd_ >= 0 && !drain_started) {
+    // During accept backoff the listener is left out of the poll set so
+    // the level-triggered pending connection cannot spin this loop;
+    // established connections below keep being serviced meanwhile.
+    const auto now = std::chrono::steady_clock::now();
+    const bool accept_backing_off = now < accept_backoff_until_;
+    const bool poll_listener =
+        listen_fd_ >= 0 && !drain_started && !accept_backing_off;
+    if (poll_listener) {
       struct pollfd pfd;
       pfd.fd = listen_fd_;
       pfd.events = POLLIN;
@@ -695,8 +706,18 @@ void TcpServer::PollLoop() {
       polled.push_back(conn.get());
     }
 
-    // A finite timeout only exists to enforce linger deadlines.
-    const int timeout_ms = any_lingering ? 100 : -1;
+    // A finite timeout only exists to enforce linger deadlines and to
+    // re-arm the listener when its accept backoff expires.
+    int timeout_ms = any_lingering ? 100 : -1;
+    if (listen_fd_ >= 0 && !drain_started && accept_backing_off) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              accept_backoff_until_ - now)
+              .count() +
+          1;
+      const int rearm_ms = static_cast<int>(remaining);
+      if (timeout_ms < 0 || rearm_ms < timeout_ms) timeout_ms = rearm_ms;
+    }
     if (::poll(fds.data(), fds.size(), timeout_ms) < 0) {
       if (errno == EINTR) continue;
       break;  // unrecoverable poll failure
@@ -709,7 +730,7 @@ void TcpServer::PollLoop() {
       }
     }
     ++index;
-    if (listen_fd_ >= 0 && !drain_started) {
+    if (poll_listener) {
       if (fds[index].revents & POLLIN) AcceptPending();
       ++index;
     }

@@ -39,6 +39,7 @@
 #define NUCLEUS_SERVE_NET_TCP_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -174,6 +175,10 @@ class TcpServer {
   const TcpServerOptions options_;
 
   int listen_fd_ = -1;
+  /// While now < this deadline the listener is left out of the poll set
+  /// (accept() hit resource exhaustion; re-armed by the poll timeout).
+  /// Touched only by the IO thread.
+  std::chrono::steady_clock::time_point accept_backoff_until_{};
   int port_ = 0;
   int wake_pipe_[2] = {-1, -1};
   std::thread io_thread_;

@@ -329,6 +329,10 @@ Status TenantRouter::Start() {
   }
   const int pool =
       options_.pool_size < 1 ? 1 : options_.pool_size;
+  // Validate every address into a local list first: a mid-list error
+  // must leave backends_ empty, so a retried Start() cannot append
+  // duplicates onto a partially populated table.
+  std::vector<std::unique_ptr<Backend>> validated;
   for (const std::string& address : options_.backends) {
     const std::size_t colon = address.rfind(':');
     std::int64_t port = 0;
@@ -351,8 +355,9 @@ Status TenantRouter::Start() {
     for (int i = 0; i < pool; ++i) {
       backend->conns.push_back(std::make_unique<BackendConn>());
     }
-    backends_.push_back(std::move(backend));
+    validated.push_back(std::move(backend));
   }
+  backends_ = std::move(validated);
   stopping_.store(false, std::memory_order_release);
   // First health pass: unreachable backends start down (they re-admit
   // when a later probe succeeds) instead of failing startup.
@@ -618,12 +623,31 @@ bool TenantRouter::ProbeBackend(Backend& backend) {
   return healthy;
 }
 
+void TenantRouter::TearBackendConns(Backend& backend) {
+  for (auto& conn : backend.conns) {
+    MutexLock lock(conn->mutex);
+    // Wakes the reader out of recv(); its exit path fails every
+    // in-flight slot, so no front worker is left blocked in WaitSlot on
+    // a backend that is still connected but no longer answering.
+    if (conn->alive && conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+}
+
 void TenantRouter::CheckBackendsNow() {
   int up_count = 0;
   for (auto& backend : backends_) {
     const bool healthy = ProbeBackend(*backend);
     backend->up.store(healthy, std::memory_order_release);
-    if (healthy) ++up_count;
+    if (healthy) {
+      ++up_count;
+    } else {
+      // A down backend may still hold forwarded-but-unanswered lines on
+      // live connections (e.g. it wedged without closing). Tear them on
+      // EVERY failed probe, not just the down transition: a forward can
+      // race the probe and re-dial a half-dead backend, and the next
+      // pass must fail those slots too.
+      TearBackendConns(*backend);
+    }
   }
   m_backends_up_->Set(static_cast<double>(up_count));
 }
@@ -888,6 +912,9 @@ class RouterHandler : public ConnectionHandler {
     if (shutdown_) return;
     pending_.push_back(TenantRouter::MakeCompletedSlot(
         line_no_, ErrorLine(JsonEscape(status.message()), line_no_)));
+    // Same drain discipline as ProcessLine: a burst of back-pressure
+    // rejects must not grow pending_ (or delay responses) unboundedly.
+    if (pending_.size() >= kHandlerBatch) DrainPending();
   }
 
   void Flush() override {
@@ -972,6 +999,16 @@ class RouterHandler : public ConnectionHandler {
         return;
       }
       case RoutedServeLine::Admin::kAttach: {
+        // The shared parser defers attach validation to the backend,
+        // but the tenant name IS the routing key — a bare `attach` has
+        // no route, so answer with the backend's own arity error.
+        if (parsed->admin_args.empty()) {
+          Emit(ErrorLine(
+              JsonEscape("'attach' expects: attach <name> snapshot=<path> "
+                         "[deltas=<p1,p2>] [graph=<path>]"),
+              line_no_));
+          return;
+        }
         // Synchronous: the spec is recorded only once the home backend
         // confirmed the attach.
         DrainPending();

@@ -161,6 +161,10 @@ class TenantRouter {
   int ConnIndexFor(const std::string& tenant) const;
 
   bool ProbeBackend(Backend& backend);
+  /// Half-kills every live connection of a down backend (shutdown(2) on
+  /// the fd) so each reader exits and fails its in-flight slots — the
+  /// unblocking path for front workers waiting on a wedged backend.
+  void TearBackendConns(Backend& backend);
   void ProberLoop();
 
   /// `migrate <tenant> <target-addr> [spec args]`, synchronous; returns

@@ -231,6 +231,21 @@ TEST(RouterDeterminism, TwoRoutersOverSameListAgreeOnEveryTenant) {
   router2.Stop();
 }
 
+// A mid-list validation failure must not leave a partial backend table
+// behind: a retried Start() would append duplicates onto it, silently
+// reshuffling every tenant's placement.
+TEST(RouterDeterminism, FailedStartLeavesNoPartialBackendList) {
+  BackendProcess a;
+  TenantRouterOptions options;
+  options.backends = {a.address(), "not-an-address"};
+  options.health_interval_ms = 0;
+  TenantRouter router(std::move(options));
+  EXPECT_FALSE(router.Start().ok());
+  EXPECT_EQ(router.num_backends(), 0);
+  EXPECT_FALSE(router.Start().ok());
+  EXPECT_EQ(router.num_backends(), 0);
+}
+
 // ---------------------------------------------------------------------
 // The serving contract: routed through the tier, a tenant's slice of
 // successful responses is byte-identical to a dedicated session.
@@ -377,6 +392,25 @@ TEST(RouterErrors, UnroutedLinesAreAnsweredLocally) {
   EXPECT_NE(responses[0].find("\"line\": 1"), std::string::npos);
 }
 
+// The shared parser defers attach validation to the backend, but the
+// tenant name is the router's routing key: a bare `attach` must be
+// answered with the backend's arity error, not read past the end of an
+// empty argument list.
+TEST(RouterErrors, BareAttachIsAStructuredErrorNotACrash) {
+  RoutedFixture fix;
+  const std::vector<std::string> responses =
+      SplitLines(fix.Session("attach\nstats\n"));
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_NE(responses[0].find("\"error\""), std::string::npos)
+      << responses[0];
+  EXPECT_NE(responses[0].find("'attach' expects"), std::string::npos)
+      << responses[0];
+  EXPECT_NE(responses[0].find("\"line\": 1"), std::string::npos);
+  // The session survives to answer the next line.
+  EXPECT_EQ(responses[1].rfind("{\"query\": \"stats\"", 0), 0u)
+      << responses[1];
+}
+
 // ---------------------------------------------------------------------
 // Failover: a dead backend fails fast for ITS tenants only, and is
 // re-admitted when its health probe succeeds again.
@@ -425,6 +459,118 @@ TEST(RouterFailover, DeadBackendFailsFastOnlyForItsTenants) {
   EXPECT_NE(after.find("\"ok\": true"), std::string::npos) << after;
   EXPECT_NE(after.find("\"lambda\""), std::string::npos) << after;
   revived.server.Stop();
+}
+
+// A probe failure must also UNBLOCK waiters: a backend that stays
+// connected but stops answering (SIGSTOPped, deadlocked) strands its
+// forwarded-but-unanswered lines. Marking it down tears the pooled
+// connections so each reader fails its in-flight slots; without the
+// tear, front workers block in WaitSlot forever and the front server
+// can never drain.
+TEST(RouterFailover, ProbeFailureFailsInFlightLinesOnWedgedBackend) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(
+      ::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)),
+      0);
+  ASSERT_EQ(::listen(listen_fd, 16), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(
+      ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len),
+      0);
+  const int port = ntohs(addr.sin_port);
+
+  // A hand-rolled backend: answers every line until `wedge` flips, then
+  // swallows everything (probes included) while keeping its
+  // connections open — the wedged-process failure mode.
+  std::atomic<bool> stop{false};
+  std::atomic<bool> wedge{false};
+  std::thread fake([listen_fd, &stop, &wedge] {
+    std::vector<std::thread> sessions;
+    while (!stop.load(std::memory_order_acquire)) {
+      pollfd accept_pfd = {listen_fd, POLLIN, 0};
+      if (::poll(&accept_pfd, 1, 20) <= 0) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      sessions.emplace_back([fd, &stop, &wedge] {
+        std::string buffered;
+        for (;;) {
+          pollfd pfd = {fd, POLLIN, 0};
+          const int r = ::poll(&pfd, 1, 20);
+          if (r < 0 && errno != EINTR) break;
+          if (r > 0) {
+            char chunk[4096];
+            const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+            if (n == 0 || (n < 0 && errno != EINTR)) break;
+            if (n > 0) buffered.append(chunk, static_cast<std::size_t>(n));
+            std::size_t nl;
+            while ((nl = buffered.find('\n')) != std::string::npos) {
+              buffered.erase(0, nl + 1);
+              if (!wedge.load(std::memory_order_acquire)) {
+                const std::string pong = "{\"query\": \"stats\"}\n";
+                (void)!::send(fd, pong.data(), pong.size(), MSG_NOSIGNAL);
+              }
+            }
+          }
+          if (stop.load(std::memory_order_acquire)) break;
+        }
+        ::close(fd);
+      });
+    }
+    for (std::thread& s : sessions) s.join();
+    ::close(listen_fd);
+  });
+
+  obs::MetricsRegistry metrics;
+  TenantRouterOptions options;
+  options.backends = {"127.0.0.1:" + std::to_string(port)};
+  options.health_interval_ms = 0;   // the test drives probes
+  options.health_timeout_ms = 200;  // a wedged probe fails fast
+  options.pool_size = 1;
+  options.metrics = &metrics;
+  TenantRouter router(std::move(options));
+  ASSERT_TRUE(router.Start().ok());
+  ASSERT_TRUE(router.backend_up(0));
+  TcpServer front(router.HandlerFactory(), TcpServerOptions{});
+  ASSERT_TRUE(front.Start().ok());
+
+  // Wedge the backend, then route one line: the backend is still marked
+  // up, so the line is forwarded — and no answer will ever come back on
+  // its own.
+  wedge.store(true, std::memory_order_release);
+  std::atomic<bool> answered{false};
+  std::string response;
+  std::thread client([&] {
+    response = SendAndCollect(Dial(front.port()), "t0:lambda 1\n");
+    answered.store(true, std::memory_order_release);
+  });
+  obs::Counter* forwarded =
+      metrics.GetCounter("nucleus_router_lines_forwarded_total");
+  for (int spin = 0; spin < 500 && forwarded->Value() < 1; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(forwarded->Value(), 1);
+  EXPECT_FALSE(answered.load(std::memory_order_acquire));
+
+  // The probe times out against the wedge, marks the backend down, and
+  // tears its connections — failing the stranded line.
+  router.CheckBackendsNow();
+  client.join();  // hung forever before the tear-on-down fix
+  EXPECT_FALSE(router.backend_up(0));
+  const std::vector<std::string> lines = SplitLines(response);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"error\""), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("\"line\": 1"), std::string::npos) << lines[0];
+
+  front.Stop();
+  router.Stop();
+  stop.store(true, std::memory_order_release);
+  fake.join();
 }
 
 // ---------------------------------------------------------------------
